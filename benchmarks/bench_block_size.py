@@ -1,0 +1,70 @@
+"""Ablation A3: block-size sweep and occupancy.
+
+The paper fixes the block size at 32 (the warp size) for all three kernels,
+"because of the shared memory limited capacity considerations".  This
+benchmark sweeps the block size for a paper-shaped workload and reports
+occupancy, the number of block waves, shared-memory per block, and the
+predicted evaluation time, showing why 32 is a reasonable choice (smaller
+blocks under-occupy the multiprocessors; larger blocks inflate the per-block
+shared-memory footprint in extended precision without reducing the wave
+count)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core import GPUEvaluator, shared_memory_budget
+from repro.gpusim import GPUCostModel, TESLA_C2050
+from repro.multiprec import DOUBLE_DOUBLE
+from repro.polynomials import random_point, random_regular_system
+
+BLOCK_SIZES = (8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def system_and_point():
+    system = random_regular_system(dimension=16, monomials_per_polynomial=16,
+                                   variables_per_monomial=8, max_variable_degree=4,
+                                   seed=8)
+    return system, random_point(16, seed=9)
+
+
+_rows = []
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_block_size_sweep(benchmark, block_size, system_and_point, write_result):
+    system, point = system_and_point
+
+    def evaluate():
+        evaluator = GPUEvaluator(system, check_capacity=False, block_size=block_size,
+                                 collect_memory_trace=False)
+        return evaluator, evaluator.evaluate(point)
+
+    evaluator, result = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    model = GPUCostModel()
+    stats2 = result.launch_stats[1]
+    budget = shared_memory_budget(16, 8, block_size=block_size, context=DOUBLE_DOUBLE)
+    row = {
+        "block_size": block_size,
+        "kernel2_blocks": stats2.config.grid_dim,
+        "occupancy": round(stats2.schedule.occupancy.occupancy, 3),
+        "waves": stats2.schedule.waves,
+        "dd_shared_bytes_per_block": budget.total_bytes,
+        "predicted_us_per_evaluation": round(model.evaluation_time(result.launch_stats) * 1e6, 2),
+    }
+    _rows.append(row)
+    benchmark.extra_info.update(row)
+
+    if len(_rows) == len(BLOCK_SIZES):
+        write_result("block_size", format_table(
+            sorted(_rows, key=lambda r: r["block_size"]),
+            title="block-size sweep (dimension 16, 256 monomials, k = 8)"))
+        by_size = {r["block_size"]: r for r in _rows}
+        # Larger blocks cost more shared memory per block (linearly).
+        assert (by_size[128]["dd_shared_bytes_per_block"]
+                > by_size[32]["dd_shared_bytes_per_block"] * 3)
+        # The paper's choice of 32 keeps every multiprocessor busy in one wave.
+        assert by_size[32]["waves"] == 1

@@ -1,0 +1,78 @@
+"""Ablation A2 (section 3.1): two-stage common-factor kernel vs from-scratch.
+
+The paper discusses, and rejects, the alternative of letting every thread
+exponentiate its own variables from scratch instead of precomputing the
+shared power table: it would introduce warp divergence (different exponent
+tuples) and redundant exponentiations, and scatter the variable reads.  This
+benchmark runs both variants of kernel 1 on the same Table-2-shaped system
+(high degree, where the difference matters) and compares divergence,
+multiplication counts, memory traffic and the predicted kernel time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core import GPUEvaluator
+from repro.gpusim import GPUCostModel, launch_kernel
+from repro.polynomials import random_point, random_regular_system
+
+VARIANTS = ("two_stage", "from_scratch")
+
+
+@pytest.fixture(scope="module")
+def system_and_point():
+    system = random_regular_system(dimension=16, monomials_per_polynomial=16,
+                                   variables_per_monomial=8, max_variable_degree=10,
+                                   seed=6)
+    return system, random_point(16, seed=7)
+
+
+def run_variant(system, point, variant):
+    evaluator = GPUEvaluator(system, check_capacity=False, common_factor_variant=variant)
+    evaluator.upload_point(point)
+    stats = launch_kernel(evaluator._kernel1, evaluator.monomial_grid(),
+                          evaluator._global_memory, evaluator._constant_memory,
+                          device=evaluator.device)
+    return evaluator, stats
+
+
+_collected = {}
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_common_factor_variant(benchmark, variant, system_and_point, write_result):
+    system, point = system_and_point
+
+    evaluator, stats = benchmark.pedantic(
+        lambda: run_variant(system, point, variant), rounds=1, iterations=1)
+
+    model = GPUCostModel()
+    _collected[variant] = {
+        "variant": variant,
+        "divergent_warps": stats.divergent_warps,
+        "warps": stats.num_warps,
+        "total_multiplications": stats.total_multiplications,
+        "warp_serial_multiplications": stats.warp_serial_multiplications,
+        "global_read_transactions": stats.coalescing.global_read_transactions,
+        "predicted_us": model.kernel_time(stats).total * 1e6,
+    }
+    benchmark.extra_info.update(_collected[variant])
+
+    if len(_collected) == len(VARIANTS):
+        rows = [_collected[v] for v in VARIANTS]
+        write_result("common_factor_ablation",
+                     format_table(rows, title="kernel 1: two-stage power table vs "
+                                              "per-thread exponentiation from scratch"))
+        two_stage, from_scratch = _collected["two_stage"], _collected["from_scratch"]
+        # The paper's qualitative claims.  (The two-stage kernel has only the
+        # structural split between the first n power-building threads and the
+        # rest; the from-scratch variant additionally diverges on every
+        # monomial's exponent tuple and redoes exponentiations per thread.)
+        assert from_scratch["divergent_warps"] >= two_stage["divergent_warps"]
+        assert (from_scratch["global_read_transactions"]
+                > two_stage["global_read_transactions"])
+        assert (from_scratch["warp_serial_multiplications"]
+                > two_stage["warp_serial_multiplications"])
+        assert from_scratch["total_multiplications"] > two_stage["total_multiplications"]

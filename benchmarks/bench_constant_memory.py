@@ -1,0 +1,81 @@
+"""Claim C2 (sections 3.1 and 4): constant-memory capacity caps the problem size.
+
+The paper stores the ``Positions`` and ``Exponents`` tables in the 64 KiB of
+constant memory; that is why the experiments stop at 1,536 monomials ("the
+capacity of the constant memory was not sufficient to hold the exponents and
+positions of all 2,048 monomials") and why the working dimensions range from
+30 to 40.  This benchmark sweeps the monomial count for the Table 2 monomial
+shape (k = 16) and records which configurations fit, verifying that the
+simulator enforces exactly the published limit, and measures the cost of
+encoding the support tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.errors import ConstantMemoryOverflow
+from repro.gpusim import TESLA_C2050
+from repro.polynomials import (
+    SupportEncoding,
+    constant_memory_footprint,
+    max_total_monomials_for_constant_memory,
+    random_regular_system,
+    table2_system,
+)
+
+MONOMIAL_COUNTS = (704, 1024, 1536, 2048, 4096)
+K = 16
+
+
+def test_capacity_sweep(benchmark, write_result):
+    def footprints():
+        return [constant_memory_footprint(total, K) for total in MONOMIAL_COUNTS]
+
+    sizes = benchmark(footprints)
+
+    capacity = TESLA_C2050.constant_memory_bytes
+    rows = []
+    for total, size in zip(MONOMIAL_COUNTS, sizes):
+        rows.append({
+            "total_monomials": total,
+            "support_table_bytes": size,
+            "fits_in_64KiB": size < capacity,
+        })
+    text = format_table(rows, title=f"constant-memory footprint, k = {K} "
+                                    f"(capacity {capacity} bytes)")
+    text += ("\n\nlargest monomial count with k=16 that fits: "
+             f"{max_total_monomials_for_constant_memory(K) - 1} (strictly below capacity)")
+    write_result("constant_memory", text)
+
+    # The paper's limit: 1,536 fits, 2,048 does not leave any room.
+    assert rows[2]["fits_in_64KiB"] is True
+    assert rows[3]["fits_in_64KiB"] is False
+    benchmark.extra_info["capacity_bytes"] = capacity
+
+
+def test_encoding_a_paper_sized_system(benchmark):
+    system = table2_system(1536, seed=3)
+
+    encoding = benchmark(SupportEncoding.from_system, system)
+
+    assert encoding.bytes_used == 1536 * K * 2
+    assert encoding.fits_in(TESLA_C2050.constant_memory_bytes)
+
+
+def test_too_large_system_is_rejected_end_to_end(benchmark):
+    """Constructing the evaluator for an over-capacity system must raise the
+    dedicated error; benchmark the (cheap) failing setup path."""
+    from repro.core import GPUEvaluator
+
+    system = random_regular_system(dimension=64, monomials_per_polynomial=40,
+                                   variables_per_monomial=16, max_variable_degree=2,
+                                   seed=0)
+
+    def attempt():
+        with pytest.raises(ConstantMemoryOverflow):
+            GPUEvaluator(system)
+        return True
+
+    assert benchmark.pedantic(attempt, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""Claim C4 (introduction, [40]): the double-double overhead and quality up.
+
+The paper's motivating measurement is that evaluating in double-double costs
+about a factor of 8 over hardware doubles, which a parallel evaluation with a
+speedup beyond 8 can hide ("quality up").  This benchmark
+
+* times the sequential CPU reference in double and in double-double on the
+  same system (the measured Python-level factor is reported; the calibrated
+  cost model uses the paper's C++-level factor of 8),
+* verifies the cost-model factor of 8 end to end, and
+* regenerates the quality-up table for the speedups of the paper's tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core import CPUReferenceEvaluator
+from repro.gpusim import CPUCostModel
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE
+from repro.polynomials import random_point, random_regular_system
+from repro.tracking import quality_up_table
+
+
+@pytest.fixture(scope="module")
+def system():
+    return random_regular_system(dimension=8, monomials_per_polynomial=6,
+                                 variables_per_monomial=4, max_variable_degree=3, seed=5)
+
+
+@pytest.fixture(scope="module")
+def point():
+    return random_point(8, seed=6)
+
+
+@pytest.mark.parametrize("context", [DOUBLE, DOUBLE_DOUBLE], ids=["double", "double-double"])
+def test_cpu_evaluation_time_by_precision(benchmark, context, system, point):
+    evaluator = CPUReferenceEvaluator(system, context=context)
+
+    result = benchmark(evaluator.evaluate, point)
+
+    assert result.operations.multiplications > 0
+    benchmark.extra_info["arithmetic"] = context.name
+    benchmark.extra_info["model_seconds"] = CPUCostModel().evaluation_time(
+        result.operations, context)
+
+
+def test_model_overhead_factors(benchmark, system, point, write_result):
+    evaluator = CPUReferenceEvaluator(system)
+    operations = evaluator.evaluate(point).operations
+    model = CPUCostModel()
+
+    def factors():
+        base = model.evaluation_time(operations, DOUBLE)
+        return {ctx.name: model.evaluation_time(operations, ctx) / base
+                for ctx in (DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE)}
+
+    ratios = benchmark(factors)
+    assert ratios["dd"] == pytest.approx(8.0)
+    assert ratios["qd"] == pytest.approx(40.0)
+
+    rows = [{"arithmetic": name, "overhead_factor_vs_double": value}
+            for name, value in ratios.items()]
+    text = format_table(rows, title="cost-model overhead factors (paper: dd ~ 8)")
+
+    for label, speedup in [("Table 1, 1536 monomials", 14.04),
+                           ("Table 2, 1536 monomials", 19.56)]:
+        entries = [e.as_dict() for e in quality_up_table(speedup)]
+        text += "\n\n" + format_table(entries, title=f"quality up at {label} "
+                                                     f"(speedup {speedup:.2f})")
+    write_result("dd_overhead", text)

@@ -1,0 +1,86 @@
+"""Claim C1 (section 3.2): per-thread multiplication counts.
+
+The paper states that a thread of kernel 2 performs exactly ``5k - 4``
+complex multiplications, of which ``3k - 6`` compute all the derivatives of
+the Speelpenning product, and that kernel 1 adds ``k - 1`` multiplications
+per monomial plus ``d - 2`` per variable for the power table.  This benchmark
+measures the counters of the simulated kernels for both monomial shapes used
+in the evaluation section (k = 9, d = 2 and k = 16, d = 10) and compares them
+with the closed-form expectations; it also times the Speelpenning sweep
+itself against the naive gradient to quantify the algorithmic-differentiation
+advantage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core import GPUEvaluator, expected_counts, kernel2_multiplications_per_thread
+from repro.polynomials import (
+    naive_gradient,
+    random_point,
+    random_regular_system,
+    speelpenning_gradient,
+)
+
+SHAPES = {
+    "table1-monomials": dict(variables_per_monomial=9, max_variable_degree=2),
+    "table2-monomials": dict(variables_per_monomial=16, max_variable_degree=10),
+}
+
+
+@pytest.mark.parametrize("shape_name", sorted(SHAPES))
+def test_kernel_operation_counts_match_the_paper(benchmark, shape_name, write_result):
+    params = SHAPES[shape_name]
+    system = random_regular_system(dimension=16, monomials_per_polynomial=8,
+                                   seed=1, **params)
+    point = random_point(16, seed=2)
+    evaluator = GPUEvaluator(system, check_capacity=False, collect_memory_trace=False)
+
+    result = benchmark.pedantic(lambda: evaluator.evaluate(point), rounds=1, iterations=1)
+
+    shape = system.require_regular()
+    expected = expected_counts(shape, block_size=evaluator.block_size)
+    stats1, stats2, stats3 = result.launch_stats
+
+    rows = [
+        {"quantity": "kernel 1 multiplications (powers + factors)",
+         "expected": expected.kernel1_power_multiplications + expected.kernel1_factor_multiplications,
+         "measured": stats1.total_multiplications},
+        {"quantity": "kernel 2 multiplications (5k-4 per monomial)",
+         "expected": expected.kernel2_multiplications,
+         "measured": stats2.total_multiplications},
+        {"quantity": "kernel 2 multiplications per thread",
+         "expected": kernel2_multiplications_per_thread(shape.variables_per_monomial),
+         "measured": max(t.multiplications for t in stats2.thread_traces)},
+        {"quantity": "kernel 3 additions (m per target)",
+         "expected": expected.kernel3_additions,
+         "measured": stats3.total_additions},
+    ]
+    for row in rows:
+        assert row["expected"] == row["measured"], row
+    write_result(f"opcounts_{shape_name}",
+                 format_table(rows, title=f"operation counts, {shape_name} "
+                                          f"(k={shape.variables_per_monomial}, "
+                                          f"d={shape.max_variable_degree})"))
+    benchmark.extra_info.update({r["quantity"]: r["measured"] for r in rows})
+
+
+@pytest.mark.parametrize("k", [9, 16, 32])
+def test_speelpenning_vs_naive_gradient(benchmark, k):
+    """The forward/backward sweep needs 3k-6 multiplications against the
+    naive k(k-2); benchmark the sweep itself."""
+    factors = [complex(1.0 + 0.01 * i, 0.02 * i) for i in range(k)]
+
+    gradient, count = benchmark(speelpenning_gradient, factors)
+
+    _, naive_count = naive_gradient(factors)
+    assert count.multiplications == 3 * k - 6
+    assert naive_count.multiplications == k * (k - 2)
+    assert count.multiplications < naive_count.multiplications
+    benchmark.extra_info.update({
+        "k": k,
+        "sweep_multiplications": count.multiplications,
+        "naive_multiplications": naive_count.multiplications,
+    })

@@ -1,0 +1,57 @@
+"""Claim C3 (section 3.2): shared-memory budget of kernel 2.
+
+The paper argues that with 32-thread blocks each thread needs ``k + 1``
+complex locations plus the block-wide copy of all ``n`` variable values, so
+that even in complex double-double arithmetic dimensions up to 70 (with
+``k <= n/2``) stay more than 10,000 bytes below the 48 KiB shared-memory
+capacity.  This benchmark sweeps the dimension for both double and
+double-double arithmetic, reports the budgets, and asserts the paper's
+specific example.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core import shared_memory_budget
+from repro.gpusim import TESLA_C2050
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+
+DIMENSIONS = (32, 40, 50, 64, 70, 96, 128)
+
+
+@pytest.mark.parametrize("context", [DOUBLE, DOUBLE_DOUBLE], ids=["double", "double-double"])
+def test_shared_memory_budget_sweep(benchmark, context, write_result):
+    def sweep():
+        rows = []
+        for n in DIMENSIONS:
+            budget = shared_memory_budget(dimension=n, variables_per_monomial=n // 2,
+                                          block_size=32, context=context)
+            rows.append({
+                "dimension": n,
+                "k": n // 2,
+                "workspace_bytes": budget.workspace_bytes,
+                "variable_bytes": budget.variable_bytes,
+                "total_bytes": budget.total_bytes,
+                "fits_in_48KiB": budget.fits(TESLA_C2050),
+            })
+        return rows
+
+    rows = benchmark(sweep)
+    write_result(f"shared_memory_{context.name}",
+                 format_table(rows, title=f"kernel-2 shared-memory budget, {context.description}"))
+
+    by_dim = {r["dimension"]: r for r in rows}
+    if context is DOUBLE_DOUBLE:
+        # The paper's worked example: n = 70, k = 35 in complex double double.
+        assert by_dim[70]["workspace_bytes"] == 36864
+        assert by_dim[70]["variable_bytes"] == 2240
+        assert by_dim[70]["fits_in_48KiB"] is True
+        assert TESLA_C2050.shared_memory_per_block_bytes - by_dim[70]["total_bytes"] > 10000
+        # ... and it stops fitting well before dimension 128.
+        assert by_dim[128]["fits_in_48KiB"] is False
+    else:
+        # In plain double everything up to 128 fits comfortably.
+        assert all(r["fits_in_48KiB"] for r in rows)
+    benchmark.extra_info["context"] = context.name

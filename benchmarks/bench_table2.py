@@ -1,0 +1,47 @@
+"""Reproduction of the paper's Table 2.
+
+    Wall clock times and speedups for 100,000 evaluations of a polynomial
+    system and its Jacobian matrix of dimension 32.  Each monomial has 16
+    variables occurring with nonzero power of at most 10.
+
+    #monomials   Tesla C2050   1 CPU core    speedup
+    704          19.068 s      3min 16.9 s   10.33
+    1024         20.800 s      4min 43.3 s   13.62
+    1536         21.763 s      7min 05.8 s   19.56
+
+Writes the model-vs-paper comparison to ``benchmarks/results/table2.txt``.
+As for Table 1 the asserted target is the shape: the device wins every row
+by a factor within 2x of the published one, the advantage grows with the
+number of monomials, and (checked here against Table 1's workloads) the
+higher-degree, higher-k monomials of Table 2 yield larger speedups than the
+Table 1 shapes at equal monomial counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.bench import TABLE2_WORKLOADS, RowResult
+
+from table_common import check_row_shape, check_table_shape, report_rows, run_row
+
+_rows: Dict[int, RowResult] = {}
+
+
+@pytest.mark.parametrize("workload", TABLE2_WORKLOADS, ids=lambda w: f"{w.total_monomials}mon")
+def test_table2_row(benchmark, workload, write_result):
+    result = run_row(benchmark, workload)
+    _rows[workload.total_monomials] = result
+
+    check_row_shape(result)
+    check_table_shape(_rows)
+    # Table 2's monomials (k = 16, d <= 10) carry more work per monomial than
+    # Table 1's (k = 9, d <= 2), so the CPU baseline is slower while the GPU
+    # time barely moves: the published speedups are uniformly larger.  The
+    # model must reproduce that ordering against the published Table 1 rows.
+    paper_table1_speedups = {704: 7.60, 1024: 10.44, 1536: 14.04}
+    assert result.model_speedup > 0.8 * paper_table1_speedups[result.workload.total_monomials]
+    report_rows(write_result, "table2",
+                "Table 2: dimension 32, k = 16, d <= 10, 100,000 evaluations", _rows)

@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark writes its human-readable result table to
+``benchmarks/results/<name>.txt`` (in addition to attaching the key numbers
+to pytest-benchmark's ``extra_info``), so that a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the regenerated tables on
+disk next to the published values they are compared with.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Write (and echo) a named benchmark report."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        # Also echo to stdout so -s runs show the tables inline.
+        print(f"\n[{name}]\n{text}")
+
+    return _write

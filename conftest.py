@@ -1,0 +1,17 @@
+"""Pytest bootstrap for the repository.
+
+Makes the test and benchmark suites runnable straight from a source checkout,
+even when the package has not been installed (useful in offline environments
+where ``pip install -e .`` needs ``--no-build-isolation``): if ``repro`` is
+not importable, the ``src`` layout directory is prepended to ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Homotopy continuation with the simulated-GPU evaluator in the loop.
+
+The paper's motivation is accelerating the evaluation of a polynomial system
+and its Jacobian because that is the dominant cost of Newton's corrector in
+path trackers.  This example closes that loop end to end:
+
+1. build a small target system ``f(x) = 0`` with known structure;
+2. construct the total-degree start system ``g(x) = 0`` and the gamma-trick
+   homotopy ``h(x, t) = gamma (1 - t) g(x) + t f(x)``;
+3. track every solution path from ``t = 0`` to ``t = 1`` with the adaptive
+   predictor-corrector tracker, letting either the CPU reference evaluator or
+   the simulated GPU pipeline supply ``f`` and its Jacobian;
+4. sharpen the end points with Newton in double-double arithmetic, showing
+   the residuals dropping far below the double-precision floor -- the
+   "quality up" the paper is after.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CPUReferenceEvaluator, GPUEvaluator
+from repro.bench import format_table
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+from repro.tracking import (
+    Homotopy,
+    NewtonCorrector,
+    PathTracker,
+    TrackerOptions,
+    start_solutions,
+    total_degree_start_system,
+)
+
+
+def build_target_system(dimension: int) -> PolynomialSystem:
+    """``f_i = x_i^2 - (i + 2)``: decoupled quadrics with 2^n real solutions.
+
+    Deliberately simple so every path can be checked against a closed form,
+    while still exercising the full homotopy/tracking machinery.
+    """
+    polys = []
+    for i in range(dimension):
+        polys.append(Polynomial([
+            (1 + 0j, Monomial((i,), (2,))),
+            (-(i + 2) + 0j, Monomial((), ())),
+        ]))
+    return PolynomialSystem(polys)
+
+
+def build_gpu_target_system(dimension: int) -> PolynomialSystem:
+    """A regular system (uniform k) with the solution ``x = (1, ..., 1)``,
+    suitable for the GPU evaluator: ``f_i = x_i x_j x_k - x_i x_j x_k^2``
+    with ``(i, j, k)`` a rotation of three consecutive variables."""
+    polys = []
+    for i in range(dimension):
+        j, k, l = i, (i + 1) % dimension, (i + 2) % dimension
+        m1 = Monomial(tuple(sorted((j, k, l))), (1, 1, 1))
+        m2 = Monomial.from_dict({j: 1, k: 1, l: 2})
+        polys.append(Polynomial([(1 + 0j, m1), (-1 + 0j, m2)]))
+    return PolynomialSystem(polys)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--dimension", type=int, default=3,
+                        help="dimension of the decoupled target system (default 3)")
+    parser.add_argument("--max-paths", type=int, default=8,
+                        help="track at most this many paths (default 8)")
+    parser.add_argument("--skip-gpu-newton", action="store_true",
+                        help="skip the simulated-GPU Newton demonstration")
+    return parser.parse_args()
+
+
+def track_all_paths(args) -> None:
+    print("=== path tracking with the CPU reference evaluator ===")
+    target = build_target_system(args.dimension)
+    start = total_degree_start_system(target)
+    homotopy = Homotopy(CPUReferenceEvaluator(start), CPUReferenceEvaluator(target))
+    tracker = PathTracker(homotopy)
+
+    rows = []
+    solutions = list(start_solutions(target))[: args.max_paths]
+    for index, s in enumerate(solutions):
+        result = tracker.track(s)
+        rows.append({
+            "path": index,
+            "success": result.success,
+            "steps": result.steps_accepted,
+            "newton_iterations": result.newton_iterations,
+            "residual": result.residual,
+            "x0": f"{result.solution[0]:.6f}",
+        })
+    print(format_table(rows))
+    successes = sum(1 for r in rows if r["success"])
+    print(f"{successes}/{len(rows)} paths tracked to t = 1\n")
+
+
+def sharpen_in_double_double(args) -> None:
+    print("=== end-game sharpening: double vs double-double ===")
+    target = build_target_system(args.dimension)
+    approximate_root = [complex((i + 2) ** 0.5) * (1 + 1e-9) for i in range(args.dimension)]
+
+    rows = []
+    for context in (DOUBLE, DOUBLE_DOUBLE):
+        evaluator = CPUReferenceEvaluator(target, context=context)
+        corrector = NewtonCorrector(evaluator, context=context,
+                                    tolerance=1e-30, max_iterations=20)
+        result = corrector.correct(approximate_root)
+        rows.append({
+            "arithmetic": context.description,
+            "iterations": result.iterations,
+            "final_residual": result.residual_norm,
+        })
+    print(format_table(rows))
+    print("double-double pushes the residual orders of magnitude below the\n"
+          "double-precision floor -- the extra digits the paper wants to buy\n"
+          "with GPU acceleration.\n")
+
+
+def newton_on_gpu_pipeline(args) -> None:
+    print("=== Newton's corrector driven by the simulated GPU evaluator ===")
+    dimension = max(args.dimension, 3)
+    system = build_gpu_target_system(dimension)
+    evaluator = GPUEvaluator(system, check_capacity=False)
+    corrector = NewtonCorrector(evaluator, tolerance=1e-12, max_iterations=20)
+    start = [1.0 + 0.05j * ((i % 3) - 1) for i in range(dimension)]
+    result = corrector.correct(start)
+    print(f"converged: {result.converged} after {result.iterations} iterations, "
+          f"residual {result.residual_norm:.2e}")
+    mults = sum(s.total_multiplications for s in
+                evaluator.evaluate(start).launch_stats)
+    print(f"one evaluation of this {dimension}-dimensional system performs "
+          f"{mults} complex multiplications on the device\n")
+
+
+def main() -> None:
+    args = parse_args()
+    track_all_paths(args)
+    sharpen_in_double_double(args)
+    if not args.skip_gpu_newton:
+        newton_on_gpu_pipeline(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Speedup study: regenerate the shape of the paper's Tables 1 and 2.
+
+For each monomial count the script simulates one evaluation of the system and
+its Jacobian on the functional Tesla C2050 model, runs the sequential CPU
+reference, and converts both into predicted wall-clock for 100,000
+evaluations with the calibrated cost models -- the same quantity the paper's
+tables report.  The published numbers are printed next to the model's so the
+shape comparison (speedups growing with the number of monomials, Table 2
+ahead of Table 1) is immediate.
+
+By default a scaled-down dimension-16 sweep runs in a few seconds; pass
+``--paper-scale`` to reproduce the full dimension-32 rows of both tables
+(roughly a minute of pure-Python simulation).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import (
+    TABLE1_WORKLOADS,
+    TABLE2_WORKLOADS,
+    Workload,
+    format_breakdown,
+    format_paper_rows,
+    format_table,
+    run_table,
+)
+from repro.bench.workloads import PaperRow
+from repro.polynomials import random_regular_system
+
+
+def scaled_down_workloads():
+    """Dimension-16 rows with the same monomial shapes as Table 1."""
+    workloads = []
+    for monomials_per_poly in (8, 16, 24):
+        total = 16 * monomials_per_poly
+        paper = PaperRow("scaled table 1", total, float("nan"), float("nan"), float("nan"))
+        workloads.append(Workload(
+            name=f"scaled_{total}",
+            table="scaled table 1",
+            dimension=16,
+            total_monomials=total,
+            variables_per_monomial=9,
+            max_variable_degree=2,
+            paper=paper,
+            builder=lambda t, m=monomials_per_poly: random_regular_system(
+                dimension=16, monomials_per_polynomial=m,
+                variables_per_monomial=9, max_variable_degree=2, seed=20120102),
+        ))
+    return workloads
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="run the full dimension-32 rows of Tables 1 and 2")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="also print the per-kernel time breakdown of each row")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+
+    if args.paper_scale:
+        tables = [("Table 1 (k=9, d<=2)", TABLE1_WORKLOADS),
+                  ("Table 2 (k=16, d<=10)", TABLE2_WORKLOADS)]
+    else:
+        tables = [("scaled-down sweep (dimension 16, k=9, d<=2)", scaled_down_workloads())]
+
+    for title, workloads in tables:
+        results = run_table(workloads)
+        print(format_paper_rows(results, title=title))
+        if args.breakdown:
+            for result in results:
+                print()
+                print(format_breakdown(result))
+        print()
+
+    if not args.paper_scale:
+        print("pass --paper-scale to regenerate the published dimension-32 rows")
+
+
+if __name__ == "__main__":
+    main()

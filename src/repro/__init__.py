@@ -1,0 +1,109 @@
+"""repro: evaluating polynomials in several variables and their derivatives
+on a (simulated) GPU computing processor.
+
+A from-scratch Python reproduction of Verschelde & Yoffe, *Evaluating
+polynomials in several variables and their derivatives on a GPU computing
+processor* (IPDPS workshops 2012, arXiv:1201.0499): the three-kernel massively
+parallel evaluation of a sparse polynomial system and its Jacobian matrix,
+together with every substrate it relies on -- a functional SIMT simulator of
+the Tesla C2050, QD-style double-double / quad-double arithmetic, sparse
+polynomial algebra, and a homotopy-continuation path tracker.
+
+Typical use::
+
+    from repro import GPUEvaluator, random_regular_system, random_point
+
+    system = random_regular_system(dimension=32, monomials_per_polynomial=32,
+                                   variables_per_monomial=9, max_variable_degree=2,
+                                   seed=7)
+    evaluator = GPUEvaluator(system)
+    result = evaluator.evaluate(random_point(32, seed=1))
+    values, jacobian = result.values, result.jacobian
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+regeneration of the paper's Tables 1 and 2.
+"""
+
+from . import bench, core, gpusim, multiprec, polynomials, tracking
+from .core import (
+    CPUReferenceEvaluator,
+    GPUEvaluation,
+    GPUEvaluator,
+    MulticoreEvaluator,
+    SystemLayout,
+    validate_evaluator,
+)
+from .errors import (
+    ConfigurationError,
+    ConstantMemoryOverflow,
+    ConvergenceError,
+    DeviceCapacityError,
+    KernelExecutionError,
+    LaunchConfigurationError,
+    MemoryAccessError,
+    PathTrackingError,
+    ReproError,
+    SharedMemoryOverflow,
+    SingularMatrixError,
+)
+from .gpusim import CPUCostModel, GPUCostModel, TESLA_C2050, XEON_X5690
+from .multiprec import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE, ComplexDD, DoubleDouble, QuadDouble
+from .polynomials import (
+    Monomial,
+    Polynomial,
+    PolynomialSystem,
+    random_point,
+    random_regular_system,
+    table1_system,
+    table2_system,
+)
+from .tracking import Homotopy, NewtonCorrector, PathTracker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComplexDD",
+    "ConfigurationError",
+    "ConstantMemoryOverflow",
+    "ConvergenceError",
+    "CPUCostModel",
+    "CPUReferenceEvaluator",
+    "DeviceCapacityError",
+    "DOUBLE",
+    "DOUBLE_DOUBLE",
+    "DoubleDouble",
+    "GPUCostModel",
+    "GPUEvaluation",
+    "GPUEvaluator",
+    "Homotopy",
+    "KernelExecutionError",
+    "LaunchConfigurationError",
+    "MemoryAccessError",
+    "Monomial",
+    "MulticoreEvaluator",
+    "NewtonCorrector",
+    "PathTracker",
+    "PathTrackingError",
+    "Polynomial",
+    "PolynomialSystem",
+    "QUAD_DOUBLE",
+    "QuadDouble",
+    "ReproError",
+    "SharedMemoryOverflow",
+    "SingularMatrixError",
+    "SystemLayout",
+    "TESLA_C2050",
+    "XEON_X5690",
+    "bench",
+    "core",
+    "gpusim",
+    "multiprec",
+    "polynomials",
+    "random_point",
+    "random_regular_system",
+    "table1_system",
+    "table2_system",
+    "tracking",
+    "validate_evaluator",
+    "__version__",
+]

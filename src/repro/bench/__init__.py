@@ -1,0 +1,32 @@
+"""Benchmark support: workload definitions, the measurement harness and
+plain-text reporting used by the scripts under ``benchmarks/`` and by the
+examples that reproduce the paper's tables."""
+
+from .harness import RowResult, run_table, run_workload, speedup_curve
+from .reporting import format_breakdown, format_paper_rows, format_table
+from .workloads import (
+    EVALUATIONS_PER_RUN,
+    PaperRow,
+    TABLE1_ROWS,
+    TABLE1_WORKLOADS,
+    TABLE2_ROWS,
+    TABLE2_WORKLOADS,
+    Workload,
+)
+
+__all__ = [
+    "EVALUATIONS_PER_RUN",
+    "PaperRow",
+    "RowResult",
+    "TABLE1_ROWS",
+    "TABLE1_WORKLOADS",
+    "TABLE2_ROWS",
+    "TABLE2_WORKLOADS",
+    "Workload",
+    "format_breakdown",
+    "format_paper_rows",
+    "format_table",
+    "run_table",
+    "run_workload",
+    "speedup_curve",
+]

@@ -1,0 +1,127 @@
+"""Benchmark harness: measure, model and compare against the paper's rows.
+
+For each :class:`~repro.bench.workloads.Workload` the harness
+
+1. generates the random regular system with the row's (n, m, k, d),
+2. runs the three simulated kernels for one evaluation point and collects the
+   launch statistics,
+3. runs the sequential CPU reference and collects its operation tally,
+4. converts both into predicted wall-clock for the paper's 100,000
+   evaluations using the calibrated cost models, and
+5. returns a :class:`RowResult` pairing the model's numbers with the
+   published ones, so the benchmark scripts can print the same rows the
+   paper reports (times for the Tesla C2050, one CPU core, and the speedup).
+
+The predicted-vs-published comparison is about the *shape* (who wins, by what
+factor, how the advantage grows with the number of monomials); absolute
+agreement is not expected from a functional simulator and the results files
+record both numbers side by side.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..core.cpu_reference import CPUReferenceEvaluator
+from ..core.evaluator import GPUEvaluator
+from ..gpusim.costmodel import CPUCostModel, GPUCostModel
+from ..multiprec.numeric import DOUBLE, NumericContext
+from ..polynomials.generators import random_point
+from .workloads import EVALUATIONS_PER_RUN, Workload
+
+__all__ = ["RowResult", "run_workload", "run_table", "speedup_curve"]
+
+
+@dataclass
+class RowResult:
+    """Model-vs-paper comparison for one table row."""
+
+    workload: Workload
+    evaluations: int
+    model_gpu_seconds: float
+    model_cpu_seconds: float
+    simulated_wall_seconds: float
+    cpu_reference_wall_seconds: float
+    kernel_breakdown: Dict[str, float]
+
+    @property
+    def model_speedup(self) -> float:
+        return self.model_cpu_seconds / self.model_gpu_seconds
+
+    @property
+    def paper_speedup(self) -> float:
+        return self.workload.paper.speedup
+
+    def as_dict(self) -> Dict[str, object]:
+        paper = self.workload.paper
+        return {
+            "workload": self.workload.name,
+            "total_monomials": self.workload.total_monomials,
+            "evaluations": self.evaluations,
+            "model_gpu_s": self.model_gpu_seconds,
+            "paper_gpu_s": paper.gpu_seconds,
+            "model_cpu_s": self.model_cpu_seconds,
+            "paper_cpu_s": paper.cpu_seconds,
+            "model_speedup": self.model_speedup,
+            "paper_speedup": paper.speedup,
+            "simulated_wall_s": self.simulated_wall_seconds,
+            "cpu_reference_wall_s": self.cpu_reference_wall_seconds,
+        }
+
+
+def run_workload(workload: Workload, *,
+                 context: NumericContext = DOUBLE,
+                 evaluations: int = EVALUATIONS_PER_RUN,
+                 gpu_model: Optional[GPUCostModel] = None,
+                 cpu_model: Optional[CPUCostModel] = None,
+                 seed: int = 11) -> RowResult:
+    """Measure and model one table row."""
+    gpu_model = gpu_model or GPUCostModel()
+    cpu_model = cpu_model or CPUCostModel()
+
+    system = workload.build_system()
+    point = random_point(system.dimension, seed=seed)
+
+    gpu = GPUEvaluator(system, context=context, collect_memory_trace=False)
+    start = time.perf_counter()
+    gpu_result = gpu.evaluate(point)
+    simulated_wall = time.perf_counter() - start
+
+    cpu = CPUReferenceEvaluator(system, context=context, algorithm="factored")
+    cpu_result = cpu.evaluate(point)
+
+    per_eval_gpu = gpu_model.evaluation_time(gpu_result.launch_stats, context)
+    per_eval_cpu = cpu_model.evaluation_time(cpu_result.operations, context)
+
+    breakdown = {}
+    for stats in gpu_result.launch_stats:
+        breakdown[stats.kernel_name] = gpu_model.kernel_time(stats, context).total
+
+    return RowResult(
+        workload=workload,
+        evaluations=evaluations,
+        model_gpu_seconds=per_eval_gpu * evaluations,
+        model_cpu_seconds=per_eval_cpu * evaluations,
+        simulated_wall_seconds=simulated_wall,
+        cpu_reference_wall_seconds=cpu_result.elapsed_seconds,
+        kernel_breakdown=breakdown,
+    )
+
+
+def run_table(workloads: Iterable[Workload], **kwargs) -> List[RowResult]:
+    """Run every row of a table."""
+    return [run_workload(w, **kwargs) for w in workloads]
+
+
+def speedup_curve(results: Iterable[RowResult]) -> List[Dict[str, float]]:
+    """The (monomials, model speedup, paper speedup) series of a table."""
+    curve = []
+    for r in results:
+        curve.append({
+            "total_monomials": float(r.workload.total_monomials),
+            "model_speedup": r.model_speedup,
+            "paper_speedup": r.paper_speedup,
+        })
+    return curve

@@ -1,0 +1,74 @@
+"""Plain-text table formatting for benchmark reports.
+
+Keeps the benchmark scripts and examples free of string-formatting clutter:
+:func:`format_table` renders a list of dictionaries as an aligned monospace
+table (numbers get a sensible fixed precision), and :func:`format_paper_rows`
+renders the paper-vs-model comparison in the layout of the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .harness import RowResult
+
+__all__ = ["format_table", "format_paper_rows", "format_breakdown"]
+
+
+def _render(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_paper_rows(results: Iterable[RowResult], title: str) -> str:
+    """Render model-vs-paper rows in the layout of the paper's Tables 1/2."""
+    rows: List[Dict[str, object]] = []
+    for r in results:
+        rows.append({
+            "#monomials": r.workload.total_monomials,
+            "Tesla C2050 (model)": f"{r.model_gpu_seconds:8.3f} s",
+            "Tesla C2050 (paper)": f"{r.workload.paper.gpu_seconds:8.3f} s",
+            "1 CPU core (model)": f"{r.model_cpu_seconds:8.1f} s",
+            "1 CPU core (paper)": f"{r.workload.paper.cpu_seconds:8.1f} s",
+            "speedup (model)": f"{r.model_speedup:6.2f}",
+            "speedup (paper)": f"{r.paper_speedup:6.2f}",
+        })
+    return format_table(rows, title=title)
+
+
+def format_breakdown(result: RowResult) -> str:
+    """Per-kernel predicted time of one row, in microseconds per evaluation."""
+    rows = [
+        {"kernel": name, "predicted_us_per_evaluation": seconds * 1e6}
+        for name, seconds in result.kernel_breakdown.items()
+    ]
+    return format_table(rows, title=f"kernel breakdown ({result.workload.name})")

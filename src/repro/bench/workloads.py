@@ -1,0 +1,109 @@
+"""Benchmark workload definitions: the paper's tables as data.
+
+Tables 1 and 2 of the paper report wall-clock seconds for 100,000 evaluations
+of a dimension-32 system and its Jacobian, for three total monomial counts
+and two monomial shapes, on the Tesla C2050 and on one core of the Xeon
+X5690.  :data:`TABLE1_ROWS` and :data:`TABLE2_ROWS` encode those published
+numbers; :class:`Workload` describes how to regenerate the corresponding
+random system so the harness can measure/model the same configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..polynomials.generators import table1_system, table2_system
+from ..polynomials.system import PolynomialSystem
+
+__all__ = [
+    "PaperRow",
+    "Workload",
+    "TABLE1_ROWS",
+    "TABLE2_ROWS",
+    "TABLE1_WORKLOADS",
+    "TABLE2_WORKLOADS",
+    "EVALUATIONS_PER_RUN",
+]
+
+#: Number of evaluations each table row times (paper, section 4).
+EVALUATIONS_PER_RUN: int = 100_000
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of a published table."""
+
+    table: str
+    total_monomials: int
+    gpu_seconds: float
+    cpu_seconds: float
+    speedup: float
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A benchmark configuration that regenerates one table row."""
+
+    name: str
+    table: str
+    dimension: int
+    total_monomials: int
+    variables_per_monomial: int
+    max_variable_degree: int
+    paper: PaperRow
+    builder: Callable[[int], PolynomialSystem]
+    seed: int = 20120102
+
+    def build_system(self) -> PolynomialSystem:
+        return self.builder(self.total_monomials)
+
+    @property
+    def monomials_per_polynomial(self) -> int:
+        return self.total_monomials // self.dimension
+
+
+def _cpu_seconds(minutes: float, seconds: float) -> float:
+    return 60.0 * minutes + seconds
+
+
+TABLE1_ROWS: Tuple[PaperRow, ...] = (
+    PaperRow("Table 1", 704, 14.514, _cpu_seconds(1, 50.9), 7.60),
+    PaperRow("Table 1", 1024, 15.265, _cpu_seconds(2, 39.3), 10.44),
+    PaperRow("Table 1", 1536, 17.000, _cpu_seconds(3, 58.7), 14.04),
+)
+
+TABLE2_ROWS: Tuple[PaperRow, ...] = (
+    PaperRow("Table 2", 704, 19.068, _cpu_seconds(3, 16.9), 10.33),
+    PaperRow("Table 2", 1024, 20.800, _cpu_seconds(4, 43.3), 13.62),
+    PaperRow("Table 2", 1536, 21.763, _cpu_seconds(7, 5.8), 19.56),
+)
+
+
+TABLE1_WORKLOADS: Tuple[Workload, ...] = tuple(
+    Workload(
+        name=f"table1_{row.total_monomials}",
+        table="Table 1",
+        dimension=32,
+        total_monomials=row.total_monomials,
+        variables_per_monomial=9,
+        max_variable_degree=2,
+        paper=row,
+        builder=table1_system,
+    )
+    for row in TABLE1_ROWS
+)
+
+TABLE2_WORKLOADS: Tuple[Workload, ...] = tuple(
+    Workload(
+        name=f"table2_{row.total_monomials}",
+        table="Table 2",
+        dimension=32,
+        total_monomials=row.total_monomials,
+        variables_per_monomial=16,
+        max_variable_degree=10,
+        paper=row,
+        builder=table2_system,
+    )
+    for row in TABLE2_ROWS
+)

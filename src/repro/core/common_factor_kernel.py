@@ -1,0 +1,169 @@
+"""Kernel 1: evaluation of the common factors (paper section 3.1).
+
+For the monomial ``x^a`` the *common factor* is ``x^(a-1)`` restricted to the
+occurring variables: it multiplies both the monomial value and every partial
+derivative, so it is computed once per monomial and stored in global memory
+for kernel 2 to pick up.
+
+The kernel operates in two stages separated by a block-wide barrier:
+
+1. the first ``n`` threads of the block load the variable values from global
+   memory (coalesced, successive variables in successive locations) and each
+   computes sequentially the powers of one variable up to the ``(d-1)``-th,
+   storing them in the shared-memory table ``Powers``;
+2. every thread computes the common factor of one monomial as a product of
+   ``k`` table entries, looking up which variable and which exponent comes
+   next in the constant-memory tables ``Positions``/``Exponents``, and writes
+   it to ``CommonFactors`` (coalesced, one value per thread).
+
+:class:`CommonFactorFromScratchKernel` implements the alternative the paper
+discusses and rejects: skip the shared table and let every thread exponentiate
+its own variables from scratch, which removes the barrier but introduces warp
+divergence (different exponent tuples) and redundant exponentiations.  The
+ablation benchmark compares the two.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..gpusim.kernel import Kernel, LaunchConfig, ThreadContext
+from ..gpusim.memory import SharedMemory
+from .layout import (
+    ARRAY_COMMON_FACTORS,
+    ARRAY_EXPONENTS,
+    ARRAY_POSITIONS,
+    ARRAY_X,
+    SystemLayout,
+)
+
+__all__ = ["CommonFactorKernel", "CommonFactorFromScratchKernel"]
+
+# Shared-memory array names local to this kernel.
+SHARED_VARIABLES = "Xs"
+SHARED_POWERS = "Powers"
+
+
+class CommonFactorKernel(Kernel):
+    """Two-stage common-factor kernel with a shared power table."""
+
+    name = "common_factor"
+
+    def __init__(self, layout: SystemLayout):
+        self.layout = layout
+
+    # -- shared memory -----------------------------------------------------
+    def configure_shared(self, shared: SharedMemory, config: LaunchConfig) -> None:
+        n = self.layout.dimension
+        d = max(self.layout.max_variable_degree, 1)
+        elem = self.layout.complex_element_bytes
+        shared.allocate(SHARED_VARIABLES, n, elem)
+        # Powers stores x_i^p for p = 0 .. d-1: entry p*n + i.  Power 0 is the
+        # constant one and power 1 the variable itself, so that the second
+        # stage performs exactly k - 1 multiplications with no branching on
+        # the exponent value.
+        shared.allocate(SHARED_POWERS, d * n, elem)
+
+    def phases(self) -> List[Tuple[str, Any]]:
+        return [("powers", self.run_powers_phase), ("factors", self.run_factor_phase)]
+
+    # -- stage 1: power table ------------------------------------------------
+    def run_powers_phase(self, ctx: ThreadContext) -> None:
+        layout = self.layout
+        n = layout.dimension
+        d = max(layout.max_variable_degree, 1)
+        one = layout.context.one()
+
+        # Strided loop so that block sizes smaller than n still fill the
+        # table (the paper always uses B = 32 = n, where each of the first n
+        # threads handles exactly one variable).
+        variable = ctx.threadIdx
+        while variable < n:
+            x = ctx.global_read(ARRAY_X, variable, tag="load_x")
+            ctx.shared_write(SHARED_VARIABLES, variable, x, tag="store_x")
+            ctx.shared_write(SHARED_POWERS, 0 * n + variable, one, tag="store_power")
+            if d >= 2:
+                ctx.shared_write(SHARED_POWERS, 1 * n + variable, x, tag="store_power")
+            power_value = x
+            for power in range(2, d):
+                power_value = power_value * x
+                ctx.count_mul()
+                ctx.shared_write(SHARED_POWERS, power * n + variable, power_value,
+                                 tag="store_power")
+            variable += ctx.blockDim
+
+    # -- constant-memory decoding (overridden by the packed-encoding variant) --
+    def read_support_entry(self, ctx: ThreadContext, entry: int):
+        """Return ``(position, exponent - 1)`` of one support-table entry."""
+        position = ctx.const_read(ARRAY_POSITIONS, entry, tag="read_position")
+        exponent_minus_one = ctx.const_read(ARRAY_EXPONENTS, entry, tag="read_exponent")
+        return position, exponent_minus_one
+
+    # -- stage 2: common factors -----------------------------------------------
+    def run_factor_phase(self, ctx: ThreadContext) -> None:
+        layout = self.layout
+        n = layout.dimension
+        k = layout.variables_per_monomial
+        monomial_index = ctx.global_thread_id
+        if monomial_index >= layout.total_monomials:
+            return
+
+        factor = None
+        for slot in range(k):
+            entry = monomial_index * k + slot
+            position, exponent_minus_one = self.read_support_entry(ctx, entry)
+            value = ctx.shared_read(SHARED_POWERS, exponent_minus_one * n + position,
+                                    tag="read_power")
+            if factor is None:
+                factor = value
+            else:
+                factor = factor * value
+                ctx.count_mul()
+        if factor is None:  # k == 0: the constant monomial
+            factor = layout.context.one()
+        ctx.global_write(ARRAY_COMMON_FACTORS, monomial_index, factor, tag="store_factor")
+
+
+class CommonFactorFromScratchKernel(Kernel):
+    """Ablation: every thread exponentiates its own variables from scratch.
+
+    No shared power table and no barrier, at the price of (a) reading each
+    variable value straight from global memory (``k`` scattered reads per
+    thread instead of one coalesced block load) and (b) per-thread repeated
+    squaring whose length depends on the thread's own exponents, so warps
+    diverge whenever monomials in the same warp have different exponent
+    tuples -- exactly the drawbacks the paper lists for this alternative.
+    """
+
+    name = "common_factor_from_scratch"
+
+    def __init__(self, layout: SystemLayout):
+        self.layout = layout
+
+    def run_thread(self, ctx: ThreadContext) -> None:
+        layout = self.layout
+        k = layout.variables_per_monomial
+        monomial_index = ctx.global_thread_id
+        if monomial_index >= layout.total_monomials:
+            return
+
+        factor = None
+        for slot in range(k):
+            entry = monomial_index * k + slot
+            position = ctx.const_read(ARRAY_POSITIONS, entry, tag="read_position")
+            exponent_minus_one = ctx.const_read(ARRAY_EXPONENTS, entry, tag="read_exponent")
+            x = ctx.global_read(ARRAY_X, position, tag="load_x_scattered")
+            if exponent_minus_one == 0:
+                continue
+            power_value = x
+            for _ in range(exponent_minus_one - 1):
+                power_value = power_value * x
+                ctx.count_mul()
+            if factor is None:
+                factor = power_value
+            else:
+                factor = factor * power_value
+                ctx.count_mul()
+        if factor is None:
+            factor = layout.context.one()
+        ctx.global_write(ARRAY_COMMON_FACTORS, monomial_index, factor, tag="store_factor")

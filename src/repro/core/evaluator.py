@@ -1,0 +1,229 @@
+"""The massively parallel evaluator: three kernel launches per evaluation.
+
+:class:`GPUEvaluator` is the reproduction of the paper's contribution as a
+library object: construct it once per polynomial system (that is when the
+constant-memory support tables, the coefficient array and the padded ``Mons``
+array are set up -- data that stays on the device "during the entire path
+tracking"), then call :meth:`GPUEvaluator.evaluate` for every point.  Each
+call launches the three kernels on the simulated device:
+
+1. :class:`~repro.core.common_factor_kernel.CommonFactorKernel`
+2. :class:`~repro.core.speelpenning_kernel.SpeelpenningKernel`
+3. :class:`~repro.core.summation_kernel.SummationKernel`
+
+and returns the system values, the Jacobian matrix and the per-kernel launch
+statistics that the cost model converts into predicted Tesla C2050 wall-clock
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..gpusim.costmodel import GPUCostModel
+from ..gpusim.device import DeviceSpec, TESLA_C2050
+from ..gpusim.kernel import Kernel, LaunchConfig
+from ..gpusim.launch import launch_kernel
+from ..gpusim.memory import ConstantMemory, GlobalMemory
+from ..gpusim.profiler import LaunchStats
+from ..multiprec.numeric import DOUBLE, NumericContext
+from ..polynomials.system import PolynomialSystem
+from .common_factor_kernel import CommonFactorFromScratchKernel, CommonFactorKernel
+from .layout import (
+    ARRAY_COEFFS,
+    ARRAY_COMMON_FACTORS,
+    ARRAY_EXPONENTS,
+    ARRAY_MONS,
+    ARRAY_PACKED_SUPPORTS,
+    ARRAY_POSITIONS,
+    ARRAY_RESULTS,
+    ARRAY_X,
+    SystemLayout,
+)
+from .packed_kernels import PackedCommonFactorKernel, PackedSpeelpenningKernel
+from .speelpenning_kernel import SpeelpenningKernel
+from .summation_kernel import SummationKernel
+
+__all__ = ["GPUEvaluation", "GPUEvaluator"]
+
+
+@dataclass
+class GPUEvaluation:
+    """Result of one evaluation: values, Jacobian and launch statistics."""
+
+    values: List
+    jacobian: List[List]
+    launch_stats: List[LaunchStats] = field(default_factory=list)
+
+    def predicted_device_time(self, cost_model: Optional[GPUCostModel] = None,
+                              context: NumericContext = DOUBLE) -> float:
+        """Predicted Tesla C2050 wall-clock of this evaluation, in seconds."""
+        model = cost_model or GPUCostModel()
+        return model.evaluation_time(self.launch_stats, context)
+
+
+class GPUEvaluator:
+    """Evaluate a regular polynomial system and its Jacobian on the simulator.
+
+    Parameters
+    ----------
+    system:
+        A regular :class:`~repro.polynomials.system.PolynomialSystem`
+        (same ``m`` monomials per polynomial, same ``k`` variables per
+        monomial -- the paper's benchmark structure).
+    context:
+        Numeric context; :data:`~repro.multiprec.numeric.DOUBLE` (complex
+        double) or :data:`~repro.multiprec.numeric.DOUBLE_DOUBLE` etc.
+    device:
+        Simulated device, default Tesla C2050.
+    block_size:
+        Threads per block for all three kernels.  The paper uses 32 (the warp
+        size) throughout.
+    common_factor_variant:
+        ``"two_stage"`` (the paper's kernel 1) or ``"from_scratch"`` (the
+        rejected alternative, for the ablation benchmark).
+    support_encoding:
+        ``"byte"`` (the paper's char-per-entry constant-memory tables) or
+        ``"packed"`` (the 16-bit packed encoding of the paper's planned
+        extension; supports dimensions above 256 at the price of a shift/mask
+        decode per entry).
+    check_capacity:
+        When True (default), constructing the evaluator verifies that the
+        constant-memory and shared-memory footprints fit the device, raising
+        :class:`~repro.errors.DeviceCapacityError` otherwise -- the same
+        limits that capped the paper's experiments at 1,536 monomials.
+    collect_memory_trace:
+        Forwarded to the launcher; disable to save memory in large sweeps.
+    """
+
+    def __init__(self, system: PolynomialSystem, *,
+                 context: NumericContext = DOUBLE,
+                 device: DeviceSpec = TESLA_C2050,
+                 block_size: int = 32,
+                 common_factor_variant: str = "two_stage",
+                 support_encoding: str = "byte",
+                 check_capacity: bool = True,
+                 collect_memory_trace: bool = True):
+        if common_factor_variant not in ("two_stage", "from_scratch"):
+            raise ConfigurationError(
+                "common_factor_variant must be 'two_stage' or 'from_scratch'"
+            )
+        if common_factor_variant == "from_scratch" and support_encoding == "packed":
+            raise ConfigurationError(
+                "the from-scratch common-factor variant is only implemented "
+                "for the byte support encoding"
+            )
+        self.system = system
+        self.context = context
+        self.device = device
+        self.block_size = int(block_size)
+        self.common_factor_variant = common_factor_variant
+        self.support_encoding = support_encoding
+        self.collect_memory_trace = collect_memory_trace
+
+        self.layout = SystemLayout(system, context, encoding_format=support_encoding)
+        if check_capacity:
+            self.layout.check_device_capacity(device, block_size=self.block_size)
+
+        self._constant_memory = self._build_constant_memory()
+        self._global_memory = self._build_global_memory()
+
+        if support_encoding == "packed":
+            self._kernel1: Kernel = PackedCommonFactorKernel(self.layout)
+            self._kernel2: Kernel = PackedSpeelpenningKernel(self.layout)
+        elif common_factor_variant == "two_stage":
+            self._kernel1 = CommonFactorKernel(self.layout)
+            self._kernel2 = SpeelpenningKernel(self.layout)
+        else:
+            self._kernel1 = CommonFactorFromScratchKernel(self.layout)
+            self._kernel2 = SpeelpenningKernel(self.layout)
+        self._kernel3 = SummationKernel(self.layout)
+
+    # ------------------------------------------------------------------
+    # device-state construction (once per system)
+    # ------------------------------------------------------------------
+    def _build_constant_memory(self) -> ConstantMemory:
+        const = ConstantMemory(self.device.constant_memory_bytes)
+        encoding = self.layout.encoding
+        if self.support_encoding == "packed":
+            const.store_array(ARRAY_PACKED_SUPPORTS, [int(v) for v in encoding.packed], 2)
+        else:
+            const.store_array(ARRAY_POSITIONS, [int(v) for v in encoding.positions], 1)
+            const.store_array(ARRAY_EXPONENTS, [int(v) for v in encoding.exponents], 1)
+        return const
+
+    def _build_global_memory(self) -> GlobalMemory:
+        layout = self.layout
+        elem = layout.complex_element_bytes
+        zero = self.context.zero()
+        gmem = GlobalMemory(self.device.global_memory_bytes)
+        gmem.allocate(ARRAY_X, layout.dimension, elem, fill=zero)
+        gmem.allocate(ARRAY_COMMON_FACTORS, layout.total_monomials, elem, fill=zero)
+        gmem.store_array(ARRAY_COEFFS, layout.build_coefficients(), elem)
+        gmem.store_array(ARRAY_MONS, layout.build_mons_initial(), elem)
+        gmem.allocate(ARRAY_RESULTS, layout.num_targets, elem, fill=zero)
+        return gmem
+
+    # ------------------------------------------------------------------
+    # launch configurations
+    # ------------------------------------------------------------------
+    def monomial_grid(self) -> LaunchConfig:
+        """Grid for kernels 1 and 2: one thread per monomial of ``Sm``."""
+        blocks = -(-self.layout.total_monomials // self.block_size)
+        return LaunchConfig(grid_dim=blocks, block_dim=self.block_size)
+
+    def summation_grid(self) -> LaunchConfig:
+        """Grid for kernel 3: one thread per target polynomial (``n^2 + n``)."""
+        blocks = -(-self.layout.num_targets // self.block_size)
+        return LaunchConfig(grid_dim=blocks, block_dim=self.block_size)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def upload_point(self, point: Sequence) -> None:
+        """Write the variable values into the device array ``X``.
+
+        Accepts plain complex numbers (converted into the active numeric
+        context) or scalars already in that context.
+        """
+        layout = self.layout
+        if len(point) != layout.dimension:
+            raise ConfigurationError(
+                f"expected {layout.dimension} coordinates, got {len(point)}"
+            )
+        for i, value in enumerate(point):
+            if isinstance(value, (int, float, complex)):
+                value = self.context.from_complex(complex(value))
+            self._global_memory.write(ARRAY_X, i, value)
+
+    def evaluate(self, point: Sequence) -> GPUEvaluation:
+        """Run the three kernels for one point and read back the results."""
+        self.upload_point(point)
+        stats: List[LaunchStats] = []
+
+        stats.append(launch_kernel(self._kernel1, self.monomial_grid(),
+                                   self._global_memory, self._constant_memory,
+                                   device=self.device,
+                                   collect_memory_trace=self.collect_memory_trace))
+        stats.append(launch_kernel(self._kernel2, self.monomial_grid(),
+                                   self._global_memory, self._constant_memory,
+                                   device=self.device,
+                                   collect_memory_trace=self.collect_memory_trace))
+        stats.append(launch_kernel(self._kernel3, self.summation_grid(),
+                                   self._global_memory, self._constant_memory,
+                                   device=self.device,
+                                   collect_memory_trace=self.collect_memory_trace))
+
+        results = self._global_memory.snapshot(ARRAY_RESULTS)
+        values, jacobian = self.layout.extract_results(results)
+        return GPUEvaluation(values=values, jacobian=jacobian, launch_stats=stats)
+
+    def evaluate_complex(self, point: Sequence) -> Tuple[List[complex], List[List[complex]]]:
+        """Evaluate and round the results back to hardware complex doubles."""
+        result = self.evaluate(point)
+        to_c = self.context.to_complex
+        values = [to_c(v) for v in result.values]
+        jacobian = [[to_c(v) for v in row] for row in result.jacobian]
+        return values, jacobian

@@ -1,0 +1,330 @@
+"""Data layouts shared by the three evaluation kernels.
+
+This module is the reproduction of the memory-organisation half of the paper:
+the monomial sequence ``Sm``, the constant-memory support tables, the
+derivative-major coefficient array ``Coeffs``, the padded output array
+``Mons`` whose layout makes the summation kernel's reads coalesce, and the
+shared-memory budgets that determine which dimensions fit on the device.
+
+Array inventory (names match the paper):
+
+``X``
+    Global array of the ``n`` current variable values; written by the host
+    before every evaluation.  Successive variables occupy successive
+    locations so a warp reads them coalesced (section 3.1).
+``Positions`` / ``Exponents``
+    Constant-memory byte tables of the monomial supports in ``Sm`` order
+    (section 3.1); see :class:`repro.polynomials.encoding.SupportEncoding`.
+``CommonFactors``
+    Global array of length ``n*m``: the output of kernel 1, one common factor
+    per monomial of ``Sm``, written coalesced.
+``Coeffs``
+    Global array of length ``n*m*(k+1)`` holding, in ``k+1`` portions of
+    ``n*m`` entries each, the coefficients of the derivatives of every
+    monomial with respect to its 1st..kth variable (portions 0..k-1) and the
+    coefficients of the monomials themselves (portion k), each portion in
+    ``Sm`` order (section 3.3).  The derivative coefficient already folds in
+    the exponent: d(c x^a)/dx_i = (c a_i) x^(a - e_i).
+``Mons``
+    Global array of length ``(n^2 + n) * m`` holding the additive terms of
+    the ``n^2 + n`` polynomials of system + Jacobian.  Entry block ``j``
+    (``j = 0..m-1``) holds the ``j``-th term of every target polynomial:
+    first the ``n`` system polynomials, then, variable by variable, the ``n``
+    derivatives with respect to that variable.  Positions that correspond to
+    a derivative with respect to a variable that does not occur in the
+    monomial are structural zeros, written once at setup and never touched
+    again -- that is the padding that lets every thread of kernel 3 add
+    exactly ``m`` terms with coalesced reads (section 3.3).
+``Results``
+    Global array of length ``n^2 + n`` receiving the sums computed by
+    kernel 3: first the ``n`` system values, then the Jacobian column by
+    column (entry ``n + v*n + p`` is d f_p / d x_v).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, DeviceCapacityError
+from ..gpusim.device import DeviceSpec, TESLA_C2050
+from ..multiprec.numeric import DOUBLE, NumericContext
+from ..polynomials.encoding import PackedSupportEncoding, SupportEncoding
+from ..polynomials.monomial import Monomial
+from ..polynomials.system import PolynomialSystem, SystemShape
+
+__all__ = ["MonomialRecord", "SystemLayout", "shared_memory_budget", "SharedMemoryBudget"]
+
+# Canonical global/constant array names used by the kernels.
+ARRAY_X = "X"
+ARRAY_POSITIONS = "Positions"
+ARRAY_EXPONENTS = "Exponents"
+ARRAY_PACKED_SUPPORTS = "PackedSupports"
+ARRAY_COMMON_FACTORS = "CommonFactors"
+ARRAY_COEFFS = "Coeffs"
+ARRAY_MONS = "Mons"
+ARRAY_RESULTS = "Results"
+
+
+@dataclass(frozen=True)
+class MonomialRecord:
+    """One entry of the monomial sequence ``Sm``."""
+
+    sequence_index: int     # position in Sm
+    polynomial_index: int   # which polynomial of the system hosts it
+    term_index: int         # index of the term within that polynomial
+    coefficient: complex
+    monomial: Monomial
+
+
+@dataclass(frozen=True)
+class SharedMemoryBudget:
+    """Shared-memory footprint of one block of kernel 2 (section 3.2)."""
+
+    block_size: int
+    dimension: int
+    variables_per_monomial: int
+    bytes_per_real: int
+    workspace_bytes: int
+    variable_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.workspace_bytes + self.variable_bytes
+
+    def fits(self, device: DeviceSpec = TESLA_C2050) -> bool:
+        return self.total_bytes <= device.shared_memory_per_block_bytes
+
+
+def shared_memory_budget(dimension: int, variables_per_monomial: int,
+                         block_size: int = 32,
+                         context: NumericContext = DOUBLE) -> SharedMemoryBudget:
+    """The paper's shared-memory accounting for kernel 2.
+
+    Each thread needs ``k + 1`` complex locations for its intermediate
+    results and the block additionally stores the values of all ``n``
+    variables; one complex number takes ``2 * bytes_per_real`` bytes.  The
+    paper's example: ``n = 70``, ``k = 35``, double double =>
+    ``32 * (36 * 32) + 70 * 32`` bytes, comfortably below 48 KiB.
+    """
+    complex_bytes = 2 * context.bytes_per_real
+    workspace = block_size * (variables_per_monomial + 1) * complex_bytes
+    variables = dimension * complex_bytes
+    return SharedMemoryBudget(
+        block_size=block_size,
+        dimension=dimension,
+        variables_per_monomial=variables_per_monomial,
+        bytes_per_real=context.bytes_per_real,
+        workspace_bytes=workspace,
+        variable_bytes=variables,
+    )
+
+
+class SystemLayout:
+    """All index arithmetic for one regular system on the device.
+
+    Parameters
+    ----------
+    system:
+        A regular :class:`~repro.polynomials.system.PolynomialSystem`.
+    context:
+        The numeric context; determines element sizes (and therefore
+        coalescing behaviour and shared-memory budgets).
+    encoding_format:
+        ``"byte"`` (the paper's char-per-entry ``Positions``/``Exponents``
+        tables) or ``"packed"`` (the 16-bit packed encoding of the paper's
+        planned extension, supporting dimensions up to 1,024).
+    """
+
+    ENCODING_FORMATS = ("byte", "packed")
+
+    def __init__(self, system: PolynomialSystem,
+                 context: NumericContext = DOUBLE,
+                 encoding_format: str = "byte"):
+        if encoding_format not in self.ENCODING_FORMATS:
+            raise ConfigurationError(
+                f"encoding_format must be one of {self.ENCODING_FORMATS}, "
+                f"got {encoding_format!r}"
+            )
+        self.system = system
+        self.context = context
+        self.encoding_format = encoding_format
+        self.shape: SystemShape = system.require_regular()
+        if encoding_format == "packed":
+            self.encoding = PackedSupportEncoding.from_system(system)
+        else:
+            self.encoding = SupportEncoding.from_system(system)
+
+        n = self.shape.dimension
+        m = self.shape.monomials_per_polynomial
+        self.sequence: List[MonomialRecord] = []
+        for p, poly in enumerate(system):
+            for t, (coeff, mono) in enumerate(poly.terms):
+                self.sequence.append(MonomialRecord(
+                    sequence_index=p * m + t,
+                    polynomial_index=p,
+                    term_index=t,
+                    coefficient=coeff,
+                    monomial=mono,
+                ))
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return self.shape.dimension
+
+    @property
+    def monomials_per_polynomial(self) -> int:
+        return self.shape.monomials_per_polynomial
+
+    @property
+    def variables_per_monomial(self) -> int:
+        return self.shape.variables_per_monomial
+
+    @property
+    def max_variable_degree(self) -> int:
+        return self.shape.max_variable_degree
+
+    @property
+    def total_monomials(self) -> int:
+        """``n * m``, the length of ``Sm`` (and of ``CommonFactors``)."""
+        return self.shape.total_monomials
+
+    @property
+    def num_targets(self) -> int:
+        """``n^2 + n``: polynomials of the system plus Jacobian entries."""
+        n = self.dimension
+        return n * n + n
+
+    @property
+    def coeffs_length(self) -> int:
+        """``n * m * (k + 1)`` (section 3.3)."""
+        return self.total_monomials * (self.variables_per_monomial + 1)
+
+    @property
+    def mons_length(self) -> int:
+        """``(n^2 + n) * m`` (section 3.3)."""
+        return self.num_targets * self.monomials_per_polynomial
+
+    @property
+    def complex_element_bytes(self) -> int:
+        """Bytes of one complex value in the active numeric context."""
+        return 2 * self.context.bytes_per_real
+
+    @property
+    def structural_zero_count(self) -> int:
+        """``(n^2 + n) m - n m (k + 1)``: the padding entries of ``Mons``."""
+        return self.mons_length - self.total_monomials * (self.variables_per_monomial + 1)
+
+    # ------------------------------------------------------------------
+    # index helpers
+    # ------------------------------------------------------------------
+    def coeffs_index(self, derivative_slot: int, sequence_index: int) -> int:
+        """Index into ``Coeffs`` of the coefficient of derivative ``slot``
+        (0..k-1) of monomial ``sequence_index``; slot ``k`` is the monomial's
+        own coefficient."""
+        k = self.variables_per_monomial
+        if not (0 <= derivative_slot <= k):
+            raise ConfigurationError(f"derivative slot {derivative_slot} out of range 0..{k}")
+        if not (0 <= sequence_index < self.total_monomials):
+            raise ConfigurationError(f"sequence index {sequence_index} out of range")
+        return derivative_slot * self.total_monomials + sequence_index
+
+    def mons_value_index(self, term_index: int, polynomial_index: int) -> int:
+        """Index into ``Mons`` of the ``term_index``-th monomial value of
+        polynomial ``polynomial_index``."""
+        return term_index * self.num_targets + polynomial_index
+
+    def mons_derivative_index(self, term_index: int, polynomial_index: int,
+                              variable: int) -> int:
+        """Index into ``Mons`` of the ``term_index``-th additive term of
+        d f_{polynomial_index} / d x_{variable}."""
+        n = self.dimension
+        return term_index * self.num_targets + (variable + 1) * n + polynomial_index
+
+    def results_value_index(self, polynomial_index: int) -> int:
+        """Index into ``Results`` of the value of polynomial ``polynomial_index``."""
+        return polynomial_index
+
+    def results_jacobian_index(self, polynomial_index: int, variable: int) -> int:
+        """Index into ``Results`` of d f_{polynomial_index} / d x_{variable}."""
+        return (variable + 1) * self.dimension + polynomial_index
+
+    # ------------------------------------------------------------------
+    # host-side array construction
+    # ------------------------------------------------------------------
+    def build_coefficients(self) -> List:
+        """The ``Coeffs`` array contents in the active numeric context.
+
+        Portion ``j`` (``j < k``) holds ``c * a_j`` -- the coefficient of the
+        derivative of each monomial with respect to its ``j``-th variable;
+        portion ``k`` holds the plain coefficients.
+        """
+        ctx = self.context
+        k = self.variables_per_monomial
+        nm = self.total_monomials
+        coeffs = [ctx.zero()] * self.coeffs_length
+        for record in self.sequence:
+            c = record.coefficient
+            exps = record.monomial.exponents
+            for slot in range(k):
+                scaled = c * exps[slot]
+                coeffs[self.coeffs_index(slot, record.sequence_index)] = ctx.from_complex(scaled)
+            coeffs[self.coeffs_index(k, record.sequence_index)] = ctx.from_complex(c)
+        return coeffs
+
+    def build_mons_initial(self) -> List:
+        """Initial contents of ``Mons``: all structural zeros.
+
+        Every location starts at zero; the locations that correspond to real
+        monomial derivatives are overwritten by kernel 2 on every evaluation,
+        while the padding locations keep their zeros for the whole path
+        tracking, exactly as the paper describes.
+        """
+        zero = self.context.zero()
+        return [zero] * self.mons_length
+
+    def meaningful_mons_indices(self) -> List[int]:
+        """Indices of ``Mons`` that kernel 2 writes (the non-padding entries)."""
+        out = []
+        for record in self.sequence:
+            j = record.term_index
+            p = record.polynomial_index
+            out.append(self.mons_value_index(j, p))
+            for variable in record.monomial.positions:
+                out.append(self.mons_derivative_index(j, p, variable))
+        return out
+
+    def check_device_capacity(self, device: DeviceSpec = TESLA_C2050,
+                              block_size: int = 32) -> None:
+        """Raise if the system cannot be laid out on the device.
+
+        Checks the two limits the paper discusses: the constant-memory
+        capacity for ``Positions``/``Exponents`` and the shared-memory budget
+        of kernel 2.
+        """
+        self.encoding.require_fits(device.constant_memory_bytes)
+        budget = shared_memory_budget(self.dimension, self.variables_per_monomial,
+                                      block_size=block_size, context=self.context)
+        if not budget.fits(device):
+            raise DeviceCapacityError(
+                f"kernel 2 needs {budget.total_bytes} bytes of shared memory "
+                f"per block (n={self.dimension}, k={self.variables_per_monomial}, "
+                f"B={block_size}, {self.context.description}) but the device "
+                f"provides {device.shared_memory_per_block_bytes}"
+            )
+
+    # ------------------------------------------------------------------
+    # decoding results
+    # ------------------------------------------------------------------
+    def extract_results(self, results_array: Sequence) -> Tuple[List, List[List]]:
+        """Split the ``Results`` array into (system values, Jacobian matrix)."""
+        n = self.dimension
+        values = [results_array[self.results_value_index(p)] for p in range(n)]
+        jacobian = [
+            [results_array[self.results_jacobian_index(p, v)] for v in range(n)]
+            for p in range(n)
+        ]
+        return values, jacobian

@@ -1,0 +1,59 @@
+"""Kernels using the packed constant-memory support encoding (future work).
+
+Section 3.1 of the paper announces "more compact encodings for storing the
+positions and exponents of the variables in the constant memory so to be
+working with higher dimensions", and argues that the extra decode work per
+entry would be dominated by the multiplications that follow, especially in
+extended precision.  These kernel variants implement that plan on top of
+:class:`repro.polynomials.encoding.PackedSupportEncoding`:
+
+* the support tables live in a single constant-memory array of 16-bit words,
+  one per (variable, exponent) pair, with 10 bits of position (dimensions up
+  to 1,024 instead of 256) and 6 bits of exponent-minus-one (degrees up to
+  64);
+* each access performs the shift/mask decode in registers, which the
+  simulator charges as cheap non-floating-point operations
+  (:meth:`ThreadContext.count_op`), making the paper's "decode cost is
+  dominated by the multiplications" argument measurable;
+* everything else -- the power table, the Speelpenning sweep, the coefficient
+  products and the scatter into ``Mons`` -- is inherited unchanged from the
+  byte-encoded kernels.
+
+Select the variant through ``GPUEvaluator(..., support_encoding="packed")``.
+"""
+
+from __future__ import annotations
+
+from ..gpusim.kernel import ThreadContext
+from .common_factor_kernel import CommonFactorKernel
+from .layout import ARRAY_PACKED_SUPPORTS
+from .speelpenning_kernel import SpeelpenningKernel
+
+__all__ = ["PackedCommonFactorKernel", "PackedSpeelpenningKernel"]
+
+# Bit layout of one packed support word (must match PackedSupportEncoding).
+_EXPONENT_BITS = 6
+_EXPONENT_MASK = (1 << _EXPONENT_BITS) - 1
+
+
+class PackedCommonFactorKernel(CommonFactorKernel):
+    """Kernel 1 reading the packed 16-bit support words."""
+
+    name = "common_factor_packed"
+
+    def read_support_entry(self, ctx: ThreadContext, entry: int):
+        word = ctx.const_read(ARRAY_PACKED_SUPPORTS, entry, tag="read_packed_support")
+        # Shift/mask decode: two integer operations per entry.
+        ctx.count_op(2)
+        return word >> _EXPONENT_BITS, word & _EXPONENT_MASK
+
+
+class PackedSpeelpenningKernel(SpeelpenningKernel):
+    """Kernel 2 reading the packed 16-bit support words."""
+
+    name = "speelpenning_packed"
+
+    def read_position(self, ctx: ThreadContext, entry: int):
+        word = ctx.const_read(ARRAY_PACKED_SUPPORTS, entry, tag="read_packed_support")
+        ctx.count_op(1)
+        return word >> _EXPONENT_BITS

@@ -1,0 +1,188 @@
+"""Kernel 2: Speelpenning products, monomial derivatives and coefficients
+(paper section 3.2 and the first half of section 3.3).
+
+One thread handles one monomial of the sequence ``Sm``.  With ``k`` the number
+of variables in the monomial, the thread performs ``5k - 4`` complex
+multiplications:
+
+* ``3k - 6`` for all partial derivatives of the Speelpenning product
+  ``x_{i1} x_{i2} ... x_{ik}`` by the forward/backward sweep, using the
+  ``k + 1`` shared-memory locations ``L1 .. L(k+1)`` and one register ``Q``;
+* ``k`` to multiply those derivatives by the common factor from kernel 1
+  (turning them into the derivatives of the full monomial ``x^a`` up to the
+  integer exponent scale, which lives in the coefficients);
+* ``1`` to recover the monomial value as its last derivative times the last
+  variable;
+* ``k + 1`` to multiply the monomial and its derivatives by their
+  coefficients from the derivative-major ``Coeffs`` array (coalesced reads).
+
+The results are scattered into the padded ``Mons`` array laid out for the
+summation kernel's coalesced reads -- the output of this kernel is therefore
+*deliberately not coalesced*, the trade-off the paper spells out at the end of
+section 3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..gpusim.kernel import Kernel, LaunchConfig, ThreadContext
+from ..gpusim.memory import SharedMemory
+from .layout import (
+    ARRAY_COEFFS,
+    ARRAY_COMMON_FACTORS,
+    ARRAY_MONS,
+    ARRAY_POSITIONS,
+    ARRAY_X,
+    SystemLayout,
+)
+
+__all__ = ["SpeelpenningKernel"]
+
+SHARED_VARIABLES = "Xs"
+SHARED_WORKSPACE = "L"
+
+
+class SpeelpenningKernel(Kernel):
+    """Per-monomial evaluation and differentiation kernel."""
+
+    name = "speelpenning"
+
+    def __init__(self, layout: SystemLayout):
+        self.layout = layout
+
+    # -- shared memory ------------------------------------------------------
+    def configure_shared(self, shared: SharedMemory, config: LaunchConfig) -> None:
+        layout = self.layout
+        elem = layout.complex_element_bytes
+        # Values of all n variables, shared by the threads of the block.
+        shared.allocate(SHARED_VARIABLES, layout.dimension, elem)
+        # k + 1 workspace locations per thread (the L1..L(k+1) of the paper).
+        shared.allocate(SHARED_WORKSPACE,
+                        config.block_dim * (layout.variables_per_monomial + 1), elem)
+
+    def phases(self) -> List[Tuple[str, Any]]:
+        return [("load_variables", self.run_load_phase), ("evaluate", self.run_eval_phase)]
+
+    # -- constant-memory decoding (overridden by the packed-encoding variant) --
+    def read_position(self, ctx: ThreadContext, entry: int):
+        """Variable position of one support-table entry."""
+        return ctx.const_read(ARRAY_POSITIONS, entry, tag="read_position")
+
+    # -- stage 1: load the variable values into shared memory ----------------
+    def run_load_phase(self, ctx: ThreadContext) -> None:
+        n = self.layout.dimension
+        variable = ctx.threadIdx
+        while variable < n:
+            x = ctx.global_read(ARRAY_X, variable, tag="load_x")
+            ctx.shared_write(SHARED_VARIABLES, variable, x, tag="store_x")
+            variable += ctx.blockDim
+
+    # -- stage 2: evaluate one monomial and all its derivatives ----------------
+    def run_eval_phase(self, ctx: ThreadContext) -> None:
+        layout = self.layout
+        k = layout.variables_per_monomial
+        m = layout.monomials_per_polynomial
+        nm = layout.total_monomials
+        monomial_index = ctx.global_thread_id
+        if monomial_index >= nm:
+            return
+
+        # The k + 1 per-thread locations L1..L(k+1) are interleaved slot-major
+        # (location s of thread t lives at index s*B + t) so that when the
+        # threads of a warp access the same logical location the physical
+        # addresses are consecutive, which minimises shared-memory bank
+        # conflicts -- the standard CUDA layout for per-thread workspaces.
+        block_dim = ctx.blockDim
+
+        def read_L(slot: int):
+            return ctx.shared_read(SHARED_WORKSPACE, slot * block_dim + ctx.threadIdx,
+                                   tag="workspace_read")
+
+        def write_L(slot: int, value) -> None:
+            ctx.shared_write(SHARED_WORKSPACE, slot * block_dim + ctx.threadIdx, value,
+                             tag="workspace_write")
+
+        # Variable positions of this monomial from constant memory (the same
+        # Positions array kernel 1 used).
+        positions = []
+        for slot in range(k):
+            positions.append(self.read_position(ctx, monomial_index * k + slot))
+
+        def read_x(slot: int):
+            return ctx.shared_read(SHARED_VARIABLES, positions[slot], tag="read_variable")
+
+        one = layout.context.one()
+
+        # ---- derivatives of the Speelpenning product into L[0..k-1] --------
+        if k == 0:
+            # Constant monomial: nothing to differentiate.
+            write_L(k, one)
+        elif k == 1:
+            write_L(0, one)
+        elif k == 2:
+            write_L(0, read_x(1))
+            write_L(1, read_x(0))
+        else:
+            # Forward products: L[r+1] = (x_{i1}...x_{ir}) * x_{ir+1},
+            # r = 1 .. k-2, i.e. k-2 multiplications filling L[2..k-1];
+            # L[1] holds x_{i1}.
+            write_L(1, read_x(0))
+            for r in range(1, k - 1):
+                value = read_L(r) * read_x(r)
+                ctx.count_mul()
+                write_L(r + 1, value)
+            # L[k-1] is the derivative with respect to x_{ik}; keep it there.
+            # Backward product register Q starts at x_{ik}.
+            Q = read_x(k - 1)
+            # Derivative w.r.t. x_{ik-1}: forward product in L[k-2] times Q.
+            write_L(k - 2, read_L(k - 2) * Q)
+            ctx.count_mul()
+            # Remaining derivatives, two multiplications each.
+            for r in range(1, k - 2):
+                Q = Q * read_x(k - 1 - r)
+                ctx.count_mul()
+                write_L(k - 2 - r, read_L(k - 2 - r) * Q)
+                ctx.count_mul()
+            # Derivative with respect to x_{i1}.
+            Q = Q * read_x(1)
+            ctx.count_mul()
+            write_L(0, Q)
+
+        # ---- multiply by the common factor from kernel 1 --------------------
+        factor = ctx.global_read(ARRAY_COMMON_FACTORS, monomial_index, tag="read_factor")
+        for slot in range(k):
+            write_L(slot, read_L(slot) * factor)
+            ctx.count_mul()
+
+        # ---- monomial value: last derivative times the last variable --------
+        if k >= 1:
+            value = read_L(k - 1) * read_x(k - 1)
+            ctx.count_mul()
+            write_L(k, value)
+        else:
+            write_L(k, one)
+
+        # ---- multiply by the coefficients (coalesced reads of Coeffs) -------
+        for slot in range(k):
+            coeff = ctx.global_read(ARRAY_COEFFS, slot * nm + monomial_index,
+                                    tag="read_derivative_coeff")
+            write_L(slot, read_L(slot) * coeff)
+            ctx.count_mul()
+        coeff = ctx.global_read(ARRAY_COEFFS, k * nm + monomial_index,
+                                tag="read_monomial_coeff")
+        write_L(k, read_L(k) * coeff)
+        ctx.count_mul()
+
+        # ---- scatter the additive terms into Mons ----------------------------
+        polynomial_index = monomial_index // m
+        term_index = monomial_index % m
+        ctx.global_write(ARRAY_MONS,
+                         layout.mons_value_index(term_index, polynomial_index),
+                         read_L(k), tag="store_value")
+        for slot in range(k):
+            variable = positions[slot]
+            ctx.global_write(ARRAY_MONS,
+                             layout.mons_derivative_index(term_index, polynomial_index,
+                                                          variable),
+                             read_L(slot), tag="store_derivative")

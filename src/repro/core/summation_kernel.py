@@ -1,0 +1,42 @@
+"""Kernel 3: summation of the additive terms (paper section 3.3).
+
+One thread per polynomial of the combined set of the system and the Jacobian
+matrix -- ``n^2 + n`` threads in total.  Every thread adds *exactly* ``m``
+terms read from the padded ``Mons`` array, including the structural zeros that
+stand in for "this monomial does not contain that variable", so that every
+thread of a warp follows the same execution path and every read step ``j``
+accesses ``m`` consecutive locations ``t + j (n^2 + n)`` -- a coalesced read
+at each of the ``m`` steps.  The resulting sums are the values of the
+polynomials of the system and of the Jacobian, written to ``Results``.
+"""
+
+from __future__ import annotations
+
+from ..gpusim.kernel import Kernel, ThreadContext
+from .layout import ARRAY_MONS, ARRAY_RESULTS, SystemLayout
+
+__all__ = ["SummationKernel"]
+
+
+class SummationKernel(Kernel):
+    """Padded, fully coalesced term summation."""
+
+    name = "summation"
+
+    def __init__(self, layout: SystemLayout):
+        self.layout = layout
+
+    def run_thread(self, ctx: ThreadContext) -> None:
+        layout = self.layout
+        num_targets = layout.num_targets          # n^2 + n
+        m = layout.monomials_per_polynomial
+        target = ctx.global_thread_id
+        if target >= num_targets:
+            return
+
+        total = layout.context.zero()
+        for j in range(m):
+            term = ctx.global_read(ARRAY_MONS, target + j * num_targets, tag="sum_read")
+            total = total + term
+            ctx.count_add()
+        ctx.global_write(ARRAY_RESULTS, target, total, tag="store_result")

@@ -1,0 +1,114 @@
+"""Cross-validation of the GPU pipeline against the CPU references.
+
+The tables of the paper compare *times*; the correctness of the GPU results
+is implicit ("the same values as the CPU code").  Here that check is explicit
+and reusable: :func:`compare_evaluations` measures the largest relative
+discrepancy between two (values, Jacobian) pairs in whatever scalar type they
+hold, and :func:`validate_evaluator` runs the simulated kernels and the naive
+reference on the same random points and asserts agreement to a tolerance
+appropriate for the arithmetic in use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..multiprec.numeric import DOUBLE, NumericContext
+from ..polynomials.generators import random_point
+from ..polynomials.system import PolynomialSystem
+from .cpu_reference import CPUReferenceEvaluator
+from .evaluator import GPUEvaluator
+
+__all__ = ["ComparisonReport", "compare_evaluations", "validate_evaluator"]
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Maximum absolute and relative discrepancies between two evaluations."""
+
+    max_value_difference: float
+    max_jacobian_difference: float
+    max_value_magnitude: float
+    max_jacobian_magnitude: float
+
+    @property
+    def max_relative_difference(self) -> float:
+        rel_v = self.max_value_difference / max(self.max_value_magnitude, 1.0)
+        rel_j = self.max_jacobian_difference / max(self.max_jacobian_magnitude, 1.0)
+        return max(rel_v, rel_j)
+
+    def within(self, tolerance: float) -> bool:
+        return self.max_relative_difference <= tolerance
+
+
+def _to_complex(value, context: NumericContext) -> complex:
+    if isinstance(value, (int, float, complex)):
+        return complex(value)
+    return context.to_complex(value)
+
+
+def compare_evaluations(values_a: Sequence, jacobian_a: Sequence[Sequence],
+                        values_b: Sequence, jacobian_b: Sequence[Sequence],
+                        context: NumericContext = DOUBLE) -> ComparisonReport:
+    """Compare two (values, Jacobian) pairs element by element.
+
+    Scalars are rounded to hardware complex doubles before comparing, which
+    is enough to detect any algorithmic error while staying agnostic of the
+    extended-precision representation.
+    """
+    max_val_diff = 0.0
+    max_val_mag = 0.0
+    for a, b in zip(values_a, values_b):
+        ca, cb = _to_complex(a, context), _to_complex(b, context)
+        max_val_diff = max(max_val_diff, abs(ca - cb))
+        max_val_mag = max(max_val_mag, abs(ca), abs(cb))
+
+    max_jac_diff = 0.0
+    max_jac_mag = 0.0
+    for row_a, row_b in zip(jacobian_a, jacobian_b):
+        for a, b in zip(row_a, row_b):
+            ca, cb = _to_complex(a, context), _to_complex(b, context)
+            max_jac_diff = max(max_jac_diff, abs(ca - cb))
+            max_jac_mag = max(max_jac_mag, abs(ca), abs(cb))
+
+    return ComparisonReport(
+        max_value_difference=max_val_diff,
+        max_jacobian_difference=max_jac_diff,
+        max_value_magnitude=max_val_mag,
+        max_jacobian_magnitude=max_jac_mag,
+    )
+
+
+def validate_evaluator(system: PolynomialSystem, *,
+                       context: NumericContext = DOUBLE,
+                       points: int = 3,
+                       seed: int = 0,
+                       tolerance: float = 1e-10,
+                       evaluator: Optional[GPUEvaluator] = None) -> ComparisonReport:
+    """Check the GPU pipeline against the naive CPU reference on random points.
+
+    Returns the worst :class:`ComparisonReport` observed; raises
+    ``AssertionError`` when the relative discrepancy exceeds ``tolerance``.
+    """
+    gpu = evaluator or GPUEvaluator(system, context=context, check_capacity=False)
+    cpu = CPUReferenceEvaluator(system, context=context, algorithm="naive")
+
+    worst: Optional[ComparisonReport] = None
+    for i in range(points):
+        point = random_point(system.dimension, seed=seed + i)
+        gpu_result = gpu.evaluate(point)
+        cpu_result = cpu.evaluate(point)
+        report = compare_evaluations(gpu_result.values, gpu_result.jacobian,
+                                     cpu_result.values, cpu_result.jacobian,
+                                     context=context)
+        if worst is None or report.max_relative_difference > worst.max_relative_difference:
+            worst = report
+
+    assert worst is not None
+    if not worst.within(tolerance):
+        raise AssertionError(
+            f"GPU and CPU evaluations disagree: relative difference "
+            f"{worst.max_relative_difference:.3e} exceeds tolerance {tolerance:.3e}"
+        )
+    return worst

@@ -1,0 +1,60 @@
+"""Exception hierarchy shared by all :mod:`repro` subpackages.
+
+The paper's implementation is constrained by hard hardware limits (constant
+memory capacity, shared memory capacity, warp size).  We surface violations of
+those limits as dedicated exception types so that callers -- and the
+benchmarks that probe the limits -- can distinguish "your system is too large
+for this device" from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class DeviceCapacityError(ReproError):
+    """A kernel launch or data layout exceeds a device resource limit.
+
+    Examples: the ``Positions``/``Exponents`` tables do not fit in the 64 KiB
+    of constant memory (the situation that capped the paper's experiments at
+    1,536 monomials), or the per-block shared-memory request exceeds 48 KiB.
+    """
+
+
+class ConstantMemoryOverflow(DeviceCapacityError):
+    """The constant-memory footprint of the encoded supports is too large."""
+
+
+class SharedMemoryOverflow(DeviceCapacityError):
+    """A block requests more shared memory than the device provides."""
+
+
+class LaunchConfigurationError(DeviceCapacityError):
+    """A grid/block configuration is invalid for the device (e.g. block size
+    exceeding the maximum number of threads per block)."""
+
+
+class KernelExecutionError(ReproError):
+    """A simulated kernel failed while executing a thread program."""
+
+
+class MemoryAccessError(KernelExecutionError):
+    """A simulated thread accessed memory out of bounds or uninitialised."""
+
+
+class SingularMatrixError(ReproError):
+    """The linear solver met a (numerically) singular Jacobian."""
+
+
+class PathTrackingError(ReproError):
+    """A homotopy path could not be tracked to the target."""
+
+
+class ConvergenceError(PathTrackingError):
+    """Newton's method failed to converge within the allowed iterations."""

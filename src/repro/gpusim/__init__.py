@@ -1,0 +1,76 @@
+"""Functional SIMT GPU simulator (the Tesla C2050 stand-in).
+
+The reproduction cannot run CUDA, so this subpackage provides the substrate
+the paper's kernels execute on:
+
+* :mod:`~repro.gpusim.device` -- architectural parameters of the Tesla C2050
+  and the Xeon X5690 host;
+* :mod:`~repro.gpusim.memory` -- global, shared (banked) and constant memory
+  with capacity enforcement;
+* :mod:`~repro.gpusim.kernel` -- the per-thread programming model
+  (``ThreadContext``) and launch configurations;
+* :mod:`~repro.gpusim.launch` -- grid execution, phase-by-phase to honour
+  block-wide barriers;
+* :mod:`~repro.gpusim.coalescing` -- transaction and bank-conflict analysis
+  of warp memory traffic;
+* :mod:`~repro.gpusim.scheduler` -- occupancy and block waves;
+* :mod:`~repro.gpusim.profiler` -- launch statistics;
+* :mod:`~repro.gpusim.costmodel` -- the analytic wall-clock model used by the
+  benchmark harness to regenerate the paper's tables.
+"""
+
+from .coalescing import (
+    CoalescingReport,
+    WarpMemoryEvent,
+    analyze_warp_accesses,
+    bank_conflicts_for_indices,
+    transactions_for_addresses,
+)
+from .costmodel import CPUCostModel, GPUCostModel, KernelTimeBreakdown
+from .device import TESLA_C2050, XEON_X5690, DeviceSpec, HostSpec
+from .kernel import Kernel, LaunchConfig, ThreadContext, ThreadTrace
+from .launch import launch_kernel
+from .memory import (
+    CONSTANT_SPACE,
+    GLOBAL_SPACE,
+    SHARED_SPACE,
+    ConstantMemory,
+    GlobalMemory,
+    MemoryAccess,
+    SharedMemory,
+)
+from .profiler import LaunchStats, WarpStats
+from .scheduler import BlockSchedule, OccupancyReport, compute_occupancy, schedule_blocks
+
+__all__ = [
+    "BlockSchedule",
+    "CoalescingReport",
+    "CONSTANT_SPACE",
+    "ConstantMemory",
+    "CPUCostModel",
+    "DeviceSpec",
+    "GLOBAL_SPACE",
+    "GlobalMemory",
+    "GPUCostModel",
+    "HostSpec",
+    "Kernel",
+    "KernelTimeBreakdown",
+    "LaunchConfig",
+    "LaunchStats",
+    "MemoryAccess",
+    "OccupancyReport",
+    "SHARED_SPACE",
+    "SharedMemory",
+    "TESLA_C2050",
+    "ThreadContext",
+    "ThreadTrace",
+    "WarpMemoryEvent",
+    "WarpStats",
+    "XEON_X5690",
+    "analyze_warp_accesses",
+    "bank_conflicts_for_indices",
+    "compute_occupancy",
+    "launch_kernel",
+    "schedule_blocks",
+    "transactions_for_addresses",
+]

@@ -1,0 +1,245 @@
+"""Coalescing and bank-conflict analysis of warp memory traffic.
+
+Section 3 of the paper repeatedly argues about whether the accesses of the 32
+threads of a warp *coalesce*: the values of successive variables are stored in
+successive global-memory locations so a warp reads them in one transaction;
+the coefficients array ``Coeffs`` is laid out derivative-major so each of the
+``k + 1`` coefficient reads of kernel 2 coalesces; the output array ``Mons``
+is laid out so the summation kernel's reads coalesce at every one of its ``m``
+steps, at the price of kernel 2 writing its output uncoalesced.
+
+The functions here quantify those statements for the simulated kernels: given
+the per-thread access traces produced during execution, they group accesses
+by warp and instruction tag and compute
+
+* the number of global-memory *transactions* (aligned 128-byte segments on
+  Fermi) each warp-instruction needs -- 1 or 2 means coalesced, up to 32 means
+  fully scattered; and
+* the number of shared-memory *bank conflicts* (distinct words in the same
+  bank accessed by one warp-instruction).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from .memory import CONSTANT_SPACE, GLOBAL_SPACE, SHARED_SPACE, MemoryAccess, SharedMemory
+
+__all__ = [
+    "WarpMemoryEvent",
+    "CoalescingReport",
+    "transactions_for_addresses",
+    "analyze_warp_accesses",
+]
+
+
+@dataclass(frozen=True)
+class WarpMemoryEvent:
+    """Aggregated view of one (warp, instruction tag, array, kind) access."""
+
+    tag: str
+    space: str
+    kind: str
+    array: str
+    active_threads: int
+    transactions: int
+    bank_conflicts: int
+
+
+@dataclass
+class CoalescingReport:
+    """Summary of the memory behaviour of one kernel launch."""
+
+    events: List[WarpMemoryEvent] = field(default_factory=list)
+
+    # -- totals -----------------------------------------------------------
+    @property
+    def global_transactions(self) -> int:
+        return sum(e.transactions for e in self.events if e.space == GLOBAL_SPACE)
+
+    @property
+    def global_read_transactions(self) -> int:
+        return sum(e.transactions for e in self.events
+                   if e.space == GLOBAL_SPACE and e.kind == "read")
+
+    @property
+    def global_write_transactions(self) -> int:
+        return sum(e.transactions for e in self.events
+                   if e.space == GLOBAL_SPACE and e.kind == "write")
+
+    @property
+    def shared_bank_conflicts(self) -> int:
+        return sum(e.bank_conflicts for e in self.events if e.space == SHARED_SPACE)
+
+    @property
+    def warp_memory_instructions(self) -> int:
+        return len(self.events)
+
+    def ideal_global_transactions(self, warp_size: int = 32,
+                                  transaction_bytes: int = 128) -> int:
+        """Transactions a perfectly coalesced version of the same traffic needs.
+
+        For every global event this is ``ceil(active * element_bytes /
+        transaction_bytes)`` with the accessed elements assumed contiguous.
+        The coalescing-efficiency figure in the benchmark reports is the
+        ratio of this ideal to the actual transaction count.
+        """
+        ideal = 0
+        for e in self.events:
+            if e.space != GLOBAL_SPACE:
+                continue
+            # element size is folded into the measured transaction count; the
+            # ideal assumes the same number of bytes packed contiguously.
+            ideal += max(1, -(-e.active_threads * self._element_bytes_of(e) // transaction_bytes))
+        return ideal
+
+    def _element_bytes_of(self, event: WarpMemoryEvent) -> int:
+        # Element size is not carried on the aggregated event; reports that
+        # need the exact ideal recompute it from raw traces.  Use 16 bytes
+        # (complex double) as the representative element size.
+        return 16
+
+    def coalescing_efficiency(self) -> float:
+        """Ratio ideal/actual global transactions (1.0 = fully coalesced)."""
+        actual = self.global_transactions
+        if actual == 0:
+            return 1.0
+        return min(1.0, self.ideal_global_transactions() / actual)
+
+    def merge(self, other: "CoalescingReport") -> "CoalescingReport":
+        return CoalescingReport(events=self.events + other.events)
+
+
+def transactions_for_addresses(byte_addresses: Sequence[int],
+                               element_bytes: int,
+                               transaction_bytes: int = 128) -> int:
+    """Number of aligned segments touched by a warp's element addresses.
+
+    Fermi services a warp's global access by fetching every distinct aligned
+    128-byte segment that the active threads touch.  ``byte_addresses`` are
+    the element start offsets within one array; elements may straddle a
+    segment boundary, in which case both segments count.
+    """
+    if not byte_addresses:
+        return 0
+    segments = set()
+    for address in byte_addresses:
+        first = address // transaction_bytes
+        last = (address + element_bytes - 1) // transaction_bytes
+        for seg in range(first, last + 1):
+            segments.add(seg)
+    return len(segments)
+
+
+def bank_conflicts_for_indices(indices: Sequence[int], element_bytes: int,
+                               base_offset: int = 0,
+                               banks: int = 32,
+                               bank_width_bytes: int = 4) -> int:
+    """Extra serialised passes caused by shared-memory bank conflicts.
+
+    An element wider than one 32-bit bank word (a complex double is four
+    words, a complex double-double eight) cannot be served for the whole warp
+    at once: the hardware splits the request into passes that each move one
+    bank-width word for a sub-group of ``banks // words_per_element`` threads
+    (8 threads per pass for complex doubles on a 32-bank Fermi
+    multiprocessor).  Within one pass, accesses to *distinct* words that live
+    in the same bank serialise into extra sub-passes.  The value returned is
+    the number of such extra sub-passes over the conflict-free minimum,
+    summed over all passes: zero for a conflict-free access pattern (e.g.
+    threads accessing consecutive elements), positive otherwise.  Multiple
+    threads reading the very same word broadcast and do not conflict.
+    """
+    if not indices:
+        return 0
+    words_per_element = max(1, -(-element_bytes // bank_width_bytes))
+    threads_per_pass = max(1, banks // words_per_element)
+    conflicts = 0
+    ordered = list(indices)
+    for group_start in range(0, len(ordered), threads_per_pass):
+        group = ordered[group_start:group_start + threads_per_pass]
+        for word_slot in range(words_per_element):
+            words_by_bank: Dict[int, set] = defaultdict(set)
+            for index in group:
+                byte_address = (base_offset + index * element_bytes
+                                + word_slot * bank_width_bytes)
+                word = byte_address // bank_width_bytes
+                words_by_bank[word % banks].add(word)
+            serial_passes = max((len(w) for w in words_by_bank.values()), default=1)
+            conflicts += serial_passes - 1
+    return conflicts
+
+
+def analyze_warp_accesses(per_thread_accesses: Mapping[int, Sequence[MemoryAccess]],
+                          warp_size: int = 32,
+                          transaction_bytes: int = 128,
+                          banks: int = 32,
+                          bank_width_bytes: int = 4) -> CoalescingReport:
+    """Analyse the memory traffic of one block of threads.
+
+    Parameters
+    ----------
+    per_thread_accesses:
+        Mapping from the thread index within the block to the ordered list of
+        that thread's :class:`MemoryAccess` records.
+    warp_size:
+        Number of threads per warp (32 for every CUDA architecture).
+
+    Returns
+    -------
+    CoalescingReport
+        One :class:`WarpMemoryEvent` per (warp, tag, array, kind) group.
+    """
+    report = CoalescingReport()
+    if not per_thread_accesses:
+        return report
+    max_thread = max(per_thread_accesses)
+    num_warps = max_thread // warp_size + 1
+
+    for warp in range(num_warps):
+        members = [t for t in per_thread_accesses
+                   if warp * warp_size <= t < (warp + 1) * warp_size]
+        if not members:
+            continue
+        # Group accesses by (tag, array, kind, occurrence): these are the
+        # warp-wide memory instructions.  Threads of one warp execute the same
+        # instruction at the same tag; when a tag repeats (a loop whose body
+        # was not given per-iteration tags), the i-th occurrence in one thread
+        # aligns with the i-th occurrence in the others.
+        grouped: Dict[Tuple[str, str, str, str, int], List[MemoryAccess]] = defaultdict(list)
+        for t in members:
+            occurrence: Dict[Tuple[str, str, str, str], int] = defaultdict(int)
+            for access in per_thread_accesses[t]:
+                key = (access.tag, access.space, access.array, access.kind)
+                grouped[key + (occurrence[key],)].append(access)
+                occurrence[key] += 1
+
+        for (tag, space, array, kind, _occurrence), accesses in sorted(grouped.items()):
+            active = len(accesses)
+            transactions = 0
+            conflicts = 0
+            if space == GLOBAL_SPACE:
+                transactions = transactions_for_addresses(
+                    [a.byte_address for a in accesses],
+                    element_bytes=accesses[0].element_bytes,
+                    transaction_bytes=transaction_bytes,
+                )
+            elif space == SHARED_SPACE:
+                conflicts = bank_conflicts_for_indices(
+                    [a.index for a in accesses],
+                    element_bytes=accesses[0].element_bytes,
+                    banks=banks,
+                    bank_width_bytes=bank_width_bytes,
+                )
+            elif space == CONSTANT_SPACE:
+                # Constant memory broadcasts one word per warp; divergent
+                # addresses serialise, which we count as extra transactions.
+                distinct = len({a.index for a in accesses})
+                transactions = distinct
+            report.events.append(WarpMemoryEvent(
+                tag=tag, space=space, kind=kind, array=array,
+                active_threads=active, transactions=transactions,
+                bank_conflicts=conflicts,
+            ))
+    return report

@@ -1,0 +1,96 @@
+"""Device descriptions: the GPU and the host CPU of the paper's testbed.
+
+The computational experiments of the paper run on an NVIDIA Tesla C2050
+computing processor (14 multiprocessors of 32 cores, 1,147 MHz processor
+clock, 48 KiB shared memory per multiprocessor, 64 KiB constant memory) hosted
+in an HP Z800 workstation with an Intel Xeon X5690 at 3.47 GHz.  Since the
+reproduction has no physical GPU, these numbers parameterise the functional
+simulator and the analytic cost model: every architectural quantity the
+paper's reasoning touches (warp size, number of multiprocessors, clock ratio
+between device and host, memory capacities) lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DeviceSpec", "HostSpec", "TESLA_C2050", "XEON_X5690"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a CUDA-like accelerator.
+
+    Only quantities that the simulator or the cost model actually consumes
+    are included.  Latency/throughput figures are expressed in device clock
+    cycles and follow the Fermi generation's published characteristics; they
+    are deliberately coarse -- the goal is to reproduce the *shape* of the
+    paper's tables, not cycle-exact timing.
+    """
+
+    name: str
+    multiprocessors: int
+    cores_per_multiprocessor: int
+    clock_hz: float
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_blocks_per_multiprocessor: int = 8
+    max_resident_warps_per_multiprocessor: int = 48
+    shared_memory_per_block_bytes: int = 49152
+    constant_memory_bytes: int = 65536
+    global_memory_bytes: int = 3 * 1024 ** 3
+    registers_per_block: int = 32768
+    shared_memory_banks: int = 32
+    #: Width of one global-memory transaction segment in bytes (Fermi L1 line).
+    memory_transaction_bytes: int = 128
+    #: Latency of a global-memory transaction, in device cycles.
+    global_memory_latency_cycles: float = 400.0
+    #: Sustained cycles per warp-wide double-precision multiply-add issue.
+    cycles_per_warp_instruction: float = 2.0
+    #: Fixed host-side cost of launching one kernel, in seconds.
+    kernel_launch_overhead_s: float = 7.0e-6
+
+    @property
+    def total_cores(self) -> int:
+        return self.multiprocessors * self.cores_per_multiprocessor
+
+    @property
+    def peak_threads_in_flight(self) -> int:
+        return (self.max_resident_warps_per_multiprocessor * self.warp_size
+                * self.multiprocessors)
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.multiprocessors} SMs x "
+                f"{self.cores_per_multiprocessor} cores @ {self.clock_hz / 1e6:.0f} MHz")
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Parameters of the host CPU used for the sequential baseline."""
+
+    name: str
+    clock_hz: float
+    cores: int = 6
+    #: Cycles one core needs for a double-precision multiply (pipelined FPU,
+    #: but the baseline code is scalar, latency-bound C code as in PHCpack).
+    cycles_per_double_multiplication: float = 4.0
+    cycles_per_double_addition: float = 3.0
+
+    def __str__(self) -> str:
+        return f"{self.name} @ {self.clock_hz / 1e9:.2f} GHz"
+
+
+#: The GPU of the paper's experiments (section 4).
+TESLA_C2050 = DeviceSpec(
+    name="NVIDIA Tesla C2050",
+    multiprocessors=14,
+    cores_per_multiprocessor=32,
+    clock_hz=1147e6,
+)
+
+#: The host CPU of the paper's experiments (section 4).
+XEON_X5690 = HostSpec(
+    name="Intel Xeon X5690",
+    clock_hz=3.47e9,
+    cores=6,
+)

@@ -1,0 +1,193 @@
+"""Kernel abstraction and launch configuration for the SIMT simulator.
+
+A kernel is written as an ordinary Python class whose :meth:`Kernel.run_thread`
+method describes the work of *one* thread, exactly like the body of a CUDA
+``__global__`` function: it receives a :class:`ThreadContext` that exposes the
+thread/block coordinates, the three memory spaces and counters for arithmetic
+operations.  The simulator executes the thread programs of all threads of all
+blocks and performs the warp-level analysis afterwards (coalescing, bank
+conflicts, divergence), because on the functional level a SIMT warp computes
+exactly what its threads compute sequentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import LaunchConfigurationError
+from .device import DeviceSpec
+from .memory import (
+    CONSTANT_SPACE,
+    GLOBAL_SPACE,
+    SHARED_SPACE,
+    ConstantMemory,
+    GlobalMemory,
+    MemoryAccess,
+    SharedMemory,
+)
+
+__all__ = ["LaunchConfig", "ThreadContext", "ThreadTrace", "Kernel"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A one-dimensional grid of one-dimensional blocks.
+
+    The paper's kernels only use 1-D indexing (thread ``t = BlockId * B +
+    ThreadId``), so the simulator supports exactly that.
+    """
+
+    grid_dim: int
+    block_dim: int
+
+    def validate(self, device: DeviceSpec) -> None:
+        if self.grid_dim < 1:
+            raise LaunchConfigurationError("grid_dim must be at least 1")
+        if self.block_dim < 1:
+            raise LaunchConfigurationError("block_dim must be at least 1")
+        if self.block_dim > device.max_threads_per_block:
+            raise LaunchConfigurationError(
+                f"block_dim {self.block_dim} exceeds the device maximum of "
+                f"{device.max_threads_per_block} threads per block"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_dim * self.block_dim
+
+    def warps_per_block(self, warp_size: int = 32) -> int:
+        return -(-self.block_dim // warp_size)
+
+
+@dataclass
+class ThreadTrace:
+    """Everything one simulated thread did: operations and memory accesses."""
+
+    thread_index: int
+    block_index: int
+    multiplications: int = 0
+    additions: int = 0
+    other_ops: int = 0
+    instructions: List[str] = field(default_factory=list)
+    accesses: List[MemoryAccess] = field(default_factory=list)
+
+    @property
+    def global_thread_index(self) -> Tuple[int, int]:
+        return self.block_index, self.thread_index
+
+
+class ThreadContext:
+    """The per-thread view a kernel's ``run_thread`` receives.
+
+    It mirrors the CUDA programming model: ``threadIdx``/``blockIdx``/
+    ``blockDim``/``gridDim`` coordinates, plus ``global_read``/``global_write``,
+    ``shared_read``/``shared_write``, ``const_read`` accessors and
+    ``count_mul``/``count_add`` arithmetic counters.  Every memory accessor
+    takes a ``tag`` naming the instruction so the warp analysis can align the
+    accesses of the threads of a warp.
+    """
+
+    __slots__ = ("threadIdx", "blockIdx", "blockDim", "gridDim",
+                 "_global", "_shared", "_const", "trace")
+
+    def __init__(self, thread_idx: int, block_idx: int, block_dim: int, grid_dim: int,
+                 global_memory: GlobalMemory, shared_memory: SharedMemory,
+                 constant_memory: ConstantMemory):
+        self.threadIdx = thread_idx
+        self.blockIdx = block_idx
+        self.blockDim = block_dim
+        self.gridDim = grid_dim
+        self._global = global_memory
+        self._shared = shared_memory
+        self._const = constant_memory
+        self.trace = ThreadTrace(thread_index=thread_idx, block_index=block_idx)
+
+    # -- coordinates ------------------------------------------------------
+    @property
+    def global_thread_id(self) -> int:
+        """The paper's ``t = BlockId * B + ThreadId``."""
+        return self.blockIdx * self.blockDim + self.threadIdx
+
+    @property
+    def warp_index(self) -> int:
+        return self.threadIdx // 32
+
+    @property
+    def lane(self) -> int:
+        return self.threadIdx % 32
+
+    # -- arithmetic counters -----------------------------------------------
+    def count_mul(self, n: int = 1) -> None:
+        """Record ``n`` multiplications in the scalar arithmetic in use."""
+        self.trace.multiplications += n
+
+    def count_add(self, n: int = 1) -> None:
+        self.trace.additions += n
+
+    def count_op(self, n: int = 1) -> None:
+        """Record ``n`` cheap non-floating-point operations (decode, index)."""
+        self.trace.other_ops += n
+
+    def step(self, tag: str) -> None:
+        """Record an executed instruction tag (used for divergence analysis)."""
+        self.trace.instructions.append(tag)
+
+    # -- memory accessors ---------------------------------------------------
+    def global_read(self, array: str, index: int, tag: str):
+        value = self._global.read(array, index)
+        self.trace.accesses.append(self._global.access_record("read", array, index, tag))
+        return value
+
+    def global_write(self, array: str, index: int, value, tag: str) -> None:
+        self._global.write(array, index, value)
+        self.trace.accesses.append(self._global.access_record("write", array, index, tag))
+
+    def shared_read(self, array: str, index: int, tag: str):
+        value = self._shared.read(array, index)
+        self.trace.accesses.append(self._shared.access_record("read", array, index, tag))
+        return value
+
+    def shared_write(self, array: str, index: int, value, tag: str) -> None:
+        self._shared.write(array, index, value)
+        self.trace.accesses.append(self._shared.access_record("write", array, index, tag))
+
+    def const_read(self, array: str, index: int, tag: str):
+        value = self._const.read(array, index)
+        self.trace.accesses.append(self._const.access_record("read", array, index, tag))
+        return value
+
+class Kernel:
+    """Base class for simulated kernels.
+
+    Subclasses implement :meth:`configure_shared` to allocate per-block shared
+    memory and either :meth:`run_thread` (single-phase kernels) or
+    :meth:`phases` (kernels that contain a ``__syncthreads()`` barrier).
+
+    **Barrier semantics.**  CUDA kernels with a block-wide barrier -- such as
+    the paper's kernel 1, whose first stage fills the shared power table that
+    its second stage reads -- cannot be simulated by running each thread's
+    whole program to completion in turn: a thread would read table entries
+    that later threads have not written yet.  The simulator therefore executes
+    kernels *phase by phase*: :meth:`phases` returns an ordered list of
+    ``(name, per_thread_callable)`` pairs and the block executor runs phase
+    ``i`` for every thread of the block before starting phase ``i + 1``.  This
+    is exactly the synchronisation guarantee ``__syncthreads()`` provides.
+    The default implementation exposes a single phase that calls
+    :meth:`run_thread`.
+    """
+
+    name: str = "kernel"
+
+    def configure_shared(self, shared: SharedMemory, config: LaunchConfig) -> None:
+        """Allocate the block's shared memory (called once per block)."""
+
+    def run_thread(self, ctx: ThreadContext) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def phases(self) -> List[Tuple[str, Any]]:
+        """Ordered per-thread phases separated by block-wide barriers."""
+        return [("main", self.run_thread)]
+
+    def __str__(self) -> str:
+        return self.name

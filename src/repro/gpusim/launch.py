@@ -1,0 +1,125 @@
+"""Grid execution: functionally simulate a kernel launch and collect statistics.
+
+:func:`launch_kernel` is the simulator's equivalent of ``kernel<<<grid,
+block>>>(...)``: it validates the launch configuration against the device,
+schedules the blocks onto multiprocessors, allocates per-block shared memory,
+executes every thread's program phase by phase (phases model the block-wide
+``__syncthreads`` barriers, see :class:`repro.gpusim.kernel.Kernel`), and runs
+the warp-level analyses.  The numerical side effects land in the provided
+:class:`~repro.gpusim.memory.GlobalMemory`, exactly as a real launch mutates
+device memory; the returned :class:`~repro.gpusim.profiler.LaunchStats` feeds
+the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import KernelExecutionError
+from .coalescing import analyze_warp_accesses
+from .device import DeviceSpec, TESLA_C2050
+from .kernel import Kernel, LaunchConfig, ThreadContext, ThreadTrace
+from .memory import ConstantMemory, GlobalMemory, SharedMemory
+from .profiler import LaunchStats, WarpStats
+from .scheduler import schedule_blocks
+
+__all__ = ["launch_kernel"]
+
+
+def launch_kernel(kernel: Kernel,
+                  config: LaunchConfig,
+                  global_memory: GlobalMemory,
+                  constant_memory: Optional[ConstantMemory] = None,
+                  device: DeviceSpec = TESLA_C2050,
+                  collect_memory_trace: bool = True) -> LaunchStats:
+    """Execute ``kernel`` over the whole grid and return launch statistics.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel object (per-thread program plus shared-memory setup).
+    config:
+        Grid and block dimensions.
+    global_memory:
+        The device global memory; read and mutated in place.
+    constant_memory:
+        Read-only constant memory (an empty one is created when omitted).
+    device:
+        Architectural parameters; defaults to the paper's Tesla C2050.
+    collect_memory_trace:
+        When False, per-access records are dropped after execution (the
+        coalescing report is still computed block by block); keeps memory use
+        modest for large sweeps.
+    """
+    config.validate(device)
+    if constant_memory is None:
+        constant_memory = ConstantMemory(device.constant_memory_bytes)
+    constant_memory.freeze()
+
+    schedule = schedule_blocks(device, config,
+                               shared_bytes_per_block=_shared_bytes_needed(kernel, config, device))
+    stats = LaunchStats(kernel_name=kernel.name, config=config, schedule=schedule)
+
+    phases = kernel.phases()
+    stats.barriers = max(0, len(phases) - 1) * config.grid_dim
+
+    for block in range(config.grid_dim):
+        shared = SharedMemory(device.shared_memory_per_block_bytes,
+                              banks=device.shared_memory_banks)
+        kernel.configure_shared(shared, config)
+
+        contexts: List[ThreadContext] = [
+            ThreadContext(thread_idx=t, block_idx=block, block_dim=config.block_dim,
+                          grid_dim=config.grid_dim, global_memory=global_memory,
+                          shared_memory=shared, constant_memory=constant_memory)
+            for t in range(config.block_dim)
+        ]
+
+        for phase_name, phase_fn in phases:
+            for ctx in contexts:
+                try:
+                    phase_fn(ctx)
+                except KernelExecutionError:
+                    raise
+                except Exception as exc:  # surface the thread coordinates
+                    raise KernelExecutionError(
+                        f"kernel {kernel.name!r} failed in phase {phase_name!r} "
+                        f"at block {block}, thread {ctx.threadIdx}: {exc}"
+                    ) from exc
+
+        # -- warp-level aggregation for this block -------------------------
+        per_thread_accesses = {ctx.threadIdx: ctx.trace.accesses for ctx in contexts}
+        block_report = analyze_warp_accesses(
+            per_thread_accesses,
+            warp_size=device.warp_size,
+            transaction_bytes=device.memory_transaction_bytes,
+            banks=device.shared_memory_banks,
+        )
+        stats.coalescing.events.extend(block_report.events)
+
+        for warp_start in range(0, config.block_dim, device.warp_size):
+            members = contexts[warp_start:warp_start + device.warp_size]
+            stats.warp_stats.append(WarpStats(
+                block_index=block,
+                warp_index=warp_start // device.warp_size,
+                active_threads=len(members),
+                max_multiplications=max(c.trace.multiplications for c in members),
+                min_multiplications=min(c.trace.multiplications for c in members),
+                max_additions=max(c.trace.additions for c in members),
+                max_other_ops=max(c.trace.other_ops for c in members),
+            ))
+
+        for ctx in contexts:
+            if not collect_memory_trace:
+                ctx.trace.accesses = []
+            stats.thread_traces.append(ctx.trace)
+
+    return stats
+
+
+def _shared_bytes_needed(kernel: Kernel, config: LaunchConfig, device: DeviceSpec) -> int:
+    """Dry-run the kernel's shared-memory configuration to size the request."""
+    probe = SharedMemory(device.shared_memory_per_block_bytes,
+                         banks=device.shared_memory_banks)
+    kernel.configure_shared(probe, config)
+    return probe.bytes_allocated

@@ -1,0 +1,245 @@
+"""Simulated device memory spaces.
+
+The paper's three kernels are designed around the Fermi memory hierarchy:
+
+* **global memory** for variable values, common factors, coefficients and the
+  ``Mons`` output array -- large but slow, so warp accesses must *coalesce*;
+* **shared memory** per block for the power table of kernel 1 and the
+  ``k + 1`` intermediate locations per thread of kernel 2 -- fast but only
+  48 KiB per block and divided into 32 banks whose conflicts serialise;
+* **constant memory** for the ``Positions`` and ``Exponents`` tables -- only
+  64 KiB, which is what caps the experiments at 1,536 monomials;
+* **registers** for each thread's backward product ``Q``.
+
+The classes here store actual Python values (any scalar type) so the kernels
+compute real results, enforce the capacity limits, and hand out
+:class:`MemoryAccess` records that the per-thread trace collects for the
+coalescing / bank-conflict analysis in :mod:`repro.gpusim.coalescing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import (
+    ConfigurationError,
+    ConstantMemoryOverflow,
+    MemoryAccessError,
+    SharedMemoryOverflow,
+)
+
+__all__ = [
+    "MemoryAccess",
+    "GlobalMemory",
+    "SharedMemory",
+    "ConstantMemory",
+    "GLOBAL_SPACE",
+    "SHARED_SPACE",
+    "CONSTANT_SPACE",
+]
+
+GLOBAL_SPACE = "global"
+SHARED_SPACE = "shared"
+CONSTANT_SPACE = "constant"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One scalar memory access performed by one simulated thread."""
+
+    space: str            # "global" | "shared" | "constant"
+    kind: str              # "read" | "write"
+    array: str             # name of the array
+    index: int             # element index within the array
+    element_bytes: int     # size of one element in bytes
+    tag: str               # instruction tag (aligns accesses across a warp)
+
+    @property
+    def byte_address(self) -> int:
+        """Byte offset of the element within its array."""
+        return self.index * self.element_bytes
+
+
+class _ArraySpace:
+    """Common storage behaviour for the named-array memory spaces."""
+
+    space_name = "abstract"
+
+    def __init__(self, capacity_bytes: Optional[int] = None):
+        self._arrays: Dict[str, list] = {}
+        self._element_bytes: Dict[str, int] = {}
+        self._base_offsets: Dict[str, int] = {}
+        self._capacity_bytes = capacity_bytes
+        self._bytes_allocated = 0
+
+    # -- allocation -----------------------------------------------------
+    def allocate(self, name: str, length: int, element_bytes: int,
+                 fill: Any = 0.0) -> None:
+        """Allocate a named array of ``length`` elements."""
+        if name in self._arrays:
+            raise ConfigurationError(f"{self.space_name} array {name!r} already allocated")
+        if length < 0:
+            raise ConfigurationError("array length must be non-negative")
+        needed = length * element_bytes
+        if self._capacity_bytes is not None and self._bytes_allocated + needed > self._capacity_bytes:
+            self._raise_capacity(name, needed)
+        self._base_offsets[name] = self._bytes_allocated
+        self._arrays[name] = [fill] * length
+        self._element_bytes[name] = int(element_bytes)
+        self._bytes_allocated += needed
+
+    def store_array(self, name: str, values: Sequence, element_bytes: int) -> None:
+        """Allocate and initialise a named array in one call."""
+        self.allocate(name, len(values), element_bytes)
+        self._arrays[name][:] = list(values)
+
+    def _raise_capacity(self, name: str, needed: int) -> None:
+        raise MemoryAccessError(
+            f"allocation of {needed} bytes for {name!r} exceeds the "
+            f"{self._capacity_bytes}-byte capacity of {self.space_name} memory"
+        )
+
+    # -- bookkeeping ------------------------------------------------------
+    @property
+    def bytes_allocated(self) -> int:
+        return self._bytes_allocated
+
+    @property
+    def capacity_bytes(self) -> Optional[int]:
+        return self._capacity_bytes
+
+    def element_bytes(self, name: str) -> int:
+        return self._element_bytes[name]
+
+    def has_array(self, name: str) -> bool:
+        return name in self._arrays
+
+    def array_length(self, name: str) -> int:
+        return len(self._arrays[name])
+
+    def array_names(self) -> Tuple[str, ...]:
+        return tuple(self._arrays)
+
+    # -- element access ----------------------------------------------------
+    def _check(self, name: str, index: int) -> None:
+        if name not in self._arrays:
+            raise MemoryAccessError(
+                f"{self.space_name} array {name!r} is not allocated"
+            )
+        if not (0 <= index < len(self._arrays[name])):
+            raise MemoryAccessError(
+                f"index {index} out of bounds for {self.space_name} array "
+                f"{name!r} of length {len(self._arrays[name])}"
+            )
+
+    def read(self, name: str, index: int) -> Any:
+        self._check(name, index)
+        return self._arrays[name][index]
+
+    def write(self, name: str, index: int, value: Any) -> None:
+        self._check(name, index)
+        self._arrays[name][index] = value
+
+    def access_record(self, kind: str, name: str, index: int, tag: str) -> MemoryAccess:
+        return MemoryAccess(
+            space=self.space_name,
+            kind=kind,
+            array=name,
+            index=index,
+            element_bytes=self._element_bytes[name],
+            tag=tag,
+        )
+
+    def snapshot(self, name: str) -> list:
+        """A copy of the contents of one array (for assertions in tests)."""
+        if name not in self._arrays:
+            raise MemoryAccessError(f"{self.space_name} array {name!r} is not allocated")
+        return list(self._arrays[name])
+
+
+class GlobalMemory(_ArraySpace):
+    """Device global memory: large, shared by all blocks, slow."""
+
+    space_name = GLOBAL_SPACE
+
+    def __init__(self, capacity_bytes: Optional[int] = None):
+        super().__init__(capacity_bytes)
+
+    def _raise_capacity(self, name: str, needed: int) -> None:
+        raise MemoryAccessError(
+            f"global-memory allocation of {needed} bytes for {name!r} exceeds "
+            f"the device capacity of {self._capacity_bytes} bytes"
+        )
+
+
+class SharedMemory(_ArraySpace):
+    """Per-block shared memory with banked organisation.
+
+    The Fermi generation divides shared memory into 32 banks of 4-byte words;
+    simultaneous accesses by threads of a warp to different words in the same
+    bank serialise.  :meth:`bank_of` exposes the mapping so the analyzer can
+    count conflicts; capacity overruns raise :class:`SharedMemoryOverflow`,
+    which is exactly the constraint behind the paper's "dimensions up to 70"
+    shared-memory budget discussion.
+    """
+
+    space_name = SHARED_SPACE
+
+    def __init__(self, capacity_bytes: int = 49152, banks: int = 32,
+                 bank_width_bytes: int = 4):
+        super().__init__(capacity_bytes)
+        self.banks = int(banks)
+        self.bank_width_bytes = int(bank_width_bytes)
+
+    def _raise_capacity(self, name: str, needed: int) -> None:
+        raise SharedMemoryOverflow(
+            f"shared-memory allocation of {needed} bytes for {name!r} would "
+            f"exceed the {self._capacity_bytes}-byte per-block capacity "
+            f"(already allocated: {self._bytes_allocated} bytes)"
+        )
+
+    def bank_of(self, name: str, index: int) -> int:
+        """Bank hit by element ``index`` of array ``name`` (first word)."""
+        byte_address = self._base_offsets[name] + index * self._element_bytes[name]
+        word = byte_address // self.bank_width_bytes
+        return int(word % self.banks)
+
+
+class ConstantMemory(_ArraySpace):
+    """Read-only constant memory of limited capacity (64 KiB on the C2050).
+
+    Arrays are written once at setup time (``store_array``) and are read-only
+    from kernels; the capacity check raises :class:`ConstantMemoryOverflow`,
+    reproducing the limit that stopped the paper's experiments at 1,536
+    monomials.
+    """
+
+    space_name = CONSTANT_SPACE
+
+    def __init__(self, capacity_bytes: int = 65536):
+        super().__init__(capacity_bytes)
+        self._frozen = False
+
+    def _raise_capacity(self, name: str, needed: int) -> None:
+        raise ConstantMemoryOverflow(
+            f"constant-memory allocation of {needed} bytes for {name!r} would "
+            f"exceed the {self._capacity_bytes}-byte capacity "
+            f"(already allocated: {self._bytes_allocated} bytes)"
+        )
+
+    def freeze(self) -> None:
+        """Forbid further writes (kernels only ever read constant memory)."""
+        self._frozen = True
+
+    def write(self, name: str, index: int, value: Any) -> None:
+        if self._frozen:
+            raise MemoryAccessError("constant memory is read-only during kernel execution")
+        super().write(name, index, value)
+
+    def allocate(self, name: str, length: int, element_bytes: int, fill: Any = 0) -> None:
+        if self._frozen:
+            raise MemoryAccessError("cannot allocate constant memory after freeze()")
+        super().allocate(name, length, element_bytes, fill=fill)

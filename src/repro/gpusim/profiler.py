@@ -1,0 +1,154 @@
+"""Launch statistics: what a simulated kernel launch actually did.
+
+A :class:`LaunchStats` object aggregates, per kernel launch, the quantities
+the cost model needs and the quantities the paper argues about qualitatively:
+
+* arithmetic work per thread and per warp (multiplications dominate: the
+  paper counts everything in "complex double multiplications"),
+* the SIMT regularity of the execution (did warps diverge?),
+* global-memory transactions split into reads and writes and whether they
+  coalesced,
+* shared-memory bank conflicts,
+* occupancy and the number of block waves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .coalescing import CoalescingReport
+from .kernel import LaunchConfig, ThreadTrace
+from .scheduler import BlockSchedule
+
+__all__ = ["WarpStats", "LaunchStats"]
+
+
+@dataclass(frozen=True)
+class WarpStats:
+    """Aggregated arithmetic work of one warp."""
+
+    block_index: int
+    warp_index: int
+    active_threads: int
+    max_multiplications: int
+    min_multiplications: int
+    max_additions: int
+    max_other_ops: int
+
+    @property
+    def diverged(self) -> bool:
+        """True when threads of the warp did different amounts of work."""
+        return self.max_multiplications != self.min_multiplications
+
+
+@dataclass
+class LaunchStats:
+    """Complete record of one simulated kernel launch."""
+
+    kernel_name: str
+    config: LaunchConfig
+    schedule: BlockSchedule
+    warp_stats: List[WarpStats] = field(default_factory=list)
+    coalescing: CoalescingReport = field(default_factory=CoalescingReport)
+    thread_traces: List[ThreadTrace] = field(default_factory=list)
+    barriers: int = 0
+
+    # -- totals -------------------------------------------------------------
+    @property
+    def total_threads(self) -> int:
+        return len(self.thread_traces)
+
+    @property
+    def total_multiplications(self) -> int:
+        return sum(t.multiplications for t in self.thread_traces)
+
+    @property
+    def total_additions(self) -> int:
+        return sum(t.additions for t in self.thread_traces)
+
+    @property
+    def warp_serial_multiplications(self) -> int:
+        """Sum over warps of the per-warp maximum multiplication count.
+
+        In the SIMT execution model all threads of a warp advance in lockstep,
+        so the time a warp spends on arithmetic is governed by its busiest
+        thread; summing the per-warp maxima gives the arithmetic work the
+        device has to issue warp-instruction by warp-instruction.
+        """
+        return sum(w.max_multiplications for w in self.warp_stats)
+
+    @property
+    def warp_serial_additions(self) -> int:
+        return sum(w.max_additions for w in self.warp_stats)
+
+    @property
+    def warp_serial_other_ops(self) -> int:
+        return sum(w.max_other_ops for w in self.warp_stats)
+
+    @property
+    def divergent_warps(self) -> int:
+        return sum(1 for w in self.warp_stats if w.diverged)
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warp_stats)
+
+    @property
+    def global_transactions(self) -> int:
+        return self.coalescing.global_transactions
+
+    @property
+    def shared_bank_conflicts(self) -> int:
+        return self.coalescing.shared_bank_conflicts
+
+    # -- per-multiprocessor view ----------------------------------------------
+    def warps_per_multiprocessor(self) -> Dict[int, int]:
+        """Number of warps that each multiprocessor executes over all waves."""
+        out: Dict[int, int] = {}
+        block_to_sm: Dict[int, int] = {}
+        for sm, blocks in self.schedule.assignments.items():
+            for b in blocks:
+                block_to_sm[b] = sm
+        for w in self.warp_stats:
+            sm = block_to_sm.get(w.block_index, 0)
+            out[sm] = out.get(sm, 0) + 1
+        return out
+
+    def critical_path_multiplications(self) -> int:
+        """Arithmetic work of the busiest multiprocessor.
+
+        Blocks execute concurrently across multiprocessors, so the launch's
+        arithmetic time is governed by the multiprocessor with the most warp
+        work assigned to it (summed over its waves).
+        """
+        block_to_sm: Dict[int, int] = {}
+        for sm, blocks in self.schedule.assignments.items():
+            for b in blocks:
+                block_to_sm[b] = sm
+        per_sm: Dict[int, int] = {}
+        for w in self.warp_stats:
+            sm = block_to_sm.get(w.block_index, 0)
+            per_sm[sm] = per_sm.get(sm, 0) + w.max_multiplications
+        return max(per_sm.values(), default=0)
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary convenient for tabular reports."""
+        return {
+            "kernel": self.kernel_name,
+            "blocks": self.config.grid_dim,
+            "threads_per_block": self.config.block_dim,
+            "threads": self.total_threads,
+            "warps": self.num_warps,
+            "waves": self.schedule.waves,
+            "occupancy": self.schedule.occupancy.occupancy,
+            "multiplications": self.total_multiplications,
+            "additions": self.total_additions,
+            "warp_serial_multiplications": self.warp_serial_multiplications,
+            "divergent_warps": self.divergent_warps,
+            "global_transactions": self.global_transactions,
+            "global_read_transactions": self.coalescing.global_read_transactions,
+            "global_write_transactions": self.coalescing.global_write_transactions,
+            "shared_bank_conflicts": self.shared_bank_conflicts,
+            "barriers": self.barriers,
+        }

@@ -1,0 +1,117 @@
+"""Block scheduling and occupancy on the simulated device.
+
+The paper's performance reasoning is occupancy-driven: "we need at least about
+1,000 monomials to occupy well all the 14 multiprocessors", and the worked
+example in section 3.1 argues that launching 28 blocks on 14 multiprocessors
+costs, in the worst case, the time of two sequential block executions.  The
+scheduler reproduces precisely that model: blocks are distributed round-robin
+over the multiprocessors, each multiprocessor can hold a limited number of
+resident blocks (bounded by the warp slots, the block limit, and the shared
+memory budget), and the launch therefore proceeds in an integer number of
+*waves* or "rounds".  The cost model charges one round per wave.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import LaunchConfigurationError
+from .device import DeviceSpec
+from .kernel import LaunchConfig
+
+__all__ = ["OccupancyReport", "BlockSchedule", "compute_occupancy", "schedule_blocks"]
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """How many blocks/warps can be resident on one multiprocessor at once."""
+
+    blocks_per_multiprocessor: int
+    warps_per_block: int
+    resident_warps: int
+    warp_slots: int
+    limited_by: str
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the multiprocessor's warp slots that are occupied."""
+        if self.warp_slots == 0:
+            return 0.0
+        return self.resident_warps / self.warp_slots
+
+
+@dataclass(frozen=True)
+class BlockSchedule:
+    """Assignment of the grid's blocks to multiprocessors."""
+
+    assignments: Dict[int, List[int]]  # multiprocessor -> ordered block list
+    waves: int
+    occupancy: OccupancyReport
+
+    @property
+    def busy_multiprocessors(self) -> int:
+        return sum(1 for blocks in self.assignments.values() if blocks)
+
+    def blocks_on(self, multiprocessor: int) -> List[int]:
+        return self.assignments.get(multiprocessor, [])
+
+
+def compute_occupancy(device: DeviceSpec, config: LaunchConfig,
+                      shared_bytes_per_block: int = 0) -> OccupancyReport:
+    """Resident blocks per multiprocessor for a launch configuration.
+
+    Three limits apply (register pressure is ignored -- the paper's kernels
+    use very few registers): the hardware block limit, the warp-slot limit,
+    and the shared-memory budget.
+    """
+    config.validate(device)
+    warps_per_block = config.warps_per_block(device.warp_size)
+
+    by_block_limit = device.max_blocks_per_multiprocessor
+    by_warp_slots = device.max_resident_warps_per_multiprocessor // warps_per_block
+    if shared_bytes_per_block > 0:
+        by_shared = device.shared_memory_per_block_bytes // shared_bytes_per_block
+    else:
+        by_shared = by_block_limit
+
+    blocks = min(by_block_limit, by_warp_slots, by_shared)
+    if blocks < 1:
+        raise LaunchConfigurationError(
+            f"a block of {config.block_dim} threads requesting "
+            f"{shared_bytes_per_block} bytes of shared memory cannot be "
+            f"resident on {device.name}"
+        )
+    if blocks == by_shared and by_shared < min(by_block_limit, by_warp_slots):
+        limited_by = "shared memory"
+    elif blocks == by_warp_slots and by_warp_slots < by_block_limit:
+        limited_by = "warp slots"
+    else:
+        limited_by = "block limit"
+
+    return OccupancyReport(
+        blocks_per_multiprocessor=blocks,
+        warps_per_block=warps_per_block,
+        resident_warps=blocks * warps_per_block,
+        warp_slots=device.max_resident_warps_per_multiprocessor,
+        limited_by=limited_by,
+    )
+
+
+def schedule_blocks(device: DeviceSpec, config: LaunchConfig,
+                    shared_bytes_per_block: int = 0) -> BlockSchedule:
+    """Round-robin assignment of blocks to multiprocessors and wave count.
+
+    With ``g`` blocks, ``p`` multiprocessors, and ``r`` resident blocks per
+    multiprocessor, the launch needs ``ceil(g / (p * r))`` waves -- the
+    "executed two times in a row" of the paper's 28-blocks-on-14-SMs example
+    (there ``r`` is taken as 1 in the worst case the paper describes).
+    """
+    occupancy = compute_occupancy(device, config, shared_bytes_per_block)
+    assignments: Dict[int, List[int]] = {sm: [] for sm in range(device.multiprocessors)}
+    for block in range(config.grid_dim):
+        assignments[block % device.multiprocessors].append(block)
+    per_round = device.multiprocessors * occupancy.blocks_per_multiprocessor
+    waves = max(1, math.ceil(config.grid_dim / per_round))
+    return BlockSchedule(assignments=assignments, waves=waves, occupancy=occupancy)

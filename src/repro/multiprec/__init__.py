@@ -1,0 +1,59 @@
+"""Multiprecision arithmetic substrate (double-double / quad-double).
+
+This subpackage replaces the QD 2.3.9 library the paper links against.  It
+provides:
+
+* :mod:`~repro.multiprec.eft` -- error-free transformations (TwoSum, TwoProd,
+  Dekker splitting) shared by everything else;
+* :class:`~repro.multiprec.double_double.DoubleDouble` and
+  :class:`~repro.multiprec.quad_double.QuadDouble` -- scalar extended
+  precision reals;
+* :class:`~repro.multiprec.complex_dd.ComplexDD` and
+  :class:`~repro.multiprec.numeric.ComplexQD` -- complex variants used by the
+  polynomial evaluators;
+* :class:`~repro.multiprec.ddarray.DDArray` /
+  :class:`~repro.multiprec.ddarray.ComplexDDArray` -- vectorised NumPy-backed
+  double-double arrays for the bulk benchmarks;
+* :class:`~repro.multiprec.numeric.NumericContext` -- the arithmetic
+  abstraction that makes the kernels generic over precision and feeds the
+  cost model the relative multiplication cost (the paper's "factor of 8").
+"""
+
+from .complex_dd import ComplexDD, cdd
+from .ddarray import ComplexDDArray, DDArray
+from .double_double import DoubleDouble, dd
+from .eft import quick_two_sum, split, two_diff, two_prod, two_sqr, two_sum
+from .numeric import (
+    CONTEXTS,
+    DOUBLE,
+    DOUBLE_DOUBLE,
+    QUAD_DOUBLE,
+    ComplexQD,
+    NumericContext,
+    get_context,
+)
+from .quad_double import QuadDouble, qd
+
+__all__ = [
+    "ComplexDD",
+    "ComplexDDArray",
+    "ComplexQD",
+    "CONTEXTS",
+    "DDArray",
+    "DOUBLE",
+    "DOUBLE_DOUBLE",
+    "DoubleDouble",
+    "NumericContext",
+    "QUAD_DOUBLE",
+    "QuadDouble",
+    "cdd",
+    "dd",
+    "get_context",
+    "qd",
+    "quick_two_sum",
+    "split",
+    "two_diff",
+    "two_prod",
+    "two_sqr",
+    "two_sum",
+]

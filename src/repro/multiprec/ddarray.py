@@ -1,0 +1,401 @@
+"""Vectorised double-double arrays.
+
+The scalar classes in :mod:`repro.multiprec.double_double` are convenient but
+slow in pure Python.  For the cost-factor experiments (the paper's "overhead
+of double double arithmetic is around 8" observation) and for the multicore
+CPU baseline we need bulk double-double arithmetic on NumPy arrays.
+
+:class:`DDArray` stores an array of double-doubles as a pair of ``float64``
+arrays ``(hi, lo)`` and implements element-wise arithmetic with exactly the
+same operation sequences as the scalar class, so results are bit-for-bit equal
+to looping over :class:`~repro.multiprec.double_double.DoubleDouble` scalars.
+
+:class:`ComplexDDArray` pairs two :class:`DDArray` instances as the real and
+imaginary parts, mirroring :class:`repro.multiprec.complex_dd.ComplexDD`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+from .complex_dd import ComplexDD
+from .double_double import DoubleDouble
+from .eft import quick_two_sum, two_diff, two_prod, two_sum
+
+__all__ = ["DDArray", "ComplexDDArray"]
+
+
+class DDArray:
+    """An n-dimensional array of double-double reals stored as (hi, lo)."""
+
+    __slots__ = ("hi", "lo")
+
+    def __init__(self, hi: np.ndarray, lo: Union[np.ndarray, None] = None):
+        hi = np.asarray(hi, dtype=np.float64)
+        if lo is None:
+            lo = np.zeros_like(hi)
+        else:
+            lo = np.asarray(lo, dtype=np.float64)
+        if hi.shape != lo.shape:
+            raise ValueError(f"hi/lo shape mismatch: {hi.shape} vs {lo.shape}")
+        # Normalise so the component invariant holds element-wise.
+        s, e = two_sum(hi, lo)
+        self.hi = s
+        self.lo = e
+
+    # ------------------------------------------------------------------
+    # constructors / conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, shape) -> "DDArray":
+        return cls(np.zeros(shape), np.zeros(shape))
+
+    @classmethod
+    def ones(cls, shape) -> "DDArray":
+        return cls(np.ones(shape), np.zeros(shape))
+
+    @classmethod
+    def from_float64(cls, values: np.ndarray) -> "DDArray":
+        """Exact embedding of double-precision values."""
+        values = np.asarray(values, dtype=np.float64)
+        return cls(values.copy(), np.zeros_like(values))
+
+    @classmethod
+    def from_scalars(cls, values: Iterable[DoubleDouble]) -> "DDArray":
+        values = list(values)
+        hi = np.array([v.hi for v in values])
+        lo = np.array([v.lo for v in values])
+        return cls(hi, lo)
+
+    def to_scalars(self) -> list:
+        """Flatten to a list of :class:`DoubleDouble` scalars."""
+        flat_hi = self.hi.ravel()
+        flat_lo = self.lo.ravel()
+        return [DoubleDouble(h, l) for h, l in zip(flat_hi, flat_lo)]
+
+    def to_float64(self) -> np.ndarray:
+        """Round each element to a hardware double."""
+        return self.hi.copy()
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.hi.shape
+
+    @property
+    def size(self) -> int:
+        return self.hi.size
+
+    def __len__(self) -> int:
+        return len(self.hi)
+
+    def copy(self) -> "DDArray":
+        out = object.__new__(DDArray)
+        out.hi = self.hi.copy()
+        out.lo = self.lo.copy()
+        return out
+
+    def __getitem__(self, idx) -> Union["DDArray", DoubleDouble]:
+        hi = self.hi[idx]
+        lo = self.lo[idx]
+        if np.isscalar(hi) or hi.ndim == 0:
+            return DoubleDouble(float(hi), float(lo))
+        out = object.__new__(DDArray)
+        out.hi = hi
+        out.lo = lo
+        return out
+
+    def __setitem__(self, idx, value) -> None:
+        value = _coerce(value, like=self.hi[idx])
+        self.hi[idx] = value.hi
+        self.lo[idx] = value.lo
+
+    def __repr__(self) -> str:
+        return f"DDArray(shape={self.shape})"
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __neg__(self) -> "DDArray":
+        out = object.__new__(DDArray)
+        out.hi = -self.hi
+        out.lo = -self.lo
+        return out
+
+    def __add__(self, other) -> "DDArray":
+        o = _coerce(other, like=self.hi)
+        s1, s2 = two_sum(self.hi, o.hi)
+        t1, t2 = two_sum(self.lo, o.lo)
+        s2 = s2 + t1
+        s1, s2 = quick_two_sum(s1, s2)
+        s2 = s2 + t2
+        s1, s2 = quick_two_sum(s1, s2)
+        return _raw(s1, s2)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "DDArray":
+        o = _coerce(other, like=self.hi)
+        s1, s2 = two_diff(self.hi, o.hi)
+        t1, t2 = two_diff(self.lo, o.lo)
+        s2 = s2 + t1
+        s1, s2 = quick_two_sum(s1, s2)
+        s2 = s2 + t2
+        s1, s2 = quick_two_sum(s1, s2)
+        return _raw(s1, s2)
+
+    def __rsub__(self, other) -> "DDArray":
+        o = _coerce(other, like=self.hi)
+        return o - self
+
+    def __mul__(self, other) -> "DDArray":
+        o = _coerce(other, like=self.hi)
+        p1, p2 = two_prod(self.hi, o.hi)
+        p2 = p2 + (self.hi * o.lo + self.lo * o.hi)
+        p1, p2 = quick_two_sum(p1, p2)
+        return _raw(p1, p2)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "DDArray":
+        o = _coerce(other, like=self.hi)
+        q1 = self.hi / o.hi
+        r = self - o * _raw(q1, np.zeros_like(q1))
+        q2 = r.hi / o.hi
+        r = r - o * _raw(q2, np.zeros_like(q2))
+        q3 = r.hi / o.hi
+        s, e = quick_two_sum(q1, q2)
+        return _raw(s, e) + _raw(q3, np.zeros_like(q3))
+
+    def __rtruediv__(self, other) -> "DDArray":
+        o = _coerce(other, like=self.hi)
+        return o / self
+
+    def __pow__(self, exponent: int) -> "DDArray":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise TypeError("DDArray only supports non-negative integer powers")
+        result = DDArray.ones(self.shape)
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # reductions and element-wise helpers
+    # ------------------------------------------------------------------
+    def sum(self, axis=None) -> Union["DDArray", DoubleDouble]:
+        """Double-double accurate sum along ``axis`` (sequential pairing)."""
+        if axis is None:
+            total = DoubleDouble(0.0)
+            for h, l in zip(self.hi.ravel(), self.lo.ravel()):
+                total = total + DoubleDouble(h, l)
+            return total
+        moved_hi = np.moveaxis(self.hi, axis, 0)
+        moved_lo = np.moveaxis(self.lo, axis, 0)
+        acc = _raw(np.zeros(moved_hi.shape[1:]), np.zeros(moved_hi.shape[1:]))
+        for i in range(moved_hi.shape[0]):
+            acc = acc + _raw(moved_hi[i], moved_lo[i])
+        return acc
+
+    def abs(self) -> "DDArray":
+        negative = (self.hi < 0) | ((self.hi == 0) & (self.lo < 0))
+        out = object.__new__(DDArray)
+        out.hi = np.where(negative, -self.hi, self.hi)
+        out.lo = np.where(negative, -self.lo, self.lo)
+        return out
+
+    def max_abs(self) -> float:
+        """Largest magnitude, rounded to double (used for norms/tolerances)."""
+        return float(np.max(np.abs(self.hi + self.lo))) if self.size else 0.0
+
+    def allclose(self, other: "DDArray", tol: float = 1e-30) -> bool:
+        diff = (self - other).abs()
+        scale = max(self.max_abs(), other.max_abs(), 1.0)
+        return diff.max_abs() <= tol * scale
+
+
+def _raw(hi: np.ndarray, lo: np.ndarray) -> DDArray:
+    out = object.__new__(DDArray)
+    out.hi = hi
+    out.lo = lo
+    return out
+
+
+def _coerce(value, like) -> DDArray:
+    """Coerce scalars/arrays to a DDArray broadcastable against ``like``."""
+    if isinstance(value, DDArray):
+        return value
+    if isinstance(value, DoubleDouble):
+        shape = np.shape(like)
+        return _raw(np.full(shape, value.hi), np.full(shape, value.lo))
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.shape == ():
+        shape = np.shape(like)
+        return _raw(np.full(shape, float(arr)), np.zeros(shape))
+    return DDArray.from_float64(arr)
+
+
+class ComplexDDArray:
+    """An array of complex double-doubles: a (real, imag) pair of DDArrays."""
+
+    __slots__ = ("real", "imag")
+
+    def __init__(self, real: DDArray, imag: Union[DDArray, None] = None):
+        if not isinstance(real, DDArray):
+            real = DDArray.from_float64(np.asarray(real, dtype=np.float64))
+        if imag is None:
+            imag = DDArray.zeros(real.shape)
+        elif not isinstance(imag, DDArray):
+            imag = DDArray.from_float64(np.asarray(imag, dtype=np.float64))
+        if real.shape != imag.shape:
+            raise ValueError("real/imag shape mismatch")
+        self.real = real
+        self.imag = imag
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, shape) -> "ComplexDDArray":
+        return cls(DDArray.zeros(shape), DDArray.zeros(shape))
+
+    @classmethod
+    def from_complex128(cls, values: np.ndarray) -> "ComplexDDArray":
+        values = np.asarray(values, dtype=np.complex128)
+        return cls(DDArray.from_float64(values.real), DDArray.from_float64(values.imag))
+
+    @classmethod
+    def from_scalars(cls, values: Iterable[ComplexDD]) -> "ComplexDDArray":
+        values = list(values)
+        real = DDArray.from_scalars([v.real for v in values])
+        imag = DDArray.from_scalars([v.imag for v in values])
+        return cls(real, imag)
+
+    def to_scalars(self) -> list:
+        reals = self.real.to_scalars()
+        imags = self.imag.to_scalars()
+        return [ComplexDD(r, i) for r, i in zip(reals, imags)]
+
+    def to_complex128(self) -> np.ndarray:
+        return self.real.to_float64() + 1j * self.imag.to_float64()
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.real.shape
+
+    @property
+    def size(self) -> int:
+        return self.real.size
+
+    def __len__(self) -> int:
+        return len(self.real)
+
+    def copy(self) -> "ComplexDDArray":
+        return ComplexDDArray(self.real.copy(), self.imag.copy())
+
+    def __getitem__(self, idx):
+        r = self.real[idx]
+        i = self.imag[idx]
+        if isinstance(r, DoubleDouble):
+            return ComplexDD(r, i)
+        return ComplexDDArray(r, i)
+
+    def __setitem__(self, idx, value) -> None:
+        if isinstance(value, ComplexDD):
+            self.real[idx] = value.real
+            self.imag[idx] = value.imag
+            return
+        if isinstance(value, ComplexDDArray):
+            self.real[idx] = value.real
+            self.imag[idx] = value.imag
+            return
+        z = np.asarray(value, dtype=np.complex128)
+        self.real[idx] = DDArray.from_float64(z.real) if z.ndim else DoubleDouble(float(z.real))
+        self.imag[idx] = DDArray.from_float64(z.imag) if z.ndim else DoubleDouble(float(z.imag))
+
+    def __repr__(self) -> str:
+        return f"ComplexDDArray(shape={self.shape})"
+
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "ComplexDDArray":
+        if isinstance(other, ComplexDDArray):
+            return other
+        if isinstance(other, ComplexDD):
+            shape = self.shape
+            real = DDArray(np.full(shape, other.real.hi), np.full(shape, other.real.lo))
+            imag = DDArray(np.full(shape, other.imag.hi), np.full(shape, other.imag.lo))
+            return ComplexDDArray(real, imag)
+        arr = np.asarray(other, dtype=np.complex128)
+        if arr.shape == ():
+            arr = np.full(self.shape, complex(arr))
+        return ComplexDDArray.from_complex128(arr)
+
+    def __neg__(self) -> "ComplexDDArray":
+        return ComplexDDArray(-self.real, -self.imag)
+
+    def __add__(self, other) -> "ComplexDDArray":
+        o = self._coerce(other)
+        return ComplexDDArray(self.real + o.real, self.imag + o.imag)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "ComplexDDArray":
+        o = self._coerce(other)
+        return ComplexDDArray(self.real - o.real, self.imag - o.imag)
+
+    def __rsub__(self, other) -> "ComplexDDArray":
+        o = self._coerce(other)
+        return ComplexDDArray(o.real - self.real, o.imag - self.imag)
+
+    def __mul__(self, other) -> "ComplexDDArray":
+        o = self._coerce(other)
+        a, b, c, d = self.real, self.imag, o.real, o.imag
+        return ComplexDDArray(a * c - b * d, a * d + b * c)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "ComplexDDArray":
+        o = self._coerce(other)
+        a, b, c, d = self.real, self.imag, o.real, o.imag
+        denom = c * c + d * d
+        return ComplexDDArray((a * c + b * d) / denom, (b * c - a * d) / denom)
+
+    def __pow__(self, exponent: int) -> "ComplexDDArray":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise TypeError("ComplexDDArray only supports non-negative integer powers")
+        result = ComplexDDArray(DDArray.ones(self.shape), DDArray.zeros(self.shape))
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result
+
+    def sum(self, axis=None):
+        """Sum of elements; returns :class:`ComplexDD` when ``axis is None``."""
+        r = self.real.sum(axis=axis)
+        i = self.imag.sum(axis=axis)
+        if isinstance(r, DoubleDouble):
+            return ComplexDD(r, i)
+        return ComplexDDArray(r, i)
+
+    def conjugate(self) -> "ComplexDDArray":
+        return ComplexDDArray(self.real, -self.imag)
+
+    def abs2(self) -> DDArray:
+        return self.real * self.real + self.imag * self.imag
+
+    def max_abs(self) -> float:
+        if self.size == 0:
+            return 0.0
+        return float(np.max(np.sqrt((self.abs2()).to_float64())))
+
+    def allclose(self, other: "ComplexDDArray", tol: float = 1e-30) -> bool:
+        diff = self - other
+        scale = max(self.max_abs(), other.max_abs(), 1.0)
+        return diff.max_abs() <= tol * scale

@@ -1,0 +1,239 @@
+"""Numeric contexts: a small abstraction over the scalar arithmetic in use.
+
+The paper's kernels are described once and instantiated for "complex double"
+and "complex double double" (and the authors plan quad double).  In the
+reproduction the evaluation kernels, the CPU references and the path tracker
+are all written against a :class:`NumericContext` that supplies:
+
+* construction of scalars from Python complex numbers,
+* the additive and multiplicative identities,
+* conversion back to ``complex`` for comparison and reporting,
+* the *cost factor* of one multiplication relative to a hardware complex
+  double multiplication.  The paper's motivating observation ([40]) is that
+  this factor is about 8 for double-double; the cost model uses it to predict
+  how the GPU offsets the software-arithmetic overhead ("quality up").
+
+Three ready-made contexts are exported: :data:`DOUBLE` (hardware ``complex``),
+:data:`DOUBLE_DOUBLE` (:class:`~repro.multiprec.complex_dd.ComplexDD`) and
+:data:`QUAD_DOUBLE` (Cartesian pair of
+:class:`~repro.multiprec.quad_double.QuadDouble`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from .complex_dd import ComplexDD
+from .double_double import DoubleDouble
+from .quad_double import QuadDouble
+
+__all__ = [
+    "NumericContext",
+    "ComplexQD",
+    "DOUBLE",
+    "DOUBLE_DOUBLE",
+    "QUAD_DOUBLE",
+    "CONTEXTS",
+    "get_context",
+]
+
+
+class ComplexQD:
+    """Minimal complex quad-double scalar (Cartesian pair of QuadDouble).
+
+    Only the operations needed by the evaluators and the linear solver are
+    provided: +, -, *, /, negation, conjugation and conversion.
+    """
+
+    __slots__ = ("real", "imag")
+
+    def __init__(self, real=0.0, imag=0.0):
+        if isinstance(real, ComplexQD):
+            self.real, self.imag = real.real, real.imag
+            return
+        if isinstance(real, complex):
+            self.real = QuadDouble.from_float(real.real)
+            self.imag = QuadDouble.from_float(real.imag)
+            return
+        self.real = real if isinstance(real, QuadDouble) else QuadDouble.from_float(float(real))
+        self.imag = imag if isinstance(imag, QuadDouble) else QuadDouble.from_float(float(imag))
+
+    def _coerce(self, other) -> "ComplexQD":
+        if isinstance(other, ComplexQD):
+            return other
+        if isinstance(other, (int, float, complex, QuadDouble)):
+            return ComplexQD(other) if not isinstance(other, complex) else ComplexQD(other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other):
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return ComplexQD(self.real + o.real, self.imag + o.imag)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return ComplexQD(self.real - o.real, self.imag - o.imag)
+
+    def __rsub__(self, other):
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return ComplexQD(o.real - self.real, o.imag - self.imag)
+
+    def __mul__(self, other):
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        a, b, c, d = self.real, self.imag, o.real, o.imag
+        return ComplexQD(a * c - b * d, a * d + b * c)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        a, b, c, d = self.real, self.imag, o.real, o.imag
+        denom = c * c + d * d
+        if denom.is_zero():
+            raise ZeroDivisionError("ComplexQD division by zero")
+        return ComplexQD((a * c + b * d) / denom, (b * c - a * d) / denom)
+
+    def __rtruediv__(self, other):
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return o / self
+
+    def __neg__(self):
+        return ComplexQD(-self.real, -self.imag)
+
+    def __eq__(self, other):
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return self.real == o.real and self.imag == o.imag
+
+    def __hash__(self):
+        return hash((self.real, self.imag))
+
+    def conjugate(self) -> "ComplexQD":
+        return ComplexQD(self.real, -self.imag)
+
+    def abs2(self) -> QuadDouble:
+        return self.real * self.real + self.imag * self.imag
+
+    def __abs__(self) -> QuadDouble:
+        return self.abs2().sqrt()
+
+    def to_complex(self) -> complex:
+        return complex(self.real.to_float(), self.imag.to_float())
+
+    def __complex__(self) -> complex:
+        return self.to_complex()
+
+    def __repr__(self) -> str:
+        return f"ComplexQD({self.to_complex()!r})"
+
+
+@dataclass(frozen=True)
+class NumericContext:
+    """Description of a scalar arithmetic usable by the evaluators.
+
+    Attributes
+    ----------
+    name:
+        Short identifier, e.g. ``"d"``, ``"dd"``, ``"qd"``.
+    description:
+        Human-readable name used in reports.
+    from_complex:
+        Callable converting a Python ``complex`` into the scalar type.
+    to_complex:
+        Callable converting a scalar back to ``complex`` (rounding).
+    zero / one:
+        Callables producing the additive and multiplicative identities.
+    mul_cost_factor:
+        Cost of one multiplication in this arithmetic relative to a hardware
+        complex-double multiplication.  Double-double ~8, quad-double ~40
+        (software arithmetic; the values follow the paper's discussion and
+        the measurements in [40]).
+    working_precision:
+        Approximate unit roundoff of the arithmetic.
+    bytes_per_real:
+        Storage size of one real component (8 for double, 16 for double
+        double, 32 for quad double); feeds shared-memory budget checks.
+    """
+
+    name: str
+    description: str
+    from_complex: Callable[[complex], Any]
+    to_complex: Callable[[Any], complex]
+    zero: Callable[[], Any]
+    one: Callable[[], Any]
+    mul_cost_factor: float
+    working_precision: float
+    bytes_per_real: int
+
+    def vector(self, values) -> list:
+        """Convert an iterable of complex numbers to a list of scalars."""
+        return [self.from_complex(complex(v)) for v in values]
+
+    def to_complex_vector(self, values) -> list:
+        return [self.to_complex(v) for v in values]
+
+
+DOUBLE = NumericContext(
+    name="d",
+    description="hardware complex double (IEEE binary64 pairs)",
+    from_complex=lambda z: complex(z),
+    to_complex=lambda z: complex(z),
+    zero=lambda: 0j,
+    one=lambda: 1 + 0j,
+    mul_cost_factor=1.0,
+    working_precision=2.220446049250313e-16,
+    bytes_per_real=8,
+)
+
+DOUBLE_DOUBLE = NumericContext(
+    name="dd",
+    description="complex double double (QD-style software arithmetic)",
+    from_complex=lambda z: ComplexDD.from_complex(complex(z)),
+    to_complex=lambda z: z.to_complex(),
+    zero=lambda: ComplexDD(0.0),
+    one=lambda: ComplexDD(1.0),
+    mul_cost_factor=8.0,
+    working_precision=DoubleDouble.eps,
+    bytes_per_real=16,
+)
+
+QUAD_DOUBLE = NumericContext(
+    name="qd",
+    description="complex quad double (QD-style software arithmetic)",
+    from_complex=lambda z: ComplexQD(complex(z)),
+    to_complex=lambda z: z.to_complex(),
+    zero=lambda: ComplexQD(0.0),
+    one=lambda: ComplexQD(1.0),
+    mul_cost_factor=40.0,
+    working_precision=QuadDouble.eps,
+    bytes_per_real=32,
+)
+
+CONTEXTS: Dict[str, NumericContext] = {
+    ctx.name: ctx for ctx in (DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE)
+}
+
+
+def get_context(name: str) -> NumericContext:
+    """Look up a numeric context by its short name (``d``, ``dd``, ``qd``)."""
+    try:
+        return CONTEXTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown numeric context {name!r}; available: {sorted(CONTEXTS)}"
+        ) from None

@@ -1,0 +1,68 @@
+"""Sparse multivariate polynomial substrate.
+
+This subpackage holds the problem-statement machinery of the paper: sparse
+monomials and polynomials stored as coefficient/support tuples, square
+systems with their analytic Jacobians, the random regular benchmark
+generators of section 2, the Speelpenning forward/backward differentiation
+sweep of section 3.2, the constant-memory support encodings of section 3.1,
+and two sequential reference evaluators (naive and common-factor based)
+against which the simulated GPU kernels are validated.
+"""
+
+from .encoding import (
+    PackedSupportEncoding,
+    SupportEncoding,
+    constant_memory_footprint,
+    max_total_monomials_for_constant_memory,
+)
+from .evaluation import EvaluationResult, evaluate_factored, evaluate_naive, power_table
+from .generators import (
+    TABLE1_MONOMIAL_COUNTS,
+    TABLE2_MONOMIAL_COUNTS,
+    TABLE_DIMENSION,
+    random_monomial,
+    random_point,
+    random_regular_system,
+    speelpenning_system,
+    table1_system,
+    table2_system,
+)
+from .monomial import Monomial
+from .polynomial import Polynomial
+from .speelpenning import (
+    OperationCount,
+    expected_gradient_multiplications,
+    naive_gradient,
+    speelpenning_gradient,
+    speelpenning_value,
+)
+from .system import PolynomialSystem, SystemShape
+
+__all__ = [
+    "EvaluationResult",
+    "Monomial",
+    "OperationCount",
+    "PackedSupportEncoding",
+    "Polynomial",
+    "PolynomialSystem",
+    "SupportEncoding",
+    "SystemShape",
+    "TABLE1_MONOMIAL_COUNTS",
+    "TABLE2_MONOMIAL_COUNTS",
+    "TABLE_DIMENSION",
+    "constant_memory_footprint",
+    "evaluate_factored",
+    "evaluate_naive",
+    "expected_gradient_multiplications",
+    "max_total_monomials_for_constant_memory",
+    "naive_gradient",
+    "power_table",
+    "random_monomial",
+    "random_point",
+    "random_regular_system",
+    "speelpenning_gradient",
+    "speelpenning_system",
+    "speelpenning_value",
+    "table1_system",
+    "table2_system",
+]

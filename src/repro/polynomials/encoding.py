@@ -1,0 +1,242 @@
+"""Constant-memory encoding of monomial supports (``Positions``/``Exponents``).
+
+Section 3.1 of the paper reserves two arrays of unsigned chars in the GPU's
+constant memory:
+
+* ``Positions[t]`` -- the index (0..255) of a variable occurring in one of the
+  monomials of the system, and
+* ``Exponents[t]`` -- that variable's exponent *decreased by one*, allowing
+  exponents up to 256.
+
+Both arrays are laid out monomial-by-monomial in the order of the monomial
+sequence ``Sm`` (first all monomials of the first polynomial, then the second,
+and so on), ``k`` entries per monomial.  The capacity of constant memory
+(65,536 bytes on the Tesla C2050) therefore caps the working dimensions: the
+paper reports dimension 30 needs ``900 * 2 * 15 <= 30,000`` bytes and
+dimension 40 needs ``1,600 * 2 * 20 = 64,000`` bytes, and that 2,048
+monomials with ``k = 16`` no longer fit -- which is why Tables 1 and 2 stop at
+1,536 monomials.
+
+:class:`SupportEncoding` implements this byte-per-entry format.
+:class:`PackedSupportEncoding` implements the "more compact encoding" the
+paper announces as future work: positions packed into 6 bits and exponents
+into 4 bits (sufficient for dimensions up to 64 and degrees up to 16), at the
+price of the decode branching the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, ConstantMemoryOverflow
+from .system import PolynomialSystem
+
+__all__ = [
+    "SupportEncoding",
+    "PackedSupportEncoding",
+    "constant_memory_footprint",
+    "max_total_monomials_for_constant_memory",
+]
+
+#: Capacity of the constant memory of the Tesla C2050, in bytes.
+DEFAULT_CONSTANT_MEMORY_BYTES = 65536
+
+
+@dataclass(frozen=True)
+class SupportEncoding:
+    """Byte-per-entry encoding of all monomial supports of a regular system.
+
+    Attributes
+    ----------
+    positions:
+        ``uint8`` array of length ``n * m * k`` with the variable indices,
+        monomial-major in the order of the sequence ``Sm``.
+    exponents:
+        ``uint8`` array of the same length holding ``exponent - 1``.
+    variables_per_monomial:
+        The ``k`` of the regular system.
+    total_monomials:
+        ``n * m``.
+    """
+
+    positions: np.ndarray
+    exponents: np.ndarray
+    variables_per_monomial: int
+    total_monomials: int
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_system(cls, system: PolynomialSystem) -> "SupportEncoding":
+        """Encode a regular system; raises if it violates the byte limits."""
+        shape = system.require_regular()
+        k = shape.variables_per_monomial
+        if system.dimension > 256:
+            raise ConfigurationError(
+                "the byte encoding stores variable positions in one unsigned "
+                f"char; dimension {system.dimension} exceeds 256"
+            )
+        if shape.max_variable_degree > 256:
+            raise ConfigurationError(
+                "the byte encoding stores exponent-1 in one unsigned char; "
+                f"degree {shape.max_variable_degree} exceeds 256"
+            )
+        positions: List[int] = []
+        exponents: List[int] = []
+        for poly in system:
+            for _, mono in poly.terms:
+                positions.extend(mono.positions)
+                exponents.extend(e - 1 for e in mono.exponents)
+        return cls(
+            positions=np.asarray(positions, dtype=np.uint8),
+            exponents=np.asarray(exponents, dtype=np.uint8),
+            variables_per_monomial=k,
+            total_monomials=shape.total_monomials,
+        )
+
+    # -- size accounting -------------------------------------------------
+    @property
+    def bytes_used(self) -> int:
+        """Total constant-memory footprint in bytes (both arrays)."""
+        return int(self.positions.nbytes + self.exponents.nbytes)
+
+    def fits_in(self, capacity_bytes: int = DEFAULT_CONSTANT_MEMORY_BYTES) -> bool:
+        return self.bytes_used <= capacity_bytes
+
+    def require_fits(self, capacity_bytes: int = DEFAULT_CONSTANT_MEMORY_BYTES) -> None:
+        if not self.fits_in(capacity_bytes):
+            raise ConstantMemoryOverflow(
+                f"the Positions/Exponents tables need {self.bytes_used} bytes "
+                f"but constant memory holds only {capacity_bytes} bytes "
+                f"(total monomials {self.total_monomials}, k="
+                f"{self.variables_per_monomial}); the paper hits this limit "
+                "at 2,048 monomials with k = 16"
+            )
+
+    # -- decoding ---------------------------------------------------------
+    def monomial_entry(self, monomial_index: int, j: int) -> Tuple[int, int]:
+        """Return ``(position, exponent)`` of the ``j``-th variable of the
+        ``monomial_index``-th monomial of ``Sm`` (exponent already +1)."""
+        k = self.variables_per_monomial
+        if not (0 <= monomial_index < self.total_monomials):
+            raise IndexError(f"monomial index {monomial_index} out of range")
+        if not (0 <= j < k):
+            raise IndexError(f"variable slot {j} out of range for k={k}")
+        base = monomial_index * k
+        return int(self.positions[base + j]), int(self.exponents[base + j]) + 1
+
+    def decode_monomial(self, monomial_index: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Positions and exponents (true values) of one monomial."""
+        k = self.variables_per_monomial
+        base = monomial_index * k
+        pos = tuple(int(p) for p in self.positions[base:base + k])
+        exp = tuple(int(e) + 1 for e in self.exponents[base:base + k])
+        return pos, exp
+
+
+@dataclass(frozen=True)
+class PackedSupportEncoding:
+    """The compact encoding the paper plans as future work.
+
+    Every (position, exponent-1) pair is packed into a single 16-bit word --
+    10 bits for the position (dimensions up to 1024) and 6 bits for the
+    exponent (degrees up to 64).  For dimensions that still fit in one byte
+    this costs the same two bytes per entry as :class:`SupportEncoding`, but
+    it keeps that footprint for dimensions up to 1024 where the byte encoding
+    would have to fall back to separate 16-bit positions plus 8-bit exponents
+    (three bytes per entry).  Decoding requires shift/mask work per entry,
+    which is the "branching/decoding" overhead the paper argues is dominated
+    by the multiplication work that follows.
+    """
+
+    packed: np.ndarray  # uint16, length n*m*k
+    variables_per_monomial: int
+    total_monomials: int
+
+    POSITION_BITS = 10
+    EXPONENT_BITS = 6
+
+    @classmethod
+    def from_system(cls, system: PolynomialSystem) -> "PackedSupportEncoding":
+        shape = system.require_regular()
+        if system.dimension > (1 << cls.POSITION_BITS):
+            raise ConfigurationError(
+                f"packed encoding supports dimensions up to {1 << cls.POSITION_BITS}"
+            )
+        if shape.max_variable_degree > (1 << cls.EXPONENT_BITS):
+            raise ConfigurationError(
+                f"packed encoding supports degrees up to {1 << cls.EXPONENT_BITS}"
+            )
+        packed: List[int] = []
+        for poly in system:
+            for _, mono in poly.terms:
+                for p, e in zip(mono.positions, mono.exponents):
+                    packed.append((p << cls.EXPONENT_BITS) | (e - 1))
+        return cls(
+            packed=np.asarray(packed, dtype=np.uint16),
+            variables_per_monomial=shape.variables_per_monomial,
+            total_monomials=shape.total_monomials,
+        )
+
+    @property
+    def bytes_used(self) -> int:
+        return int(self.packed.nbytes)
+
+    def fits_in(self, capacity_bytes: int = DEFAULT_CONSTANT_MEMORY_BYTES) -> bool:
+        return self.bytes_used <= capacity_bytes
+
+    def require_fits(self, capacity_bytes: int = DEFAULT_CONSTANT_MEMORY_BYTES) -> None:
+        if not self.fits_in(capacity_bytes):
+            raise ConstantMemoryOverflow(
+                f"the packed support table needs {self.bytes_used} bytes but "
+                f"constant memory holds only {capacity_bytes} bytes"
+            )
+
+    def monomial_entry(self, monomial_index: int, j: int) -> Tuple[int, int]:
+        k = self.variables_per_monomial
+        if not (0 <= monomial_index < self.total_monomials):
+            raise IndexError(f"monomial index {monomial_index} out of range")
+        if not (0 <= j < k):
+            raise IndexError(f"variable slot {j} out of range for k={k}")
+        word = int(self.packed[monomial_index * k + j])
+        position = word >> self.EXPONENT_BITS
+        exponent = (word & ((1 << self.EXPONENT_BITS) - 1)) + 1
+        return position, exponent
+
+    def decode_monomial(self, monomial_index: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        k = self.variables_per_monomial
+        pos = []
+        exp = []
+        for j in range(k):
+            p, e = self.monomial_entry(monomial_index, j)
+            pos.append(p)
+            exp.append(e)
+        return tuple(pos), tuple(exp)
+
+
+def constant_memory_footprint(total_monomials: int, variables_per_monomial: int,
+                              packed: bool = False) -> int:
+    """Bytes of constant memory needed by the support tables.
+
+    With the byte encoding each monomial costs ``2 * k`` bytes (one position
+    byte and one exponent byte per occurring variable) -- the paper's
+    ``900 x 2 x 15`` and ``1,600 x 2 x 20`` examples.  The packed encoding
+    costs ``2 * k`` bytes per monomial as well but in a single 16-bit word
+    per variable, i.e. half the entries; we report its true ``2 * k`` bytes
+    (uint16) which equals the byte encoding -- the saving appears when the
+    byte encoding would need 16-bit positions for dimensions above 256.
+    """
+    if packed:
+        return total_monomials * variables_per_monomial * 2
+    return total_monomials * variables_per_monomial * 2
+
+
+def max_total_monomials_for_constant_memory(
+        variables_per_monomial: int,
+        capacity_bytes: int = DEFAULT_CONSTANT_MEMORY_BYTES,
+        packed: bool = False) -> int:
+    """Largest total monomial count whose support tables fit in constant memory."""
+    per_monomial = constant_memory_footprint(1, variables_per_monomial, packed=packed)
+    return capacity_bytes // per_monomial

@@ -1,0 +1,177 @@
+"""Sequential (CPU) evaluation of a system and its Jacobian.
+
+Two reference algorithms are provided:
+
+* :func:`evaluate_naive` -- evaluate every polynomial of the system and of the
+  Jacobian matrix directly from the analytic derivatives, monomial by
+  monomial.  This is the simplest possible baseline; it corresponds to what a
+  straightforward CPU implementation without algorithmic differentiation
+  would do and serves as the ground truth for everything else.
+
+* :func:`evaluate_factored` -- the paper's algorithm run sequentially: for
+  every monomial compute the common factor (from a precomputed table of
+  variable powers), run the Speelpenning forward/backward sweep, multiply by
+  the common factor and the coefficients, then accumulate the additive terms
+  of the ``n^2 + n`` target polynomials.  This is exactly what the three GPU
+  kernels do, so it both validates the simulated kernels and provides the
+  single-core timing baseline of the paper's Tables (the paper's CPU code
+  uses the same evaluation scheme).
+
+Both return an :class:`EvaluationResult` carrying the system values, the
+Jacobian matrix and an operation tally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .speelpenning import OperationCount, speelpenning_gradient
+from .system import PolynomialSystem
+
+__all__ = ["EvaluationResult", "evaluate_naive", "evaluate_factored", "power_table"]
+
+
+@dataclass
+class EvaluationResult:
+    """Values of the system and its Jacobian at one point, plus op counts."""
+
+    values: List
+    jacobian: List[List]
+    operations: OperationCount = field(default_factory=OperationCount)
+
+    def as_tuple(self):
+        return self.values, self.jacobian
+
+
+def _zero(context, like=None):
+    if context is not None:
+        return context.zero()
+    return 0j
+
+
+def evaluate_naive(system: PolynomialSystem, point: Sequence,
+                   context=None) -> EvaluationResult:
+    """Direct evaluation of ``f`` and ``J_f`` from the analytic derivatives."""
+    count = OperationCount()
+    n = system.dimension
+    values = []
+    jacobian = []
+    for poly in system:
+        values.append(poly.evaluate(point, context=context))
+        row = []
+        for j in range(n):
+            row.append(poly.derivative(j).evaluate(point, context=context))
+        jacobian.append(row)
+        # Operation accounting: every term of every evaluated polynomial costs
+        # (total_degree - 1) multiplications for the monomial plus one for the
+        # coefficient, and the summation costs (#terms - 1) additions.
+        for target in [poly] + [poly.derivative(j) for j in range(n)]:
+            for _, mono in target.terms:
+                count.multiplications += max(mono.total_degree - 1, 0) + 1
+            count.additions += max(target.num_terms - 1, 0)
+    return EvaluationResult(values=values, jacobian=jacobian, operations=count)
+
+
+def power_table(point: Sequence, max_degree: int, context=None) -> List[List]:
+    """Powers ``x_i^j`` for ``j = 1 .. max_degree - 1`` of every variable.
+
+    Index ``table[i][j]`` holds ``x_i^j`` (``table[i][0]`` is the scalar one).
+    This mirrors the first stage of kernel 1, which precomputes the powers
+    from the 2nd to the ``(d-1)``-th of every variable in shared memory.
+    The number of multiplications is ``n * (max_degree - 2)`` when
+    ``max_degree >= 2`` and zero otherwise.
+    """
+    one = 1.0 if context is None else context.one()
+    table: List[List] = []
+    for x in point:
+        row = [one, x]
+        for _ in range(max_degree - 2):
+            row.append(row[-1] * x)
+        table.append(row)
+    return table
+
+
+def evaluate_factored(system: PolynomialSystem, point: Sequence,
+                      context=None) -> EvaluationResult:
+    """The paper's common-factor + Speelpenning evaluation, run sequentially.
+
+    The result is numerically identical (up to the usual floating-point
+    reordering effects) to :func:`evaluate_naive`, but the multiplication
+    count per monomial follows the paper's ``5k - 4`` analysis plus the
+    common-factor work, which is what the GPU cost model charges.
+    """
+    n = system.dimension
+    count = OperationCount()
+
+    coeffs_context = context
+    point = list(point)
+
+    # Stage 0 (kernel 1, stage 1): power table up to degree d - 1.
+    d = max(p.max_variable_degree for p in system.polynomials)
+    powers = power_table(point, d, context=context)
+    if d >= 2:
+        count.multiplications += n * (d - 2)
+
+    # Values of the system and Jacobian accumulate here.
+    values = [_zero(context) for _ in range(n)]
+    jacobian = [[_zero(context) for _ in range(n)] for _ in range(n)]
+
+    for poly_index, poly in enumerate(system):
+        for coeff, mono in poly.terms:
+            k = mono.num_variables
+            c = coeffs_context.from_complex(coeff) if coeffs_context is not None else coeff
+
+            # Stage 1 (kernel 1, stage 2): the common factor as a product of
+            # k power-table entries (k - 1 multiplications).
+            factor = None
+            for p, e in zip(mono.positions, mono.exponents):
+                entry = powers[p][e - 1]
+                factor = entry if factor is None else factor * entry
+            if k >= 1:
+                count.multiplications += max(k - 1, 0)
+
+            # Stage 2 (kernel 2): Speelpenning product derivatives (3k - 6),
+            # multiply by the common factor (k), recover the monomial value
+            # (1), multiply monomial and derivatives by coefficients (k + 1).
+            factors = [point[p] for p in mono.positions]
+            sp_grad, sp_count = speelpenning_gradient(factors)
+            count += sp_count
+
+            if k == 0:
+                term_value = c
+                values[poly_index] = values[poly_index] + term_value
+                count.additions += 1
+                continue
+
+            monomial_derivatives = []
+            for g in sp_grad:
+                if factor is None:
+                    monomial_derivatives.append(g)
+                else:
+                    monomial_derivatives.append(g * factor)
+                    count.multiplications += 1
+
+            # Monomial value = derivative w.r.t. the last variable times that
+            # variable (one extra multiplication), as in the kernel.
+            monomial_value = monomial_derivatives[-1] * point[mono.positions[-1]]
+            count.multiplications += 1
+
+            # Multiply by coefficients: the true derivative of c*x^a w.r.t.
+            # x_i is c * a_i * x^(a - e_i); the exponent scale a_i folds into
+            # the "coefficient of the derivative" exactly as the paper's
+            # Coeffs array stores it.
+            term_value = monomial_value * c
+            count.multiplications += 1
+            values[poly_index] = values[poly_index] + term_value
+            count.additions += 1
+
+            for slot, variable in enumerate(mono.positions):
+                exponent = mono.exponents[slot]
+                dcoeff = c * exponent
+                deriv_value = monomial_derivatives[slot] * dcoeff
+                count.multiplications += 1
+                jacobian[poly_index][variable] = jacobian[poly_index][variable] + deriv_value
+                count.additions += 1
+
+    return EvaluationResult(values=values, jacobian=jacobian, operations=count)

@@ -1,0 +1,183 @@
+"""Random benchmark systems with the paper's regular structure.
+
+Section 2 of the paper fixes, for benchmarking purposes, a number of
+variables ``n``, a number ``m`` of monomials in every polynomial, a number
+``k`` of variables occurring in every monomial and a maximal degree ``d`` for
+any variable.  Section 4 then uses dimension ``n = 32`` with ``m`` in
+``{22, 32, 48}`` monomials per polynomial (704, 1024, 1536 monomials in
+total), with monomial shapes ``k = 9, d <= 2`` (Table 1) and
+``k = 16, d <= 10`` (Table 2).
+
+:func:`random_regular_system` generates such systems reproducibly;
+:func:`table1_system` and :func:`table2_system` wrap the exact configurations
+of the paper's two tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .monomial import Monomial
+from .polynomial import Polynomial
+from .system import PolynomialSystem, SystemShape
+
+__all__ = [
+    "random_regular_system",
+    "random_point",
+    "random_monomial",
+    "speelpenning_system",
+    "table1_system",
+    "table2_system",
+    "TABLE1_MONOMIAL_COUNTS",
+    "TABLE2_MONOMIAL_COUNTS",
+    "TABLE_DIMENSION",
+]
+
+#: Total monomial counts reported in Tables 1 and 2 of the paper.
+TABLE1_MONOMIAL_COUNTS: Tuple[int, ...] = (704, 1024, 1536)
+TABLE2_MONOMIAL_COUNTS: Tuple[int, ...] = (704, 1024, 1536)
+
+#: Dimension used throughout the computational experiments (the warp size).
+TABLE_DIMENSION: int = 32
+
+
+def _unit_coefficient(rng: np.random.Generator) -> complex:
+    """A random coefficient on the complex unit circle.
+
+    Homotopy-continuation software conventionally uses unit-modulus random
+    coefficients (the "gamma trick"); they keep evaluation well scaled, which
+    matters for the double-vs-double-double accuracy comparisons.
+    """
+    angle = rng.uniform(0.0, 2.0 * math.pi)
+    return complex(math.cos(angle), math.sin(angle))
+
+
+def random_monomial(rng: np.random.Generator, dimension: int,
+                    variables_per_monomial: int,
+                    max_variable_degree: int) -> Monomial:
+    """A random sparse monomial with exactly ``k`` variables, degrees in [1, d]."""
+    if variables_per_monomial > dimension:
+        raise ConfigurationError(
+            f"cannot place {variables_per_monomial} distinct variables in a "
+            f"monomial of a {dimension}-dimensional system"
+        )
+    if max_variable_degree < 1:
+        raise ConfigurationError("max_variable_degree must be at least 1")
+    positions = np.sort(rng.choice(dimension, size=variables_per_monomial, replace=False))
+    exponents = rng.integers(1, max_variable_degree + 1, size=variables_per_monomial)
+    return Monomial(tuple(int(p) for p in positions), tuple(int(e) for e in exponents))
+
+
+def random_regular_system(dimension: int,
+                          monomials_per_polynomial: int,
+                          variables_per_monomial: int,
+                          max_variable_degree: int,
+                          seed: Optional[int] = None) -> PolynomialSystem:
+    """Generate a random regular system with the paper's benchmark structure.
+
+    Parameters mirror section 2 of the paper: ``n``, ``m``, ``k``, ``d``.
+    Monomials within one polynomial are drawn independently; coefficients are
+    random unit-modulus complex numbers.  Distinct supports are enforced
+    within each polynomial so that the number of monomials is exactly ``m``.
+    """
+    rng = np.random.default_rng(seed)
+    if monomials_per_polynomial < 1:
+        raise ConfigurationError("monomials_per_polynomial must be at least 1")
+    polynomials: List[Polynomial] = []
+    for _ in range(dimension):
+        seen = set()
+        terms = []
+        attempts = 0
+        max_attempts = 200 * monomials_per_polynomial
+        while len(terms) < monomials_per_polynomial:
+            mono = random_monomial(rng, dimension, variables_per_monomial,
+                                   max_variable_degree)
+            key = (mono.positions, mono.exponents)
+            attempts += 1
+            if key in seen:
+                if attempts > max_attempts:
+                    raise ConfigurationError(
+                        "could not generate enough distinct monomials; the "
+                        "requested (k, d) support space is too small for m="
+                        f"{monomials_per_polynomial}"
+                    )
+                continue
+            seen.add(key)
+            terms.append((_unit_coefficient(rng), mono))
+        polynomials.append(Polynomial(terms))
+    return PolynomialSystem(polynomials, dimension=dimension)
+
+
+def random_point(dimension: int, seed: Optional[int] = None,
+                 radius: float = 1.0) -> List[complex]:
+    """A random complex evaluation point with components of modulus ``radius``.
+
+    Unit-modulus points keep powers bounded, matching how path trackers
+    normalise their working points.
+    """
+    rng = np.random.default_rng(seed)
+    angles = rng.uniform(0.0, 2.0 * math.pi, size=dimension)
+    return [radius * complex(math.cos(a), math.sin(a)) for a in angles]
+
+
+def speelpenning_system(dimension: int) -> PolynomialSystem:
+    """The classic Speelpenning example embedded as a system.
+
+    Every polynomial is the full product ``x_0 x_1 ... x_{n-1}`` minus a
+    constant; useful as a worst case for differentiation (every derivative is
+    a product of ``n - 1`` variables) and as a readable example system.
+    """
+    product = Monomial(tuple(range(dimension)), tuple([1] * dimension))
+    constant = Monomial((), ())
+    polys = []
+    for i in range(dimension):
+        polys.append(Polynomial([(1 + 0j, product), (-(i + 1) + 0j, constant)]))
+    return PolynomialSystem(polys, dimension=dimension)
+
+
+def _monomials_per_polynomial(total_monomials: int, dimension: int) -> int:
+    if total_monomials % dimension:
+        raise ConfigurationError(
+            f"total monomial count {total_monomials} is not divisible by the "
+            f"dimension {dimension}"
+        )
+    return total_monomials // dimension
+
+
+def table1_system(total_monomials: int = 1024,
+                  seed: Optional[int] = 20120102) -> PolynomialSystem:
+    """A system with the structure of the paper's Table 1.
+
+    Dimension 32; ``total_monomials`` in {704, 1024, 1536}; each monomial has
+    9 variables occurring with nonzero power of at most 2.
+    """
+    m = _monomials_per_polynomial(total_monomials, TABLE_DIMENSION)
+    return random_regular_system(
+        dimension=TABLE_DIMENSION,
+        monomials_per_polynomial=m,
+        variables_per_monomial=9,
+        max_variable_degree=2,
+        seed=seed,
+    )
+
+
+def table2_system(total_monomials: int = 1024,
+                  seed: Optional[int] = 20120102) -> PolynomialSystem:
+    """A system with the structure of the paper's Table 2.
+
+    Dimension 32; each monomial has 16 variables occurring with nonzero power
+    of at most 10.
+    """
+    m = _monomials_per_polynomial(total_monomials, TABLE_DIMENSION)
+    return random_regular_system(
+        dimension=TABLE_DIMENSION,
+        monomials_per_polynomial=m,
+        variables_per_monomial=16,
+        max_variable_degree=10,
+        seed=seed,
+    )

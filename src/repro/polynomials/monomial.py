@@ -1,0 +1,204 @@
+"""Sparse monomials in several variables.
+
+A monomial ``x^a = x_{i1}^{a_{i1}} ... x_{ik}^{a_{ik}}`` is stored sparsely as
+the pair of tuples ``positions`` (the indices ``i1 < i2 < ... < ik`` of the
+variables that occur) and ``exponents`` (their positive exponents), exactly as
+the paper's constant-memory arrays ``Positions`` and ``Exponents`` store them
+(with the exponent decremented by one in the on-device encoding, see
+:mod:`repro.polynomials.encoding`).
+
+The class knows how to split itself into the paper's two factors:
+
+* the *common factor* ``x_{i1}^{a_{i1}-1} ... x_{ik}^{a_{ik}-1}`` computed by
+  kernel 1, and
+* the *Speelpenning product* ``x_{i1} x_{i2} ... x_{ik}`` whose value and
+  gradient kernel 2 computes with the forward/backward sweep;
+
+and how to produce its analytic partial derivatives, which the tests use as
+the ground truth for every kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["Monomial"]
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """A sparse monomial ``prod_j x_{positions[j]} ** exponents[j]``.
+
+    Parameters
+    ----------
+    positions:
+        Strictly increasing indices (0-based) of the variables that occur.
+    exponents:
+        Positive integer exponents, one per position.
+    """
+
+    positions: Tuple[int, ...]
+    exponents: Tuple[int, ...]
+
+    def __post_init__(self):
+        positions = tuple(int(p) for p in self.positions)
+        exponents = tuple(int(e) for e in self.exponents)
+        object.__setattr__(self, "positions", positions)
+        object.__setattr__(self, "exponents", exponents)
+        if len(positions) != len(exponents):
+            raise ConfigurationError(
+                f"positions and exponents must have equal length "
+                f"({len(positions)} vs {len(exponents)})"
+            )
+        if any(e < 1 for e in exponents):
+            raise ConfigurationError("all exponents of a sparse monomial must be >= 1")
+        if any(p < 0 for p in positions):
+            raise ConfigurationError("variable positions must be non-negative")
+        if any(positions[i] >= positions[i + 1] for i in range(len(positions) - 1)):
+            raise ConfigurationError("variable positions must be strictly increasing")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense_exponents(cls, dense: Sequence[int]) -> "Monomial":
+        """Build from a dense exponent vector (one entry per variable)."""
+        positions = tuple(i for i, e in enumerate(dense) if e)
+        exponents = tuple(int(dense[i]) for i in positions)
+        return cls(positions, exponents)
+
+    @classmethod
+    def from_dict(cls, mapping: Dict[int, int]) -> "Monomial":
+        """Build from a ``{variable index: exponent}`` mapping."""
+        items = sorted((int(k), int(v)) for k, v in mapping.items() if v)
+        return cls(tuple(k for k, _ in items), tuple(v for _, v in items))
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        """The paper's ``k``: how many distinct variables occur."""
+        return len(self.positions)
+
+    @property
+    def total_degree(self) -> int:
+        return sum(self.exponents)
+
+    @property
+    def max_exponent(self) -> int:
+        """The paper's per-variable degree bound ``d`` contribution."""
+        return max(self.exponents) if self.exponents else 0
+
+    def dense_exponents(self, n: int) -> Tuple[int, ...]:
+        """Dense exponent vector of length ``n`` (the multi-index ``a``)."""
+        if self.positions and self.positions[-1] >= n:
+            raise ConfigurationError(
+                f"monomial references variable {self.positions[-1]} "
+                f"but the system has only {n} variables"
+            )
+        dense = [0] * n
+        for p, e in zip(self.positions, self.exponents):
+            dense[p] = e
+        return tuple(dense)
+
+    def exponent_of(self, variable: int) -> int:
+        """Exponent of ``x_variable`` (0 when the variable does not occur)."""
+        for p, e in zip(self.positions, self.exponents):
+            if p == variable:
+                return e
+        return 0
+
+    def contains(self, variable: int) -> bool:
+        return variable in self.positions
+
+    def __iter__(self):
+        return iter(zip(self.positions, self.exponents))
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __str__(self) -> str:
+        if not self.positions:
+            return "1"
+        parts = []
+        for p, e in zip(self.positions, self.exponents):
+            parts.append(f"x{p}" if e == 1 else f"x{p}^{e}")
+        return "*".join(parts)
+
+    # ------------------------------------------------------------------
+    # the paper's factorisation
+    # ------------------------------------------------------------------
+    def common_factor(self) -> "Monomial":
+        """The common factor ``x^(a-1)`` over the occurring variables.
+
+        This is what kernel 1 evaluates.  Variables whose exponent is 1
+        disappear from the factor (their decremented exponent is 0).
+        """
+        positions = tuple(p for p, e in zip(self.positions, self.exponents) if e > 1)
+        exponents = tuple(e - 1 for e in self.exponents if e > 1)
+        return Monomial(positions, exponents)
+
+    def speelpenning_positions(self) -> Tuple[int, ...]:
+        """The variable indices of the Speelpenning product ``x_{i1}...x_{ik}``."""
+        return self.positions
+
+    # ------------------------------------------------------------------
+    # evaluation and differentiation (reference implementations)
+    # ------------------------------------------------------------------
+    def evaluate(self, values: Sequence) -> object:
+        """Evaluate at ``values`` (a full-length vector of any scalar type)."""
+        result = None
+        for p, e in zip(self.positions, self.exponents):
+            term = values[p]
+            power = term
+            for _ in range(e - 1):
+                power = power * term
+            result = power if result is None else result * power
+        if result is None:
+            # The empty monomial is the constant 1.  A plain float works with
+            # every scalar type used here (complex, ComplexDD, ComplexQD)
+            # because they all accept mixed arithmetic with floats.
+            return 1.0
+        return result
+
+    def derivative(self, variable: int) -> Tuple[int, "Monomial"]:
+        """Analytic partial derivative with respect to ``x_variable``.
+
+        Returns ``(scale, monomial)`` such that
+        ``d(x^a)/dx_variable == scale * monomial``.  The scale is the integer
+        exponent; when the variable does not occur the scale is 0 and the
+        returned monomial is the constant 1.
+        """
+        e = self.exponent_of(variable)
+        if e == 0:
+            return 0, Monomial((), ())
+        mapping = {p: x for p, x in zip(self.positions, self.exponents)}
+        if e == 1:
+            del mapping[variable]
+        else:
+            mapping[variable] = e - 1
+        return e, Monomial.from_dict(mapping)
+
+    def evaluate_gradient(self, values: Sequence) -> Dict[int, object]:
+        """Dictionary ``{variable: d(x^a)/dx_variable evaluated at values}``.
+
+        A straightforward (not operation-count optimal) reference used to
+        validate the Speelpenning/common-factor pipeline of the kernels.
+        """
+        grad: Dict[int, object] = {}
+        for p in self.positions:
+            scale, mono = self.derivative(p)
+            value = mono.evaluate(values)
+            grad[p] = value * scale
+        return grad
+
+    def multiply(self, other: "Monomial") -> "Monomial":
+        """Product of two monomials (exponents add)."""
+        mapping: Dict[int, int] = {p: e for p, e in zip(self.positions, self.exponents)}
+        for p, e in zip(other.positions, other.exponents):
+            mapping[p] = mapping.get(p, 0) + e
+        return Monomial.from_dict(mapping)

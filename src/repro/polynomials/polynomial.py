@@ -1,0 +1,177 @@
+"""Sparse polynomials: coefficient/support pairs.
+
+A polynomial ``f(x) = sum_{a in A} c_a x^a`` is stored as a list of terms,
+each a ``(coefficient, Monomial)`` pair -- precisely the tuple ``(C, A)`` of
+coefficients and supports of the paper's problem statement (equation (1)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .monomial import Monomial
+
+__all__ = ["Polynomial"]
+
+
+class Polynomial:
+    """A sparse polynomial in several variables with complex coefficients."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Iterable[Tuple[complex, Monomial]]):
+        cleaned: List[Tuple[complex, Monomial]] = []
+        for coeff, mono in terms:
+            if not isinstance(mono, Monomial):
+                raise ConfigurationError("each term must pair a coefficient with a Monomial")
+            coeff = complex(coeff)
+            if coeff == 0:
+                continue
+            cleaned.append((coeff, mono))
+        self.terms = tuple(cleaned)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_support(cls, coefficients: Sequence[complex],
+                     support: Sequence[Sequence[int]]) -> "Polynomial":
+        """Build from parallel lists of coefficients and dense exponent rows."""
+        if len(coefficients) != len(support):
+            raise ConfigurationError("coefficients and support must have equal length")
+        return cls((c, Monomial.from_dense_exponents(a))
+                   for c, a in zip(coefficients, support))
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        return cls(())
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def num_terms(self) -> int:
+        """The paper's ``m`` for this polynomial."""
+        return len(self.terms)
+
+    @property
+    def total_degree(self) -> int:
+        return max((m.total_degree for _, m in self.terms), default=0)
+
+    @property
+    def max_variable_degree(self) -> int:
+        """The paper's ``d``: largest exponent of any single variable."""
+        return max((m.max_exponent for _, m in self.terms), default=0)
+
+    @property
+    def max_variables_per_monomial(self) -> int:
+        """The paper's ``k`` (maximum over terms)."""
+        return max((m.num_variables for _, m in self.terms), default=0)
+
+    def variables(self) -> Tuple[int, ...]:
+        """Sorted indices of all variables appearing in the polynomial."""
+        seen = set()
+        for _, mono in self.terms:
+            seen.update(mono.positions)
+        return tuple(sorted(seen))
+
+    def coefficients(self) -> Tuple[complex, ...]:
+        return tuple(c for c, _ in self.terms)
+
+    def support(self, n: int) -> Tuple[Tuple[int, ...], ...]:
+        """Dense exponent matrix (one row per term) for ``n`` variables."""
+        return tuple(m.dense_exponents(n) for _, m in self.terms)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __iter__(self):
+        return iter(self.terms)
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for coeff, mono in self.terms:
+            if mono.num_variables == 0:
+                parts.append(f"({coeff})")
+            else:
+                parts.append(f"({coeff})*{mono}")
+        return " + ".join(parts)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.as_dict().items(),
+                                 key=lambda kv: kv[0])))
+
+    def as_dict(self) -> Dict[Tuple[Tuple[int, int], ...], complex]:
+        """Canonical form: map from ((pos, exp), ...) to summed coefficient."""
+        out: Dict[Tuple[Tuple[int, int], ...], complex] = {}
+        for coeff, mono in self.terms:
+            key = tuple(zip(mono.positions, mono.exponents))
+            out[key] = out.get(key, 0j) + coeff
+        return {k: v for k, v in out.items() if v != 0}
+
+    # ------------------------------------------------------------------
+    # calculus
+    # ------------------------------------------------------------------
+    def evaluate(self, values: Sequence, context=None) -> object:
+        """Evaluate at ``values``.
+
+        ``values`` may hold any scalar type (complex, ComplexDD, ComplexQD).
+        When ``context`` is given, the coefficients are converted into that
+        arithmetic before multiplying, so the whole computation stays in the
+        extended precision.
+        """
+        acc = None
+        for coeff, mono in self.terms:
+            c = context.from_complex(coeff) if context is not None else coeff
+            term = c * mono.evaluate(values)
+            acc = term if acc is None else acc + term
+        if acc is None:
+            return context.zero() if context is not None else 0j
+        return acc
+
+    def derivative(self, variable: int) -> "Polynomial":
+        """Analytic partial derivative as a new :class:`Polynomial`."""
+        terms = []
+        for coeff, mono in self.terms:
+            scale, dmono = mono.derivative(variable)
+            if scale:
+                terms.append((coeff * scale, dmono))
+        return Polynomial(terms)
+
+    def gradient(self, n: int) -> Tuple["Polynomial", ...]:
+        """All ``n`` partial derivatives."""
+        return tuple(self.derivative(i) for i in range(n))
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return Polynomial(tuple(self.terms) + tuple(other.terms))
+
+    def __mul__(self, other) -> "Polynomial":
+        if isinstance(other, Polynomial):
+            terms = []
+            for c1, m1 in self.terms:
+                for c2, m2 in other.terms:
+                    terms.append((c1 * c2, m1.multiply(m2)))
+            return Polynomial(terms)
+        if isinstance(other, (int, float, complex)):
+            return Polynomial((complex(other) * c, m) for c, m in self.terms)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial((-c, m) for c, m in self.terms)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self + (-other)

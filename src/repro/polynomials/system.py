@@ -1,0 +1,207 @@
+"""Polynomial systems ``f(x) = 0`` and their Jacobian matrices.
+
+A :class:`PolynomialSystem` bundles ``n`` sparse polynomials in ``n``
+variables.  The GPU kernels of the paper assume a *regular* structure for
+benchmark systems -- every polynomial has exactly ``m`` monomials, every
+monomial involves exactly ``k`` variables, and no variable exceeds degree
+``d`` -- because regularity is what keeps all threads of a warp on one
+execution path.  :meth:`PolynomialSystem.regularity` reports whether a system
+satisfies those assumptions and with which parameters, and the GPU evaluator
+refuses irregular systems (the CPU references accept anything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .monomial import Monomial
+from .polynomial import Polynomial
+
+__all__ = ["PolynomialSystem", "SystemShape"]
+
+
+@dataclass(frozen=True)
+class SystemShape:
+    """The regular-benchmark parameters of the paper's section 2.
+
+    Attributes
+    ----------
+    dimension:
+        Number of variables and equations ``n``.
+    monomials_per_polynomial:
+        Number of monomials ``m`` in every polynomial.
+    variables_per_monomial:
+        Number of variables ``k`` occurring in every monomial.
+    max_variable_degree:
+        Maximal degree ``d`` with which any variable occurs.
+    """
+
+    dimension: int
+    monomials_per_polynomial: int
+    variables_per_monomial: int
+    max_variable_degree: int
+
+    @property
+    def total_monomials(self) -> int:
+        """``n * m``, the length of the paper's monomial sequence ``Sm``."""
+        return self.dimension * self.monomials_per_polynomial
+
+    @property
+    def jacobian_entries(self) -> int:
+        """``n^2``, number of polynomials in the Jacobian matrix."""
+        return self.dimension * self.dimension
+
+    def __str__(self) -> str:
+        return (f"n={self.dimension}, m={self.monomials_per_polynomial}, "
+                f"k={self.variables_per_monomial}, d={self.max_variable_degree}")
+
+
+class PolynomialSystem:
+    """A square system of sparse polynomials in several variables."""
+
+    __slots__ = ("polynomials", "dimension")
+
+    def __init__(self, polynomials: Sequence[Polynomial], dimension: Optional[int] = None):
+        polys = tuple(polynomials)
+        if not polys:
+            raise ConfigurationError("a polynomial system needs at least one polynomial")
+        if dimension is None:
+            dimension = len(polys)
+        max_var = -1
+        for p in polys:
+            vars_ = p.variables()
+            if vars_:
+                max_var = max(max_var, vars_[-1])
+        if max_var >= dimension:
+            raise ConfigurationError(
+                f"a polynomial references variable x{max_var} but the system "
+                f"dimension is {dimension}"
+            )
+        self.polynomials = polys
+        self.dimension = int(dimension)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def num_polynomials(self) -> int:
+        return len(self.polynomials)
+
+    @property
+    def num_variables(self) -> int:
+        return self.dimension
+
+    @property
+    def total_monomials(self) -> int:
+        """Total number of monomials across the system (``n*m`` when regular)."""
+        return sum(p.num_terms for p in self.polynomials)
+
+    def is_square(self) -> bool:
+        return self.num_polynomials == self.dimension
+
+    def __len__(self) -> int:
+        return len(self.polynomials)
+
+    def __iter__(self):
+        return iter(self.polynomials)
+
+    def __getitem__(self, idx: int) -> Polynomial:
+        return self.polynomials[idx]
+
+    def __str__(self) -> str:
+        return "\n".join(f"f{i}: {p}" for i, p in enumerate(self.polynomials))
+
+    # ------------------------------------------------------------------
+    # regularity (the paper's benchmark assumptions)
+    # ------------------------------------------------------------------
+    def regularity(self) -> Optional[SystemShape]:
+        """Return the :class:`SystemShape` if the system is regular, else None.
+
+        Regular means: every polynomial has the same number of monomials
+        ``m`` and every monomial has the same number of variables ``k``.
+        ``d`` is reported as the maximum variable degree observed.
+        """
+        term_counts = {p.num_terms for p in self.polynomials}
+        if len(term_counts) != 1:
+            return None
+        k_values = set()
+        d = 0
+        for p in self.polynomials:
+            for _, mono in p.terms:
+                k_values.add(mono.num_variables)
+                d = max(d, mono.max_exponent)
+        if len(k_values) != 1:
+            return None
+        return SystemShape(
+            dimension=self.dimension,
+            monomials_per_polynomial=term_counts.pop(),
+            variables_per_monomial=k_values.pop(),
+            max_variable_degree=d,
+        )
+
+    def require_regular(self) -> SystemShape:
+        """Return the shape or raise :class:`ConfigurationError`."""
+        shape = self.regularity()
+        if shape is None:
+            raise ConfigurationError(
+                "the GPU evaluation scheme requires a regular system: every "
+                "polynomial must have the same number of monomials and every "
+                "monomial the same number of variables (see paper, section 2)"
+            )
+        return shape
+
+    # ------------------------------------------------------------------
+    # coefficient / support representation (the tuple (C, A))
+    # ------------------------------------------------------------------
+    def coefficients(self) -> Tuple[Tuple[complex, ...], ...]:
+        return tuple(p.coefficients() for p in self.polynomials)
+
+    def supports(self) -> Tuple[Tuple[Tuple[int, ...], ...], ...]:
+        return tuple(p.support(self.dimension) for p in self.polynomials)
+
+    @classmethod
+    def from_support(cls,
+                     coefficients: Sequence[Sequence[complex]],
+                     supports: Sequence[Sequence[Sequence[int]]]) -> "PolynomialSystem":
+        """Build a system from per-polynomial coefficient and support lists."""
+        if len(coefficients) != len(supports):
+            raise ConfigurationError("coefficients and supports must have equal length")
+        polys = [Polynomial.from_support(c, a) for c, a in zip(coefficients, supports)]
+        return cls(polys)
+
+    # ------------------------------------------------------------------
+    # calculus (reference implementations)
+    # ------------------------------------------------------------------
+    def evaluate(self, values: Sequence, context=None) -> List:
+        """Evaluate all polynomials at ``values`` (any scalar type)."""
+        if len(values) != self.dimension:
+            raise ConfigurationError(
+                f"expected {self.dimension} variable values, got {len(values)}"
+            )
+        return [p.evaluate(values, context=context) for p in self.polynomials]
+
+    def jacobian_polynomials(self) -> Tuple[Tuple[Polynomial, ...], ...]:
+        """The analytic Jacobian as an ``n x n`` matrix of polynomials."""
+        return tuple(
+            tuple(p.derivative(j) for j in range(self.dimension))
+            for p in self.polynomials
+        )
+
+    def evaluate_jacobian(self, values: Sequence, context=None) -> List[List]:
+        """Evaluate the Jacobian matrix at ``values``."""
+        if len(values) != self.dimension:
+            raise ConfigurationError(
+                f"expected {self.dimension} variable values, got {len(values)}"
+            )
+        jac = []
+        for p in self.polynomials:
+            row = [p.derivative(j).evaluate(values, context=context)
+                   for j in range(self.dimension)]
+            jac.append(row)
+        return jac
+
+    def evaluate_with_jacobian(self, values: Sequence, context=None):
+        """Convenience: ``(f(x), J_f(x))`` in one call."""
+        return self.evaluate(values, context=context), self.evaluate_jacobian(values, context=context)

@@ -1,0 +1,66 @@
+"""Homotopy continuation substrate: Newton, homotopies, path tracking.
+
+The paper's kernels exist to feed Newton's corrector inside a polynomial
+homotopy path tracker.  This subpackage provides that application layer so
+the evaluators can be exercised end to end:
+
+* :mod:`~repro.tracking.linsolve` -- generic dense LU over any scalar type;
+* :mod:`~repro.tracking.newton` -- the corrector;
+* :mod:`~repro.tracking.start_systems` -- total-degree start systems;
+* :mod:`~repro.tracking.homotopy` -- the gamma-trick convex homotopy;
+* :mod:`~repro.tracking.predictor` / :mod:`~repro.tracking.tracker` -- the
+  adaptive predictor-corrector loop;
+* :mod:`~repro.tracking.quality_up` -- the precision-for-parallelism
+  accounting of the paper's introduction.
+"""
+
+from .homotopy import Homotopy, HomotopyEvaluation
+from .linsolve import lu_factor, lu_solve, residual_norm, solve, vector_norm
+from .newton import NewtonCorrector, NewtonResult, NewtonStep
+from .predictor import SecantPredictor, TangentPredictor
+from .quality_up import (
+    QualityUpEntry,
+    affordable_precision,
+    measured_overhead_factor,
+    offset_factor,
+    quality_up_table,
+)
+from .solver import Solution, SolveReport, solve_system
+from .start_systems import (
+    sample_start_solutions,
+    start_solutions,
+    total_degree,
+    total_degree_start_system,
+)
+from .tracker import PathPoint, PathResult, PathTracker, TrackerOptions
+
+__all__ = [
+    "Homotopy",
+    "HomotopyEvaluation",
+    "NewtonCorrector",
+    "NewtonResult",
+    "NewtonStep",
+    "PathPoint",
+    "PathResult",
+    "PathTracker",
+    "QualityUpEntry",
+    "SecantPredictor",
+    "Solution",
+    "SolveReport",
+    "TangentPredictor",
+    "TrackerOptions",
+    "solve_system",
+    "affordable_precision",
+    "lu_factor",
+    "lu_solve",
+    "measured_overhead_factor",
+    "offset_factor",
+    "quality_up_table",
+    "residual_norm",
+    "sample_start_solutions",
+    "solve",
+    "start_solutions",
+    "total_degree",
+    "total_degree_start_system",
+    "vector_norm",
+]

@@ -1,0 +1,104 @@
+"""Homotopies between a start system and a target system.
+
+The convex linear homotopy with the "gamma trick"
+
+.. math::  h(x, t) = \\gamma (1 - t)\\, g(x) + t\\, f(x), \\qquad t: 0 \\to 1,
+
+deforms the start system ``g`` into the target ``f``; for a random complex
+``gamma`` the solution paths are smooth with probability one.  The
+:class:`Homotopy` class composes two *evaluators* (anything with
+``evaluate(point)`` returning ``values``/``jacobian``) so that either the
+simulated-GPU pipeline or a CPU reference can supply the expensive
+evaluations, exactly the role the paper intends for its kernels inside
+PHCpack's trackers.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..multiprec.numeric import DOUBLE, NumericContext
+
+__all__ = ["HomotopyEvaluation", "Homotopy"]
+
+
+@dataclass
+class HomotopyEvaluation:
+    """Values, Jacobian and t-derivative of the homotopy at ``(x, t)``."""
+
+    values: List
+    jacobian: List[List]
+    t_derivative: List
+
+
+class Homotopy:
+    """Convex linear homotopy ``gamma (1-t) g(x) + t f(x)``.
+
+    Parameters
+    ----------
+    start_evaluator / target_evaluator:
+        Evaluators of ``g`` and ``f`` (same dimension, same numeric context).
+    gamma:
+        The random accessibility constant; a unit-modulus complex number.
+        When None a fixed pseudo-random value is used so runs reproduce.
+    context:
+        The numeric context shared with the evaluators.
+    """
+
+    def __init__(self, start_evaluator, target_evaluator, *,
+                 gamma: Optional[complex] = None,
+                 context: NumericContext = DOUBLE,
+                 dimension: Optional[int] = None):
+        self.start_evaluator = start_evaluator
+        self.target_evaluator = target_evaluator
+        self.context = context
+        if gamma is None:
+            gamma = cmath.exp(1j * 0.84719633)  # fixed unit-modulus constant
+        if abs(abs(gamma) - 1.0) > 1e-8:
+            raise ConfigurationError("gamma should be a unit-modulus complex number")
+        self.gamma = complex(gamma)
+        self.dimension = dimension
+
+    # ------------------------------------------------------------------
+    def evaluate_at(self, point: Sequence, t: float) -> HomotopyEvaluation:
+        """Evaluate ``h``, its Jacobian in ``x`` and its derivative in ``t``."""
+        if not (0.0 <= t <= 1.0):
+            raise ConfigurationError(f"the continuation parameter t={t} must lie in [0, 1]")
+        ctx = self.context
+        g = self.start_evaluator.evaluate(point)
+        f = self.target_evaluator.evaluate(point)
+
+        weight_g = ctx.from_complex(self.gamma * (1.0 - t))
+        weight_f = ctx.from_complex(complex(t))
+        minus_gamma = ctx.from_complex(-self.gamma)
+
+        n = len(g.values)
+        values = [g.values[i] * weight_g + f.values[i] * weight_f for i in range(n)]
+        jacobian = [
+            [g.jacobian[i][j] * weight_g + f.jacobian[i][j] * weight_f for j in range(n)]
+            for i in range(n)
+        ]
+        # dh/dt = f(x) - gamma g(x)
+        t_derivative = [f.values[i] + g.values[i] * minus_gamma for i in range(n)]
+        return HomotopyEvaluation(values=values, jacobian=jacobian,
+                                  t_derivative=t_derivative)
+
+    # ------------------------------------------------------------------
+    class _Frozen:
+        """Adapter exposing the evaluator interface for a fixed ``t``."""
+
+        def __init__(self, homotopy: "Homotopy", t: float):
+            self._homotopy = homotopy
+            self._t = t
+
+        def evaluate(self, point: Sequence) -> HomotopyEvaluation:
+            return self._homotopy.evaluate_at(point, self._t)
+
+    def at(self, t: float) -> "Homotopy._Frozen":
+        """Freeze ``t``: the result satisfies the evaluator interface used by
+        :class:`~repro.tracking.newton.NewtonCorrector`."""
+        return Homotopy._Frozen(self, t)

@@ -1,0 +1,117 @@
+"""Dense linear algebra generic over the scalar arithmetic.
+
+Newton's corrector needs to solve ``J dx = -f`` with the Jacobian produced by
+the evaluators, in whatever arithmetic the evaluation used (complex double,
+complex double-double, complex quad-double).  NumPy cannot hold the extended
+types, so this module provides a small, fully generic LU solver with partial
+pivoting that only requires ``+``, ``-``, ``*``, ``/`` on the scalars.
+
+Pivot *selection* uses magnitudes rounded to hardware doubles -- pivot choice
+is a control decision, not part of the computed result, so this does not
+affect the achievable precision -- while all eliminations and substitutions
+stay in the working arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import SingularMatrixError
+from ..multiprec.numeric import DOUBLE, NumericContext
+
+__all__ = ["lu_factor", "lu_solve", "solve", "residual_norm", "vector_norm"]
+
+
+def _magnitude(value, context: NumericContext) -> float:
+    """A double-precision magnitude usable for pivoting and norms."""
+    if isinstance(value, (int, float, complex)):
+        return abs(complex(value))
+    return abs(context.to_complex(value))
+
+
+def lu_factor(matrix: Sequence[Sequence], context: NumericContext = DOUBLE
+              ) -> Tuple[List[List], List[int]]:
+    """LU factorisation with partial pivoting, in place on a copy.
+
+    Returns ``(LU, pivots)`` where ``LU`` packs the unit-lower and upper
+    factors and ``pivots[i]`` is the row swapped into position ``i``.
+    Raises :class:`~repro.errors.SingularMatrixError` on a zero pivot.
+    """
+    n = len(matrix)
+    lu = [list(row) for row in matrix]
+    if any(len(row) != n for row in lu):
+        raise ValueError("lu_factor expects a square matrix")
+    pivots = list(range(n))
+
+    for col in range(n):
+        # Partial pivoting on double-rounded magnitudes.
+        pivot_row = max(range(col, n), key=lambda r: _magnitude(lu[r][col], context))
+        if _magnitude(lu[pivot_row][col], context) == 0.0:
+            raise SingularMatrixError(
+                f"matrix is singular to working precision at column {col}"
+            )
+        if pivot_row != col:
+            lu[col], lu[pivot_row] = lu[pivot_row], lu[col]
+            pivots[col], pivots[pivot_row] = pivots[pivot_row], pivots[col]
+
+        pivot = lu[col][col]
+        for row in range(col + 1, n):
+            factor = lu[row][col] / pivot
+            lu[row][col] = factor
+            for j in range(col + 1, n):
+                lu[row][j] = lu[row][j] - factor * lu[col][j]
+    return lu, pivots
+
+
+def lu_solve(lu: Sequence[Sequence], pivots: Sequence[int], rhs: Sequence,
+             context: NumericContext = DOUBLE) -> List:
+    """Solve ``A x = rhs`` given the packed LU factors of ``A``."""
+    n = len(lu)
+    if len(rhs) != n:
+        raise ValueError("right-hand side length does not match the matrix")
+    # Apply the row permutation to the right-hand side.
+    b = [rhs[p] for p in pivots]
+
+    # Forward substitution with the unit lower factor.
+    y: List = [None] * n
+    for i in range(n):
+        value = b[i]
+        for j in range(i):
+            value = value - lu[i][j] * y[j]
+        y[i] = value
+
+    # Backward substitution with the upper factor.
+    x: List = [None] * n
+    for i in reversed(range(n)):
+        value = y[i]
+        for j in range(i + 1, n):
+            value = value - lu[i][j] * x[j]
+        x[i] = value / lu[i][i]
+    return x
+
+
+def solve(matrix: Sequence[Sequence], rhs: Sequence,
+          context: NumericContext = DOUBLE) -> List:
+    """Convenience: factor and solve in one call."""
+    lu, pivots = lu_factor(matrix, context)
+    return lu_solve(lu, pivots, rhs, context)
+
+
+def vector_norm(vector: Sequence, context: NumericContext = DOUBLE) -> float:
+    """Infinity norm of a vector of generic scalars (double-rounded)."""
+    return max((_magnitude(v, context) for v in vector), default=0.0)
+
+
+def residual_norm(matrix: Sequence[Sequence], solution: Sequence, rhs: Sequence,
+                  context: NumericContext = DOUBLE) -> float:
+    """Infinity norm of ``A x - b`` (double-rounded), for verification."""
+    n = len(matrix)
+    worst = 0.0
+    for i in range(n):
+        acc = None
+        for j in range(n):
+            term = matrix[i][j] * solution[j]
+            acc = term if acc is None else acc + term
+        diff = acc - rhs[i] if acc is not None else -rhs[i]
+        worst = max(worst, _magnitude(diff, context))
+    return worst

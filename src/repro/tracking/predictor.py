@@ -1,0 +1,73 @@
+"""Predictors for the path-tracking predictor-corrector loop.
+
+Two standard predictors are provided:
+
+* :class:`SecantPredictor` -- extrapolates linearly through the two most
+  recent accepted points on the path (falls back to the identity prediction
+  when only one point is known);
+* :class:`TangentPredictor` -- Euler prediction along the tangent of the
+  path, obtained by solving ``H_x dx = -H_t dt`` with the same generic LU
+  solver used by Newton's corrector (one extra linear solve per step but a
+  better prediction, allowing larger steps).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..multiprec.numeric import DOUBLE, NumericContext
+from .homotopy import Homotopy
+from .linsolve import solve
+
+__all__ = ["SecantPredictor", "TangentPredictor"]
+
+
+class SecantPredictor:
+    """Linear extrapolation through the last two accepted path points."""
+
+    def __init__(self, context: NumericContext = DOUBLE):
+        self.context = context
+        self._previous_point: Optional[List] = None
+        self._previous_t: Optional[float] = None
+
+    def reset(self) -> None:
+        self._previous_point = None
+        self._previous_t = None
+
+    def remember(self, point: Sequence, t: float) -> None:
+        """Record an accepted path point for the next extrapolation."""
+        self._previous_point = list(point)
+        self._previous_t = float(t)
+
+    def predict(self, homotopy: Homotopy, point: Sequence, t: float, dt: float) -> List:
+        """Predict the solution at ``t + dt`` from the point at ``t``."""
+        if self._previous_point is None or self._previous_t is None or self._previous_t >= t:
+            return list(point)
+        ctx = self.context
+        span = t - self._previous_t
+        ratio = ctx.from_complex(complex(dt / span))
+        return [
+            current + (current - previous) * ratio
+            for current, previous in zip(point, self._previous_point)
+        ]
+
+
+class TangentPredictor:
+    """Euler step along the path tangent ``dx/dt = -H_x^{-1} H_t``."""
+
+    def __init__(self, context: NumericContext = DOUBLE):
+        self.context = context
+
+    def reset(self) -> None:  # tangent prediction is stateless
+        return None
+
+    def remember(self, point: Sequence, t: float) -> None:
+        return None
+
+    def predict(self, homotopy: Homotopy, point: Sequence, t: float, dt: float) -> List:
+        ctx = self.context
+        evaluation = homotopy.evaluate_at(point, t)
+        rhs = [-v for v in evaluation.t_derivative]
+        tangent = solve(evaluation.jacobian, rhs, ctx)
+        step = ctx.from_complex(complex(dt))
+        return [x + dx * step for x, dx in zip(point, tangent)]

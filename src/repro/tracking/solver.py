@@ -1,0 +1,164 @@
+"""Blackbox solver: find all isolated solutions of a square polynomial system.
+
+This is the top of the application stack the paper's introduction describes:
+homotopy continuation methods "have led to efficient numerical solvers of
+polynomial systems" and the evaluation/differentiation kernels are the
+computational engine inside them.  :func:`solve_system` wires the pieces of
+:mod:`repro.tracking` together the way PHCpack-style blackbox solvers do:
+
+1. build the total-degree start system and its known solutions;
+2. construct the gamma-trick homotopy from the start system to the target;
+3. track every path (optionally only a sample of them) with the adaptive
+   predictor-corrector tracker;
+4. sharpen the end points with Newton's method and de-duplicate the results.
+
+Any evaluator factory can be supplied, so the paths can be driven by the
+sequential CPU reference (default) or by the simulated-GPU pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.cpu_reference import CPUReferenceEvaluator
+from ..multiprec.numeric import DOUBLE, NumericContext
+from ..polynomials.system import PolynomialSystem
+from .homotopy import Homotopy
+from .start_systems import sample_start_solutions, start_solutions, total_degree, total_degree_start_system
+from .tracker import PathResult, PathTracker, TrackerOptions
+
+__all__ = ["Solution", "SolveReport", "solve_system"]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One isolated solution found by the solver."""
+
+    point: tuple
+    residual: float
+    multiplicity: int = 1
+
+    def as_complex(self, context: NumericContext = DOUBLE) -> List[complex]:
+        return [context.to_complex(x) if not isinstance(x, (int, float, complex))
+                else complex(x) for x in self.point]
+
+
+@dataclass
+class SolveReport:
+    """Everything :func:`solve_system` found out about a system."""
+
+    system: PolynomialSystem
+    bezout_number: int
+    paths_tracked: int
+    paths_converged: int
+    solutions: List[Solution] = field(default_factory=list)
+    failures: List[PathResult] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        if self.paths_tracked == 0:
+            return 0.0
+        return self.paths_converged / self.paths_tracked
+
+    def distinct_solutions(self) -> List[Solution]:
+        return list(self.solutions)
+
+
+def _deduplicate(solutions: Sequence[PathResult], context: NumericContext,
+                 tolerance: float) -> List[Solution]:
+    """Cluster path end points that agree to ``tolerance`` in every coordinate."""
+    found: List[Solution] = []
+    rounded: List[List[complex]] = []
+    for result in solutions:
+        point = [context.to_complex(x) if not isinstance(x, (int, float, complex))
+                 else complex(x) for x in result.solution]
+        match = None
+        for index, existing in enumerate(rounded):
+            if all(abs(a - b) <= tolerance * max(1.0, abs(b)) for a, b in zip(point, existing)):
+                match = index
+                break
+        if match is None:
+            rounded.append(point)
+            found.append(Solution(point=tuple(result.solution), residual=result.residual))
+        else:
+            old = found[match]
+            found[match] = Solution(point=old.point,
+                                    residual=min(old.residual, result.residual),
+                                    multiplicity=old.multiplicity + 1)
+    return found
+
+
+def solve_system(system: PolynomialSystem, *,
+                 context: NumericContext = DOUBLE,
+                 evaluator_factory: Optional[Callable[[PolynomialSystem], object]] = None,
+                 options: Optional[TrackerOptions] = None,
+                 max_paths: Optional[int] = None,
+                 gamma: Optional[complex] = None,
+                 deduplication_tolerance: float = 1e-6,
+                 seed: Optional[int] = 0) -> SolveReport:
+    """Find isolated solutions of ``system`` by total-degree homotopy continuation.
+
+    Parameters
+    ----------
+    system:
+        The square target system ``f(x) = 0``.
+    context:
+        Working arithmetic for evaluation, linear algebra and tracking.
+    evaluator_factory:
+        Called on the start system and on the target system to produce the
+        evaluators used inside the homotopy; defaults to the sequential
+        :class:`~repro.core.cpu_reference.CPUReferenceEvaluator`.  Pass
+        ``lambda s: GPUEvaluator(s, ...)`` to drive the paths with the
+        simulated device (the target system must then be regular).
+    options:
+        Tracker options; sensible defaults otherwise.
+    max_paths:
+        Track only a random sample of this many start solutions (the Bezout
+        number grows fast); ``None`` tracks every path.
+    gamma:
+        The homotopy's accessibility constant; random-but-fixed by default.
+    deduplication_tolerance:
+        Relative tolerance under which two path end points count as the same
+        solution.
+    seed:
+        Seed for the start-solution sampling when ``max_paths`` is given.
+
+    Returns
+    -------
+    SolveReport
+        Distinct solutions with residuals and multiplicities, plus failures.
+    """
+    if evaluator_factory is None:
+        evaluator_factory = lambda s: CPUReferenceEvaluator(s, context=context)
+
+    start_system = total_degree_start_system(system)
+    bezout = total_degree(system)
+
+    if max_paths is not None and max_paths < bezout:
+        starts = sample_start_solutions(system, max_paths, seed=seed)
+    else:
+        starts = list(start_solutions(system))
+
+    homotopy = Homotopy(evaluator_factory(start_system), evaluator_factory(system),
+                        gamma=gamma, context=context)
+    tracker = PathTracker(homotopy, context=context, options=options)
+
+    converged: List[PathResult] = []
+    failures: List[PathResult] = []
+    for start in starts:
+        result = tracker.track(start)
+        if result.success:
+            converged.append(result)
+        else:
+            failures.append(result)
+
+    solutions = _deduplicate(converged, context, deduplication_tolerance)
+    return SolveReport(
+        system=system,
+        bezout_number=bezout,
+        paths_tracked=len(starts),
+        paths_converged=len(converged),
+        solutions=solutions,
+        failures=failures,
+    )

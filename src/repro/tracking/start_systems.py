@@ -1,0 +1,92 @@
+"""Total-degree start systems for polynomial homotopies.
+
+Homotopy continuation deforms an easy *start system* ``g(x) = 0`` whose
+solutions are known into the *target system* ``f(x) = 0``.  The classical
+choice is the total-degree start system
+
+.. math::  g_i(x) = x_i^{d_i} - 1, \\qquad d_i = \\deg f_i,
+
+whose solutions are all combinations of the ``d_i``-th roots of unity.  This
+module builds that system in the sparse representation used everywhere else
+and enumerates (or samples) its solutions, which seed the path tracker in the
+examples and the Newton/tracking benchmarks.
+"""
+
+from __future__ import annotations
+
+import cmath
+import itertools
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..polynomials.monomial import Monomial
+from ..polynomials.polynomial import Polynomial
+from ..polynomials.system import PolynomialSystem
+
+__all__ = [
+    "total_degree_start_system",
+    "start_solutions",
+    "sample_start_solutions",
+    "total_degree",
+]
+
+
+def total_degree(system: PolynomialSystem) -> int:
+    """The Bezout number: product of the degrees of the polynomials."""
+    product = 1
+    for poly in system:
+        product *= max(poly.total_degree, 1)
+    return product
+
+
+def total_degree_start_system(system: PolynomialSystem) -> PolynomialSystem:
+    """The start system ``x_i^{d_i} - 1 = 0`` matching the target's degrees."""
+    n = system.dimension
+    polys: List[Polynomial] = []
+    for i, poly in enumerate(system):
+        degree = max(poly.total_degree, 1)
+        lead = Monomial((i,), (degree,))
+        constant = Monomial((), ())
+        polys.append(Polynomial([(1 + 0j, lead), (-1 + 0j, constant)]))
+    return PolynomialSystem(polys, dimension=n)
+
+
+def start_solutions(system: PolynomialSystem) -> Iterator[List[complex]]:
+    """Enumerate all solutions of the total-degree start system.
+
+    There are ``prod d_i`` of them; each is a vector of roots of unity.  For
+    large systems use :func:`sample_start_solutions` instead.
+    """
+    degrees = [max(poly.total_degree, 1) for poly in system]
+    roots_per_variable = [
+        [cmath.exp(2j * cmath.pi * j / d) for j in range(d)] for d in degrees
+    ]
+    for combination in itertools.product(*roots_per_variable):
+        yield list(combination)
+
+
+def sample_start_solutions(system: PolynomialSystem, count: int,
+                           seed: Optional[int] = None) -> List[List[complex]]:
+    """Draw ``count`` distinct start solutions without enumerating all of them."""
+    if count < 1:
+        raise ConfigurationError("count must be at least 1")
+    degrees = [max(poly.total_degree, 1) for poly in system]
+    bezout = 1
+    for d in degrees:
+        bezout *= d
+    count = min(count, bezout)
+    rng = np.random.default_rng(seed)
+
+    chosen = set()
+    solutions: List[List[complex]] = []
+    while len(solutions) < count:
+        indices = tuple(int(rng.integers(0, d)) for d in degrees)
+        if indices in chosen:
+            continue
+        chosen.add(indices)
+        solutions.append([
+            cmath.exp(2j * cmath.pi * j / d) for j, d in zip(indices, degrees)
+        ])
+    return solutions

@@ -1,0 +1,128 @@
+"""Tests for the benchmark workload definitions and the harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    EVALUATIONS_PER_RUN,
+    TABLE1_ROWS,
+    TABLE1_WORKLOADS,
+    TABLE2_ROWS,
+    TABLE2_WORKLOADS,
+    Workload,
+    format_breakdown,
+    format_paper_rows,
+    format_table,
+    run_workload,
+    speedup_curve,
+)
+from repro.bench.workloads import PaperRow
+from repro.polynomials import random_regular_system
+
+
+class TestPublishedRows:
+    def test_row_counts(self):
+        assert len(TABLE1_ROWS) == 3
+        assert len(TABLE2_ROWS) == 3
+        assert EVALUATIONS_PER_RUN == 100_000
+
+    def test_table1_values_match_the_paper(self):
+        by_monomials = {r.total_monomials: r for r in TABLE1_ROWS}
+        assert by_monomials[704].gpu_seconds == pytest.approx(14.514)
+        assert by_monomials[1024].cpu_seconds == pytest.approx(159.3)
+        assert by_monomials[1536].speedup == pytest.approx(14.04)
+
+    def test_table2_values_match_the_paper(self):
+        by_monomials = {r.total_monomials: r for r in TABLE2_ROWS}
+        assert by_monomials[704].cpu_seconds == pytest.approx(196.9)
+        assert by_monomials[1024].gpu_seconds == pytest.approx(20.800)
+        assert by_monomials[1536].speedup == pytest.approx(19.56)
+
+    def test_published_speedups_are_consistent_with_times(self):
+        for row in TABLE1_ROWS + TABLE2_ROWS:
+            assert row.cpu_seconds / row.gpu_seconds == pytest.approx(row.speedup, rel=0.01)
+
+    def test_speedups_grow_with_monomials(self):
+        for rows in (TABLE1_ROWS, TABLE2_ROWS):
+            speedups = [r.speedup for r in rows]
+            assert speedups == sorted(speedups)
+
+
+class TestWorkloads:
+    def test_workload_parameters(self):
+        w = TABLE1_WORKLOADS[1]
+        assert w.dimension == 32
+        assert w.total_monomials == 1024
+        assert w.monomials_per_polynomial == 32
+        assert w.variables_per_monomial == 9
+        assert w.paper.speedup == pytest.approx(10.44)
+        w2 = TABLE2_WORKLOADS[0]
+        assert w2.variables_per_monomial == 16
+        assert w2.max_variable_degree == 10
+
+    def test_build_system_matches_declared_shape(self):
+        w = TABLE1_WORKLOADS[0]
+        system = w.build_system()
+        shape = system.require_regular()
+        assert shape.dimension == w.dimension
+        assert shape.total_monomials == w.total_monomials
+        assert shape.variables_per_monomial == w.variables_per_monomial
+        assert shape.max_variable_degree <= w.max_variable_degree
+
+
+def small_workload():
+    """A scaled-down workload so the harness test stays fast."""
+    paper = PaperRow("toy", 64, 1.0, 8.0, 8.0)
+    return Workload(
+        name="toy", table="toy", dimension=8, total_monomials=64,
+        variables_per_monomial=4, max_variable_degree=3, paper=paper,
+        builder=lambda total: random_regular_system(
+            dimension=8, monomials_per_polynomial=total // 8,
+            variables_per_monomial=4, max_variable_degree=3, seed=1),
+    )
+
+
+class TestHarness:
+    def test_run_workload_produces_comparable_numbers(self):
+        result = run_workload(small_workload(), evaluations=1000)
+        assert result.model_gpu_seconds > 0
+        assert result.model_cpu_seconds > 0
+        assert result.model_speedup == pytest.approx(
+            result.model_cpu_seconds / result.model_gpu_seconds)
+        assert result.simulated_wall_seconds > 0
+        assert set(result.kernel_breakdown) == {"common_factor", "speelpenning", "summation"}
+        d = result.as_dict()
+        assert d["paper_speedup"] == 8.0
+        assert d["evaluations"] == 1000
+
+    def test_speedup_curve(self):
+        result = run_workload(small_workload(), evaluations=10)
+        curve = speedup_curve([result])
+        assert curve[0]["total_monomials"] == 64.0
+        assert curve[0]["paper_speedup"] == 8.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.000001}], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_table_booleans_and_columns(self):
+        text = format_table([{"x": True, "y": "z"}], columns=["y", "x"])
+        assert text.splitlines()[0].startswith("y")
+        assert "yes" in text
+
+    def test_format_paper_rows_and_breakdown(self):
+        result = run_workload(small_workload(), evaluations=10)
+        table_text = format_paper_rows([result], title="toy table")
+        assert "toy table" in table_text
+        assert "#monomials" in table_text
+        breakdown_text = format_breakdown(result)
+        assert "speelpenning" in breakdown_text

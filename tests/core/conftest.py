@@ -1,0 +1,33 @@
+"""Shared fixtures for the core-pipeline tests.
+
+The kernel and evaluator tests all work on small regular systems so that the
+whole pipeline (thousands of simulated thread executions) stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.polynomials import random_point, random_regular_system
+
+
+@pytest.fixture(scope="package")
+def small_system():
+    """A 6-dimensional regular system: k=3 variables per monomial, d<=4."""
+    return random_regular_system(dimension=6, monomials_per_polynomial=4,
+                                 variables_per_monomial=3, max_variable_degree=4,
+                                 seed=2012)
+
+
+@pytest.fixture(scope="package")
+def small_point():
+    return random_point(6, seed=99)
+
+
+@pytest.fixture(scope="package")
+def linear_system():
+    """A system whose monomials are all products of distinct variables
+    (d = 1), exercising the degenerate common-factor path."""
+    return random_regular_system(dimension=5, monomials_per_polynomial=3,
+                                 variables_per_monomial=2, max_variable_degree=1,
+                                 seed=7)

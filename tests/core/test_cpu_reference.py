@@ -1,0 +1,81 @@
+"""Tests for the sequential CPU reference evaluators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core import CPUReferenceEvaluator
+from repro.gpusim import CPUCostModel
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.polynomials import random_point
+
+
+class TestAlgorithms:
+    def test_invalid_algorithm(self, small_system):
+        with pytest.raises(ConfigurationError):
+            CPUReferenceEvaluator(small_system, algorithm="vectorised")
+
+    def test_factored_and_naive_agree(self, small_system, small_point):
+        factored = CPUReferenceEvaluator(small_system, algorithm="factored").evaluate(small_point)
+        naive = CPUReferenceEvaluator(small_system, algorithm="naive").evaluate(small_point)
+        for a, b in zip(factored.values, naive.values):
+            assert a == pytest.approx(b, rel=1e-12)
+        for row_a, row_b in zip(factored.jacobian, naive.jacobian):
+            for a, b in zip(row_a, row_b):
+                assert a == pytest.approx(b, rel=1e-12, abs=1e-12)
+
+    def test_factored_needs_fewer_multiplications(self, small_system, small_point):
+        factored = CPUReferenceEvaluator(small_system, algorithm="factored").evaluate(small_point)
+        naive = CPUReferenceEvaluator(small_system, algorithm="naive").evaluate(small_point)
+        assert factored.operations.multiplications < naive.operations.multiplications
+
+    def test_elapsed_time_recorded(self, small_system, small_point):
+        result = CPUReferenceEvaluator(small_system).evaluate(small_point)
+        assert result.elapsed_seconds > 0
+
+    def test_jacobian_shape(self, small_system, small_point):
+        result = CPUReferenceEvaluator(small_system).evaluate(small_point)
+        assert len(result.values) == 6
+        assert len(result.jacobian) == 6 and len(result.jacobian[0]) == 6
+
+
+class TestContexts:
+    def test_double_double_evaluation(self, small_system, small_point):
+        dd = CPUReferenceEvaluator(small_system, context=DOUBLE_DOUBLE).evaluate(small_point)
+        d = CPUReferenceEvaluator(small_system, context=DOUBLE).evaluate(small_point)
+        for a, b in zip(dd.values, d.values):
+            assert a.to_complex() == pytest.approx(b, rel=1e-12)
+
+    def test_accepts_preconverted_points(self, small_system, small_point):
+        ctx = DOUBLE_DOUBLE
+        converted = ctx.vector(small_point)
+        result = CPUReferenceEvaluator(small_system, context=ctx).evaluate(converted)
+        plain = CPUReferenceEvaluator(small_system, context=ctx).evaluate(small_point)
+        assert [ctx.to_complex(v) for v in result.values] == pytest.approx(
+            [ctx.to_complex(v) for v in plain.values])
+
+    def test_evaluate_complex_helper(self, small_system, small_point):
+        values, jacobian = CPUReferenceEvaluator(
+            small_system, context=DOUBLE_DOUBLE).evaluate_complex(small_point)
+        assert isinstance(values[0], complex)
+        assert isinstance(jacobian[0][0], complex)
+
+
+class TestCostIntegration:
+    def test_predicted_host_time(self, small_system, small_point):
+        result = CPUReferenceEvaluator(small_system).evaluate(small_point)
+        predicted = result.predicted_host_time()
+        assert predicted > 0
+        assert predicted == pytest.approx(
+            CPUCostModel().evaluation_time(result.operations))
+
+    def test_predicted_time_scales_with_precision(self, small_system, small_point):
+        result = CPUReferenceEvaluator(small_system).evaluate(small_point)
+        d = result.predicted_host_time(context=DOUBLE)
+        dd = result.predicted_host_time(context=DOUBLE_DOUBLE)
+        assert dd == pytest.approx(8 * d)
+
+    def test_operations_per_evaluation_default_point(self, small_system):
+        ops = CPUReferenceEvaluator(small_system).operations_per_evaluation()
+        assert ops.multiplications > 0

@@ -1,0 +1,210 @@
+"""End-to-end tests for the GPU evaluation pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ConstantMemoryOverflow
+from repro.core import (
+    CPUReferenceEvaluator,
+    GPUEvaluator,
+    compare_evaluations,
+    expected_counts,
+)
+from repro.gpusim import GPUCostModel
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE
+from repro.polynomials import random_point, random_regular_system, speelpenning_system
+
+
+class TestAgainstCPUReference:
+    @pytest.mark.parametrize("params", [
+        dict(dimension=4, monomials_per_polynomial=2, variables_per_monomial=2,
+             max_variable_degree=2, seed=1),
+        dict(dimension=6, monomials_per_polynomial=4, variables_per_monomial=3,
+             max_variable_degree=4, seed=2),
+        dict(dimension=8, monomials_per_polynomial=5, variables_per_monomial=4,
+             max_variable_degree=6, seed=3),
+        dict(dimension=5, monomials_per_polynomial=3, variables_per_monomial=5,
+             max_variable_degree=3, seed=4),
+    ], ids=["tiny", "small", "medium", "dense-k"])
+    def test_matches_naive_reference(self, params):
+        system = random_regular_system(**params)
+        point = random_point(system.dimension, seed=17)
+        gpu = GPUEvaluator(system, check_capacity=False)
+        cpu = CPUReferenceEvaluator(system, algorithm="naive")
+        g = gpu.evaluate(point)
+        c = cpu.evaluate(point)
+        report = compare_evaluations(g.values, g.jacobian, c.values, c.jacobian)
+        assert report.max_relative_difference < 1e-12
+
+    def test_single_variable_monomials(self):
+        """k = 1: every monomial is a pure power of one variable."""
+        system = random_regular_system(dimension=4, monomials_per_polynomial=3,
+                                       variables_per_monomial=1, max_variable_degree=5,
+                                       seed=8)
+        point = random_point(4, seed=21)
+        g = GPUEvaluator(system, check_capacity=False).evaluate(point)
+        c = CPUReferenceEvaluator(system, algorithm="naive").evaluate(point)
+        report = compare_evaluations(g.values, g.jacobian, c.values, c.jacobian)
+        assert report.max_relative_difference < 1e-12
+
+    def test_two_variable_monomials(self):
+        """k = 2: the Speelpenning sweep degenerates to swapping factors."""
+        system = random_regular_system(dimension=4, monomials_per_polynomial=3,
+                                       variables_per_monomial=2, max_variable_degree=4,
+                                       seed=9)
+        point = random_point(4, seed=22)
+        g = GPUEvaluator(system, check_capacity=False).evaluate(point)
+        c = CPUReferenceEvaluator(system, algorithm="naive").evaluate(point)
+        assert compare_evaluations(g.values, g.jacobian, c.values,
+                                   c.jacobian).max_relative_difference < 1e-12
+
+    def test_product_system_known_jacobian(self):
+        """A regular system whose single monomial per polynomial is the full
+        Speelpenning product scaled by (i + 1): values and Jacobian entries
+        have closed forms."""
+        from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+
+        n = 5
+        product = Monomial(tuple(range(n)), tuple([1] * n))
+        system = PolynomialSystem(
+            [Polynomial([((i + 1) + 0j, product)]) for i in range(n)])
+        point = [1.0, 2.0, 3.0, 4.0, 5.0]
+        g = GPUEvaluator(system, check_capacity=False).evaluate(point)
+        assert g.values[0] == pytest.approx(120.0)
+        assert g.values[4] == pytest.approx(5 * 120.0)
+        assert g.jacobian[0][0] == pytest.approx(120.0)       # 1 * prod / x0
+        assert g.jacobian[0][4] == pytest.approx(24.0)        # 1 * prod / x4
+        assert g.jacobian[2][1] == pytest.approx(3 * 60.0)    # 3 * prod / x1
+
+    def test_repeated_evaluations_are_independent(self, small_system):
+        evaluator = GPUEvaluator(small_system, check_capacity=False)
+        cpu = CPUReferenceEvaluator(small_system, algorithm="naive")
+        for seed in (1, 2, 3):
+            point = random_point(6, seed=seed)
+            g = evaluator.evaluate(point)
+            c = cpu.evaluate(point)
+            assert compare_evaluations(g.values, g.jacobian, c.values,
+                                       c.jacobian).max_relative_difference < 1e-12
+
+    def test_evaluate_complex_helper(self, small_system, small_point):
+        evaluator = GPUEvaluator(small_system, check_capacity=False)
+        values, jacobian = evaluator.evaluate_complex(small_point)
+        assert isinstance(values[0], complex)
+        assert isinstance(jacobian[0][0], complex)
+
+
+class TestExtendedPrecision:
+    def test_double_double_context(self, small_system, small_point):
+        gpu = GPUEvaluator(small_system, context=DOUBLE_DOUBLE, check_capacity=False)
+        cpu = CPUReferenceEvaluator(small_system, context=DOUBLE_DOUBLE, algorithm="naive")
+        g = gpu.evaluate(small_point)
+        c = cpu.evaluate(small_point)
+        report = compare_evaluations(g.values, g.jacobian, c.values, c.jacobian,
+                                     context=DOUBLE_DOUBLE)
+        assert report.max_relative_difference < 1e-13
+
+    def test_double_double_pipeline_keeps_extra_digits(self):
+        """The dd pipeline preserves a perturbation of size 1e-20 on an input
+        coordinate that the double pipeline cannot even represent."""
+        from fractions import Fraction
+
+        from repro.multiprec import ComplexDD, DoubleDouble
+        from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+
+        n = 3
+        product = Monomial(tuple(range(n)), tuple([1] * n))
+        system = PolynomialSystem([Polynomial([(1 + 0j, product)]) for _ in range(n)])
+
+        eps = 1e-20
+        # x0 = 1 + 1e-20 exactly representable only in double-double.
+        point_dd = [ComplexDD(DoubleDouble.from_sum(1.0, eps), DoubleDouble(0.0)),
+                    ComplexDD(2.0), ComplexDD(3.0)]
+        gpu_dd = GPUEvaluator(system, context=DOUBLE_DOUBLE, check_capacity=False)
+        value_dd = gpu_dd.evaluate(point_dd).values[0]
+        exact = (Fraction(1) + Fraction(eps)) * 2 * 3
+        error = abs(value_dd.real.to_fraction() - exact)
+        assert error < Fraction(1, 10 ** 25)
+        # The double pipeline evaluates the rounded point and misses the
+        # perturbation entirely.
+        value_d = GPUEvaluator(system, check_capacity=False).evaluate([1.0, 2.0, 3.0]).values[0]
+        assert value_d == 6.0
+
+
+class TestLaunchStatistics:
+    def test_three_kernels_per_evaluation(self, small_system, small_point):
+        result = GPUEvaluator(small_system, check_capacity=False).evaluate(small_point)
+        assert [s.kernel_name for s in result.launch_stats] == [
+            "common_factor", "speelpenning", "summation"]
+
+    def test_operation_counts_match_formulas(self, small_system, small_point):
+        evaluator = GPUEvaluator(small_system, check_capacity=False)
+        result = evaluator.evaluate(small_point)
+        shape = small_system.require_regular()
+        expected = expected_counts(shape, block_size=32)
+        stats1, stats2, stats3 = result.launch_stats
+        assert stats1.total_multiplications == (expected.kernel1_power_multiplications
+                                                + expected.kernel1_factor_multiplications)
+        assert stats2.total_multiplications == expected.kernel2_multiplications
+        assert stats3.total_additions == expected.kernel3_additions
+
+    def test_predicted_device_time_positive_and_additive(self, small_system, small_point):
+        result = GPUEvaluator(small_system, check_capacity=False).evaluate(small_point)
+        model = GPUCostModel()
+        total = result.predicted_device_time(model)
+        assert total > 0
+        assert total == pytest.approx(sum(model.kernel_time(s).total
+                                          for s in result.launch_stats))
+
+    def test_grid_shapes(self, small_system):
+        evaluator = GPUEvaluator(small_system, check_capacity=False, block_size=8)
+        assert evaluator.monomial_grid().grid_dim == 3      # 24 monomials / 8
+        assert evaluator.summation_grid().grid_dim == 6     # 42 targets / 8 -> ceil
+
+    def test_memory_trace_disabled(self, small_system, small_point):
+        evaluator = GPUEvaluator(small_system, check_capacity=False,
+                                 collect_memory_trace=False)
+        result = evaluator.evaluate(small_point)
+        assert result.launch_stats[1].global_transactions > 0
+        assert all(t.accesses == [] for t in result.launch_stats[1].thread_traces)
+
+
+class TestConfigurationAndCapacity:
+    def test_irregular_system_rejected(self):
+        from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+        irregular = PolynomialSystem([
+            Polynomial([(1 + 0j, Monomial((0,), (1,)))]),
+            Polynomial([(1 + 0j, Monomial((0,), (1,))), (1 + 0j, Monomial((1,), (1,)))]),
+        ])
+        with pytest.raises(ConfigurationError):
+            GPUEvaluator(irregular)
+
+    def test_invalid_variant(self, small_system):
+        with pytest.raises(ConfigurationError):
+            GPUEvaluator(small_system, common_factor_variant="magic")
+
+    def test_wrong_point_length(self, small_system):
+        evaluator = GPUEvaluator(small_system, check_capacity=False)
+        with pytest.raises(ConfigurationError):
+            evaluator.evaluate([1.0] * 3)
+
+    def test_constant_memory_capacity_enforced_at_construction(self):
+        system = random_regular_system(dimension=64, monomials_per_polynomial=40,
+                                       variables_per_monomial=16, max_variable_degree=2,
+                                       seed=0)
+        with pytest.raises(ConstantMemoryOverflow):
+            GPUEvaluator(system)
+
+    def test_check_capacity_can_be_disabled_but_allocation_still_guards(self):
+        system = random_regular_system(dimension=64, monomials_per_polynomial=40,
+                                       variables_per_monomial=16, max_variable_degree=2,
+                                       seed=0)
+        with pytest.raises(ConstantMemoryOverflow):
+            GPUEvaluator(system, check_capacity=False)
+
+    def test_paper_dimension_32_block_size_32_is_accepted(self):
+        system = random_regular_system(dimension=32, monomials_per_polynomial=2,
+                                       variables_per_monomial=9, max_variable_degree=2,
+                                       seed=0)
+        evaluator = GPUEvaluator(system)   # must not raise
+        assert evaluator.block_size == 32

@@ -1,0 +1,225 @@
+"""Tests for the three simulated kernels, launched individually.
+
+Each kernel is validated against the analytic reference: kernel 1 against the
+common factors of the monomials, kernel 2 against the analytic monomial
+derivatives, kernel 3 against direct sums of the Mons array.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ARRAY_COMMON_FACTORS,
+    ARRAY_MONS,
+    ARRAY_RESULTS,
+    CommonFactorFromScratchKernel,
+    CommonFactorKernel,
+    GPUEvaluator,
+    SpeelpenningKernel,
+    SummationKernel,
+    kernel1_multiplications_per_thread,
+    kernel2_multiplications_per_thread,
+)
+from repro.gpusim import launch_kernel
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.polynomials import random_point, random_regular_system
+
+
+def build_evaluator(system, **kwargs):
+    return GPUEvaluator(system, check_capacity=False, **kwargs)
+
+
+class TestCommonFactorKernel:
+    def run_kernel1(self, system, point, variant="two_stage"):
+        evaluator = build_evaluator(system, common_factor_variant=variant)
+        evaluator.upload_point(point)
+        kernel = evaluator._kernel1
+        stats = launch_kernel(kernel, evaluator.monomial_grid(), evaluator._global_memory,
+                              evaluator._constant_memory, device=evaluator.device)
+        return evaluator, stats
+
+    def test_values_match_analytic_common_factors(self, small_system, small_point):
+        evaluator, _ = self.run_kernel1(small_system, small_point)
+        factors = evaluator._global_memory.snapshot(ARRAY_COMMON_FACTORS)
+        for record in evaluator.layout.sequence:
+            expected = record.monomial.common_factor().evaluate(small_point)
+            assert factors[record.sequence_index] == pytest.approx(expected, rel=1e-12)
+
+    def test_degree_one_system_gives_unit_factors(self, linear_system):
+        point = random_point(5, seed=1)
+        evaluator, _ = self.run_kernel1(linear_system, point)
+        factors = evaluator._global_memory.snapshot(ARRAY_COMMON_FACTORS)
+        assert all(f == pytest.approx(1.0) for f in factors)
+
+    def test_per_thread_multiplication_count(self, small_system, small_point):
+        _, stats = self.run_kernel1(small_system, small_point)
+        k = 3
+        d = small_system.require_regular().max_variable_degree
+        # Warps are uniform: every active thread does (k-1) factor
+        # multiplications; the first n threads additionally build the powers.
+        for trace in stats.thread_traces:
+            if trace.thread_index < 6 and trace.block_index == 0:
+                assert trace.multiplications == (d - 2) + kernel1_multiplications_per_thread(k)
+
+    def test_no_divergence_in_two_stage_kernel(self, small_system, small_point):
+        _, stats = self.run_kernel1(small_system, small_point)
+        # All 24 monomial threads of the single block do identical factor
+        # work; only the power-table stage differs between the first n
+        # threads and the rest, which is a uniform structural split.
+        assert stats.kernel_name == "common_factor"
+        assert stats.barriers == stats.config.grid_dim
+
+    def test_from_scratch_variant_matches_values(self, small_system, small_point):
+        evaluator, stats = self.run_kernel1(small_system, small_point, variant="from_scratch")
+        reference, _ = self.run_kernel1(small_system, small_point, variant="two_stage")
+        got = evaluator._global_memory.snapshot(ARRAY_COMMON_FACTORS)
+        expected = reference._global_memory.snapshot(ARRAY_COMMON_FACTORS)
+        assert got == pytest.approx(expected, rel=1e-12)
+        assert stats.kernel_name == "common_factor_from_scratch"
+
+    def test_from_scratch_variant_diverges(self, small_system, small_point):
+        _, stats = self.run_kernel1(small_system, small_point, variant="from_scratch")
+        # Different exponent tuples per thread -> threads of the warp do
+        # different numbers of multiplications.
+        assert stats.divergent_warps >= 1
+
+    def test_from_scratch_reads_variables_uncoalesced(self, small_system, small_point):
+        _, scratch_stats = self.run_kernel1(small_system, small_point, variant="from_scratch")
+        _, staged_stats = self.run_kernel1(small_system, small_point, variant="two_stage")
+        # The two-stage kernel reads each variable once per block;
+        # the from-scratch kernel reads one variable per monomial slot.
+        assert (scratch_stats.coalescing.global_read_transactions
+                > staged_stats.coalescing.global_read_transactions)
+
+
+class TestSpeelpenningKernel:
+    def run_kernels_1_and_2(self, system, point, context=DOUBLE):
+        evaluator = build_evaluator(system, context=context)
+        evaluator.upload_point(point)
+        stats1 = launch_kernel(evaluator._kernel1, evaluator.monomial_grid(),
+                               evaluator._global_memory, evaluator._constant_memory,
+                               device=evaluator.device)
+        stats2 = launch_kernel(evaluator._kernel2, evaluator.monomial_grid(),
+                               evaluator._global_memory, evaluator._constant_memory,
+                               device=evaluator.device)
+        return evaluator, stats1, stats2
+
+    def test_mons_entries_match_analytic_terms(self, small_system, small_point):
+        evaluator, _, _ = self.run_kernels_1_and_2(small_system, small_point)
+        mons = evaluator._global_memory.snapshot(ARRAY_MONS)
+        layout = evaluator.layout
+        for record in layout.sequence:
+            coeff, mono = record.coefficient, record.monomial
+            value_idx = layout.mons_value_index(record.term_index, record.polynomial_index)
+            expected_value = coeff * mono.evaluate(small_point)
+            assert mons[value_idx] == pytest.approx(expected_value, rel=1e-11)
+            gradient = mono.evaluate_gradient(small_point)
+            for variable, derivative in gradient.items():
+                d_idx = layout.mons_derivative_index(record.term_index,
+                                                     record.polynomial_index, variable)
+                assert mons[d_idx] == pytest.approx(coeff * derivative, rel=1e-11)
+
+    def test_structural_zeros_untouched(self, small_system, small_point):
+        evaluator, _, _ = self.run_kernels_1_and_2(small_system, small_point)
+        layout = evaluator.layout
+        mons = evaluator._global_memory.snapshot(ARRAY_MONS)
+        meaningful = set(layout.meaningful_mons_indices())
+        zeros = [v for i, v in enumerate(mons) if i not in meaningful]
+        assert len(zeros) == layout.structural_zero_count
+        assert all(v == 0j for v in zeros)
+
+    def test_per_thread_multiplications_are_5k_minus_4(self, small_system, small_point):
+        _, _, stats2 = self.run_kernels_1_and_2(small_system, small_point)
+        k = 3
+        nm = 24
+        active = [t for t in stats2.thread_traces if t.thread_index < nm]
+        idle = [t for t in stats2.thread_traces if t.thread_index >= nm]
+        assert active and idle
+        for trace in active:
+            assert trace.multiplications == kernel2_multiplications_per_thread(k)
+        assert all(t.multiplications == 0 for t in idle)
+
+    def test_full_warps_do_not_diverge(self):
+        """With the monomial count a multiple of the warp size every warp is
+        fully active and all threads execute the same instruction path."""
+        system = random_regular_system(dimension=8, monomials_per_polynomial=4,
+                                       variables_per_monomial=3, max_variable_degree=3,
+                                       seed=5)
+        point = random_point(8, seed=6)
+        _, _, stats2 = self.run_kernels_1_and_2(system, point)
+        assert stats2.config.total_threads == 32
+        assert stats2.divergent_warps == 0
+
+    def test_partial_tail_warp_diverges_only_structurally(self, small_system, small_point):
+        _, _, stats2 = self.run_kernels_1_and_2(small_system, small_point)
+        # 24 monomials in a 32-thread block: the idle tail makes the single
+        # warp technically divergent, but no *active* thread deviates.
+        assert stats2.divergent_warps == 1
+        assert stats2.warp_stats[0].max_multiplications == kernel2_multiplications_per_thread(3)
+        assert stats2.warp_stats[0].min_multiplications == 0
+
+    def test_coefficient_reads_coalesce_and_writes_do_not(self, small_system, small_point):
+        _, _, stats2 = self.run_kernels_1_and_2(small_system, small_point)
+        events = stats2.coalescing.events
+        coeff_reads = [e for e in events if e.array == "Coeffs"]
+        mons_writes = [e for e in events if e.array == "Mons" and e.kind == "write"]
+        assert coeff_reads and mons_writes
+        # 24 active threads reading 16-byte coefficients contiguously: at most
+        # 4 transactions per warp instruction.
+        assert all(e.transactions <= 4 for e in coeff_reads)
+        # The scattered Mons writes need far more transactions per access
+        # than the coalesced coefficient reads.
+        writes_per_thread = (sum(e.transactions for e in mons_writes)
+                             / sum(e.active_threads for e in mons_writes))
+        reads_per_thread = (sum(e.transactions for e in coeff_reads)
+                            / sum(e.active_threads for e in coeff_reads))
+        assert writes_per_thread > 3 * reads_per_thread
+
+    def test_double_double_results_match_double(self, small_system, small_point):
+        evaluator_dd, _, _ = self.run_kernels_1_and_2(small_system, small_point,
+                                                      context=DOUBLE_DOUBLE)
+        evaluator_d, _, _ = self.run_kernels_1_and_2(small_system, small_point)
+        mons_dd = evaluator_dd._global_memory.snapshot(ARRAY_MONS)
+        mons_d = evaluator_d._global_memory.snapshot(ARRAY_MONS)
+        for a, b in zip(mons_dd, mons_d):
+            a_c = a.to_complex() if hasattr(a, "to_complex") else complex(a)
+            assert a_c == pytest.approx(complex(b), rel=1e-12, abs=1e-13)
+
+
+class TestSummationKernel:
+    def test_results_are_sums_of_mons(self, small_system, small_point):
+        evaluator = build_evaluator(small_system)
+        result = evaluator.evaluate(small_point)
+        layout = evaluator.layout
+        mons = evaluator._global_memory.snapshot(ARRAY_MONS)
+        results = evaluator._global_memory.snapshot(ARRAY_RESULTS)
+        m = layout.monomials_per_polynomial
+        num_targets = layout.num_targets
+        for t in range(num_targets):
+            direct = sum(mons[t + j * num_targets] for j in range(m))
+            assert results[t] == pytest.approx(direct, rel=1e-12)
+
+    def test_every_thread_adds_exactly_m_terms(self, small_system, small_point):
+        evaluator = build_evaluator(small_system)
+        result = evaluator.evaluate(small_point)
+        stats3 = result.launch_stats[2]
+        m = evaluator.layout.monomials_per_polynomial
+        active = [t for t in stats3.thread_traces
+                  if t.block_index * stats3.config.block_dim + t.thread_index
+                  < evaluator.layout.num_targets]
+        assert all(t.additions == m for t in active)
+        assert stats3.divergent_warps <= 1  # only the tail warp is partial
+
+    def test_reads_are_coalesced(self, small_system, small_point):
+        evaluator = build_evaluator(small_system)
+        result = evaluator.evaluate(small_point)
+        stats3 = result.launch_stats[2]
+        reads = [e for e in stats3.coalescing.events
+                 if e.array == "Mons" and e.kind == "read"]
+        # Full warps reading 32 consecutive complex doubles need 4 aligned
+        # 128-byte transactions (5 when the run straddles a segment
+        # boundary), never anything close to one per thread.
+        full_warp_reads = [e for e in reads if e.active_threads == 32]
+        assert full_warp_reads
+        assert all(e.transactions <= 5 for e in full_warp_reads)

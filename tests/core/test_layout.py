@@ -1,0 +1,170 @@
+"""Tests for the device data layouts (Sm, Coeffs, Mons, Results)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ConstantMemoryOverflow, DeviceCapacityError
+from repro.core import SystemLayout, shared_memory_budget
+from repro.gpusim import TESLA_C2050
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.polynomials import random_regular_system
+
+
+@pytest.fixture(scope="module")
+def layout():
+    system = random_regular_system(dimension=6, monomials_per_polynomial=4,
+                                   variables_per_monomial=3, max_variable_degree=4,
+                                   seed=2012)
+    return SystemLayout(system)
+
+
+class TestSizes:
+    def test_basic_dimensions(self, layout):
+        assert layout.dimension == 6
+        assert layout.monomials_per_polynomial == 4
+        assert layout.variables_per_monomial == 3
+        assert layout.total_monomials == 24
+        assert layout.num_targets == 42            # n^2 + n
+        assert layout.coeffs_length == 24 * 4      # n*m*(k+1)
+        assert layout.mons_length == 42 * 4        # (n^2+n)*m
+        assert layout.complex_element_bytes == 16
+
+    def test_structural_zero_count(self, layout):
+        assert layout.structural_zero_count == layout.mons_length - 24 * 4
+        assert layout.structural_zero_count > 0
+
+    def test_element_bytes_follow_context(self):
+        system = random_regular_system(4, 2, 2, 2, seed=1)
+        dd_layout = SystemLayout(system, context=DOUBLE_DOUBLE)
+        assert dd_layout.complex_element_bytes == 32
+
+
+class TestSequence:
+    def test_sequence_order_matches_paper(self, layout):
+        """Sm lists the m monomials of polynomial 0 first, then polynomial 1."""
+        records = layout.sequence
+        assert len(records) == 24
+        assert [r.sequence_index for r in records] == list(range(24))
+        assert [r.polynomial_index for r in records] == [i // 4 for i in range(24)]
+        assert [r.term_index for r in records] == [i % 4 for i in range(24)]
+
+    def test_records_carry_the_right_monomials(self, layout):
+        for record in layout.sequence:
+            poly = layout.system[record.polynomial_index]
+            coeff, mono = poly.terms[record.term_index]
+            assert record.coefficient == coeff
+            assert record.monomial == mono
+
+
+class TestIndexing:
+    def test_coeffs_index_layout(self, layout):
+        nm = layout.total_monomials
+        assert layout.coeffs_index(0, 0) == 0
+        assert layout.coeffs_index(0, 5) == 5
+        assert layout.coeffs_index(1, 0) == nm
+        assert layout.coeffs_index(3, 7) == 3 * nm + 7
+
+    def test_coeffs_index_bounds(self, layout):
+        with pytest.raises(ConfigurationError):
+            layout.coeffs_index(4, 0)
+        with pytest.raises(ConfigurationError):
+            layout.coeffs_index(0, 24)
+
+    def test_mons_indices_are_unique_and_in_range(self, layout):
+        seen = set()
+        for record in layout.sequence:
+            indices = [layout.mons_value_index(record.term_index, record.polynomial_index)]
+            for variable in record.monomial.positions:
+                indices.append(layout.mons_derivative_index(record.term_index,
+                                                            record.polynomial_index, variable))
+            for idx in indices:
+                assert 0 <= idx < layout.mons_length
+                assert idx not in seen
+                seen.add(idx)
+        assert seen == set(layout.meaningful_mons_indices())
+
+    def test_mons_layout_is_coalesced_per_step(self, layout):
+        """At summation step j, target t reads Mons[t + j*(n^2+n)]: the value
+        and derivative indices of term j must all fall into that slice."""
+        num_targets = layout.num_targets
+        for record in layout.sequence:
+            j = record.term_index
+            value_idx = layout.mons_value_index(j, record.polynomial_index)
+            assert j * num_targets <= value_idx < (j + 1) * num_targets
+            for variable in record.monomial.positions:
+                d_idx = layout.mons_derivative_index(j, record.polynomial_index, variable)
+                assert j * num_targets <= d_idx < (j + 1) * num_targets
+
+    def test_results_indexing(self, layout):
+        n = layout.dimension
+        assert layout.results_value_index(3) == 3
+        assert layout.results_jacobian_index(2, 0) == n + 2
+        assert layout.results_jacobian_index(2, 4) == (4 + 1) * n + 2
+
+    def test_extract_results_shapes(self, layout):
+        results = list(range(layout.num_targets))
+        values, jacobian = layout.extract_results(results)
+        assert values == list(range(6))
+        assert len(jacobian) == 6 and len(jacobian[0]) == 6
+        assert jacobian[2][4] == layout.results_jacobian_index(2, 4)
+
+
+class TestCoefficients:
+    def test_derivative_coefficients_fold_in_exponents(self, layout):
+        coeffs = layout.build_coefficients()
+        k = layout.variables_per_monomial
+        for record in layout.sequence:
+            for slot in range(k):
+                expected = record.coefficient * record.monomial.exponents[slot]
+                got = coeffs[layout.coeffs_index(slot, record.sequence_index)]
+                assert got == pytest.approx(expected)
+            assert coeffs[layout.coeffs_index(k, record.sequence_index)] == pytest.approx(
+                record.coefficient)
+
+    def test_mons_initial_is_all_zero(self, layout):
+        mons = layout.build_mons_initial()
+        assert len(mons) == layout.mons_length
+        assert all(v == 0j for v in mons)
+
+    def test_coefficients_in_double_double(self):
+        system = random_regular_system(4, 2, 2, 3, seed=5)
+        layout = SystemLayout(system, context=DOUBLE_DOUBLE)
+        coeffs = layout.build_coefficients()
+        plain = SystemLayout(system).build_coefficients()
+        assert [c.to_complex() for c in coeffs] == pytest.approx(plain)
+
+
+class TestCapacityChecks:
+    def test_small_system_fits(self, layout):
+        layout.check_device_capacity(TESLA_C2050)
+
+    def test_constant_memory_limit_detected(self):
+        """A dimension-64 system with 2048 monomials and k=16 exhausts the
+        64 KiB constant memory, as the paper reports."""
+        system = random_regular_system(dimension=64, monomials_per_polynomial=40,
+                                       variables_per_monomial=16, max_variable_degree=2,
+                                       seed=0)
+        layout = SystemLayout(system)
+        with pytest.raises(ConstantMemoryOverflow):
+            layout.check_device_capacity(TESLA_C2050)
+
+    def test_shared_memory_limit_detected(self):
+        budget = shared_memory_budget(dimension=70, variables_per_monomial=60,
+                                      block_size=32, context=DOUBLE_DOUBLE)
+        assert not budget.fits(TESLA_C2050)
+
+    def test_paper_shared_memory_example(self):
+        """Section 3.2: n = 70, k = 35, double-double complex needs 36,864 +
+        2,240 bytes, more than 10,000 bytes below the 49,152 capacity."""
+        budget = shared_memory_budget(dimension=70, variables_per_monomial=35,
+                                      block_size=32, context=DOUBLE_DOUBLE)
+        assert budget.workspace_bytes == 36864
+        assert budget.variable_bytes == 2240
+        assert budget.fits(TESLA_C2050)
+        assert TESLA_C2050.shared_memory_per_block_bytes - budget.total_bytes > 10000
+
+    def test_table_dimensions_fit_in_double(self):
+        budget = shared_memory_budget(dimension=32, variables_per_monomial=16,
+                                      block_size=32, context=DOUBLE)
+        assert budget.fits(TESLA_C2050)

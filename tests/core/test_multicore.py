@@ -1,0 +1,82 @@
+"""Tests for the multicore (partition-and-merge) evaluator."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core import CPUReferenceEvaluator, MulticoreEvaluator, partition_monomials
+from repro.multiprec import DOUBLE_DOUBLE
+from repro.polynomials import random_point, random_regular_system
+
+
+class TestPartition:
+    def test_partition_covers_all_monomials(self, small_system):
+        chunks = partition_monomials(small_system, 4)
+        assert len(chunks) == 4
+        total = sum(len(c) for c in chunks)
+        assert total == small_system.total_monomials
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_worker_gets_everything(self, small_system):
+        chunks = partition_monomials(small_system, 1)
+        assert len(chunks) == 1
+        assert len(chunks[0]) == small_system.total_monomials
+
+    def test_more_workers_than_monomials(self):
+        system = random_regular_system(2, 1, 1, 1, seed=0)
+        chunks = partition_monomials(system, 8)
+        assert sum(len(c) for c in chunks) == 2
+        assert sum(1 for c in chunks if c) == 2
+
+    def test_invalid_worker_count(self, small_system):
+        with pytest.raises(ConfigurationError):
+            partition_monomials(small_system, 0)
+        with pytest.raises(ConfigurationError):
+            MulticoreEvaluator(small_system, workers=0)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("workers", [1, 2, 5])
+    def test_matches_sequential_reference(self, small_system, small_point, workers):
+        multicore = MulticoreEvaluator(small_system, workers=workers)
+        sequential = CPUReferenceEvaluator(small_system, algorithm="naive")
+        m = multicore.evaluate(small_point)
+        s = sequential.evaluate(small_point)
+        for a, b in zip(m.values, s.values):
+            assert a == pytest.approx(b, rel=1e-11)
+        for row_a, row_b in zip(m.jacobian, s.jacobian):
+            for a, b in zip(row_a, row_b):
+                assert a == pytest.approx(b, rel=1e-11, abs=1e-11)
+
+    def test_operation_total_matches_sequential_factored(self, small_system, small_point):
+        multicore = MulticoreEvaluator(small_system, workers=3)
+        sequential = CPUReferenceEvaluator(small_system, algorithm="factored")
+        m_ops = multicore.evaluate(small_point).operations
+        s_ops = sequential.evaluate(small_point).operations
+        # Partitioning rebuilds the power table per chunk, so the multicore
+        # evaluator can only do at least as many multiplications.
+        assert m_ops.multiplications >= s_ops.multiplications
+        assert m_ops.additions >= s_ops.additions
+
+    def test_double_double_context(self, small_system, small_point):
+        multicore = MulticoreEvaluator(small_system, workers=2, context=DOUBLE_DOUBLE)
+        result = multicore.evaluate(small_point)
+        reference = CPUReferenceEvaluator(small_system, context=DOUBLE_DOUBLE,
+                                          algorithm="naive").evaluate(small_point)
+        for a, b in zip(result.values, reference.values):
+            assert abs(a.to_complex() - b.to_complex()) < 1e-12
+
+    def test_external_executor(self, small_system, small_point):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            multicore = MulticoreEvaluator(small_system, workers=2, executor=pool)
+            result = multicore.evaluate(small_point)
+        reference = CPUReferenceEvaluator(small_system, algorithm="naive").evaluate(small_point)
+        for a, b in zip(result.values, reference.values):
+            assert a == pytest.approx(b, rel=1e-11)
+
+    def test_elapsed_time_recorded(self, small_system, small_point):
+        assert MulticoreEvaluator(small_system, workers=2).evaluate(small_point).elapsed_seconds > 0

@@ -1,0 +1,82 @@
+"""Tests for the closed-form operation-count formulas of section 3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    expected_counts,
+    kernel1_multiplications_per_thread,
+    kernel2_multiplications_per_thread,
+    speelpenning_multiplications,
+)
+from repro.core.opcounts import kernel1_power_multiplications_per_variable
+from repro.polynomials import SystemShape
+
+
+class TestPerThreadFormulas:
+    def test_speelpenning_3k_minus_6(self):
+        assert speelpenning_multiplications(3) == 3
+        assert speelpenning_multiplications(9) == 21
+        assert speelpenning_multiplications(16) == 42
+        assert speelpenning_multiplications(2) == 0
+        assert speelpenning_multiplications(0) == 0
+
+    def test_kernel2_5k_minus_4(self):
+        """Table 1 monomials (k=9): 41; Table 2 monomials (k=16): 76."""
+        assert kernel2_multiplications_per_thread(9) == 41
+        assert kernel2_multiplications_per_thread(16) == 76
+        assert kernel2_multiplications_per_thread(2) == 6
+
+    def test_kernel2_degenerate_cases(self):
+        assert kernel2_multiplications_per_thread(1) == 4
+        assert kernel2_multiplications_per_thread(0) == 1
+
+    def test_kernel2_decomposition(self):
+        """5k-4 = (3k-6) + k + 1 + (k+1) for k >= 2."""
+        for k in range(2, 40):
+            assert kernel2_multiplications_per_thread(k) == (
+                speelpenning_multiplications(k) + k + 1 + (k + 1))
+
+    def test_kernel1_counts(self):
+        assert kernel1_multiplications_per_thread(9) == 8
+        assert kernel1_multiplications_per_thread(0) == 0
+        assert kernel1_power_multiplications_per_variable(2) == 0
+        assert kernel1_power_multiplications_per_variable(10) == 8
+
+
+class TestSystemTotals:
+    def make_shape(self, n=32, m=32, k=9, d=2):
+        return SystemShape(dimension=n, monomials_per_polynomial=m,
+                           variables_per_monomial=k, max_variable_degree=d)
+
+    def test_table1_totals(self):
+        shape = self.make_shape(k=9, d=2)
+        counts = expected_counts(shape, block_size=32)
+        nm = 1024
+        assert counts.blocks == 32
+        assert counts.kernel1_power_multiplications == 0          # d = 2
+        assert counts.kernel1_factor_multiplications == nm * 8
+        assert counts.kernel2_multiplications == nm * 41
+        assert counts.kernel3_additions == (32 * 32 + 32) * 32
+        assert counts.total_multiplications == nm * 49
+
+    def test_table2_totals(self):
+        shape = self.make_shape(k=16, d=10)
+        counts = expected_counts(shape, block_size=32)
+        nm = 1024
+        assert counts.kernel1_power_multiplications == 32 * 32 * 8   # blocks * n * (d-2)
+        assert counts.kernel1_factor_multiplications == nm * 15
+        assert counts.kernel2_multiplications == nm * 76
+
+    def test_block_count_rounds_up(self):
+        shape = self.make_shape(n=6, m=4, k=3, d=2)
+        counts = expected_counts(shape, block_size=32)
+        assert counts.blocks == 1
+
+    def test_as_dict(self):
+        counts = expected_counts(self.make_shape(), block_size=32)
+        d = counts.as_dict()
+        assert d["total_multiplications"] == counts.total_multiplications
+        assert set(d) >= {"kernel1_factor_multiplications", "kernel2_multiplications",
+                          "kernel3_additions"}

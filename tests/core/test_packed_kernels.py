@@ -1,0 +1,125 @@
+"""Tests for the packed-constant-memory kernel variants (the paper's planned
+"more compact encodings" extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core import (
+    ARRAY_EXPONENTS,
+    ARRAY_PACKED_SUPPORTS,
+    ARRAY_POSITIONS,
+    CPUReferenceEvaluator,
+    GPUEvaluator,
+    SystemLayout,
+    compare_evaluations,
+    kernel2_multiplications_per_thread,
+)
+from repro.multiprec import DOUBLE_DOUBLE
+from repro.polynomials import PackedSupportEncoding, random_point, random_regular_system
+
+
+@pytest.fixture(scope="module")
+def packed_evaluator(small_system):
+    return GPUEvaluator(small_system, check_capacity=False, support_encoding="packed")
+
+
+class TestConstruction:
+    def test_layout_encoding_format(self, small_system):
+        layout = SystemLayout(small_system, encoding_format="packed")
+        assert isinstance(layout.encoding, PackedSupportEncoding)
+        assert layout.encoding_format == "packed"
+
+    def test_invalid_format_rejected(self, small_system):
+        with pytest.raises(ConfigurationError):
+            SystemLayout(small_system, encoding_format="huffman")
+        with pytest.raises(ConfigurationError):
+            GPUEvaluator(small_system, check_capacity=False, support_encoding="huffman")
+
+    def test_from_scratch_variant_not_supported_with_packed(self, small_system):
+        with pytest.raises(ConfigurationError):
+            GPUEvaluator(small_system, check_capacity=False, support_encoding="packed",
+                         common_factor_variant="from_scratch")
+
+    def test_constant_memory_holds_one_packed_array(self, packed_evaluator):
+        const = packed_evaluator._constant_memory
+        assert const.has_array(ARRAY_PACKED_SUPPORTS)
+        assert not const.has_array(ARRAY_POSITIONS)
+        assert not const.has_array(ARRAY_EXPONENTS)
+        assert const.element_bytes(ARRAY_PACKED_SUPPORTS) == 2
+
+    def test_kernel_names(self, packed_evaluator):
+        assert packed_evaluator._kernel1.name == "common_factor_packed"
+        assert packed_evaluator._kernel2.name == "speelpenning_packed"
+
+
+class TestCorrectness:
+    def test_matches_byte_encoded_pipeline(self, small_system, small_point):
+        packed = GPUEvaluator(small_system, check_capacity=False,
+                              support_encoding="packed").evaluate(small_point)
+        plain = GPUEvaluator(small_system, check_capacity=False).evaluate(small_point)
+        report = compare_evaluations(packed.values, packed.jacobian,
+                                     plain.values, plain.jacobian)
+        # Identical operation order: results agree exactly.
+        assert report.max_value_difference == 0.0
+        assert report.max_jacobian_difference == 0.0
+
+    def test_matches_cpu_reference(self, small_system, small_point):
+        packed = GPUEvaluator(small_system, check_capacity=False,
+                              support_encoding="packed").evaluate(small_point)
+        cpu = CPUReferenceEvaluator(small_system, algorithm="naive").evaluate(small_point)
+        report = compare_evaluations(packed.values, packed.jacobian,
+                                     cpu.values, cpu.jacobian)
+        assert report.max_relative_difference < 1e-12
+
+    def test_double_double_context(self, small_system, small_point):
+        packed = GPUEvaluator(small_system, context=DOUBLE_DOUBLE, check_capacity=False,
+                              support_encoding="packed").evaluate(small_point)
+        cpu = CPUReferenceEvaluator(small_system, context=DOUBLE_DOUBLE,
+                                    algorithm="naive").evaluate(small_point)
+        report = compare_evaluations(packed.values, packed.jacobian,
+                                     cpu.values, cpu.jacobian, context=DOUBLE_DOUBLE)
+        assert report.max_relative_difference < 1e-13
+
+
+class TestCostAccounting:
+    def test_same_multiplications_extra_decode_ops(self, small_system, small_point):
+        """The packed variant performs the same floating-point work but pays
+        integer decode operations -- the trade-off the paper predicts is
+        dominated by the multiplications."""
+        packed = GPUEvaluator(small_system, check_capacity=False,
+                              support_encoding="packed").evaluate(small_point)
+        plain = GPUEvaluator(small_system, check_capacity=False).evaluate(small_point)
+        for p_stats, b_stats in zip(packed.launch_stats, plain.launch_stats):
+            assert p_stats.total_multiplications == b_stats.total_multiplications
+        packed_other_ops = sum(t.other_ops for s in packed.launch_stats
+                               for t in s.thread_traces)
+        plain_other_ops = sum(t.other_ops for s in plain.launch_stats
+                              for t in s.thread_traces)
+        assert packed_other_ops > plain_other_ops
+        # Decode work stays far below the multiplication work.
+        k = 3
+        assert packed_other_ops < small_system.total_monomials * (
+            kernel2_multiplications_per_thread(k) + k)
+
+    def test_per_thread_counts_unchanged(self, small_system, small_point):
+        packed = GPUEvaluator(small_system, check_capacity=False,
+                              support_encoding="packed").evaluate(small_point)
+        active = [t for t in packed.launch_stats[1].thread_traces if t.thread_index < 24]
+        assert all(t.multiplications == kernel2_multiplications_per_thread(3) for t in active)
+
+
+class TestHigherDimensions:
+    def test_byte_encoding_caps_at_256_variables_packed_does_not(self):
+        system = random_regular_system(dimension=300, monomials_per_polynomial=1,
+                                       variables_per_monomial=2, max_variable_degree=2,
+                                       seed=1)
+        with pytest.raises(ConfigurationError):
+            SystemLayout(system, encoding_format="byte")
+        layout = SystemLayout(system, encoding_format="packed")
+        assert layout.encoding.total_monomials == 300
+        # Round-trip of an entry referencing a variable index above 255.
+        high_entries = [layout.encoding.monomial_entry(i, j)
+                        for i in range(300) for j in range(2)]
+        assert any(position > 255 for position, _ in high_entries)

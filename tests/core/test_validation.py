@@ -1,0 +1,77 @@
+"""Tests for the GPU-vs-CPU validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GPUEvaluator, compare_evaluations, validate_evaluator
+from repro.core.validation import ComparisonReport
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.polynomials import random_regular_system
+
+
+class TestCompareEvaluations:
+    def test_identical_inputs_give_zero(self):
+        values = [1 + 1j, 2j]
+        jacobian = [[1j, 0j], [0j, 2 + 0j]]
+        report = compare_evaluations(values, jacobian, list(values), [list(r) for r in jacobian])
+        assert report.max_value_difference == 0
+        assert report.max_jacobian_difference == 0
+        assert report.max_relative_difference == 0
+        assert report.within(1e-15)
+
+    def test_detects_value_difference(self):
+        report = compare_evaluations([1 + 0j], [[1 + 0j]], [1.5 + 0j], [[1 + 0j]])
+        assert report.max_value_difference == pytest.approx(0.5)
+        assert not report.within(1e-3)
+
+    def test_detects_jacobian_difference(self):
+        report = compare_evaluations([1 + 0j], [[1 + 0j]], [1 + 0j], [[2 + 0j]])
+        assert report.max_jacobian_difference == pytest.approx(1.0)
+
+    def test_relative_difference_uses_magnitudes(self):
+        report = compare_evaluations([1e8 + 0j], [[0j]], [1e8 + 1 + 0j], [[0j]])
+        assert report.max_relative_difference == pytest.approx(1e-8, rel=1e-3)
+
+    def test_handles_extended_precision_scalars(self):
+        ctx = DOUBLE_DOUBLE
+        a = [ctx.from_complex(1 + 1j)]
+        j = [[ctx.from_complex(2 + 0j)]]
+        report = compare_evaluations(a, j, a, j, context=ctx)
+        assert report.max_relative_difference == 0
+
+    def test_report_is_frozen(self):
+        report = ComparisonReport(0.0, 0.0, 1.0, 1.0)
+        with pytest.raises(AttributeError):
+            report.max_value_difference = 1.0
+
+
+class TestValidateEvaluator:
+    def test_passes_for_correct_pipeline(self, small_system):
+        report = validate_evaluator(small_system, points=2, tolerance=1e-10)
+        assert report.max_relative_difference < 1e-12
+
+    def test_accepts_existing_evaluator(self, small_system):
+        evaluator = GPUEvaluator(small_system, check_capacity=False)
+        report = validate_evaluator(small_system, points=1, evaluator=evaluator)
+        assert report.within(1e-10)
+
+    def test_double_double_validation(self):
+        system = random_regular_system(4, 2, 2, 3, seed=13)
+        report = validate_evaluator(system, context=DOUBLE_DOUBLE, points=1,
+                                    tolerance=1e-12)
+        assert report.within(1e-12)
+
+    def test_failure_raises_assertion(self, small_system):
+        class BrokenEvaluator:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def evaluate(self, point):
+                result = self.inner.evaluate(point)
+                result.values[0] = result.values[0] + 1.0
+                return result
+
+        broken = BrokenEvaluator(GPUEvaluator(small_system, check_capacity=False))
+        with pytest.raises(AssertionError):
+            validate_evaluator(small_system, points=1, evaluator=broken, tolerance=1e-10)

@@ -1,0 +1,143 @@
+"""Tests for the coalescing / bank-conflict analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import (
+    CoalescingReport,
+    MemoryAccess,
+    analyze_warp_accesses,
+    bank_conflicts_for_indices,
+    transactions_for_addresses,
+)
+from repro.gpusim.coalescing import WarpMemoryEvent
+
+
+def make_access(space, kind, array, index, element_bytes, tag):
+    return MemoryAccess(space=space, kind=kind, array=array, index=index,
+                        element_bytes=element_bytes, tag=tag)
+
+
+class TestTransactionCounting:
+    def test_fully_coalesced_complex_doubles(self):
+        """32 consecutive complex doubles = 512 bytes = 4 segments of 128."""
+        addresses = [i * 16 for i in range(32)]
+        assert transactions_for_addresses(addresses, element_bytes=16) == 4
+
+    def test_fully_scattered(self):
+        """Each thread in its own 128-byte segment: 32 transactions."""
+        addresses = [i * 1024 for i in range(32)]
+        assert transactions_for_addresses(addresses, element_bytes=16) == 32
+
+    def test_broadcast_single_address(self):
+        addresses = [0] * 32
+        assert transactions_for_addresses(addresses, element_bytes=16) == 1
+
+    def test_straddling_element(self):
+        # One 16-byte element starting 8 bytes before a segment boundary.
+        assert transactions_for_addresses([120], element_bytes=16) == 2
+
+    def test_empty(self):
+        assert transactions_for_addresses([], element_bytes=16) == 0
+
+    def test_double_double_elements_cost_twice_the_segments(self):
+        doubles = transactions_for_addresses([i * 16 for i in range(32)], 16)
+        dd = transactions_for_addresses([i * 32 for i in range(32)], 32)
+        assert dd == 2 * doubles
+
+
+class TestBankConflicts:
+    def test_consecutive_words_are_conflict_free(self):
+        assert bank_conflicts_for_indices(list(range(32)), element_bytes=4) == 0
+
+    def test_same_word_broadcast_is_conflict_free(self):
+        assert bank_conflicts_for_indices([5] * 32, element_bytes=4) == 0
+
+    def test_stride_two_words_conflict(self):
+        # Stride 2 in 4-byte words: 2 distinct words per bank -> 1 extra pass.
+        conflicts = bank_conflicts_for_indices([2 * i for i in range(32)], element_bytes=4)
+        assert conflicts == 1
+
+    def test_stride_32_is_worst_case(self):
+        conflicts = bank_conflicts_for_indices([32 * i for i in range(32)], element_bytes=4)
+        assert conflicts == 31
+
+    def test_consecutive_complex_doubles_are_conflict_free(self):
+        """16-byte elements are served 8 threads per pass; consecutive
+        elements then hit 32 distinct banks -> no conflicts."""
+        assert bank_conflicts_for_indices(list(range(32)), element_bytes=16) == 0
+
+    def test_strided_complex_doubles_conflict(self):
+        # Stride of 10 elements of 16 bytes = 40 words: within each group of
+        # 8 threads the accesses collide pairwise.
+        conflicts = bank_conflicts_for_indices([10 * i for i in range(32)], element_bytes=16)
+        assert conflicts > 0
+
+    def test_empty(self):
+        assert bank_conflicts_for_indices([], element_bytes=4) == 0
+
+
+class TestWarpAnalysis:
+    def test_coalesced_warp_read(self):
+        accesses = {t: [make_access("global", "read", "X", t, 16, "load")]
+                    for t in range(32)}
+        report = analyze_warp_accesses(accesses)
+        assert report.global_transactions == 4
+        assert report.global_read_transactions == 4
+        assert report.global_write_transactions == 0
+        assert report.warp_memory_instructions == 1
+        assert report.shared_bank_conflicts == 0
+
+    def test_scattered_warp_write(self):
+        accesses = {t: [make_access("global", "write", "M", 100 * t, 16, "store")]
+                    for t in range(32)}
+        report = analyze_warp_accesses(accesses)
+        assert report.global_write_transactions == 32
+        assert report.coalescing_efficiency() < 0.2
+
+    def test_multiple_warps_are_analyzed_separately(self):
+        accesses = {}
+        for t in range(64):
+            accesses[t] = [make_access("global", "read", "X", t, 16, "load")]
+        report = analyze_warp_accesses(accesses, warp_size=32)
+        # Two warps, each reading 32 consecutive complex doubles.
+        assert report.global_transactions == 8
+        assert len(report.events) == 2
+
+    def test_loop_iterations_align_by_occurrence(self):
+        # Each thread reads the same array twice under one tag; the two
+        # occurrences must be treated as two warp instructions.
+        accesses = {t: [make_access("global", "read", "X", t, 16, "sum"),
+                        make_access("global", "read", "X", t + 32, 16, "sum")]
+                    for t in range(32)}
+        report = analyze_warp_accesses(accesses)
+        assert len(report.events) == 2
+        assert report.global_transactions == 8
+
+    def test_constant_memory_broadcast_vs_divergent(self):
+        broadcast = {t: [make_access("constant", "read", "P", 7, 1, "pos")]
+                     for t in range(32)}
+        divergent = {t: [make_access("constant", "read", "P", t, 1, "pos")]
+                     for t in range(32)}
+        assert analyze_warp_accesses(broadcast).events[0].transactions == 1
+        assert analyze_warp_accesses(divergent).events[0].transactions == 32
+
+    def test_shared_memory_conflicts_reported(self):
+        accesses = {t: [make_access("shared", "read", "L", 32 * t, 4, "work")]
+                    for t in range(32)}
+        report = analyze_warp_accesses(accesses)
+        assert report.shared_bank_conflicts == 31
+
+    def test_empty_input(self):
+        report = analyze_warp_accesses({})
+        assert report.events == []
+        assert report.global_transactions == 0
+        assert report.coalescing_efficiency() == 1.0
+
+    def test_merge(self):
+        a = CoalescingReport(events=[WarpMemoryEvent("t", "global", "read", "X", 32, 4, 0)])
+        b = CoalescingReport(events=[WarpMemoryEvent("t", "global", "write", "Y", 32, 8, 0)])
+        merged = a.merge(b)
+        assert merged.global_transactions == 12
+        assert merged.global_read_transactions == 4

@@ -1,0 +1,133 @@
+"""Tests for the GPU and CPU cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import (
+    CPUCostModel,
+    GPUCostModel,
+    GlobalMemory,
+    Kernel,
+    LaunchConfig,
+    TESLA_C2050,
+    launch_kernel,
+)
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE
+from repro.polynomials.speelpenning import OperationCount
+
+
+class WorkKernel(Kernel):
+    """Every thread does a fixed number of multiplications and one read."""
+
+    name = "work"
+
+    def __init__(self, mults):
+        self.mults = mults
+
+    def run_thread(self, ctx):
+        ctx.global_read("x", ctx.global_thread_id, tag="load")
+        ctx.count_mul(self.mults)
+
+
+def run_work(blocks=14, mults=100):
+    gmem = GlobalMemory()
+    gmem.store_array("x", [1.0] * (blocks * 32), 16)
+    return launch_kernel(WorkKernel(mults), LaunchConfig(grid_dim=blocks, block_dim=32), gmem)
+
+
+class TestGPUCostModel:
+    def test_breakdown_components_are_positive(self):
+        stats = run_work()
+        breakdown = GPUCostModel().kernel_time(stats)
+        assert breakdown.launch_overhead > 0
+        assert breakdown.arithmetic > 0
+        assert breakdown.memory_throughput > 0
+        assert breakdown.memory_latency > 0
+        assert breakdown.bank_conflicts == 0
+        assert breakdown.total == pytest.approx(
+            breakdown.launch_overhead + breakdown.arithmetic + breakdown.memory_throughput
+            + breakdown.memory_latency + breakdown.bank_conflicts)
+        assert set(breakdown.as_dict()) >= {"kernel", "total_s", "arithmetic_s"}
+
+    def test_launch_overhead_dominates_small_launches(self):
+        stats = run_work(blocks=1, mults=1)
+        breakdown = GPUCostModel().kernel_time(stats)
+        assert breakdown.launch_overhead > 0.5 * breakdown.total
+
+    def test_arithmetic_scales_with_work_per_thread(self):
+        cheap = GPUCostModel().kernel_time(run_work(mults=10)).arithmetic
+        costly = GPUCostModel().kernel_time(run_work(mults=1000)).arithmetic
+        assert costly == pytest.approx(100 * cheap, rel=1e-6)
+
+    def test_arithmetic_flat_while_multiprocessors_fill(self):
+        """Up to 14 blocks the per-SM critical path does not grow."""
+        model = GPUCostModel()
+        one = model.kernel_time(run_work(blocks=1)).arithmetic
+        fourteen = model.kernel_time(run_work(blocks=14)).arithmetic
+        twenty_eight = model.kernel_time(run_work(blocks=28)).arithmetic
+        assert fourteen == pytest.approx(one)
+        assert twenty_eight == pytest.approx(2 * one)
+
+    def test_extended_precision_scales_arithmetic(self):
+        stats = run_work()
+        model = GPUCostModel()
+        d = model.kernel_time(stats, DOUBLE).arithmetic
+        dd = model.kernel_time(stats, DOUBLE_DOUBLE).arithmetic
+        qd = model.kernel_time(stats, QUAD_DOUBLE).arithmetic
+        assert dd == pytest.approx(8 * d)
+        assert qd == pytest.approx(40 * d)
+
+    def test_evaluation_time_sums_kernels(self):
+        stats = run_work()
+        model = GPUCostModel()
+        single = model.kernel_time(stats).total
+        assert model.evaluation_time([stats, stats]) == pytest.approx(2 * single)
+
+    def test_custom_constants(self):
+        stats = run_work()
+        slow_launch = GPUCostModel(kernel_launch_overhead_s=1.0)
+        assert slow_launch.kernel_time(stats).launch_overhead == 1.0
+
+
+class TestCPUCostModel:
+    def test_time_formula(self):
+        model = CPUCostModel()
+        ops = OperationCount(multiplications=1000, additions=500)
+        expected = (1000 * model.cycles_per_complex_multiplication
+                    + 500 * model.cycles_per_complex_addition) / model.host.clock_hz
+        assert model.evaluation_time(ops) == pytest.approx(expected)
+
+    def test_double_double_costs_factor_eight(self):
+        """The paper's observation from [40]: the double-double overhead
+        factor is around 8."""
+        model = CPUCostModel()
+        ops = OperationCount(multiplications=1000, additions=200)
+        ratio = model.evaluation_time(ops, DOUBLE_DOUBLE) / model.evaluation_time(ops, DOUBLE)
+        assert ratio == pytest.approx(8.0)
+
+    def test_multicore_time_divides_by_cores(self):
+        model = CPUCostModel()
+        ops = OperationCount(multiplications=10000)
+        sequential = model.evaluation_time(ops)
+        parallel = model.multicore_time(ops, cores=4, efficiency=1.0)
+        assert parallel == pytest.approx(sequential / 4)
+
+    def test_multicore_defaults_to_host_cores(self):
+        model = CPUCostModel()
+        ops = OperationCount(multiplications=6000)
+        assert model.multicore_time(ops) < model.evaluation_time(ops)
+
+    def test_zero_ops(self):
+        assert CPUCostModel().evaluation_time(OperationCount()) == 0.0
+
+
+class TestSpeedupShape:
+    def test_gpu_beats_cpu_at_paper_scale_work(self):
+        """A 1024-monomial-like amount of work should show a double-digit
+        advantage for the device, as the paper's clock-ratio argument hopes."""
+        stats = run_work(blocks=32, mults=41)
+        gpu = GPUCostModel().evaluation_time([stats, stats, stats])
+        cpu = CPUCostModel().evaluation_time(OperationCount(multiplications=1024 * 55,
+                                                            additions=1024 * 10))
+        assert cpu / gpu > 5.0

@@ -1,0 +1,58 @@
+"""Tests for the device descriptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import TESLA_C2050, XEON_X5690, DeviceSpec, HostSpec
+
+
+class TestTeslaC2050:
+    def test_paper_figures(self):
+        """Section 4: 14 multiprocessors, 32 cores each, 448 cores total,
+        processor clock 1147 MHz."""
+        assert TESLA_C2050.multiprocessors == 14
+        assert TESLA_C2050.cores_per_multiprocessor == 32
+        assert TESLA_C2050.total_cores == 448
+        assert TESLA_C2050.clock_hz == pytest.approx(1147e6)
+
+    def test_memory_capacities(self):
+        """Constant memory 65,536 bytes and shared memory 49,152 bytes are the
+        limits the paper's sections 3.1 and 3.2 reason with."""
+        assert TESLA_C2050.constant_memory_bytes == 65536
+        assert TESLA_C2050.shared_memory_per_block_bytes == 49152
+        assert TESLA_C2050.warp_size == 32
+        assert TESLA_C2050.shared_memory_banks == 32
+
+    def test_derived_quantities(self):
+        assert TESLA_C2050.peak_threads_in_flight == 14 * 48 * 32
+        assert "Tesla C2050" in str(TESLA_C2050)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            TESLA_C2050.warp_size = 64
+
+
+class TestXeonHost:
+    def test_paper_clock(self):
+        """Section 4: Intel Xeon X5690 at 3.47 GHz."""
+        assert XEON_X5690.clock_hz == pytest.approx(3.47e9)
+        assert "X5690" in str(XEON_X5690)
+
+    def test_clock_ratio_motivates_double_digit_speedup(self):
+        """The paper: 'the clock speed of the GPU is a third of the clock
+        speed of the CPU, we hope to achieve a double digit speedup'."""
+        ratio = XEON_X5690.clock_hz / TESLA_C2050.clock_hz
+        assert 2.5 < ratio < 3.5
+
+
+class TestCustomSpecs:
+    def test_custom_device(self):
+        small = DeviceSpec(name="toy", multiprocessors=2, cores_per_multiprocessor=8,
+                           clock_hz=1e9)
+        assert small.total_cores == 16
+        assert small.warp_size == 32  # default
+
+    def test_custom_host(self):
+        host = HostSpec(name="laptop", clock_hz=2.0e9, cores=4)
+        assert host.cores == 4

@@ -1,0 +1,189 @@
+"""Tests for the kernel abstraction and the grid launcher.
+
+Uses small hand-written kernels (vector scale, phased reduction, divergent
+work) to exercise the execution model independently of the paper's kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelExecutionError, LaunchConfigurationError
+from repro.gpusim import (
+    ConstantMemory,
+    GlobalMemory,
+    Kernel,
+    LaunchConfig,
+    SharedMemory,
+    TESLA_C2050,
+    launch_kernel,
+)
+
+
+class ScaleKernel(Kernel):
+    """out[i] = 2 * x[i]: one coalesced read and write per thread."""
+
+    name = "scale"
+
+    def __init__(self, length):
+        self.length = length
+
+    def run_thread(self, ctx):
+        i = ctx.global_thread_id
+        if i >= self.length:
+            return
+        x = ctx.global_read("x", i, tag="load")
+        ctx.count_mul()
+        ctx.global_write("out", i, 2.0 * x, tag="store")
+
+
+class PhasedKernel(Kernel):
+    """Phase 1 stores per-thread values in shared memory; phase 2 lets every
+    thread read its neighbour's value -- only correct with a barrier."""
+
+    name = "phased"
+
+    def configure_shared(self, shared: SharedMemory, config: LaunchConfig) -> None:
+        shared.allocate("buffer", config.block_dim, 8, fill=0.0)
+
+    def phases(self):
+        return [("write", self.write_phase), ("read", self.read_phase)]
+
+    def write_phase(self, ctx):
+        ctx.shared_write("buffer", ctx.threadIdx, float(ctx.threadIdx), tag="fill")
+
+    def read_phase(self, ctx):
+        neighbour = (ctx.threadIdx + 1) % ctx.blockDim
+        value = ctx.shared_read("buffer", neighbour, tag="neighbour")
+        ctx.global_write("out", ctx.global_thread_id, value, tag="store")
+
+
+class DivergentKernel(Kernel):
+    """Odd threads do ten multiplications, even threads one."""
+
+    name = "divergent"
+
+    def run_thread(self, ctx):
+        work = 10 if ctx.threadIdx % 2 else 1
+        ctx.count_mul(work)
+        ctx.count_add()
+        ctx.count_op(2)
+
+
+class FailingKernel(Kernel):
+    name = "failing"
+
+    def run_thread(self, ctx):
+        if ctx.global_thread_id == 3:
+            raise ValueError("boom")
+
+
+class ConstReaderKernel(Kernel):
+    name = "const_reader"
+
+    def run_thread(self, ctx):
+        value = ctx.const_read("table", ctx.threadIdx % 4, tag="lookup")
+        ctx.global_write("out", ctx.global_thread_id, value, tag="store")
+
+
+@pytest.fixture
+def gmem():
+    g = GlobalMemory()
+    g.store_array("x", [float(i) for i in range(64)], 8)
+    g.allocate("out", 64, 8, fill=0.0)
+    return g
+
+
+class TestFunctionalExecution:
+    def test_scale_kernel_results(self, gmem):
+        stats = launch_kernel(ScaleKernel(64), LaunchConfig(grid_dim=2, block_dim=32), gmem)
+        assert gmem.snapshot("out") == [2.0 * i for i in range(64)]
+        assert stats.total_threads == 64
+        assert stats.total_multiplications == 64
+        assert stats.kernel_name == "scale"
+
+    def test_idle_tail_threads(self, gmem):
+        # Launch more threads than elements: the extras return immediately.
+        stats = launch_kernel(ScaleKernel(40), LaunchConfig(grid_dim=2, block_dim=32), gmem)
+        assert stats.total_multiplications == 40
+        assert gmem.snapshot("out")[40:] == [0.0] * 24
+
+    def test_phase_barrier_semantics(self, gmem):
+        stats = launch_kernel(PhasedKernel(), LaunchConfig(grid_dim=1, block_dim=32), gmem)
+        # Thread t sees the value written by thread t+1 in the earlier phase.
+        assert gmem.snapshot("out")[:32] == [(t + 1) % 32 for t in range(32)]
+        assert stats.barriers == 1
+
+    def test_constant_memory_input(self, gmem):
+        const = ConstantMemory()
+        const.store_array("table", [10, 20, 30, 40], 4)
+        launch_kernel(ConstReaderKernel(), LaunchConfig(grid_dim=1, block_dim=8), gmem,
+                      constant_memory=const)
+        assert gmem.snapshot("out")[:8] == [10, 20, 30, 40, 10, 20, 30, 40]
+
+    def test_kernel_error_is_wrapped_with_coordinates(self, gmem):
+        with pytest.raises(KernelExecutionError, match="block 0, thread 3"):
+            launch_kernel(FailingKernel(), LaunchConfig(grid_dim=1, block_dim=8), gmem)
+
+    def test_invalid_launch_config(self, gmem):
+        with pytest.raises(LaunchConfigurationError):
+            launch_kernel(ScaleKernel(1), LaunchConfig(grid_dim=1, block_dim=4096), gmem)
+
+    def test_default_kernel_has_single_phase(self):
+        assert len(ScaleKernel(1).phases()) == 1
+        assert str(ScaleKernel(1)) == "scale"
+
+
+class TestStatistics:
+    def test_warp_stats_and_divergence(self, gmem):
+        stats = launch_kernel(DivergentKernel(), LaunchConfig(grid_dim=2, block_dim=32), gmem)
+        assert stats.num_warps == 2
+        assert stats.divergent_warps == 2
+        for w in stats.warp_stats:
+            assert w.max_multiplications == 10
+            assert w.min_multiplications == 1
+            assert w.diverged
+        # Warp-serial counts use the per-warp maximum.
+        assert stats.warp_serial_multiplications == 20
+        assert stats.warp_serial_additions == 2
+        assert stats.warp_serial_other_ops == 4
+
+    def test_uniform_kernel_does_not_diverge(self, gmem):
+        stats = launch_kernel(ScaleKernel(64), LaunchConfig(grid_dim=2, block_dim=32), gmem)
+        assert stats.divergent_warps == 0
+
+    def test_coalescing_collected(self, gmem):
+        stats = launch_kernel(ScaleKernel(64), LaunchConfig(grid_dim=2, block_dim=32), gmem)
+        # 8-byte reads: 32 per warp = 256 bytes = 2 transactions; same for
+        # writes; 2 warps in total.
+        assert stats.coalescing.global_read_transactions == 4
+        assert stats.coalescing.global_write_transactions == 4
+        assert stats.global_transactions == 8
+
+    def test_memory_trace_can_be_dropped(self, gmem):
+        stats = launch_kernel(ScaleKernel(64), LaunchConfig(grid_dim=2, block_dim=32), gmem,
+                              collect_memory_trace=False)
+        assert all(t.accesses == [] for t in stats.thread_traces)
+        # The aggregated coalescing report is still available.
+        assert stats.global_transactions == 8
+
+    def test_summary_keys(self, gmem):
+        stats = launch_kernel(ScaleKernel(64), LaunchConfig(grid_dim=2, block_dim=32), gmem)
+        summary = stats.summary()
+        for key in ("kernel", "blocks", "threads", "warps", "waves", "occupancy",
+                    "multiplications", "global_transactions", "divergent_warps"):
+            assert key in summary
+
+    def test_per_multiprocessor_accounting(self, gmem):
+        stats = launch_kernel(ScaleKernel(64), LaunchConfig(grid_dim=2, block_dim=32), gmem)
+        per_sm = stats.warps_per_multiprocessor()
+        assert sum(per_sm.values()) == 2
+        # Each warp's busiest thread does one multiplication and the two
+        # blocks land on different multiprocessors, so the critical path is 1.
+        assert stats.critical_path_multiplications() == 1
+
+    def test_critical_path_grows_when_blocks_share_a_multiprocessor(self, gmem):
+        stats = launch_kernel(DivergentKernel(), LaunchConfig(grid_dim=15, block_dim=32), gmem)
+        # 15 blocks on 14 multiprocessors: one multiprocessor executes two
+        # warps whose busiest threads do 10 multiplications each.
+        assert stats.critical_path_multiplications() == 20

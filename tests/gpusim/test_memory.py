@@ -1,0 +1,136 @@
+"""Tests for the simulated memory spaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConstantMemoryOverflow,
+    MemoryAccessError,
+    SharedMemoryOverflow,
+)
+from repro.gpusim import ConstantMemory, GlobalMemory, SharedMemory
+from repro.gpusim.memory import MemoryAccess
+
+
+class TestGlobalMemory:
+    def test_allocate_read_write(self):
+        g = GlobalMemory()
+        g.allocate("X", 4, 16, fill=0j)
+        g.write("X", 2, 1 + 2j)
+        assert g.read("X", 2) == 1 + 2j
+        assert g.read("X", 0) == 0j
+        assert g.array_length("X") == 4
+        assert g.element_bytes("X") == 16
+        assert g.has_array("X") and not g.has_array("Y")
+        assert g.array_names() == ("X",)
+
+    def test_store_array(self):
+        g = GlobalMemory()
+        g.store_array("C", [1j, 2j, 3j], 16)
+        assert g.snapshot("C") == [1j, 2j, 3j]
+
+    def test_double_allocation_rejected(self):
+        g = GlobalMemory()
+        g.allocate("X", 1, 16)
+        with pytest.raises(ConfigurationError):
+            g.allocate("X", 1, 16)
+
+    def test_bounds_checking(self):
+        g = GlobalMemory()
+        g.allocate("X", 3, 16)
+        with pytest.raises(MemoryAccessError):
+            g.read("X", 3)
+        with pytest.raises(MemoryAccessError):
+            g.write("X", -1, 0j)
+        with pytest.raises(MemoryAccessError):
+            g.read("Y", 0)
+        with pytest.raises(MemoryAccessError):
+            g.snapshot("Y")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GlobalMemory().allocate("X", -1, 8)
+
+    def test_capacity_enforced(self):
+        g = GlobalMemory(capacity_bytes=64)
+        g.allocate("A", 2, 16)
+        with pytest.raises(MemoryAccessError):
+            g.allocate("B", 3, 16)
+        assert g.bytes_allocated == 32
+        assert g.capacity_bytes == 64
+
+    def test_access_record(self):
+        g = GlobalMemory()
+        g.allocate("X", 4, 16)
+        record = g.access_record("read", "X", 3, tag="load")
+        assert isinstance(record, MemoryAccess)
+        assert record.space == "global"
+        assert record.byte_address == 48
+
+
+class TestSharedMemory:
+    def test_capacity_matches_fermi_default(self):
+        s = SharedMemory()
+        assert s.capacity_bytes == 49152
+        assert s.banks == 32
+
+    def test_overflow_raises_dedicated_error(self):
+        s = SharedMemory(capacity_bytes=128)
+        s.allocate("A", 4, 16)
+        with pytest.raises(SharedMemoryOverflow):
+            s.allocate("B", 5, 16)
+
+    def test_paper_budget_fits(self):
+        """Section 3.2: n = 70, k = 35, complex double double: 36,864 bytes
+        of workspace plus 2,240 bytes of variables fit below 49,152."""
+        s = SharedMemory()
+        s.allocate("workspace", 32 * 36, 32)   # 32 threads x (k+1) cdd values
+        s.allocate("variables", 70, 32)
+        assert s.bytes_allocated == 36864 + 2240
+        assert s.capacity_bytes - s.bytes_allocated > 10000
+
+    def test_bank_mapping(self):
+        s = SharedMemory()
+        s.allocate("A", 64, 4)
+        assert s.bank_of("A", 0) == 0
+        assert s.bank_of("A", 1) == 1
+        assert s.bank_of("A", 32) == 0
+        s.allocate("B", 8, 16)  # starts right after A (256 bytes = bank 0)
+        assert s.bank_of("B", 0) == 0
+        assert s.bank_of("B", 1) == 4
+
+    def test_read_write(self):
+        s = SharedMemory()
+        s.allocate("A", 2, 8, fill=0.0)
+        s.write("A", 1, 3.5)
+        assert s.read("A", 1) == 3.5
+
+
+class TestConstantMemory:
+    def test_capacity_is_64k(self):
+        c = ConstantMemory()
+        assert c.capacity_bytes == 65536
+
+    def test_overflow_error(self):
+        c = ConstantMemory(capacity_bytes=8)
+        c.store_array("P", [1, 2, 3, 4], 1)
+        with pytest.raises(ConstantMemoryOverflow):
+            c.store_array("E", [1] * 5, 1)
+
+    def test_freeze_makes_read_only(self):
+        c = ConstantMemory()
+        c.store_array("P", [1, 2, 3], 1)
+        c.freeze()
+        assert c.read("P", 1) == 2
+        with pytest.raises(MemoryAccessError):
+            c.write("P", 0, 9)
+        with pytest.raises(MemoryAccessError):
+            c.allocate("Q", 2, 1)
+
+    def test_writes_allowed_before_freeze(self):
+        c = ConstantMemory()
+        c.allocate("P", 2, 1, fill=0)
+        c.write("P", 0, 7)
+        assert c.read("P", 0) == 7

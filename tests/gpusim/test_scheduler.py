@@ -1,0 +1,92 @@
+"""Tests for occupancy computation and block scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LaunchConfigurationError
+from repro.gpusim import (
+    TESLA_C2050,
+    DeviceSpec,
+    LaunchConfig,
+    compute_occupancy,
+    schedule_blocks,
+)
+
+
+class TestOccupancy:
+    def test_small_blocks_hit_the_block_limit(self):
+        occ = compute_occupancy(TESLA_C2050, LaunchConfig(grid_dim=32, block_dim=32))
+        assert occ.blocks_per_multiprocessor == 8          # hardware block limit
+        assert occ.warps_per_block == 1
+        assert occ.resident_warps == 8
+        assert occ.limited_by == "block limit"
+        assert 0 < occ.occupancy <= 1
+
+    def test_large_blocks_hit_the_warp_limit(self):
+        occ = compute_occupancy(TESLA_C2050, LaunchConfig(grid_dim=4, block_dim=1024))
+        assert occ.warps_per_block == 32
+        assert occ.blocks_per_multiprocessor == 1
+        assert occ.limited_by == "warp slots"
+
+    def test_shared_memory_limits_residency(self):
+        occ = compute_occupancy(TESLA_C2050, LaunchConfig(grid_dim=14, block_dim=32),
+                                shared_bytes_per_block=20000)
+        assert occ.blocks_per_multiprocessor == 2
+        assert occ.limited_by == "shared memory"
+
+    def test_impossible_request(self):
+        with pytest.raises(LaunchConfigurationError):
+            compute_occupancy(TESLA_C2050, LaunchConfig(grid_dim=1, block_dim=32),
+                              shared_bytes_per_block=100000)
+
+    def test_block_too_large(self):
+        with pytest.raises(LaunchConfigurationError):
+            compute_occupancy(TESLA_C2050, LaunchConfig(grid_dim=1, block_dim=2048))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(LaunchConfigurationError):
+            LaunchConfig(grid_dim=0, block_dim=32).validate(TESLA_C2050)
+        with pytest.raises(LaunchConfigurationError):
+            LaunchConfig(grid_dim=1, block_dim=0).validate(TESLA_C2050)
+
+
+class TestSchedule:
+    def test_round_robin_assignment(self):
+        schedule = schedule_blocks(TESLA_C2050, LaunchConfig(grid_dim=28, block_dim=32))
+        assert schedule.busy_multiprocessors == 14
+        assert all(len(blocks) == 2 for blocks in schedule.assignments.values())
+        assert schedule.blocks_on(0) == [0, 14]
+        assert schedule.waves == 1  # 8 resident blocks per SM absorb 2 each
+
+    def test_paper_worst_case_waves(self):
+        """Section 3.1's example: 28 blocks on 14 multiprocessors with one
+        block resident at a time behave like two sequential launches."""
+        one_block_at_a_time = DeviceSpec(
+            name="pessimistic C2050", multiprocessors=14, cores_per_multiprocessor=32,
+            clock_hz=1147e6, max_blocks_per_multiprocessor=1,
+            max_resident_warps_per_multiprocessor=1)
+        schedule = schedule_blocks(one_block_at_a_time, LaunchConfig(grid_dim=28, block_dim=32))
+        assert schedule.waves == 2
+
+    def test_waves_grow_with_grid(self):
+        device = TESLA_C2050
+        small = schedule_blocks(device, LaunchConfig(grid_dim=14 * 8, block_dim=32))
+        large = schedule_blocks(device, LaunchConfig(grid_dim=14 * 8 * 3, block_dim=32))
+        assert small.waves == 1
+        assert large.waves == 3
+
+    def test_single_block(self):
+        schedule = schedule_blocks(TESLA_C2050, LaunchConfig(grid_dim=1, block_dim=32))
+        assert schedule.busy_multiprocessors == 1
+        assert schedule.waves == 1
+        assert schedule.blocks_on(13) == []
+
+    def test_monomial_counts_of_the_paper_occupy_all_multiprocessors(self):
+        """The paper: 'we need at least about 1,000 monomials to occupy well
+        all the 14 multiprocessors' -- 1,024 monomials in 32-thread blocks
+        give 32 blocks, more than two per multiprocessor."""
+        schedule = schedule_blocks(TESLA_C2050, LaunchConfig(grid_dim=1024 // 32, block_dim=32))
+        assert schedule.busy_multiprocessors == 14
+        per_sm = [len(blocks) for blocks in schedule.assignments.values()]
+        assert min(per_sm) >= 2

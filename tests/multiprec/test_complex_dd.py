@@ -1,0 +1,176 @@
+"""Tests for complex double-double arithmetic (and the complex quad-double
+scalar used by the quad-double numeric context)."""
+
+from __future__ import annotations
+
+import cmath
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.multiprec import ComplexDD, DoubleDouble, cdd, dd
+from repro.multiprec.numeric import ComplexQD
+
+component = st.floats(allow_nan=False, allow_infinity=False,
+                      min_value=-1e20, max_value=1e20)
+complexes = st.builds(complex, component, component)
+
+
+def to_fractions(z: ComplexDD):
+    return z.real.to_fraction(), z.imag.to_fraction()
+
+
+def assert_close(z: ComplexDD, exact_re: Fraction, exact_im: Fraction):
+    re, im = to_fractions(z)
+    tol = Fraction(1, 2 ** 98)
+    scale = max(abs(exact_re), abs(exact_im), Fraction(1))
+    assert abs(re - exact_re) <= tol * scale
+    assert abs(im - exact_im) <= tol * scale
+
+
+class TestConstruction:
+    def test_from_complex(self):
+        z = ComplexDD.from_complex(1.5 - 2.5j)
+        assert z.to_complex() == 1.5 - 2.5j
+
+    def test_from_real_imag_parts(self):
+        z = ComplexDD(dd("0.1"), dd("0.2"))
+        assert abs(z.real.to_fraction() - Fraction(1, 10)) < Fraction(1, 10 ** 30)
+
+    def test_from_reals_only(self):
+        assert ComplexDD(3).to_complex() == 3 + 0j
+
+    def test_copy(self):
+        z = cdd(1 + 2j)
+        assert ComplexDD(z) == z
+
+    def test_rejects_complex_plus_imag(self):
+        with pytest.raises(TypeError):
+            ComplexDD(1 + 2j, 3.0)
+
+    def test_cdd_helper(self):
+        assert cdd(2 + 1j).to_complex() == 2 + 1j
+        assert cdd(dd(2), dd(3)).to_complex() == 2 + 3j
+        z = cdd(5)
+        assert cdd(z) is z
+
+    def test_immutability_and_hash(self):
+        z = cdd(1 + 1j)
+        with pytest.raises(AttributeError):
+            z.real = dd(0)
+        assert hash(cdd(1 + 1j)) == hash(cdd(1 + 1j))
+
+    def test_components(self):
+        re_hi, re_lo, im_hi, im_lo = cdd(0.5 + 0.25j).components()
+        assert (re_hi, im_hi) == (0.5, 0.25)
+        assert (re_lo, im_lo) == (0.0, 0.0)
+
+
+class TestArithmetic:
+    @given(complexes, complexes)
+    def test_addition_matches_exact(self, a, b):
+        z = cdd(a) + cdd(b)
+        assert_close(z, Fraction(a.real) + Fraction(b.real),
+                     Fraction(a.imag) + Fraction(b.imag))
+
+    @given(complexes, complexes)
+    def test_multiplication_matches_exact(self, a, b):
+        z = cdd(a) * cdd(b)
+        exact_re = Fraction(a.real) * Fraction(b.real) - Fraction(a.imag) * Fraction(b.imag)
+        exact_im = Fraction(a.real) * Fraction(b.imag) + Fraction(a.imag) * Fraction(b.real)
+        assert_close(z, exact_re, exact_im)
+
+    @given(complexes)
+    def test_division_inverts_multiplication(self, a):
+        if abs(a) < 1e-10:
+            return
+        z = cdd(a)
+        w = (z * cdd(2 - 1j)) / cdd(2 - 1j)
+        assert abs(w.to_complex() - a) <= 1e-12 * max(1.0, abs(a))
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            cdd(1) / cdd(0)
+
+    def test_mixed_operand_types(self):
+        assert (cdd(1 + 1j) + 1).to_complex() == 2 + 1j
+        assert (1 + cdd(1 + 1j)).to_complex() == 2 + 1j
+        assert (cdd(1 + 1j) * 2).to_complex() == 2 + 2j
+        assert (cdd(2) - dd(1)).to_complex() == 1 + 0j
+        assert (2 - cdd(1j)).to_complex() == 2 - 1j
+
+    def test_negation_and_subtraction(self):
+        assert (-cdd(1 + 2j)).to_complex() == -1 - 2j
+        assert (cdd(3 + 3j) - cdd(1 + 2j)).to_complex() == 2 + 1j
+
+    def test_precision_beyond_hardware_complex(self):
+        tiny = 2.0 ** -80
+        z = cdd(1) + cdd(complex(tiny, 0.0))
+        assert z.real.to_fraction() == 1 + Fraction(tiny)
+
+    def test_equality(self):
+        assert cdd(1 + 2j) == 1 + 2j
+        assert cdd(1) == 1
+        assert cdd(1 + 2j) != cdd(1 - 2j)
+        assert (cdd(1) == "x") is False
+
+
+class TestPowersAndModulus:
+    @given(complexes, st.integers(min_value=0, max_value=8))
+    def test_integer_power_matches_binary_exponentiation(self, a, e):
+        if abs(a) < 1e-8 and e == 0:
+            return
+        if abs(a) > 1e3:
+            return
+        z = cdd(a).power(e)
+        expected = a ** e
+        assert abs(z.to_complex() - expected) <= 1e-9 * max(1.0, abs(expected))
+
+    def test_power_operator_and_negative_exponent(self):
+        z = cdd(1 + 1j) ** -2
+        assert abs(z.to_complex() - (1 + 1j) ** -2) < 1e-14
+
+    def test_power_zero_of_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            cdd(0).power(0)
+
+    def test_conjugate_and_abs2(self):
+        z = cdd(3 + 4j)
+        assert z.conjugate().to_complex() == 3 - 4j
+        assert z.abs2().to_fraction() == 25
+        assert abs(z).to_fraction() == 5
+
+    def test_bool_and_is_zero(self):
+        assert not ComplexDD(0)
+        assert cdd(1e-200j)
+
+
+class TestComplexQD:
+    def test_basic_arithmetic(self):
+        a = ComplexQD(1 + 2j)
+        b = ComplexQD(3 - 1j)
+        assert (a + b).to_complex() == 4 + 1j
+        assert (a - b).to_complex() == -2 + 3j
+        assert (a * b).to_complex() == (1 + 2j) * (3 - 1j)
+        q = (a / b) * b
+        assert abs(q.to_complex() - (1 + 2j)) < 1e-14
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            ComplexQD(1) / ComplexQD(0)
+
+    def test_mixed_operands_and_conjugate(self):
+        assert (ComplexQD(2) + 1).to_complex() == 3 + 0j
+        assert (1 - ComplexQD(2j)).to_complex() == 1 - 2j
+        assert ComplexQD(1 + 1j).conjugate().to_complex() == 1 - 1j
+
+    def test_abs2_precision(self):
+        z = ComplexQD(3 + 4j)
+        assert z.abs2().to_fraction() == 25
+        assert abs(z).to_fraction() == 5
+
+    def test_equality_and_hash(self):
+        assert ComplexQD(2 + 1j) == ComplexQD(2 + 1j)
+        assert hash(ComplexQD(2 + 1j)) == hash(ComplexQD(2 + 1j))

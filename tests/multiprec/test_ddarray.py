@@ -1,0 +1,240 @@
+"""Tests for the vectorised double-double arrays.
+
+The key invariant is bit-for-bit agreement with the scalar
+:class:`~repro.multiprec.double_double.DoubleDouble` operations, since both
+use identical operation sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multiprec import ComplexDD, ComplexDDArray, DDArray, DoubleDouble, dd
+
+
+def random_dd_arrays(seed, size=16):
+    rng = np.random.default_rng(seed)
+    hi = rng.normal(size=size)
+    lo = rng.normal(size=size) * 1e-18
+    return DDArray(hi, lo)
+
+
+class TestConstruction:
+    def test_shape_and_size(self):
+        a = DDArray.zeros((3, 4))
+        assert a.shape == (3, 4)
+        assert a.size == 12
+        assert len(a) == 3
+
+    def test_from_float64_exact(self):
+        values = np.array([0.1, -2.5, 3.0])
+        a = DDArray.from_float64(values)
+        assert np.all(a.hi == values)
+        assert np.all(a.lo == 0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DDArray(np.zeros(3), np.zeros(4))
+
+    def test_normalisation_on_construction(self):
+        a = DDArray(np.array([1.0]), np.array([3.0]))
+        assert a.hi[0] == 4.0 and a.lo[0] == 0.0
+
+    def test_from_and_to_scalars(self):
+        scalars = [dd("0.1"), dd("0.2"), dd(3)]
+        a = DDArray.from_scalars(scalars)
+        back = a.to_scalars()
+        assert all(x == y for x, y in zip(scalars, back))
+
+    def test_ones(self):
+        a = DDArray.ones(5)
+        assert np.all(a.hi == 1.0) and np.all(a.lo == 0.0)
+
+    def test_copy_is_independent(self):
+        a = DDArray.ones(3)
+        b = a.copy()
+        b[0] = dd(5)
+        assert a[0] == dd(1)
+
+    def test_repr(self):
+        assert "DDArray" in repr(DDArray.zeros(2))
+
+
+class TestIndexing:
+    def test_scalar_getitem(self):
+        a = DDArray.from_scalars([dd("0.1"), dd("0.2")])
+        assert isinstance(a[0], DoubleDouble)
+        assert a[0] == dd("0.1")
+
+    def test_slice_getitem(self):
+        a = DDArray.from_scalars([dd(i) for i in range(5)])
+        sub = a[1:3]
+        assert isinstance(sub, DDArray)
+        assert sub.shape == (2,)
+        assert sub[0] == dd(1)
+
+    def test_setitem_scalar(self):
+        a = DDArray.zeros(3)
+        a[1] = dd("0.25")
+        assert a[1] == dd("0.25")
+
+    def test_setitem_float(self):
+        a = DDArray.zeros(3)
+        a[2] = 1.5
+        assert a[2] == dd(1.5)
+
+
+class TestArithmeticMatchesScalars:
+    @pytest.mark.parametrize("op", ["add", "sub", "mul", "div"])
+    def test_elementwise_bit_for_bit(self, op):
+        a = random_dd_arrays(1)
+        b = random_dd_arrays(2)
+        if op == "add":
+            c = a + b
+            expected = [x + y for x, y in zip(a.to_scalars(), b.to_scalars())]
+        elif op == "sub":
+            c = a - b
+            expected = [x - y for x, y in zip(a.to_scalars(), b.to_scalars())]
+        elif op == "mul":
+            c = a * b
+            expected = [x * y for x, y in zip(a.to_scalars(), b.to_scalars())]
+        else:
+            c = a / b
+            expected = [x / y for x, y in zip(a.to_scalars(), b.to_scalars())]
+        got = c.to_scalars()
+        assert all(g == e for g, e in zip(got, expected))
+
+    def test_scalar_operands(self):
+        a = random_dd_arrays(3)
+        assert (a + 1.0).to_scalars() == [x + 1 for x in a.to_scalars()]
+        assert (1.0 + a).to_scalars() == [x + 1 for x in a.to_scalars()]
+        assert (a * dd(2)).to_scalars() == [x * 2 for x in a.to_scalars()]
+        assert (2.0 - a).to_scalars() == [2 - x for x in a.to_scalars()]
+        assert (1.0 / (a + 10.0)).to_scalars() == [1 / (x + 10) for x in a.to_scalars()]
+
+    def test_negation(self):
+        a = random_dd_arrays(4)
+        assert (-a).to_scalars() == [-x for x in a.to_scalars()]
+
+    def test_power(self):
+        a = random_dd_arrays(5, size=8)
+        assert (a ** 3).to_scalars() == [x.power(3) for x in a.to_scalars()]
+        assert (a ** 0).to_scalars() == [dd(1)] * 8
+
+    def test_power_rejects_negative_or_float(self):
+        a = DDArray.ones(2)
+        with pytest.raises(TypeError):
+            a ** -1
+        with pytest.raises(TypeError):
+            a ** 0.5
+
+
+class TestReductionsAndHelpers:
+    def test_sum_matches_sequential_scalar_sum(self):
+        a = random_dd_arrays(6, size=20)
+        total = a.sum()
+        expected = DoubleDouble(0.0)
+        for x in a.to_scalars():
+            expected = expected + x
+        assert total == expected
+
+    def test_sum_along_axis(self):
+        a = DDArray(np.arange(6, dtype=float).reshape(2, 3))
+        s = a.sum(axis=0)
+        assert isinstance(s, DDArray)
+        assert s.to_float64().tolist() == [3.0, 5.0, 7.0]
+
+    def test_abs_and_max_abs(self):
+        a = DDArray.from_scalars([dd(-3), dd(2)])
+        assert a.abs().to_scalars() == [dd(3), dd(2)]
+        assert a.max_abs() == 3.0
+
+    def test_allclose(self):
+        a = random_dd_arrays(7)
+        b = a + 1e-40
+        assert a.allclose(b)
+        assert not a.allclose(a + 1.0)
+
+    def test_compensated_sum_beats_float64(self):
+        # Summing 1 followed by many 1e-20 terms: float64 loses them entirely,
+        # double-double keeps them.
+        n = 1000
+        hi = np.full(n + 1, 1e-20)
+        hi[0] = 1.0
+        a = DDArray(hi)
+        exact_tail = n * 1e-20
+        dd_sum = a.sum()
+        assert float(dd_sum.to_fraction() - 1) == pytest.approx(exact_tail, rel=1e-12)
+        assert np.sum(hi) == 1.0  # the float64 sum it beats
+
+
+class TestComplexDDArray:
+    def test_construction_and_roundtrip(self):
+        z = np.array([1 + 2j, -0.5j, 3.0])
+        a = ComplexDDArray.from_complex128(z)
+        assert np.all(a.to_complex128() == z)
+        assert a.shape == (3,)
+        assert len(a) == 3
+
+    def test_scalar_roundtrip(self):
+        scalars = [ComplexDD(1 + 1j), ComplexDD(2 - 3j)]
+        a = ComplexDDArray.from_scalars(scalars)
+        assert a.to_scalars() == scalars
+
+    def test_getitem_and_setitem(self):
+        a = ComplexDDArray.zeros(3)
+        a[1] = ComplexDD(2 + 2j)
+        assert isinstance(a[1], ComplexDD)
+        assert a[1].to_complex() == 2 + 2j
+
+    def test_arithmetic_matches_scalars(self):
+        rng = np.random.default_rng(8)
+        z1 = rng.normal(size=10) + 1j * rng.normal(size=10)
+        z2 = rng.normal(size=10) + 1j * rng.normal(size=10)
+        a, b = ComplexDDArray.from_complex128(z1), ComplexDDArray.from_complex128(z2)
+        for op, scalar_op in [
+            (a + b, lambda x, y: x + y),
+            (a - b, lambda x, y: x - y),
+            (a * b, lambda x, y: x * y),
+            (a / b, lambda x, y: x / y),
+        ]:
+            expected = [scalar_op(x, y) for x, y in zip(a.to_scalars(), b.to_scalars())]
+            assert op.to_scalars() == expected
+
+    def test_power_and_conjugate(self):
+        z = np.array([1 + 1j, 2 - 1j])
+        a = ComplexDDArray.from_complex128(z)
+        cubed = a ** 3
+        assert np.allclose(cubed.to_complex128(), z ** 3)
+        assert np.all(a.conjugate().to_complex128() == z.conjugate())
+        with pytest.raises(TypeError):
+            a ** -1
+
+    def test_sum_and_abs(self):
+        z = np.array([3 + 4j, 1 - 1j])
+        a = ComplexDDArray.from_complex128(z)
+        total = a.sum()
+        assert isinstance(total, ComplexDD)
+        assert total.to_complex() == z.sum()
+        assert a.abs2().to_float64().tolist() == [25.0, 2.0]
+        assert a.max_abs() == pytest.approx(5.0)
+
+    def test_allclose(self):
+        z = np.array([1 + 1j, 2 + 2j])
+        a = ComplexDDArray.from_complex128(z)
+        assert a.allclose(a + 1e-40)
+        assert not a.allclose(a + 1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ComplexDDArray(DDArray.zeros(2), DDArray.zeros(3))
+
+    def test_scalar_coercion_in_arithmetic(self):
+        a = ComplexDDArray.from_complex128(np.array([1 + 1j, 2 + 2j]))
+        shifted = a + (1 + 0j)
+        assert np.allclose(shifted.to_complex128(), np.array([2 + 1j, 3 + 2j]))
+        scaled = a * ComplexDD(2)
+        assert np.allclose(scaled.to_complex128(), np.array([2 + 2j, 4 + 4j]))

@@ -1,0 +1,256 @@
+"""Tests for scalar double-double arithmetic.
+
+Ground truth is exact rational arithmetic via :class:`fractions.Fraction`:
+every double-double result is compared against the exact result rounded to
+roughly 2**-104 relative accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.multiprec import DoubleDouble, dd
+
+# Relative accuracy the dd format must deliver (a few ulps of 2**-104).
+DD_RTOL = Fraction(1, 2 ** 100)
+
+reasonable = st.floats(allow_nan=False, allow_infinity=False,
+                       min_value=-1e100, max_value=1e100)
+
+# Values whose products stay far away from underflow/overflow; the
+# double-double algorithms (like the QD library) assume this, exactly as the
+# error-free transformations do.
+balanced = st.one_of(
+    st.just(0.0),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=1e-40, max_value=1e40),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=-1e40, max_value=-1e-40),
+)
+balanced_nonzero = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=False, min_value=1e-40, max_value=1e40),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=-1e40, max_value=-1e-40),
+)
+
+
+def dd_values(draw_hi=reasonable):
+    """Strategy producing DoubleDouble values built from float sums."""
+    return st.builds(lambda a, b: DoubleDouble.from_sum(a, b * 1e-17), draw_hi, reasonable)
+
+
+def assert_close(value: DoubleDouble, exact: Fraction):
+    err = abs(value.to_fraction() - exact)
+    scale = max(abs(exact), Fraction(1, 10 ** 300))
+    assert err <= DD_RTOL * scale, f"error {float(err)} too large for {float(exact)}"
+
+
+class TestConstruction:
+    def test_from_float_is_exact(self):
+        x = DoubleDouble.from_float(0.1)
+        assert x.to_fraction() == Fraction(0.1)
+
+    def test_from_int_wide(self):
+        n = 2 ** 80 + 12345
+        assert DoubleDouble.from_int(n).to_fraction() == n
+
+    def test_from_string(self):
+        x = DoubleDouble.from_string("0.1")
+        # Much closer to 1/10 than any single double.
+        assert abs(x.to_fraction() - Fraction(1, 10)) < Fraction(1, 10 ** 30)
+
+    def test_from_sum_and_product_exact(self):
+        assert DoubleDouble.from_sum(1.0, 1e-20).to_fraction() == 1 + Fraction(1e-20)
+        assert DoubleDouble.from_product(0.1, 0.1).to_fraction() == Fraction(0.1) ** 2
+
+    def test_constructor_renormalises(self):
+        x = DoubleDouble(1.0, 3.0)  # unordered components
+        assert x.hi == 4.0 and x.lo == 0.0
+
+    def test_copy_constructor(self):
+        x = dd("3.14159")
+        assert DoubleDouble(x) == x
+
+    def test_immutability(self):
+        x = dd(1)
+        with pytest.raises(AttributeError):
+            x.hi = 2.0
+
+    def test_dd_helper_accepts_fraction(self):
+        assert dd(Fraction(1, 3)).to_fraction() != 0
+        assert abs(dd(Fraction(1, 3)).to_fraction() - Fraction(1, 3)) < Fraction(1, 10 ** 30)
+
+
+class TestConversions:
+    def test_to_float_rounds(self):
+        x = dd("0.1")
+        assert x.to_float() == 0.1
+
+    def test_int_conversion(self):
+        assert int(dd(7)) == 7
+        assert int(dd("-3.9")) == -3
+
+    def test_bool(self):
+        assert not DoubleDouble(0.0)
+        assert DoubleDouble(1e-300)
+
+    def test_decimal_string_roundtrip(self):
+        x = dd("1.2345678901234567890123456789")
+        s = x.to_decimal_string(30)
+        assert s.startswith("1.2345678901234567890123456")
+
+    def test_decimal_string_zero(self):
+        assert DoubleDouble(0.0).to_decimal_string(8).startswith("0.0000000")
+
+    def test_str_and_repr(self):
+        x = dd(2)
+        assert "2.0" in str(x) or "2." in str(x)
+        assert "DoubleDouble" in repr(x)
+
+    def test_components(self):
+        hi, lo = dd("0.1").components()
+        assert hi == 0.1
+        assert lo != 0.0
+
+    def test_hashable(self):
+        assert hash(dd(1)) == hash(dd(1.0))
+        assert len({dd(1), dd(1), dd(2)}) == 2
+
+
+class TestPredicates:
+    def test_sign_predicates(self):
+        assert dd(3).is_positive() and not dd(3).is_negative()
+        assert dd(-3).is_negative() and not dd(-3).is_positive()
+        assert dd(0).is_zero()
+
+    def test_sign_determined_by_lo_when_hi_ties(self):
+        x = DoubleDouble(1.0, 1e-20) - DoubleDouble(1.0)
+        assert x.is_positive()
+
+    def test_finite_and_nan(self):
+        assert dd(1).is_finite()
+        assert not DoubleDouble(float("inf")).is_finite()
+        assert DoubleDouble(float("nan")).is_nan()
+
+
+class TestComparisons:
+    def test_total_order_on_close_values(self):
+        a = dd(1) + dd("1e-25")
+        b = dd(1)
+        assert b < a < dd(2)
+        assert a > b
+        assert a >= b and b <= a
+        assert a != b
+
+    def test_comparison_with_python_numbers(self):
+        assert dd("2.5") > 2
+        assert dd("2.5") < 3.0
+        assert dd(2) == 2
+
+    def test_unsupported_comparison(self):
+        assert (dd(1) == "one") is False
+
+
+class TestArithmetic:
+    @given(reasonable, reasonable)
+    def test_addition_accuracy(self, a, b):
+        assert_close(dd(a) + dd(b), Fraction(a) + Fraction(b))
+
+    @given(reasonable, reasonable)
+    def test_subtraction_accuracy(self, a, b):
+        assert_close(dd(a) - dd(b), Fraction(a) - Fraction(b))
+
+    @given(balanced, balanced)
+    def test_multiplication_accuracy(self, a, b):
+        assert_close(dd(a) * dd(b), Fraction(a) * Fraction(b))
+
+    @given(balanced, balanced_nonzero)
+    def test_division_accuracy(self, a, b):
+        assert_close(dd(a) / dd(b), Fraction(a) / Fraction(b))
+
+    def test_addition_beats_double_precision(self):
+        # 1 + 2**-80 is invisible in double but exact in double-double.
+        tiny = 2.0 ** -80
+        x = dd(1) + dd(tiny)
+        assert x.to_fraction() == 1 + Fraction(tiny)
+        assert (1.0 + tiny) == 1.0  # the double comparison it beats
+
+    def test_mixed_operand_types(self):
+        assert (dd(2) + 3).to_fraction() == 5
+        assert (3 + dd(2)).to_fraction() == 5
+        assert (dd(2) * 3).to_fraction() == 6
+        assert (3 - dd(2)).to_fraction() == 1
+        assert (dd(1) / 4).to_fraction() == Fraction(1, 4)
+        assert (1 / dd(4)).to_fraction() == Fraction(1, 4)
+
+    def test_negation_and_abs(self):
+        assert (-dd(3)).to_fraction() == -3
+        assert abs(dd(-3)).to_fraction() == 3
+        assert (+dd(3)) == dd(3)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            dd(1) / dd(0)
+
+    @given(st.floats(min_value=-1e20, max_value=1e20, allow_nan=False),
+           st.floats(min_value=-1e20, max_value=1e20, allow_nan=False),
+           st.floats(min_value=-1e20, max_value=1e20, allow_nan=False))
+    def test_additive_associativity_error_is_tiny(self, a, b, c):
+        left = (dd(a) + dd(b)) + dd(c)
+        right = dd(a) + (dd(b) + dd(c))
+        exact = Fraction(a) + Fraction(b) + Fraction(c)
+        assert_close(left, exact)
+        assert_close(right, exact)
+
+    @given(st.floats(min_value=-1e15, max_value=1e15, allow_nan=False))
+    def test_multiplicative_inverse(self, a):
+        assume(abs(a) > 1e-10)
+        x = dd(a)
+        assert_close(x * x.recip(), Fraction(1))
+
+
+class TestPowerAndSqrt:
+    @given(st.floats(min_value=-30.0, max_value=30.0, allow_nan=False),
+           st.integers(min_value=0, max_value=12))
+    def test_integer_power(self, a, e):
+        # Keep a^e well inside the normal double range.
+        assume(abs(a) >= 1e-6)
+        assert_close(dd(a).power(e), Fraction(a) ** e)
+
+    def test_negative_power(self):
+        assert_close(dd(2).power(-3), Fraction(1, 8))
+        assert_close(dd(2) ** -3, Fraction(1, 8))
+
+    def test_power_of_zero(self):
+        assert dd(0).power(5).is_zero()
+        with pytest.raises(ZeroDivisionError):
+            dd(0).power(0)
+
+    @given(st.floats(min_value=1e-10, max_value=1e10, allow_nan=False))
+    def test_sqrt_squares_back(self, a):
+        root = dd(a).sqrt()
+        assert_close(root * root, Fraction(a))
+
+    def test_sqrt_two_is_accurate_beyond_double(self):
+        root = dd(2).sqrt()
+        err = abs(root.to_fraction() ** 2 - 2)
+        assert err < Fraction(1, 10 ** 30)
+
+    def test_sqrt_of_zero_and_negative(self):
+        assert dd(0).sqrt().is_zero()
+        with pytest.raises(ValueError):
+            dd(-1).sqrt()
+
+    def test_conjugate_is_identity(self):
+        assert dd(3).conjugate() == dd(3)
+
+
+class TestEps:
+    def test_eps_magnitude(self):
+        assert DoubleDouble.eps == pytest.approx(2.0 ** -104, rel=1e-6)
+
+    def test_one_plus_eps_distinguishable(self):
+        one_plus = dd(1) + dd(2.0 ** -100)
+        assert one_plus != dd(1)

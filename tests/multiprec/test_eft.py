@@ -1,0 +1,169 @@
+"""Tests for the error-free transformations.
+
+The defining property of every EFT is *exactness*: the returned (result,
+error) pair sums exactly (as rational numbers) to the exact result of the
+operation on the inputs.  Hypothesis drives the checks over a wide range of
+magnitudes.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multiprec.eft import (
+    SPLITTER,
+    quick_two_sum,
+    split,
+    two_diff,
+    two_prod,
+    two_sqr,
+    two_sum,
+)
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False,
+                           min_value=-1e150, max_value=1e150)
+
+# The error-free transformations (like the QD library they come from) assume
+# that no intermediate underflows to subnormals or overflows; products of
+# these values stay comfortably inside the normal range.
+moderate_doubles = st.one_of(
+    st.just(0.0),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=1e-100, max_value=1e100),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=-1e100, max_value=-1e-100),
+)
+
+
+class TestTwoSum:
+    @given(finite_doubles, finite_doubles)
+    def test_exactness(self, a, b):
+        s, e = two_sum(a, b)
+        assert Fraction(s) + Fraction(e) == Fraction(a) + Fraction(b)
+
+    @given(finite_doubles, finite_doubles)
+    def test_result_is_rounded_sum(self, a, b):
+        s, _ = two_sum(a, b)
+        assert s == a + b
+
+    def test_classic_cancellation_case(self):
+        s, e = two_sum(1.0, 1e-20)
+        assert s == 1.0
+        assert e == 1e-20
+
+    def test_zero_inputs(self):
+        assert two_sum(0.0, 0.0) == (0.0, 0.0)
+
+    @given(finite_doubles)
+    def test_identity_with_zero(self, a):
+        s, e = two_sum(a, 0.0)
+        assert s == a and e == 0.0
+
+
+class TestQuickTwoSum:
+    @given(finite_doubles, finite_doubles)
+    def test_exact_when_ordered(self, a, b):
+        if abs(a) < abs(b):
+            a, b = b, a
+        s, e = quick_two_sum(a, b)
+        assert Fraction(s) + Fraction(e) == Fraction(a) + Fraction(b)
+
+    def test_matches_two_sum_on_ordered_inputs(self):
+        a, b = 1.5, 2.0 ** -40
+        assert quick_two_sum(a, b) == two_sum(a, b)
+
+
+class TestTwoDiff:
+    @given(finite_doubles, finite_doubles)
+    def test_exactness(self, a, b):
+        s, e = two_diff(a, b)
+        assert Fraction(s) + Fraction(e) == Fraction(a) - Fraction(b)
+
+    def test_catastrophic_cancellation(self):
+        a = 1.0 + 2.0 ** -52
+        s, e = two_diff(a, 1.0)
+        assert Fraction(s) + Fraction(e) == Fraction(a) - 1
+
+
+class TestSplit:
+    @given(moderate_doubles)
+    def test_split_reconstructs(self, a):
+        hi, lo = split(a)
+        assert hi + lo == a
+        assert Fraction(hi) + Fraction(lo) == Fraction(a)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=1e-100, max_value=1e100))
+    def test_halves_have_short_significands(self, a):
+        hi, lo = split(a)
+        # 26-bit halves: multiplying two halves is exact in double precision.
+        assert Fraction(hi) * Fraction(hi) == Fraction(hi * hi)
+        assert Fraction(lo) * Fraction(lo) == Fraction(lo * lo)
+
+    def test_splitter_value(self):
+        assert SPLITTER == 2.0 ** 27 + 1.0
+
+    def test_large_magnitude_does_not_overflow(self):
+        a = 1e300
+        hi, lo = split(a)
+        assert math.isfinite(hi) and math.isfinite(lo)
+        assert hi + lo == a
+
+    def test_split_vectorised(self):
+        values = np.array([1.0, -3.7, 1e10, 1e300, 0.0])
+        hi, lo = split(values)
+        assert np.all(hi + lo == values)
+
+
+class TestTwoProd:
+    @given(moderate_doubles, moderate_doubles)
+    def test_exactness(self, a, b):
+        p, e = two_prod(a, b)
+        assert Fraction(p) + Fraction(e) == Fraction(a) * Fraction(b)
+
+    @given(moderate_doubles, moderate_doubles)
+    def test_result_is_rounded_product(self, a, b):
+        p, _ = two_prod(a, b)
+        assert p == a * b
+
+    def test_known_inexact_product(self):
+        p, e = two_prod(0.1, 0.1)
+        assert Fraction(p) + Fraction(e) == Fraction(0.1) * Fraction(0.1)
+        assert e != 0.0  # 0.1 * 0.1 is not exactly representable
+
+
+class TestTwoSqr:
+    @given(moderate_doubles)
+    def test_matches_two_prod(self, a):
+        p1, e1 = two_sqr(a)
+        p2, e2 = two_prod(a, a)
+        assert Fraction(p1) + Fraction(e1) == Fraction(p2) + Fraction(e2)
+
+    @given(moderate_doubles)
+    def test_exactness(self, a):
+        p, e = two_sqr(a)
+        assert Fraction(p) + Fraction(e) == Fraction(a) * Fraction(a)
+
+
+class TestVectorised:
+    def test_two_sum_elementwise_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=100) * 10.0 ** rng.integers(-10, 10, size=100)
+        b = rng.normal(size=100) * 10.0 ** rng.integers(-10, 10, size=100)
+        s, e = two_sum(a, b)
+        for i in range(len(a)):
+            ss, ee = two_sum(float(a[i]), float(b[i]))
+            assert s[i] == ss and e[i] == ee
+
+    def test_two_prod_elementwise_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=50)
+        b = rng.normal(size=50)
+        p, e = two_prod(a, b)
+        for i in range(len(a)):
+            pp, ee = two_prod(float(a[i]), float(b[i]))
+            assert p[i] == pp and e[i] == ee

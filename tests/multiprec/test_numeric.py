@@ -1,0 +1,85 @@
+"""Tests for the numeric-context abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multiprec import (
+    CONTEXTS,
+    DOUBLE,
+    DOUBLE_DOUBLE,
+    QUAD_DOUBLE,
+    ComplexDD,
+    DoubleDouble,
+    QuadDouble,
+    get_context,
+)
+from repro.multiprec.numeric import ComplexQD
+
+
+class TestRegistry:
+    def test_all_three_contexts_registered(self):
+        assert set(CONTEXTS) == {"d", "dd", "qd"}
+
+    def test_get_context(self):
+        assert get_context("d") is DOUBLE
+        assert get_context("dd") is DOUBLE_DOUBLE
+        assert get_context("qd") is QUAD_DOUBLE
+
+    def test_get_context_unknown(self):
+        with pytest.raises(KeyError):
+            get_context("octuple")
+
+    def test_cost_factors_are_increasing(self):
+        assert DOUBLE.mul_cost_factor < DOUBLE_DOUBLE.mul_cost_factor < QUAD_DOUBLE.mul_cost_factor
+
+    def test_paper_cost_factor_for_double_double(self):
+        # The paper reports a cost factor of around 8 for double double.
+        assert DOUBLE_DOUBLE.mul_cost_factor == pytest.approx(8.0)
+
+    def test_precisions_are_decreasing(self):
+        assert DOUBLE.working_precision > DOUBLE_DOUBLE.working_precision > QUAD_DOUBLE.working_precision
+
+    def test_storage_sizes(self):
+        assert DOUBLE.bytes_per_real == 8
+        assert DOUBLE_DOUBLE.bytes_per_real == 16
+        assert QUAD_DOUBLE.bytes_per_real == 32
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("context", [DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE],
+                             ids=["d", "dd", "qd"])
+    def test_from_to_complex_roundtrip(self, context):
+        z = 0.75 - 1.25j
+        scalar = context.from_complex(z)
+        assert context.to_complex(scalar) == z
+
+    def test_scalar_types(self):
+        assert isinstance(DOUBLE.from_complex(1j), complex)
+        assert isinstance(DOUBLE_DOUBLE.from_complex(1j), ComplexDD)
+        assert isinstance(QUAD_DOUBLE.from_complex(1j), ComplexQD)
+
+    @pytest.mark.parametrize("context", [DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE],
+                             ids=["d", "dd", "qd"])
+    def test_identities(self, context):
+        zero = context.zero()
+        one = context.one()
+        assert context.to_complex(zero) == 0j
+        assert context.to_complex(one) == 1 + 0j
+        x = context.from_complex(2 - 3j)
+        assert context.to_complex(x + zero) == 2 - 3j
+        assert context.to_complex(x * one) == 2 - 3j
+
+    @pytest.mark.parametrize("context", [DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE],
+                             ids=["d", "dd", "qd"])
+    def test_vector_helpers(self, context):
+        values = [1 + 1j, 2, -3j]
+        converted = context.vector(values)
+        assert context.to_complex_vector(converted) == [1 + 1j, 2 + 0j, -3j]
+
+    @pytest.mark.parametrize("context", [DOUBLE_DOUBLE, QUAD_DOUBLE], ids=["dd", "qd"])
+    def test_extended_arithmetic_is_really_extended(self, context):
+        tiny = 2.0 ** -70
+        one_plus = context.from_complex(complex(1.0)) + context.from_complex(complex(tiny))
+        difference = one_plus - context.one()
+        assert abs(context.to_complex(difference) - tiny) < tiny * 1e-6

@@ -1,0 +1,194 @@
+"""Tests for scalar quad-double arithmetic against exact rational ground truth."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.multiprec import DoubleDouble, QuadDouble, qd
+
+# The sloppy QD algorithms are accurate to a few ulps of 2**-209; we require
+# a couple of orders of magnitude of slack.
+QD_RTOL = Fraction(1, 2 ** 200)
+
+moderate = st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e40, max_value=1e40)
+
+# Values whose products stay far away from underflow/overflow (the QD-style
+# algorithms assume this, just like the error-free transformations).
+balanced = st.one_of(
+    st.just(0.0),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=1e-30, max_value=1e30),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=-1e30, max_value=-1e-30),
+)
+balanced_nonzero = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=False, min_value=1e-30, max_value=1e30),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=-1e30, max_value=-1e-30),
+)
+
+
+def assert_close(value: QuadDouble, exact: Fraction, rtol: Fraction = QD_RTOL):
+    err = abs(value.to_fraction() - exact)
+    scale = max(abs(exact), Fraction(1, 10 ** 300))
+    assert err <= rtol * scale, f"error {float(err)} too large for {float(exact)}"
+
+
+class TestConstruction:
+    def test_from_float(self):
+        assert QuadDouble.from_float(0.5).to_fraction() == Fraction(1, 2)
+
+    def test_from_double_double(self):
+        x = DoubleDouble.from_string("0.1")
+        q = QuadDouble.from_double_double(x)
+        assert q.to_fraction() == x.to_fraction()
+
+    def test_from_string_beats_double_double(self):
+        q = qd("0.1")
+        err = abs(q.to_fraction() - Fraction(1, 10))
+        assert err < Fraction(1, 10 ** 60)
+
+    def test_components_are_canonical(self):
+        q = QuadDouble(1.0, 3.0, 0.25, 0.0)
+        comps = q.components()
+        assert comps[0] == 4.25
+        assert sum(Fraction(c) for c in comps) == Fraction(17, 4)
+
+    def test_copy_constructor_and_raw(self):
+        q = qd("2.5")
+        assert QuadDouble(q) == q
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            qd(1).c = (0.0, 0.0, 0.0, 0.0)
+
+    def test_qd_helper_variants(self):
+        assert qd(3).to_fraction() == 3
+        assert qd(Fraction(1, 3)).to_fraction() != 0
+        assert qd(DoubleDouble.from_float(2.0)).to_fraction() == 2
+
+
+class TestConversions:
+    def test_to_double_double_truncates(self):
+        q = qd("0.1")
+        x = q.to_double_double()
+        assert abs(x.to_fraction() - Fraction(1, 10)) < Fraction(1, 10 ** 30)
+
+    def test_float_and_bool(self):
+        assert float(qd("2.5")) == 2.5
+        assert not QuadDouble(0.0)
+        assert qd("1e-200")
+
+    def test_decimal_string(self):
+        s = qd("0.333333333333333333333333333333333333").to_decimal_string(30)
+        assert s.startswith("3.3333333333333333333333333333")
+
+    def test_hash_consistency(self):
+        assert hash(qd(5)) == hash(qd(5.0))
+
+
+class TestPredicates:
+    def test_is_negative_uses_leading_nonzero(self):
+        small_negative = qd(1) - qd(1) - qd("1e-100")
+        assert small_negative.is_negative()
+
+    def test_is_finite(self):
+        assert qd(1).is_finite()
+        assert not QuadDouble(float("inf")).is_finite()
+
+
+class TestComparisons:
+    def test_ordering_at_quad_precision(self):
+        a = qd(1) + qd("1e-50")
+        assert a > qd(1)
+        assert qd(1) < a
+        assert a >= qd(1) and qd(1) <= a
+
+    def test_compare_with_numbers_and_dd(self):
+        assert qd("2.5") > 2
+        assert qd("2.5") == 2.5
+        assert qd(2) >= DoubleDouble.from_float(2.0)
+
+
+class TestArithmetic:
+    @given(moderate, moderate)
+    def test_addition(self, a, b):
+        assert_close(qd(a) + qd(b), Fraction(a) + Fraction(b))
+
+    @given(moderate, moderate)
+    def test_subtraction(self, a, b):
+        assert_close(qd(a) - qd(b), Fraction(a) - Fraction(b))
+
+    @given(balanced, balanced)
+    def test_multiplication(self, a, b):
+        assert_close(qd(a) * qd(b), Fraction(a) * Fraction(b))
+
+    @given(balanced, balanced_nonzero)
+    def test_division(self, a, b):
+        assert_close(qd(a) / qd(b), Fraction(a) / Fraction(b))
+
+    def test_precision_beyond_double_double(self):
+        # A three-term sum 1 + 2**-60 + 2**-170 needs more than the 106 bits
+        # of double-double but fits comfortably in quad-double.
+        mid = Fraction(1, 2 ** 60)
+        tiny = Fraction(1, 2 ** 170)
+        exact = 1 + mid + tiny
+        q = qd(1) + QuadDouble.from_fraction(mid) + QuadDouble.from_fraction(tiny)
+        assert q.to_fraction() == exact
+        x = (DoubleDouble.from_float(1.0) + DoubleDouble.from_fraction(mid)
+             + DoubleDouble.from_fraction(tiny))
+        assert x.to_fraction() != exact
+
+    def test_mixed_operands(self):
+        assert (qd(2) + 3).to_fraction() == 5
+        assert (3 * qd(2)).to_fraction() == 6
+        assert (1 - qd(2)).to_fraction() == -1
+        assert (1 / qd(4)).to_fraction() == Fraction(1, 4)
+        assert (qd(2) + DoubleDouble.from_float(1.0)).to_fraction() == 3
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            qd(1) / qd(0)
+
+    def test_negation_and_abs(self):
+        assert (-qd(2)).to_fraction() == -2
+        assert abs(qd(-2)).to_fraction() == 2
+
+    @given(st.floats(min_value=0.01, max_value=100, allow_nan=False))
+    def test_add_sub_roundtrip(self, a):
+        # Relative accuracy is measured against the largest intermediate
+        # (which is at least 0.1 here), hence the lower bound on |a|.
+        x = qd(a)
+        assert_close((x + qd("0.1")) - qd("0.1"), Fraction(a), rtol=Fraction(1, 2 ** 190))
+
+
+class TestPowerAndSqrt:
+    @given(st.floats(min_value=-10, max_value=10, allow_nan=False),
+           st.integers(min_value=0, max_value=10))
+    def test_integer_power(self, a, e):
+        assume(abs(a) > 1e-3)
+        assert_close(qd(a).power(e), Fraction(a) ** e, rtol=Fraction(1, 2 ** 190))
+
+    def test_negative_power(self):
+        assert_close(qd(2) ** -2, Fraction(1, 4))
+
+    def test_power_zero_of_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            qd(0).power(0)
+
+    @given(st.floats(min_value=1e-5, max_value=1e5, allow_nan=False))
+    def test_sqrt(self, a):
+        root = qd(a).sqrt()
+        assert_close(root * root, Fraction(a), rtol=Fraction(1, 2 ** 180))
+
+    def test_sqrt_negative(self):
+        with pytest.raises(ValueError):
+            qd(-1).sqrt()
+
+    def test_sqrt_zero(self):
+        assert qd(0).sqrt().is_zero()
+
+    def test_eps_value(self):
+        assert QuadDouble.eps == pytest.approx(2.0 ** -209, rel=1e-6)

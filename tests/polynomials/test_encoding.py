@@ -1,0 +1,143 @@
+"""Tests for the constant-memory support encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ConstantMemoryOverflow
+from repro.polynomials import (
+    PackedSupportEncoding,
+    SupportEncoding,
+    constant_memory_footprint,
+    max_total_monomials_for_constant_memory,
+    random_regular_system,
+    table2_system,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return random_regular_system(dimension=6, monomials_per_polynomial=4,
+                                 variables_per_monomial=3, max_variable_degree=5, seed=7)
+
+
+class TestSupportEncoding:
+    def test_lengths(self, system):
+        enc = SupportEncoding.from_system(system)
+        assert enc.total_monomials == 24
+        assert enc.variables_per_monomial == 3
+        assert len(enc.positions) == 24 * 3
+        assert len(enc.exponents) == 24 * 3
+        assert enc.positions.dtype == np.uint8
+        assert enc.bytes_used == 2 * 24 * 3
+
+    def test_roundtrip_against_system(self, system):
+        enc = SupportEncoding.from_system(system)
+        index = 0
+        for poly in system:
+            for _, mono in poly.terms:
+                pos, exp = enc.decode_monomial(index)
+                assert pos == mono.positions
+                assert exp == mono.exponents
+                index += 1
+
+    def test_monomial_entry(self, system):
+        enc = SupportEncoding.from_system(system)
+        first = system[0].terms[0][1]
+        p, e = enc.monomial_entry(0, 1)
+        assert p == first.positions[1]
+        assert e == first.exponents[1]
+
+    def test_entry_bounds_checked(self, system):
+        enc = SupportEncoding.from_system(system)
+        with pytest.raises(IndexError):
+            enc.monomial_entry(24, 0)
+        with pytest.raises(IndexError):
+            enc.monomial_entry(0, 3)
+
+    def test_exponents_stored_minus_one(self, system):
+        enc = SupportEncoding.from_system(system)
+        # Raw storage is exponent - 1, so the minimum stored value is 0.
+        assert int(enc.exponents.min()) >= 0
+        first = system[0].terms[0][1]
+        assert int(enc.exponents[0]) == first.exponents[0] - 1
+
+    def test_fits_and_requires(self, system):
+        enc = SupportEncoding.from_system(system)
+        assert enc.fits_in(65536)
+        enc.require_fits(65536)
+        assert not enc.fits_in(10)
+        with pytest.raises(ConstantMemoryOverflow):
+            enc.require_fits(10)
+
+    def test_paper_capacity_limit(self):
+        """The paper: 2,048 monomials with k = 16 no longer fit in 64 KiB.
+
+        2,048 monomials need exactly 65,536 bytes for the two support tables,
+        i.e. the entire constant memory with no room left for anything else
+        (kernel arguments and other constants also live there), while 1,536
+        monomials leave ample headroom.
+        """
+        assert constant_memory_footprint(1536, 16) == 49152
+        assert constant_memory_footprint(1536, 16) < 65536
+        assert constant_memory_footprint(2048, 16) >= 65536
+
+    def test_requires_regular_system(self):
+        from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+        irregular = PolynomialSystem([
+            Polynomial([(1 + 0j, Monomial((0,), (1,)))]),
+            Polynomial([(1 + 0j, Monomial((0,), (1,))), (1 + 0j, Monomial((1,), (1,)))]),
+        ])
+        with pytest.raises(ConfigurationError):
+            SupportEncoding.from_system(irregular)
+
+
+class TestPackedEncoding:
+    def test_roundtrip(self, system):
+        enc = PackedSupportEncoding.from_system(system)
+        plain = SupportEncoding.from_system(system)
+        for i in range(enc.total_monomials):
+            assert enc.decode_monomial(i) == plain.decode_monomial(i)
+
+    def test_sizes(self, system):
+        enc = PackedSupportEncoding.from_system(system)
+        assert enc.packed.dtype == np.uint16
+        assert enc.bytes_used == 2 * 24 * 3
+        assert enc.fits_in(65536)
+        enc.require_fits(65536)
+        with pytest.raises(ConstantMemoryOverflow):
+            enc.require_fits(16)
+
+    def test_entry_bounds(self, system):
+        enc = PackedSupportEncoding.from_system(system)
+        with pytest.raises(IndexError):
+            enc.monomial_entry(-1, 0)
+        with pytest.raises(IndexError):
+            enc.monomial_entry(0, 99)
+
+    def test_degree_limit(self):
+        from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+        big_degree = PolynomialSystem([
+            Polynomial([(1 + 0j, Monomial((0,), (100,)))]),
+        ])
+        with pytest.raises(ConfigurationError):
+            PackedSupportEncoding.from_system(big_degree)
+
+    def test_table2_fits_both_ways(self):
+        system = table2_system(704, seed=1)
+        assert SupportEncoding.from_system(system).fits_in()
+        assert PackedSupportEncoding.from_system(system).fits_in()
+
+
+class TestFootprintHelpers:
+    def test_paper_examples(self):
+        # Dimension 30: 900 monomials, k = 15 -> <= 30,000 bytes.
+        assert constant_memory_footprint(900, 15) == 900 * 2 * 15
+        assert constant_memory_footprint(900, 15) <= 30000
+        # Dimension 40: 1,600 monomials, k = 20 -> 64,000 bytes.
+        assert constant_memory_footprint(1600, 20) == 64000
+
+    def test_max_monomials(self):
+        assert max_total_monomials_for_constant_memory(16) == 65536 // 32 == 2048
+        assert max_total_monomials_for_constant_memory(9) >= 1536

@@ -1,0 +1,103 @@
+"""Tests for the sequential reference evaluators (naive and factored)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.polynomials import (
+    evaluate_factored,
+    evaluate_naive,
+    power_table,
+    random_point,
+    random_regular_system,
+    speelpenning_system,
+)
+from repro.polynomials.speelpenning import OperationCount
+
+
+@pytest.fixture(scope="module")
+def system():
+    return random_regular_system(dimension=5, monomials_per_polynomial=4,
+                                 variables_per_monomial=3, max_variable_degree=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def point():
+    return random_point(5, seed=3)
+
+
+class TestPowerTable:
+    def test_contents(self):
+        table = power_table([2.0, 3.0], max_degree=5)
+        # table[i][j] == x_i ** j for j = 0 .. max_degree - 1
+        assert table[0][:5] == [1.0, 2.0, 4.0, 8.0, 16.0]
+        assert table[1][:5] == [1.0, 3.0, 9.0, 27.0, 81.0]
+
+    def test_degree_one(self):
+        table = power_table([2.0], max_degree=1)
+        assert table[0][0] == 1.0
+
+    def test_with_context(self):
+        table = power_table(DOUBLE_DOUBLE.vector([2.0]), max_degree=4,
+                            context=DOUBLE_DOUBLE)
+        assert [v.to_complex() for v in table[0]] == [1, 2, 4, 8]
+
+
+class TestAgreement:
+    def test_values_and_jacobian_agree(self, system, point):
+        naive = evaluate_naive(system, point)
+        factored = evaluate_factored(system, point)
+        for a, b in zip(naive.values, factored.values):
+            assert a == pytest.approx(b, rel=1e-12)
+        for row_a, row_b in zip(naive.jacobian, factored.jacobian):
+            for a, b in zip(row_a, row_b):
+                assert a == pytest.approx(b, rel=1e-12, abs=1e-12)
+
+    def test_agreement_in_double_double(self, system, point):
+        converted = DOUBLE_DOUBLE.vector(point)
+        naive = evaluate_naive(system, converted, context=DOUBLE_DOUBLE)
+        factored = evaluate_factored(system, converted, context=DOUBLE_DOUBLE)
+        for a, b in zip(naive.values, factored.values):
+            assert abs(a.to_complex() - b.to_complex()) < 1e-25
+
+    def test_jacobian_matches_analytic_derivatives(self, system, point):
+        factored = evaluate_factored(system, point)
+        for i, poly in enumerate(system):
+            for j in range(system.dimension):
+                analytic = poly.derivative(j).evaluate(point)
+                assert factored.jacobian[i][j] == pytest.approx(analytic, rel=1e-11, abs=1e-12)
+
+    def test_speelpenning_system_known_values(self):
+        s = speelpenning_system(5)
+        point = [1.0, 2.0, 3.0, 4.0, 5.0]
+        result = evaluate_factored(s, point)
+        assert result.values[0] == pytest.approx(120 - 1)
+        assert result.jacobian[0][0] == pytest.approx(120 / 1)
+        assert result.jacobian[0][4] == pytest.approx(120 / 5)
+
+
+class TestOperationCounts:
+    def test_factored_count_matches_formulas(self, system, point):
+        result = evaluate_factored(system, point)
+        shape = system.require_regular()
+        n, m, k = shape.dimension, shape.monomials_per_polynomial, shape.variables_per_monomial
+        d = shape.max_variable_degree
+        nm = n * m
+        expected_mults = (n * (d - 2)               # power table
+                          + nm * (k - 1)            # common factors
+                          + nm * (5 * k - 4))       # kernel-2 equivalent work
+        assert result.operations.multiplications == expected_mults
+        # One addition per monomial value plus one per monomial derivative.
+        assert result.operations.additions == nm * (k + 1)
+
+    def test_factored_cheaper_than_naive(self, system, point):
+        fast = evaluate_factored(system, point).operations
+        slow = evaluate_naive(system, point).operations
+        assert fast.multiplications < slow.multiplications
+
+    def test_result_tuple_helper(self, system, point):
+        result = evaluate_naive(system, point)
+        values, jacobian = result.as_tuple()
+        assert values is result.values and jacobian is result.jacobian
+        assert isinstance(result.operations, OperationCount)

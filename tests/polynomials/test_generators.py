@@ -1,0 +1,125 @@
+"""Tests for the random benchmark-system generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.polynomials import (
+    TABLE1_MONOMIAL_COUNTS,
+    TABLE2_MONOMIAL_COUNTS,
+    TABLE_DIMENSION,
+    random_monomial,
+    random_point,
+    random_regular_system,
+    table1_system,
+    table2_system,
+)
+
+
+class TestRandomMonomial:
+    def test_shape_constraints(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            m = random_monomial(rng, dimension=10, variables_per_monomial=4,
+                                max_variable_degree=5)
+            assert m.num_variables == 4
+            assert all(1 <= e <= 5 for e in m.exponents)
+            assert all(0 <= p < 10 for p in m.positions)
+            assert list(m.positions) == sorted(set(m.positions))
+
+    def test_too_many_variables(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            random_monomial(rng, dimension=3, variables_per_monomial=4, max_variable_degree=2)
+
+    def test_invalid_degree(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            random_monomial(rng, dimension=3, variables_per_monomial=2, max_variable_degree=0)
+
+
+class TestRandomRegularSystem:
+    def test_shape_matches_parameters(self):
+        s = random_regular_system(dimension=6, monomials_per_polynomial=5,
+                                  variables_per_monomial=3, max_variable_degree=4, seed=1)
+        shape = s.require_regular()
+        assert shape.dimension == 6
+        assert shape.monomials_per_polynomial == 5
+        assert shape.variables_per_monomial == 3
+        assert shape.max_variable_degree <= 4
+
+    def test_reproducible_with_seed(self):
+        a = random_regular_system(4, 3, 2, 2, seed=42)
+        b = random_regular_system(4, 3, 2, 2, seed=42)
+        assert a.supports() == b.supports()
+        assert a.coefficients() == b.coefficients()
+
+    def test_different_seeds_differ(self):
+        a = random_regular_system(4, 3, 2, 2, seed=1)
+        b = random_regular_system(4, 3, 2, 2, seed=2)
+        assert a.supports() != b.supports()
+
+    def test_unit_modulus_coefficients(self):
+        s = random_regular_system(4, 3, 2, 2, seed=3)
+        for row in s.coefficients():
+            for c in row:
+                assert abs(c) == pytest.approx(1.0)
+
+    def test_monomials_distinct_within_polynomial(self):
+        s = random_regular_system(5, 6, 2, 2, seed=4)
+        for poly in s:
+            keys = {(m.positions, m.exponents) for _, m in poly.terms}
+            assert len(keys) == poly.num_terms
+
+    def test_impossible_support_space_raises(self):
+        # Only 2 distinct monomials exist with k=1, d=1 in dimension 2, so
+        # asking for 5 per polynomial must fail.
+        with pytest.raises(ConfigurationError):
+            random_regular_system(2, 5, 1, 1, seed=0)
+
+    def test_invalid_monomial_count(self):
+        with pytest.raises(ConfigurationError):
+            random_regular_system(3, 0, 1, 1)
+
+
+class TestRandomPoint:
+    def test_length_and_modulus(self):
+        p = random_point(7, seed=0)
+        assert len(p) == 7
+        assert all(abs(z) == pytest.approx(1.0) for z in p)
+
+    def test_radius(self):
+        p = random_point(3, seed=0, radius=2.5)
+        assert all(abs(z) == pytest.approx(2.5) for z in p)
+
+    def test_reproducible(self):
+        assert random_point(4, seed=9) == random_point(4, seed=9)
+
+
+class TestPaperConfigurations:
+    def test_table_constants(self):
+        assert TABLE_DIMENSION == 32
+        assert TABLE1_MONOMIAL_COUNTS == (704, 1024, 1536)
+        assert TABLE2_MONOMIAL_COUNTS == (704, 1024, 1536)
+
+    @pytest.mark.parametrize("total", [704, 1024])
+    def test_table1_shape(self, total):
+        s = table1_system(total, seed=5)
+        shape = s.require_regular()
+        assert shape.dimension == 32
+        assert shape.total_monomials == total
+        assert shape.variables_per_monomial == 9
+        assert shape.max_variable_degree <= 2
+
+    def test_table2_shape(self):
+        s = table2_system(704, seed=5)
+        shape = s.require_regular()
+        assert shape.dimension == 32
+        assert shape.variables_per_monomial == 16
+        assert shape.max_variable_degree <= 10
+
+    def test_indivisible_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table1_system(1000)

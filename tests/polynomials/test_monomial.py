@@ -1,0 +1,175 @@
+"""Tests for the sparse monomial representation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.polynomials import Monomial
+
+
+def sparse_monomials(max_dim=8, max_degree=6):
+    """Hypothesis strategy for random sparse monomials."""
+    return st.builds(
+        lambda positions, exponents: Monomial(
+            tuple(sorted(positions)), tuple(exponents[:len(positions)] or ())
+        ),
+        st.lists(st.integers(0, max_dim - 1), unique=True, min_size=1, max_size=max_dim),
+        st.lists(st.integers(1, max_degree), min_size=max_dim, max_size=max_dim),
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = Monomial((0, 2, 5), (3, 7, 2))
+        assert m.num_variables == 3
+        assert m.total_degree == 12
+        assert m.max_exponent == 7
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Monomial((0, 1), (1,))
+
+    def test_zero_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Monomial((0,), (0,))
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Monomial((-1,), (1,))
+
+    def test_unsorted_positions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Monomial((2, 1), (1, 1))
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Monomial((1, 1), (1, 1))
+
+    def test_constant_monomial(self):
+        one = Monomial((), ())
+        assert one.num_variables == 0
+        assert one.total_degree == 0
+        assert str(one) == "1"
+        assert one.evaluate([1 + 2j, 5]) == 1.0
+
+    def test_from_dense_exponents(self):
+        m = Monomial.from_dense_exponents([0, 3, 0, 1])
+        assert m.positions == (1, 3)
+        assert m.exponents == (3, 1)
+
+    def test_from_dict(self):
+        m = Monomial.from_dict({5: 2, 1: 1, 3: 0})
+        assert m.positions == (1, 5)
+        assert m.exponents == (1, 2)
+
+    def test_frozen(self):
+        m = Monomial((0,), (1,))
+        with pytest.raises(AttributeError):
+            m.positions = (1,)
+
+    def test_str(self):
+        assert str(Monomial((0, 2), (1, 3))) == "x0*x2^3"
+
+
+class TestStructure:
+    def test_dense_exponents(self):
+        m = Monomial((1, 3), (2, 5))
+        assert m.dense_exponents(5) == (0, 2, 0, 5, 0)
+
+    def test_dense_exponents_dimension_too_small(self):
+        with pytest.raises(ConfigurationError):
+            Monomial((4,), (1,)).dense_exponents(3)
+
+    def test_exponent_of_and_contains(self):
+        m = Monomial((1, 3), (2, 5))
+        assert m.exponent_of(3) == 5
+        assert m.exponent_of(0) == 0
+        assert m.contains(1) and not m.contains(2)
+
+    def test_iteration_and_len(self):
+        m = Monomial((1, 3), (2, 5))
+        assert list(m) == [(1, 2), (3, 5)]
+        assert len(m) == 2
+
+    @given(sparse_monomials())
+    def test_dense_roundtrip(self, m):
+        dense = m.dense_exponents(8)
+        assert Monomial.from_dense_exponents(dense) == m
+
+
+class TestCommonFactor:
+    def test_paper_example(self):
+        # x1^3 x2^7 x3^2 has common factor x1^2 x2^6 x3 (0-indexed here).
+        m = Monomial((0, 1, 2), (3, 7, 2))
+        cf = m.common_factor()
+        assert cf.positions == (0, 1, 2)
+        assert cf.exponents == (2, 6, 1)
+
+    def test_exponent_one_variables_drop_out(self):
+        m = Monomial((0, 1, 2), (1, 2, 1))
+        cf = m.common_factor()
+        assert cf.positions == (1,)
+        assert cf.exponents == (1,)
+
+    def test_all_linear_gives_constant_factor(self):
+        m = Monomial((0, 1), (1, 1))
+        assert m.common_factor() == Monomial((), ())
+
+    @given(sparse_monomials())
+    def test_factorisation_identity(self, m):
+        """x^a == common_factor * speelpenning product."""
+        point = [complex(1.1 + 0.1 * i, 0.3 - 0.05 * i) for i in range(8)]
+        speelpenning = Monomial(m.positions, tuple([1] * m.num_variables))
+        product = m.common_factor().evaluate(point) * speelpenning.evaluate(point)
+        direct = m.evaluate(point)
+        assert product == pytest.approx(direct, rel=1e-12)
+
+    def test_speelpenning_positions(self):
+        m = Monomial((2, 4), (3, 1))
+        assert m.speelpenning_positions() == (2, 4)
+
+
+class TestEvaluationAndDerivatives:
+    def test_evaluate_simple(self):
+        m = Monomial((0, 1), (2, 1))
+        assert m.evaluate([2.0, 3.0]) == 12.0
+
+    def test_evaluate_complex(self):
+        m = Monomial((0,), (2,))
+        assert m.evaluate([1j]) == -1 + 0j
+
+    def test_derivative_present_variable(self):
+        m = Monomial((0, 1), (2, 3))
+        scale, dm = m.derivative(0)
+        assert scale == 2
+        assert dm == Monomial((0, 1), (1, 3))
+
+    def test_derivative_exponent_one_removes_variable(self):
+        m = Monomial((0, 1), (1, 3))
+        scale, dm = m.derivative(0)
+        assert scale == 1
+        assert dm == Monomial((1,), (3,))
+
+    def test_derivative_absent_variable(self):
+        m = Monomial((0,), (2,))
+        scale, dm = m.derivative(5)
+        assert scale == 0
+        assert dm == Monomial((), ())
+
+    @given(sparse_monomials())
+    def test_gradient_matches_finite_difference_free_identity(self, m):
+        """d(x^a)/dx_i * x_i == a_i * x^a for every occurring variable."""
+        point = [complex(0.9 + 0.07 * i, -0.2 + 0.03 * i) for i in range(8)]
+        value = m.evaluate(point)
+        grad = m.evaluate_gradient(point)
+        for variable, derivative in grad.items():
+            a_i = m.exponent_of(variable)
+            assert derivative * point[variable] == pytest.approx(a_i * value, rel=1e-10)
+
+    def test_multiply(self):
+        a = Monomial((0, 1), (1, 2))
+        b = Monomial((1, 3), (1, 4))
+        assert a.multiply(b) == Monomial((0, 1, 3), (1, 3, 4))

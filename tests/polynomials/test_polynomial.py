@@ -1,0 +1,140 @@
+"""Tests for sparse polynomials."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multiprec import DOUBLE_DOUBLE
+from repro.polynomials import Monomial, Polynomial
+
+
+def example_polynomial() -> Polynomial:
+    # f = (2+i) x0^2 x1 + 3 x1 x2 - 1
+    return Polynomial([
+        (2 + 1j, Monomial((0, 1), (2, 1))),
+        (3 + 0j, Monomial((1, 2), (1, 1))),
+        (-1 + 0j, Monomial((), ())),
+    ])
+
+
+class TestConstruction:
+    def test_basic_structure(self):
+        p = example_polynomial()
+        assert p.num_terms == 3
+        assert p.total_degree == 3
+        assert p.max_variable_degree == 2
+        assert p.max_variables_per_monomial == 2
+        assert p.variables() == (0, 1, 2)
+
+    def test_zero_coefficients_dropped(self):
+        p = Polynomial([(0j, Monomial((0,), (1,))), (1 + 0j, Monomial((1,), (1,)))])
+        assert p.num_terms == 1
+
+    def test_invalid_term(self):
+        with pytest.raises(ConfigurationError):
+            Polynomial([(1.0, "x0")])
+
+    def test_from_support(self):
+        p = Polynomial.from_support([1 + 0j, 2 + 0j], [(2, 0), (0, 1)])
+        assert p.num_terms == 2
+        assert p.support(2) == ((2, 0), (0, 1))
+        assert p.coefficients() == (1 + 0j, 2 + 0j)
+
+    def test_from_support_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Polynomial.from_support([1 + 0j], [(1, 0), (0, 1)])
+
+    def test_zero_polynomial(self):
+        z = Polynomial.zero()
+        assert z.num_terms == 0
+        assert z.evaluate([1.0]) == 0j
+        assert str(z) == "0"
+
+    def test_len_iter_str(self):
+        p = example_polynomial()
+        assert len(p) == 3
+        assert len(list(p)) == 3
+        assert "x0^2" in str(p)
+
+    def test_equality_is_canonical(self):
+        a = Polynomial([(1 + 0j, Monomial((0,), (1,))), (2 + 0j, Monomial((0,), (1,)))])
+        b = Polynomial([(3 + 0j, Monomial((0,), (1,)))])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert example_polynomial() != Polynomial.zero()
+
+
+class TestEvaluation:
+    def test_evaluate_at_simple_point(self):
+        p = example_polynomial()
+        x = [1.0, 2.0, 3.0]
+        expected = (2 + 1j) * 1 * 2 + 3 * 2 * 3 - 1
+        assert p.evaluate(x) == expected
+
+    def test_evaluate_with_context(self):
+        p = example_polynomial()
+        x = DOUBLE_DOUBLE.vector([1.0, 2.0, 3.0])
+        value = p.evaluate(x, context=DOUBLE_DOUBLE)
+        assert value.to_complex() == (2 + 1j) * 2 + 18 - 1
+
+    def test_empty_polynomial_with_context(self):
+        assert Polynomial.zero().evaluate([], context=DOUBLE_DOUBLE).to_complex() == 0j
+
+
+class TestCalculus:
+    def test_derivative(self):
+        p = example_polynomial()
+        dp0 = p.derivative(0)
+        # d/dx0 = 2(2+i) x0 x1
+        assert dp0.num_terms == 1
+        coeff, mono = dp0.terms[0]
+        assert coeff == 2 * (2 + 1j)
+        assert mono == Monomial((0, 1), (1, 1))
+
+    def test_derivative_of_constant_term_vanishes(self):
+        p = Polynomial([(5 + 0j, Monomial((), ()))])
+        assert p.derivative(0).num_terms == 0
+
+    def test_gradient_length(self):
+        p = example_polynomial()
+        grad = p.gradient(3)
+        assert len(grad) == 3
+        assert grad[2].num_terms == 1
+
+    def test_derivative_matches_difference_quotient(self):
+        p = example_polynomial()
+        x = [0.3 + 0.1j, -0.7 + 0.2j, 1.1 - 0.4j]
+        h = 1e-7
+        for i in range(3):
+            xp = list(x)
+            xp[i] = xp[i] + h
+            numeric = (p.evaluate(xp) - p.evaluate(x)) / h
+            analytic = p.derivative(i).evaluate(x)
+            assert numeric == pytest.approx(analytic, rel=1e-5)
+
+
+class TestAlgebra:
+    def test_addition(self):
+        p = example_polynomial()
+        q = p + Polynomial([(1 + 0j, Monomial((), ()))])
+        assert q.evaluate([1.0, 1.0, 1.0]) == p.evaluate([1.0, 1.0, 1.0]) + 1
+
+    def test_scalar_multiplication(self):
+        p = example_polynomial()
+        assert (2 * p).evaluate([1.0, 2.0, 0.5]) == 2 * p.evaluate([1.0, 2.0, 0.5])
+        assert (p * 2).evaluate([1.0, 2.0, 0.5]) == 2 * p.evaluate([1.0, 2.0, 0.5])
+
+    def test_polynomial_product(self):
+        a = Polynomial([(1 + 0j, Monomial((0,), (1,)))])
+        b = Polynomial([(1 + 0j, Monomial((0,), (1,))), (1 + 0j, Monomial((), ()))])
+        prod = a * b
+        # x * (x + 1) = x^2 + x
+        assert prod.evaluate([3.0]) == 12.0
+
+    def test_negation_and_subtraction(self):
+        p = example_polynomial()
+        assert (p - p).evaluate([1.0, 2.0, 3.0]) == 0j
+        assert (-p).evaluate([1.0, 2.0, 3.0]) == -p.evaluate([1.0, 2.0, 3.0])

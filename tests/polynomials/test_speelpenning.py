@@ -1,0 +1,143 @@
+"""Tests for the Speelpenning forward/backward differentiation sweep."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.multiprec import DOUBLE_DOUBLE
+from repro.polynomials import (
+    OperationCount,
+    expected_gradient_multiplications,
+    naive_gradient,
+    speelpenning_gradient,
+    speelpenning_value,
+)
+
+factor_lists = st.lists(
+    st.builds(complex,
+              st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+              st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)),
+    min_size=0, max_size=12,
+)
+
+
+class TestOperationCount:
+    def test_add_and_iadd(self):
+        a = OperationCount(3, 2)
+        b = OperationCount(1, 1)
+        assert a.add(b) == OperationCount(4, 3)
+        a += b
+        assert a == OperationCount(4, 3)
+
+    def test_expected_formula(self):
+        assert expected_gradient_multiplications(0) == 0
+        assert expected_gradient_multiplications(1) == 0
+        assert expected_gradient_multiplications(2) == 0
+        assert expected_gradient_multiplications(3) == 3
+        assert expected_gradient_multiplications(9) == 21
+        assert expected_gradient_multiplications(16) == 42
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            expected_gradient_multiplications(-1)
+
+
+class TestSpeelpenningValue:
+    def test_empty_product(self):
+        value, count = speelpenning_value([])
+        assert value == 1.0
+        assert count.multiplications == 0
+
+    def test_product_and_count(self):
+        value, count = speelpenning_value([2.0, 3.0, 4.0])
+        assert value == 24.0
+        assert count.multiplications == 2
+
+
+class TestSpeelpenningGradient:
+    def test_k0(self):
+        grad, count = speelpenning_gradient([])
+        assert grad == []
+        assert count.multiplications == 0
+
+    def test_k1(self):
+        grad, count = speelpenning_gradient([5.0])
+        assert grad == [1.0]
+        assert count.multiplications == 0
+
+    def test_k2(self):
+        grad, count = speelpenning_gradient([2.0, 7.0])
+        assert grad == [7.0, 2.0]
+        assert count.multiplications == 0
+
+    def test_k3_classic(self):
+        grad, count = speelpenning_gradient([2.0, 3.0, 5.0])
+        assert grad == [15.0, 10.0, 6.0]
+        assert count.multiplications == 3
+
+    def test_k5_values(self):
+        xs = [2.0, 3.0, 5.0, 7.0, 11.0]
+        grad, count = speelpenning_gradient(xs)
+        total = 2 * 3 * 5 * 7 * 11
+        assert grad == [total / x for x in xs]
+        assert count.multiplications == 3 * 5 - 6
+
+    @given(factor_lists)
+    def test_matches_naive_gradient(self, xs):
+        grad, _ = speelpenning_gradient(xs)
+        expected, _ = naive_gradient(xs)
+        assert len(grad) == len(expected)
+        for g, e in zip(grad, expected):
+            assert g == pytest.approx(e, rel=1e-9, abs=1e-12)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_multiplication_count_is_exactly_3k_minus_6(self, k):
+        xs = [complex(1.0 + 0.01 * i, 0.02 * i) for i in range(k)]
+        _, count = speelpenning_gradient(xs)
+        assert count.multiplications == expected_gradient_multiplications(k)
+
+    @given(st.integers(min_value=3, max_value=20))
+    def test_cheaper_than_naive(self, k):
+        xs = [1.0 + i for i in range(k)]
+        _, fast = speelpenning_gradient(xs)
+        _, slow = naive_gradient(xs)
+        assert slow.multiplications == k * (k - 2)
+        # 3k-6 <= k(k-2) with equality only at k = 3.
+        if k == 3:
+            assert fast.multiplications == slow.multiplications
+        else:
+            assert fast.multiplications < slow.multiplications
+
+    def test_gradient_derivative_identity(self):
+        """x_j * d/dx_j (prod x) == prod x for every j."""
+        xs = [1.5 - 0.5j, 2.0 + 1.0j, -0.75 + 0.25j, 0.5 + 0.5j]
+        product, _ = speelpenning_value(xs)
+        grad, _ = speelpenning_gradient(xs)
+        for x, g in zip(xs, grad):
+            assert x * g == pytest.approx(product, rel=1e-12)
+
+    def test_works_with_double_double_scalars(self):
+        xs = DOUBLE_DOUBLE.vector([2.0, 3.0, 5.0, 7.0])
+        grad, count = speelpenning_gradient(xs)
+        assert count.multiplications == 6
+        values = [g.to_complex() for g in grad]
+        assert values == [105 + 0j, 70 + 0j, 42 + 0j, 30 + 0j]
+
+    def test_zeros_are_handled(self):
+        grad, _ = speelpenning_gradient([0.0, 2.0, 3.0])
+        assert grad == [6.0, 0.0, 0.0]
+
+
+class TestNaiveGradient:
+    def test_k1(self):
+        grad, count = naive_gradient([3.0])
+        assert grad == [1.0]
+        assert count.multiplications == 0
+
+    def test_count_formula(self):
+        _, count = naive_gradient([1.0] * 6)
+        assert count.multiplications == 6 * 4

@@ -1,0 +1,150 @@
+"""Tests for polynomial systems and their Jacobians."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multiprec import DOUBLE_DOUBLE
+from repro.polynomials import (
+    Monomial,
+    Polynomial,
+    PolynomialSystem,
+    SystemShape,
+    random_regular_system,
+    speelpenning_system,
+)
+
+
+def small_regular_system():
+    return random_regular_system(dimension=4, monomials_per_polynomial=3,
+                                 variables_per_monomial=2, max_variable_degree=3, seed=0)
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        s = small_regular_system()
+        assert s.dimension == 4
+        assert s.num_polynomials == 4
+        assert s.num_variables == 4
+        assert s.is_square()
+        assert len(s) == 4
+        assert s.total_monomials == 12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialSystem([])
+
+    def test_variable_out_of_range_rejected(self):
+        p = Polynomial([(1 + 0j, Monomial((5,), (1,)))])
+        with pytest.raises(ConfigurationError):
+            PolynomialSystem([p], dimension=3)
+
+    def test_explicit_dimension(self):
+        p = Polynomial([(1 + 0j, Monomial((0,), (1,)))])
+        s = PolynomialSystem([p], dimension=3)
+        assert s.dimension == 3
+        assert not s.is_square()
+
+    def test_indexing_and_iteration(self):
+        s = small_regular_system()
+        assert isinstance(s[0], Polynomial)
+        assert len(list(s)) == 4
+
+    def test_str(self):
+        assert "f0:" in str(small_regular_system())
+
+
+class TestSupportRepresentation:
+    def test_coefficient_support_roundtrip(self):
+        s = small_regular_system()
+        rebuilt = PolynomialSystem.from_support(s.coefficients(), s.supports())
+        point = [0.5 + 0.5j] * 4
+        assert rebuilt.evaluate(point) == s.evaluate(point)
+
+    def test_from_support_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialSystem.from_support([[1 + 0j]], [])
+
+
+class TestRegularity:
+    def test_regular_system_shape(self):
+        s = small_regular_system()
+        shape = s.regularity()
+        assert shape == SystemShape(dimension=4, monomials_per_polynomial=3,
+                                    variables_per_monomial=2,
+                                    max_variable_degree=shape.max_variable_degree)
+        assert shape.max_variable_degree <= 3
+        assert shape.total_monomials == 12
+        assert shape.jacobian_entries == 16
+        assert "n=4" in str(shape)
+
+    def test_require_regular_passes(self):
+        assert small_regular_system().require_regular() is not None
+
+    def test_irregular_term_counts(self):
+        p1 = Polynomial([(1 + 0j, Monomial((0,), (1,)))])
+        p2 = Polynomial([(1 + 0j, Monomial((0,), (1,))), (1 + 0j, Monomial((1,), (1,)))])
+        s = PolynomialSystem([p1, p2])
+        assert s.regularity() is None
+        with pytest.raises(ConfigurationError):
+            s.require_regular()
+
+    def test_irregular_variable_counts(self):
+        p1 = Polynomial([(1 + 0j, Monomial((0,), (1,))), (1 + 0j, Monomial((1,), (2,)))])
+        p2 = Polynomial([(1 + 0j, Monomial((0, 1), (1, 1))), (1 + 0j, Monomial((1,), (1,)))])
+        s = PolynomialSystem([p1, p2])
+        assert s.regularity() is None
+
+
+class TestEvaluation:
+    def test_evaluate_length_checks(self):
+        s = small_regular_system()
+        with pytest.raises(ConfigurationError):
+            s.evaluate([1.0] * 3)
+        with pytest.raises(ConfigurationError):
+            s.evaluate_jacobian([1.0] * 5)
+
+    def test_jacobian_shape(self):
+        s = small_regular_system()
+        jac = s.evaluate_jacobian([0.5 + 0.1j] * 4)
+        assert len(jac) == 4 and all(len(row) == 4 for row in jac)
+
+    def test_jacobian_polynomials_match_evaluation(self):
+        s = small_regular_system()
+        point = [0.3 - 0.2j, 1.1 + 0.4j, -0.5 + 0.9j, 0.8 + 0.1j]
+        jp = s.jacobian_polynomials()
+        jac = s.evaluate_jacobian(point)
+        for i in range(4):
+            for j in range(4):
+                assert jp[i][j].evaluate(point) == pytest.approx(jac[i][j], rel=1e-12)
+
+    def test_jacobian_matches_finite_differences(self):
+        s = small_regular_system()
+        point = [0.4 + 0.2j, -0.3 + 0.7j, 0.9 - 0.1j, 0.2 + 0.5j]
+        values, jac = s.evaluate_with_jacobian(point)
+        h = 1e-7
+        for j in range(4):
+            shifted = list(point)
+            shifted[j] = shifted[j] + h
+            shifted_values = s.evaluate(shifted)
+            for i in range(4):
+                numeric = (shifted_values[i] - values[i]) / h
+                assert numeric == pytest.approx(jac[i][j], rel=1e-4, abs=1e-6)
+
+    def test_evaluation_in_double_double_matches_double(self):
+        s = small_regular_system()
+        point = [0.4 + 0.2j, -0.3 + 0.7j, 0.9 - 0.1j, 0.2 + 0.5j]
+        plain = s.evaluate(point)
+        extended = s.evaluate(DOUBLE_DOUBLE.vector(point), context=DOUBLE_DOUBLE)
+        for a, b in zip(plain, extended):
+            assert a == pytest.approx(b.to_complex(), rel=1e-13)
+
+    def test_speelpenning_system(self):
+        s = speelpenning_system(4)
+        assert s.dimension == 4
+        values = s.evaluate([1.0, 1.0, 1.0, 1.0])
+        assert values == [1 - (i + 1) for i in range(4)]
+        jac = s.evaluate_jacobian([1.0, 2.0, 3.0, 4.0])
+        # d(x0 x1 x2 x3)/dx0 at (1,2,3,4) is 24.
+        assert jac[0][0] == 24.0

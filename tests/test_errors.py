@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy and its use across the package."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConstantMemoryOverflow,
+    ConvergenceError,
+    DeviceCapacityError,
+    KernelExecutionError,
+    LaunchConfigurationError,
+    MemoryAccessError,
+    PathTrackingError,
+    ReproError,
+    SharedMemoryOverflow,
+    SingularMatrixError,
+)
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for exc in (ConfigurationError, DeviceCapacityError, ConstantMemoryOverflow,
+                    SharedMemoryOverflow, LaunchConfigurationError, KernelExecutionError,
+                    MemoryAccessError, SingularMatrixError, PathTrackingError,
+                    ConvergenceError):
+            assert issubclass(exc, ReproError)
+            assert issubclass(exc, Exception)
+
+    def test_capacity_sub_hierarchy(self):
+        assert issubclass(ConstantMemoryOverflow, DeviceCapacityError)
+        assert issubclass(SharedMemoryOverflow, DeviceCapacityError)
+        assert issubclass(LaunchConfigurationError, DeviceCapacityError)
+
+    def test_execution_sub_hierarchy(self):
+        assert issubclass(MemoryAccessError, KernelExecutionError)
+        assert issubclass(ConvergenceError, PathTrackingError)
+
+    def test_catching_the_base_class_catches_domain_errors(self):
+        from repro.polynomials import Monomial
+
+        with pytest.raises(ReproError):
+            Monomial((0,), (0,))
+
+    def test_capacity_errors_can_be_handled_uniformly(self):
+        from repro.core import GPUEvaluator
+        from repro.polynomials import random_regular_system
+
+        too_big = random_regular_system(dimension=64, monomials_per_polynomial=40,
+                                        variables_per_monomial=16, max_variable_degree=2,
+                                        seed=0)
+        with pytest.raises(DeviceCapacityError):
+            GPUEvaluator(too_big)

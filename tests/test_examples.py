@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs end to end on small inputs.
+
+The examples are part of the deliverable, so they are executed (as
+subprocesses, the way a user would run them) with arguments small enough to
+finish in seconds, and their output is checked for the headline sections.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {name}"
+    completed = subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True, text=True, timeout=600, check=False,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py", "--dimension", "6", "--monomials", "3",
+                             "--variables-per-monomial", "2", "--max-degree", "3")
+        assert "generate a regular benchmark system" in output
+        assert "maximum relative difference GPU vs CPU" in output
+        assert "predicted speedup" in output
+
+    def test_speedup_study_scaled(self):
+        output = run_example("speedup_study.py")
+        assert "scaled-down sweep" in output
+        assert "speedup (model)" in output
+
+    def test_newton_path_tracking(self):
+        output = run_example("newton_path_tracking.py", "--dimension", "2",
+                             "--max-paths", "4")
+        assert "paths tracked to t = 1" in output
+        assert "double-double" in output
+        assert "Newton's corrector driven by the simulated GPU evaluator" in output
+
+    def test_double_double_precision(self):
+        output = run_example("double_double_precision.py", "--dimension", "4",
+                             "--monomials", "3")
+        assert "loses all double digits" in output
+        assert "quality up" in output
+
+    def test_blackbox_solve(self):
+        output = run_example("blackbox_solve.py", "--max-paths", "4")
+        assert "isolated solutions" in output
+        assert "residual" in output

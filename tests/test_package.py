@@ -1,0 +1,59 @@
+"""Tests for the top-level package surface (what ``import repro`` promises)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_importable(self):
+        import repro.bench
+        import repro.core
+        import repro.gpusim
+        import repro.multiprec
+        import repro.polynomials
+        import repro.tracking
+
+        assert repro.core.GPUEvaluator is repro.GPUEvaluator
+
+    def test_headline_workflow(self):
+        """The README's quickstart snippet, condensed."""
+        system = repro.random_regular_system(dimension=4, monomials_per_polynomial=2,
+                                             variables_per_monomial=2, max_variable_degree=2,
+                                             seed=7)
+        point = repro.random_point(4, seed=1)
+
+        gpu = repro.GPUEvaluator(system)
+        result = gpu.evaluate(point)
+        cpu = repro.CPUReferenceEvaluator(system)
+        reference = cpu.evaluate(point)
+
+        gpu_seconds = result.predicted_device_time(repro.GPUCostModel())
+        cpu_seconds = repro.CPUCostModel().evaluation_time(reference.operations)
+        assert gpu_seconds > 0 and cpu_seconds > 0
+        assert len(result.values) == 4
+        assert len(result.jacobian) == 4
+
+    def test_device_constants_exported(self):
+        assert repro.TESLA_C2050.multiprocessors == 14
+        assert repro.XEON_X5690.clock_hz == pytest.approx(3.47e9)
+
+    def test_subpackage_all_lists_resolve(self):
+        import repro.core as core
+        import repro.gpusim as gpusim
+        import repro.multiprec as multiprec
+        import repro.polynomials as polynomials
+        import repro.tracking as tracking
+
+        for module in (core, gpusim, multiprec, polynomials, tracking):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

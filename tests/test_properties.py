@@ -1,0 +1,125 @@
+"""Cross-cutting property-based tests.
+
+These use hypothesis to generate whole random regular systems (small enough to
+simulate quickly) and assert the end-to-end invariants that tie the layers
+together:
+
+* the simulated GPU pipeline agrees with the analytic CPU reference for every
+  generated system, point and precision;
+* the kernels' measured multiplication counts always match the closed-form
+  ``5k-4`` / ``k-1`` formulas;
+* evaluation results are independent of the block size used for the launch;
+* the two sequential reference algorithms (naive and factored) agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CPUReferenceEvaluator,
+    GPUEvaluator,
+    compare_evaluations,
+    expected_counts,
+)
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.polynomials import evaluate_factored, evaluate_naive, random_point, random_regular_system
+
+# Small but varied regular-system shapes; each draw rebuilds the system from a
+# drawn seed so shrinking stays meaningful.
+system_shapes = st.fixed_dictionaries({
+    "dimension": st.integers(min_value=2, max_value=7),
+    "variables_per_monomial": st.integers(min_value=1, max_value=4),
+    "max_variable_degree": st.integers(min_value=1, max_value=5),
+    "monomials_per_polynomial": st.integers(min_value=1, max_value=4),
+    "seed": st.integers(min_value=0, max_value=10_000),
+}).filter(lambda p: p["variables_per_monomial"] <= p["dimension"])
+
+
+def build_system(params):
+    # Guard against support spaces too small to hold m distinct monomials.
+    from repro.errors import ConfigurationError
+
+    try:
+        return random_regular_system(**params)
+    except ConfigurationError:
+        return None
+
+
+common_settings = settings(max_examples=25, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestEndToEndAgreement:
+    @common_settings
+    @given(system_shapes, st.integers(min_value=0, max_value=1000))
+    def test_gpu_matches_cpu_reference(self, params, point_seed):
+        system = build_system(params)
+        if system is None:
+            return
+        point = random_point(system.dimension, seed=point_seed)
+        gpu = GPUEvaluator(system, check_capacity=False).evaluate(point)
+        cpu = CPUReferenceEvaluator(system, algorithm="naive").evaluate(point)
+        report = compare_evaluations(gpu.values, gpu.jacobian, cpu.values, cpu.jacobian)
+        assert report.max_relative_difference < 1e-10
+
+    @common_settings
+    @given(system_shapes)
+    def test_factored_matches_naive_reference(self, params):
+        system = build_system(params)
+        if system is None:
+            return
+        point = random_point(system.dimension, seed=7)
+        naive = evaluate_naive(system, point)
+        factored = evaluate_factored(system, point)
+        report = compare_evaluations(naive.values, naive.jacobian,
+                                     factored.values, factored.jacobian)
+        assert report.max_relative_difference < 1e-10
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(system_shapes)
+    def test_double_double_rounds_to_double_results(self, params):
+        system = build_system(params)
+        if system is None:
+            return
+        point = random_point(system.dimension, seed=3)
+        d = GPUEvaluator(system, check_capacity=False).evaluate(point)
+        dd = GPUEvaluator(system, context=DOUBLE_DOUBLE, check_capacity=False).evaluate(point)
+        rounded = [DOUBLE_DOUBLE.to_complex(v) for v in dd.values]
+        report = compare_evaluations(d.values, d.jacobian,
+                                     rounded, [[DOUBLE_DOUBLE.to_complex(v) for v in row]
+                                               for row in dd.jacobian])
+        assert report.max_relative_difference < 1e-12
+
+
+class TestStructuralInvariants:
+    @common_settings
+    @given(system_shapes)
+    def test_measured_multiplications_match_formulas(self, params):
+        system = build_system(params)
+        if system is None:
+            return
+        point = random_point(system.dimension, seed=11)
+        evaluator = GPUEvaluator(system, check_capacity=False)
+        result = evaluator.evaluate(point)
+        expected = expected_counts(system.require_regular(), block_size=evaluator.block_size)
+        stats1, stats2, stats3 = result.launch_stats
+        assert stats1.total_multiplications == (expected.kernel1_power_multiplications
+                                                + expected.kernel1_factor_multiplications)
+        assert stats2.total_multiplications == expected.kernel2_multiplications
+        assert stats3.total_additions == expected.kernel3_additions
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(system_shapes, st.sampled_from([8, 16, 32, 64]))
+    def test_results_independent_of_block_size(self, params, block_size):
+        system = build_system(params)
+        if system is None:
+            return
+        point = random_point(system.dimension, seed=5)
+        reference = GPUEvaluator(system, check_capacity=False, block_size=32).evaluate(point)
+        other = GPUEvaluator(system, check_capacity=False, block_size=block_size).evaluate(point)
+        report = compare_evaluations(reference.values, reference.jacobian,
+                                     other.values, other.jacobian)
+        assert report.max_relative_difference < 1e-13

@@ -1,0 +1,153 @@
+"""Tests for Newton's corrector driven by the evaluator interface."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.core import CPUReferenceEvaluator, GPUEvaluator
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+from repro.tracking import NewtonCorrector
+
+
+def circle_line_system():
+    """x0^2 + x1^2 - 2 = 0, x0 - x1 = 0: solutions (+-1, +-1)."""
+    p1 = Polynomial([
+        (1 + 0j, Monomial((0,), (2,))),
+        (1 + 0j, Monomial((1,), (2,))),
+        (-2 + 0j, Monomial((), ())),
+    ])
+    p2 = Polynomial([
+        (1 + 0j, Monomial((0,), (1,))),
+        (-1 + 0j, Monomial((1,), (1,))),
+    ])
+    return PolynomialSystem([p1, p2])
+
+
+class TestNewtonOnCPUReference:
+    def test_converges_to_nearby_root(self):
+        system = circle_line_system()
+        corrector = NewtonCorrector(CPUReferenceEvaluator(system), tolerance=1e-12)
+        result = corrector.correct([1.2 + 0.1j, 0.9 - 0.1j])
+        assert result.converged
+        assert result.residual_norm < 1e-12
+        assert abs(result.solution[0] - 1.0) < 1e-8
+        assert abs(result.solution[1] - 1.0) < 1e-8
+
+    def test_converges_to_negative_root_from_negative_start(self):
+        system = circle_line_system()
+        corrector = NewtonCorrector(CPUReferenceEvaluator(system))
+        result = corrector.correct([-1.3, -0.8])
+        assert result.converged
+        assert abs(result.solution[0] + 1.0) < 1e-8
+
+    def test_quadratic_convergence_history(self):
+        system = circle_line_system()
+        corrector = NewtonCorrector(CPUReferenceEvaluator(system), tolerance=1e-14)
+        result = corrector.correct([1.05, 1.02])
+        assert result.converged
+        residuals = [step.residual_norm for step in result.history]
+        # Quadratic convergence: each residual is (roughly) the square of the
+        # previous one once in the basin.
+        assert all(residuals[i + 1] < residuals[i] for i in range(len(residuals) - 2))
+        assert result.iterations <= 6
+
+    def test_history_and_steps_recorded(self):
+        system = circle_line_system()
+        result = NewtonCorrector(CPUReferenceEvaluator(system)).correct([1.1, 1.0])
+        assert len(result.history) == result.iterations
+        assert result.history[0].iteration == 1
+
+    def test_failure_returns_unconverged_result(self):
+        system = circle_line_system()
+        corrector = NewtonCorrector(CPUReferenceEvaluator(system),
+                                    tolerance=1e-15, max_iterations=1)
+        result = corrector.correct([5.0, -3.0])
+        assert not result.converged
+        assert result.iterations == 1
+
+    def test_failure_can_raise(self):
+        system = circle_line_system()
+        corrector = NewtonCorrector(CPUReferenceEvaluator(system), tolerance=1e-15,
+                                    max_iterations=1, raise_on_failure=True)
+        with pytest.raises(ConvergenceError):
+            corrector.correct([5.0, -3.0])
+
+    def test_already_converged_point_returns_immediately(self):
+        system = circle_line_system()
+        corrector = NewtonCorrector(CPUReferenceEvaluator(system), tolerance=1e-9)
+        result = corrector.correct([1.0, 1.0])
+        assert result.converged
+        assert result.iterations == 1
+        assert result.update_norm == 0.0
+
+
+class TestNewtonInDoubleDouble:
+    @staticmethod
+    def sqrt2_system():
+        """x0^2 - 2 = 0, x0 - x1 = 0: the root sqrt(2) is not representable
+        in double precision, so the achievable residual floor depends on the
+        working precision."""
+        p1 = Polynomial([
+            (1 + 0j, Monomial((0,), (2,))),
+            (-2 + 0j, Monomial((), ())),
+        ])
+        p2 = Polynomial([
+            (1 + 0j, Monomial((0,), (1,))),
+            (-1 + 0j, Monomial((1,), (1,))),
+        ])
+        return PolynomialSystem([p1, p2])
+
+    def test_reaches_beyond_double_accuracy(self):
+        """With double-double evaluation and linear algebra the residual can
+        be driven far below the double-precision roundoff floor -- the whole
+        point of the paper's extended-precision path tracking."""
+        system = self.sqrt2_system()
+        evaluator = CPUReferenceEvaluator(system, context=DOUBLE_DOUBLE)
+        corrector = NewtonCorrector(evaluator, context=DOUBLE_DOUBLE,
+                                    tolerance=1e-28, max_iterations=30)
+        result = corrector.correct([1.4, 1.4])
+        assert result.converged
+        assert result.residual_norm < 1e-28
+
+    def test_double_cannot_reach_that_tolerance(self):
+        system = self.sqrt2_system()
+        corrector = NewtonCorrector(CPUReferenceEvaluator(system), context=DOUBLE,
+                                    tolerance=1e-28, max_iterations=30)
+        result = corrector.correct([1.4, 1.4])
+        # The best a double iterate can do is |x^2 - 2| of the order of the
+        # double roundoff (~2e-16), far above the requested tolerance.
+        assert not result.converged
+        assert result.residual_norm > 1e-17
+
+
+class TestNewtonOnGPUEvaluator:
+    def test_gpu_pipeline_drives_newton(self):
+        """The GPU evaluator plugs into the same corrector.
+
+        The system ``f_i = x0 x1 x2 - x_j x_k x_l^2`` (with ``(j, k, l)`` a
+        rotation of ``(0, 1, 2)``) is regular -- every polynomial has two
+        monomials of three variables each -- vanishes at ``x = (1, 1, 1)``,
+        and has a nonsingular (negated permutation) Jacobian there.
+        """
+        n = 3
+        polys = []
+        for i in range(n):
+            j, k_, l = i, (i + 1) % n, (i + 2) % n
+            m1 = Monomial(tuple(sorted((j, k_, l))), (1, 1, 1))
+            m2 = Monomial.from_dict({j: 1, k_: 1, l: 2})
+            polys.append(Polynomial([(1 + 0j, m1), (-1 + 0j, m2)]))
+        system = PolynomialSystem(polys)
+        assert system.regularity() is not None
+
+        evaluator = GPUEvaluator(system, check_capacity=False)
+        corrector = NewtonCorrector(evaluator, tolerance=1e-10, max_iterations=40)
+        result = corrector.correct([1.05 + 0.01j, 0.97 - 0.02j, 1.02 + 0.02j])
+        assert result.converged
+        # x = (1,1,1) is a solution; Newton from a nearby start should stay
+        # close to it (the solution set may contain other nearby points, so
+        # just check the residual and proximity).
+        assert result.residual_norm < 1e-10

@@ -1,0 +1,73 @@
+"""Tests for the quality-up (precision for parallelism) accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE
+from repro.polynomials.speelpenning import OperationCount
+from repro.tracking import (
+    affordable_precision,
+    measured_overhead_factor,
+    offset_factor,
+    quality_up_table,
+)
+
+
+class TestOffsetFactor:
+    def test_basic_ratio(self):
+        assert offset_factor(16.0, 8.0) == pytest.approx(2.0)
+        assert offset_factor(4.0, 8.0) == pytest.approx(0.5)
+
+    def test_invalid_overhead(self):
+        with pytest.raises(ValueError):
+            offset_factor(10.0, 0.0)
+
+    def test_paper_table_speedups_cover_double_double(self):
+        """The paper's Table 1/2 speedups (7.6 .. 19.6) against the ~8x dd
+        overhead: the largest configurations achieve quality up."""
+        assert offset_factor(19.56, DOUBLE_DOUBLE.mul_cost_factor) > 1.0
+        assert offset_factor(7.60, DOUBLE_DOUBLE.mul_cost_factor) < 1.0
+        assert offset_factor(10.44, DOUBLE_DOUBLE.mul_cost_factor) > 1.0
+
+
+class TestAffordablePrecision:
+    def test_small_speedup_stays_in_double(self):
+        assert affordable_precision(2.0) is DOUBLE
+
+    def test_moderate_speedup_affords_double_double(self):
+        assert affordable_precision(10.0) is DOUBLE_DOUBLE
+        assert affordable_precision(8.0) is DOUBLE_DOUBLE
+
+    def test_large_speedup_affords_quad_double(self):
+        assert affordable_precision(45.0) is QUAD_DOUBLE
+
+    def test_custom_context_subset(self):
+        assert affordable_precision(100.0, contexts=[DOUBLE, DOUBLE_DOUBLE]) is DOUBLE_DOUBLE
+
+
+class TestQualityUpTable:
+    def test_rows_are_sorted_by_cost(self):
+        rows = quality_up_table(12.0)
+        assert [r.context_name for r in rows] == ["d", "dd", "qd"]
+        assert rows[0].affordable
+        assert rows[1].affordable
+        assert not rows[2].affordable
+
+    def test_row_contents(self):
+        rows = quality_up_table(16.0)
+        dd_row = next(r for r in rows if r.context_name == "dd")
+        assert dd_row.overhead_factor == pytest.approx(8.0)
+        assert dd_row.offset == pytest.approx(2.0)
+        assert dd_row.speedup == 16.0
+        assert dd_row.as_dict()["affordable_in_sequential_double_time"] is True
+
+
+class TestMeasuredOverhead:
+    def test_overhead_matches_context_factor(self):
+        ops = OperationCount(multiplications=5000, additions=1000)
+        assert measured_overhead_factor(ops, DOUBLE_DOUBLE) == pytest.approx(8.0)
+        assert measured_overhead_factor(ops, QUAD_DOUBLE) == pytest.approx(40.0)
+
+    def test_zero_work(self):
+        assert measured_overhead_factor(OperationCount(), DOUBLE_DOUBLE) == float("inf")

@@ -1,0 +1,154 @@
+"""Tests for the blackbox homotopy-continuation solver."""
+
+from __future__ import annotations
+
+import cmath
+
+import pytest
+
+from repro.core import CPUReferenceEvaluator, GPUEvaluator
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+from repro.tracking import PathResult, TrackerOptions, solve_system
+from repro.tracking.solver import _deduplicate
+
+
+def decoupled_quadratics(values=(2.0, 3.0)):
+    """f_i = x_i^2 - a_i with 2^n known solutions."""
+    polys = []
+    for i, a in enumerate(values):
+        polys.append(Polynomial([
+            (1 + 0j, Monomial((i,), (2,))),
+            (-a + 0j, Monomial((), ())),
+        ]))
+    return PolynomialSystem(polys)
+
+
+def circle_and_line():
+    """x^2 + y^2 = 2 and x = y: exactly two solutions (1,1) and (-1,-1)."""
+    p1 = Polynomial([
+        (1 + 0j, Monomial((0,), (2,))),
+        (1 + 0j, Monomial((1,), (2,))),
+        (-2 + 0j, Monomial((), ())),
+    ])
+    p2 = Polynomial([
+        (1 + 0j, Monomial((0,), (1,))),
+        (-1 + 0j, Monomial((1,), (1,))),
+    ])
+    return PolynomialSystem([p1, p2])
+
+
+class TestDecoupledQuadratics:
+    def test_finds_all_four_solutions(self):
+        report = solve_system(decoupled_quadratics())
+        assert report.bezout_number == 4
+        assert report.paths_tracked == 4
+        assert report.paths_converged == 4
+        assert report.success_rate == 1.0
+        assert len(report.solutions) == 4
+        for solution in report.solutions:
+            x, y = solution.as_complex()
+            assert abs(x * x - 2.0) < 1e-7
+            assert abs(y * y - 3.0) < 1e-7
+            assert solution.residual < 1e-8
+
+    def test_all_sign_combinations_present(self):
+        report = solve_system(decoupled_quadratics())
+        signs = set()
+        for solution in report.solutions:
+            x, y = solution.as_complex()
+            signs.add((round(x.real / abs(x)), round(y.real / abs(y))))
+        assert len(signs) == 4
+
+    def test_max_paths_subsamples(self):
+        report = solve_system(decoupled_quadratics(), max_paths=2, seed=3)
+        assert report.paths_tracked == 2
+        assert len(report.solutions) <= 2
+
+    def test_failures_are_reported_not_raised(self):
+        # An absurdly tight step budget forces failures.
+        options = TrackerOptions(initial_step=1e-5, max_step=1e-5, max_steps=3)
+        report = solve_system(decoupled_quadratics(), options=options)
+        assert report.paths_converged < report.paths_tracked
+        assert len(report.failures) == report.paths_tracked - report.paths_converged
+        assert report.success_rate < 1.0
+
+
+class TestCircleAndLine:
+    def test_both_isolated_solutions_found(self):
+        """The quadric/line intersection has Bezout number 2 (degrees 2 and 1)
+        and exactly the two isolated solutions (1, 1) and (-1, -1)."""
+        report = solve_system(circle_and_line())
+        assert report.bezout_number == 2
+        assert report.paths_converged == 2
+        assert len(report.solutions) == 2
+        endpoints = sorted(round(s.as_complex()[0].real, 6) for s in report.solutions)
+        assert endpoints == [-1.0, 1.0]
+        for s in report.solutions:
+            x, y = s.as_complex()
+            assert abs(x - y) < 1e-8
+
+    def test_multiplicities_accumulate(self):
+        report = solve_system(circle_and_line())
+        total_multiplicity = sum(s.multiplicity for s in report.solutions)
+        assert total_multiplicity == report.paths_converged
+
+
+class TestDeduplication:
+    def make_result(self, point, residual=1e-12):
+        return PathResult(success=True, solution=list(point), residual=residual,
+                          steps_accepted=1, steps_rejected=0, newton_iterations=1)
+
+    def test_nearby_endpoints_merge_with_multiplicity(self):
+        results = [
+            self.make_result([1.0 + 0j, 2.0 + 0j], residual=1e-12),
+            self.make_result([1.0 + 1e-9j, 2.0 + 0j], residual=1e-14),
+            self.make_result([-1.0 + 0j, 2.0 + 0j], residual=1e-13),
+        ]
+        merged = _deduplicate(results, DOUBLE, tolerance=1e-6)
+        assert len(merged) == 2
+        clustered = next(s for s in merged if abs(s.as_complex()[0] - 1.0) < 1e-6)
+        assert clustered.multiplicity == 2
+        assert clustered.residual == 1e-14   # keeps the best residual
+        isolated = next(s for s in merged if abs(s.as_complex()[0] + 1.0) < 1e-6)
+        assert isolated.multiplicity == 1
+
+    def test_distinct_endpoints_stay_distinct(self):
+        results = [self.make_result([float(i) + 0j]) for i in range(5)]
+        merged = _deduplicate(results, DOUBLE, tolerance=1e-8)
+        assert len(merged) == 5
+
+    def test_relative_tolerance_scales_with_magnitude(self):
+        results = [
+            self.make_result([1e6 + 0j]),
+            self.make_result([1e6 * (1 + 1e-8) + 0j]),
+        ]
+        merged = _deduplicate(results, DOUBLE, tolerance=1e-6)
+        assert len(merged) == 1
+
+
+class TestBackends:
+    def test_double_double_context(self):
+        report = solve_system(decoupled_quadratics((2.0,)), context=DOUBLE_DOUBLE,
+                              options=TrackerOptions(end_tolerance=1e-25,
+                                                     end_iterations=20))
+        assert report.paths_converged == 2
+        for solution in report.solutions:
+            assert solution.residual < 1e-25
+
+    def test_gpu_evaluator_factory(self):
+        """Drive the paths with the simulated GPU pipeline.  The target must
+        be regular; the start system is evaluated on the CPU."""
+        system = decoupled_quadratics((2.0, 5.0))
+
+        def factory(s):
+            if s.regularity() is not None and s is system:
+                return GPUEvaluator(s, check_capacity=False)
+            return CPUReferenceEvaluator(s)
+
+        report = solve_system(system, evaluator_factory=factory)
+        assert report.paths_converged == 4
+        for solution in report.solutions:
+            x, y = solution.as_complex()
+            assert abs(x * x - 2.0) < 1e-7
+            assert abs(y * y - 5.0) < 1e-7

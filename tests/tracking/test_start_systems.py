@@ -1,0 +1,92 @@
+"""Tests for total-degree start systems and their solutions."""
+
+from __future__ import annotations
+
+import cmath
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+from repro.tracking import (
+    sample_start_solutions,
+    start_solutions,
+    total_degree,
+    total_degree_start_system,
+)
+
+
+def target_system():
+    """Degrees 2 and 3: Bezout number 6."""
+    p1 = Polynomial([
+        (1 + 0j, Monomial((0,), (2,))),
+        (1 + 0j, Monomial((1,), (1,))),
+        (-3 + 0j, Monomial((), ())),
+    ])
+    p2 = Polynomial([
+        (1 + 0j, Monomial((0, 1), (1, 2))),
+        (-1 + 0j, Monomial((), ())),
+    ])
+    return PolynomialSystem([p1, p2])
+
+
+class TestTotalDegree:
+    def test_bezout_number(self):
+        assert total_degree(target_system()) == 6
+
+    def test_constant_polynomial_counts_as_degree_one(self):
+        system = PolynomialSystem([Polynomial([(1 + 0j, Monomial((), ()))])], dimension=1)
+        assert total_degree(system) == 1
+
+
+class TestStartSystem:
+    def test_structure(self):
+        start = total_degree_start_system(target_system())
+        assert start.dimension == 2
+        # g_0 = x0^2 - 1, g_1 = x1^3 - 1.
+        assert str(start[0]).replace(" ", "") in ("(1+0j)*x0^2+(-1+0j)", "((1+0j))*x0^2+((-1+0j))")
+        assert start[0].total_degree == 2
+        assert start[1].total_degree == 3
+
+    def test_start_solutions_are_roots_of_unity(self):
+        start = total_degree_start_system(target_system())
+        solutions = list(start_solutions(target_system()))
+        assert len(solutions) == 6
+        for sol in solutions:
+            values = start.evaluate(sol)
+            assert all(abs(v) < 1e-12 for v in values)
+
+    def test_solutions_are_distinct(self):
+        solutions = list(start_solutions(target_system()))
+        rounded = {tuple(complex(round(z.real, 9), round(z.imag, 9)) for z in s)
+                   for s in solutions}
+        assert len(rounded) == 6
+
+
+class TestSampling:
+    def test_sampled_solutions_solve_the_start_system(self):
+        system = target_system()
+        start = total_degree_start_system(system)
+        samples = sample_start_solutions(system, 4, seed=1)
+        assert len(samples) == 4
+        for sol in samples:
+            assert all(abs(v) < 1e-12 for v in start.evaluate(sol))
+
+    def test_sampling_caps_at_bezout_number(self):
+        samples = sample_start_solutions(target_system(), 100, seed=2)
+        assert len(samples) == 6
+
+    def test_samples_are_distinct(self):
+        samples = sample_start_solutions(target_system(), 6, seed=3)
+        rounded = {tuple(complex(round(z.real, 9), round(z.imag, 9)) for z in s)
+                   for s in samples}
+        assert len(rounded) == 6
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            sample_start_solutions(target_system(), 0)
+
+    def test_reproducible(self):
+        a = sample_start_solutions(target_system(), 3, seed=11)
+        b = sample_start_solutions(target_system(), 3, seed=11)
+        assert a == b
