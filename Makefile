@@ -1,0 +1,22 @@
+# Single-command runners for the repository (no tox/nox needed).
+PY ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test test-all bench-batch bench-tables
+
+# Tier-1: the fast suite (pytest.ini deselects @pytest.mark.slow).
+test:
+	$(PY) -m pytest -q
+
+# Everything, including tests marked slow.
+test-all:
+	$(PY) -m pytest -q -m "slow or not slow"
+
+# Batched path-tracking throughput sweep (paths/sec vs batch size).
+bench-batch:
+	$(PY) benchmarks/bench_batch_tracking.py
+
+# Regenerate the paper-table benchmarks (explicit file list: bench_* files
+# are not collected by default).
+bench-tables:
+	$(PY) -m pytest benchmarks/bench_table1.py benchmarks/bench_table2.py -q -s

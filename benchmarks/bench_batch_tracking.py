@@ -1,0 +1,59 @@
+"""Application benchmark E2: batched path tracking throughput.
+
+The batched tracker drives all paths of a small regular system through the
+predictor/Newton-corrector loop as one structure-of-arrays batch, so every
+homotopy evaluation is one set of batched kernel launches instead of one set
+per path.  This benchmark sweeps the batch size and reports, per row,
+
+* measured batched evaluations and per-lane evaluations (identical per-lane
+  work across rows -- only the launch grouping changes),
+* the predicted device seconds under the calibrated GPU cost model and the
+  resulting throughput in paths per second,
+* the device-resident state of the batch (memory *and* time per workload),
+  and the wall-clock of the Python tracker itself, whose structure-of-arrays
+  arithmetic enjoys the same amortisation.
+
+Run as a script (``python benchmarks/bench_batch_tracking.py``) or through
+pytest (``pytest benchmarks/bench_batch_tracking.py -s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_batch_tracking_bench
+from repro.bench.reporting import format_table
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+
+BATCH_SIZES = (1, 2, 4, 8, 16, 32)
+DIMENSION = 5  # 2^5 = 32 paths: one full batch at the largest size
+
+
+def sweep(context, batch_sizes=BATCH_SIZES, dimension=DIMENSION):
+    rows = run_batch_tracking_bench(batch_sizes=batch_sizes,
+                                    dimension=dimension, context=context)
+    table = format_table([r.as_dict() for r in rows],
+                         title=f"batched tracking, cyclic quadratic n={dimension}, "
+                               f"context={context.name}")
+    return rows, table
+
+
+@pytest.mark.parametrize("context", [DOUBLE, DOUBLE_DOUBLE], ids=lambda c: c.name)
+def test_batch_tracking_throughput(context, write_result):
+    rows, table = sweep(context)
+    write_result(f"batch_tracking_{context.name}", table)
+
+    by_size = {r.batch_size: r for r in rows}
+    assert all(r.paths_converged == r.paths_tracked for r in rows)
+    # The acceptance target of the batched engine: at least a 2x throughput
+    # win at batch 32 over per-path launching under the same cost model.
+    win = by_size[32].paths_per_second / by_size[1].paths_per_second
+    assert win >= 2.0, f"batching win only {win:.2f}x"
+
+
+if __name__ == "__main__":
+    for context in (DOUBLE, DOUBLE_DOUBLE):
+        rows, table = sweep(context)
+        print(table)
+        win = rows[-1].paths_per_second / rows[0].paths_per_second
+        print(f"-> paths/sec win at batch {rows[-1].batch_size}: {win:.1f}x\n")

@@ -15,3 +15,11 @@ try:  # pragma: no cover - trivial import guard
     import repro  # noqa: F401
 except ModuleNotFoundError:  # pragma: no cover
     sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))
+
+
+def pytest_configure(config):
+    # Registered here as well as in pytest.ini so the marker exists even when
+    # the suite is run with an explicit -c pointing elsewhere.
+    config.addinivalue_line(
+        "markers", "slow: long-running tests excluded from the default (tier-1) run"
+    )

@@ -2,6 +2,11 @@
 plain-text reporting used by the scripts under ``benchmarks/`` and by the
 examples that reproduce the paper's tables."""
 
+from .batch_tracking import (
+    BatchTrackingRow,
+    cyclic_quadratic_system,
+    run_batch_tracking_bench,
+)
 from .harness import RowResult, run_table, run_workload, speedup_curve
 from .reporting import format_breakdown, format_paper_rows, format_table
 from .workloads import (
@@ -15,8 +20,11 @@ from .workloads import (
 )
 
 __all__ = [
+    "BatchTrackingRow",
     "EVALUATIONS_PER_RUN",
     "PaperRow",
+    "cyclic_quadratic_system",
+    "run_batch_tracking_bench",
     "RowResult",
     "TABLE1_ROWS",
     "TABLE1_WORKLOADS",

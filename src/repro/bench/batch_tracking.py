@@ -1,0 +1,167 @@
+"""Throughput benchmark for the batched path tracker: paths/sec vs batch size.
+
+The batched engine's promise is *throughput*: one kernel launch per batched
+homotopy evaluation instead of one per path, so the fixed launch overhead --
+which dominates at the paper's sizes -- amortises over the batch.  This
+module measures that promise end to end:
+
+1. the :class:`~repro.tracking.batch_tracker.BatchTracker` actually tracks
+   every path of a small regular target system (so the evaluation counts and
+   active-lane profile are *measured*, including paths retiring early);
+2. every batched homotopy evaluation is priced by the calibrated
+   :class:`~repro.gpusim.costmodel.GPUCostModel` as one set of kernel
+   launches covering the lanes that were still live (a homotopy evaluation
+   is two system evaluations -- start and target -- of three kernels each);
+3. each row reports throughput (paths per predicted device second) *and* the
+   device-resident state footprint of the batch -- following the efficiency
+   literature's advice to report memory alongside time per workload.
+
+At batch size 1 this collapses to per-path launching, which is the scalar
+baseline; the acceptance target of the batched engine is a >= 2x paths/sec
+win at batch size 32 under the same cost model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.evaluator import GPUEvaluator
+from ..gpusim.costmodel import GPUCostModel
+from ..multiprec.numeric import DOUBLE_DOUBLE, NumericContext
+from ..polynomials.generators import random_point
+from ..polynomials.monomial import Monomial
+from ..polynomials.polynomial import Polynomial
+from ..polynomials.system import PolynomialSystem
+from ..tracking.batch_tracker import BatchTracker
+from ..tracking.start_systems import start_solutions, total_degree_start_system
+from ..tracking.tracker import TrackerOptions
+
+__all__ = [
+    "BatchTrackingRow",
+    "cyclic_quadratic_system",
+    "run_batch_tracking_bench",
+]
+
+#: kernel launches of one homotopy evaluation: start + target system,
+#: three kernels each (common factor, Speelpenning, summation).
+SYSTEMS_PER_HOMOTOPY_EVALUATION = 2
+
+
+@dataclass
+class BatchTrackingRow:
+    """One batch size of the throughput sweep."""
+
+    batch_size: int
+    paths_tracked: int
+    paths_converged: int
+    batched_evaluations: int
+    lane_evaluations: int
+    predicted_device_seconds: float
+    paths_per_second: float
+    state_bytes: int
+    tracker_wall_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "batch": self.batch_size,
+            "paths": self.paths_tracked,
+            "converged": self.paths_converged,
+            "batched_evals": self.batched_evaluations,
+            "lane_evals": self.lane_evaluations,
+            "device_s": self.predicted_device_seconds,
+            "paths_per_s": self.paths_per_second,
+            "state_KiB": self.state_bytes / 1024.0,
+            "wall_s": self.tracker_wall_seconds,
+        }
+
+
+def cyclic_quadratic_system(dimension: int) -> PolynomialSystem:
+    """The benchmark target ``x_i^2 = x_{i+1 mod n}``.
+
+    Regular in the paper's sense (m = 2 monomials per polynomial, k = 1
+    variable per monomial), so the simulated device accepts it, with
+    ``2^n`` well-separated solution paths from the total-degree start
+    system -- a clean tracking workload whose path count scales with the
+    dimension.
+    """
+    polys = []
+    for i in range(dimension):
+        polys.append(Polynomial([
+            (1 + 0j, Monomial((i,), (2,))),
+            (-1 + 0j, Monomial(((i + 1) % dimension,), (1,))),
+        ]))
+    return PolynomialSystem(polys, dimension=dimension)
+
+
+def batch_state_bytes(batch_size: int, dimension: int,
+                      context: NumericContext) -> int:
+    """Device-resident bytes of one in-flight batch.
+
+    Counts the complex lane arrays a batched corrector keeps live -- the
+    points, the predictor history, the value rows and the Jacobian
+    (``3n + n^2`` complex entries per lane, each two reals of the context's
+    ``bytes_per_real``) -- plus the per-lane control state of the
+    :class:`~repro.tracking.batch_tracker.PathBatch`: four float64 arrays
+    (t, prev_t, dt, residual), three int64 counters, two bools and one
+    int8 status, 59 bytes per lane.
+    """
+    complex_entries = batch_size * (3 * dimension + dimension * dimension)
+    control = batch_size * (4 * 8 + 3 * 8 + 2 * 1 + 1)
+    return complex_entries * 2 * context.bytes_per_real + control
+
+
+def run_batch_tracking_bench(batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                             dimension: int = 5,
+                             context: NumericContext = DOUBLE_DOUBLE,
+                             options: Optional[TrackerOptions] = None,
+                             cost_model: Optional[GPUCostModel] = None,
+                             system: Optional[PolynomialSystem] = None,
+                             ) -> List[BatchTrackingRow]:
+    """Track all paths of the benchmark system at each batch size.
+
+    The same start solutions are tracked at every batch size (chunked into
+    batches), so rows differ only in how the *measured* evaluation profile
+    is priced: per-lane launches at batch 1 versus amortised batched
+    launches above.
+    """
+    model = cost_model or GPUCostModel()
+    target = system or cyclic_quadratic_system(dimension)
+    dimension = target.dimension
+    start = total_degree_start_system(target)
+    starts = list(start_solutions(target))
+
+    # The per-point launch template: one measured evaluation of the target
+    # on the simulated device.  The start system x_i^d - 1 is irregular
+    # (its constant monomials have k = 0), so its three launches are priced
+    # with the same template -- an upper bound, since the start system's
+    # supports are never wider than the target's.
+    template = GPUEvaluator(target, context=context, collect_memory_trace=False)
+    stats = template.evaluate(random_point(dimension, seed=7)).launch_stats
+
+    rows: List[BatchTrackingRow] = []
+    for batch_size in batch_sizes:
+        tracker = BatchTracker(start, target, context=context,
+                               options=options, batch_size=batch_size)
+        began = time.perf_counter()
+        outcome = tracker.track_batches(starts)
+        wall = time.perf_counter() - began
+
+        predicted = sum(
+            SYSTEMS_PER_HOMOTOPY_EVALUATION
+            * model.batched_evaluation_time(stats, lanes, context)
+            for lanes in outcome.evaluation_log
+        )
+        rows.append(BatchTrackingRow(
+            batch_size=int(batch_size),
+            paths_tracked=len(starts),
+            paths_converged=outcome.paths_converged,
+            batched_evaluations=outcome.batched_evaluations,
+            lane_evaluations=outcome.lane_evaluations,
+            predicted_device_seconds=predicted,
+            paths_per_second=len(starts) / predicted if predicted else float("inf"),
+            state_bytes=batch_state_bytes(int(batch_size), dimension, context),
+            tracker_wall_seconds=wall,
+        ))
+    return rows

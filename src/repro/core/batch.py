@@ -14,22 +14,40 @@ of a path tracker, which keeps the coefficients, support tables and the padded
 * it cross-checks a configurable fraction of the batch against the sequential
   reference, which is how a long production run would guard against silent
   corruption.
+
+:class:`VectorisedBatchEvaluator` is the structure-of-arrays sibling that the
+batched path tracker drives: it evaluates the system and its Jacobian at *B*
+points at once, with the points stored lane-wise in an ``(n, B)`` batch array
+(see :mod:`repro.multiprec.backend`).  Per monomial it applies exactly the
+paper's factorisation -- the common factor ``x^(a-1)`` of kernel 1 and the
+Speelpenning forward/backward sweep of kernel 2, reusing
+:func:`repro.polynomials.speelpenning.speelpenning_gradient` verbatim on
+arrays -- so every lane performs the same operation sequence a per-path
+kernel launch would.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..gpusim.costmodel import CPUCostModel, GPUCostModel
+from ..multiprec.backend import ComplexBatchBackend, backend_for_context
 from ..multiprec.numeric import DOUBLE, NumericContext
+from ..polynomials.speelpenning import speelpenning_gradient
 from ..polynomials.system import PolynomialSystem
 from .cpu_reference import CPUReferenceEvaluator
 from .evaluator import GPUEvaluation, GPUEvaluator
 from .validation import compare_evaluations
 
-__all__ = ["BatchStatistics", "BatchResult", "BatchEvaluator"]
+__all__ = [
+    "BatchStatistics",
+    "BatchResult",
+    "BatchEvaluator",
+    "BatchSystemEvaluation",
+    "VectorisedBatchEvaluator",
+]
 
 
 @dataclass
@@ -161,3 +179,122 @@ class BatchEvaluator:
             "predicted_cpu_seconds": cpu_seconds,
             "predicted_speedup": (cpu_seconds / gpu_seconds) if gpu_seconds else float("inf"),
         }
+
+
+# ----------------------------------------------------------------------
+# structure-of-arrays evaluation for the batched tracker
+# ----------------------------------------------------------------------
+@dataclass
+class BatchSystemEvaluation:
+    """Values and Jacobian of one system at ``B`` points, lane-wise.
+
+    ``values[i]`` is a ``(B,)`` batch array; ``jacobian[i][j]`` likewise.
+    """
+
+    values: List
+    jacobian: List[List]
+
+    @property
+    def dimension(self) -> int:
+        return len(self.values)
+
+
+class VectorisedBatchEvaluator:
+    """Evaluate a polynomial system and Jacobian at a lane batch of points.
+
+    Parameters
+    ----------
+    system:
+        Any square :class:`~repro.polynomials.system.PolynomialSystem`
+        (regularity is *not* required -- unlike the simulated device, the
+        structure-of-arrays path handles ragged supports).
+    backend:
+        A :class:`~repro.multiprec.backend.ComplexBatchBackend`; defaults to
+        the backend of ``context``.
+    context:
+        Scalar arithmetic used when no backend is given.
+    """
+
+    def __init__(self, system: PolynomialSystem, *,
+                 backend: Optional[ComplexBatchBackend] = None,
+                 context: NumericContext = DOUBLE):
+        if not system.is_square():
+            raise ConfigurationError("batched evaluation needs a square system")
+        self.system = system
+        self.backend = backend or backend_for_context(context)
+        self.dimension = system.dimension
+        # Flatten each polynomial into (coeff, positions, exponents) triples
+        # once; evaluate() walks this flat structure per batch.
+        self._terms: List[List[Tuple[complex, Tuple[int, ...], Tuple[int, ...]]]] = [
+            [(coeff, mono.positions, mono.exponents) for coeff, mono in poly.terms]
+            for poly in system
+        ]
+
+    def evaluate(self, points) -> BatchSystemEvaluation:
+        """Evaluate at an ``(n, B)`` batch array of points.
+
+        Per monomial ``x^a`` the batch computes, vectorised over the lanes:
+
+        1. the common factor ``cf = x^(a-1)`` (kernel 1's job),
+        2. the Speelpenning product of the occurring variables and all its
+           partial derivatives by the forward/backward sweep (kernel 2),
+        3. ``value = coeff * cf * product`` and
+           ``d/dx_p = coeff * a_p * cf * grad_p`` accumulated into the value
+           row and Jacobian rows (kernel 3's summation).
+        """
+        backend = self.backend
+        n = self.dimension
+        lanes = points.shape[1] if len(points.shape) > 1 else points.shape[0]
+
+        values: List = []
+        jacobian: List[List] = []
+        for poly_terms in self._terms:
+            value = None
+            row: List = [None] * n
+            for coeff, positions, exponents in poly_terms:
+                k = len(positions)
+                if k == 0:
+                    constant = backend.full((lanes,), coeff)
+                    value = constant if value is None else value + constant
+                    continue
+
+                factors = [points[p] for p in positions]
+
+                # Kernel 1: the common factor x^(a-1) over the occurring
+                # variables (absent when every exponent is 1).
+                common = None
+                for factor, exponent in zip(factors, exponents):
+                    if exponent > 1:
+                        power = factor ** (exponent - 1)
+                        common = power if common is None else common * power
+
+                # Kernel 2: Speelpenning product and gradient, the generic
+                # scalar algorithm applied to (B,) arrays.  The last
+                # gradient entry is the forward product of all-but-the-last
+                # factor, so the full product costs one more multiplication.
+                gradient, _ = speelpenning_gradient(factors)
+                if k == 1:
+                    product = factors[0]
+                else:
+                    product = gradient[-1] * factors[-1]
+
+                monomial_value = product if common is None else common * product
+                term_value = coeff * monomial_value
+                value = term_value if value is None else value + term_value
+
+                for j, (p, exponent) in enumerate(zip(positions, exponents)):
+                    grad_j = gradient[j]
+                    scale = coeff * exponent
+                    if isinstance(grad_j, (int, float)):
+                        # k == 1: the product's derivative is the constant 1.
+                        contribution = (common * scale if common is not None
+                                        else backend.full((lanes,), scale))
+                    else:
+                        base = grad_j if common is None else common * grad_j
+                        contribution = scale * base
+                    row[p] = contribution if row[p] is None else row[p] + contribution
+
+            values.append(value if value is not None else backend.zeros((lanes,)))
+            jacobian.append([entry if entry is not None else backend.zeros((lanes,))
+                             for entry in row])
+        return BatchSystemEvaluation(values=values, jacobian=jacobian)

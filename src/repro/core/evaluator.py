@@ -63,6 +63,18 @@ class GPUEvaluation:
         model = cost_model or GPUCostModel()
         return model.evaluation_time(self.launch_stats, context)
 
+    def predicted_batched_device_time(self, batch_size: int,
+                                      cost_model: Optional[GPUCostModel] = None,
+                                      context: NumericContext = DOUBLE) -> float:
+        """Predicted wall-clock when the same kernels cover a whole batch.
+
+        Treats this evaluation's launch statistics as the per-point template
+        and prices one launch per kernel for ``batch_size`` points (see
+        :meth:`repro.gpusim.costmodel.GPUCostModel.batched_evaluation_time`).
+        """
+        model = cost_model or GPUCostModel()
+        return model.batched_evaluation_time(self.launch_stats, batch_size, context)
+
 
 class GPUEvaluator:
     """Evaluate a regular polynomial system and its Jacobian on the simulator.

@@ -48,6 +48,27 @@ class MemoryAccessError(KernelExecutionError):
     """A simulated thread accessed memory out of bounds or uninitialised."""
 
 
+class NumericalError(ReproError):
+    """A numeric kernel met an operand for which the operation is undefined.
+
+    The multiprecision arithmetic is built from error-free transformations
+    that silently produce NaN/inf once fed an invalid operand; the numeric
+    classes check the cases that *create* invalid values (division by an
+    exact zero, 0**0) and raise this family of errors instead, so that a
+    batched tracker can attribute a poisoned lane to a cause.  NaN operands
+    themselves propagate element-wise, as IEEE arithmetic does.
+    """
+
+
+class DivisionByZeroError(NumericalError, ZeroDivisionError):
+    """Division by an exact zero in one of the software arithmetics.
+
+    Subclasses :class:`ZeroDivisionError` so existing callers that guard
+    with the built-in exception keep working, while new code can catch the
+    :class:`ReproError` hierarchy uniformly.
+    """
+
+
 class SingularMatrixError(ReproError):
     """The linear solver met a (numerically) singular Jacobian."""
 

@@ -142,6 +142,47 @@ class GPUCostModel:
         """Total predicted time of the kernels of one evaluation (seconds)."""
         return sum(self.kernel_time(s, context).total for s in all_stats)
 
+    # -- batched launches ---------------------------------------------------
+    def batched_kernel_time(self, stats: LaunchStats, batch_size: int,
+                            context: NumericContext = DOUBLE) -> KernelTimeBreakdown:
+        """Predicted wall-clock of one launch covering ``batch_size`` points.
+
+        A batched tracker uploads the whole lane batch and launches each
+        kernel *once* per batch instead of once per path, so the fixed
+        host-side launch overhead -- which dominates at the paper's sizes
+        (300,000 launches for 100,000 evaluations) -- is paid a single time.
+        The per-point work does not vanish: arithmetic, memory-throughput
+        and bank-conflict terms scale linearly with the batch, and the grid
+        grows by the same factor, so the exposed-latency term (charged per
+        block wave) scales too.  What the batch buys is amortisation of the
+        launch overhead, exactly the effect the throughput benchmark
+        measures.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        single = self.kernel_time(stats, context)
+        b = float(batch_size)
+        return KernelTimeBreakdown(
+            kernel_name=single.kernel_name,
+            launch_overhead=single.launch_overhead,
+            arithmetic=single.arithmetic * b,
+            memory_throughput=single.memory_throughput * b,
+            memory_latency=single.memory_latency * b,
+            bank_conflicts=single.bank_conflicts * b,
+        )
+
+    def batched_evaluation_time(self, all_stats: Iterable[LaunchStats],
+                                batch_size: int,
+                                context: NumericContext = DOUBLE) -> float:
+        """Predicted seconds for one *batched* evaluation of the system.
+
+        The per-path equivalent (``batch_size`` separate evaluations) is
+        ``batch_size * evaluation_time(...)``; the ratio of the two is the
+        throughput win of batching under this model.
+        """
+        return sum(self.batched_kernel_time(s, batch_size, context).total
+                   for s in all_stats)
+
     def _per_sm(self, stats: LaunchStats, attribute: str) -> Dict[int, int]:
         block_to_sm: Dict[int, int] = {}
         for sm, blocks in stats.schedule.assignments.items():

@@ -1,0 +1,233 @@
+"""Batch array backends: one arithmetic, many solution paths side by side.
+
+The batched path-tracking engine stores the state of ``B`` paths of an
+``n``-dimensional homotopy as a single ``(n, B)`` array -- a structure of
+arrays with one *lane* (column) per path.  This module abstracts the two
+array types that can hold such a batch:
+
+* hardware ``complex128`` NumPy arrays (the ``d`` context), and
+* :class:`~repro.multiprec.ddarray.ComplexDDArray` (the ``dd`` context),
+  whose element-wise operation sequences are bit-for-bit identical to the
+  scalar :class:`~repro.multiprec.complex_dd.ComplexDD` loops.
+
+Both support ``+ - * /``, unary minus, NumPy-style indexing and broadcasting
+against ``(B,)`` weight vectors, so the batched evaluator, linear solver and
+tracker are written once against this small :class:`ComplexBatchBackend`
+interface.  Quad-double has no vectorised array type yet (see ROADMAP open
+items); requesting it raises :class:`~repro.errors.ConfigurationError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .complex_dd import ComplexDD
+from .ddarray import ComplexDDArray, DDArray
+from .double_double import DoubleDouble
+from .numeric import DOUBLE, DOUBLE_DOUBLE, NumericContext
+
+__all__ = [
+    "ComplexBatchBackend",
+    "Complex128Backend",
+    "ComplexDDBackend",
+    "COMPLEX128_BACKEND",
+    "COMPLEX_DD_BACKEND",
+    "backend_for_context",
+]
+
+BatchArray = Union[np.ndarray, ComplexDDArray]
+
+
+class ComplexBatchBackend:
+    """Interface of a batch array backend (see module docstring).
+
+    Concrete backends provide construction, masked selection, double-rounded
+    magnitudes (for pivoting and norms -- control decisions, not results),
+    stacking of rows, and conversion back to the context's scalar type.
+    """
+
+    name: str = "?"
+    context: NumericContext
+
+    # -- construction ---------------------------------------------------
+    def from_points(self, points: Sequence[Sequence]) -> BatchArray:
+        """Pack ``B`` solution vectors into an ``(n, B)`` lane array."""
+        raise NotImplementedError
+
+    def zeros(self, shape) -> BatchArray:
+        raise NotImplementedError
+
+    def ones(self, shape) -> BatchArray:
+        raise NotImplementedError
+
+    def full(self, shape, value: complex) -> BatchArray:
+        raise NotImplementedError
+
+    # -- structure ------------------------------------------------------
+    def stack(self, rows: Sequence[BatchArray]) -> BatchArray:
+        """Stack ``n`` lane vectors of shape ``(B,)`` into ``(n, B)``."""
+        raise NotImplementedError
+
+    def copy(self, array: BatchArray) -> BatchArray:
+        raise NotImplementedError
+
+    # -- masked selection ----------------------------------------------
+    def where(self, mask: np.ndarray, a, b) -> BatchArray:
+        """``a`` where ``mask`` else ``b`` (mask broadcasts NumPy-style)."""
+        raise NotImplementedError
+
+    # -- rounding / inspection ------------------------------------------
+    def magnitude(self, array: BatchArray) -> np.ndarray:
+        """Element-wise ``|z|`` rounded to hardware doubles.
+
+        Used for pivot selection and convergence norms: following
+        :mod:`repro.tracking.linsolve`, control decisions are taken on
+        double-rounded magnitudes while the data stays in the working
+        arithmetic.
+        """
+        raise NotImplementedError
+
+    def to_complex128(self, array: BatchArray) -> np.ndarray:
+        raise NotImplementedError
+
+    def lane_scalars(self, array: BatchArray, lane: int) -> List:
+        """Column ``lane`` of an ``(n, B)`` array as context scalars."""
+        raise NotImplementedError
+
+
+class Complex128Backend(ComplexBatchBackend):
+    """Hardware complex doubles: plain ``complex128`` ndarrays."""
+
+    name = "d"
+    context = DOUBLE
+
+    def from_points(self, points: Sequence[Sequence]) -> np.ndarray:
+        columns = [[complex(x) for x in point] for point in points]
+        return np.array(columns, dtype=np.complex128).T
+
+    def zeros(self, shape) -> np.ndarray:
+        return np.zeros(shape, dtype=np.complex128)
+
+    def ones(self, shape) -> np.ndarray:
+        return np.ones(shape, dtype=np.complex128)
+
+    def full(self, shape, value: complex) -> np.ndarray:
+        return np.full(shape, complex(value), dtype=np.complex128)
+
+    def stack(self, rows: Sequence[np.ndarray]) -> np.ndarray:
+        return np.stack([np.asarray(r, dtype=np.complex128) for r in rows])
+
+    def copy(self, array: np.ndarray) -> np.ndarray:
+        return np.array(array, dtype=np.complex128, copy=True)
+
+    def where(self, mask, a, b) -> np.ndarray:
+        return np.where(np.asarray(mask, dtype=bool), a, b)
+
+    def magnitude(self, array: np.ndarray) -> np.ndarray:
+        return np.abs(array)
+
+    def to_complex128(self, array: np.ndarray) -> np.ndarray:
+        return np.asarray(array, dtype=np.complex128)
+
+    def lane_scalars(self, array: np.ndarray, lane: int) -> List[complex]:
+        return [complex(z) for z in array[:, lane]]
+
+
+class ComplexDDBackend(ComplexBatchBackend):
+    """Complex double-doubles stored as four float64 planes (SoA)."""
+
+    name = "dd"
+    context = DOUBLE_DOUBLE
+
+    def from_points(self, points: Sequence[Sequence]) -> ComplexDDArray:
+        n = len(points[0]) if points else 0
+        b = len(points)
+        re_hi = np.zeros((n, b))
+        re_lo = np.zeros((n, b))
+        im_hi = np.zeros((n, b))
+        im_lo = np.zeros((n, b))
+        for lane, point in enumerate(points):
+            if len(point) != n:
+                raise ConfigurationError("all start solutions must have the same dimension")
+            for i, x in enumerate(point):
+                if isinstance(x, ComplexDD):
+                    re_hi[i, lane], re_lo[i, lane] = x.real.hi, x.real.lo
+                    im_hi[i, lane], im_lo[i, lane] = x.imag.hi, x.imag.lo
+                elif isinstance(x, DoubleDouble):
+                    re_hi[i, lane], re_lo[i, lane] = x.hi, x.lo
+                else:
+                    z = complex(x)
+                    re_hi[i, lane], im_hi[i, lane] = z.real, z.imag
+        return ComplexDDArray(DDArray(re_hi, re_lo), DDArray(im_hi, im_lo))
+
+    def zeros(self, shape) -> ComplexDDArray:
+        return ComplexDDArray.zeros(shape)
+
+    def ones(self, shape) -> ComplexDDArray:
+        return ComplexDDArray(DDArray.ones(shape), DDArray.zeros(shape))
+
+    def full(self, shape, value: complex) -> ComplexDDArray:
+        value = complex(value)
+        return ComplexDDArray(DDArray(np.full(shape, value.real)),
+                              DDArray(np.full(shape, value.imag)))
+
+    def stack(self, rows: Sequence[ComplexDDArray]) -> ComplexDDArray:
+        rows = [r if isinstance(r, ComplexDDArray)
+                else ComplexDDArray.from_complex128(np.asarray(r, dtype=np.complex128))
+                for r in rows]
+        real = DDArray(np.stack([r.real.hi for r in rows]),
+                       np.stack([r.real.lo for r in rows]))
+        imag = DDArray(np.stack([r.imag.hi for r in rows]),
+                       np.stack([r.imag.lo for r in rows]))
+        return ComplexDDArray(real, imag)
+
+    def copy(self, array: ComplexDDArray) -> ComplexDDArray:
+        return array.copy()
+
+    def where(self, mask, a, b) -> ComplexDDArray:
+        return ComplexDDArray.where(mask, a, b)
+
+    def magnitude(self, array: ComplexDDArray) -> np.ndarray:
+        return array.abs_double()
+
+    def to_complex128(self, array: ComplexDDArray) -> np.ndarray:
+        return array.to_complex128()
+
+    def lane_scalars(self, array: ComplexDDArray, lane: int) -> List[ComplexDD]:
+        re_hi = array.real.hi[:, lane]
+        re_lo = array.real.lo[:, lane]
+        im_hi = array.imag.hi[:, lane]
+        im_lo = array.imag.lo[:, lane]
+        return [ComplexDD(DoubleDouble(float(rh), float(rl)),
+                          DoubleDouble(float(ih), float(il)))
+                for rh, rl, ih, il in zip(re_hi, re_lo, im_hi, im_lo)]
+
+
+COMPLEX128_BACKEND = Complex128Backend()
+COMPLEX_DD_BACKEND = ComplexDDBackend()
+
+_BACKENDS = {
+    "d": COMPLEX128_BACKEND,
+    "dd": COMPLEX_DD_BACKEND,
+}
+
+
+def backend_for_context(context: NumericContext) -> ComplexBatchBackend:
+    """The batch backend matching a scalar numeric context.
+
+    Raises
+    ------
+    ConfigurationError
+        For contexts without a vectorised array type (currently ``qd``).
+    """
+    backend = _BACKENDS.get(context.name)
+    if backend is None:
+        raise ConfigurationError(
+            f"no batch array backend for numeric context {context.name!r}; "
+            f"available: {sorted(_BACKENDS)} (quad-double batching is an "
+            f"open ROADMAP item)"
+        )
+    return backend

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Tuple, Union
 
+from ..errors import DivisionByZeroError
 from .double_double import DoubleDouble, dd
 
 __all__ = ["ComplexDD", "cdd"]
@@ -148,7 +149,7 @@ class ComplexDD:
         a, b, c, d = self.real, self.imag, o.real, o.imag
         denom = c * c + d * d
         if denom.is_zero():
-            raise ZeroDivisionError("ComplexDD division by zero")
+            raise DivisionByZeroError("ComplexDD division by zero")
         return ComplexDD((a * c + b * d) / denom, (b * c - a * d) / denom)
 
     def __rtruediv__(self, other) -> "ComplexDD":

@@ -20,6 +20,7 @@ from typing import Iterable, Tuple, Union
 
 import numpy as np
 
+from ..errors import DivisionByZeroError
 from .complex_dd import ComplexDD
 from .double_double import DoubleDouble
 from .eft import quick_two_sum, two_diff, two_prod, two_sum
@@ -160,6 +161,15 @@ class DDArray:
 
     def __truediv__(self, other) -> "DDArray":
         o = _coerce(other, like=self.hi)
+        # A normalised double-double is zero exactly when its hi component is
+        # zero; dividing would silently fill the lane with inf/NaN.  NaN
+        # denominators are *not* trapped: a NaN operand propagates
+        # element-wise, poisoning only its own lane.
+        if np.any(o.hi == 0.0):
+            raise DivisionByZeroError(
+                f"DDArray division by zero in "
+                f"{int(np.count_nonzero(o.hi == 0.0))} element(s)"
+            )
         q1 = self.hi / o.hi
         r = self - o * _raw(q1, np.zeros_like(q1))
         q2 = r.hi / o.hi
@@ -186,6 +196,27 @@ class DDArray:
         return result
 
     # ------------------------------------------------------------------
+    # masked selection (the primitive behind per-path retirement in the
+    # batched tracker: lanes are switched on and off without data movement)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def where(mask, a, b) -> "DDArray":
+        """Element-wise select: ``a`` where ``mask`` is true, else ``b``.
+
+        ``mask`` broadcasts against the operands (NumPy rules), so a per-lane
+        mask of shape ``(B,)`` selects whole columns of ``(n, B)`` arrays.
+        Scalars (:class:`DoubleDouble`, floats) broadcast like NumPy scalars.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        a_hi, a_lo = _components(a)
+        b_hi, b_lo = _components(b)
+        return _raw(np.where(mask, a_hi, b_hi), np.where(mask, a_lo, b_lo))
+
+    def masked_fill(self, mask, value) -> "DDArray":
+        """Copy with elements under ``mask`` replaced by ``value``."""
+        return DDArray.where(mask, value, self)
+
+    # ------------------------------------------------------------------
     # reductions and element-wise helpers
     # ------------------------------------------------------------------
     def sum(self, axis=None) -> Union["DDArray", DoubleDouble]:
@@ -209,9 +240,19 @@ class DDArray:
         out.lo = np.where(negative, -self.lo, self.lo)
         return out
 
-    def max_abs(self) -> float:
-        """Largest magnitude, rounded to double (used for norms/tolerances)."""
-        return float(np.max(np.abs(self.hi + self.lo))) if self.size else 0.0
+    def abs_double(self) -> np.ndarray:
+        """Per-element magnitude rounded to a hardware double."""
+        return np.abs(self.hi + self.lo)
+
+    def max_abs(self, axis=None) -> Union[float, np.ndarray]:
+        """Largest magnitude, rounded to double (used for norms/tolerances).
+
+        With ``axis`` the reduction runs along that axis and returns a float
+        array -- the per-path infinity norms of a batch stored column-wise.
+        """
+        if axis is None:
+            return float(np.max(self.abs_double())) if self.size else 0.0
+        return np.max(self.abs_double(), axis=axis, initial=0.0)
 
     def allclose(self, other: "DDArray", tol: float = 1e-30) -> bool:
         diff = (self - other).abs()
@@ -224,6 +265,16 @@ def _raw(hi: np.ndarray, lo: np.ndarray) -> DDArray:
     out.hi = hi
     out.lo = lo
     return out
+
+
+def _components(value) -> Tuple[np.ndarray, np.ndarray]:
+    """The (hi, lo) pair of anything coercible, without forcing a shape."""
+    if isinstance(value, DDArray):
+        return value.hi, value.lo
+    if isinstance(value, DoubleDouble):
+        return np.float64(value.hi), np.float64(value.lo)
+    arr = np.asarray(value, dtype=np.float64)
+    return arr, np.zeros_like(arr)
 
 
 def _coerce(value, like) -> DDArray:
@@ -361,7 +412,19 @@ class ComplexDDArray:
         o = self._coerce(other)
         a, b, c, d = self.real, self.imag, o.real, o.imag
         denom = c * c + d * d
+        # Mirror the scalar ComplexDD check: |z|^2 == 0 means the divisor is
+        # an exact zero (or underflowed to one), which would otherwise fill
+        # the lane with silent NaN.  NaN divisors propagate instead of
+        # raising, exactly as in the element-wise real case.
+        if np.any(denom.hi == 0.0):
+            raise DivisionByZeroError(
+                f"ComplexDDArray division by zero in "
+                f"{int(np.count_nonzero(denom.hi == 0.0))} element(s)"
+            )
         return ComplexDDArray((a * c + b * d) / denom, (b * c - a * d) / denom)
+
+    def __rtruediv__(self, other) -> "ComplexDDArray":
+        return self._coerce(other) / self
 
     def __pow__(self, exponent: int) -> "ComplexDDArray":
         if not isinstance(exponent, int) or exponent < 0:
@@ -384,18 +447,51 @@ class ComplexDDArray:
             return ComplexDD(r, i)
         return ComplexDDArray(r, i)
 
+    @staticmethod
+    def where(mask, a, b) -> "ComplexDDArray":
+        """Element-wise select, broadcasting like :meth:`DDArray.where`."""
+        a_re, a_im = _complex_parts(a)
+        b_re, b_im = _complex_parts(b)
+        return ComplexDDArray(DDArray.where(mask, a_re, b_re),
+                              DDArray.where(mask, a_im, b_im))
+
+    def masked_fill(self, mask, value) -> "ComplexDDArray":
+        """Copy with elements under ``mask`` replaced by ``value``."""
+        return ComplexDDArray.where(mask, value, self)
+
     def conjugate(self) -> "ComplexDDArray":
         return ComplexDDArray(self.real, -self.imag)
 
     def abs2(self) -> DDArray:
         return self.real * self.real + self.imag * self.imag
 
-    def max_abs(self) -> float:
-        if self.size == 0:
-            return 0.0
-        return float(np.max(np.sqrt((self.abs2()).to_float64())))
+    def abs_double(self) -> np.ndarray:
+        """Per-element magnitude rounded to a hardware double."""
+        return np.abs(self.to_complex128())
+
+    def max_abs(self, axis=None) -> Union[float, np.ndarray]:
+        if axis is None:
+            if self.size == 0:
+                return 0.0
+            return float(np.max(np.sqrt((self.abs2()).to_float64())))
+        return np.max(np.sqrt(np.maximum((self.abs2()).to_float64(), 0.0)),
+                      axis=axis, initial=0.0)
 
     def allclose(self, other: "ComplexDDArray", tol: float = 1e-30) -> bool:
         diff = self - other
         scale = max(self.max_abs(), other.max_abs(), 1.0)
         return diff.max_abs() <= tol * scale
+
+
+def _complex_parts(value) -> Tuple[Union[DDArray, DoubleDouble], Union[DDArray, DoubleDouble]]:
+    """Split anything coercible into (real, imag) usable by DDArray.where."""
+    if isinstance(value, ComplexDDArray):
+        return value.real, value.imag
+    if isinstance(value, ComplexDD):
+        return value.real, value.imag
+    if isinstance(value, DDArray):
+        return value, np.zeros_like(value.hi)
+    if isinstance(value, DoubleDouble):
+        return value, 0.0
+    arr = np.asarray(value, dtype=np.complex128)
+    return arr.real, arr.imag

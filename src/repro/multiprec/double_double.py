@@ -20,6 +20,7 @@ import math
 from fractions import Fraction
 from typing import Tuple, Union
 
+from ..errors import DivisionByZeroError
 from .eft import quick_two_sum, two_diff, two_prod, two_sqr, two_sum
 
 __all__ = ["DoubleDouble", "dd"]
@@ -349,7 +350,7 @@ def _mul(a: DoubleDouble, b: DoubleDouble) -> DoubleDouble:
 def _div(a: DoubleDouble, b: DoubleDouble) -> DoubleDouble:
     """Accurate division: three quotient corrections (QD's ``accurate_div``)."""
     if b.hi == 0.0 and b.lo == 0.0:
-        raise ZeroDivisionError("DoubleDouble division by zero")
+        raise DivisionByZeroError("DoubleDouble division by zero")
     q1 = a.hi / b.hi
     r = _sub(a, _mul(DoubleDouble(q1), b))
     q2 = r.hi / b.hi

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Tuple
 
+from ..errors import DivisionByZeroError
 from .complex_dd import ComplexDD
 from .double_double import DoubleDouble
 from .quad_double import QuadDouble
@@ -102,7 +103,7 @@ class ComplexQD:
         a, b, c, d = self.real, self.imag, o.real, o.imag
         denom = c * c + d * d
         if denom.is_zero():
-            raise ZeroDivisionError("ComplexQD division by zero")
+            raise DivisionByZeroError("ComplexQD division by zero")
         return ComplexQD((a * c + b * d) / denom, (b * c - a * d) / denom)
 
     def __rtruediv__(self, other):

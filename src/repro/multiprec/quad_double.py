@@ -19,6 +19,7 @@ import math
 from fractions import Fraction
 from typing import Iterable, Tuple, Union
 
+from ..errors import DivisionByZeroError
 from .double_double import DoubleDouble
 from .eft import quick_two_sum, two_diff, two_prod, two_sum
 
@@ -411,7 +412,7 @@ def _qd_mul(a: QuadDouble, b: QuadDouble) -> QuadDouble:
 def _qd_div(a: QuadDouble, b: QuadDouble) -> QuadDouble:
     """Iterated-correction division (QD's ``sloppy_div``)."""
     if b.is_zero():
-        raise ZeroDivisionError("QuadDouble division by zero")
+        raise DivisionByZeroError("QuadDouble division by zero")
     q0 = a.c[0] / b.c[0]
     r = a - b * QuadDouble(q0)
     q1 = r.c[0] / b.c[0]

@@ -14,10 +14,23 @@ the evaluators can be exercised end to end:
   accounting of the paper's introduction.
 """
 
-from .homotopy import Homotopy, HomotopyEvaluation
+from .batch_linsolve import batched_solve
+from .batch_tracker import BatchTracker, BatchTrackResult, PathBatch, PathStatus
+from .homotopy import BatchHomotopy, BatchHomotopyEvaluation, Homotopy, HomotopyEvaluation
 from .linsolve import lu_factor, lu_solve, residual_norm, solve, vector_norm
-from .newton import NewtonCorrector, NewtonResult, NewtonStep
-from .predictor import SecantPredictor, TangentPredictor
+from .newton import (
+    BatchNewtonCorrector,
+    BatchNewtonResult,
+    NewtonCorrector,
+    NewtonResult,
+    NewtonStep,
+)
+from .predictor import (
+    BatchSecantPredictor,
+    BatchTangentPredictor,
+    SecantPredictor,
+    TangentPredictor,
+)
 from .quality_up import (
     QualityUpEntry,
     affordable_precision,
@@ -32,11 +45,23 @@ from .start_systems import (
     total_degree,
     total_degree_start_system,
 )
-from .tracker import PathPoint, PathResult, PathTracker, TrackerOptions
+from .tracker import PathPoint, PathResult, PathTracker, StepControl, TrackerOptions
 
 __all__ = [
+    "BatchHomotopy",
+    "BatchHomotopyEvaluation",
+    "BatchNewtonCorrector",
+    "BatchNewtonResult",
+    "BatchSecantPredictor",
+    "BatchTangentPredictor",
+    "BatchTracker",
+    "BatchTrackResult",
     "Homotopy",
     "HomotopyEvaluation",
+    "PathBatch",
+    "PathStatus",
+    "StepControl",
+    "batched_solve",
     "NewtonCorrector",
     "NewtonResult",
     "NewtonStep",

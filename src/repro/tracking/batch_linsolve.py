@@ -1,0 +1,135 @@
+"""Batched dense linear solves: one small system per lane, vectorised.
+
+Newton's corrector inside the batched tracker must solve ``J_b dx_b = -f_b``
+for every path ``b`` of the batch, where every lane has its *own* Jacobian.
+The batch stores the ``B`` matrices entry-wise: ``matrix[i][j]`` is a ``(B,)``
+batch array holding entry ``(i, j)`` of all lanes at once (the structure of
+arrays the simulated device would hold in global memory).
+
+The algorithm is Gaussian elimination with per-lane partial pivoting:
+
+* pivot *selection* works on double-rounded magnitudes, exactly like the
+  scalar solver in :mod:`repro.tracking.linsolve` -- a control decision that
+  may differ per lane;
+* the per-lane row swaps are realised as masked selects
+  (:meth:`~repro.multiprec.backend.ComplexBatchBackend.where`), so no data is
+  gathered or scattered between lanes;
+* lanes whose pivot is zero *or too tiny to divide by* (``|pivot|^2``
+  underflows, which is exactly when the complex double-double division
+  would raise :class:`~repro.errors.DivisionByZeroError`) are flagged
+  *singular* and their pivot is replaced by one so the remaining lanes keep
+  eliminating undisturbed -- the batched analogue of
+  :class:`~repro.errors.SingularMatrixError`, reported as a mask instead of
+  an exception so one bad path cannot stall its batch.
+
+NaN lanes are left alone: NaN magnitudes never win a comparison, so a
+poisoned lane keeps its NaNs and is caught by the corrector's convergence
+test, while the healthy lanes are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..multiprec.backend import ComplexBatchBackend
+
+__all__ = ["batched_solve"]
+
+
+def batched_solve(matrix: Sequence[Sequence], rhs: Sequence,
+                  backend: ComplexBatchBackend,
+                  active: Optional[np.ndarray] = None
+                  ) -> Tuple[List, np.ndarray]:
+    """Solve ``A_b x_b = rhs_b`` for every lane ``b``.
+
+    Parameters
+    ----------
+    matrix:
+        ``n x n`` nested sequence of ``(B,)`` batch arrays (consumed, not
+        modified: the function works on a copy).
+    rhs:
+        Length-``n`` sequence of ``(B,)`` batch arrays.
+    backend:
+        The batch array backend of the entries.
+    active:
+        Optional ``(B,)`` bool mask; inactive lanes are never reported
+        singular and their (meaningless) results should be discarded.
+
+    Returns
+    -------
+    (solution, singular):
+        ``solution`` is a length-``n`` list of ``(B,)`` batch arrays;
+        ``singular`` a ``(B,)`` bool mask of lanes that met a zero pivot.
+    """
+    n = len(matrix)
+    if any(len(row) != n for row in matrix) or len(rhs) != n:
+        raise ValueError("batched_solve expects a square matrix and matching rhs")
+
+    a = [[entry for entry in row] for row in matrix]
+    b = list(rhs)
+    lanes = np.shape(backend.magnitude(b[0]))[0] if n else 0
+    singular = np.zeros(lanes, dtype=bool)
+    considered = np.ones(lanes, dtype=bool) if active is None \
+        else np.asarray(active, dtype=bool)
+    ones = backend.ones((lanes,))
+
+    for col in range(n):
+        # Per-lane partial pivoting on double-rounded magnitudes.
+        magnitudes = np.stack([backend.magnitude(a[r][col]) for r in range(col, n)])
+        choice = np.argmax(magnitudes, axis=0)  # (B,) offset of the pivot row
+
+        # Realise the per-lane swap of rows `col` and `col + choice` as one
+        # masked select per candidate row: each lane is touched exactly once.
+        for r in range(col + 1, n):
+            swap = choice == (r - col)
+            if not swap.any():
+                continue
+            for j in range(n):
+                upper, lower = a[col][j], a[r][j]
+                a[col][j] = backend.where(swap, lower, upper)
+                a[r][j] = backend.where(swap, upper, lower)
+            upper, lower = b[col], b[r]
+            b[col] = backend.where(swap, lower, upper)
+            b[r] = backend.where(swap, upper, lower)
+
+        pivot = a[col][col]
+        dead = _undividable(backend.magnitude(pivot))
+        singular |= dead & considered
+        safe_pivot = backend.where(dead, ones, pivot)
+
+        for row in range(col + 1, n):
+            factor = a[row][col] / safe_pivot
+            for j in range(col + 1, n):
+                a[row][j] = a[row][j] - factor * a[col][j]
+            b[row] = b[row] - factor * b[col]
+
+    # Back substitution with the (sanitised) upper factor.
+    x: List = [None] * n
+    for i in reversed(range(n)):
+        acc = b[i]
+        for j in range(i + 1, n):
+            acc = acc - a[i][j] * x[j]
+        diagonal = a[i][i]
+        dead = _undividable(backend.magnitude(diagonal))
+        singular |= dead & considered
+        x[i] = acc / backend.where(dead, ones, diagonal)
+    return x, singular
+
+
+def _undividable(magnitudes: np.ndarray) -> np.ndarray:
+    """Lanes whose pivot cannot safely be divided by.
+
+    Complex division computes ``|pivot|^2`` as its denominator.  The
+    double-double array type squares the real and imaginary components
+    *separately*, so any pivot whose squared magnitude is not a normal
+    double risks an exact-zero denominator there (``hypot`` rounds once,
+    the component squares underflow earlier) -- and
+    :class:`~repro.errors.DivisionByZeroError` out of one lane would abort
+    the whole batch.  Such pivots (|p| below ~1.5e-154) are numerically
+    singular for any tracking purpose, so the whole underflow region is
+    flagged.  NaN magnitudes compare false and stay unflagged: the NaN
+    propagates within its own lane only.
+    """
+    return magnitudes * magnitudes < np.finfo(np.float64).tiny

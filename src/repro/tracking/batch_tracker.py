@@ -1,0 +1,391 @@
+"""Batched many-path tracking: a structure of arrays over the whole batch.
+
+The paper accelerates evaluation and differentiation in double-double
+arithmetic precisely so that *many* homotopy paths can be processed on
+massively parallel hardware.  The scalar :class:`~repro.tracking.tracker.
+PathTracker` walks one path at a time; this module drives ``B`` paths in
+lock step:
+
+* :class:`PathBatch` holds the state of all paths as columns (*lanes*) of
+  ``(n, B)`` batch arrays -- a structure of arrays over
+  :class:`~repro.multiprec.ddarray.ComplexDDArray` (or ``complex128``), the
+  layout a device would keep resident between kernel launches;
+* :class:`BatchTracker` runs the predictor -> Newton-corrector -> step
+  control loop for the whole batch at once.  Every lane carries its own
+  continuation parameter ``t`` and step ``dt``; per-lane boolean masks let
+  converged, failed and finished paths *retire* without stalling the rest,
+  and each round the live lanes are compressed so retired lanes cost
+  nothing;
+* one batched homotopy evaluation replaces ``B`` scalar evaluations, which
+  is what lets the cost model price one kernel launch per batch instead of
+  one per path (see
+  :meth:`repro.gpusim.costmodel.GPUCostModel.batched_kernel_time`).
+
+The tracker reports plain :class:`~repro.tracking.tracker.PathResult`
+objects, so callers (and the differential tests) can compare its roots
+directly with the scalar engine's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..multiprec.backend import ComplexBatchBackend, backend_for_context
+from ..multiprec.numeric import DOUBLE, NumericContext
+from .homotopy import BatchHomotopy
+from .newton import BatchNewtonCorrector
+from .predictor import BatchSecantPredictor, BatchTangentPredictor
+from .tracker import PathResult, StepControl, TrackerOptions
+
+__all__ = ["PathStatus", "PathBatch", "BatchTrackResult", "BatchTracker"]
+
+
+class PathStatus(IntEnum):
+    """Per-lane life cycle of a batched path."""
+
+    TRACKING = 0
+    SUCCESS = 1
+    START_FAILED = 2
+    STEP_UNDERFLOW = 3
+    MAX_STEPS = 4
+    ENDGAME_FAILED = 5
+
+
+_FAILURE_REASONS = {
+    PathStatus.START_FAILED: "start point does not satisfy the start system",
+    PathStatus.STEP_UNDERFLOW: "step size underflow",
+    PathStatus.MAX_STEPS: "maximum number of steps exceeded",
+    PathStatus.ENDGAME_FAILED: "end game did not converge",
+}
+
+
+@dataclass
+class PathBatch:
+    """Structure-of-arrays state of ``B`` homotopy paths.
+
+    ``points`` and ``prev_points`` are ``(n, B)`` batch arrays; every other
+    field is a ``(B,)`` NumPy array.  Lane ``b`` of every array belongs to
+    path ``b``, so selecting a lane subset is one fancy-indexing operation
+    per array -- no per-path objects are ever materialised.
+    """
+
+    backend: ComplexBatchBackend
+    points: object
+    prev_points: object
+    t: np.ndarray
+    prev_t: np.ndarray
+    dt: np.ndarray
+    has_prev: np.ndarray
+    active: np.ndarray
+    status: np.ndarray
+    residual: np.ndarray
+    steps_accepted: np.ndarray
+    steps_rejected: np.ndarray
+    newton_iterations: np.ndarray
+
+    @classmethod
+    def from_start_solutions(cls, backend: ComplexBatchBackend,
+                             starts: Sequence[Sequence],
+                             initial_step: float) -> "PathBatch":
+        """Pack start solutions into a fresh batch at ``t = 0``."""
+        if not starts:
+            raise ConfigurationError("a path batch needs at least one start solution")
+        points = backend.from_points(starts)
+        lanes = len(starts)
+        return cls(
+            backend=backend,
+            points=points,
+            prev_points=backend.copy(points),
+            t=np.zeros(lanes),
+            prev_t=np.zeros(lanes),
+            dt=np.full(lanes, float(initial_step)),
+            has_prev=np.zeros(lanes, dtype=bool),
+            active=np.ones(lanes, dtype=bool),
+            status=np.full(lanes, int(PathStatus.TRACKING), dtype=np.int8),
+            residual=np.full(lanes, np.inf),
+            steps_accepted=np.zeros(lanes, dtype=np.int64),
+            steps_rejected=np.zeros(lanes, dtype=np.int64),
+            newton_iterations=np.zeros(lanes, dtype=np.int64),
+        )
+
+    @property
+    def n_paths(self) -> int:
+        return int(self.t.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        return int(self.points.shape[0])
+
+    def select(self, lanes: np.ndarray) -> "PathBatch":
+        """A compressed copy holding only the given lanes."""
+        idx = (slice(None), lanes)
+        return PathBatch(
+            backend=self.backend,
+            points=self.points[idx],
+            prev_points=self.prev_points[idx],
+            t=self.t[lanes].copy(),
+            prev_t=self.prev_t[lanes].copy(),
+            dt=self.dt[lanes].copy(),
+            has_prev=self.has_prev[lanes].copy(),
+            active=self.active[lanes].copy(),
+            status=self.status[lanes].copy(),
+            residual=self.residual[lanes].copy(),
+            steps_accepted=self.steps_accepted[lanes].copy(),
+            steps_rejected=self.steps_rejected[lanes].copy(),
+            newton_iterations=self.newton_iterations[lanes].copy(),
+        )
+
+    def scatter(self, lanes: np.ndarray, sub: "PathBatch") -> None:
+        """Write a compressed sub-batch back into the given lanes."""
+        idx = (slice(None), lanes)
+        self.points[idx] = sub.points
+        self.prev_points[idx] = sub.prev_points
+        self.t[lanes] = sub.t
+        self.prev_t[lanes] = sub.prev_t
+        self.dt[lanes] = sub.dt
+        self.has_prev[lanes] = sub.has_prev
+        self.active[lanes] = sub.active
+        self.status[lanes] = sub.status
+        self.residual[lanes] = sub.residual
+        self.steps_accepted[lanes] = sub.steps_accepted
+        self.steps_rejected[lanes] = sub.steps_rejected
+        self.newton_iterations[lanes] = sub.newton_iterations
+
+    def retire(self, mask: np.ndarray, status: PathStatus) -> None:
+        """Mark lanes under ``mask`` finished with the given status."""
+        mask = np.asarray(mask, dtype=bool)
+        self.status[mask] = int(status)
+        self.active &= ~mask
+
+    def status_counts(self) -> dict:
+        """Histogram of lane statuses (for reporting)."""
+        return {PathStatus(code).name.lower(): int(count)
+                for code, count in zip(*np.unique(self.status, return_counts=True))}
+
+
+@dataclass
+class BatchTrackResult:
+    """Outcome of a tracking run, per-lane and aggregate.
+
+    ``batches`` holds one :class:`PathBatch` per chunk the start set was
+    split into; ``results``, ``rounds`` and ``evaluation_log`` aggregate
+    over all of them.
+    """
+
+    batches: List[PathBatch]
+    results: List[PathResult]
+    evaluation_log: List[int] = field(default_factory=list)
+    rounds: int = 0
+
+    @property
+    def paths_converged(self) -> int:
+        return sum(1 for r in self.results if r.success)
+
+    def status_counts(self) -> dict:
+        """Histogram of lane statuses across every tracked batch."""
+        counts: dict = {}
+        for batch in self.batches:
+            for name, count in batch.status_counts().items():
+                counts[name] = counts.get(name, 0) + count
+        return counts
+
+    @property
+    def batched_evaluations(self) -> int:
+        """Number of batched homotopy evaluations performed."""
+        return len(self.evaluation_log)
+
+    @property
+    def lane_evaluations(self) -> int:
+        """Total per-lane evaluations (what a scalar tracker would pay)."""
+        return int(sum(self.evaluation_log))
+
+
+class BatchTracker:
+    """Track many homotopy paths in lock step with per-lane retirement.
+
+    Parameters
+    ----------
+    start_system / target_system:
+        The systems of the gamma-trick homotopy (evaluated with the
+        structure-of-arrays evaluator; regularity is not required).
+    context:
+        Scalar arithmetic; ``d`` and ``dd`` have batch backends.
+    options:
+        The same :class:`~repro.tracking.tracker.TrackerOptions` the scalar
+        tracker takes -- both engines share the step-control policy.
+    batch_size:
+        Maximum lanes per batch; larger start sets are chunked.  ``None``
+        tracks all paths in one batch.
+    gamma:
+        Accessibility constant, defaulted like the scalar homotopy.
+    """
+
+    def __init__(self, start_system, target_system, *,
+                 context: NumericContext = DOUBLE,
+                 options: Optional[TrackerOptions] = None,
+                 batch_size: Optional[int] = None,
+                 gamma: Optional[complex] = None):
+        self.context = context
+        self.options = options or TrackerOptions()
+        self.backend = backend_for_context(context)
+        self.homotopy = BatchHomotopy(start_system, target_system,
+                                      gamma=gamma, context=context,
+                                      backend=self.backend)
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError("batch_size must be at least 1")
+        self.batch_size = batch_size
+        self._step_control = StepControl.from_options(self.options)
+        #: lane counts of every batched homotopy evaluation of the last run
+        #: (corrector and tangent-predictor evaluations alike)
+        self.evaluation_log: List[int] = []
+        if self.options.predictor == "tangent":
+            self._predictor = BatchTangentPredictor(
+                self.backend, evaluation_log=self.evaluation_log)
+        else:
+            self._predictor = BatchSecantPredictor(self.backend)
+
+    # ------------------------------------------------------------------
+    def track_many(self, start_solutions: Sequence[Sequence]) -> List[PathResult]:
+        """Track every start solution; returns one PathResult per path."""
+        return self.track_batches(start_solutions).results
+
+    def track_batches(self, start_solutions: Sequence[Sequence]) -> BatchTrackResult:
+        """Track all paths, chunked by ``batch_size``, with diagnostics."""
+        starts = list(start_solutions)
+        if not starts:
+            return BatchTrackResult(batches=[], results=[], evaluation_log=[])
+        # clear() rather than rebinding: the predictor and correctors hold
+        # a reference to this very list.
+        self.evaluation_log.clear()
+        chunk = self.batch_size or len(starts)
+        results: List[PathResult] = []
+        batches: List[PathBatch] = []
+        rounds = 0
+        for offset in range(0, len(starts), chunk):
+            batch = self._track_one_batch(starts[offset:offset + chunk])
+            rounds += batch_rounds_of(batch)
+            results.extend(self._lane_results(batch))
+            batches.append(batch)
+        return BatchTrackResult(batches=batches, results=results,
+                                evaluation_log=list(self.evaluation_log),
+                                rounds=rounds)
+
+    # ------------------------------------------------------------------
+    def _corrector(self, t: np.ndarray, tolerance: float,
+                   iterations: int) -> BatchNewtonCorrector:
+        return BatchNewtonCorrector(self.homotopy.at(t), self.backend,
+                                    tolerance=tolerance,
+                                    max_iterations=iterations,
+                                    evaluation_log=self.evaluation_log)
+
+    def _track_one_batch(self, starts: Sequence[Sequence]) -> PathBatch:
+        opts = self.options
+        backend = self.backend
+        batch = PathBatch.from_start_solutions(backend, starts, opts.initial_step)
+        batch.rounds = 0  # dynamic attribute: lock-step rounds of this batch
+
+        # Make sure the start points actually lie on the path at t = 0.
+        start_corrector = self._corrector(batch.t, opts.corrector_tolerance,
+                                          opts.end_iterations)
+        started = start_corrector.correct(batch.points, batch.active)
+        batch.newton_iterations += started.iterations
+        batch.residual = started.residual_norm
+        batch.points = backend.where(started.converged, started.solution, batch.points)
+        batch.retire(batch.active & ~started.converged, PathStatus.START_FAILED)
+
+        while batch.active.any() and batch.rounds < opts.max_steps:
+            batch.rounds += 1
+            lanes = np.flatnonzero(batch.active)
+            sub = batch.select(lanes)
+            self._advance(sub)
+            batch.scatter(lanes, sub)
+
+        batch.retire(batch.active, PathStatus.MAX_STEPS)
+        self._endgame(batch)
+        return batch
+
+    def _advance(self, sub: PathBatch) -> None:
+        """One predictor-corrector-stepcontrol round on live lanes only."""
+        opts = self.options
+        backend = self.backend
+        control = self._step_control
+
+        next_t = np.minimum(1.0, sub.t + sub.dt)
+        predicted = self._predictor.predict(
+            self.homotopy, sub.points, sub.prev_points,
+            sub.t, sub.prev_t, next_t - sub.t, sub.has_prev)
+
+        corrector = self._corrector(next_t, opts.corrector_tolerance,
+                                    opts.corrector_iterations)
+        corrected = corrector.correct(predicted, sub.active)
+        sub.newton_iterations += corrected.iterations
+        sub.residual = np.where(sub.active, corrected.residual_norm, sub.residual)
+
+        accepted = sub.active & corrected.converged
+        rejected = sub.active & ~corrected.converged
+
+        if accepted.any():
+            # The scalar tracker remembers the pre-step point for the secant
+            # predictor before moving; do the same lane-wise.
+            sub.prev_points = backend.where(accepted, sub.points, sub.prev_points)
+            sub.prev_t = np.where(accepted, sub.t, sub.prev_t)
+            sub.has_prev |= accepted
+            sub.points = backend.where(accepted, corrected.solution, sub.points)
+            sub.t = np.where(accepted, next_t, sub.t)
+            sub.steps_accepted += accepted
+            sub.dt = np.where(accepted, control.grown(sub.dt, sub.t), sub.dt)
+            # Lanes that reached t = 1 leave the main loop; the endgame
+            # sharpens them together afterwards.
+            finished = accepted & (sub.t >= 1.0)
+            sub.active &= ~finished
+
+        if rejected.any():
+            sub.steps_rejected += rejected
+            sub.dt = np.where(rejected, control.shrunk(sub.dt), sub.dt)
+            sub.retire(rejected & control.underflowed(sub.dt),
+                       PathStatus.STEP_UNDERFLOW)
+
+    def _endgame(self, batch: PathBatch) -> None:
+        """Sharpen every lane that reached t = 1 with a batched end Newton."""
+        opts = self.options
+        backend = self.backend
+        pending = (batch.status == int(PathStatus.TRACKING)) & (batch.t >= 1.0)
+        if not pending.any():
+            return
+        lanes = np.flatnonzero(pending)
+        sub = batch.select(lanes)
+        corrector = self._corrector(np.ones(sub.n_paths), opts.end_tolerance,
+                                    opts.end_iterations)
+        final = corrector.correct(sub.points, np.ones(sub.n_paths, dtype=bool))
+        sub.newton_iterations += final.iterations
+        sub.residual = final.residual_norm
+        sub.points = backend.where(final.converged, final.solution, sub.points)
+        sub.status = np.where(final.converged, int(PathStatus.SUCCESS),
+                              int(PathStatus.ENDGAME_FAILED)).astype(np.int8)
+        batch.scatter(lanes, sub)
+
+    # ------------------------------------------------------------------
+    def _lane_results(self, batch: PathBatch) -> List[PathResult]:
+        results = []
+        for lane in range(batch.n_paths):
+            status = PathStatus(int(batch.status[lane]))
+            results.append(PathResult(
+                success=status is PathStatus.SUCCESS,
+                solution=self.backend.lane_scalars(batch.points, lane),
+                residual=float(batch.residual[lane]),
+                steps_accepted=int(batch.steps_accepted[lane]),
+                steps_rejected=int(batch.steps_rejected[lane]),
+                newton_iterations=int(batch.newton_iterations[lane]),
+                failure_reason=_FAILURE_REASONS.get(status),
+            ))
+        return results
+
+
+def batch_rounds_of(batch: PathBatch) -> int:
+    """Lock-step rounds a batch ran (tolerant of hand-built batches)."""
+    return int(getattr(batch, "rounds", 0))

@@ -20,10 +20,22 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError
+from ..multiprec.backend import ComplexBatchBackend, backend_for_context
 from ..multiprec.numeric import DOUBLE, NumericContext
 
-__all__ = ["HomotopyEvaluation", "Homotopy"]
+__all__ = ["HomotopyEvaluation", "Homotopy", "BatchHomotopyEvaluation", "BatchHomotopy"]
+
+
+def _checked_gamma(gamma: Optional[complex]) -> complex:
+    """Validate (or default) the accessibility constant ``gamma``."""
+    if gamma is None:
+        gamma = cmath.exp(1j * 0.84719633)  # fixed unit-modulus constant
+    if abs(abs(gamma) - 1.0) > 1e-8:
+        raise ConfigurationError("gamma should be a unit-modulus complex number")
+    return complex(gamma)
 
 
 @dataclass
@@ -56,11 +68,7 @@ class Homotopy:
         self.start_evaluator = start_evaluator
         self.target_evaluator = target_evaluator
         self.context = context
-        if gamma is None:
-            gamma = cmath.exp(1j * 0.84719633)  # fixed unit-modulus constant
-        if abs(abs(gamma) - 1.0) > 1e-8:
-            raise ConfigurationError("gamma should be a unit-modulus complex number")
-        self.gamma = complex(gamma)
+        self.gamma = _checked_gamma(gamma)
         self.dimension = dimension
 
     # ------------------------------------------------------------------
@@ -102,3 +110,92 @@ class Homotopy:
         """Freeze ``t``: the result satisfies the evaluator interface used by
         :class:`~repro.tracking.newton.NewtonCorrector`."""
         return Homotopy._Frozen(self, t)
+
+
+# ----------------------------------------------------------------------
+# lane-batched homotopy: every path carries its own continuation parameter
+# ----------------------------------------------------------------------
+@dataclass
+class BatchHomotopyEvaluation:
+    """Per-lane values, Jacobian and t-derivative of the batched homotopy.
+
+    ``values[i]`` and ``t_derivative[i]`` are ``(B,)`` batch arrays,
+    ``jacobian[i][j]`` likewise.
+    """
+
+    values: List
+    jacobian: List[List]
+    t_derivative: List
+
+
+class BatchHomotopy:
+    """The gamma-trick homotopy over an ``(n, B)`` lane batch of points.
+
+    Unlike the scalar :class:`Homotopy`, which composes two evaluator
+    *objects*, the batched variant is built from the two *systems* directly:
+    it instantiates a
+    :class:`~repro.core.batch.VectorisedBatchEvaluator` for each, so both
+    the start and the target system are evaluated for the whole batch with
+    structure-of-arrays arithmetic.  Every lane carries its own ``t`` (the
+    batch tracker advances paths at independent rates), so the convex
+    weights ``gamma (1 - t)`` and ``t`` are per-lane complex vectors that
+    broadcast across the value and Jacobian rows.
+    """
+
+    def __init__(self, start_system, target_system, *,
+                 gamma: Optional[complex] = None,
+                 context: NumericContext = DOUBLE,
+                 backend: Optional[ComplexBatchBackend] = None):
+        # Imported here: repro.core.batch already imports repro.multiprec,
+        # and pulling it at module load would cycle through repro.tracking.
+        from ..core.batch import VectorisedBatchEvaluator
+
+        self.context = context
+        self.backend = backend or backend_for_context(context)
+        self.gamma = _checked_gamma(gamma)
+        self.start_evaluator = VectorisedBatchEvaluator(start_system, backend=self.backend)
+        self.target_evaluator = VectorisedBatchEvaluator(target_system, backend=self.backend)
+        if start_system.dimension != target_system.dimension:
+            raise ConfigurationError("start and target systems must share a dimension")
+        self.dimension = target_system.dimension
+
+    def evaluate_batch(self, points, t: np.ndarray) -> BatchHomotopyEvaluation:
+        """Evaluate ``h``, ``dh/dx`` and ``dh/dt`` at per-lane parameters."""
+        t = np.asarray(t, dtype=np.float64)
+        if np.any((t < 0.0) | (t > 1.0)):
+            raise ConfigurationError("all continuation parameters must lie in [0, 1]")
+        g = self.start_evaluator.evaluate(points)
+        f = self.target_evaluator.evaluate(points)
+
+        weight_g = self.gamma * (1.0 - t).astype(np.complex128)
+        weight_f = t.astype(np.complex128)
+
+        n = self.dimension
+        values = [g.values[i] * weight_g + f.values[i] * weight_f for i in range(n)]
+        jacobian = [
+            [g.jacobian[i][j] * weight_g + f.jacobian[i][j] * weight_f
+             for j in range(n)]
+            for i in range(n)
+        ]
+        # dh/dt = f(x) - gamma g(x), independent of t.
+        t_derivative = [f.values[i] - g.values[i] * self.gamma for i in range(n)]
+        return BatchHomotopyEvaluation(values=values, jacobian=jacobian,
+                                       t_derivative=t_derivative)
+
+    class _Frozen:
+        """Adapter exposing a batched evaluator interface for fixed ``t``."""
+
+        def __init__(self, homotopy: "BatchHomotopy", t: np.ndarray):
+            self._homotopy = homotopy
+            self._t = np.asarray(t, dtype=np.float64)
+
+        def evaluate(self, points, lanes=None) -> BatchHomotopyEvaluation:
+            """Evaluate ``points``; ``lanes`` selects the matching subset of
+            the frozen per-lane parameters when the caller compressed the
+            batch (the Newton corrector retiring converged lanes)."""
+            t = self._t if lanes is None else self._t[lanes]
+            return self._homotopy.evaluate_batch(points, t)
+
+    def at(self, t: np.ndarray) -> "BatchHomotopy._Frozen":
+        """Freeze the per-lane parameters for the batched Newton corrector."""
+        return BatchHomotopy._Frozen(self, t)

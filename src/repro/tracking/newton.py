@@ -16,11 +16,34 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import ConvergenceError
+from ..multiprec.backend import ComplexBatchBackend
 from ..multiprec.numeric import DOUBLE, NumericContext
+from .batch_linsolve import batched_solve
 from .linsolve import solve, vector_norm
 
-__all__ = ["NewtonStep", "NewtonResult", "NewtonCorrector"]
+__all__ = [
+    "NewtonStep",
+    "NewtonResult",
+    "NewtonCorrector",
+    "BatchNewtonResult",
+    "BatchNewtonCorrector",
+    "residual_accepted_after_update",
+]
+
+
+def residual_accepted_after_update(residual, tolerance: float):
+    """The relaxed residual acceptance used after a tiny Newton update.
+
+    When the update norm already dropped below tolerance the iteration is
+    declared converged if the residual at the evaluated point is within two
+    orders of magnitude of the target.  Shared by the scalar corrector and
+    (per lane, via the ``relaxed`` mask) by the batched corrector; operates
+    element-wise on arrays.
+    """
+    return residual <= 1e2 * tolerance
 
 
 @dataclass(frozen=True)
@@ -106,7 +129,7 @@ class NewtonCorrector:
                 # One last residual check at the updated point.
                 final_eval = self.evaluator.evaluate(x)
                 residual = vector_norm(final_eval.values, ctx)
-                converged = residual <= max(self.tolerance, 1e2 * self.tolerance)
+                converged = residual_accepted_after_update(residual, self.tolerance)
                 return NewtonResult(solution=x, converged=converged,
                                     iterations=iteration, residual_norm=residual,
                                     update_norm=update, history=history)
@@ -118,3 +141,123 @@ class NewtonCorrector:
             )
         return NewtonResult(solution=x, converged=False, iterations=self.max_iterations,
                             residual_norm=residual, update_norm=update, history=history)
+
+
+# ----------------------------------------------------------------------
+# the batched corrector: one Newton loop, B paths in lock step
+# ----------------------------------------------------------------------
+@dataclass
+class BatchNewtonResult:
+    """Per-lane outcome of a batched Newton run.
+
+    ``solution`` is the updated ``(n, B)`` batch array; the remaining fields
+    are ``(B,)`` NumPy arrays.  Lanes that were inactive on entry keep their
+    input point and report ``converged=False`` with zero iterations.
+    """
+
+    solution: object
+    converged: np.ndarray
+    iterations: np.ndarray
+    residual_norm: np.ndarray
+
+
+class BatchNewtonCorrector:
+    """Newton's iteration over a lane batch with per-lane retirement.
+
+    The loop mirrors :class:`NewtonCorrector` -- evaluate, test the residual,
+    solve, update -- but on ``(n, B)`` batch arrays.  Lanes whose residual
+    passes the tolerance are masked out of further updates (they *retire*)
+    while the rest keep iterating; lanes with a singular Jacobian retire as
+    failures with an infinite residual, matching how the scalar tracker
+    converts :class:`~repro.errors.SingularMatrixError` into non-convergence.
+
+    Parameters
+    ----------
+    evaluator:
+        Object with ``evaluate(points)`` accepting an ``(n, B)`` batch array
+        and returning per-lane ``values``/``jacobian`` rows (for example
+        :meth:`repro.tracking.homotopy.BatchHomotopy.at`).
+    backend:
+        The batch array backend.
+    tolerance / max_iterations:
+        Same meaning as in the scalar corrector.
+    evaluation_log:
+        Optional list; every evaluator call appends the number of lanes it
+        covered.  The throughput benchmark prices one batched kernel launch
+        per entry from this log.
+    """
+
+    def __init__(self, evaluator, backend: ComplexBatchBackend, *,
+                 tolerance: float = 1e-12,
+                 max_iterations: int = 20,
+                 evaluation_log: Optional[list] = None):
+        self.evaluator = evaluator
+        self.backend = backend
+        self.tolerance = float(tolerance)
+        self.max_iterations = int(max_iterations)
+        self.evaluation_log = evaluation_log
+
+    def _residuals(self, values) -> np.ndarray:
+        """Per-lane infinity norm over the value rows, double-rounded."""
+        backend = self.backend
+        norms = backend.magnitude(values[0])
+        for row in values[1:]:
+            norms = np.maximum(norms, backend.magnitude(row))
+        return norms
+
+    def correct(self, points, active: Optional[np.ndarray] = None) -> BatchNewtonResult:
+        """Run the lock-step Newton loop from the batch ``points``.
+
+        Each iteration *compresses* to the still-working lanes before
+        evaluating (the evaluator receives the matching lane indices, see
+        :meth:`repro.tracking.homotopy.BatchHomotopy._Frozen.evaluate`), so
+        retired lanes cost no arithmetic and the ``evaluation_log`` counts
+        exactly the lanes a batched kernel launch would cover.
+        """
+        backend = self.backend
+        lanes = points.shape[-1]
+        working = (np.ones(lanes, dtype=bool) if active is None
+                   else np.array(active, dtype=bool))
+        converged = np.zeros(lanes, dtype=bool)
+        iterations = np.zeros(lanes, dtype=np.int64)
+        residuals = np.full(lanes, np.inf)
+        # Lanes whose previous update was already below tolerance: on their
+        # next evaluation the relaxed acceptance applies, mirroring the
+        # scalar corrector's small-update exit.
+        relaxed = np.zeros(lanes, dtype=bool)
+        x = backend.copy(points)
+
+        for _ in range(self.max_iterations):
+            if not working.any():
+                break
+            idx = np.flatnonzero(working)
+            x_live = x[:, idx]
+            if self.evaluation_log is not None:
+                self.evaluation_log.append(len(idx))
+            evaluation = self.evaluator.evaluate(x_live, lanes=idx)
+            norms = self._residuals(evaluation.values)
+            residuals[idx] = norms
+            iterations[idx] += 1
+
+            done = (norms <= self.tolerance) | (
+                relaxed[idx] & residual_accepted_after_update(norms, self.tolerance))
+            converged[idx[done]] = True
+            working[idx[done]] = False
+            if done.all():
+                break
+
+            rhs = [-value for value in evaluation.values]
+            dx, singular = batched_solve(evaluation.jacobian, rhs, backend,
+                                         active=~done)
+            failed = singular & ~done
+            residuals[idx[failed]] = np.inf
+            working[idx[failed]] = False
+
+            advance = ~done & ~singular
+            update_norms = self._residuals(dx)
+            relaxed[idx] = advance & (update_norms <= self.tolerance)
+            updated = backend.where(advance, x_live + backend.stack(dx), x_live)
+            x[:, idx] = updated
+
+        return BatchNewtonResult(solution=x, converged=converged,
+                                 iterations=iterations, residual_norm=residuals)

@@ -9,17 +9,32 @@ Two standard predictors are provided:
   path, obtained by solving ``H_x dx = -H_t dt`` with the same generic LU
   solver used by Newton's corrector (one extra linear solve per step but a
   better prediction, allowing larger steps).
+
+The batched variants at the bottom apply the same formulas to ``(n, B)``
+lane batches: :class:`BatchSecantPredictor` keeps the previous accepted
+points as a second structure-of-arrays and extrapolates every lane with its
+own step ratio; :class:`BatchTangentPredictor` obtains all tangents from one
+batched linear solve.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
+from ..multiprec.backend import ComplexBatchBackend
 from ..multiprec.numeric import DOUBLE, NumericContext
+from .batch_linsolve import batched_solve
 from .homotopy import Homotopy
 from .linsolve import solve
 
-__all__ = ["SecantPredictor", "TangentPredictor"]
+__all__ = [
+    "SecantPredictor",
+    "TangentPredictor",
+    "BatchSecantPredictor",
+    "BatchTangentPredictor",
+]
 
 
 class SecantPredictor:
@@ -71,3 +86,60 @@ class TangentPredictor:
         tangent = solve(evaluation.jacobian, rhs, ctx)
         step = ctx.from_complex(complex(dt))
         return [x + dx * step for x, dx in zip(point, tangent)]
+
+
+# ----------------------------------------------------------------------
+# batched predictors over (n, B) lane arrays
+# ----------------------------------------------------------------------
+class BatchSecantPredictor:
+    """Per-lane linear extrapolation through the last two accepted points.
+
+    The history lives in the :class:`~repro.tracking.batch_tracker.PathBatch`
+    itself (``prev_points`` / ``prev_t`` / ``has_prev``); this class only
+    applies the formula, so it is stateless and safe to share.
+    """
+
+    def __init__(self, backend: ComplexBatchBackend):
+        self.backend = backend
+
+    def predict(self, batch_homotopy, points, prev_points, t: np.ndarray,
+                prev_t: np.ndarray, dt: np.ndarray,
+                has_prev: np.ndarray):
+        """Extrapolate each lane to ``t + dt``; identity without history."""
+        span = t - prev_t
+        usable = np.asarray(has_prev, dtype=bool) & (span > 0.0)
+        ratio = np.divide(dt, span, out=np.zeros_like(dt), where=usable)
+        # Lanes without usable history get ratio 0: the prediction collapses
+        # to the identity, matching the scalar predictor's fallback.
+        return points + (points - prev_points) * ratio
+
+
+class BatchTangentPredictor:
+    """Euler step along each lane's tangent ``dx/dt = -H_x^{-1} H_t``.
+
+    One batched linear solve produces every lane's tangent at once; lanes
+    with a singular Jacobian fall back to the identity prediction (the
+    corrector will reject and shrink their step).  The extra batched
+    homotopy evaluation per prediction is recorded in ``evaluation_log``
+    (when given) so the cost-model pricing covers predictor work too.
+    """
+
+    def __init__(self, backend: ComplexBatchBackend, *,
+                 evaluation_log=None):
+        self.backend = backend
+        self.evaluation_log = evaluation_log
+
+    def predict(self, batch_homotopy, points, prev_points, t: np.ndarray,
+                prev_t: np.ndarray, dt: np.ndarray,
+                has_prev: np.ndarray):
+        backend = self.backend
+        if self.evaluation_log is not None:
+            self.evaluation_log.append(int(points.shape[-1]))
+        evaluation = batch_homotopy.evaluate_batch(points, t)
+        rhs = [-v for v in evaluation.t_derivative]
+        tangent, singular = batched_solve(evaluation.jacobian, rhs, backend)
+        step = backend.stack(tangent) * dt.astype(np.complex128)
+        predicted = points + step
+        if singular.any():
+            predicted = backend.where(singular, points, predicted)
+        return predicted

@@ -21,13 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from ..errors import PathTrackingError, SingularMatrixError
+import numpy as np
+
+from ..errors import ConfigurationError, PathTrackingError, SingularMatrixError
 from ..multiprec.numeric import DOUBLE, NumericContext
 from .homotopy import Homotopy
 from .newton import NewtonCorrector, NewtonResult
 from .predictor import SecantPredictor, TangentPredictor
 
-__all__ = ["TrackerOptions", "PathPoint", "PathResult", "PathTracker"]
+__all__ = ["TrackerOptions", "StepControl", "PathPoint", "PathResult", "PathTracker"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +47,40 @@ class TrackerOptions:
     end_iterations: int = 10
     max_steps: int = 500
     predictor: str = "secant"   # "secant" | "tangent"
+
+
+@dataclass(frozen=True)
+class StepControl:
+    """The adaptive step-size policy, shared by the scalar and batch engines.
+
+    All three rules operate equally on Python floats and on per-lane NumPy
+    arrays, so the batched tracker makes exactly the decisions the scalar
+    loop would make for each path individually.
+    """
+
+    min_step: float
+    max_step: float
+    expansion: float
+    reduction: float
+
+    @classmethod
+    def from_options(cls, options: "TrackerOptions") -> "StepControl":
+        return cls(min_step=options.min_step, max_step=options.max_step,
+                   expansion=options.step_expansion,
+                   reduction=options.step_reduction)
+
+    def grown(self, dt, t):
+        """Step after an accepted point at ``t`` (clipped to reach 1.0)."""
+        return np.minimum(np.minimum(self.max_step, dt * self.expansion),
+                          1.0 - t + 1e-16)
+
+    def shrunk(self, dt):
+        """Step after a rejected point."""
+        return dt * self.reduction
+
+    def underflowed(self, dt):
+        """Whether the step fell below the giving-up threshold."""
+        return dt < self.min_step
 
 
 @dataclass(frozen=True)
@@ -80,6 +116,7 @@ class PathTracker:
         self.homotopy = homotopy
         self.context = context
         self.options = options or TrackerOptions()
+        self._step_control = StepControl.from_options(self.options)
         if self.options.predictor == "tangent":
             self._predictor = TangentPredictor(context)
         else:
@@ -143,11 +180,11 @@ class PathTracker:
                 path.append(PathPoint(t=t, point=tuple(point),
                                       residual=result.residual_norm,
                                       corrector_iterations=result.iterations))
-                dt = min(opts.max_step, dt * opts.step_expansion, 1.0 - t + 1e-16)
+                dt = float(self._step_control.grown(dt, t))
             else:
                 rejected += 1
-                dt *= opts.step_reduction
-                if dt < opts.min_step:
+                dt = self._step_control.shrunk(dt)
+                if self._step_control.underflowed(dt):
                     return PathResult(success=False, solution=point,
                                       residual=result.residual_norm,
                                       steps_accepted=accepted, steps_rejected=rejected,
@@ -172,8 +209,35 @@ class PathTracker:
                           newton_iterations=newton_total, path=path,
                           failure_reason=None if final.converged else "end game did not converge")
 
-    def track_many(self, start_solutions: Sequence[Sequence]) -> List[PathResult]:
-        """Track several paths sequentially (the per-path jobs the
-        manager/worker parallel trackers of the paper's introduction
-        distribute)."""
-        return [self.track(s) for s in start_solutions]
+    def track_many(self, start_solutions: Sequence[Sequence], *,
+                   batch_size: Optional[int] = None) -> List[PathResult]:
+        """Track several paths.
+
+        Without ``batch_size`` the paths run sequentially (the per-path jobs
+        the manager/worker parallel trackers of the paper's introduction
+        distribute).  With ``batch_size`` the work is delegated to the
+        structure-of-arrays :class:`~repro.tracking.batch_tracker.
+        BatchTracker`, which requires the homotopy's evaluators to expose
+        their underlying :class:`~repro.polynomials.system.PolynomialSystem`
+        (the CPU reference and GPU evaluators both do).  Batched results
+        carry end points, residuals and counters but no per-step
+        :class:`PathPoint` trace: ``PathResult.path`` is empty, as the
+        structure-of-arrays engine does not materialise per-path histories.
+        """
+        if batch_size is None:
+            return [self.track(s) for s in start_solutions]
+
+        from .batch_tracker import BatchTracker  # local import: cycle
+
+        start_system = getattr(self.homotopy.start_evaluator, "system", None)
+        target_system = getattr(self.homotopy.target_evaluator, "system", None)
+        if start_system is None or target_system is None:
+            raise ConfigurationError(
+                "batched tracking needs evaluators that expose their "
+                "polynomial system; track sequentially instead"
+            )
+        batch_tracker = BatchTracker(start_system, target_system,
+                                     context=self.context, options=self.options,
+                                     batch_size=batch_size,
+                                     gamma=self.homotopy.gamma)
+        return batch_tracker.track_many(start_solutions)

@@ -1,0 +1,56 @@
+"""The acceptance criterion of the batched engine, as a fast tier-1 test:
+tracking the benchmark system at batch size 32 must deliver at least twice
+the paths/sec of per-path launching under the gpusim cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_batch_tracking_bench
+from repro.bench.batch_tracking import batch_state_bytes, cyclic_quadratic_system
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+
+
+class TestBatchTrackingBench:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_batch_tracking_bench(batch_sizes=(1, 32), dimension=5,
+                                        context=DOUBLE)
+
+    def test_all_paths_converge_at_every_batch_size(self, rows):
+        assert all(r.paths_converged == r.paths_tracked == 32 for r in rows)
+
+    def test_same_per_lane_work_regardless_of_batching(self, rows):
+        # Masked lock-stepping must not change how much per-path evaluation
+        # happens -- only how the launches are grouped.
+        lane_evals = {r.lane_evaluations for r in rows}
+        assert len(lane_evals) == 1
+
+    def test_throughput_win_at_batch_32(self, rows):
+        by_size = {r.batch_size: r for r in rows}
+        win = by_size[32].paths_per_second / by_size[1].paths_per_second
+        assert win >= 2.0, f"batching win only {win:.2f}x"
+
+    def test_fewer_batched_evaluations_at_larger_batch(self, rows):
+        by_size = {r.batch_size: r for r in rows}
+        assert by_size[32].batched_evaluations < by_size[1].batched_evaluations
+
+    def test_memory_report_scales_with_batch_and_context(self):
+        small = batch_state_bytes(1, 5, DOUBLE)
+        large = batch_state_bytes(32, 5, DOUBLE)
+        assert large == 32 * small
+        assert batch_state_bytes(8, 5, DOUBLE_DOUBLE) > batch_state_bytes(8, 5, DOUBLE)
+
+    def test_bench_system_is_regular(self):
+        shape = cyclic_quadratic_system(5).regularity()
+        assert shape is not None
+        assert shape.monomials_per_polynomial == 2
+        assert shape.variables_per_monomial == 1
+
+
+@pytest.mark.slow
+def test_throughput_win_in_double_double():
+    rows = run_batch_tracking_bench(batch_sizes=(1, 32), dimension=5,
+                                    context=DOUBLE_DOUBLE)
+    by_size = {r.batch_size: r for r in rows}
+    assert by_size[32].paths_per_second / by_size[1].paths_per_second >= 2.0

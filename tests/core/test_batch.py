@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.core import BatchEvaluator, CPUReferenceEvaluator, GPUEvaluator
+from repro.core.batch import VectorisedBatchEvaluator
 from repro.gpusim import GPUCostModel
-from repro.multiprec import DOUBLE_DOUBLE
-from repro.polynomials import random_point
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.multiprec.backend import backend_for_context
+from repro.polynomials import Monomial, Polynomial, PolynomialSystem, random_point
 
 
 @pytest.fixture
@@ -96,3 +99,58 @@ class TestBatchEvaluation:
         assert len(result) == 0
         assert result.statistics.predicted_seconds_per_evaluation == 0.0
         assert result.statistics.extrapolate(10) == 0.0
+
+
+class TestVectorisedBatchEvaluator:
+    """The structure-of-arrays evaluator against the scalar CPU reference."""
+
+    def _check_against_reference(self, system, context, lanes=4, tol=1e-12):
+        backend = backend_for_context(context)
+        pts = [random_point(system.dimension, seed=100 + s) for s in range(lanes)]
+        batch = VectorisedBatchEvaluator(system, backend=backend).evaluate(
+            backend.from_points(pts))
+        reference = CPUReferenceEvaluator(system, context=context, algorithm="naive")
+        n = system.dimension
+        for lane, point in enumerate(pts):
+            expected = reference.evaluate([context.from_complex(complex(x))
+                                           for x in point])
+            for i in range(n):
+                got = backend.to_complex128(batch.values[i])[lane]
+                assert got == pytest.approx(context.to_complex(expected.values[i]),
+                                            rel=tol, abs=tol)
+                for j in range(n):
+                    got_j = backend.to_complex128(batch.jacobian[i][j])[lane]
+                    assert got_j == pytest.approx(
+                        context.to_complex(expected.jacobian[i][j]), rel=tol, abs=tol)
+
+    def test_matches_reference_double(self, small_system):
+        self._check_against_reference(small_system, DOUBLE)
+
+    def test_matches_reference_double_double_exactly(self, small_system):
+        # ComplexDDArray runs the same operation sequences as the scalar
+        # ComplexDD loop, so double-rounded results agree exactly.
+        self._check_against_reference(small_system, DOUBLE_DOUBLE, tol=0.0)
+
+    def test_handles_irregular_systems(self):
+        # x0^2 - 1 mixes k=1 and k=0 monomials: refused by the simulated
+        # device, fine for the structure-of-arrays path.
+        system = PolynomialSystem([
+            Polynomial([(1 + 0j, Monomial((0,), (2,))), (-1 + 0j, Monomial((), ()))]),
+        ])
+        assert system.regularity() is None
+        self._check_against_reference(system, DOUBLE)
+
+    def test_speelpenning_product_gradient(self):
+        system = PolynomialSystem([
+            Polynomial([(2 + 0j, Monomial((0, 1, 2), (1, 2, 3)))]),
+            Polynomial([(1 + 0j, Monomial((0, 2), (1, 1)))]),
+            Polynomial([(1 + 0j, Monomial((1,), (1,)))]),
+        ], dimension=3)
+        self._check_against_reference(system, DOUBLE)
+
+    def test_rejects_non_square_systems(self):
+        system = PolynomialSystem([
+            Polynomial([(1 + 0j, Monomial((0,), (1,)))]),
+        ], dimension=2)
+        with pytest.raises(ConfigurationError):
+            VectorisedBatchEvaluator(system, context=DOUBLE)

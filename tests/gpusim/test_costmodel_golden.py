@@ -1,0 +1,125 @@
+"""Golden regression tests for the GPU cost model.
+
+The cost model is the calibrated analytic heart of every predicted table in
+the repository: silent drift in its constants or formulas would corrupt all
+paper comparisons without failing a functional test.  These tests pin the
+model's full output -- per-kernel breakdowns, evaluation times, and the
+batched-launch pricing -- for three canonical launches to values serialized
+in ``golden_costmodel.json``.
+
+On intentional model changes regenerate the file with
+
+    REGEN_COSTMODEL_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/gpusim/test_costmodel_golden.py -q
+
+and commit the diff together with the reasoning behind the new constants.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import GPUEvaluator
+from repro.gpusim import GPUCostModel
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.polynomials.generators import random_point, random_regular_system
+
+GOLDEN_PATH = Path(__file__).with_name("golden_costmodel.json")
+REGEN = bool(os.environ.get("REGEN_COSTMODEL_GOLDEN"))
+
+#: The three canonical launches: (name, (n, m, k, d), seed, context).
+CANONICAL = [
+    ("small_double", (4, 4, 2, 3), 101, DOUBLE),
+    ("small_double_double", (4, 4, 2, 3), 101, DOUBLE_DOUBLE),
+    ("wide_double", (8, 8, 3, 2), 202, DOUBLE),
+]
+
+
+def compute_entry(shape, seed, context) -> dict:
+    n, m, k, d = shape
+    system = random_regular_system(n, m, k, d, seed=seed)
+    evaluator = GPUEvaluator(system, context=context, collect_memory_trace=False)
+    evaluation = evaluator.evaluate(random_point(n, seed=seed + 1))
+    model = GPUCostModel()
+
+    kernels = {}
+    for stats in evaluation.launch_stats:
+        kernels[stats.kernel_name] = model.kernel_time(stats, context).as_dict()
+    return {
+        "shape": {"n": n, "m": m, "k": k, "d": d, "seed": seed},
+        "context": context.name,
+        "kernels": kernels,
+        "evaluation_time_s": model.evaluation_time(evaluation.launch_stats, context),
+        "batched_evaluation_time_s_32": model.batched_evaluation_time(
+            evaluation.launch_stats, 32, context),
+        "batched_evaluation_time_s_1": model.batched_evaluation_time(
+            evaluation.launch_stats, 1, context),
+    }
+
+
+def compute_all() -> dict:
+    return {name: compute_entry(shape, seed, context)
+            for name, shape, seed, context in CANONICAL}
+
+
+def _assert_close(path: str, expected, actual, rel: float = 1e-9) -> None:
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: structure changed"
+        assert set(expected) == set(actual), (
+            f"{path}: keys drifted: {sorted(set(expected) ^ set(actual))}")
+        for key in expected:
+            _assert_close(f"{path}.{key}", expected[key], actual[key], rel)
+        return
+    if isinstance(expected, float):
+        scale = max(abs(expected), 1e-300)
+        assert abs(actual - expected) <= rel * scale, (
+            f"GPU cost model drift at {path}: expected {expected!r}, got "
+            f"{actual!r}.  If this change is intentional, regenerate the "
+            f"golden file (see module docstring) and justify the new "
+            f"calibration in the commit."
+        )
+        return
+    assert expected == actual, f"{path}: {expected!r} != {actual!r}"
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if REGEN or not GOLDEN_PATH.exists():
+        data = compute_all()
+        GOLDEN_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                               encoding="utf-8")
+        return data
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+class TestCostModelGolden:
+    def test_golden_file_exists(self, golden):
+        assert GOLDEN_PATH.exists()
+        assert set(golden) == {name for name, *_ in CANONICAL}
+
+    @pytest.mark.parametrize("name,shape,seed,context", CANONICAL,
+                             ids=[c[0] for c in CANONICAL])
+    def test_launch_costs_match_golden(self, golden, name, shape, seed, context):
+        actual = compute_entry(shape, seed, context)
+        _assert_close(name, golden[name], actual)
+
+    def test_batched_pricing_amortises_only_launch_overhead(self, golden):
+        for name, entry in golden.items():
+            per_path_batched = entry["batched_evaluation_time_s_32"] / 32.0
+            sequential = entry["evaluation_time_s"]
+            # batching must win, and the win must be exactly the launch
+            # overhead share (31/32 of it per kernel launch)
+            assert per_path_batched < sequential
+            launches = len(entry["kernels"])
+            overhead = sum(k["launch_overhead_s"] for k in entry["kernels"].values())
+            expected = sequential - overhead * (31.0 / 32.0)
+            assert per_path_batched == pytest.approx(expected, rel=1e-12)
+
+    def test_batch_size_one_is_the_sequential_cost(self, golden):
+        for entry in golden.values():
+            assert entry["batched_evaluation_time_s_1"] == pytest.approx(
+                entry["evaluation_time_s"], rel=1e-12)

@@ -1,0 +1,326 @@
+"""Property-based hardening of the multiprecision numeric core.
+
+Three layers of invariants, each checked over randomised inputs:
+
+* the error-free transformations in :mod:`repro.multiprec.eft` are *exact*:
+  ``result + error`` equals the true real-number result, verified with
+  :class:`fractions.Fraction` (arbitrary-precision rationals);
+* double-double / quad-double arithmetic round-trips: ``(a + b) - b``,
+  ``(a * b) / b`` and ``1 / (1 / a)`` recover ``a`` to the format's relative
+  rounding unit;
+* :class:`~repro.multiprec.ddarray.DDArray` is *bit-for-bit* the vectorised
+  form of the scalar :class:`~repro.multiprec.double_double.DoubleDouble`
+  loop, and division edge cases raise :class:`repro.errors` types instead of
+  silently filling lanes with NaN.
+
+When ``hypothesis`` is installed the invariants additionally run under its
+adversarial generator; otherwise the seeded random driver below provides a
+deterministic fallback with the same coverage shape.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.errors import DivisionByZeroError, NumericalError
+from repro.multiprec import (
+    ComplexDD,
+    ComplexDDArray,
+    ComplexQD,
+    DDArray,
+    DoubleDouble,
+    QuadDouble,
+    quick_two_sum,
+    two_diff,
+    two_prod,
+    two_sqr,
+    two_sum,
+)
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+# ----------------------------------------------------------------------
+# seeded random driver (the hypothesis fallback; always runs)
+# ----------------------------------------------------------------------
+_RNG = np.random.default_rng(20120521)  # the paper's conference year
+
+
+def random_doubles(count: int, magnitude: float = 1e12) -> np.ndarray:
+    """Well-scaled nonzero doubles: safe for exact-product checks."""
+    mantissa = _RNG.uniform(-1.0, 1.0, size=count)
+    mantissa = np.where(np.abs(mantissa) < 1e-3, 0.5, mantissa)
+    exponent = _RNG.uniform(-np.log10(magnitude), np.log10(magnitude), size=count)
+    return mantissa * 10.0 ** exponent
+
+
+def random_dd(count: int) -> list:
+    values = random_doubles(count)
+    tails = _RNG.uniform(-1.0, 1.0, size=count)
+    return [DoubleDouble(float(v), float(v) * 1e-17 * float(t))
+            for v, t in zip(values, tails)]
+
+
+# ----------------------------------------------------------------------
+# error-free transformations: exactness over the rationals
+# ----------------------------------------------------------------------
+class TestEFTInvariants:
+    PAIRS = list(zip(random_doubles(200), random_doubles(200)))
+
+    @pytest.mark.parametrize("a,b", [(1.0, 2.0 ** -60), (1e16, -1.0), (0.0, 0.0)])
+    def test_two_sum_exact_on_corner_cases(self, a, b):
+        s, e = two_sum(a, b)
+        assert Fraction(s) + Fraction(e) == Fraction(a) + Fraction(b)
+
+    def test_two_sum_exact(self):
+        for a, b in self.PAIRS:
+            s, e = two_sum(float(a), float(b))
+            assert Fraction(s) + Fraction(e) == Fraction(float(a)) + Fraction(float(b))
+
+    def test_two_diff_exact(self):
+        for a, b in self.PAIRS:
+            s, e = two_diff(float(a), float(b))
+            assert Fraction(s) + Fraction(e) == Fraction(float(a)) - Fraction(float(b))
+
+    def test_two_prod_exact(self):
+        for a, b in self.PAIRS:
+            p, e = two_prod(float(a), float(b))
+            assert Fraction(p) + Fraction(e) == Fraction(float(a)) * Fraction(float(b))
+
+    def test_two_sqr_exact(self):
+        for a, _ in self.PAIRS:
+            p, e = two_sqr(float(a))
+            assert Fraction(p) + Fraction(e) == Fraction(float(a)) ** 2
+
+    def test_quick_two_sum_exact_when_ordered(self):
+        for a, b in self.PAIRS:
+            hi, lo = (a, b) if abs(a) >= abs(b) else (b, a)
+            s, e = quick_two_sum(float(hi), float(lo))
+            assert Fraction(s) + Fraction(e) == Fraction(float(hi)) + Fraction(float(lo))
+
+    def test_eft_results_are_normalised(self):
+        # |error| can never exceed half an ulp of the result.
+        for a, b in self.PAIRS:
+            s, e = two_sum(float(a), float(b))
+            if s != 0.0:
+                assert abs(e) <= abs(s) * 2.0 ** -52
+
+
+# ----------------------------------------------------------------------
+# double-double / quad-double round trips
+# ----------------------------------------------------------------------
+def _relative_error(value: DoubleDouble, reference: DoubleDouble) -> float:
+    scale = max(abs(reference.hi), 1e-300)
+    return abs(float((value - reference).hi)) / scale
+
+
+class TestScalarRoundTrips:
+    A = random_dd(120)
+    B = random_dd(120)
+
+    def test_add_sub_round_trip(self):
+        # The recovered error is relative to the *larger* operand: adding a
+        # huge b and subtracting it again cancels the low-order digits of a.
+        for a, b in zip(self.A, self.B):
+            err = abs(float(((a + b) - b - a).hi))
+            scale = max(abs(a.hi), abs(b.hi), 1e-300)
+            assert err <= 8 * DoubleDouble.eps * scale
+
+    def test_mul_div_round_trip(self):
+        for a, b in zip(self.A, self.B):
+            assert _relative_error((a * b) / b, a) <= 8 * DoubleDouble.eps
+
+    def test_div_mul_round_trip(self):
+        for a, b in zip(self.A, self.B):
+            assert _relative_error((a / b) * b, a) <= 8 * DoubleDouble.eps
+
+    def test_double_reciprocal(self):
+        for a in self.A:
+            assert _relative_error(1.0 / (1.0 / a), a) <= 8 * DoubleDouble.eps
+
+    def test_qd_mul_div_round_trip(self):
+        for a, b in zip(self.A[:40], self.B[:40]):
+            qa = QuadDouble.from_float(a.hi)
+            qb = QuadDouble.from_float(b.hi)
+            back = (qa * qb) / qb
+            err = abs(float((back - qa).to_float()))
+            assert err <= 8 * QuadDouble.eps * max(abs(a.hi), 1e-300)
+
+    def test_complex_dd_mul_div_round_trip(self):
+        for a, b in zip(self.A[:40], self.B[:40]):
+            za = ComplexDD(a, b)
+            zb = ComplexDD(b, a * 0.5)
+            back = (za * zb) / zb
+            diff = back - za
+            scale = max(abs(a.hi), abs(b.hi), 1e-300)
+            assert abs(complex(diff)) <= 1e3 * DoubleDouble.eps * scale
+
+    def test_complex_qd_division_by_zero(self):
+        with pytest.raises(DivisionByZeroError):
+            ComplexQD(1.0) / ComplexQD(0.0)
+
+
+# ----------------------------------------------------------------------
+# DDArray == vectorised DoubleDouble, bit for bit
+# ----------------------------------------------------------------------
+def _assert_bit_identical(array: DDArray, scalars: list) -> None:
+    for got, expected in zip(array.to_scalars(), scalars):
+        assert (got.hi == expected.hi or (np.isnan(got.hi) and np.isnan(expected.hi)))
+        assert (got.lo == expected.lo or (np.isnan(got.lo) and np.isnan(expected.lo)))
+
+
+class TestDDArrayAgreesWithScalars:
+    A = random_dd(64)
+    B = random_dd(64)
+
+    def _arrays(self):
+        return DDArray.from_scalars(self.A), DDArray.from_scalars(self.B)
+
+    def test_add(self):
+        va, vb = self._arrays()
+        _assert_bit_identical(va + vb, [a + b for a, b in zip(self.A, self.B)])
+
+    def test_sub(self):
+        va, vb = self._arrays()
+        _assert_bit_identical(va - vb, [a - b for a, b in zip(self.A, self.B)])
+
+    def test_mul(self):
+        va, vb = self._arrays()
+        _assert_bit_identical(va * vb, [a * b for a, b in zip(self.A, self.B)])
+
+    def test_div(self):
+        va, vb = self._arrays()
+        _assert_bit_identical(va / vb, [a / b for a, b in zip(self.A, self.B)])
+
+    def test_pow(self):
+        va, _ = self._arrays()
+        _assert_bit_identical(va ** 3, [a * a * a for a in self.A])
+
+    def test_complex_mul(self):
+        za = ComplexDDArray(DDArray.from_scalars(self.A), DDArray.from_scalars(self.B))
+        zb = ComplexDDArray(DDArray.from_scalars(self.B), DDArray.from_scalars(self.A))
+        expected = [ComplexDD(a, b) * ComplexDD(b, a)
+                    for a, b in zip(self.A, self.B)]
+        got = (za * zb).to_scalars()
+        for g, e in zip(got, expected):
+            assert g.real.hi == e.real.hi and g.real.lo == e.real.lo
+            assert g.imag.hi == e.imag.hi and g.imag.lo == e.imag.lo
+
+
+class TestDDArrayDivisionEdgeCases:
+    """The audit of satellite task 4: no silent NaN from division."""
+
+    def test_zero_denominator_raises_repro_error(self):
+        with pytest.raises(DivisionByZeroError):
+            DDArray(np.array([1.0, 2.0])) / DDArray(np.array([3.0, 0.0]))
+
+    def test_zero_denominator_is_also_zero_division_error(self):
+        with pytest.raises(ZeroDivisionError):
+            DDArray(np.array([1.0])) / 0.0
+        with pytest.raises(NumericalError):
+            DDArray(np.array([1.0])) / 0.0
+
+    def test_scalar_rtruediv_zero_denominator(self):
+        with pytest.raises(DivisionByZeroError):
+            1.0 / DDArray(np.array([2.0, 0.0]))
+
+    def test_complex_zero_denominator(self):
+        num = ComplexDDArray.from_complex128(np.array([1 + 1j, 2.0]))
+        den = ComplexDDArray.from_complex128(np.array([1.0, 0.0]))
+        with pytest.raises(DivisionByZeroError):
+            num / den
+
+    def test_complex_rtruediv(self):
+        den = ComplexDDArray.from_complex128(np.array([1 + 1j, 2.0]))
+        out = (2 + 0j) / den
+        expected = 2.0 / np.array([1 + 1j, 2.0])
+        assert np.allclose(out.to_complex128(), expected)
+
+    def test_nan_numerator_propagates_without_raising(self):
+        out = DDArray(np.array([np.nan, 4.0])) / DDArray(np.array([2.0, 2.0]))
+        assert np.isnan(out.hi[0]) and out.hi[1] == 2.0
+
+    def test_nan_denominator_poisons_only_its_lane(self):
+        out = DDArray(np.array([1.0, 4.0])) / DDArray(np.array([np.nan, 2.0]))
+        assert np.isnan(out.hi[0]) and out.hi[1] == 2.0
+
+    def test_scalar_division_by_zero_matches(self):
+        with pytest.raises(DivisionByZeroError):
+            DoubleDouble(1.0) / DoubleDouble(0.0)
+        with pytest.raises(DivisionByZeroError):
+            ComplexDD(1.0) / ComplexDD(0.0)
+
+
+class TestDDArrayMaskedOps:
+    def test_where_selects_lanes(self):
+        a = DDArray(np.array([1.0, 2.0, 3.0]))
+        b = DDArray(np.array([-1.0, -2.0, -3.0]))
+        out = DDArray.where(np.array([True, False, True]), a, b)
+        assert out.hi.tolist() == [1.0, -2.0, 3.0]
+
+    def test_where_broadcasts_lane_mask_over_rows(self):
+        matrix = ComplexDDArray.from_complex128(np.arange(6, dtype=complex).reshape(2, 3))
+        zeros = ComplexDDArray.zeros((2, 3))
+        out = ComplexDDArray.where(np.array([True, False, True]), matrix, zeros)
+        expected = np.arange(6, dtype=complex).reshape(2, 3)
+        expected[:, 1] = 0
+        assert np.array_equal(out.to_complex128(), expected)
+
+    def test_masked_fill(self):
+        a = DDArray(np.array([1.0, 2.0]))
+        out = a.masked_fill(np.array([False, True]), DoubleDouble(9.0))
+        assert out.hi.tolist() == [1.0, 9.0]
+
+    def test_max_abs_axis(self):
+        a = DDArray(np.array([[1.0, -5.0], [3.0, 2.0]]))
+        assert a.max_abs() == 5.0
+        assert a.max_abs(axis=0).tolist() == [3.0, 5.0]
+
+
+# ----------------------------------------------------------------------
+# the same invariants under hypothesis, when available
+# ----------------------------------------------------------------------
+if HAVE_HYPOTHESIS:
+    finite = st.floats(allow_nan=False, allow_infinity=False,
+                       min_value=-1e150, max_value=1e150)
+    well_scaled = st.floats(allow_nan=False, allow_infinity=False,
+                            min_value=-1e100, max_value=1e100).filter(
+        lambda x: x == 0.0 or abs(x) > 1e-100)
+    nonzero = well_scaled.filter(lambda x: x != 0.0)
+
+    class TestHypothesisEFT:
+        @given(a=finite, b=finite)
+        @settings(max_examples=100, deadline=None)
+        def test_two_sum_exact(self, a, b):
+            s, e = two_sum(a, b)
+            assert Fraction(s) + Fraction(e) == Fraction(a) + Fraction(b)
+
+        @given(a=well_scaled, b=well_scaled)
+        @settings(max_examples=100, deadline=None)
+        def test_two_prod_exact(self, a, b):
+            p, e = two_prod(a, b)
+            assert Fraction(p) + Fraction(e) == Fraction(a) * Fraction(b)
+
+    class TestHypothesisDD:
+        @given(a=nonzero, b=nonzero)
+        @settings(max_examples=75, deadline=None)
+        def test_mul_div_round_trip(self, a, b):
+            da, db = DoubleDouble(a), DoubleDouble(b)
+            result = (da * db) / db
+            assert _relative_error(result, da) <= 8 * DoubleDouble.eps
+
+        @given(values=st.lists(nonzero, min_size=1, max_size=16),
+               divisors=st.lists(nonzero, min_size=1, max_size=16))
+        @settings(max_examples=50, deadline=None)
+        def test_ddarray_division_matches_scalars(self, values, divisors):
+            size = min(len(values), len(divisors))
+            scalars_a = [DoubleDouble(v) for v in values[:size]]
+            scalars_b = [DoubleDouble(v) for v in divisors[:size]]
+            out = DDArray.from_scalars(scalars_a) / DDArray.from_scalars(scalars_b)
+            _assert_bit_identical(out, [a / b for a, b in zip(scalars_a, scalars_b)])

@@ -7,6 +7,7 @@ finish in seconds, and their output is checked for the headline sections.
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -14,14 +15,21 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 
 def run_example(name: str, *args: str) -> str:
     script = EXAMPLES_DIR / name
     assert script.exists(), f"missing example {name}"
+    # Propagate the src layout to the subprocess: the conftest sys.path
+    # bootstrap that makes `pytest` work from a plain checkout does not
+    # reach child interpreters.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
     completed = subprocess.run(
         [sys.executable, str(script), *args],
-        capture_output=True, text=True, timeout=600, check=False,
+        capture_output=True, text=True, timeout=600, check=False, env=env,
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     return completed.stdout
@@ -57,3 +65,10 @@ class TestExamples:
         output = run_example("blackbox_solve.py", "--max-paths", "4")
         assert "isolated solutions" in output
         assert "residual" in output
+
+    def test_batch_tracking(self):
+        output = run_example("batch_tracking.py", "--dimension", "3",
+                             "--context", "d", "--batch-sizes", "1", "8")
+        assert "batched path tracking" in output
+        assert "roots agree with the scalar tracker: yes" in output
+        assert "paths/sec win at batch 8" in output

@@ -1,0 +1,70 @@
+"""Tests for the per-lane-pivoted batched linear solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.multiprec.backend import COMPLEX128_BACKEND, COMPLEX_DD_BACKEND
+from repro.multiprec.ddarray import ComplexDDArray
+from repro.tracking import batched_solve
+
+
+def _rows(values, backend):
+    arr = np.asarray(values, dtype=np.complex128)
+    if backend is COMPLEX128_BACKEND:
+        return arr
+    return ComplexDDArray.from_complex128(arr)
+
+
+@pytest.mark.parametrize("backend", [COMPLEX128_BACKEND, COMPLEX_DD_BACKEND],
+                         ids=lambda b: b.name)
+class TestBatchedSolve:
+    def test_matches_numpy_lane_by_lane(self, backend):
+        rng = np.random.default_rng(42)
+        n, lanes = 3, 5
+        matrices = rng.normal(size=(lanes, n, n)) + 1j * rng.normal(size=(lanes, n, n))
+        rhs = rng.normal(size=(lanes, n)) + 1j * rng.normal(size=(lanes, n))
+        matrix = [[_rows(matrices[:, i, j], backend) for j in range(n)]
+                  for i in range(n)]
+        solution, singular = batched_solve(matrix,
+                                           [_rows(rhs[:, i], backend) for i in range(n)],
+                                           backend)
+        assert not singular.any()
+        for lane in range(lanes):
+            expected = np.linalg.solve(matrices[lane], rhs[lane])
+            got = np.array([backend.to_complex128(solution[i])[lane]
+                            for i in range(n)])
+            assert np.allclose(got, expected, rtol=1e-10)
+
+    def test_exact_zero_lane_is_masked_not_raised(self, backend):
+        matrix = [[_rows([1.0, 0.0], backend), _rows([0.0, 0.0], backend)],
+                  [_rows([0.0, 0.0], backend), _rows([1.0, 0.0], backend)]]
+        rhs = [_rows([2.0, 2.0], backend), _rows([3.0, 3.0], backend)]
+        solution, singular = batched_solve(matrix, rhs, backend)
+        assert singular.tolist() == [False, True]
+        assert backend.to_complex128(solution[0])[0] == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("tiny", [1e-170, 1.2e-162 + 1.2e-162j],
+                             ids=["underflowed-square", "hypot-boundary"])
+    def test_denormal_pivot_lane_is_masked_not_raised(self, backend, tiny):
+        # Such pivots are nonzero, but squaring their components underflows:
+        # complex double-double division would raise DivisionByZeroError
+        # (the hypot-boundary case has |p|^2 denormal-nonzero while the
+        # component squares are exact zeros).  The solver must retire only
+        # that lane (the "one bad path cannot stall its batch" contract).
+        matrix = [[_rows([2.0, tiny], backend), _rows([0.0, 0.0], backend)],
+                  [_rows([0.0, 0.0], backend), _rows([2.0, tiny], backend)]]
+        rhs = [_rows([4.0, 1.0], backend), _rows([6.0, 1.0], backend)]
+        solution, singular = batched_solve(matrix, rhs, backend)
+        assert singular.tolist() == [False, True]
+        assert backend.to_complex128(solution[0])[0] == pytest.approx(2.0)
+        assert backend.to_complex128(solution[1])[0] == pytest.approx(3.0)
+
+    def test_inactive_lanes_never_reported_singular(self, backend):
+        matrix = [[_rows([1.0, 0.0], backend)]]
+        rhs = [_rows([1.0, 1.0], backend)]
+        solution, singular = batched_solve(matrix, rhs, backend,
+                                           active=np.array([True, False]))
+        assert singular.tolist() == [False, False]
+        assert backend.to_complex128(solution[0])[0] == pytest.approx(1.0)

@@ -1,0 +1,245 @@
+"""Differential tests: the batched tracker against the scalar tracker.
+
+Both engines share the homotopy, the step-control policy and the Newton
+convergence rules, so on any well-conditioned system they must find the
+*same solution sets* -- compared here as sorted root lists to (double-double
+where applicable) tolerance.  The fixtures cover the seed start-system
+shapes plus a Speelpenning instance (product monomials exercise the
+forward/backward gradient sweep of the batched evaluator), and the masked
+machinery: chunking, lane retirement, and failure attribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CPUReferenceEvaluator
+from repro.errors import ConfigurationError
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE
+from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+from repro.polynomials.generators import speelpenning_system
+from repro.tracking import (
+    BatchTracker,
+    Homotopy,
+    PathStatus,
+    PathTracker,
+    TrackerOptions,
+    start_solutions,
+    total_degree_start_system,
+)
+from repro.tracking.batch_tracker import PathBatch
+
+
+def decoupled_quadratic_system():
+    """``f_i = x_i^2 - a_i``: the seed tracker-test fixture."""
+    polys = []
+    for i, a in enumerate([2.0, 3.0]):
+        polys.append(Polynomial([
+            (1 + 0j, Monomial((i,), (2,))),
+            (-a + 0j, Monomial((), ())),
+        ]))
+    return PolynomialSystem(polys)
+
+
+def speelpenning_chain_system():
+    """``x0 x1 x2 = 8`` with chain couplings: a Speelpenning product drives
+    the Jacobian, so the batched gradient sweep is on the critical path."""
+    polys = [
+        Polynomial([(1 + 0j, Monomial((0, 1, 2), (1, 1, 1))),
+                    (-8 + 0j, Monomial((), ()))]),
+        Polynomial([(1 + 0j, Monomial((0,), (1,))), (-1 + 0j, Monomial((1,), (1,)))]),
+        Polynomial([(1 + 0j, Monomial((1,), (1,))), (-1 + 0j, Monomial((2,), (1,)))]),
+    ]
+    return PolynomialSystem(polys, dimension=3)
+
+
+def scalar_results(system, context, options=None, starts=None):
+    start = total_degree_start_system(system)
+    homotopy = Homotopy(CPUReferenceEvaluator(start, context=context),
+                        CPUReferenceEvaluator(system, context=context),
+                        context=context)
+    tracker = PathTracker(homotopy, context=context, options=options)
+    return [tracker.track(s) for s in (starts or list(start_solutions(system)))]
+
+
+def batch_results(system, context, options=None, batch_size=None, starts=None):
+    start = total_degree_start_system(system)
+    tracker = BatchTracker(start, system, context=context, options=options,
+                           batch_size=batch_size)
+    return tracker.track_many(starts or list(start_solutions(system)))
+
+
+def sorted_roots(results, context, digits=8):
+    roots = []
+    for r in results:
+        if not r.success:
+            continue
+        point = [context.to_complex(x) if not isinstance(x, (int, float, complex))
+                 else complex(x) for x in r.solution]
+        roots.append(tuple((round(z.real, digits), round(z.imag, digits))
+                           for z in point))
+    return sorted(roots)
+
+
+def assert_same_solution_sets(scalar, batched, context, tolerance=1e-8):
+    assert sum(r.success for r in scalar) == sum(r.success for r in batched)
+    left = sorted_roots(scalar, context)
+    right = sorted_roots(batched, context)
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        for (ar, ai), (br, bi) in zip(a, b):
+            assert abs(ar - br) <= tolerance
+            assert abs(ai - bi) <= tolerance
+
+
+class TestDifferentialAgainstScalarTracker:
+    @pytest.mark.parametrize("context", [DOUBLE, DOUBLE_DOUBLE],
+                             ids=lambda c: c.name)
+    def test_decoupled_quadratics(self, context):
+        scalar = scalar_results(decoupled_quadratic_system(), context)
+        batched = batch_results(decoupled_quadratic_system(), context)
+        assert all(r.success for r in batched)
+        assert_same_solution_sets(scalar, batched, context)
+
+    def test_speelpenning_chain(self):
+        system = speelpenning_chain_system()
+        scalar = scalar_results(system, DOUBLE)
+        batched = batch_results(system, DOUBLE)
+        assert all(r.success for r in batched)
+        assert_same_solution_sets(scalar, batched, DOUBLE)
+
+    def test_speelpenning_chain_dd_matches_double_roots(self):
+        system = speelpenning_chain_system()
+        batched_dd = batch_results(system, DOUBLE_DOUBLE)
+        scalar_d = scalar_results(system, DOUBLE)
+        assert all(r.success for r in batched_dd)
+        assert_same_solution_sets(scalar_d, batched_dd, DOUBLE_DOUBLE)
+
+    def test_classic_speelpenning_example_system(self):
+        # Every polynomial is the full product x0 x1 x2 minus a constant;
+        # only the first path bundle converges to actual solutions of the
+        # (inconsistent-looking but square) system where constants differ,
+        # so compare engine against engine, not against a closed form.
+        system = speelpenning_system(2)
+        scalar = scalar_results(system, DOUBLE)
+        batched = batch_results(system, DOUBLE)
+        assert_same_solution_sets(scalar, batched, DOUBLE)
+
+    def test_tangent_predictor_agrees_too(self):
+        options = TrackerOptions(predictor="tangent")
+        system = decoupled_quadratic_system()
+        scalar = scalar_results(system, DOUBLE, options=options)
+        batched = batch_results(system, DOUBLE, options=options)
+        assert_same_solution_sets(scalar, batched, DOUBLE)
+
+    def test_chunked_batches_agree_with_single_batch(self):
+        system = speelpenning_chain_system()
+        whole = batch_results(system, DOUBLE)
+        chunked = batch_results(system, DOUBLE, batch_size=2)
+        assert_same_solution_sets(whole, chunked, DOUBLE)
+
+    def test_track_many_delegation(self):
+        system = decoupled_quadratic_system()
+        start = total_degree_start_system(system)
+        homotopy = Homotopy(CPUReferenceEvaluator(start), CPUReferenceEvaluator(system))
+        tracker = PathTracker(homotopy)
+        starts = list(start_solutions(system))
+        delegated = tracker.track_many(starts, batch_size=2)
+        sequential = tracker.track_many(starts)
+        assert_same_solution_sets(sequential, delegated, DOUBLE)
+
+
+class TestLaneRetirement:
+    def test_bad_start_lane_retires_without_stalling_batch(self):
+        system = speelpenning_chain_system()
+        good = list(start_solutions(system))
+        starts = [[0j, 0j, 0j]] + good
+        results = batch_results(system, DOUBLE, starts=starts)
+        assert not results[0].success
+        assert results[0].failure_reason == "start point does not satisfy the start system"
+        assert all(r.success for r in results[1:])
+
+    def test_max_steps_reported(self):
+        system = decoupled_quadratic_system()
+        options = TrackerOptions(max_steps=2, initial_step=1e-3, max_step=1e-3)
+        results = batch_results(system, DOUBLE, options=options)
+        assert not any(r.success for r in results)
+        assert all(r.failure_reason == "maximum number of steps exceeded"
+                   for r in results)
+
+    def test_evaluation_log_counts_shrink_as_lanes_retire(self):
+        system = decoupled_quadratic_system()
+        start = total_degree_start_system(system)
+        tracker = BatchTracker(start, system, context=DOUBLE)
+        outcome = tracker.track_batches(list(start_solutions(system)))
+        assert outcome.batched_evaluations == len(outcome.evaluation_log)
+        assert max(outcome.evaluation_log) == 4  # full batch at the start
+        assert min(outcome.evaluation_log) >= 1
+        # the per-lane total is what a scalar tracker would have paid
+        assert outcome.lane_evaluations >= outcome.batched_evaluations
+
+    def test_status_counts(self):
+        system = decoupled_quadratic_system()
+        start = total_degree_start_system(system)
+        tracker = BatchTracker(start, system, context=DOUBLE)
+        outcome = tracker.track_batches(list(start_solutions(system)))
+        assert outcome.status_counts() == {"success": 4}
+
+    def test_status_counts_aggregate_across_chunks(self):
+        system = decoupled_quadratic_system()
+        start = total_degree_start_system(system)
+        good = list(start_solutions(system))
+        starts = [[0j, 0j]] + good  # chunk 1 holds the failing lane
+        tracker = BatchTracker(start, system, context=DOUBLE, batch_size=2)
+        outcome = tracker.track_batches(starts)
+        assert len(outcome.batches) == 3
+        counts = outcome.status_counts()
+        assert counts.get("start_failed") == 1
+        assert counts.get("success") == 4
+
+
+class TestPathBatchStructure:
+    def test_select_and_scatter_round_trip(self):
+        from repro.multiprec.backend import COMPLEX128_BACKEND
+
+        batch = PathBatch.from_start_solutions(
+            COMPLEX128_BACKEND, [[1 + 0j, 2 + 0j], [3 + 0j, 4 + 0j],
+                                 [5 + 0j, 6 + 0j]], initial_step=0.1)
+        lanes = np.array([0, 2])
+        sub = batch.select(lanes)
+        assert sub.n_paths == 2 and sub.dimension == 2
+        sub.t[:] = 0.5
+        sub.points[0, 0] = 9 + 0j
+        batch.scatter(lanes, sub)
+        assert batch.t.tolist() == [0.5, 0.0, 0.5]
+        assert batch.points[0, 0] == 9 + 0j
+        assert batch.points[0, 1] == 3 + 0j
+
+    def test_retire_masks_lanes(self):
+        from repro.multiprec.backend import COMPLEX128_BACKEND
+
+        batch = PathBatch.from_start_solutions(
+            COMPLEX128_BACKEND, [[1 + 0j], [2 + 0j]], initial_step=0.1)
+        batch.retire(np.array([True, False]), PathStatus.STEP_UNDERFLOW)
+        assert batch.active.tolist() == [False, True]
+        assert batch.status[0] == int(PathStatus.STEP_UNDERFLOW)
+
+    def test_quad_double_context_is_rejected_clearly(self):
+        system = decoupled_quadratic_system()
+        start = total_degree_start_system(system)
+        with pytest.raises(ConfigurationError):
+            BatchTracker(start, system, context=QUAD_DOUBLE)
+
+
+@pytest.mark.slow
+class TestDifferentialSlow:
+    """Larger differential sweeps, excluded from the tier-1 run."""
+
+    def test_cyclic_quadratic_dimension_4_dd(self):
+        from repro.bench.batch_tracking import cyclic_quadratic_system
+
+        system = cyclic_quadratic_system(4)
+        scalar = scalar_results(system, DOUBLE_DOUBLE)
+        batched = batch_results(system, DOUBLE_DOUBLE, batch_size=8)
+        assert_same_solution_sets(scalar, batched, DOUBLE_DOUBLE)
