@@ -2,7 +2,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-all bench-batch bench-tables
+.PHONY: test test-all bench-batch bench-tables bench-json
 
 # Tier-1: the fast suite (pytest.ini deselects @pytest.mark.slow).
 test:
@@ -15,6 +15,12 @@ test-all:
 # Batched path-tracking throughput sweep (paths/sec vs batch size).
 bench-batch:
 	$(PY) benchmarks/bench_batch_tracking.py
+
+# Machine-readable perf trajectory: batch-tracking and escalation sweeps as
+# JSON (paths/sec per context and batch size; per-rung escalation pricing).
+bench-json:
+	$(PY) benchmarks/bench_batch_tracking.py --json BENCH_batch_tracking.json
+	$(PY) benchmarks/bench_escalation.py --json BENCH_escalation.json
 
 # Regenerate the paper-table benchmarks (explicit file list: bench_* files
 # are not collected by default).

@@ -13,17 +13,21 @@ per path.  This benchmark sweeps the batch size and reports, per row,
   and the wall-clock of the Python tracker itself, whose structure-of-arrays
   arithmetic enjoys the same amortisation.
 
-Run as a script (``python benchmarks/bench_batch_tracking.py``) or through
-pytest (``pytest benchmarks/bench_batch_tracking.py -s``).
+Run as a script (``python benchmarks/bench_batch_tracking.py [--json PATH]``,
+which also sweeps quad double) or through pytest
+(``pytest benchmarks/bench_batch_tracking.py -s``).
 """
 
 from __future__ import annotations
+
+import argparse
+import json
 
 import pytest
 
 from repro.bench import run_batch_tracking_bench
 from repro.bench.reporting import format_table
-from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE
 
 BATCH_SIZES = (1, 2, 4, 8, 16, 32)
 DIMENSION = 5  # 2^5 = 32 paths: one full batch at the largest size
@@ -52,8 +56,27 @@ def test_batch_tracking_throughput(context, write_result):
 
 
 if __name__ == "__main__":
-    for context in (DOUBLE, DOUBLE_DOUBLE):
-        rows, table = sweep(context)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the sweep report as JSON to PATH")
+    json_path = parser.parse_args().json
+    report = {}
+    for context in (DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE):
+        # The qd sweep tracks a smaller start set: pure-Python quad-double
+        # lanes are slow in wall-clock terms even though the predicted
+        # device throughput is what the row reports.
+        dimension = DIMENSION if context is not QUAD_DOUBLE else 3
+        sizes = BATCH_SIZES if context is not QUAD_DOUBLE else (1, 8)
+        rows, table = sweep(context, batch_sizes=sizes, dimension=dimension)
         print(table)
         win = rows[-1].paths_per_second / rows[0].paths_per_second
         print(f"-> paths/sec win at batch {rows[-1].batch_size}: {win:.1f}x\n")
+        report[context.name] = {
+            "dimension": dimension,
+            "rows": [r.as_dict() for r in rows],
+            "paths_per_second_win": win,
+        }
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {json_path}")

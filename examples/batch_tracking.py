@@ -26,7 +26,7 @@ import argparse
 from repro.bench import format_table, run_batch_tracking_bench
 from repro.bench.batch_tracking import cyclic_quadratic_system
 from repro.core import CPUReferenceEvaluator
-from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.multiprec import get_context
 from repro.tracking import (
     BatchTracker,
     Homotopy,
@@ -52,13 +52,14 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dimension", type=int, default=3,
                         help="dimension n of the cyclic quadratic system (2^n paths)")
-    parser.add_argument("--context", choices=("d", "dd"), default="dd",
-                        help="working arithmetic for the trackers")
+    parser.add_argument("--context", choices=("d", "dd", "qd"), default="dd",
+                        help="working arithmetic for the trackers (qd is "
+                             "pure-Python slow: keep --dimension at 2)")
     parser.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 4, 8],
                         help="batch sizes for the throughput table")
     args = parser.parse_args()
 
-    context = DOUBLE if args.context == "d" else DOUBLE_DOUBLE
+    context = get_context(args.context)
     target = cyclic_quadratic_system(args.dimension)
     start = total_degree_start_system(target)
     starts = list(start_solutions(target))

@@ -7,6 +7,7 @@ from .batch_tracking import (
     cyclic_quadratic_system,
     run_batch_tracking_bench,
 )
+from .escalation import EscalationRow, EscalationSummary, run_escalation_bench
 from .harness import RowResult, run_table, run_workload, speedup_curve
 from .reporting import format_breakdown, format_paper_rows, format_table
 from .workloads import (
@@ -25,6 +26,9 @@ __all__ = [
     "PaperRow",
     "cyclic_quadratic_system",
     "run_batch_tracking_bench",
+    "EscalationRow",
+    "EscalationSummary",
+    "run_escalation_bench",
     "RowResult",
     "TABLE1_ROWS",
     "TABLE1_WORKLOADS",

@@ -41,11 +41,14 @@ from ..tracking.tracker import TrackerOptions
 __all__ = [
     "BatchTrackingRow",
     "cyclic_quadratic_system",
+    "measured_homotopy_stats",
     "run_batch_tracking_bench",
 ]
 
-#: kernel launches of one homotopy evaluation: start + target system,
-#: three kernels each (common factor, Speelpenning, summation).
+#: systems evaluated by one homotopy evaluation: start + target, three
+#: kernels each (common factor, Speelpenning, summation).  Retained for
+#: callers that price a homotopy evaluation from a single template; the
+#: sweep itself now measures the two systems separately.
 SYSTEMS_PER_HOMOTOPY_EVALUATION = 2
 
 
@@ -112,6 +115,26 @@ def batch_state_bytes(batch_size: int, dimension: int,
     return complex_entries * 2 * context.bytes_per_real + control
 
 
+def measured_homotopy_stats(target: PolynomialSystem, start: PolynomialSystem,
+                            context: NumericContext) -> list:
+    """Measured launch statistics of one homotopy evaluation in ``context``.
+
+    One simulated evaluation of the regular target system plus one of the
+    (usually irregular) start system through the padded layout --
+    phantom-variable padding keeps every thread's work uniform, so the start
+    system gets its own measured statistics instead of borrowing the
+    target's template.  Counts depend on the context (wider operands move
+    more memory transactions), so callers must measure per arithmetic.
+    """
+    point = random_point(target.dimension, seed=7)
+    target_template = GPUEvaluator(target, context=context,
+                                   collect_memory_trace=False)
+    start_template = GPUEvaluator(start, context=context, padded=True,
+                                  collect_memory_trace=False)
+    return (list(target_template.evaluate(point).launch_stats)
+            + list(start_template.evaluate(point).launch_stats))
+
+
 def run_batch_tracking_bench(batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32),
                              dimension: int = 5,
                              context: NumericContext = DOUBLE_DOUBLE,
@@ -132,13 +155,7 @@ def run_batch_tracking_bench(batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32),
     start = total_degree_start_system(target)
     starts = list(start_solutions(target))
 
-    # The per-point launch template: one measured evaluation of the target
-    # on the simulated device.  The start system x_i^d - 1 is irregular
-    # (its constant monomials have k = 0), so its three launches are priced
-    # with the same template -- an upper bound, since the start system's
-    # supports are never wider than the target's.
-    template = GPUEvaluator(target, context=context, collect_memory_trace=False)
-    stats = template.evaluate(random_point(dimension, seed=7)).launch_stats
+    stats = measured_homotopy_stats(target, start, context)
 
     rows: List[BatchTrackingRow] = []
     for batch_size in batch_sizes:
@@ -149,8 +166,7 @@ def run_batch_tracking_bench(batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32),
         wall = time.perf_counter() - began
 
         predicted = sum(
-            SYSTEMS_PER_HOMOTOPY_EVALUATION
-            * model.batched_evaluation_time(stats, lanes, context)
+            model.batched_evaluation_time(stats, lanes, context)
             for lanes in outcome.evaluation_log
         )
         rows.append(BatchTrackingRow(

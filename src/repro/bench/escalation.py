@@ -1,0 +1,250 @@
+"""Escalation benchmark: the quality-up argument as an operational pipeline.
+
+The paper's quality-up tables say *which* extended precision a given parallel
+speedup pays for; the adaptive d -> dd -> qd escalation of
+:class:`~repro.tracking.solver.EscalationPolicy` turns that into a running
+policy: track everything in the cheapest arithmetic, re-track only the failed
+residue wider.  This benchmark measures what the policy buys under the
+calibrated GPU cost model:
+
+1. all paths of the benchmark system are batch-tracked at each rung of the
+   ladder, each rung receiving only the previous rung's failures (the
+   tolerance is chosen so plain double precision genuinely fails);
+2. every rung's *measured* evaluation log is priced as batched kernel
+   launches in that rung's arithmetic -- start and target system stats are
+   both measured (the irregular start system through the padded layout);
+3. the summary compares the escalated pipeline against the conservative
+   alternative that tracks every path at the widest rung from the start,
+   in two components.  The *total* predicted seconds are dominated by the
+   fixed launch overhead at benchmark sizes, which batching amortises
+   identically for every arithmetic -- that is the paper's quality-up
+   regime, where the wide arithmetic is nearly free and the totals of the
+   two pipelines are close.  The *software-arithmetic* seconds isolate the
+   precision-sensitive work (the dd ~8x / qd ~40x factors); there the
+   escalated pipeline wins by roughly the fraction of paths that never
+   needed the wide arithmetic, which is what the policy is for.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..gpusim.costmodel import GPUCostModel
+from ..multiprec.numeric import DOUBLE, DOUBLE_DOUBLE, NumericContext
+from ..polynomials.system import PolynomialSystem
+from ..tracking.batch_tracker import BatchTracker
+from ..tracking.start_systems import start_solutions, total_degree_start_system
+from ..tracking.tracker import TrackerOptions
+from .batch_tracking import cyclic_quadratic_system, measured_homotopy_stats
+
+__all__ = ["EscalationRow", "EscalationSummary", "run_escalation_bench"]
+
+
+@dataclass
+class EscalationRow:
+    """One rung of the escalation ladder."""
+
+    context: str
+    overhead_factor: float
+    paths_attempted: int
+    paths_converged: int
+    recovered: int
+    batched_evaluations: int
+    lane_evaluations: int
+    predicted_device_seconds: float
+    arithmetic_seconds: float
+    paths_per_second: float
+    tracker_wall_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "context": self.context,
+            "overhead": self.overhead_factor,
+            "attempted": self.paths_attempted,
+            "converged": self.paths_converged,
+            "recovered": self.recovered,
+            "batched_evals": self.batched_evaluations,
+            "lane_evals": self.lane_evaluations,
+            "device_s": self.predicted_device_seconds,
+            "arith_s": self.arithmetic_seconds,
+            "paths_per_s": self.paths_per_second,
+            "wall_s": self.tracker_wall_seconds,
+        }
+
+
+@dataclass
+class EscalationSummary:
+    """Aggregate outcome of one escalated solve.
+
+    The widest-only baseline prices the first rung's *measured* evaluation
+    profile at the widest arithmetic of the ladder: lane retirement is driven
+    by the workload, not the precision, so that profile is what an
+    all-paths-at-the-widest run would execute.
+    """
+
+    rows: List[EscalationRow]
+    paths_total: int
+    paths_converged: int
+    recovered_by_escalation: int
+    escalated_device_seconds: float
+    escalated_arithmetic_seconds: float
+    widest_only_device_seconds: float
+    widest_only_arithmetic_seconds: float
+
+    @property
+    def saving_factor(self) -> float:
+        """Total-seconds saving over all-at-the-widest.
+
+        Close to (even slightly below) 1 at benchmark sizes: the fixed
+        launch overhead dominates and batching amortises it for every
+        arithmetic alike -- precision is wall-clock free, the quality-up
+        regime.
+        """
+        if self.escalated_device_seconds == 0:
+            return float("inf")
+        return self.widest_only_device_seconds / self.escalated_device_seconds
+
+    @property
+    def arithmetic_saving_factor(self) -> float:
+        """Software-arithmetic saving over all-at-the-widest.
+
+        This isolates the precision-sensitive work the escalation policy
+        economises: paths that converge on an early rung never pay the wide
+        arithmetic's ~8x / ~40x factor.
+        """
+        if self.escalated_arithmetic_seconds == 0:
+            return float("inf")
+        return (self.widest_only_arithmetic_seconds
+                / self.escalated_arithmetic_seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rows": [row.as_dict() for row in self.rows],
+            "paths_total": self.paths_total,
+            "paths_converged": self.paths_converged,
+            "recovered_by_escalation": self.recovered_by_escalation,
+            "escalated_device_s": self.escalated_device_seconds,
+            "escalated_arithmetic_s": self.escalated_arithmetic_seconds,
+            "widest_only_device_s": self.widest_only_device_seconds,
+            "widest_only_arithmetic_s": self.widest_only_arithmetic_seconds,
+            "saving_factor": self.saving_factor,
+            "arithmetic_saving_factor": self.arithmetic_saving_factor,
+        }
+
+
+def _priced(model: GPUCostModel, stats, lanes: int,
+            context: NumericContext) -> tuple:
+    """(total, arithmetic+memory) seconds of one batched homotopy evaluation."""
+    total = 0.0
+    precision_sensitive = 0.0
+    for s in stats:
+        breakdown = model.batched_kernel_time(s, lanes, context)
+        total += breakdown.total
+        precision_sensitive += breakdown.arithmetic + breakdown.memory_throughput
+    return total, precision_sensitive
+
+
+def run_escalation_bench(dimension: int = 4,
+                         ladder: Sequence[NumericContext] = (DOUBLE, DOUBLE_DOUBLE),
+                         end_tolerance: float = 5e-17,
+                         batch_size: Optional[int] = None,
+                         options: Optional[TrackerOptions] = None,
+                         cost_model: Optional[GPUCostModel] = None,
+                         system: Optional[PolynomialSystem] = None,
+                         ) -> EscalationSummary:
+    """Escalated batch tracking of the benchmark system, priced per rung.
+
+    The default ``end_tolerance`` of ``5e-17`` sits right at the
+    double-precision roundoff floor, so a *fraction* of the paths genuinely
+    fails at ``d`` and is recovered at ``dd`` -- the regime escalation is
+    designed for.  Tighten it (1e-17 fails nearly everything at ``d``;
+    below ~1e-32 even ``dd`` fails, pushing the residue into ``qd`` when the
+    ladder includes :data:`~repro.multiprec.numeric.QUAD_DOUBLE`).
+    """
+    model = cost_model or GPUCostModel()
+    target = system or cyclic_quadratic_system(dimension)
+    dimension = target.dimension
+    start = total_degree_start_system(target)
+    opts = options or TrackerOptions(end_tolerance=end_tolerance,
+                                     end_iterations=12)
+
+    # Measured launch templates per arithmetic (wider operands move more
+    # memory transactions, so the counts are context-dependent): regular
+    # target plus padded start system, one measurement per rung.
+    stats_by_context = {ctx.name: measured_homotopy_stats(target, start, ctx)
+                        for ctx in ladder}
+
+    pending = list(start_solutions(target))
+    total_paths = len(pending)
+    rows: List[EscalationRow] = []
+    total_converged = 0
+    recovered_total = 0
+    escalated_seconds = 0.0
+    escalated_arith = 0.0
+    widest = ladder[-1] if ladder else DOUBLE
+    first_log: List[int] = []
+
+    for level, context in enumerate(ladder):
+        if not pending:
+            break
+        tracker = BatchTracker(start, target, context=context, options=opts,
+                               batch_size=batch_size)
+        began = time.perf_counter()
+        outcome = tracker.track_batches(pending)
+        wall = time.perf_counter() - began
+        if level == 0:
+            first_log = list(outcome.evaluation_log)
+
+        predicted = 0.0
+        arith = 0.0
+        for lanes in outcome.evaluation_log:
+            total, sensitive = _priced(model, stats_by_context[context.name],
+                                       lanes, context)
+            predicted += total
+            arith += sensitive
+        converged = outcome.paths_converged
+        recovered = converged if level > 0 else 0
+        rows.append(EscalationRow(
+            context=context.name,
+            overhead_factor=model.arithmetic_cost_factor(context),
+            paths_attempted=len(pending),
+            paths_converged=converged,
+            recovered=recovered,
+            batched_evaluations=outcome.batched_evaluations,
+            lane_evaluations=outcome.lane_evaluations,
+            predicted_device_seconds=predicted,
+            arithmetic_seconds=arith,
+            paths_per_second=len(pending) / predicted if predicted else float("inf"),
+            tracker_wall_seconds=wall,
+        ))
+        total_converged += converged
+        recovered_total += recovered
+        escalated_seconds += predicted
+        escalated_arith += arith
+        pending = [s for s, r in zip(pending, outcome.results) if not r.success]
+
+    # The conservative baseline: every path at the widest arithmetic, priced
+    # on the first rung's measured evaluation profile (lane retirement is
+    # workload-driven, so an all-widest run executes essentially this log)
+    # with the widest rung's own measured launch counts.
+    widest_only = 0.0
+    widest_arith = 0.0
+    if first_log:
+        widest_stats = stats_by_context[widest.name]
+        for lanes in first_log:
+            total, sensitive = _priced(model, widest_stats, lanes, widest)
+            widest_only += total
+            widest_arith += sensitive
+
+    return EscalationSummary(
+        rows=rows,
+        paths_total=total_paths,
+        paths_converged=total_converged,
+        recovered_by_escalation=recovered_total,
+        escalated_device_seconds=escalated_seconds,
+        escalated_arithmetic_seconds=escalated_arith,
+        widest_only_device_seconds=widest_only,
+        widest_only_arithmetic_seconds=widest_arith,
+    )

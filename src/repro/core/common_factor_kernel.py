@@ -54,7 +54,9 @@ class CommonFactorKernel(Kernel):
 
     # -- shared memory -----------------------------------------------------
     def configure_shared(self, shared: SharedMemory, config: LaunchConfig) -> None:
-        n = self.layout.dimension
+        # storage_dimension includes the phantom variable of a padded layout,
+        # whose powers are all 1 and flow through the table like any other.
+        n = self.layout.storage_dimension
         d = max(self.layout.max_variable_degree, 1)
         elem = self.layout.complex_element_bytes
         shared.allocate(SHARED_VARIABLES, n, elem)
@@ -70,7 +72,7 @@ class CommonFactorKernel(Kernel):
     # -- stage 1: power table ------------------------------------------------
     def run_powers_phase(self, ctx: ThreadContext) -> None:
         layout = self.layout
-        n = layout.dimension
+        n = layout.storage_dimension
         d = max(layout.max_variable_degree, 1)
         one = layout.context.one()
 
@@ -102,7 +104,7 @@ class CommonFactorKernel(Kernel):
     # -- stage 2: common factors -----------------------------------------------
     def run_factor_phase(self, ctx: ThreadContext) -> None:
         layout = self.layout
-        n = layout.dimension
+        n = layout.storage_dimension
         k = layout.variables_per_monomial
         monomial_index = ctx.global_thread_id
         if monomial_index >= layout.total_monomials:

@@ -108,6 +108,13 @@ class GPUEvaluator:
         limits that capped the paper's experiments at 1,536 monomials.
     collect_memory_trace:
         Forwarded to the launcher; disable to save memory in large sweeps.
+    padded:
+        Accept an *irregular* system by laying it out padded (see
+        :class:`~repro.core.layout.SystemLayout`): zero-coefficient padding
+        terms and a phantom variable pinned to 1 make every thread perform
+        uniform work, so irregular systems -- notably the total-degree start
+        system ``x_i^d - 1`` -- get their own measured launch statistics.
+        Byte support encoding only.
     """
 
     def __init__(self, system: PolynomialSystem, *,
@@ -117,7 +124,8 @@ class GPUEvaluator:
                  common_factor_variant: str = "two_stage",
                  support_encoding: str = "byte",
                  check_capacity: bool = True,
-                 collect_memory_trace: bool = True):
+                 collect_memory_trace: bool = True,
+                 padded: bool = False):
         if common_factor_variant not in ("two_stage", "from_scratch"):
             raise ConfigurationError(
                 "common_factor_variant must be 'two_stage' or 'from_scratch'"
@@ -134,8 +142,10 @@ class GPUEvaluator:
         self.common_factor_variant = common_factor_variant
         self.support_encoding = support_encoding
         self.collect_memory_trace = collect_memory_trace
+        self.padded = bool(padded)
 
-        self.layout = SystemLayout(system, context, encoding_format=support_encoding)
+        self.layout = SystemLayout(system, context, encoding_format=support_encoding,
+                                   padded=self.padded)
         if check_capacity:
             self.layout.check_device_capacity(device, block_size=self.block_size)
 
@@ -171,7 +181,7 @@ class GPUEvaluator:
         elem = layout.complex_element_bytes
         zero = self.context.zero()
         gmem = GlobalMemory(self.device.global_memory_bytes)
-        gmem.allocate(ARRAY_X, layout.dimension, elem, fill=zero)
+        gmem.allocate(ARRAY_X, layout.storage_dimension, elem, fill=zero)
         gmem.allocate(ARRAY_COMMON_FACTORS, layout.total_monomials, elem, fill=zero)
         gmem.store_array(ARRAY_COEFFS, layout.build_coefficients(), elem)
         gmem.store_array(ARRAY_MONS, layout.build_mons_initial(), elem)
@@ -209,6 +219,9 @@ class GPUEvaluator:
             if isinstance(value, (int, float, complex)):
                 value = self.context.from_complex(complex(value))
             self._global_memory.write(ARRAY_X, i, value)
+        if layout.has_phantom_variable:
+            # The phantom variable of a padded layout is pinned to 1.
+            self._global_memory.write(ARRAY_X, layout.dimension, self.context.one())
 
     def evaluate(self, point: Sequence) -> GPUEvaluation:
         """Run the three kernels for one point and read back the results."""

@@ -126,7 +126,8 @@ class SystemLayout:
     Parameters
     ----------
     system:
-        A regular :class:`~repro.polynomials.system.PolynomialSystem`.
+        A regular :class:`~repro.polynomials.system.PolynomialSystem` -- or,
+        with ``padded=True``, any square system.
     context:
         The numeric context; determines element sizes (and therefore
         coalescing behaviour and shared-memory budgets).
@@ -134,13 +135,31 @@ class SystemLayout:
         ``"byte"`` (the paper's char-per-entry ``Positions``/``Exponents``
         tables) or ``"packed"`` (the 16-bit packed encoding of the paper's
         planned extension, supporting dimensions up to 1,024).
+    padded:
+        Lay out an *irregular* system (e.g. the total-degree start system
+        ``x_i^d - 1``, whose constant terms have ``k = 0``) by padding it to
+        the regular shape ``(n, max m, max k)``:
+
+        * polynomials with fewer than ``m`` terms receive zero-coefficient
+          padding terms, and
+        * monomials with fewer than ``k`` variables receive *phantom
+          variable* entries -- an extra variable ``x_n`` pinned to the
+          constant 1, with its derivative coefficients set to zero so its
+          Jacobian column lands in a discarded block of ``Mons``.
+
+        Every thread then performs the uniform ``k``-entry work of the
+        paper's kernels (no warp divergence), values and Jacobian come out
+        exactly right, and the launch statistics are *measured* for the
+        irregular system instead of borrowed from a regular template.  Only
+        the byte support encoding is implemented.
     """
 
     ENCODING_FORMATS = ("byte", "packed")
 
     def __init__(self, system: PolynomialSystem,
                  context: NumericContext = DOUBLE,
-                 encoding_format: str = "byte"):
+                 encoding_format: str = "byte",
+                 padded: bool = False):
         if encoding_format not in self.ENCODING_FORMATS:
             raise ConfigurationError(
                 f"encoding_format must be one of {self.ENCODING_FORMATS}, "
@@ -149,15 +168,23 @@ class SystemLayout:
         self.system = system
         self.context = context
         self.encoding_format = encoding_format
-        self.shape: SystemShape = system.require_regular()
-        if encoding_format == "packed":
-            self.encoding = PackedSupportEncoding.from_system(system)
+        self.padded = bool(padded)
+        if self.padded:
+            if encoding_format != "byte":
+                raise ConfigurationError(
+                    "the padded layout is only implemented for the byte "
+                    "support encoding"
+                )
+            if not system.is_square():
+                raise ConfigurationError("the padded layout needs a square system")
+            self.shape = self._padded_shape(system)
         else:
-            self.encoding = SupportEncoding.from_system(system)
+            self.shape: SystemShape = system.require_regular()
 
         n = self.shape.dimension
         m = self.shape.monomials_per_polynomial
         self.sequence: List[MonomialRecord] = []
+        padding_monomial = Monomial((), ())
         for p, poly in enumerate(system):
             for t, (coeff, mono) in enumerate(poly.terms):
                 self.sequence.append(MonomialRecord(
@@ -167,6 +194,79 @@ class SystemLayout:
                     coefficient=coeff,
                     monomial=mono,
                 ))
+            for t in range(poly.num_terms, m):
+                self.sequence.append(MonomialRecord(
+                    sequence_index=p * m + t,
+                    polynomial_index=p,
+                    term_index=t,
+                    coefficient=0j,
+                    monomial=padding_monomial,
+                ))
+
+        if self.padded:
+            self._has_phantom = any(
+                record.monomial.num_variables < self.shape.variables_per_monomial
+                for record in self.sequence)
+            self.encoding = self._build_padded_encoding()
+        else:
+            self._has_phantom = False
+            if encoding_format == "packed":
+                self.encoding = PackedSupportEncoding.from_system(system)
+            else:
+                self.encoding = SupportEncoding.from_system(system)
+
+    @staticmethod
+    def _padded_shape(system: PolynomialSystem) -> SystemShape:
+        """The smallest regular shape enclosing an irregular system."""
+        m = max(poly.num_terms for poly in system)
+        k = 0
+        d = 1
+        for poly in system:
+            for _, mono in poly.terms:
+                k = max(k, mono.num_variables)
+                d = max(d, mono.max_exponent)
+        return SystemShape(
+            dimension=system.dimension,
+            monomials_per_polynomial=m,
+            variables_per_monomial=max(k, 1),
+            max_variable_degree=d,
+        )
+
+    def support_entries(self, record: MonomialRecord) -> List[Tuple[int, int]]:
+        """The ``k`` (position, exponent) entries of one sequence record,
+        phantom-padded in padded mode."""
+        entries = list(zip(record.monomial.positions, record.monomial.exponents))
+        pad = self.variables_per_monomial - len(entries)
+        if pad:
+            entries.extend([(self.dimension, 1)] * pad)
+        return entries
+
+    def _build_padded_encoding(self) -> SupportEncoding:
+        """Byte support tables with phantom-variable padding entries."""
+        import numpy as np
+
+        if self.storage_dimension > 256:
+            raise ConfigurationError(
+                "the byte encoding stores variable positions in one unsigned "
+                f"char; padded dimension {self.storage_dimension} exceeds 256"
+            )
+        if self.shape.max_variable_degree > 256:
+            raise ConfigurationError(
+                "the byte encoding stores exponent-1 in one unsigned char; "
+                f"degree {self.shape.max_variable_degree} exceeds 256"
+            )
+        positions: List[int] = []
+        exponents: List[int] = []
+        for record in self.sequence:
+            for position, exponent in self.support_entries(record):
+                positions.append(position)
+                exponents.append(exponent - 1)
+        return SupportEncoding(
+            positions=np.asarray(positions, dtype=np.uint8),
+            exponents=np.asarray(exponents, dtype=np.uint8),
+            variables_per_monomial=self.variables_per_monomial,
+            total_monomials=self.total_monomials,
+        )
 
     # ------------------------------------------------------------------
     # sizes
@@ -174,6 +274,20 @@ class SystemLayout:
     @property
     def dimension(self) -> int:
         return self.shape.dimension
+
+    @property
+    def has_phantom_variable(self) -> bool:
+        """Whether the padded layout actually uses the phantom variable."""
+        return self._has_phantom
+
+    @property
+    def storage_dimension(self) -> int:
+        """Variables held on the device: ``n`` plus the phantom, if used.
+
+        The kernels size their variable and power tables with this, so the
+        phantom variable's constant 1 flows through exactly like a real one.
+        """
+        return self.dimension + 1 if self._has_phantom else self.dimension
 
     @property
     def monomials_per_polynomial(self) -> int:
@@ -194,9 +308,12 @@ class SystemLayout:
 
     @property
     def num_targets(self) -> int:
-        """``n^2 + n``: polynomials of the system plus Jacobian entries."""
-        n = self.dimension
-        return n * n + n
+        """``n^2 + n``: polynomials of the system plus Jacobian entries.
+
+        With a phantom variable one extra block of ``n`` discarded targets
+        holds its (zero-coefficient) Jacobian column: ``n * (n + 2)``.
+        """
+        return self.dimension * (self.storage_dimension + 1)
 
     @property
     def coeffs_length(self) -> int:
@@ -270,7 +387,10 @@ class SystemLayout:
             c = record.coefficient
             exps = record.monomial.exponents
             for slot in range(k):
-                scaled = c * exps[slot]
+                # Padding slots (phantom-variable entries) get a zero
+                # derivative coefficient: the phantom's Jacobian column must
+                # stay zero even though its Speelpenning derivative is not.
+                scaled = c * exps[slot] if slot < len(exps) else 0j
                 coeffs[self.coeffs_index(slot, record.sequence_index)] = ctx.from_complex(scaled)
             coeffs[self.coeffs_index(k, record.sequence_index)] = ctx.from_complex(c)
         return coeffs
@@ -293,7 +413,7 @@ class SystemLayout:
             j = record.term_index
             p = record.polynomial_index
             out.append(self.mons_value_index(j, p))
-            for variable in record.monomial.positions:
+            for variable in dict.fromkeys(pos for pos, _ in self.support_entries(record)):
                 out.append(self.mons_derivative_index(j, p, variable))
         return out
 
@@ -306,7 +426,7 @@ class SystemLayout:
         of kernel 2.
         """
         self.encoding.require_fits(device.constant_memory_bytes)
-        budget = shared_memory_budget(self.dimension, self.variables_per_monomial,
+        budget = shared_memory_budget(self.storage_dimension, self.variables_per_monomial,
                                       block_size=block_size, context=self.context)
         if not budget.fits(device):
             raise DeviceCapacityError(

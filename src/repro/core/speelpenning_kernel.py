@@ -55,8 +55,9 @@ class SpeelpenningKernel(Kernel):
     def configure_shared(self, shared: SharedMemory, config: LaunchConfig) -> None:
         layout = self.layout
         elem = layout.complex_element_bytes
-        # Values of all n variables, shared by the threads of the block.
-        shared.allocate(SHARED_VARIABLES, layout.dimension, elem)
+        # Values of all n variables (plus the phantom of a padded layout),
+        # shared by the threads of the block.
+        shared.allocate(SHARED_VARIABLES, layout.storage_dimension, elem)
         # k + 1 workspace locations per thread (the L1..L(k+1) of the paper).
         shared.allocate(SHARED_WORKSPACE,
                         config.block_dim * (layout.variables_per_monomial + 1), elem)
@@ -71,7 +72,7 @@ class SpeelpenningKernel(Kernel):
 
     # -- stage 1: load the variable values into shared memory ----------------
     def run_load_phase(self, ctx: ThreadContext) -> None:
-        n = self.layout.dimension
+        n = self.layout.storage_dimension
         variable = ctx.threadIdx
         while variable < n:
             x = ctx.global_read(ARRAY_X, variable, tag="load_x")

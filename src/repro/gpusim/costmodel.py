@@ -19,7 +19,14 @@ simple and its constants are documented here:
   device-wide throughput, plus one exposed latency per block wave;
 * shared-memory bank conflicts serialise and are charged per extra pass;
 * software arithmetic (double-double, quad-double) multiplies the arithmetic
-  term by the context's ``mul_cost_factor`` -- the paper's "factor of 8".
+  term by a per-context *software cost factor* -- the paper's "factor of 8"
+  for double-double and ~40 for quad-double.  The factors default to the
+  contexts' ``mul_cost_factor`` but are overridable per model instance
+  (:attr:`GPUCostModel.software_cost_factors`), so measured overheads can be
+  plugged in without touching the numeric contexts;
+* memory traffic scales with the *payload width* of the arithmetic
+  (``bytes_per_real / 8``): a double-double operand moves twice the bytes of
+  a double, a quad-double four times.
 
 Calibration: the single free constant tuned to the paper is the kernel launch
 overhead (40 microseconds, a realistic figure for 2011-era CUDA driver +
@@ -92,6 +99,11 @@ class GPUCostModel:
         Extra cycles per serialised shared-memory pass.
     kernel_launch_overhead_s:
         Fixed host-side cost per kernel launch (driver + synchronisation).
+    software_cost_factors:
+        Arithmetic overhead per context name relative to hardware complex
+        doubles; unknown contexts fall back to their ``mul_cost_factor``.
+        Defaults to the paper's measured figures: ~8 for double-double and
+        ~40 for quad-double.
     """
 
     device: DeviceSpec = TESLA_C2050
@@ -101,12 +113,28 @@ class GPUCostModel:
     cycles_per_transaction: float = 2.0
     cycles_per_bank_conflict: float = 1.0
     kernel_launch_overhead_s: float = 40.0e-6
+    software_cost_factors: Dict[str, float] = field(
+        default_factory=lambda: {"d": 1.0, "dd": 8.0, "qd": 40.0})
+
+    def arithmetic_cost_factor(self, context: NumericContext) -> float:
+        """Software-arithmetic overhead of ``context`` (d=1, dd~8, qd~40)."""
+        return self.software_cost_factors.get(context.name, context.mul_cost_factor)
+
+    @staticmethod
+    def memory_scale(context: NumericContext) -> float:
+        """Payload width of the arithmetic relative to hardware doubles.
+
+        Memory traffic grows with operand *size*, not with the arithmetic's
+        instruction count: double-double operands are 2x the bytes, quad
+        double 4x.
+        """
+        return max(1.0, context.bytes_per_real / 8.0)
 
     def kernel_time(self, stats: LaunchStats,
                     context: NumericContext = DOUBLE) -> KernelTimeBreakdown:
         """Predicted wall-clock of one launch in the given arithmetic."""
         clock = self.device.clock_hz
-        factor = context.mul_cost_factor
+        factor = self.arithmetic_cost_factor(context)
 
         # Arithmetic: critical path over multiprocessors, warp-serialised.
         per_sm_mults = self._per_sm(stats, "max_multiplications")
@@ -122,8 +150,9 @@ class GPUCostModel:
                 for sm in sms
             )
 
-        # Memory throughput: all transactions share the device's bandwidth.
-        scale = max(1.0, factor / 2.0)  # wider payloads for dd/qd operands
+        # Memory throughput: all transactions share the device's bandwidth,
+        # and dd/qd operands move proportionally more bytes per value.
+        scale = self.memory_scale(context)
         memory_cycles = stats.global_transactions * self.cycles_per_transaction * scale
         latency_cycles = stats.schedule.waves * self.device.global_memory_latency_cycles
         conflict_cycles = stats.shared_bank_conflicts * self.cycles_per_bank_conflict
@@ -204,18 +233,25 @@ class CPUCostModel:
     6 floating-point operations it contains (memory traffic, no
     vectorisation).  The calibrated figure of ~105 CPU cycles per complex
     double multiplication reproduces the paper's single-core times for both
-    monomial shapes; double-double and quad-double scale it by the context's
-    ``mul_cost_factor`` exactly as the paper's "cost factor of 8" describes.
+    monomial shapes; double-double and quad-double scale it by the per-model
+    software cost factors (defaulting to the paper's ~8 and ~40), exactly as
+    the paper's "cost factor of 8" describes.
     """
 
     host: HostSpec = XEON_X5690
     cycles_per_complex_multiplication: float = 105.0
     cycles_per_complex_addition: float = 14.0
+    software_cost_factors: Dict[str, float] = field(
+        default_factory=lambda: {"d": 1.0, "dd": 8.0, "qd": 40.0})
+
+    def arithmetic_cost_factor(self, context: NumericContext) -> float:
+        """Software-arithmetic overhead of ``context`` (d=1, dd~8, qd~40)."""
+        return self.software_cost_factors.get(context.name, context.mul_cost_factor)
 
     def evaluation_time(self, operations: OperationCount,
                         context: NumericContext = DOUBLE) -> float:
         """Seconds one core needs for the given operation tally."""
-        factor = context.mul_cost_factor
+        factor = self.arithmetic_cost_factor(context)
         cycles = (operations.multiplications * self.cycles_per_complex_multiplication * factor
                   + operations.additions * self.cycles_per_complex_addition * factor)
         return cycles / self.host.clock_hz

@@ -12,8 +12,11 @@ provides:
   :class:`~repro.multiprec.numeric.ComplexQD` -- complex variants used by the
   polynomial evaluators;
 * :class:`~repro.multiprec.ddarray.DDArray` /
-  :class:`~repro.multiprec.ddarray.ComplexDDArray` -- vectorised NumPy-backed
-  double-double arrays for the bulk benchmarks;
+  :class:`~repro.multiprec.ddarray.ComplexDDArray` and
+  :class:`~repro.multiprec.qdarray.QDArray` /
+  :class:`~repro.multiprec.qdarray.ComplexQDArray` -- vectorised NumPy-backed
+  double-double and quad-double arrays for the bulk benchmarks and the
+  batched path tracker;
 * :class:`~repro.multiprec.numeric.NumericContext` -- the arithmetic
   abstraction that makes the kernels generic over precision and feeds the
   cost model the relative multiplication cost (the paper's "factor of 8").
@@ -32,18 +35,21 @@ from .numeric import (
     NumericContext,
     get_context,
 )
+from .qdarray import ComplexQDArray, QDArray
 from .quad_double import QuadDouble, qd
 
 __all__ = [
     "ComplexDD",
     "ComplexDDArray",
     "ComplexQD",
+    "ComplexQDArray",
     "CONTEXTS",
     "DDArray",
     "DOUBLE",
     "DOUBLE_DOUBLE",
     "DoubleDouble",
     "NumericContext",
+    "QDArray",
     "QUAD_DOUBLE",
     "QuadDouble",
     "cdd",

@@ -2,24 +2,30 @@
 
 The batched path-tracking engine stores the state of ``B`` paths of an
 ``n``-dimensional homotopy as a single ``(n, B)`` array -- a structure of
-arrays with one *lane* (column) per path.  This module abstracts the two
+arrays with one *lane* (column) per path.  This module abstracts the three
 array types that can hold such a batch:
 
-* hardware ``complex128`` NumPy arrays (the ``d`` context), and
-* :class:`~repro.multiprec.ddarray.ComplexDDArray` (the ``dd`` context),
-  whose element-wise operation sequences are bit-for-bit identical to the
-  scalar :class:`~repro.multiprec.complex_dd.ComplexDD` loops.
+* hardware ``complex128`` NumPy arrays (the ``d`` context),
+* :class:`~repro.multiprec.ddarray.ComplexDDArray` (the ``dd`` context), and
+* :class:`~repro.multiprec.qdarray.ComplexQDArray` (the ``qd`` context),
 
-Both support ``+ - * /``, unary minus, NumPy-style indexing and broadcasting
+whose element-wise operation sequences are bit-for-bit identical to the
+scalar :class:`~repro.multiprec.complex_dd.ComplexDD` /
+:class:`~repro.multiprec.numeric.ComplexQD` loops.
+
+All support ``+ - * /``, unary minus, NumPy-style indexing and broadcasting
 against ``(B,)`` weight vectors, so the batched evaluator, linear solver and
 tracker are written once against this small :class:`ComplexBatchBackend`
-interface.  Quad-double has no vectorised array type yet (see ROADMAP open
-items); requesting it raises :class:`~repro.errors.ConfigurationError`.
+interface.  Backends live in a registry keyed by the context name:
+:func:`register_backend` admits new arithmetics without touching the engine,
+and :func:`backend_for_context` raises
+:class:`~repro.errors.ConfigurationError` for contexts with no registered
+vectorised array type.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
@@ -27,18 +33,24 @@ from ..errors import ConfigurationError
 from .complex_dd import ComplexDD
 from .ddarray import ComplexDDArray, DDArray
 from .double_double import DoubleDouble
-from .numeric import DOUBLE, DOUBLE_DOUBLE, NumericContext
+from .numeric import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE, ComplexQD, NumericContext
+from .qdarray import ComplexQDArray, QDArray
+from .quad_double import QuadDouble
 
 __all__ = [
     "ComplexBatchBackend",
     "Complex128Backend",
     "ComplexDDBackend",
+    "ComplexQDBackend",
     "COMPLEX128_BACKEND",
     "COMPLEX_DD_BACKEND",
+    "COMPLEX_QD_BACKEND",
     "backend_for_context",
+    "register_backend",
+    "registered_backends",
 ]
 
-BatchArray = Union[np.ndarray, ComplexDDArray]
+BatchArray = Union[np.ndarray, ComplexDDArray, ComplexQDArray]
 
 
 class ComplexBatchBackend:
@@ -206,13 +218,101 @@ class ComplexDDBackend(ComplexBatchBackend):
                 for rh, rl, ih, il in zip(re_hi, re_lo, im_hi, im_lo)]
 
 
+class ComplexQDBackend(ComplexBatchBackend):
+    """Complex quad-doubles stored as eight float64 planes (SoA)."""
+
+    name = "qd"
+    context = QUAD_DOUBLE
+
+    def from_points(self, points: Sequence[Sequence]) -> ComplexQDArray:
+        n = len(points[0]) if points else 0
+        b = len(points)
+        re = [np.zeros((n, b)) for _ in range(4)]
+        im = [np.zeros((n, b)) for _ in range(4)]
+        for lane, point in enumerate(points):
+            if len(point) != n:
+                raise ConfigurationError("all start solutions must have the same dimension")
+            for i, x in enumerate(point):
+                if isinstance(x, ComplexDD):
+                    x = ComplexQD(QuadDouble.from_double_double(x.real),
+                                  QuadDouble.from_double_double(x.imag))
+                elif isinstance(x, (DoubleDouble, QuadDouble)):
+                    x = ComplexQD(QuadDouble(x))
+                elif not isinstance(x, ComplexQD):
+                    x = ComplexQD(complex(x))
+                for c, plane in enumerate(re):
+                    plane[i, lane] = x.real.c[c]
+                for c, plane in enumerate(im):
+                    plane[i, lane] = x.imag.c[c]
+        return ComplexQDArray(QDArray(*re), QDArray(*im))
+
+    def zeros(self, shape) -> ComplexQDArray:
+        return ComplexQDArray.zeros(shape)
+
+    def ones(self, shape) -> ComplexQDArray:
+        return ComplexQDArray(QDArray.ones(shape), QDArray.zeros(shape))
+
+    def full(self, shape, value: complex) -> ComplexQDArray:
+        value = complex(value)
+        return ComplexQDArray(QDArray(np.full(shape, value.real)),
+                              QDArray(np.full(shape, value.imag)))
+
+    def stack(self, rows: Sequence[ComplexQDArray]) -> ComplexQDArray:
+        rows = [r if isinstance(r, ComplexQDArray)
+                else ComplexQDArray.from_complex128(np.asarray(r, dtype=np.complex128))
+                for r in rows]
+        real = QDArray(*(np.stack([getattr(r.real, f"c{c}") for r in rows])
+                         for c in range(4)))
+        imag = QDArray(*(np.stack([getattr(r.imag, f"c{c}") for r in rows])
+                         for c in range(4)))
+        return ComplexQDArray(real, imag)
+
+    def copy(self, array: ComplexQDArray) -> ComplexQDArray:
+        return array.copy()
+
+    def where(self, mask, a, b) -> ComplexQDArray:
+        return ComplexQDArray.where(mask, a, b)
+
+    def magnitude(self, array: ComplexQDArray) -> np.ndarray:
+        return array.abs_double()
+
+    def to_complex128(self, array: ComplexQDArray) -> np.ndarray:
+        return array.to_complex128()
+
+    def lane_scalars(self, array: ComplexQDArray, lane: int) -> List[ComplexQD]:
+        re = [getattr(array.real, f"c{c}")[:, lane] for c in range(4)]
+        im = [getattr(array.imag, f"c{c}")[:, lane] for c in range(4)]
+        return [ComplexQD(QuadDouble._raw(tuple(float(p[i]) for p in re)),
+                          QuadDouble._raw(tuple(float(p[i]) for p in im)))
+                for i in range(len(re[0]))]
+
+
 COMPLEX128_BACKEND = Complex128Backend()
 COMPLEX_DD_BACKEND = ComplexDDBackend()
+COMPLEX_QD_BACKEND = ComplexQDBackend()
 
-_BACKENDS = {
-    "d": COMPLEX128_BACKEND,
-    "dd": COMPLEX_DD_BACKEND,
-}
+_BACKENDS: Dict[str, ComplexBatchBackend] = {}
+
+
+def register_backend(backend: ComplexBatchBackend) -> ComplexBatchBackend:
+    """Register a batch backend under its context name (last one wins).
+
+    The registry is what makes the batch stack precision-generic: the
+    evaluator, linear solver and tracker only ever ask
+    :func:`backend_for_context`, so a new arithmetic participates in batched
+    tracking by registering its backend here.
+    """
+    _BACKENDS[backend.context.name] = backend
+    return backend
+
+
+def registered_backends() -> Dict[str, ComplexBatchBackend]:
+    """A snapshot of the registry (context name -> backend)."""
+    return dict(_BACKENDS)
+
+
+for _backend in (COMPLEX128_BACKEND, COMPLEX_DD_BACKEND, COMPLEX_QD_BACKEND):
+    register_backend(_backend)
 
 
 def backend_for_context(context: NumericContext) -> ComplexBatchBackend:
@@ -221,13 +321,13 @@ def backend_for_context(context: NumericContext) -> ComplexBatchBackend:
     Raises
     ------
     ConfigurationError
-        For contexts without a vectorised array type (currently ``qd``).
+        For contexts without a registered vectorised array type.
     """
     backend = _BACKENDS.get(context.name)
     if backend is None:
         raise ConfigurationError(
             f"no batch array backend for numeric context {context.name!r}; "
-            f"available: {sorted(_BACKENDS)} (quad-double batching is an "
-            f"open ROADMAP item)"
+            f"available: {sorted(_BACKENDS)} (register one with "
+            f"repro.multiprec.backend.register_backend)"
         )
     return backend

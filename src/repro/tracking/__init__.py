@@ -38,7 +38,7 @@ from .quality_up import (
     offset_factor,
     quality_up_table,
 )
-from .solver import Solution, SolveReport, solve_system
+from .solver import EscalationPolicy, Solution, SolveReport, solve_system
 from .start_systems import (
     sample_start_solutions,
     start_solutions,
@@ -62,6 +62,7 @@ __all__ = [
     "PathStatus",
     "StepControl",
     "batched_solve",
+    "EscalationPolicy",
     "NewtonCorrector",
     "NewtonResult",
     "NewtonStep",

@@ -40,8 +40,8 @@ def residual_accepted_after_update(residual, tolerance: float):
     When the update norm already dropped below tolerance the iteration is
     declared converged if the residual at the evaluated point is within two
     orders of magnitude of the target.  Shared by the scalar corrector and
-    (per lane, via the ``relaxed`` mask) by the batched corrector; operates
-    element-wise on arrays.
+    (per lane, on the immediate re-evaluation of small-update lanes) by the
+    batched corrector; operates element-wise on arrays.
     """
     return residual <= 1e2 * tolerance
 
@@ -213,6 +213,14 @@ class BatchNewtonCorrector:
         :meth:`repro.tracking.homotopy.BatchHomotopy._Frozen.evaluate`), so
         retired lanes cost no arithmetic and the ``evaluation_log`` counts
         exactly the lanes a batched kernel launch would cover.
+
+        Lanes whose Newton update drops below tolerance take the scalar
+        corrector's small-update exit *within the same iteration*: the
+        updated point is re-evaluated immediately (one extra compressed
+        evaluation, exactly the scalar loop's final residual check) and the
+        lane retires -- converged when the relaxed residual test passes,
+        failed otherwise.  Either way it stops iterating, matching
+        :meth:`NewtonCorrector.correct`.
         """
         backend = self.backend
         lanes = points.shape[-1]
@@ -221,10 +229,6 @@ class BatchNewtonCorrector:
         converged = np.zeros(lanes, dtype=bool)
         iterations = np.zeros(lanes, dtype=np.int64)
         residuals = np.full(lanes, np.inf)
-        # Lanes whose previous update was already below tolerance: on their
-        # next evaluation the relaxed acceptance applies, mirroring the
-        # scalar corrector's small-update exit.
-        relaxed = np.zeros(lanes, dtype=bool)
         x = backend.copy(points)
 
         for _ in range(self.max_iterations):
@@ -239,12 +243,11 @@ class BatchNewtonCorrector:
             residuals[idx] = norms
             iterations[idx] += 1
 
-            done = (norms <= self.tolerance) | (
-                relaxed[idx] & residual_accepted_after_update(norms, self.tolerance))
+            done = norms <= self.tolerance
             converged[idx[done]] = True
             working[idx[done]] = False
             if done.all():
-                break
+                continue
 
             rhs = [-value for value in evaluation.values]
             dx, singular = batched_solve(evaluation.jacobian, rhs, backend,
@@ -255,9 +258,24 @@ class BatchNewtonCorrector:
 
             advance = ~done & ~singular
             update_norms = self._residuals(dx)
-            relaxed[idx] = advance & (update_norms <= self.tolerance)
             updated = backend.where(advance, x_live + backend.stack(dx), x_live)
             x[:, idx] = updated
+
+            # The scalar small-update exit, lane-wise and in this iteration:
+            # re-evaluate the freshly updated small-update lanes and settle
+            # them for good (the iteration counter does not advance for this
+            # final check, matching the scalar corrector).
+            small = advance & (update_norms <= self.tolerance)
+            if small.any():
+                small_idx = idx[small]
+                if self.evaluation_log is not None:
+                    self.evaluation_log.append(len(small_idx))
+                final = self.evaluator.evaluate(x[:, small_idx], lanes=small_idx)
+                final_norms = self._residuals(final.values)
+                residuals[small_idx] = final_norms
+                converged[small_idx] = residual_accepted_after_update(
+                    final_norms, self.tolerance)
+                working[small_idx] = False
 
         return BatchNewtonResult(solution=x, converged=converged,
                                  iterations=iterations, residual_norm=residuals)

@@ -62,30 +62,49 @@ def offset_factor(speedup: float, overhead_factor: float) -> float:
     return speedup / overhead_factor
 
 
+def _overhead_of(context: NumericContext,
+                 cost_model: Optional[CPUCostModel]) -> float:
+    """The overhead factor of ``context``: the cost model's calibrated
+    software cost factor when a model is given, else the context's nominal
+    ``mul_cost_factor``."""
+    if cost_model is not None:
+        return cost_model.arithmetic_cost_factor(context)
+    return context.mul_cost_factor
+
+
 def affordable_precision(speedup: float,
-                         contexts: Optional[Sequence[NumericContext]] = None
+                         contexts: Optional[Sequence[NumericContext]] = None,
+                         cost_model: Optional[CPUCostModel] = None
                          ) -> NumericContext:
-    """The widest arithmetic whose overhead the given speedup covers."""
+    """The widest arithmetic whose overhead the given speedup covers.
+
+    This is what :meth:`repro.tracking.solver.EscalationPolicy.from_speedup`
+    consults to pick the starting rung of the d -> dd -> qd ladder.  Pass a
+    :class:`~repro.gpusim.costmodel.CPUCostModel` to use its calibrated
+    software cost factors instead of the contexts' nominal ones.
+    """
     candidates = list(contexts) if contexts is not None else list(CONTEXTS.values())
     best = DOUBLE
-    for ctx in sorted(candidates, key=lambda c: c.mul_cost_factor):
-        if offset_factor(speedup, ctx.mul_cost_factor) >= 1.0:
+    for ctx in sorted(candidates, key=lambda c: _overhead_of(c, cost_model)):
+        if offset_factor(speedup, _overhead_of(ctx, cost_model)) >= 1.0:
             best = ctx
     return best
 
 
 def quality_up_table(speedup: float,
-                     contexts: Optional[Sequence[NumericContext]] = None
+                     contexts: Optional[Sequence[NumericContext]] = None,
+                     cost_model: Optional[CPUCostModel] = None
                      ) -> List[QualityUpEntry]:
     """Quality-up rows for every arithmetic at a given parallel speedup."""
     candidates = list(contexts) if contexts is not None else list(CONTEXTS.values())
     rows = []
-    for ctx in sorted(candidates, key=lambda c: c.mul_cost_factor):
-        off = offset_factor(speedup, ctx.mul_cost_factor)
+    for ctx in sorted(candidates, key=lambda c: _overhead_of(c, cost_model)):
+        overhead = _overhead_of(ctx, cost_model)
+        off = offset_factor(speedup, overhead)
         rows.append(QualityUpEntry(
             context_name=ctx.name,
             description=ctx.description,
-            overhead_factor=ctx.mul_cost_factor,
+            overhead_factor=overhead,
             speedup=speedup,
             offset=off,
             affordable=off >= 1.0,

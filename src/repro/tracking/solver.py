@@ -8,9 +8,18 @@ computational engine inside them.  :func:`solve_system` wires the pieces of
 
 1. build the total-degree start system and its known solutions;
 2. construct the gamma-trick homotopy from the start system to the target;
-3. track every path (optionally only a sample of them) with the adaptive
-   predictor-corrector tracker;
-4. sharpen the end points with Newton's method and de-duplicate the results.
+3. track every path (optionally only a sample of them) -- through the
+   structure-of-arrays :class:`~repro.tracking.batch_tracker.BatchTracker`
+   whenever the evaluator factory exposes its underlying
+   :class:`~repro.polynomials.system.PolynomialSystem` and the context has a
+   registered batch backend, falling back to the sequential scalar tracker
+   otherwise;
+4. optionally *escalate*: re-track the failed-path residue at the next wider
+   arithmetic of an :class:`EscalationPolicy` ladder (d -> dd -> qd), the
+   operational form of the paper's quality-up argument -- parallel batching
+   pays for the software-arithmetic overhead, so precision is raised only
+   where double precision actually fails;
+5. sharpen the end points with Newton's method and de-duplicate the results.
 
 Any evaluator factory can be supplied, so the paths can be driven by the
 sequential CPU reference (default) or by the simulated-GPU pipeline.
@@ -18,17 +27,77 @@ sequential CPU reference (default) or by the simulated-GPU pipeline.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.cpu_reference import CPUReferenceEvaluator
-from ..multiprec.numeric import DOUBLE, NumericContext
+from ..errors import ConfigurationError
+from ..multiprec.backend import backend_for_context
+from ..multiprec.numeric import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE, NumericContext
 from ..polynomials.system import PolynomialSystem
 from .homotopy import Homotopy
+from .quality_up import affordable_precision
 from .start_systems import sample_start_solutions, start_solutions, total_degree, total_degree_start_system
 from .tracker import PathResult, PathTracker, TrackerOptions
 
-__all__ = ["Solution", "SolveReport", "solve_system"]
+__all__ = ["EscalationPolicy", "Solution", "SolveReport", "solve_system"]
+
+#: The canonical precision ladder: hardware doubles, then the two software
+#: arithmetics of the QD library the paper builds on.
+DEFAULT_LADDER: Tuple[NumericContext, ...] = (DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE)
+
+
+@dataclass(frozen=True)
+class EscalationPolicy:
+    """How :func:`solve_system` widens the arithmetic for failed paths.
+
+    The ladder is walked front to back: all paths start in ``ladder[0]``;
+    whatever fails there is re-tracked in ``ladder[1]``, and so on.  The
+    entries must be ordered from cheapest to widest arithmetic.
+
+    Use :meth:`from_speedup` to let the quality-up analysis pick the starting
+    rung: with enough parallel speedup the wider arithmetic is free in
+    wall-clock terms, so the ladder starts there and only the residue pays
+    for anything wider.
+    """
+
+    ladder: Tuple[NumericContext, ...] = DEFAULT_LADDER
+
+    def __post_init__(self):
+        ladder = tuple(self.ladder)
+        if not ladder:
+            raise ConfigurationError("an escalation ladder needs at least one context")
+        factors = [ctx.mul_cost_factor for ctx in ladder]
+        if factors != sorted(factors):
+            raise ConfigurationError(
+                "escalation ladder must be ordered from cheapest to widest "
+                f"arithmetic, got {[ctx.name for ctx in ladder]}"
+            )
+        object.__setattr__(self, "ladder", ladder)
+
+    @property
+    def start_context(self) -> NumericContext:
+        return self.ladder[0]
+
+    @classmethod
+    def from_speedup(cls, speedup: float,
+                     ladder: Optional[Sequence[NumericContext]] = None
+                     ) -> "EscalationPolicy":
+        """Start the ladder at the widest arithmetic the speedup pays for.
+
+        ``speedup`` is the parallel speedup over a sequential double run (the
+        Tables' 7.6 .. 19.6);
+        :func:`~repro.tracking.quality_up.affordable_precision` turns it into
+        the widest context whose overhead it covers.  Contexts cheaper than
+        that starting rung are dropped -- they are strictly worse: same
+        wall-clock budget, less precision.
+        """
+        rungs = tuple(ladder) if ladder is not None else DEFAULT_LADDER
+        start = affordable_precision(speedup, rungs)
+        names = [ctx.name for ctx in rungs]
+        index = names.index(start.name) if start.name in names else 0
+        return cls(ladder=rungs[index:])
 
 
 @dataclass(frozen=True)
@@ -46,7 +115,14 @@ class Solution:
 
 @dataclass
 class SolveReport:
-    """Everything :func:`solve_system` found out about a system."""
+    """Everything :func:`solve_system` found out about a system.
+
+    ``paths_tracked`` counts distinct start solutions; escalated re-tracks of
+    the same path are visible in ``paths_by_context`` (paths *attempted* per
+    arithmetic) and ``converged_by_context`` (how many of those succeeded).
+    ``recovered_by_escalation`` counts paths that failed at the starting
+    arithmetic but converged at a wider one.
+    """
 
     system: PolynomialSystem
     bezout_number: int
@@ -54,6 +130,9 @@ class SolveReport:
     paths_converged: int
     solutions: List[Solution] = field(default_factory=list)
     failures: List[PathResult] = field(default_factory=list)
+    paths_by_context: Dict[str, int] = field(default_factory=dict)
+    converged_by_context: Dict[str, int] = field(default_factory=dict)
+    recovered_by_escalation: int = 0
 
     @property
     def success_rate(self) -> float:
@@ -61,24 +140,131 @@ class SolveReport:
             return 0.0
         return self.paths_converged / self.paths_tracked
 
+    @property
+    def contexts_used(self) -> List[str]:
+        """Names of the arithmetics that actually tracked paths, in order."""
+        return list(self.paths_by_context)
+
     def distinct_solutions(self) -> List[Solution]:
         return list(self.solutions)
 
 
+# ----------------------------------------------------------------------
+# de-duplication: bucket on a rounded-coordinate key, scan within buckets
+# ----------------------------------------------------------------------
+#: Above this many candidate probe keys the dedup falls back to a full scan
+#: for that one point (only reachable when many coordinates sit on cell
+#: boundaries simultaneously).
+_MAX_PROBES = 64
+
+
+def _roundings(value: float, cell: float) -> List[int]:
+    """Grid cell(s) of ``value``: its own, plus the neighbour when within a
+    quarter cell of the boundary (two in-tolerance points differ by at most
+    an eighth of a cell, so matching points always share a candidate)."""
+    quotient = value / cell
+    nearest = round(quotient)
+    candidates = [nearest]
+    fraction = quotient - nearest
+    if fraction > 0.25:
+        candidates.append(nearest + 1)
+    elif fraction < -0.25:
+        candidates.append(nearest - 1)
+    return candidates
+
+
+def _coordinate_candidates(z: complex, tolerance: float) -> List[tuple]:
+    """Bucket-key candidates of one coordinate: (band, re cell, im cell).
+
+    The cell size is ``8 * tolerance * 2^band`` with ``band`` the
+    power-of-two magnitude band of ``max(1, |z|)``, mirroring the relative
+    ``tolerance * max(1, |b|)`` matching rule.  Near band or cell
+    boundaries the neighbouring band/cell is included, so two points within
+    tolerance of each other are guaranteed to share at least one candidate
+    (the first candidate is the *primary* key a cluster registers under).
+    """
+    scale = max(1.0, abs(z))
+    if not math.isfinite(scale):
+        return [("inf",)]
+    mantissa, band = math.frexp(scale)
+    bands = [band]
+    if mantissa > 0.75:
+        bands.append(band + 1)
+    elif mantissa < 0.625 and band > 1:
+        bands.append(band - 1)
+    out = []
+    for b in bands:
+        cell = 8.0 * tolerance * math.ldexp(1.0, b)
+        for re_cell in _roundings(z.real, cell):
+            for im_cell in _roundings(z.imag, cell):
+                out.append((b, re_cell, im_cell))
+    return out
+
+
+def _probe_keys(point: Sequence[complex], tolerance: float) -> List[tuple]:
+    """All candidate bucket keys of a point, primary key first.
+
+    Returns an empty list when the candidate product explodes (many
+    coordinates on boundaries at once); the caller then scans every cluster
+    for that point.
+    """
+    per_coordinate = [_coordinate_candidates(z, tolerance) for z in point]
+    total = 1
+    for candidates in per_coordinate:
+        total *= len(candidates)
+        if total > _MAX_PROBES:
+            return []
+    keys = [()]
+    for candidates in per_coordinate:
+        keys = [key + (c,) for key in keys for c in candidates]
+    return keys
+
+
 def _deduplicate(solutions: Sequence[PathResult], context: NumericContext,
                  tolerance: float) -> List[Solution]:
-    """Cluster path end points that agree to ``tolerance`` in every coordinate."""
+    """Cluster path end points that agree to ``tolerance`` in every coordinate.
+
+    Clusters register under the primary rounded-coordinate key of their
+    representative; a new end point probes its candidate keys and runs the
+    exact tolerance scan only against the clusters found there -- O(1)
+    probes per path instead of the former O(paths) scan per path.
+    """
     found: List[Solution] = []
     rounded: List[List[complex]] = []
+    buckets: Dict[tuple, List[int]] = {}
+    # Clusters whose representative produced no probe keys (degenerate
+    # boundary pile-ups): not reachable through any bucket, so every point
+    # additionally scans these few.
+    unbucketed: List[int] = []
+
+    def matches(point, existing) -> bool:
+        return all(abs(a - b) <= tolerance * max(1.0, abs(b))
+                   for a, b in zip(point, existing))
+
     for result in solutions:
         point = [context.to_complex(x) if not isinstance(x, (int, float, complex))
                  else complex(x) for x in result.solution]
+        keys = _probe_keys(point, tolerance)
         match = None
-        for index, existing in enumerate(rounded):
-            if all(abs(a - b) <= tolerance * max(1.0, abs(b)) for a, b in zip(point, existing)):
+        if keys:
+            seen_clusters = set(unbucketed)
+            candidates = list(unbucketed)
+            for key in keys:
+                for index in buckets.get(key, ()):
+                    if index not in seen_clusters:
+                        seen_clusters.add(index)
+                        candidates.append(index)
+        else:  # degenerate point: exact full scan
+            candidates = range(len(rounded))
+        for index in candidates:
+            if matches(point, rounded[index]):
                 match = index
                 break
         if match is None:
+            if keys:
+                buckets.setdefault(keys[0], []).append(len(found))
+            else:
+                unbucketed.append(len(found))
             rounded.append(point)
             found.append(Solution(point=tuple(result.solution), residual=result.residual))
         else:
@@ -89,6 +275,50 @@ def _deduplicate(solutions: Sequence[PathResult], context: NumericContext,
     return found
 
 
+# ----------------------------------------------------------------------
+# tracking one rung of the ladder
+# ----------------------------------------------------------------------
+def _has_backend(context: NumericContext) -> bool:
+    try:
+        backend_for_context(context)
+    except ConfigurationError:
+        return False
+    return True
+
+
+def _track_paths(start_system: PolynomialSystem, system: PolynomialSystem,
+                 starts: Sequence[Sequence], context: NumericContext,
+                 evaluators: Optional[Tuple[object, object]],
+                 exposed: Optional[Tuple[PolynomialSystem, PolynomialSystem]],
+                 options: Optional[TrackerOptions], gamma: Optional[complex],
+                 batch_size: Optional[int]) -> List[PathResult]:
+    """Track ``starts`` in one arithmetic, batched when possible.
+
+    The batched engine needs the polynomial systems themselves (it builds
+    structure-of-arrays evaluators); it is used when the factory's
+    evaluators exposed them (``exposed``, probed once by the caller) and the
+    context has a registered batch backend.  Otherwise the scalar
+    predictor-corrector loop runs path by path -- with the factory's
+    probe-time ``evaluators`` when given, else with fresh CPU reference
+    evaluators in this rung's arithmetic.
+    """
+    if exposed is not None and _has_backend(context):
+        from .batch_tracker import BatchTracker  # local import: cycle
+
+        tracker = BatchTracker(exposed[0], exposed[1], context=context,
+                               options=options, batch_size=batch_size,
+                               gamma=gamma)
+        return tracker.track_many(starts)
+
+    if evaluators is None:
+        evaluators = (CPUReferenceEvaluator(start_system, context=context),
+                      CPUReferenceEvaluator(system, context=context))
+    homotopy = Homotopy(evaluators[0], evaluators[1],
+                        gamma=gamma, context=context)
+    scalar = PathTracker(homotopy, context=context, options=options)
+    return [scalar.track(s) for s in starts]
+
+
 def solve_system(system: PolynomialSystem, *,
                  context: NumericContext = DOUBLE,
                  evaluator_factory: Optional[Callable[[PolynomialSystem], object]] = None,
@@ -96,7 +326,9 @@ def solve_system(system: PolynomialSystem, *,
                  max_paths: Optional[int] = None,
                  gamma: Optional[complex] = None,
                  deduplication_tolerance: float = 1e-6,
-                 seed: Optional[int] = 0) -> SolveReport:
+                 seed: Optional[int] = 0,
+                 batch_size: Optional[int] = None,
+                 escalation: Optional[EscalationPolicy] = None) -> SolveReport:
     """Find isolated solutions of ``system`` by total-degree homotopy continuation.
 
     Parameters
@@ -105,12 +337,20 @@ def solve_system(system: PolynomialSystem, *,
         The square target system ``f(x) = 0``.
     context:
         Working arithmetic for evaluation, linear algebra and tracking.
+        Ignored when ``escalation`` is given (the ladder's first rung is the
+        starting arithmetic then).
     evaluator_factory:
         Called on the start system and on the target system to produce the
         evaluators used inside the homotopy; defaults to the sequential
-        :class:`~repro.core.cpu_reference.CPUReferenceEvaluator`.  Pass
-        ``lambda s: GPUEvaluator(s, ...)`` to drive the paths with the
-        simulated device (the target system must then be regular).
+        :class:`~repro.core.cpu_reference.CPUReferenceEvaluator`.  When both
+        produced evaluators expose their underlying polynomial system (the
+        CPU reference and GPU evaluators both do) the paths are tracked by
+        the batched structure-of-arrays engine; otherwise each path runs
+        through the scalar tracker driven by the factory's evaluators.  With
+        ``escalation``, a custom factory is only consulted for those exposed
+        systems -- the per-rung arithmetic is applied by the batched engine;
+        a factory that hides its systems is rejected when the ladder has
+        more than one rung (its evaluators are stuck in one arithmetic).
     options:
         Tracker options; sensible defaults otherwise.
     max_paths:
@@ -123,15 +363,21 @@ def solve_system(system: PolynomialSystem, *,
         solution.
     seed:
         Seed for the start-solution sampling when ``max_paths`` is given.
+    batch_size:
+        Maximum lanes per batch for the batched engine; ``None`` tracks all
+        paths in one batch.
+    escalation:
+        Optional :class:`EscalationPolicy`.  Paths that fail at one rung of
+        the ladder are re-tracked at the next wider arithmetic; the report's
+        ``paths_by_context`` / ``converged_by_context`` /
+        ``recovered_by_escalation`` fields record the outcome per rung.
 
     Returns
     -------
     SolveReport
-        Distinct solutions with residuals and multiplicities, plus failures.
+        Distinct solutions with residuals and multiplicities, plus failures
+        and the per-arithmetic path accounting.
     """
-    if evaluator_factory is None:
-        evaluator_factory = lambda s: CPUReferenceEvaluator(s, context=context)
-
     start_system = total_degree_start_system(system)
     bezout = total_degree(system)
 
@@ -140,20 +386,70 @@ def solve_system(system: PolynomialSystem, *,
     else:
         starts = list(start_solutions(system))
 
-    homotopy = Homotopy(evaluator_factory(start_system), evaluator_factory(system),
-                        gamma=gamma, context=context)
-    tracker = PathTracker(homotopy, context=context, options=options)
+    ladder = list(escalation.ladder) if escalation is not None else [context]
 
-    converged: List[PathResult] = []
-    failures: List[PathResult] = []
-    for start in starts:
-        result = tracker.track(start)
-        if result.success:
-            converged.append(result)
-        else:
-            failures.append(result)
+    # Probe the factory once: the exposed systems are rung-independent, so
+    # there is no point rebuilding (possibly expensive) evaluators per rung
+    # just to read their ``system`` attribute.
+    probe_evaluators: Optional[Tuple[object, object]] = None
+    exposed: Optional[Tuple[PolynomialSystem, PolynomialSystem]] = None
+    if evaluator_factory is not None:
+        probe_evaluators = (evaluator_factory(start_system),
+                            evaluator_factory(system))
+        exposed_start = getattr(probe_evaluators[0], "system", None)
+        exposed_target = getattr(probe_evaluators[1], "system", None)
+        if exposed_start is not None and exposed_target is not None:
+            exposed = (exposed_start, exposed_target)
+        elif len(ladder) > 1:
+            # The opaque evaluators were built in one fixed arithmetic; the
+            # wider rungs could not actually widen the precision, so the
+            # escalated report would be a lie.  Refuse instead.
+            raise ConfigurationError(
+                "precision escalation needs evaluators that expose their "
+                "polynomial system (so each rung can rebuild them in its "
+                "arithmetic); the supplied evaluator_factory hides it -- "
+                "drop the escalation policy or expose a `system` attribute"
+            )
+    else:
+        exposed = (start_system, system)
 
-    solutions = _deduplicate(converged, context, deduplication_tolerance)
+    solved: Dict[int, PathResult] = {}
+    still_failing: Dict[int, PathResult] = {}
+    paths_by_context: Dict[str, int] = {}
+    converged_by_context: Dict[str, int] = {}
+    recovered = 0
+    pending: List[Tuple[int, Sequence]] = list(enumerate(starts))
+
+    # The factory's evaluators are built in one fixed arithmetic, so the
+    # scalar fallback may only reuse them when there is a single rung; a
+    # multi-rung fallback rebuilds CPU reference evaluators per rung.
+    fallback_evaluators = probe_evaluators if len(ladder) == 1 else None
+
+    for level, rung in enumerate(ladder):
+        if not pending:
+            break
+        results = _track_paths(start_system, system, [s for _, s in pending],
+                               rung, fallback_evaluators, exposed,
+                               options, gamma, batch_size)
+        paths_by_context[rung.name] = len(pending)
+        converged_by_context[rung.name] = sum(1 for r in results if r.success)
+        next_pending: List[Tuple[int, Sequence]] = []
+        for (index, start), result in zip(pending, results):
+            if result.success:
+                solved[index] = result
+                if level > 0:
+                    recovered += 1
+                    still_failing.pop(index, None)
+            else:
+                still_failing[index] = result
+                next_pending.append((index, start))
+        pending = next_pending
+
+    converged = [solved[i] for i in sorted(solved)]
+    failures = [still_failing[i] for i in sorted(still_failing)]
+
+    final_context = ladder[-1] if escalation is not None else context
+    solutions = _deduplicate(converged, final_context, deduplication_tolerance)
     return SolveReport(
         system=system,
         bezout_number=bezout,
@@ -161,4 +457,7 @@ def solve_system(system: PolynomialSystem, *,
         paths_converged=len(converged),
         solutions=solutions,
         failures=failures,
+        paths_by_context=paths_by_context,
+        converged_by_context=converged_by_context,
+        recovered_by_escalation=recovered,
     )

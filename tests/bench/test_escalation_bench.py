@@ -1,0 +1,46 @@
+"""The acceptance criteria of the escalation pipeline, as fast tier-1 tests:
+paths that genuinely fail at plain double are recovered by the wider rung,
+and escalation economises the precision-sensitive work relative to tracking
+every path at the widest arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_escalation_bench
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+
+
+class TestEscalationBench:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run_escalation_bench(dimension=4, ladder=(DOUBLE, DOUBLE_DOUBLE),
+                                    end_tolerance=5e-17)
+
+    def test_some_paths_escalate_and_all_converge(self, summary):
+        assert summary.paths_total == 16
+        assert summary.recovered_by_escalation >= 1
+        assert summary.paths_converged == summary.paths_total
+
+    def test_rungs_report_shrinking_residue(self, summary):
+        assert [row.context for row in summary.rows] == ["d", "dd"]
+        d_row, dd_row = summary.rows
+        assert d_row.paths_attempted == 16
+        assert dd_row.paths_attempted == 16 - d_row.paths_converged
+        assert dd_row.recovered == dd_row.paths_converged
+
+    def test_arithmetic_saving_over_all_widest(self, summary):
+        # Paths converged at d never pay the ~8x double-double factor.
+        assert summary.arithmetic_saving_factor > 1.1
+        # The launch-overhead-dominated totals stay comparable (quality-up:
+        # once batched, the wide arithmetic is nearly wall-clock free).
+        assert 0.4 < summary.saving_factor < 1.5
+
+    def test_rows_price_with_the_rungs_overhead(self, summary):
+        d_row, dd_row = summary.rows
+        assert d_row.overhead_factor == 1.0
+        assert dd_row.overhead_factor == 8.0
+        # Arithmetic seconds per lane evaluation are ~8x dearer at dd.
+        d_cost = d_row.arithmetic_seconds / d_row.lane_evaluations
+        dd_cost = dd_row.arithmetic_seconds / dd_row.lane_evaluations
+        assert dd_cost / d_cost == pytest.approx(8.0, rel=0.5)

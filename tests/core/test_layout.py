@@ -168,3 +168,148 @@ class TestCapacityChecks:
         budget = shared_memory_budget(dimension=32, variables_per_monomial=16,
                                       block_size=32, context=DOUBLE)
         assert budget.fits(TESLA_C2050)
+
+
+class TestPaddedLayout:
+    """The padded mode: irregular systems laid out with zero-coefficient
+    padding terms and a phantom variable pinned to 1."""
+
+    @staticmethod
+    def start_system(dimension=3, degree=2):
+        from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+
+        polys = []
+        for i in range(dimension):
+            polys.append(Polynomial([
+                (1 + 0j, Monomial((i,), (degree,))),
+                (-1 + 0j, Monomial((), ())),
+            ]))
+        return PolynomialSystem(polys, dimension=dimension)
+
+    def test_irregular_system_rejected_without_padding(self):
+        with pytest.raises(ConfigurationError):
+            SystemLayout(self.start_system())
+
+    def test_padded_shape_and_phantom(self):
+        layout = SystemLayout(self.start_system(3, 2), padded=True)
+        assert layout.padded
+        assert layout.has_phantom_variable
+        assert layout.dimension == 3
+        assert layout.storage_dimension == 4
+        assert layout.monomials_per_polynomial == 2
+        assert layout.variables_per_monomial == 1
+        # One extra (discarded) derivative block for the phantom variable.
+        assert layout.num_targets == 3 * (4 + 1)
+
+    def test_padded_encoding_entries(self):
+        layout = SystemLayout(self.start_system(3, 2), padded=True)
+        # Monomial 0 of polynomial 0: x0^2 -> (position 0, exponent 2).
+        assert layout.encoding.monomial_entry(0, 0) == (0, 2)
+        # Monomial 1 of polynomial 0: the constant -> phantom entry x3^1.
+        assert layout.encoding.monomial_entry(1, 0) == (3, 1)
+
+    def test_padded_coefficients_zero_phantom_derivatives(self):
+        layout = SystemLayout(self.start_system(3, 2), padded=True)
+        coeffs = layout.build_coefficients()
+        # The constant term of polynomial 0 sits at sequence index 1: its
+        # phantom derivative coefficient (slot 0) must be zero, its own
+        # coefficient (slot k=1) must be -1.
+        assert coeffs[layout.coeffs_index(0, 1)] == 0j
+        assert coeffs[layout.coeffs_index(1, 1)] == -1 + 0j
+
+    def test_regular_system_padded_is_phantom_free(self):
+        system = random_regular_system(4, 3, 2, 3, seed=7)
+        layout = SystemLayout(system, padded=True)
+        assert not layout.has_phantom_variable
+        assert layout.storage_dimension == layout.dimension
+        assert layout.num_targets == 4 * 5
+
+    def test_ragged_term_counts_get_padding_records(self):
+        from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+
+        polys = [
+            Polynomial([(1 + 0j, Monomial((0,), (1,))),
+                        (2 + 0j, Monomial((1,), (2,)))]),
+            Polynomial([(1 + 0j, Monomial((1,), (1,)))]),
+        ]
+        layout = SystemLayout(PolynomialSystem(polys), padded=True)
+        assert layout.monomials_per_polynomial == 2
+        records = [r for r in layout.sequence if r.polynomial_index == 1]
+        assert len(records) == 2
+        assert records[1].coefficient == 0j
+        assert records[1].monomial.num_variables == 0
+
+    def test_padded_requires_byte_encoding(self):
+        with pytest.raises(ConfigurationError):
+            SystemLayout(self.start_system(), padded=True,
+                         encoding_format="packed")
+
+    def test_padded_evaluation_matches_reference(self):
+        """End to end through the three kernels: values and Jacobian of the
+        irregular start system come out exactly right, with measured stats."""
+        from repro.core import CPUReferenceEvaluator, GPUEvaluator
+        from repro.polynomials.generators import random_point
+
+        system = self.start_system(4, 3)
+        point = random_point(4, seed=3)
+        for context in (DOUBLE, DOUBLE_DOUBLE):
+            gpu = GPUEvaluator(system, context=context, padded=True,
+                               collect_memory_trace=False)
+            evaluation = gpu.evaluate(point)
+            reference = CPUReferenceEvaluator(system, context=context,
+                                              algorithm="naive").evaluate(point)
+            to_c = context.to_complex
+            for got, expected in zip(evaluation.values, reference.values):
+                assert to_c(got) == to_c(expected)
+            for got_row, expected_row in zip(evaluation.jacobian, reference.jacobian):
+                for got, expected in zip(got_row, expected_row):
+                    assert to_c(got) == to_c(expected)
+            assert [s.kernel_name for s in evaluation.launch_stats] == \
+                ["common_factor", "speelpenning", "summation"]
+            assert all(s.total_multiplications > 0 for s in evaluation.launch_stats[:2])
+
+    def test_padded_start_system_stats_differ_from_target_template(self):
+        """The point of the padded mode: the start system's own (smaller)
+        launch statistics, not the target's borrowed template."""
+        from repro.bench.batch_tracking import cyclic_quadratic_system
+        from repro.core import GPUEvaluator
+        from repro.polynomials.generators import random_point
+        from repro.tracking import total_degree_start_system
+
+        target = cyclic_quadratic_system(5)
+        start = total_degree_start_system(target)
+        point = random_point(5, seed=7)
+        target_stats = GPUEvaluator(target, collect_memory_trace=False
+                                    ).evaluate(point).launch_stats
+        start_stats = GPUEvaluator(start, padded=True, collect_memory_trace=False
+                                   ).evaluate(point).launch_stats
+        target_profile = [(s.total_multiplications, s.total_additions,
+                           s.global_transactions) for s in target_stats]
+        start_profile = [(s.total_multiplications, s.total_additions,
+                          s.global_transactions) for s in start_stats]
+        assert start_profile != target_profile
+
+    def test_padded_mixed_irregular_system(self):
+        """Non-uniform m *and* k in one system."""
+        from repro.core import CPUReferenceEvaluator, GPUEvaluator
+        from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+        from repro.polynomials.generators import random_point
+
+        polys = [
+            Polynomial([(1 + 0j, Monomial((0, 1, 2), (1, 2, 1))),
+                        (-8 + 0j, Monomial((), ())),
+                        (2 + 0j, Monomial((1,), (3,)))]),
+            Polynomial([(1 + 0j, Monomial((0,), (1,))),
+                        (-1 + 0j, Monomial((1,), (1,)))]),
+            Polynomial([(1 + 0j, Monomial((1, 2), (2, 2)))]),
+        ]
+        system = PolynomialSystem(polys, dimension=3)
+        point = random_point(3, seed=5)
+        gpu = GPUEvaluator(system, padded=True, collect_memory_trace=False)
+        evaluation = gpu.evaluate(point)
+        reference = CPUReferenceEvaluator(system, algorithm="naive").evaluate(point)
+        for got, expected in zip(evaluation.values, reference.values):
+            assert abs(complex(got) - complex(expected)) < 1e-12 * max(1.0, abs(complex(expected)))
+        for got_row, expected_row in zip(evaluation.jacobian, reference.jacobian):
+            for got, expected in zip(got_row, expected_row):
+                assert abs(complex(got) - complex(expected)) < 1e-12 * max(1.0, abs(complex(expected)))

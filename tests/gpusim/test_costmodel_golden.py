@@ -25,16 +25,17 @@ import pytest
 
 from repro.core import GPUEvaluator
 from repro.gpusim import GPUCostModel
-from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
+from repro.multiprec import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE
 from repro.polynomials.generators import random_point, random_regular_system
 
 GOLDEN_PATH = Path(__file__).with_name("golden_costmodel.json")
 REGEN = bool(os.environ.get("REGEN_COSTMODEL_GOLDEN"))
 
-#: The three canonical launches: (name, (n, m, k, d), seed, context).
+#: The four canonical launches: (name, (n, m, k, d), seed, context).
 CANONICAL = [
     ("small_double", (4, 4, 2, 3), 101, DOUBLE),
     ("small_double_double", (4, 4, 2, 3), 101, DOUBLE_DOUBLE),
+    ("small_quad_double", (4, 4, 2, 3), 101, QUAD_DOUBLE),
     ("wide_double", (8, 8, 3, 2), 202, DOUBLE),
 ]
 

@@ -1,0 +1,300 @@
+"""Tests for the vectorised quad-double arrays.
+
+The key invariant is bit-for-bit agreement with the scalar
+:class:`~repro.multiprec.quad_double.QuadDouble` operations, since both use
+identical operation sequences -- including the vectorised renormalisation,
+whose masked-select form must reproduce the scalar branch nest exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DivisionByZeroError
+from repro.multiprec import ComplexQD, ComplexQDArray, QDArray, QuadDouble, qd
+
+
+def random_qd_scalars(seed, size=16):
+    """Full-expansion quad doubles (all four components populated)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(size):
+        v = float(rng.normal())
+        if v == 0.0:
+            v = 0.5
+        q = (QuadDouble(v) + QuadDouble(v * 1e-17) + QuadDouble(v * 1e-34)
+             + QuadDouble(v * 1e-51))
+        out.append(q)
+    return out
+
+
+def random_qd_arrays(seed, size=16):
+    return QDArray.from_scalars(random_qd_scalars(seed, size))
+
+
+def assert_bit_identical(array: QDArray, scalars) -> None:
+    for got, expected in zip(array.to_scalars(), scalars):
+        for g, e in zip(got.c, expected.c):
+            assert g == e or (np.isnan(g) and np.isnan(e))
+
+
+class TestConstruction:
+    def test_shape_and_size(self):
+        a = QDArray.zeros((3, 4))
+        assert a.shape == (3, 4)
+        assert a.size == 12
+        assert len(a) == 3
+
+    def test_from_float64_exact(self):
+        values = np.array([0.1, -2.5, 3.0])
+        a = QDArray.from_float64(values)
+        assert np.all(a.c0 == values)
+        for c in (a.c1, a.c2, a.c3):
+            assert np.all(c == 0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            QDArray(np.zeros(3), np.zeros(4))
+
+    def test_normalisation_on_construction(self):
+        a = QDArray(np.array([1.0]), np.array([3.0]))
+        assert a.c0[0] == 4.0 and a.c1[0] == 0.0
+
+    def test_normalisation_matches_scalar_constructor(self):
+        rng = np.random.default_rng(0)
+        comps = [rng.normal(size=32) * 10.0 ** (-16 * i) for i in range(4)]
+        a = QDArray(*comps)
+        expected = [QuadDouble(*(float(c[i]) for c in comps)) for i in range(32)]
+        assert_bit_identical(a, expected)
+
+    def test_from_and_to_scalars(self):
+        scalars = [qd("0.1"), qd("0.2"), qd(3)]
+        a = QDArray.from_scalars(scalars)
+        back = a.to_scalars()
+        assert all(x == y for x, y in zip(scalars, back))
+
+    def test_ones(self):
+        a = QDArray.ones(5)
+        assert np.all(a.c0 == 1.0) and np.all(a.c1 == 0.0)
+
+    def test_copy_is_independent(self):
+        a = QDArray.ones(3)
+        b = a.copy()
+        b[0] = qd(5)
+        assert a[0] == qd(1)
+
+    def test_repr(self):
+        assert "QDArray" in repr(QDArray.zeros(2))
+
+
+class TestIndexing:
+    def test_scalar_getitem(self):
+        a = QDArray.from_scalars([qd("0.1"), qd("0.2")])
+        assert isinstance(a[0], QuadDouble)
+        assert a[0] == qd("0.1")
+
+    def test_slice_getitem(self):
+        a = QDArray.from_scalars([qd(i) for i in range(5)])
+        sub = a[1:3]
+        assert isinstance(sub, QDArray)
+        assert sub.shape == (2,)
+        assert sub[0] == qd(1)
+
+    def test_setitem_scalar(self):
+        a = QDArray.zeros(3)
+        a[1] = qd("0.25")
+        assert a[1] == qd("0.25")
+
+    def test_setitem_float(self):
+        a = QDArray.zeros(3)
+        a[2] = 1.5
+        assert a[2] == qd(1.5)
+
+
+class TestArithmeticMatchesScalars:
+    @pytest.mark.parametrize("op", ["add", "sub", "mul", "div"])
+    def test_elementwise_bit_for_bit(self, op):
+        A = random_qd_scalars(1)
+        B = random_qd_scalars(2)
+        va, vb = QDArray.from_scalars(A), QDArray.from_scalars(B)
+        if op == "add":
+            c, expected = va + vb, [x + y for x, y in zip(A, B)]
+        elif op == "sub":
+            c, expected = va - vb, [x - y for x, y in zip(A, B)]
+        elif op == "mul":
+            c, expected = va * vb, [x * y for x, y in zip(A, B)]
+        else:
+            c, expected = va / vb, [x / y for x, y in zip(A, B)]
+        assert_bit_identical(c, expected)
+
+    def test_scalar_operands(self):
+        A = random_qd_scalars(3)
+        a = QDArray.from_scalars(A)
+        assert_bit_identical(a + 1.0, [x + 1 for x in A])
+        assert_bit_identical(1.0 + a, [x + 1 for x in A])
+        assert_bit_identical(a * qd(2), [x * 2 for x in A])
+        assert_bit_identical(2.0 - a, [QuadDouble(2.0) - x for x in A])
+        assert_bit_identical(1.0 / (a + 10.0),
+                             [QuadDouble(1.0) / (x + 10) for x in A])
+
+    def test_negation(self):
+        A = random_qd_scalars(4)
+        assert_bit_identical(-QDArray.from_scalars(A), [-x for x in A])
+
+    def test_power(self):
+        A = random_qd_scalars(5, size=8)
+        a = QDArray.from_scalars(A)
+        assert_bit_identical(a ** 3, [x.power(3) for x in A])
+        assert (a ** 0).to_scalars() == [qd(1)] * 8
+
+    def test_power_rejects_negative_or_float(self):
+        a = QDArray.ones(2)
+        with pytest.raises(TypeError):
+            a ** -1
+        with pytest.raises(TypeError):
+            a ** 0.5
+
+
+class TestDivisionEdgeCases:
+    def test_zero_denominator_raises_repro_error(self):
+        with pytest.raises(DivisionByZeroError):
+            QDArray(np.array([1.0, 2.0])) / QDArray(np.array([3.0, 0.0]))
+
+    def test_scalar_rtruediv_zero_denominator(self):
+        with pytest.raises(DivisionByZeroError):
+            1.0 / QDArray(np.array([2.0, 0.0]))
+
+    def test_complex_zero_denominator(self):
+        num = ComplexQDArray.from_complex128(np.array([1 + 1j, 2.0]))
+        den = ComplexQDArray.from_complex128(np.array([1.0, 0.0]))
+        with pytest.raises(DivisionByZeroError):
+            num / den
+
+    def test_nan_denominator_poisons_only_its_lane(self):
+        out = QDArray(np.array([1.0, 4.0])) / QDArray(np.array([np.nan, 2.0]))
+        assert np.isnan(out.c0[0]) and out.c0[1] == 2.0
+
+
+class TestMaskedOpsAndReductions:
+    def test_where_selects_lanes(self):
+        a = QDArray(np.array([1.0, 2.0, 3.0]))
+        b = QDArray(np.array([-1.0, -2.0, -3.0]))
+        out = QDArray.where(np.array([True, False, True]), a, b)
+        assert out.c0.tolist() == [1.0, -2.0, 3.0]
+
+    def test_masked_fill(self):
+        a = QDArray(np.array([1.0, 2.0]))
+        out = a.masked_fill(np.array([False, True]), QuadDouble(9.0))
+        assert out.c0.tolist() == [1.0, 9.0]
+
+    def test_sum_matches_sequential_scalar_sum(self):
+        A = random_qd_scalars(6, size=20)
+        total = QDArray.from_scalars(A).sum()
+        expected = QuadDouble(0.0)
+        for x in A:
+            expected = expected + x
+        assert total == expected
+
+    def test_sum_along_axis(self):
+        a = QDArray(np.arange(6, dtype=float).reshape(2, 3))
+        s = a.sum(axis=0)
+        assert isinstance(s, QDArray)
+        assert s.to_float64().tolist() == [3.0, 5.0, 7.0]
+
+    def test_compensated_sum_beats_float64(self):
+        n = 1000
+        c0 = np.full(n + 1, 1e-40)
+        c0[0] = 1.0
+        total = QDArray(c0).sum()
+        assert float(total.to_fraction() - 1) == pytest.approx(n * 1e-40, rel=1e-12)
+        assert np.sum(c0) == 1.0  # the float64 sum it beats
+
+    def test_abs_and_max_abs(self):
+        a = QDArray.from_scalars([qd(-3), qd(2)])
+        assert a.abs().to_scalars() == [qd(3), qd(2)]
+        assert a.max_abs() == 3.0
+
+    def test_max_abs_axis(self):
+        a = QDArray(np.array([[1.0, -5.0], [3.0, 2.0]]))
+        assert a.max_abs() == 5.0
+        assert a.max_abs(axis=0).tolist() == [3.0, 5.0]
+
+    def test_allclose(self):
+        a = random_qd_arrays(7)
+        assert a.allclose(a + 1e-70)
+        assert not a.allclose(a + 1.0)
+
+
+class TestComplexQDArray:
+    def test_construction_and_roundtrip(self):
+        z = np.array([1 + 2j, -0.5j, 3.0])
+        a = ComplexQDArray.from_complex128(z)
+        assert np.all(a.to_complex128() == z)
+        assert a.shape == (3,)
+        assert len(a) == 3
+
+    def test_scalar_roundtrip(self):
+        scalars = [ComplexQD(1 + 1j), ComplexQD(2 - 3j)]
+        a = ComplexQDArray.from_scalars(scalars)
+        assert a.to_scalars() == scalars
+
+    def test_getitem_and_setitem(self):
+        a = ComplexQDArray.zeros(3)
+        a[1] = ComplexQD(2 + 2j)
+        assert isinstance(a[1], ComplexQD)
+        assert a[1].to_complex() == 2 + 2j
+
+    def test_arithmetic_bit_for_bit(self):
+        A = random_qd_scalars(8, size=10)
+        B = random_qd_scalars(9, size=10)
+        za = ComplexQDArray(QDArray.from_scalars(A), QDArray.from_scalars(B))
+        zb = ComplexQDArray(QDArray.from_scalars(B), QDArray.from_scalars(A))
+        for got, scalar_op in [
+            (za + zb, lambda x, y: x + y),
+            (za - zb, lambda x, y: x - y),
+            (za * zb, lambda x, y: x * y),
+            (za / zb, lambda x, y: x / y),
+        ]:
+            expected = [scalar_op(ComplexQD(a, b), ComplexQD(b, a))
+                        for a, b in zip(A, B)]
+            for g, e in zip(got.to_scalars(), expected):
+                assert g.real.c == e.real.c
+                assert g.imag.c == e.imag.c
+
+    def test_power_and_conjugate(self):
+        z = np.array([1 + 1j, 2 - 1j])
+        a = ComplexQDArray.from_complex128(z)
+        assert np.allclose((a ** 3).to_complex128(), z ** 3)
+        assert np.all(a.conjugate().to_complex128() == z.conjugate())
+        with pytest.raises(TypeError):
+            a ** -1
+
+    def test_sum_and_abs(self):
+        z = np.array([3 + 4j, 1 - 1j])
+        a = ComplexQDArray.from_complex128(z)
+        total = a.sum()
+        assert isinstance(total, ComplexQD)
+        assert total.to_complex() == z.sum()
+        assert a.abs2().to_float64().tolist() == [25.0, 2.0]
+        assert a.max_abs() == pytest.approx(5.0)
+
+    def test_where_broadcasts_lane_mask_over_rows(self):
+        matrix = ComplexQDArray.from_complex128(
+            np.arange(6, dtype=complex).reshape(2, 3))
+        zeros = ComplexQDArray.zeros((2, 3))
+        out = ComplexQDArray.where(np.array([True, False, True]), matrix, zeros)
+        expected = np.arange(6, dtype=complex).reshape(2, 3)
+        expected[:, 1] = 0
+        assert np.array_equal(out.to_complex128(), expected)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ComplexQDArray(QDArray.zeros(2), QDArray.zeros(3))
+
+    def test_scalar_coercion_in_arithmetic(self):
+        a = ComplexQDArray.from_complex128(np.array([1 + 1j, 2 + 2j]))
+        shifted = a + (1 + 0j)
+        assert np.allclose(shifted.to_complex128(), np.array([2 + 1j, 3 + 2j]))
+        scaled = a * ComplexQD(2)
+        assert np.allclose(scaled.to_complex128(), np.array([2 + 2j, 4 + 4j]))

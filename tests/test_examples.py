@@ -72,3 +72,10 @@ class TestExamples:
         assert "batched path tracking" in output
         assert "roots agree with the scalar tracker: yes" in output
         assert "paths/sec win at batch 8" in output
+
+    def test_precision_escalation(self):
+        output = run_example("precision_escalation.py", "--dimension", "3")
+        assert "precision escalation" in output
+        assert "recovered by escalation" in output
+        assert "quality-up table" in output
+        assert "escalation ladder starts at" in output

@@ -225,11 +225,49 @@ class TestPathBatchStructure:
         assert batch.active.tolist() == [False, True]
         assert batch.status[0] == int(PathStatus.STEP_UNDERFLOW)
 
-    def test_quad_double_context_is_rejected_clearly(self):
+    def test_unregistered_context_is_rejected_clearly(self):
+        from dataclasses import replace
+
+        from repro.multiprec import DOUBLE
+
         system = decoupled_quadratic_system()
         start = total_degree_start_system(system)
+        octuple = replace(DOUBLE, name="od", description="octuple double")
         with pytest.raises(ConfigurationError):
-            BatchTracker(start, system, context=QUAD_DOUBLE)
+            BatchTracker(start, system, context=octuple)
+
+
+class TestQuadDoubleBatchTracking:
+    """The qd backend drives the batch stack end to end (seed fixtures)."""
+
+    def test_decoupled_quadratics_match_scalar_qd_tracker(self):
+        system = decoupled_quadratic_system()
+        scalar = scalar_results(system, QUAD_DOUBLE)
+        batched = batch_results(system, QUAD_DOUBLE)
+        assert all(r.success for r in batched)
+        # Both engines run the same operation sequences per lane; endpoints
+        # agree far below double precision (working tolerance).
+        assert_same_solution_sets(scalar, batched, QUAD_DOUBLE, tolerance=1e-14)
+
+    def test_qd_endpoints_sharper_than_double(self):
+        options = TrackerOptions(end_tolerance=1e-30, end_iterations=20)
+        batched = batch_results(decoupled_quadratic_system(), QUAD_DOUBLE,
+                                options=options)
+        assert all(r.success for r in batched)
+        assert max(r.residual for r in batched) < 1e-30
+
+    def test_chunked_qd_batches_agree(self):
+        system = decoupled_quadratic_system()
+        whole = batch_results(system, QUAD_DOUBLE)
+        chunked = batch_results(system, QUAD_DOUBLE, batch_size=2)
+        assert_same_solution_sets(whole, chunked, QUAD_DOUBLE)
+
+    @pytest.mark.slow
+    def test_speelpenning_chain_qd(self):
+        system = speelpenning_chain_system()
+        scalar = scalar_results(system, QUAD_DOUBLE)
+        batched = batch_results(system, QUAD_DOUBLE)
+        assert_same_solution_sets(scalar, batched, QUAD_DOUBLE, tolerance=1e-14)
 
 
 @pytest.mark.slow

@@ -151,3 +151,117 @@ class TestNewtonOnGPUEvaluator:
         # close to it (the solution set may contain other nearby points, so
         # just check the residual and proximity).
         assert result.residual_norm < 1e-10
+
+
+class TestBatchCorrectorMatchesScalar:
+    """Differential pin: the batched corrector takes exactly the scalar
+    corrector's decisions per lane -- including the relaxed small-update
+    acceptance, which both apply in the same iteration and both treat as
+    final (no further iterating when the relaxed test fails)."""
+
+    @staticmethod
+    def _fixture():
+        from repro.tracking import BatchHomotopy, Homotopy, total_degree_start_system
+        import numpy as np
+
+        system = circle_line_system()
+        start = total_degree_start_system(system)
+        scalar_homotopy = Homotopy(CPUReferenceEvaluator(start),
+                                   CPUReferenceEvaluator(system))
+        batch_homotopy = BatchHomotopy(start, system)
+        # Starts around the root (1, 1): in the basin, near-converged, and
+        # far enough out that the iteration cap bites.
+        points = [
+            [1.2 + 0.1j, 0.9 - 0.1j],
+            [1.0 + 1e-9j, 1.0 - 1e-9j],
+            [1.0000001, 0.9999999],
+            [2.5, -1.5],
+            [1.0, 1.0],
+        ]
+        return scalar_homotopy, batch_homotopy, points
+
+    @pytest.mark.parametrize("tolerance", [1e-10, 1e-14, 1e-15])
+    def test_converged_iterations_and_residuals_agree(self, tolerance):
+        import numpy as np
+
+        from repro.multiprec.backend import COMPLEX128_BACKEND
+        from repro.tracking import BatchNewtonCorrector
+
+        scalar_homotopy, batch_homotopy, points = self._fixture()
+        max_iterations = 8
+
+        scalar_outcomes = []
+        for point in points:
+            corrector = NewtonCorrector(scalar_homotopy.at(1.0),
+                                        tolerance=tolerance,
+                                        max_iterations=max_iterations)
+            scalar_outcomes.append(corrector.correct(point))
+
+        batch = COMPLEX128_BACKEND.from_points(points)
+        batched = BatchNewtonCorrector(
+            batch_homotopy.at(np.ones(len(points))), COMPLEX128_BACKEND,
+            tolerance=tolerance, max_iterations=max_iterations,
+        ).correct(batch)
+
+        for lane, scalar in enumerate(scalar_outcomes):
+            assert bool(batched.converged[lane]) == scalar.converged, lane
+            assert int(batched.iterations[lane]) == scalar.iterations, lane
+            assert batched.residual_norm[lane] == pytest.approx(
+                scalar.residual_norm, rel=1e-6, abs=1e-30), lane
+            got = [complex(z) for z in batched.solution[:, lane]]
+            expected = [complex(z) for z in scalar.solution]
+            for g, e in zip(got, expected):
+                assert abs(g - e) <= 1e-9 * max(1.0, abs(e)), lane
+
+    def test_small_update_lane_stops_iterating_like_scalar(self):
+        """A lane whose update falls below tolerance while its residual sits
+        above the relaxed bound must retire unconverged -- the scalar
+        corrector gives up there, and the batched one must not keep
+        polishing it."""
+        import numpy as np
+
+        from repro.multiprec.backend import COMPLEX128_BACKEND
+        from repro.tracking import BatchNewtonCorrector
+
+        from repro.tracking import BatchHomotopy, Homotopy, total_degree_start_system
+
+        # A scaled sqrt(2) system: the residual floor sits at ~1e6 * eps
+        # (the root is not representable) while Newton updates shrink to
+        # ~eps, so a tolerance between the two floors makes the update test
+        # pass while the relaxed residual bound (1e2 * tol) fails -- the
+        # give-up branch of the scalar small-update exit.
+        scale = 1e6
+        p1 = Polynomial([
+            (scale + 0j, Monomial((0,), (2,))),
+            (-2 * scale + 0j, Monomial((), ())),
+        ])
+        p2 = Polynomial([
+            (1 + 0j, Monomial((0,), (1,))),
+            (-1 + 0j, Monomial((1,), (1,))),
+        ])
+        system = PolynomialSystem([p1, p2])
+        start = total_degree_start_system(system)
+        scalar_homotopy = Homotopy(CPUReferenceEvaluator(start),
+                                   CPUReferenceEvaluator(system))
+        batch_homotopy = BatchHomotopy(start, system)
+        tolerance = 1e-14
+        points = [[1.4, 1.4], [1.41421356, 1.41421356]]
+
+        scalar_outcomes = []
+        for point in points:
+            corrector = NewtonCorrector(scalar_homotopy.at(1.0),
+                                        tolerance=tolerance, max_iterations=20)
+            scalar_outcomes.append(corrector.correct(point))
+        # Precondition: the scalar corrector actually takes the small-update
+        # exit early (well before the iteration cap) and rejects.
+        assert all(not r.converged for r in scalar_outcomes)
+        assert all(r.iterations < 20 for r in scalar_outcomes)
+
+        batch = COMPLEX128_BACKEND.from_points(points)
+        batched = BatchNewtonCorrector(
+            batch_homotopy.at(np.ones(len(points))), COMPLEX128_BACKEND,
+            tolerance=tolerance, max_iterations=20,
+        ).correct(batch)
+        for lane, scalar in enumerate(scalar_outcomes):
+            assert not batched.converged[lane]
+            assert int(batched.iterations[lane]) == scalar.iterations, lane

@@ -152,3 +152,165 @@ class TestBackends:
             x, y = solution.as_complex()
             assert abs(x * x - 2.0) < 1e-7
             assert abs(y * y - 5.0) < 1e-7
+
+
+class TestDeduplicationScales:
+    """The bucketed clustering: coincident endpoints are one dict probe
+    each, not a scan over every previously found solution."""
+
+    def make_result(self, point, residual=1e-12):
+        return PathResult(success=True, solution=list(point), residual=residual,
+                          steps_accepted=1, steps_rejected=0, newton_iterations=1)
+
+    def test_200_coincident_endpoints_collapse_to_one(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        base = [1.25 + 0.5j, -0.75 + 2.0j]
+        results = []
+        for _ in range(250):
+            jitter = (rng.normal(size=2) + 1j * rng.normal(size=2)) * 1e-9
+            results.append(self.make_result([b + j for b, j in zip(base, jitter)]))
+        merged = _deduplicate(results, DOUBLE, tolerance=1e-6)
+        assert len(merged) == 1
+        assert merged[0].multiplicity == 250
+
+    def test_mixed_clusters_and_singletons(self):
+        results = []
+        for i in range(100):
+            results.append(self.make_result([1.0 + 0j, 2.0 + 0j]))      # cluster A
+            results.append(self.make_result([-1.0 + 0j, 2.0 + 0j]))     # cluster B
+        for i in range(20):
+            results.append(self.make_result([float(10 + i) + 0j, 0j]))  # singletons
+        merged = _deduplicate(results, DOUBLE, tolerance=1e-8)
+        assert len(merged) == 22
+        multiplicities = sorted(s.multiplicity for s in merged)
+        assert multiplicities[-2:] == [100, 100]
+
+    def test_dedup_scan_is_bucket_local(self):
+        """Monkeypatch-free scaling probe: with B distinct buckets the inner
+        tolerance scan must not grow with the number of *clusters*, which the
+        old O(paths^2) global scan did.  Validated behaviourally: widely
+        separated endpoints stay distinct and coincident ones still merge."""
+        results = [self.make_result([complex(i, -i)]) for i in range(300)]
+        results += [self.make_result([complex(7, -7)])] * 5
+        merged = _deduplicate(results, DOUBLE, tolerance=1e-9)
+        assert len(merged) == 300
+        seven = next(s for s in merged if abs(s.as_complex()[0] - (7 - 7j)) < 1e-6)
+        assert seven.multiplicity == 6
+
+
+class TestEscalation:
+    def test_policy_validates_order_and_nonempty(self):
+        from repro.errors import ConfigurationError
+        from repro.multiprec import QUAD_DOUBLE
+        from repro.tracking import EscalationPolicy
+
+        with pytest.raises(ConfigurationError):
+            EscalationPolicy(ladder=())
+        with pytest.raises(ConfigurationError):
+            EscalationPolicy(ladder=(QUAD_DOUBLE, DOUBLE))
+        policy = EscalationPolicy()
+        assert [c.name for c in policy.ladder] == ["d", "dd", "qd"]
+        assert policy.start_context.name == "d"
+
+    def test_from_speedup_consults_quality_up(self):
+        from repro.tracking import EscalationPolicy
+
+        assert [c.name for c in EscalationPolicy.from_speedup(1.0).ladder] == \
+            ["d", "dd", "qd"]
+        assert [c.name for c in EscalationPolicy.from_speedup(10.0).ladder] == \
+            ["dd", "qd"]
+        assert [c.name for c in EscalationPolicy.from_speedup(50.0).ladder] == \
+            ["qd"]
+
+    def test_escalation_recovers_paths_that_fail_at_plain_double(self):
+        """Acceptance criterion: a Bezout >= 16 system with an end tolerance
+        below the double roundoff floor -- paths genuinely fail at d and are
+        recovered by the dd rung."""
+        from repro.bench.batch_tracking import cyclic_quadratic_system
+        from repro.tracking import EscalationPolicy
+        from repro.multiprec import DOUBLE_DOUBLE
+
+        system = cyclic_quadratic_system(4)
+        options = TrackerOptions(end_tolerance=1e-17, end_iterations=12)
+        policy = EscalationPolicy(ladder=(DOUBLE, DOUBLE_DOUBLE))
+        report = solve_system(system, options=options, escalation=policy)
+
+        assert report.bezout_number == 16
+        assert report.paths_tracked == 16
+        assert report.recovered_by_escalation >= 1
+        assert report.paths_converged == 16
+        assert not report.failures
+        assert report.contexts_used == ["d", "dd"]
+        assert report.paths_by_context["d"] == 16
+        # Only the d failures were re-tracked at dd...
+        assert report.paths_by_context["dd"] == \
+            16 - report.converged_by_context["d"]
+        # ... and everything the dd rung attempted converged.
+        assert report.converged_by_context["dd"] == report.paths_by_context["dd"]
+        # Escalated endpoints certify the tight tolerance.
+        assert all(s.residual <= 1e-15 for s in report.solutions)
+
+    def test_without_escalation_those_paths_fail(self):
+        from repro.bench.batch_tracking import cyclic_quadratic_system
+
+        system = cyclic_quadratic_system(4)
+        options = TrackerOptions(end_tolerance=1e-17, end_iterations=12)
+        report = solve_system(system, options=options)
+        assert report.paths_converged < report.paths_tracked
+        assert report.failures
+        assert report.recovered_by_escalation == 0
+
+    def test_single_rung_ladder_equals_plain_context(self):
+        from repro.tracking import EscalationPolicy
+
+        plain = solve_system(decoupled_quadratics())
+        ladder = solve_system(decoupled_quadratics(),
+                              escalation=EscalationPolicy(ladder=(DOUBLE,)))
+        assert plain.paths_converged == ladder.paths_converged == 4
+        assert ladder.paths_by_context == {"d": 4}
+        assert ladder.recovered_by_escalation == 0
+
+
+class TestBatchedRoute:
+    def test_default_factory_goes_through_batch_tracker(self):
+        report = solve_system(decoupled_quadratics(), batch_size=2)
+        assert report.paths_converged == 4
+        assert len(report.solutions) == 4
+
+    def test_opaque_factory_falls_back_to_scalar_tracker(self):
+        """An evaluator that hides its system still solves, path by path."""
+
+        class Opaque:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def evaluate(self, point):
+                return self._inner.evaluate(point)
+
+        report = solve_system(decoupled_quadratics(),
+                              evaluator_factory=lambda s: Opaque(
+                                  CPUReferenceEvaluator(s)))
+        assert report.paths_converged == 4
+        assert len(report.solutions) == 4
+
+    def test_opaque_factory_with_escalation_is_rejected(self):
+        """An opaque evaluator is stuck in one arithmetic, so the wider
+        rungs could not actually widen the precision -- refuse loudly
+        instead of producing a lying escalated report."""
+        from repro.errors import ConfigurationError
+        from repro.tracking import EscalationPolicy
+
+        class Opaque:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def evaluate(self, point):
+                return self._inner.evaluate(point)
+
+        with pytest.raises(ConfigurationError):
+            solve_system(decoupled_quadratics(),
+                         evaluator_factory=lambda s: Opaque(
+                             CPUReferenceEvaluator(s)),
+                         escalation=EscalationPolicy())
