@@ -2,15 +2,22 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-all bench-batch bench-tables bench-json
+.PHONY: test test-all docs bench-batch bench-tables bench-json
 
 # Tier-1: the fast suite (pytest.ini deselects @pytest.mark.slow).
 test:
 	$(PY) -m pytest -q
 
-# Everything, including tests marked slow.
+# Everything, including tests marked slow, plus the documentation check.
 test-all:
 	$(PY) -m pytest -q -m "slow or not slow"
+	$(PY) tools/check_docs.py
+
+# Documentation health: execute every code block of README.md and docs/*.md
+# (stale snippets fail the build) and re-run the example smoke tests.
+docs:
+	$(PY) tools/check_docs.py
+	$(PY) -m pytest tests/test_examples.py -q
 
 # Batched path-tracking throughput sweep (paths/sec vs batch size).
 bench-batch:

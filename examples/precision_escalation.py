@@ -8,7 +8,10 @@ This example turns that table into an operational pipeline:
 1. solve the cyclic quadratic benchmark system with an end tolerance below
    the double-precision roundoff floor -- plain ``d`` genuinely fails;
 2. let :class:`repro.tracking.EscalationPolicy` re-track the failed residue
-   one rung wider (d -> dd -> qd), reporting per-context path counts;
+   one rung wider (d -> dd -> qd) -- *warm-restarted* from each failed
+   lane's checkpoint, so the wider rung resumes from the last accepted
+   ``(x, t)`` instead of replaying the path -- reporting per-context path
+   counts and the resumed-vs-restarted split;
 3. print the quality-up table at the measured batching speedup and the
    ladder :meth:`EscalationPolicy.from_speedup` derives from it.
 """
@@ -55,6 +58,10 @@ def main() -> None:
     print(f"paths per context:        {report.paths_by_context}")
     print(f"converged per context:    {report.converged_by_context}")
     print(f"recovered by escalation:  {report.recovered_by_escalation}")
+    print(f"resumed per context:      {report.resumed_by_context}")
+    resume_t = {ctx: [round(t, 3) for t in ts]
+                for ctx, ts in report.resume_t_by_context.items() if ts}
+    print(f"warm-restart t per rung:  {resume_t or '(nothing escalated)'}")
     worst = max((s.residual for s in report.solutions), default=0.0)
     print(f"worst solution residual:  {worst:.3e}")
 

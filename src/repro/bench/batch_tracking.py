@@ -107,11 +107,12 @@ def batch_state_bytes(batch_size: int, dimension: int,
     (``3n + n^2`` complex entries per lane, each two reals of the context's
     ``bytes_per_real``) -- plus the per-lane control state of the
     :class:`~repro.tracking.batch_tracker.PathBatch`: four float64 arrays
-    (t, prev_t, dt, residual), three int64 counters, two bools and one
-    int8 status, 59 bytes per lane.
+    (t, prev_t, dt, residual), four int64 counters (steps accepted /
+    rejected, Newton iterations, consecutive successes), two bools and one
+    int8 status, 67 bytes per lane.
     """
     complex_entries = batch_size * (3 * dimension + dimension * dimension)
-    control = batch_size * (4 * 8 + 3 * 8 + 2 * 1 + 1)
+    control = batch_size * (4 * 8 + 4 * 8 + 2 * 1 + 1)
     return complex_entries * 2 * context.bytes_per_real + control
 
 

@@ -4,37 +4,46 @@ The paper's quality-up tables say *which* extended precision a given parallel
 speedup pays for; the adaptive d -> dd -> qd escalation of
 :class:`~repro.tracking.solver.EscalationPolicy` turns that into a running
 policy: track everything in the cheapest arithmetic, re-track only the failed
-residue wider.  This benchmark measures what the policy buys under the
-calibrated GPU cost model:
+residue wider -- and, since the checkpointing tracker can export per-lane
+state, *resume* that residue from its last accepted ``(x, t)`` instead of
+replaying the whole path.  This benchmark measures what the policy buys under
+the calibrated GPU cost model:
 
 1. all paths of the benchmark system are batch-tracked at each rung of the
    ladder, each rung receiving only the previous rung's failures (the
-   tolerance is chosen so plain double precision genuinely fails);
+   tolerance is chosen so plain double precision genuinely fails).  The
+   escalated rungs run twice from the shared first-rung outcome: once
+   *warm* (resumed from the failed lanes'
+   :class:`~repro.tracking.batch_tracker.LaneCheckpoint` state) and once
+   *cold* (re-tracked from ``t = 0``), so the warm restart's saving is a
+   measured difference, not a model;
 2. every rung's *measured* evaluation log is priced as batched kernel
    launches in that rung's arithmetic -- start and target system stats are
    both measured (the irregular start system through the padded layout);
-3. the summary compares the escalated pipeline against the conservative
-   alternative that tracks every path at the widest rung from the start,
-   in two components.  The *total* predicted seconds are dominated by the
-   fixed launch overhead at benchmark sizes, which batching amortises
-   identically for every arithmetic -- that is the paper's quality-up
-   regime, where the wide arithmetic is nearly free and the totals of the
-   two pipelines are close.  The *software-arithmetic* seconds isolate the
-   precision-sensitive work (the dd ~8x / qd ~40x factors); there the
-   escalated pipeline wins by roughly the fraction of paths that never
-   needed the wide arithmetic, which is what the policy is for.
+3. the conservative all-paths-at-the-widest baseline is *measured* too: the
+   widest rung actually tracks every path and its own evaluation log is
+   priced, replacing the former first-rung-profile extrapolation.  The
+   summary compares escalated against widest-only in two components: the
+   *total* predicted seconds are dominated by the fixed launch overhead at
+   benchmark sizes, which batching amortises identically for every
+   arithmetic -- the paper's quality-up regime, where the wide arithmetic is
+   nearly free and the totals of the two pipelines are close; the
+   *software-arithmetic* seconds isolate the precision-sensitive work (the
+   dd ~8x / qd ~40x factors), where the escalated pipeline wins by roughly
+   the fraction of paths that never needed the wide arithmetic.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..errors import ConfigurationError
 from ..gpusim.costmodel import GPUCostModel
 from ..multiprec.numeric import DOUBLE, DOUBLE_DOUBLE, NumericContext
 from ..polynomials.system import PolynomialSystem
-from ..tracking.batch_tracker import BatchTracker
+from ..tracking.batch_tracker import BatchTracker, BatchTrackResult, LaneCheckpoint
 from ..tracking.start_systems import start_solutions, total_degree_start_system
 from ..tracking.tracker import TrackerOptions
 from .batch_tracking import cyclic_quadratic_system, measured_homotopy_stats
@@ -44,7 +53,15 @@ __all__ = ["EscalationRow", "EscalationSummary", "run_escalation_bench"]
 
 @dataclass
 class EscalationRow:
-    """One rung of the escalation ladder."""
+    """One rung of the (warm) escalation ladder.
+
+    ``resumed`` counts paths this rung continued mid-track from a cheaper
+    rung's checkpoint; ``restarted`` counts paths tracked from ``t = 0``
+    (the whole first rung, plus any start-correction failures later).
+    ``mean_resume_t`` is the average continuation parameter the resumed
+    paths continued from -- near 1.0 it means the rung only replayed
+    endgames.
+    """
 
     context: str
     overhead_factor: float
@@ -57,6 +74,9 @@ class EscalationRow:
     arithmetic_seconds: float
     paths_per_second: float
     tracker_wall_seconds: float
+    resumed: int = 0
+    restarted: int = 0
+    mean_resume_t: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -65,6 +85,9 @@ class EscalationRow:
             "attempted": self.paths_attempted,
             "converged": self.paths_converged,
             "recovered": self.recovered,
+            "resumed": self.resumed,
+            "restarted": self.restarted,
+            "mean_resume_t": self.mean_resume_t,
             "batched_evals": self.batched_evaluations,
             "lane_evals": self.lane_evaluations,
             "device_s": self.predicted_device_seconds,
@@ -78,10 +101,14 @@ class EscalationRow:
 class EscalationSummary:
     """Aggregate outcome of one escalated solve.
 
-    The widest-only baseline prices the first rung's *measured* evaluation
-    profile at the widest arithmetic of the ladder: lane retirement is driven
-    by the workload, not the precision, so that profile is what an
-    all-paths-at-the-widest run would execute.
+    ``rows`` and the ``escalated_*`` fields describe the *warm* pipeline
+    (checkpoint-resumed escalation, the production configuration); the
+    ``cold_*`` fields describe the same ladder with every escalated rung
+    re-tracked from ``t = 0`` (sharing the identical first rung), and the
+    ``widest_only_*`` fields a *measured* run of every path at the widest
+    arithmetic from the start.  All device/arithmetic seconds are the GPU
+    cost model's pricing of measured evaluation logs; the ``*_wall_seconds``
+    are host wall-clock of the tracking itself.
     """
 
     rows: List[EscalationRow]
@@ -90,12 +117,21 @@ class EscalationSummary:
     recovered_by_escalation: int
     escalated_device_seconds: float
     escalated_arithmetic_seconds: float
+    escalated_wall_seconds: float
+    escalated_lane_evaluations: int
+    cold_device_seconds: float
+    cold_arithmetic_seconds: float
+    cold_wall_seconds: float
+    cold_lane_evaluations: int
     widest_only_device_seconds: float
     widest_only_arithmetic_seconds: float
+    widest_only_wall_seconds: float
+    widest_only_lane_evaluations: int
+    widest_only_converged: int
 
     @property
     def saving_factor(self) -> float:
-        """Total-seconds saving over all-at-the-widest.
+        """Total-seconds saving over the measured all-at-the-widest run.
 
         Close to (even slightly below) 1 at benchmark sizes: the fixed
         launch overhead dominates and batching amortises it for every
@@ -119,6 +155,25 @@ class EscalationSummary:
         return (self.widest_only_arithmetic_seconds
                 / self.escalated_arithmetic_seconds)
 
+    @property
+    def warm_restart_saving_factor(self) -> float:
+        """Predicted-seconds saving of warm over cold on the escalated rungs.
+
+        Both pipelines share the identical first rung, so that rung's
+        seconds are subtracted from both sides before taking the ratio --
+        otherwise the factor would be diluted toward 1.0 whenever the first
+        rung dominates (the common case: most paths never escalate).  What
+        remains is the restart policy itself: a warm rung resumes each
+        failed lane from its checkpoint (usually ``t = 1``, endgame only)
+        while a cold rung replays the path from ``t = 0``.
+        """
+        first = self.rows[0].predicted_device_seconds if self.rows else 0.0
+        warm_tail = self.escalated_device_seconds - first
+        cold_tail = self.cold_device_seconds - first
+        if warm_tail <= 0:
+            return float("inf")
+        return cold_tail / warm_tail
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "rows": [row.as_dict() for row in self.rows],
@@ -127,10 +182,30 @@ class EscalationSummary:
             "recovered_by_escalation": self.recovered_by_escalation,
             "escalated_device_s": self.escalated_device_seconds,
             "escalated_arithmetic_s": self.escalated_arithmetic_seconds,
+            "escalated_wall_s": self.escalated_wall_seconds,
             "widest_only_device_s": self.widest_only_device_seconds,
             "widest_only_arithmetic_s": self.widest_only_arithmetic_seconds,
             "saving_factor": self.saving_factor,
             "arithmetic_saving_factor": self.arithmetic_saving_factor,
+            "widest_only": {
+                "measured": True,
+                "device_s": self.widest_only_device_seconds,
+                "arith_s": self.widest_only_arithmetic_seconds,
+                "wall_s": self.widest_only_wall_seconds,
+                "lane_evals": self.widest_only_lane_evaluations,
+                "converged": self.widest_only_converged,
+            },
+            "warm_vs_cold": {
+                "warm_tracking_s": self.escalated_wall_seconds,
+                "cold_tracking_s": self.cold_wall_seconds,
+                "warm_device_s": self.escalated_device_seconds,
+                "cold_device_s": self.cold_device_seconds,
+                "warm_arith_s": self.escalated_arithmetic_seconds,
+                "cold_arith_s": self.cold_arithmetic_seconds,
+                "warm_lane_evals": self.escalated_lane_evaluations,
+                "cold_lane_evals": self.cold_lane_evaluations,
+                "warm_restart_saving_factor": self.warm_restart_saving_factor,
+            },
         }
 
 
@@ -144,6 +219,49 @@ def _priced(model: GPUCostModel, stats, lanes: int,
         total += breakdown.total
         precision_sensitive += breakdown.arithmetic + breakdown.memory_throughput
     return total, precision_sensitive
+
+
+def _priced_log(model: GPUCostModel, stats, log: Sequence[int],
+                context: NumericContext) -> Tuple[float, float]:
+    """Price a whole measured evaluation log in one arithmetic."""
+    total = 0.0
+    arith = 0.0
+    for lanes in log:
+        t, a = _priced(model, stats, lanes, context)
+        total += t
+        arith += a
+    return total, arith
+
+
+@dataclass
+class _MeasuredRun:
+    """One tracked-and-priced rung: the outcome plus its pricing."""
+
+    context: NumericContext
+    outcome: BatchTrackResult
+    wall_seconds: float
+    device_seconds: float
+    arithmetic_seconds: float
+
+
+def _tracked(start: PolynomialSystem, target: PolynomialSystem,
+             context: NumericContext, opts: TrackerOptions,
+             batch_size: Optional[int], model: GPUCostModel, stats,
+             starts: Optional[Sequence] = None,
+             resume_from: Optional[Sequence[LaneCheckpoint]] = None
+             ) -> _MeasuredRun:
+    """Track one rung (cold or resumed) and price its evaluation log."""
+    tracker = BatchTracker(start, target, context=context, options=opts,
+                           batch_size=batch_size)
+    began = time.perf_counter()
+    if resume_from is not None:
+        outcome = tracker.track_batches(resume_from=resume_from)
+    else:
+        outcome = tracker.track_batches(starts)
+    wall = time.perf_counter() - began
+    device, arith = _priced_log(model, stats, outcome.evaluation_log, context)
+    return _MeasuredRun(context=context, outcome=outcome, wall_seconds=wall,
+                        device_seconds=device, arithmetic_seconds=arith)
 
 
 def run_escalation_bench(dimension: int = 4,
@@ -162,7 +280,18 @@ def run_escalation_bench(dimension: int = 4,
     designed for.  Tighten it (1e-17 fails nearly everything at ``d``;
     below ~1e-32 even ``dd`` fails, pushing the residue into ``qd`` when the
     ladder includes :data:`~repro.multiprec.numeric.QUAD_DOUBLE`).
+
+    Three pipelines run on the same workload: warm escalation (rungs above
+    the first resume failed lanes from their checkpoints), cold escalation
+    (same ladder, failed lanes re-tracked from ``t = 0``; the first rung is
+    shared, so the difference is purely the restart policy), and the
+    measured widest-only baseline (every path at ``ladder[-1]`` from the
+    start).
     """
+    if not ladder:
+        raise ConfigurationError(
+            "the escalation bench needs a ladder with at least one rung"
+        )
     model = cost_model or GPUCostModel()
     target = system or cyclic_quadratic_system(dimension)
     dimension = target.dimension
@@ -176,75 +305,123 @@ def run_escalation_bench(dimension: int = 4,
     stats_by_context = {ctx.name: measured_homotopy_stats(target, start, ctx)
                         for ctx in ladder}
 
-    pending = list(start_solutions(target))
-    total_paths = len(pending)
-    rows: List[EscalationRow] = []
-    total_converged = 0
+    starts = list(start_solutions(target))
+    total_paths = len(starts)
+    widest = ladder[-1]
+
+    # ------------------------------------------------------------------
+    # first rung: shared by the warm and cold pipelines
+    # ------------------------------------------------------------------
+    first = _tracked(start, target, ladder[0], opts, batch_size, model,
+                     stats_by_context[ladder[0].name], starts=starts)
+
+    rows: List[EscalationRow] = [EscalationRow(
+        context=ladder[0].name,
+        overhead_factor=model.arithmetic_cost_factor(ladder[0]),
+        paths_attempted=total_paths,
+        paths_converged=first.outcome.paths_converged,
+        recovered=0,
+        batched_evaluations=first.outcome.batched_evaluations,
+        lane_evaluations=first.outcome.lane_evaluations,
+        predicted_device_seconds=first.device_seconds,
+        arithmetic_seconds=first.arithmetic_seconds,
+        paths_per_second=(total_paths / first.device_seconds
+                          if first.device_seconds else float("inf")),
+        tracker_wall_seconds=first.wall_seconds,
+        resumed=0,
+        restarted=total_paths,
+    )]
+    total_converged = first.outcome.paths_converged
     recovered_total = 0
-    escalated_seconds = 0.0
-    escalated_arith = 0.0
-    widest = ladder[-1] if ladder else DOUBLE
-    first_log: List[int] = []
+    warm_device = first.device_seconds
+    warm_arith = first.arithmetic_seconds
+    warm_wall = first.wall_seconds
+    warm_lane_evals = first.outcome.lane_evaluations
+    cold_device = first.device_seconds
+    cold_arith = first.arithmetic_seconds
+    cold_wall = first.wall_seconds
+    cold_lane_evals = first.outcome.lane_evaluations
 
-    for level, context in enumerate(ladder):
-        if not pending:
-            break
-        tracker = BatchTracker(start, target, context=context, options=opts,
-                               batch_size=batch_size)
-        began = time.perf_counter()
-        outcome = tracker.track_batches(pending)
-        wall = time.perf_counter() - began
-        if level == 0:
-            first_log = list(outcome.evaluation_log)
+    # ------------------------------------------------------------------
+    # escalated rungs: warm (checkpoint-resumed) and cold (from scratch)
+    # ------------------------------------------------------------------
+    warm_pending = [(s, cp) for (s, cp, r)
+                    in zip(starts, first.outcome.checkpoints(),
+                           first.outcome.results) if not r.success]
+    cold_pending = [s for s, r in zip(starts, first.outcome.results)
+                    if not r.success]
 
-        predicted = 0.0
-        arith = 0.0
-        for lanes in outcome.evaluation_log:
-            total, sensitive = _priced(model, stats_by_context[context.name],
-                                       lanes, context)
-            predicted += total
-            arith += sensitive
-        converged = outcome.paths_converged
-        recovered = converged if level > 0 else 0
-        rows.append(EscalationRow(
-            context=context.name,
-            overhead_factor=model.arithmetic_cost_factor(context),
-            paths_attempted=len(pending),
-            paths_converged=converged,
-            recovered=recovered,
-            batched_evaluations=outcome.batched_evaluations,
-            lane_evaluations=outcome.lane_evaluations,
-            predicted_device_seconds=predicted,
-            arithmetic_seconds=arith,
-            paths_per_second=len(pending) / predicted if predicted else float("inf"),
-            tracker_wall_seconds=wall,
-        ))
-        total_converged += converged
-        recovered_total += recovered
-        escalated_seconds += predicted
-        escalated_arith += arith
-        pending = [s for s, r in zip(pending, outcome.results) if not r.success]
+    for context in ladder[1:]:
+        stats = stats_by_context[context.name]
+        if warm_pending:
+            checkpoints = [cp for _, cp in warm_pending]
+            run = _tracked(start, target, context, opts, batch_size, model,
+                           stats, resume_from=checkpoints)
+            resumed = sum(1 for cp in checkpoints if cp.resumes_mid_path)
+            resume_ts = [cp.t for cp in checkpoints if cp.resumes_mid_path]
+            converged = run.outcome.paths_converged
+            rows.append(EscalationRow(
+                context=context.name,
+                overhead_factor=model.arithmetic_cost_factor(context),
+                paths_attempted=len(checkpoints),
+                paths_converged=converged,
+                recovered=converged,
+                batched_evaluations=run.outcome.batched_evaluations,
+                lane_evaluations=run.outcome.lane_evaluations,
+                predicted_device_seconds=run.device_seconds,
+                arithmetic_seconds=run.arithmetic_seconds,
+                paths_per_second=(len(checkpoints) / run.device_seconds
+                                  if run.device_seconds else float("inf")),
+                tracker_wall_seconds=run.wall_seconds,
+                resumed=resumed,
+                restarted=len(checkpoints) - resumed,
+                mean_resume_t=(sum(resume_ts) / len(resume_ts)
+                               if resume_ts else 0.0),
+            ))
+            total_converged += converged
+            recovered_total += converged
+            warm_device += run.device_seconds
+            warm_arith += run.arithmetic_seconds
+            warm_wall += run.wall_seconds
+            warm_lane_evals += run.outcome.lane_evaluations
+            warm_pending = [
+                (s, cp) for ((s, _), cp, r)
+                in zip(warm_pending, run.outcome.checkpoints(),
+                       run.outcome.results) if not r.success]
 
-    # The conservative baseline: every path at the widest arithmetic, priced
-    # on the first rung's measured evaluation profile (lane retirement is
-    # workload-driven, so an all-widest run executes essentially this log)
-    # with the widest rung's own measured launch counts.
-    widest_only = 0.0
-    widest_arith = 0.0
-    if first_log:
-        widest_stats = stats_by_context[widest.name]
-        for lanes in first_log:
-            total, sensitive = _priced(model, widest_stats, lanes, widest)
-            widest_only += total
-            widest_arith += sensitive
+        if cold_pending:
+            run = _tracked(start, target, context, opts, batch_size, model,
+                           stats, starts=cold_pending)
+            cold_device += run.device_seconds
+            cold_arith += run.arithmetic_seconds
+            cold_wall += run.wall_seconds
+            cold_lane_evals += run.outcome.lane_evaluations
+            cold_pending = [s for s, r in zip(cold_pending, run.outcome.results)
+                            if not r.success]
+
+    # ------------------------------------------------------------------
+    # the conservative baseline, measured: every path tracked at the widest
+    # arithmetic from the start, priced on its own evaluation log
+    # ------------------------------------------------------------------
+    baseline = _tracked(start, target, widest, opts, batch_size, model,
+                        stats_by_context[widest.name], starts=starts)
 
     return EscalationSummary(
         rows=rows,
         paths_total=total_paths,
         paths_converged=total_converged,
         recovered_by_escalation=recovered_total,
-        escalated_device_seconds=escalated_seconds,
-        escalated_arithmetic_seconds=escalated_arith,
-        widest_only_device_seconds=widest_only,
-        widest_only_arithmetic_seconds=widest_arith,
+        escalated_device_seconds=warm_device,
+        escalated_arithmetic_seconds=warm_arith,
+        escalated_wall_seconds=warm_wall,
+        escalated_lane_evaluations=warm_lane_evals,
+        cold_device_seconds=cold_device,
+        cold_arithmetic_seconds=cold_arith,
+        cold_wall_seconds=cold_wall,
+        cold_lane_evaluations=cold_lane_evals,
+        widest_only_device_seconds=baseline.device_seconds,
+        widest_only_arithmetic_seconds=baseline.arithmetic_seconds,
+        widest_only_wall_seconds=baseline.wall_seconds,
+        widest_only_lane_evaluations=baseline.outcome.lane_evaluations,
+        widest_only_converged=baseline.outcome.paths_converged,
     )

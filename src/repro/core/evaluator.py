@@ -135,6 +135,16 @@ class GPUEvaluator:
                 "the from-scratch common-factor variant is only implemented "
                 "for the byte support encoding"
             )
+        if padded and support_encoding == "packed":
+            # Fail here, naming the evaluator's own parameters, rather than
+            # deep inside the encoding tables (ConfigurationError is a
+            # ValueError, so plain `except ValueError` catches it too).
+            raise ConfigurationError(
+                "GPUEvaluator(padded=True) cannot use "
+                "support_encoding='packed': the padded layout (phantom "
+                "variable + zero-coefficient padding terms) is only "
+                "implemented for the byte support encoding"
+            )
         self.system = system
         self.context = context
         self.device = device

@@ -170,10 +170,20 @@ class SystemLayout:
         self.encoding_format = encoding_format
         self.padded = bool(padded)
         if self.padded:
-            if encoding_format != "byte":
+            if encoding_format == "packed":
+                # Reject the combination up front with a named error instead
+                # of letting it fail deep inside PackedSupportEncoding: the
+                # phantom-variable padding entries use position ``n`` (one
+                # past the real variables), which the packed 16-bit words
+                # have no reserved value for, and the zero-coefficient
+                # padding terms would still need uniform k-entry supports.
                 raise ConfigurationError(
-                    "the padded layout is only implemented for the byte "
-                    "support encoding"
+                    "SystemLayout(padded=True) is incompatible with the "
+                    "packed 16-bit support encoding "
+                    "(encoding_format='packed'): the padded layout is only "
+                    "implemented for the byte encoding -- use "
+                    "encoding_format='byte', or lay the system out "
+                    "unpadded (regular systems only) for packed supports"
                 )
             if not system.is_square():
                 raise ConfigurationError("the padded layout needs a square system")

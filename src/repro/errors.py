@@ -14,8 +14,14 @@ class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""
 
 
-class ConfigurationError(ReproError):
-    """An object was constructed with inconsistent or invalid parameters."""
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with inconsistent or invalid parameters.
+
+    Subclasses :class:`ValueError`: an invalid parameter combination is what
+    the built-in exception means, so callers outside the :mod:`repro`
+    hierarchy (and doctests) can guard with ``except ValueError`` without
+    importing this module.
+    """
 
 
 class DeviceCapacityError(ReproError):

@@ -46,6 +46,7 @@ __all__ = [
     "COMPLEX_DD_BACKEND",
     "COMPLEX_QD_BACKEND",
     "backend_for_context",
+    "convert_batch",
     "register_backend",
     "registered_backends",
 ]
@@ -66,16 +67,29 @@ class ComplexBatchBackend:
 
     # -- construction ---------------------------------------------------
     def from_points(self, points: Sequence[Sequence]) -> BatchArray:
-        """Pack ``B`` solution vectors into an ``(n, B)`` lane array."""
+        """Pack ``B`` solution vectors into an ``(n, B)`` lane array.
+
+        Each point is a sequence of scalars; scalars of a *narrower*
+        arithmetic (``complex`` into ``dd``/``qd``, ``ComplexDD`` into
+        ``qd``) embed exactly, scalars of a wider one are rounded.
+
+        Raises
+        ------
+        ConfigurationError
+            When the points do not all share one dimension.
+        """
         raise NotImplementedError
 
     def zeros(self, shape) -> BatchArray:
+        """An all-zeros batch array of the given shape."""
         raise NotImplementedError
 
     def ones(self, shape) -> BatchArray:
+        """An all-ones batch array of the given shape."""
         raise NotImplementedError
 
     def full(self, shape, value: complex) -> BatchArray:
+        """A batch array with every element set to ``value``."""
         raise NotImplementedError
 
     # -- structure ------------------------------------------------------
@@ -84,6 +98,7 @@ class ComplexBatchBackend:
         raise NotImplementedError
 
     def copy(self, array: BatchArray) -> BatchArray:
+        """An independent deep copy of a batch array."""
         raise NotImplementedError
 
     # -- masked selection ----------------------------------------------
@@ -103,10 +118,17 @@ class ComplexBatchBackend:
         raise NotImplementedError
 
     def to_complex128(self, array: BatchArray) -> np.ndarray:
+        """The whole batch rounded to a hardware ``complex128`` ndarray."""
         raise NotImplementedError
 
     def lane_scalars(self, array: BatchArray, lane: int) -> List:
-        """Column ``lane`` of an ``(n, B)`` array as context scalars."""
+        """Column ``lane`` of an ``(n, B)`` array as context scalars.
+
+        The returned scalars round-trip: feeding them back through
+        :meth:`from_points` reproduces the lane bit-for-bit.  This is the
+        export path of :meth:`repro.tracking.batch_tracker.PathBatch.
+        checkpoint`.
+        """
         raise NotImplementedError
 
 
@@ -313,6 +335,62 @@ def registered_backends() -> Dict[str, ComplexBatchBackend]:
 
 for _backend in (COMPLEX128_BACKEND, COMPLEX_DD_BACKEND, COMPLEX_QD_BACKEND):
     register_backend(_backend)
+
+
+#: Exact plane-widening conversions between the built-in batch arrays,
+#: keyed by (source context name, target context name).  Widening embeds
+#: every element bit-for-bit: d -> dd/qd zero-extends the float64 planes,
+#: dd -> qd promotes the (hi, lo) pair to the two leading quad-double
+#: components (the vectorised ``QuadDouble.from_double_double``).
+_WIDENINGS = {
+    ("d", "dd"): ComplexDDArray.from_complex128,
+    ("d", "qd"): ComplexQDArray.from_complex128,
+    ("dd", "qd"): ComplexQDArray.from_complex_dd,
+}
+
+
+def convert_batch(array: BatchArray, source: ComplexBatchBackend,
+                  target: ComplexBatchBackend) -> BatchArray:
+    """Convert a batch array between two registered backends.
+
+    This is how a :class:`~repro.tracking.batch_tracker.LaneCheckpoint`
+    captured at one rung of the escalation ladder becomes the starting state
+    of the next rung: the whole ``(n, B)`` structure of arrays moves between
+    arithmetics in a handful of NumPy plane operations, no per-element loop.
+
+    Parameters
+    ----------
+    array:
+        A batch array produced by ``source`` (e.g. ``(n, B)`` lane points).
+    source / target:
+        The backends the array belongs to and should be converted into.
+
+    Returns
+    -------
+    BatchArray
+        A fresh array owned by ``target``.  Widening conversions (``d -> dd
+        -> qd``) are exact plane embeddings -- every element is preserved
+        bit-for-bit, which is what makes warm-restarted escalation resume
+        from precisely the state the cheaper rung left behind.  Narrowing
+        conversions truncate each element to its leading component planes,
+        like any precision demotion.
+    """
+    if source.context.name == target.context.name:
+        return target.copy(array)
+    widen = _WIDENINGS.get((source.context.name, target.context.name))
+    if widen is not None:
+        return widen(array)
+    if (source.context.name, target.context.name) == ("qd", "dd"):
+        return ComplexDDArray(DDArray(array.real.c0, array.real.c1),
+                              DDArray(array.imag.c0, array.imag.c1))
+    if target.context.name == "d":
+        return source.to_complex128(array)
+    # Generic (and slow) fallback for third-party registered backends:
+    # round-trip through the source's lane scalars; target.from_points
+    # performs whatever coercion it supports.
+    lanes = array.shape[-1]
+    return target.from_points([source.lane_scalars(array, lane)
+                               for lane in range(lanes)])
 
 
 def backend_for_context(context: NumericContext) -> ComplexBatchBackend:

@@ -29,7 +29,22 @@ __all__ = ["DDArray", "ComplexDDArray"]
 
 
 class DDArray:
-    """An n-dimensional array of double-double reals stored as (hi, lo)."""
+    """An n-dimensional array of double-double reals stored as (hi, lo).
+
+    Parameters
+    ----------
+    hi / lo:
+        Component planes (``lo`` defaults to zeros).  The constructor
+        renormalises element-wise (one ``two_sum``) so the double-double
+        invariant ``|lo| <= ulp(hi)/2`` holds; use the arithmetic results
+        directly to stay bit-for-bit with the scalar
+        :class:`~repro.multiprec.double_double.DoubleDouble` loops.
+
+    Raises
+    ------
+    ValueError
+        When the two planes disagree in shape.
+    """
 
     __slots__ = ("hi", "lo")
 

@@ -109,7 +109,21 @@ def _renorm5(c0, c1, c2, c3, c4) -> Tuple[np.ndarray, ...]:
 # the array type
 # ----------------------------------------------------------------------
 class QDArray:
-    """An n-dimensional array of quad-double reals stored as four planes."""
+    """An n-dimensional array of quad-double reals stored as four planes.
+
+    Parameters
+    ----------
+    c0 .. c3:
+        The four ``float64`` expansion-component planes (missing ones
+        default to zeros).  The constructor renormalises element-wise so the
+        quad-double expansion invariant holds, exactly like the scalar
+        :class:`~repro.multiprec.quad_double.QuadDouble` constructor.
+
+    Raises
+    ------
+    ValueError
+        When the component planes disagree in shape.
+    """
 
     __slots__ = ("c0", "c1", "c2", "c3")
 
@@ -144,6 +158,21 @@ class QDArray:
         values = np.asarray(values, dtype=np.float64)
         z = np.zeros_like(values)
         return _raw(values.copy(), z, z.copy(), z.copy())
+
+    @classmethod
+    def from_ddarray(cls, values) -> "QDArray":
+        """Exact plane-widening embedding of a :class:`~repro.multiprec.
+        ddarray.DDArray`: the double-double ``(hi, lo)`` planes become the two
+        leading quad-double components, zeros the rest.
+
+        The double-double invariant (``|lo| <= ulp(hi)/2``) is exactly the
+        pairwise non-overlap the quad-double expansion requires, so no
+        renormalisation is needed -- this is the vectorised form of
+        :meth:`repro.multiprec.quad_double.QuadDouble.from_double_double`,
+        and the embedding preserves every bit of the source value.
+        """
+        z = np.zeros_like(values.hi)
+        return _raw(values.hi.copy(), values.lo.copy(), z, z.copy())
 
     @classmethod
     def from_scalars(cls, values: Iterable[QuadDouble]) -> "QDArray":
@@ -420,6 +449,19 @@ class ComplexQDArray:
     def from_complex128(cls, values: np.ndarray) -> "ComplexQDArray":
         values = np.asarray(values, dtype=np.complex128)
         return cls(QDArray.from_float64(values.real), QDArray.from_float64(values.imag))
+
+    @classmethod
+    def from_complex_dd(cls, values) -> "ComplexQDArray":
+        """Exact plane widening of a :class:`~repro.multiprec.ddarray.
+        ComplexDDArray`: each real/imaginary double-double pair becomes the
+        two leading quad-double components (see :meth:`QDArray.from_ddarray`).
+
+        This is the d -> dd -> qd escalation's batch conversion: a whole
+        ``(n, B)`` double-double lane array is widened in eight NumPy copies,
+        with every lane's value preserved bit-for-bit.
+        """
+        return cls(QDArray.from_ddarray(values.real),
+                   QDArray.from_ddarray(values.imag))
 
     @classmethod
     def from_scalars(cls, values: Iterable[ComplexQD]) -> "ComplexQDArray":

@@ -15,7 +15,13 @@ the evaluators can be exercised end to end:
 """
 
 from .batch_linsolve import batched_solve
-from .batch_tracker import BatchTracker, BatchTrackResult, PathBatch, PathStatus
+from .batch_tracker import (
+    BatchTracker,
+    BatchTrackResult,
+    LaneCheckpoint,
+    PathBatch,
+    PathStatus,
+)
 from .homotopy import BatchHomotopy, BatchHomotopyEvaluation, Homotopy, HomotopyEvaluation
 from .linsolve import lu_factor, lu_solve, residual_norm, solve, vector_norm
 from .newton import (
@@ -58,6 +64,7 @@ __all__ = [
     "BatchTrackResult",
     "Homotopy",
     "HomotopyEvaluation",
+    "LaneCheckpoint",
     "PathBatch",
     "PathStatus",
     "StepControl",

@@ -19,7 +19,15 @@ lock step:
 * one batched homotopy evaluation replaces ``B`` scalar evaluations, which
   is what lets the cost model price one kernel launch per batch instead of
   one per path (see
-  :meth:`repro.gpusim.costmodel.GPUCostModel.batched_kernel_time`).
+  :meth:`repro.gpusim.costmodel.GPUCostModel.batched_kernel_time`);
+* every lane's final state is exportable as a :class:`LaneCheckpoint` -- the
+  last accepted ``(x, t)``, the step size, the consecutive-success counter
+  and the failure cause -- and :meth:`BatchTracker.track_batches` accepts
+  ``resume_from=`` checkpoints so a batch can start *mid-path*.  Checkpoints
+  convert between arithmetics through the backend registry
+  (:func:`repro.multiprec.backend.convert_batch`), which is what lets the
+  escalation pipeline warm-restart a failed path one precision rung wider
+  instead of re-tracking it from ``t = 0``.
 
 The tracker reports plain :class:`~repro.tracking.tracker.PathResult`
 objects, so callers (and the differential tests) can compare its roots
@@ -30,19 +38,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..multiprec.backend import ComplexBatchBackend, backend_for_context
+from ..multiprec.backend import (
+    ComplexBatchBackend,
+    backend_for_context,
+    convert_batch,
+    registered_backends,
+)
 from ..multiprec.numeric import DOUBLE, NumericContext
 from .homotopy import BatchHomotopy
 from .newton import BatchNewtonCorrector
 from .predictor import BatchSecantPredictor, BatchTangentPredictor
 from .tracker import PathResult, StepControl, TrackerOptions
 
-__all__ = ["PathStatus", "PathBatch", "BatchTrackResult", "BatchTracker"]
+__all__ = ["PathStatus", "LaneCheckpoint", "PathBatch", "BatchTrackResult",
+           "BatchTracker"]
 
 
 class PathStatus(IntEnum):
@@ -64,6 +78,82 @@ _FAILURE_REASONS = {
 }
 
 
+@dataclass(frozen=True)
+class LaneCheckpoint:
+    """The exportable state of one lane of a :class:`PathBatch`.
+
+    A checkpoint captures everything the tracker needs to continue the path
+    from where the lane retired: the last *accepted* point and its
+    continuation parameter (on a failed step the batch never moves, so
+    ``point`` is always on the path to working accuracy), the predictor
+    history, the adaptive step state and the retirement cause.  Checkpoints
+    are plain scalar data -- ``point``/``prev_point`` hold scalars of the
+    capturing arithmetic (``context_name``) -- so they survive the batch
+    they came from and can seed a new batch in a *different* arithmetic:
+    :meth:`PathBatch.from_checkpoints` widens them through the backend
+    registry (:func:`repro.multiprec.backend.convert_batch`).
+
+    Attributes
+    ----------
+    context_name:
+        Name of the numeric context the checkpoint was captured in
+        (``"d"``, ``"dd"``, ``"qd"``, or any registered backend's).
+    point / t:
+        The last accepted solution ``x`` (tuple of context scalars) and its
+        continuation parameter.
+    prev_point / prev_t / has_prev:
+        The secant predictor's memory: the previously accepted point, or a
+        copy of ``point`` with ``has_prev=False`` when no step was accepted.
+    dt:
+        The adaptive step size at retirement.
+    residual:
+        The last measured per-lane residual norm (double-rounded).
+    status:
+        The lane's :class:`PathStatus` at capture -- the failure cause for
+        retired lanes, ``TRACKING`` for lanes interrupted mid-path.
+    steps_accepted / steps_rejected / newton_iterations:
+        The lane's work counters, carried into the resumed batch so path
+        results accumulate across rungs.
+    consecutive_successes:
+        Accepted steps since the last rejection.  Diagnostic state: the
+        current :class:`~repro.tracking.tracker.StepControl` grows the step
+        on every acceptance, so nothing reads the streak yet, but it is
+        maintained and checkpointed so a streak-gated growth policy (the
+        classic "grow only after N consecutive successes") can resume
+        without losing its state.
+    """
+
+    context_name: str
+    point: tuple
+    t: float
+    prev_point: tuple
+    prev_t: float
+    has_prev: bool
+    dt: float
+    residual: float
+    status: PathStatus
+    steps_accepted: int
+    steps_rejected: int
+    newton_iterations: int
+    consecutive_successes: int
+
+    @property
+    def failed(self) -> bool:
+        """Whether the lane retired with a failure cause."""
+        return self.status not in (PathStatus.SUCCESS, PathStatus.TRACKING)
+
+    @property
+    def failure_reason(self) -> Optional[str]:
+        """Human-readable failure cause, ``None`` for healthy lanes."""
+        return _FAILURE_REASONS.get(self.status)
+
+    @property
+    def resumes_mid_path(self) -> bool:
+        """Whether resuming this checkpoint reuses tracked progress
+        (``t > 0``) rather than restarting the path from scratch."""
+        return self.t > 0.0
+
+
 @dataclass
 class PathBatch:
     """Structure-of-arrays state of ``B`` homotopy paths.
@@ -72,6 +162,13 @@ class PathBatch:
     field is a ``(B,)`` NumPy array.  Lane ``b`` of every array belongs to
     path ``b``, so selecting a lane subset is one fancy-indexing operation
     per array -- no per-path objects are ever materialised.
+
+    A batch is constructed either fresh at ``t = 0``
+    (:meth:`from_start_solutions`) or mid-path from per-lane
+    :class:`LaneCheckpoint` state (:meth:`from_checkpoints`), and every lane
+    can be exported back out as a checkpoint (:meth:`checkpoint` /
+    :meth:`checkpoints`) -- the round trip behind warm-restarted precision
+    escalation.
     """
 
     backend: ComplexBatchBackend
@@ -87,12 +184,28 @@ class PathBatch:
     steps_accepted: np.ndarray
     steps_rejected: np.ndarray
     newton_iterations: np.ndarray
+    consecutive_successes: np.ndarray
 
     @classmethod
     def from_start_solutions(cls, backend: ComplexBatchBackend,
                              starts: Sequence[Sequence],
                              initial_step: float) -> "PathBatch":
-        """Pack start solutions into a fresh batch at ``t = 0``."""
+        """Pack start solutions into a fresh batch at ``t = 0``.
+
+        Parameters
+        ----------
+        backend:
+            The batch array backend holding the lane arrays.
+        starts:
+            ``B`` start solutions (sequences of scalars the backend accepts).
+        initial_step:
+            The step size every lane begins with.
+
+        Raises
+        ------
+        ConfigurationError
+            When ``starts`` is empty.
+        """
         if not starts:
             raise ConfigurationError("a path batch needs at least one start solution")
         points = backend.from_points(starts)
@@ -111,6 +224,109 @@ class PathBatch:
             steps_accepted=np.zeros(lanes, dtype=np.int64),
             steps_rejected=np.zeros(lanes, dtype=np.int64),
             newton_iterations=np.zeros(lanes, dtype=np.int64),
+            consecutive_successes=np.zeros(lanes, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_checkpoints(cls, backend: ComplexBatchBackend,
+                         checkpoints: Sequence[LaneCheckpoint],
+                         initial_step: float) -> "PathBatch":
+        """Rebuild a batch mid-path from per-lane checkpoints.
+
+        Checkpoint points are converted into ``backend``'s arithmetic
+        through the backend registry: lanes are grouped by their capturing
+        context and each group moves as one structure-of-arrays
+        :func:`~repro.multiprec.backend.convert_batch` call, so the common
+        case -- a whole residue escalating one rung wider -- costs a handful
+        of NumPy plane copies.  Widening (``d -> dd -> qd``) preserves every
+        checkpointed value bit-for-bit.
+
+        The resumed lane state follows the checkpoint exactly, with two
+        policy exceptions:
+
+        * all lanes restart as ``TRACKING`` (resuming *is* the retry), and
+        * a lane that retired by ``STEP_UNDERFLOW`` gets a fresh
+          ``initial_step`` -- its recorded ``dt`` had collapsed below the
+          giving-up threshold under the old arithmetic, which would cripple
+          the retry; every other lane keeps its earned step size so a
+          same-arithmetic resume continues the cold run bit-for-bit.
+
+        Lanes checkpointed at ``t >= 1`` are created inactive: they skip the
+        predictor-corrector loop entirely and go straight to the endgame.
+
+        Parameters
+        ----------
+        backend:
+            The batch array backend of the *resuming* batch (its arithmetic
+            may be wider than any checkpoint's).
+        checkpoints:
+            One :class:`LaneCheckpoint` per lane to resume.
+        initial_step:
+            Replacement step size for step-underflow lanes.
+
+        Raises
+        ------
+        ConfigurationError
+            When ``checkpoints`` is empty or the checkpoint dimensions
+            disagree.
+        """
+        if not checkpoints:
+            raise ConfigurationError("a path batch needs at least one checkpoint")
+        n = len(checkpoints[0].point)
+        if any(len(cp.point) != n for cp in checkpoints):
+            raise ConfigurationError("all checkpoints must share a dimension")
+        lanes = len(checkpoints)
+
+        # Convert lane points per capturing context, whole groups at a time.
+        points = backend.zeros((n, lanes))
+        prev_points = backend.zeros((n, lanes))
+        registry = registered_backends()
+        by_context: Dict[str, List[int]] = {}
+        for lane, cp in enumerate(checkpoints):
+            by_context.setdefault(cp.context_name, []).append(lane)
+        for name, group in by_context.items():
+            source = registry.get(name)
+            group_points = [checkpoints[lane].point for lane in group]
+            group_prev = [checkpoints[lane].prev_point for lane in group]
+            if source is None:
+                # Unregistered capturing arithmetic: let the target backend
+                # coerce the scalars itself.
+                converted = backend.from_points(group_points)
+                converted_prev = backend.from_points(group_prev)
+            else:
+                converted = convert_batch(source.from_points(group_points),
+                                          source, backend)
+                converted_prev = convert_batch(source.from_points(group_prev),
+                                               source, backend)
+            idx = (slice(None), np.asarray(group, dtype=np.intp))
+            points[idx] = converted
+            prev_points[idx] = converted_prev
+
+        t = np.array([cp.t for cp in checkpoints], dtype=np.float64)
+        dt = StepControl.resumed(
+            np.array([cp.dt for cp in checkpoints], dtype=np.float64),
+            np.array([cp.status is PathStatus.STEP_UNDERFLOW
+                      for cp in checkpoints], dtype=bool),
+            float(initial_step))
+        return cls(
+            backend=backend,
+            points=points,
+            prev_points=prev_points,
+            t=t,
+            prev_t=np.array([cp.prev_t for cp in checkpoints], dtype=np.float64),
+            dt=dt,
+            has_prev=np.array([cp.has_prev for cp in checkpoints], dtype=bool),
+            active=t < 1.0,
+            status=np.full(lanes, int(PathStatus.TRACKING), dtype=np.int8),
+            residual=np.array([cp.residual for cp in checkpoints], dtype=np.float64),
+            steps_accepted=np.array([cp.steps_accepted for cp in checkpoints],
+                                    dtype=np.int64),
+            steps_rejected=np.array([cp.steps_rejected for cp in checkpoints],
+                                    dtype=np.int64),
+            newton_iterations=np.array([cp.newton_iterations for cp in checkpoints],
+                                       dtype=np.int64),
+            consecutive_successes=np.array([cp.consecutive_successes
+                                            for cp in checkpoints], dtype=np.int64),
         )
 
     @property
@@ -138,6 +354,7 @@ class PathBatch:
             steps_accepted=self.steps_accepted[lanes].copy(),
             steps_rejected=self.steps_rejected[lanes].copy(),
             newton_iterations=self.newton_iterations[lanes].copy(),
+            consecutive_successes=self.consecutive_successes[lanes].copy(),
         )
 
     def scatter(self, lanes: np.ndarray, sub: "PathBatch") -> None:
@@ -155,6 +372,7 @@ class PathBatch:
         self.steps_accepted[lanes] = sub.steps_accepted
         self.steps_rejected[lanes] = sub.steps_rejected
         self.newton_iterations[lanes] = sub.newton_iterations
+        self.consecutive_successes[lanes] = sub.consecutive_successes
 
     def retire(self, mask: np.ndarray, status: PathStatus) -> None:
         """Mark lanes under ``mask`` finished with the given status."""
@@ -166,6 +384,35 @@ class PathBatch:
         """Histogram of lane statuses (for reporting)."""
         return {PathStatus(code).name.lower(): int(count)
                 for code, count in zip(*np.unique(self.status, return_counts=True))}
+
+    def checkpoint(self, lane: int) -> LaneCheckpoint:
+        """Export one lane's state as a :class:`LaneCheckpoint`.
+
+        Retired lanes are never touched again by the tracker (the advance
+        loop compresses to active lanes and the endgame only sharpens
+        pending ones), so a checkpoint taken after tracking finished is
+        exactly the lane's state at retirement: the last accepted point, the
+        step size the step control had earned, and the failure cause.
+        """
+        return LaneCheckpoint(
+            context_name=self.backend.context.name,
+            point=tuple(self.backend.lane_scalars(self.points, lane)),
+            t=float(self.t[lane]),
+            prev_point=tuple(self.backend.lane_scalars(self.prev_points, lane)),
+            prev_t=float(self.prev_t[lane]),
+            has_prev=bool(self.has_prev[lane]),
+            dt=float(self.dt[lane]),
+            residual=float(self.residual[lane]),
+            status=PathStatus(int(self.status[lane])),
+            steps_accepted=int(self.steps_accepted[lane]),
+            steps_rejected=int(self.steps_rejected[lane]),
+            newton_iterations=int(self.newton_iterations[lane]),
+            consecutive_successes=int(self.consecutive_successes[lane]),
+        )
+
+    def checkpoints(self) -> List[LaneCheckpoint]:
+        """One :class:`LaneCheckpoint` per lane, in lane order."""
+        return [self.checkpoint(lane) for lane in range(self.n_paths)]
 
 
 @dataclass
@@ -203,6 +450,15 @@ class BatchTrackResult:
     def lane_evaluations(self) -> int:
         """Total per-lane evaluations (what a scalar tracker would pay)."""
         return int(sum(self.evaluation_log))
+
+    def checkpoints(self) -> List[LaneCheckpoint]:
+        """Per-path checkpoints across every tracked batch, aligned with
+        ``results`` -- ``checkpoints()[i]`` is the final lane state of the
+        path behind ``results[i]``."""
+        out: List[LaneCheckpoint] = []
+        for batch in self.batches:
+            out.extend(batch.checkpoints())
+        return out
 
 
 class BatchTracker:
@@ -250,24 +506,64 @@ class BatchTracker:
             self._predictor = BatchSecantPredictor(self.backend)
 
     # ------------------------------------------------------------------
-    def track_many(self, start_solutions: Sequence[Sequence]) -> List[PathResult]:
-        """Track every start solution; returns one PathResult per path."""
-        return self.track_batches(start_solutions).results
+    def track_many(self, start_solutions: Optional[Sequence[Sequence]] = None, *,
+                   resume_from: Optional[Sequence[LaneCheckpoint]] = None
+                   ) -> List[PathResult]:
+        """Track paths from scratch or resume them from checkpoints.
 
-    def track_batches(self, start_solutions: Sequence[Sequence]) -> BatchTrackResult:
-        """Track all paths, chunked by ``batch_size``, with diagnostics."""
-        starts = list(start_solutions)
-        if not starts:
+        Parameters
+        ----------
+        start_solutions:
+            Start solutions to track from ``t = 0``.
+        resume_from:
+            :class:`LaneCheckpoint` list to continue mid-path instead;
+            mutually exclusive with ``start_solutions``.  Checkpoints
+            captured in a different arithmetic are converted through the
+            backend registry on entry.
+
+        Returns
+        -------
+        list of PathResult
+            One result per start solution or checkpoint, in order.  Resumed
+            results *accumulate*: step and Newton counters include the work
+            recorded in the checkpoint.
+
+        Raises
+        ------
+        ConfigurationError
+            When both or neither of ``start_solutions`` / ``resume_from``
+            are given.
+        """
+        return self.track_batches(start_solutions,
+                                  resume_from=resume_from).results
+
+    def track_batches(self, start_solutions: Optional[Sequence[Sequence]] = None, *,
+                      resume_from: Optional[Sequence[LaneCheckpoint]] = None
+                      ) -> BatchTrackResult:
+        """Like :meth:`track_many` but returning the full
+        :class:`BatchTrackResult` diagnostics (batches, evaluation log,
+        per-path checkpoints)."""
+        if (start_solutions is None) == (resume_from is None):
+            raise ConfigurationError(
+                "pass exactly one of start_solutions or resume_from"
+            )
+        checkpoints = None if resume_from is None else list(resume_from)
+        items = list(start_solutions) if checkpoints is None else checkpoints
+        if not items:
             return BatchTrackResult(batches=[], results=[], evaluation_log=[])
         # clear() rather than rebinding: the predictor and correctors hold
         # a reference to this very list.
         self.evaluation_log.clear()
-        chunk = self.batch_size or len(starts)
+        chunk = self.batch_size or len(items)
         results: List[PathResult] = []
         batches: List[PathBatch] = []
         rounds = 0
-        for offset in range(0, len(starts), chunk):
-            batch = self._track_one_batch(starts[offset:offset + chunk])
+        for offset in range(0, len(items), chunk):
+            piece = items[offset:offset + chunk]
+            if checkpoints is None:
+                batch = self._track_one_batch(piece)
+            else:
+                batch = self._track_one_batch(checkpoints=piece)
             rounds += batch_rounds_of(batch)
             results.extend(self._lane_results(batch))
             batches.append(batch)
@@ -283,20 +579,48 @@ class BatchTracker:
                                     max_iterations=iterations,
                                     evaluation_log=self.evaluation_log)
 
-    def _track_one_batch(self, starts: Sequence[Sequence]) -> PathBatch:
+    def _track_one_batch(self, starts: Optional[Sequence[Sequence]] = None,
+                         checkpoints: Optional[Sequence[LaneCheckpoint]] = None
+                         ) -> PathBatch:
         opts = self.options
         backend = self.backend
-        batch = PathBatch.from_start_solutions(backend, starts, opts.initial_step)
-        batch.rounds = 0  # dynamic attribute: lock-step rounds of this batch
+        if checkpoints is not None:
+            batch = PathBatch.from_checkpoints(backend, checkpoints,
+                                               opts.initial_step)
+            batch.rounds = 0  # dynamic attribute: lock-step rounds of this batch
+            # Checkpointed lanes already sit on the path at their t -- a cold
+            # run corrected them there -- so re-correcting would both waste
+            # evaluations and break bit-for-bit same-arithmetic resumes.
+            # The exception is a lane whose *start correction* failed: its
+            # point is the raw start solution, so retry the correction (in
+            # this batch's possibly wider arithmetic).
+            needs_start = np.array([cp.status is PathStatus.START_FAILED
+                                    for cp in checkpoints], dtype=bool)
+            if needs_start.any():
+                start_corrector = self._corrector(batch.t, opts.corrector_tolerance,
+                                                  opts.end_iterations)
+                started = start_corrector.correct(batch.points, needs_start)
+                batch.newton_iterations += started.iterations
+                batch.residual = np.where(needs_start, started.residual_norm,
+                                          batch.residual)
+                batch.points = backend.where(started.converged, started.solution,
+                                             batch.points)
+                batch.retire(needs_start & ~started.converged,
+                             PathStatus.START_FAILED)
+        else:
+            batch = PathBatch.from_start_solutions(backend, starts,
+                                                   opts.initial_step)
+            batch.rounds = 0  # dynamic attribute: lock-step rounds of this batch
 
-        # Make sure the start points actually lie on the path at t = 0.
-        start_corrector = self._corrector(batch.t, opts.corrector_tolerance,
-                                          opts.end_iterations)
-        started = start_corrector.correct(batch.points, batch.active)
-        batch.newton_iterations += started.iterations
-        batch.residual = started.residual_norm
-        batch.points = backend.where(started.converged, started.solution, batch.points)
-        batch.retire(batch.active & ~started.converged, PathStatus.START_FAILED)
+            # Make sure the start points actually lie on the path at t = 0.
+            start_corrector = self._corrector(batch.t, opts.corrector_tolerance,
+                                              opts.end_iterations)
+            started = start_corrector.correct(batch.points, batch.active)
+            batch.newton_iterations += started.iterations
+            batch.residual = started.residual_norm
+            batch.points = backend.where(started.converged, started.solution,
+                                         batch.points)
+            batch.retire(batch.active & ~started.converged, PathStatus.START_FAILED)
 
         while batch.active.any() and batch.rounds < opts.max_steps:
             batch.rounds += 1
@@ -338,6 +662,7 @@ class BatchTracker:
             sub.points = backend.where(accepted, corrected.solution, sub.points)
             sub.t = np.where(accepted, next_t, sub.t)
             sub.steps_accepted += accepted
+            sub.consecutive_successes += accepted
             sub.dt = np.where(accepted, control.grown(sub.dt, sub.t), sub.dt)
             # Lanes that reached t = 1 leave the main loop; the endgame
             # sharpens them together afterwards.
@@ -346,6 +671,7 @@ class BatchTracker:
 
         if rejected.any():
             sub.steps_rejected += rejected
+            sub.consecutive_successes[rejected] = 0
             sub.dt = np.where(rejected, control.shrunk(sub.dt), sub.dt)
             sub.retire(rejected & control.underflowed(sub.dt),
                        PathStatus.STEP_UNDERFLOW)

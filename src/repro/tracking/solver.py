@@ -56,13 +56,29 @@ class EscalationPolicy:
     whatever fails there is re-tracked in ``ladder[1]``, and so on.  The
     entries must be ordered from cheapest to widest arithmetic.
 
+    With ``warm_restart`` (the default) a failed path is *resumed* at the
+    wider rung from its :class:`~repro.tracking.batch_tracker.LaneCheckpoint`
+    -- the last accepted ``(x, t)`` of the cheaper run, converted into the
+    wider arithmetic through the backend registry -- instead of being
+    re-tracked from ``t = 0``.  Failed lanes typically fail near ``t = 1``
+    (a tightening endgame or a final sharpening that double precision cannot
+    certify), so the warm restart reuses almost all of the cheap-rung work.
+    Set ``warm_restart=False`` to restart failed paths from scratch (the
+    pre-checkpoint behaviour, kept for comparison benchmarks).
+
     Use :meth:`from_speedup` to let the quality-up analysis pick the starting
     rung: with enough parallel speedup the wider arithmetic is free in
     wall-clock terms, so the ladder starts there and only the residue pays
     for anything wider.
+
+    Raises
+    ------
+    ConfigurationError
+        When the ladder is empty or not ordered from cheapest to widest.
     """
 
     ladder: Tuple[NumericContext, ...] = DEFAULT_LADDER
+    warm_restart: bool = True
 
     def __post_init__(self):
         ladder = tuple(self.ladder)
@@ -82,22 +98,35 @@ class EscalationPolicy:
 
     @classmethod
     def from_speedup(cls, speedup: float,
-                     ladder: Optional[Sequence[NumericContext]] = None
-                     ) -> "EscalationPolicy":
+                     ladder: Optional[Sequence[NumericContext]] = None,
+                     *, warm_restart: bool = True) -> "EscalationPolicy":
         """Start the ladder at the widest arithmetic the speedup pays for.
 
-        ``speedup`` is the parallel speedup over a sequential double run (the
-        Tables' 7.6 .. 19.6);
-        :func:`~repro.tracking.quality_up.affordable_precision` turns it into
-        the widest context whose overhead it covers.  Contexts cheaper than
-        that starting rung are dropped -- they are strictly worse: same
-        wall-clock budget, less precision.
+        Parameters
+        ----------
+        speedup:
+            The parallel speedup over a sequential double run (the Tables'
+            7.6 .. 19.6);
+            :func:`~repro.tracking.quality_up.affordable_precision` turns it
+            into the widest context whose overhead it covers.  Contexts
+            cheaper than that starting rung are dropped -- they are strictly
+            worse: same wall-clock budget, less precision.
+        ladder:
+            Candidate rungs, cheapest first; :data:`DEFAULT_LADDER` if
+            omitted.
+        warm_restart:
+            Forwarded to the policy (see the class docstring).
+
+        Returns
+        -------
+        EscalationPolicy
+            A policy whose first rung is the affordable arithmetic.
         """
         rungs = tuple(ladder) if ladder is not None else DEFAULT_LADDER
         start = affordable_precision(speedup, rungs)
         names = [ctx.name for ctx in rungs]
         index = names.index(start.name) if start.name in names else 0
-        return cls(ladder=rungs[index:])
+        return cls(ladder=rungs[index:], warm_restart=warm_restart)
 
 
 @dataclass(frozen=True)
@@ -122,6 +151,17 @@ class SolveReport:
     arithmetic) and ``converged_by_context`` (how many of those succeeded).
     ``recovered_by_escalation`` counts paths that failed at the starting
     arithmetic but converged at a wider one.
+
+    The warm-restart accounting splits every escalated rung's attempts into
+    ``resumed_by_context`` (paths continued mid-path from a cheaper rung's
+    checkpoint, i.e. with ``t > 0`` of tracked progress reused) and
+    ``restarted_by_context`` (paths tracked from ``t = 0``: the first rung,
+    cold restarts under ``warm_restart=False``, start-correction failures,
+    and scalar-fallback rungs that produce no checkpoints).
+    ``resume_t_by_context`` records, per rung, the continuation parameter
+    each resumed path continued from -- on typical workloads these cluster
+    at ``t = 1.0``, which is exactly why warm restarts win: the wide
+    arithmetic only replays the endgame.
     """
 
     system: PolynomialSystem
@@ -133,6 +173,9 @@ class SolveReport:
     paths_by_context: Dict[str, int] = field(default_factory=dict)
     converged_by_context: Dict[str, int] = field(default_factory=dict)
     recovered_by_escalation: int = 0
+    resumed_by_context: Dict[str, int] = field(default_factory=dict)
+    restarted_by_context: Dict[str, int] = field(default_factory=dict)
+    resume_t_by_context: Dict[str, List[float]] = field(default_factory=dict)
 
     @property
     def success_rate(self) -> float:
@@ -291,7 +334,9 @@ def _track_paths(start_system: PolynomialSystem, system: PolynomialSystem,
                  evaluators: Optional[Tuple[object, object]],
                  exposed: Optional[Tuple[PolynomialSystem, PolynomialSystem]],
                  options: Optional[TrackerOptions], gamma: Optional[complex],
-                 batch_size: Optional[int]) -> List[PathResult]:
+                 batch_size: Optional[int],
+                 resume_from: Optional[Sequence] = None
+                 ) -> Tuple[List[PathResult], Optional[List]]:
     """Track ``starts`` in one arithmetic, batched when possible.
 
     The batched engine needs the polynomial systems themselves (it builds
@@ -301,6 +346,14 @@ def _track_paths(start_system: PolynomialSystem, system: PolynomialSystem,
     predictor-corrector loop runs path by path -- with the factory's
     probe-time ``evaluators`` when given, else with fresh CPU reference
     evaluators in this rung's arithmetic.
+
+    Returns ``(results, checkpoints)``: the per-path outcomes plus, on the
+    batched route, one :class:`~repro.tracking.batch_tracker.LaneCheckpoint`
+    per path (the state a wider rung can warm-restart from).  The scalar
+    route returns ``checkpoints=None`` -- its failures can only be restarted
+    cold.  ``resume_from`` (checkpoints aligned with ``starts``) makes the
+    batched route continue each path mid-track instead of from ``t = 0``;
+    it is ignored on the scalar route.
     """
     if exposed is not None and _has_backend(context):
         from .batch_tracker import BatchTracker  # local import: cycle
@@ -308,7 +361,11 @@ def _track_paths(start_system: PolynomialSystem, system: PolynomialSystem,
         tracker = BatchTracker(exposed[0], exposed[1], context=context,
                                options=options, batch_size=batch_size,
                                gamma=gamma)
-        return tracker.track_many(starts)
+        if resume_from is not None:
+            outcome = tracker.track_batches(resume_from=resume_from)
+        else:
+            outcome = tracker.track_batches(starts)
+        return outcome.results, outcome.checkpoints()
 
     if evaluators is None:
         evaluators = (CPUReferenceEvaluator(start_system, context=context),
@@ -316,7 +373,7 @@ def _track_paths(start_system: PolynomialSystem, system: PolynomialSystem,
     homotopy = Homotopy(evaluators[0], evaluators[1],
                         gamma=gamma, context=context)
     scalar = PathTracker(homotopy, context=context, options=options)
-    return [scalar.track(s) for s in starts]
+    return [scalar.track(s) for s in starts], None
 
 
 def solve_system(system: PolynomialSystem, *,
@@ -368,9 +425,14 @@ def solve_system(system: PolynomialSystem, *,
         paths in one batch.
     escalation:
         Optional :class:`EscalationPolicy`.  Paths that fail at one rung of
-        the ladder are re-tracked at the next wider arithmetic; the report's
-        ``paths_by_context`` / ``converged_by_context`` /
-        ``recovered_by_escalation`` fields record the outcome per rung.
+        the ladder are re-tracked at the next wider arithmetic -- by default
+        *warm-restarted* from their last accepted ``(x, t)`` checkpoint
+        rather than from ``t = 0`` (see the policy's ``warm_restart`` flag).
+        The report's ``paths_by_context`` / ``converged_by_context`` /
+        ``recovered_by_escalation`` fields record the outcome per rung, and
+        ``resumed_by_context`` / ``restarted_by_context`` /
+        ``resume_t_by_context`` record how much cheap-rung progress each
+        wider rung reused.
 
     Returns
     -------
@@ -417,8 +479,15 @@ def solve_system(system: PolynomialSystem, *,
     still_failing: Dict[int, PathResult] = {}
     paths_by_context: Dict[str, int] = {}
     converged_by_context: Dict[str, int] = {}
+    resumed_by_context: Dict[str, int] = {}
+    restarted_by_context: Dict[str, int] = {}
+    resume_t_by_context: Dict[str, List[float]] = {}
     recovered = 0
     pending: List[Tuple[int, Sequence]] = list(enumerate(starts))
+    #: last checkpoint of every path that has been through the batched
+    #: engine, keyed by path index -- the state a wider rung resumes from.
+    checkpoints_by_index: Dict[int, object] = {}
+    warm = escalation is not None and escalation.warm_restart
 
     # The factory's evaluators are built in one fixed arithmetic, so the
     # scalar fallback may only reuse them when there is a single rung; a
@@ -428,13 +497,35 @@ def solve_system(system: PolynomialSystem, *,
     for level, rung in enumerate(ladder):
         if not pending:
             break
-        results = _track_paths(start_system, system, [s for _, s in pending],
-                               rung, fallback_evaluators, exposed,
-                               options, gamma, batch_size)
+        # Warm-restart the residue from its checkpoints when every pending
+        # path has one (the previous rung went through the batched engine);
+        # a scalar-fallback rung leaves no checkpoints, forcing a cold rung.
+        resume = None
+        if warm and level > 0 and \
+                all(index in checkpoints_by_index for index, _ in pending):
+            resume = [checkpoints_by_index[index] for index, _ in pending]
+        results, checkpoints = _track_paths(
+            start_system, system, [s for _, s in pending], rung,
+            fallback_evaluators, exposed, options, gamma, batch_size,
+            resume_from=resume)
         paths_by_context[rung.name] = len(pending)
         converged_by_context[rung.name] = sum(1 for r in results if r.success)
+        # Only the batched route can actually resume (it returns checkpoints;
+        # the scalar fallback ignores resume_from and re-tracks cold), so the
+        # resumed accounting must follow the route taken, not the intent.
+        if resume is not None and checkpoints is not None:
+            mid_path = [cp.t for cp in resume if cp.resumes_mid_path]
+            resumed_by_context[rung.name] = len(mid_path)
+            restarted_by_context[rung.name] = len(resume) - len(mid_path)
+            resume_t_by_context[rung.name] = mid_path
+        else:
+            resumed_by_context[rung.name] = 0
+            restarted_by_context[rung.name] = len(pending)
+            resume_t_by_context[rung.name] = []
         next_pending: List[Tuple[int, Sequence]] = []
-        for (index, start), result in zip(pending, results):
+        for position, ((index, start), result) in enumerate(zip(pending, results)):
+            if checkpoints is not None:
+                checkpoints_by_index[index] = checkpoints[position]
             if result.success:
                 solved[index] = result
                 if level > 0:
@@ -460,4 +551,7 @@ def solve_system(system: PolynomialSystem, *,
         paths_by_context=paths_by_context,
         converged_by_context=converged_by_context,
         recovered_by_escalation=recovered,
+        resumed_by_context=resumed_by_context,
+        restarted_by_context=restarted_by_context,
+        resume_t_by_context=resume_t_by_context,
     )

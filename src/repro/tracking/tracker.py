@@ -82,6 +82,20 @@ class StepControl:
         """Whether the step fell below the giving-up threshold."""
         return dt < self.min_step
 
+    @staticmethod
+    def resumed(dt, collapsed, initial_step):
+        """Step a lane restarts with when resumed from a checkpoint.
+
+        A lane keeps the step size it had earned -- that is what makes a
+        same-arithmetic resume continue the interrupted run bit-for-bit --
+        *except* lanes whose step had collapsed (retired by step
+        underflow): their recorded ``dt`` sits below the giving-up
+        threshold of the previous arithmetic and would cripple the retry,
+        so they restart with a fresh ``initial_step``.  Operates equally on
+        floats and per-lane arrays, like the other step rules.
+        """
+        return np.where(collapsed, initial_step, dt)
+
 
 @dataclass(frozen=True)
 class PathPoint:

@@ -1,7 +1,8 @@
 """The acceptance criteria of the escalation pipeline, as fast tier-1 tests:
 paths that genuinely fail at plain double are recovered by the wider rung,
-and escalation economises the precision-sensitive work relative to tracking
-every path at the widest arithmetic."""
+escalation economises the precision-sensitive work relative to the
+*measured* widest-only baseline, and warm restarts strictly beat cold
+re-tracking on the escalated rung."""
 
 from __future__ import annotations
 
@@ -44,3 +45,38 @@ class TestEscalationBench:
         d_cost = d_row.arithmetic_seconds / d_row.lane_evaluations
         dd_cost = dd_row.arithmetic_seconds / dd_row.lane_evaluations
         assert dd_cost / d_cost == pytest.approx(8.0, rel=0.5)
+
+    def test_widest_only_baseline_is_measured(self, summary):
+        # The baseline is an actual dd run over every path: it converges the
+        # full workload, took real wall-clock, and its evaluation log is its
+        # own (not the d profile re-priced).
+        assert summary.widest_only_converged == summary.paths_total
+        assert summary.widest_only_wall_seconds > 0.0
+        assert summary.widest_only_lane_evaluations > 0
+        d_row = summary.rows[0]
+        assert summary.widest_only_lane_evaluations != d_row.lane_evaluations
+
+    def test_warm_restart_strictly_beats_cold_retracking(self, summary):
+        # Same first rung, same residue: the only difference is whether the
+        # dd rung resumes from checkpoints or replays from t = 0.
+        assert summary.escalated_device_seconds < summary.cold_device_seconds
+        assert summary.escalated_lane_evaluations < summary.cold_lane_evaluations
+        assert summary.escalated_arithmetic_seconds < summary.cold_arithmetic_seconds
+        assert summary.warm_restart_saving_factor > 1.0
+
+    def test_warm_rung_resumes_at_the_endgame(self, summary):
+        dd_row = summary.rows[1]
+        assert dd_row.resumed == dd_row.paths_attempted
+        assert dd_row.restarted == 0
+        assert dd_row.mean_resume_t == pytest.approx(1.0)
+        # Endgame-only replay: an order of magnitude fewer lane evaluations
+        # than the d rung spent tracking the same failed paths to t = 1.
+        assert dd_row.lane_evaluations * 10 < summary.rows[0].lane_evaluations
+
+    def test_as_dict_carries_the_comparison_entries(self, summary):
+        payload = summary.as_dict()
+        assert payload["widest_only"]["measured"] is True
+        warm_cold = payload["warm_vs_cold"]
+        assert warm_cold["warm_device_s"] < warm_cold["cold_device_s"]
+        assert warm_cold["warm_lane_evals"] < warm_cold["cold_lane_evals"]
+        assert warm_cold["warm_restart_saving_factor"] > 1.0

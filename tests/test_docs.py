@@ -1,0 +1,80 @@
+"""Documentation health: the `make docs` gate, runnable under pytest.
+
+The checker executes every fenced python block of README.md and docs/*.md
+(see tools/check_docs.py), so a stale snippet fails tier-1, not just the
+Makefile target.  The checker itself is also unit-tested on synthetic
+Markdown so a regression in block extraction cannot silently skip all docs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBlockExtraction:
+    def test_python_blocks_found_and_others_skipped(self):
+        checker = load_checker()
+        text = (
+            "intro\n"
+            "```bash\nmake test\n```\n"
+            "```python\nx = 1\n```\n"
+            "```python no-run\nraise RuntimeError\n```\n"
+            "```\nplain fence\n```\n"
+            "```python\nassert x == 1\n```\n"
+        )
+        blocks = list(checker.runnable_python_blocks(text))
+        assert [index for index, _ in blocks] == [2, 5]
+        assert blocks[0][1].strip() == "x = 1"
+
+    def test_check_file_shares_one_namespace_and_reports_errors(self, tmp_path):
+        checker = load_checker()
+        good = tmp_path / "good.md"
+        good.write_text("```python\nvalue = 21\n```\n"
+                        "```python\nassert value * 2 == 42\n```\n")
+        assert checker.check_file(good) == []
+
+        bad = tmp_path / "bad.md"
+        bad.write_text("```python\nundefined_name\n```\n")
+        errors = checker.check_file(bad)
+        assert len(errors) == 1
+        assert "block 1" in errors[0]
+
+    def test_doctest_blocks_verify_output(self, tmp_path):
+        checker = load_checker()
+        page = tmp_path / "session.md"
+        page.write_text("```python\n>>> 1 + 1\n2\n```\n")
+        assert checker.check_file(page) == []
+        page.write_text("```python\n>>> 1 + 1\n3\n```\n")
+        assert len(checker.check_file(page)) == 1
+
+
+class TestRepositoryDocs:
+    def test_architecture_and_escalation_docs_exist(self):
+        assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
+        assert (REPO_ROOT / "docs" / "escalation.md").is_file()
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "docs/ARCHITECTURE.md" in readme
+        assert "docs/escalation.md" in readme
+
+    def test_all_doc_code_blocks_run_clean(self):
+        """`make docs`'s first half, in-process: every README/docs python
+        block executes without error (examples are covered by
+        tests/test_examples.py)."""
+        completed = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+            capture_output=True, text=True, timeout=600, cwd=REPO_ROOT)
+        assert completed.returncode == 0, \
+            completed.stdout[-2000:] + completed.stderr[-2000:]

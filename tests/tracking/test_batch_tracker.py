@@ -270,6 +270,188 @@ class TestQuadDoubleBatchTracking:
         assert_same_solution_sets(scalar, batched, QUAD_DOUBLE, tolerance=1e-14)
 
 
+class TestCheckpoints:
+    """Per-lane checkpoint export and warm-restarted resume."""
+
+    @staticmethod
+    def tracked(system, context, options, starts=None, resume_from=None):
+        start = total_degree_start_system(system)
+        tracker = BatchTracker(start, system, context=context, options=options)
+        if resume_from is not None:
+            return tracker.track_batches(resume_from=resume_from)
+        return tracker.track_batches(starts or list(start_solutions(system)))
+
+    def test_checkpoints_align_with_results_and_capture_state(self):
+        from repro.tracking import LaneCheckpoint
+
+        system = decoupled_quadratic_system()
+        outcome = self.tracked(system, DOUBLE, None)
+        cps = outcome.checkpoints()
+        assert len(cps) == len(outcome.results) == 4
+        for cp, result in zip(cps, outcome.results):
+            assert isinstance(cp, LaneCheckpoint)
+            assert cp.context_name == "d"
+            assert cp.status is PathStatus.SUCCESS and not cp.failed
+            assert cp.failure_reason is None
+            assert cp.t == 1.0 and cp.resumes_mid_path
+            assert len(cp.point) == 2
+            assert cp.steps_accepted == result.steps_accepted
+            assert cp.newton_iterations == result.newton_iterations
+            assert cp.consecutive_successes > 0
+
+    def test_failure_cause_recorded(self):
+        system = decoupled_quadratic_system()
+        options = TrackerOptions(max_steps=2, initial_step=1e-3, max_step=1e-3)
+        cps = self.tracked(system, DOUBLE, options).checkpoints()
+        assert all(cp.status is PathStatus.MAX_STEPS and cp.failed for cp in cps)
+        assert all(cp.failure_reason == "maximum number of steps exceeded"
+                   for cp in cps)
+        assert all(0.0 < cp.t < 1.0 for cp in cps)
+
+    def test_same_rung_resume_is_bit_for_bit(self):
+        """Interrupt a run by max_steps, resume from the checkpoints at the
+        same rung: endpoints AND work counters must equal the cold run's
+        exactly -- the checkpoint is the complete lane state."""
+        from repro.bench.batch_tracking import cyclic_quadratic_system
+
+        system = cyclic_quadratic_system(4)
+        opts = TrackerOptions(end_tolerance=5e-17, end_iterations=12)
+        cold = self.tracked(system, DOUBLE, opts)
+
+        short = TrackerOptions(end_tolerance=5e-17, end_iterations=12,
+                               max_steps=4)
+        interrupted = self.tracked(system, DOUBLE, short)
+        assert interrupted.status_counts() == {"max_steps": 16}
+
+        resumed = self.tracked(system, DOUBLE, opts,
+                               resume_from=interrupted.checkpoints())
+        assert resumed.status_counts() == cold.status_counts()
+        for a, b in zip(cold.results, resumed.results):
+            assert [complex(x) for x in a.solution] == \
+                [complex(x) for x in b.solution]
+            assert a.residual == b.residual
+            assert (a.steps_accepted, a.steps_rejected, a.newton_iterations) \
+                == (b.steps_accepted, b.steps_rejected, b.newton_iterations)
+
+    def test_cross_rung_resume_replays_only_the_endgame(self):
+        """d failures on the escalation acceptance workload sit at t = 1;
+        resuming them at dd converges every lane at a tiny fraction of the
+        cold re-track's evaluations."""
+        from repro.bench.batch_tracking import cyclic_quadratic_system
+
+        system = cyclic_quadratic_system(4)
+        opts = TrackerOptions(end_tolerance=5e-17, end_iterations=12)
+        at_d = self.tracked(system, DOUBLE, opts)
+        failed = [(s, cp) for s, cp, r in zip(
+            list(start_solutions(system)), at_d.checkpoints(), at_d.results)
+            if not r.success]
+        assert failed
+        checkpoints = [cp for _, cp in failed]
+        assert all(cp.t == 1.0 for cp in checkpoints)
+
+        warm = self.tracked(system, DOUBLE_DOUBLE, opts,
+                            resume_from=checkpoints)
+        assert all(r.success for r in warm.results)
+        cold = self.tracked(system, DOUBLE_DOUBLE, opts,
+                            starts=[s for s, _ in failed])
+        assert all(r.success for r in cold.results)
+        assert warm.lane_evaluations < cold.lane_evaluations / 10
+        # Warm and cold land on the same roots (dd tolerance).
+        assert_same_solution_sets(cold.results, warm.results, DOUBLE_DOUBLE,
+                                  tolerance=1e-10)
+
+    def test_start_failed_checkpoint_is_recorrected_on_resume(self):
+        """A START_FAILED lane has no accepted point; resuming it re-runs
+        the start correction, so a checkpoint whose raw start is valid
+        tracks to success."""
+        from dataclasses import replace
+
+        system = decoupled_quadratic_system()
+        outcome = self.tracked(system, DOUBLE, None)
+        good = outcome.checkpoints()[0]
+        # Pretend the start correction had failed with the raw start point.
+        start_point = tuple(list(start_solutions(system))[0])
+        doctored = replace(good, point=start_point, prev_point=start_point,
+                           t=0.0, prev_t=0.0, has_prev=False,
+                           status=PathStatus.START_FAILED,
+                           steps_accepted=0, steps_rejected=0,
+                           newton_iterations=0, consecutive_successes=0)
+        resumed = self.tracked(system, DOUBLE, None, resume_from=[doctored])
+        assert resumed.results[0].success
+
+    def test_step_underflow_resume_resets_dt(self):
+        from dataclasses import replace
+
+        from repro.multiprec.backend import COMPLEX128_BACKEND
+
+        system = decoupled_quadratic_system()
+        cp = self.tracked(system, DOUBLE, None).checkpoints()[0]
+        underflowed = replace(cp, t=0.5, dt=1e-9,
+                              status=PathStatus.STEP_UNDERFLOW)
+        tracking = replace(cp, t=0.5, dt=1e-9, status=PathStatus.TRACKING)
+        batch = PathBatch.from_checkpoints(
+            COMPLEX128_BACKEND, [underflowed, tracking], initial_step=0.1)
+        assert batch.dt[0] == 0.1      # underflow: fresh step budget
+        assert batch.dt[1] == 1e-9     # mid-path interrupt: exact continuation
+        assert batch.active.tolist() == [True, True]
+        assert batch.status.tolist() == [int(PathStatus.TRACKING)] * 2
+
+    def test_finished_lanes_resume_straight_to_endgame(self):
+        from repro.multiprec.backend import COMPLEX128_BACKEND
+
+        system = decoupled_quadratic_system()
+        cps = self.tracked(system, DOUBLE, None).checkpoints()
+        batch = PathBatch.from_checkpoints(COMPLEX128_BACKEND, cps,
+                                           initial_step=0.1)
+        # t = 1 lanes skip the predictor-corrector loop entirely.
+        assert not batch.active.any()
+
+    def test_checkpoint_round_trip_preserves_points_bitwise_dd(self):
+        from repro.multiprec.backend import COMPLEX_DD_BACKEND
+
+        system = decoupled_quadratic_system()
+        outcome = self.tracked(system, DOUBLE_DOUBLE, None)
+        batch = outcome.batches[0]
+        rebuilt = PathBatch.from_checkpoints(COMPLEX_DD_BACKEND,
+                                             batch.checkpoints(),
+                                             initial_step=0.1)
+        assert np.array_equal(rebuilt.points.real.hi, batch.points.real.hi)
+        assert np.array_equal(rebuilt.points.real.lo, batch.points.real.lo)
+        assert np.array_equal(rebuilt.points.imag.hi, batch.points.imag.hi)
+        assert np.array_equal(rebuilt.points.imag.lo, batch.points.imag.lo)
+
+    def test_widening_d_checkpoints_into_dd_batch_is_exact(self):
+        from repro.multiprec.backend import COMPLEX_DD_BACKEND
+
+        system = decoupled_quadratic_system()
+        outcome = self.tracked(system, DOUBLE, None)
+        batch = outcome.batches[0]
+        widened = PathBatch.from_checkpoints(COMPLEX_DD_BACKEND,
+                                             batch.checkpoints(),
+                                             initial_step=0.1)
+        assert np.array_equal(widened.points.real.hi, batch.points.real)
+        assert not widened.points.real.lo.any()
+
+    def test_both_or_neither_inputs_rejected(self):
+        system = decoupled_quadratic_system()
+        start = total_degree_start_system(system)
+        tracker = BatchTracker(start, system, context=DOUBLE)
+        starts = list(start_solutions(system))
+        with pytest.raises(ConfigurationError):
+            tracker.track_batches()
+        cps = self.tracked(system, DOUBLE, None).checkpoints()
+        with pytest.raises(ConfigurationError):
+            tracker.track_batches(starts, resume_from=cps)
+
+    def test_consecutive_success_streak_tracks_step_control(self):
+        system = decoupled_quadratic_system()
+        outcome = self.tracked(system, DOUBLE, None)
+        for cp, r in zip(outcome.checkpoints(), outcome.results):
+            assert cp.consecutive_successes <= cp.steps_accepted
+            if r.steps_rejected == 0:
+                assert cp.consecutive_successes == cp.steps_accepted
+
+
 @pytest.mark.slow
 class TestDifferentialSlow:
     """Larger differential sweeps, excluded from the tier-1 run."""
@@ -281,3 +463,22 @@ class TestDifferentialSlow:
         scalar = scalar_results(system, DOUBLE_DOUBLE)
         batched = batch_results(system, DOUBLE_DOUBLE, batch_size=8)
         assert_same_solution_sets(scalar, batched, DOUBLE_DOUBLE)
+
+    def test_same_rung_resume_is_bit_for_bit_dd(self):
+        """The dd plane arithmetic continues bit-for-bit across a
+        checkpoint boundary too."""
+        system = speelpenning_chain_system()
+        start = total_degree_start_system(system)
+        starts = list(start_solutions(system))
+        cold = BatchTracker(start, system,
+                            context=DOUBLE_DOUBLE).track_batches(starts)
+        short = TrackerOptions(max_steps=3)
+        interrupted = BatchTracker(start, system, context=DOUBLE_DOUBLE,
+                                   options=short).track_batches(starts)
+        resumed = BatchTracker(start, system, context=DOUBLE_DOUBLE) \
+            .track_batches(resume_from=interrupted.checkpoints())
+        for a, b in zip(cold.results, resumed.results):
+            assert a.success == b.success
+            for x, y in zip(a.solution, b.solution):
+                assert x.real.hi == y.real.hi and x.real.lo == y.real.lo
+                assert x.imag.hi == y.imag.hi and x.imag.lo == y.imag.lo

@@ -273,6 +273,76 @@ class TestEscalation:
         assert ladder.recovered_by_escalation == 0
 
 
+class TestWarmRestartEscalation:
+    """The escalated rung resumes failed paths from their checkpoints."""
+
+    @staticmethod
+    def acceptance_reports():
+        from repro.bench.batch_tracking import cyclic_quadratic_system
+        from repro.multiprec import DOUBLE_DOUBLE
+        from repro.tracking import EscalationPolicy
+
+        system = cyclic_quadratic_system(4)
+        options = TrackerOptions(end_tolerance=1e-17, end_iterations=12)
+        warm = solve_system(system, options=options,
+                            escalation=EscalationPolicy(
+                                ladder=(DOUBLE, DOUBLE_DOUBLE)))
+        cold = solve_system(system, options=options,
+                            escalation=EscalationPolicy(
+                                ladder=(DOUBLE, DOUBLE_DOUBLE),
+                                warm_restart=False))
+        return warm, cold
+
+    def test_warm_restart_is_the_default_and_resumes_the_residue(self):
+        warm, _ = self.acceptance_reports()
+        assert warm.paths_converged == 16
+        assert warm.resumed_by_context["d"] == 0
+        assert warm.restarted_by_context["d"] == 16
+        # Every escalated path continued mid-track...
+        assert warm.resumed_by_context["dd"] == warm.paths_by_context["dd"]
+        assert warm.restarted_by_context["dd"] == 0
+        # ... from the very end of the path: the d failures are endgames.
+        resume_ts = warm.resume_t_by_context["dd"]
+        assert len(resume_ts) == warm.paths_by_context["dd"]
+        assert all(0.0 < t <= 1.0 for t in resume_ts)
+        assert all(t == 1.0 for t in resume_ts)
+
+    def test_recovery_does_not_regress_versus_cold_restarts(self):
+        warm, cold = self.acceptance_reports()
+        assert warm.recovered_by_escalation >= 1
+        assert warm.recovered_by_escalation == cold.recovered_by_escalation
+        assert warm.paths_converged == cold.paths_converged == 16
+        assert not warm.failures and not cold.failures
+        # Cold restarts report everything as restarted.
+        assert cold.resumed_by_context["dd"] == 0
+        assert cold.restarted_by_context["dd"] == cold.paths_by_context["dd"]
+        assert cold.resume_t_by_context["dd"] == []
+        # Same solution sets either way (dd-certified residuals).
+        warm_roots = sorted(round(abs(s.as_complex()[0]), 9)
+                            for s in warm.solutions)
+        cold_roots = sorted(round(abs(s.as_complex()[0]), 9)
+                            for s in cold.solutions)
+        assert warm_roots == cold_roots
+
+    def test_scalar_route_reports_cold_restarts(self):
+        """Without the batched engine there are no checkpoints; the report
+        must say so instead of claiming warm restarts."""
+
+        class Opaque:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def evaluate(self, point):
+                return self._inner.evaluate(point)
+
+        report = solve_system(decoupled_quadratics(),
+                              evaluator_factory=lambda s: Opaque(
+                                  CPUReferenceEvaluator(s)))
+        assert report.resumed_by_context == {"d": 0}
+        assert report.restarted_by_context == {"d": 4}
+        assert report.resume_t_by_context == {"d": []}
+
+
 class TestBatchedRoute:
     def test_default_factory_goes_through_batch_tracker(self):
         report = solve_system(decoupled_quadratics(), batch_size=2)

@@ -1,0 +1,129 @@
+"""Execute the code blocks of the Markdown docs so they cannot go stale.
+
+``make docs`` runs this checker over ``README.md`` and every ``docs/*.md``
+file.  For each file, fenced ```` ```python ```` blocks are executed top to
+bottom in one shared namespace (so a later block may use names a former one
+defined, the way a reader follows the page); blocks written as interactive
+sessions (``>>>``) run through :mod:`doctest` in that same namespace, so
+their printed output is verified too.  Any other fence language (``bash``,
+``text``, ...) is skipped, as is a python fence whose info string carries
+``no-run`` (for illustrative fragments that need external state).
+
+Exit status 0 means every block of every file ran clean; on failure the
+file, block number and traceback are printed and the exit status is 1 --
+which is what lets the Makefile (and CI) gate on documentation health.
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import re
+import sys
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Opening fence with its info string, body, closing fence.
+_FENCE = re.compile(r"^```([^\n`]*)\n(.*?)^```\s*$", re.DOTALL | re.MULTILINE)
+
+
+def code_blocks(text: str):
+    """Yield ``(info, code)`` for every fenced block of a Markdown text."""
+    for match in _FENCE.finditer(text):
+        yield match.group(1).strip(), match.group(2)
+
+
+def runnable_python_blocks(text: str):
+    """Yield ``(index, code)`` for the python blocks the checker executes.
+
+    ``index`` counts *all* fenced blocks (so error messages point at the
+    n-th fence of the file); non-python and ``no-run`` blocks are skipped.
+    """
+    for index, (info, code) in enumerate(code_blocks(text), start=1):
+        words = info.split()
+        if not words or words[0] not in ("python", "py", "pycon"):
+            continue
+        if "no-run" in words[1:]:
+            continue
+        yield index, code
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def check_file(path: Path, verbose: bool = False) -> list:
+    """Run every runnable python block of one file; return error strings."""
+    errors = []
+    namespace = {"__name__": f"docs[{path.name}]"}
+    for index, code in runnable_python_blocks(path.read_text(encoding="utf-8")):
+        label = f"{_display_path(path)} block {index}"
+        try:
+            if ">>>" in code:
+                _run_doctest_block(code, namespace, label)
+            else:
+                exec(compile(code, label, "exec"), namespace)
+        except Exception:
+            errors.append(f"{label} failed:\n{traceback.format_exc()}")
+        else:
+            if verbose:
+                print(f"  ok: {label}")
+    return errors
+
+
+def _run_doctest_block(code: str, namespace: dict, label: str) -> None:
+    """Run one ``>>>`` session block, verifying its printed output."""
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(code, namespace, label, label, 0)
+    runner = doctest.DocTestRunner(optionflags=doctest.ELLIPSIS
+                                   | doctest.NORMALIZE_WHITESPACE)
+    runner.run(test, out=lambda s: None)
+    if runner.failures:
+        raise AssertionError(
+            f"{runner.failures} doctest failure(s) in {label} "
+            "(rerun with python -m doctest for details)"
+        )
+
+
+def default_documents() -> list:
+    """README.md plus every Markdown file under docs/, sorted."""
+    documents = [REPO_ROOT / "README.md"]
+    docs_dir = REPO_ROOT / "docs"
+    if docs_dir.is_dir():
+        documents.extend(sorted(docs_dir.glob("*.md")))
+    return [d for d in documents if d.exists()]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="Markdown files to check "
+                             "(default: README.md and docs/*.md)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print every block that ran clean")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    documents = [p.resolve() for p in args.paths] or default_documents()
+    failures = []
+    for path in documents:
+        blocks = list(runnable_python_blocks(path.read_text(encoding="utf-8")))
+        print(f"checking {_display_path(path)} "
+              f"({len(blocks)} python block(s))")
+        failures.extend(check_file(path, verbose=args.verbose))
+
+    if failures:
+        print("\n" + "\n".join(failures), file=sys.stderr)
+        print(f"doc check FAILED: {len(failures)} block(s)", file=sys.stderr)
+        return 1
+    print("doc check passed: every code block ran clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
