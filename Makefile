@@ -2,7 +2,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-all docs bench-batch bench-tables bench-json
+.PHONY: test test-all docs bench-batch bench-qd bench-tables bench-json
 
 # Tier-1: the fast suite (pytest.ini deselects @pytest.mark.slow).
 test:
@@ -23,11 +23,18 @@ docs:
 bench-batch:
 	$(PY) benchmarks/bench_batch_tracking.py
 
-# Machine-readable perf trajectory: batch-tracking and escalation sweeps as
-# JSON (paths/sec per context and batch size; per-rung escalation pricing).
+# Fused QD/DD arithmetic: per-op fused-vs-unfused speedups and end-to-end
+# qd tracker wall throughput vs the checked-in baseline.
+bench-qd:
+	$(PY) benchmarks/bench_qd_arith.py
+
+# Machine-readable perf trajectory: batch-tracking, escalation and fused
+# qd-arithmetic sweeps as JSON (paths/sec per context and batch size;
+# per-rung escalation pricing; fused-kernel speedups).
 bench-json:
 	$(PY) benchmarks/bench_batch_tracking.py --json BENCH_batch_tracking.json
 	$(PY) benchmarks/bench_escalation.py --json BENCH_escalation.json
+	$(PY) benchmarks/bench_qd_arith.py --json BENCH_qd_arith.json
 
 # Regenerate the paper-table benchmarks (explicit file list: bench_* files
 # are not collected by default).

@@ -9,6 +9,13 @@ from .batch_tracking import (
 )
 from .escalation import EscalationRow, EscalationSummary, run_escalation_bench
 from .harness import RowResult, run_table, run_workload, speedup_curve
+from .qd_arith import (
+    QDArithRow,
+    QDTrackerRow,
+    qd_arith_report,
+    run_qd_arith_bench,
+    run_qd_tracker_bench,
+)
 from .reporting import format_breakdown, format_paper_rows, format_table
 from .workloads import (
     EVALUATIONS_PER_RUN,
@@ -24,8 +31,13 @@ __all__ = [
     "BatchTrackingRow",
     "EVALUATIONS_PER_RUN",
     "PaperRow",
+    "QDArithRow",
+    "QDTrackerRow",
     "cyclic_quadratic_system",
+    "qd_arith_report",
     "run_batch_tracking_bench",
+    "run_qd_arith_bench",
+    "run_qd_tracker_bench",
     "EscalationRow",
     "EscalationSummary",
     "run_escalation_bench",

@@ -255,7 +255,9 @@ class VectorisedBatchEvaluator:
                 k = len(positions)
                 if k == 0:
                     constant = backend.full((lanes,), coeff)
-                    value = constant if value is None else value + constant
+                    # Accumulators are freshly built per evaluation, so the
+                    # backend may fold new terms into them in place.
+                    value = constant if value is None else backend.iadd(value, constant)
                     continue
 
                 factors = [points[p] for p in positions]
@@ -280,7 +282,7 @@ class VectorisedBatchEvaluator:
 
                 monomial_value = product if common is None else common * product
                 term_value = coeff * monomial_value
-                value = term_value if value is None else value + term_value
+                value = term_value if value is None else backend.iadd(value, term_value)
 
                 for j, (p, exponent) in enumerate(zip(positions, exponents)):
                     grad_j = gradient[j]
@@ -292,7 +294,8 @@ class VectorisedBatchEvaluator:
                     else:
                         base = grad_j if common is None else common * grad_j
                         contribution = scale * base
-                    row[p] = contribution if row[p] is None else row[p] + contribution
+                    row[p] = (contribution if row[p] is None
+                              else backend.iadd(row[p], contribution))
 
             values.append(value if value is not None else backend.zeros((lanes,)))
             jacobian.append([entry if entry is not None else backend.zeros((lanes,))

@@ -22,6 +22,7 @@ provides:
   cost model the relative multiplication cost (the paper's "factor of 8").
 """
 
+from .bufferpool import plane_stack, use_fused_kernels
 from .complex_dd import ComplexDD, cdd
 from .ddarray import ComplexDDArray, DDArray
 from .double_double import DoubleDouble, dd
@@ -55,8 +56,10 @@ __all__ = [
     "cdd",
     "dd",
     "get_context",
+    "plane_stack",
     "qd",
     "quick_two_sum",
+    "use_fused_kernels",
     "split",
     "two_diff",
     "two_prod",

@@ -47,11 +47,27 @@ __all__ = [
     "COMPLEX_QD_BACKEND",
     "backend_for_context",
     "convert_batch",
+    "masked_lane_errstate",
     "register_backend",
     "registered_backends",
 ]
 
 BatchArray = Union[np.ndarray, ComplexDDArray, ComplexQDArray]
+
+
+def masked_lane_errstate():
+    """An ``np.errstate`` scope for arithmetic over masked lane batches.
+
+    The batched engine keeps retired and diverging lanes *in* the arrays and
+    masks them out of control decisions, so dead lanes legitimately carry
+    inf/NaN through the arithmetic (``inf - inf``, overflowing ``|pivot|^2``
+    magnitudes, ...).  NumPy would emit a RuntimeWarning per ufunc for
+    those lanes; every masked-batch hot loop (the batched corrector, linear
+    solver and tracker rounds) runs inside this scope so dead lanes stay
+    silent while the per-lane masks -- not warnings -- report failures.
+    """
+    return np.errstate(divide="ignore", invalid="ignore",
+                       over="ignore", under="ignore")
 
 
 class ComplexBatchBackend:
@@ -106,6 +122,27 @@ class ComplexBatchBackend:
         """``a`` where ``mask`` else ``b`` (mask broadcasts NumPy-style)."""
         raise NotImplementedError
 
+    # -- in-place accumulation ------------------------------------------
+    # The inner loops of the batched evaluator, linear solver and corrector
+    # rebind their accumulators (``acc = backend.iadd(acc, v)``), so these
+    # defaults -- correct for any backend -- may return a fresh array.  The
+    # built-in backends override them with true in-place updates that are
+    # bit-for-bit identical to the out-of-place expressions but free of
+    # wrapper and plane churn.  ``acc`` must be exclusively owned by the
+    # caller (never a shared or caller-visible input).
+
+    def iadd(self, acc: BatchArray, value) -> BatchArray:
+        """``acc + value``, overwriting ``acc`` when the backend can."""
+        return acc + value
+
+    def isub_mul(self, acc: BatchArray, factor, value) -> BatchArray:
+        """``acc - factor * value``, overwriting ``acc`` when possible."""
+        return acc - factor * value
+
+    def iadd_masked(self, acc: BatchArray, value, mask) -> BatchArray:
+        """``where(mask, acc + value, acc)``, overwriting ``acc`` if possible."""
+        return self.where(np.asarray(mask, dtype=bool), acc + value, acc)
+
     # -- rounding / inspection ------------------------------------------
     def magnitude(self, array: BatchArray) -> np.ndarray:
         """Element-wise ``|z|`` rounded to hardware doubles.
@@ -159,6 +196,18 @@ class Complex128Backend(ComplexBatchBackend):
 
     def where(self, mask, a, b) -> np.ndarray:
         return np.where(np.asarray(mask, dtype=bool), a, b)
+
+    def iadd(self, acc: np.ndarray, value) -> np.ndarray:
+        np.add(acc, value, out=acc)
+        return acc
+
+    def isub_mul(self, acc: np.ndarray, factor, value) -> np.ndarray:
+        acc -= factor * value
+        return acc
+
+    def iadd_masked(self, acc: np.ndarray, value, mask) -> np.ndarray:
+        np.copyto(acc, acc + value, where=np.asarray(mask, dtype=bool))
+        return acc
 
     def magnitude(self, array: np.ndarray) -> np.ndarray:
         return np.abs(array)
@@ -223,6 +272,15 @@ class ComplexDDBackend(ComplexBatchBackend):
 
     def where(self, mask, a, b) -> ComplexDDArray:
         return ComplexDDArray.where(mask, a, b)
+
+    def iadd(self, acc: ComplexDDArray, value) -> ComplexDDArray:
+        return acc.iadd_(value)
+
+    def isub_mul(self, acc: ComplexDDArray, factor, value) -> ComplexDDArray:
+        return acc.isub_mul_(factor, value)
+
+    def iadd_masked(self, acc: ComplexDDArray, value, mask) -> ComplexDDArray:
+        return acc.iadd_where_(value, mask)
 
     def magnitude(self, array: ComplexDDArray) -> np.ndarray:
         return array.abs_double()
@@ -294,6 +352,15 @@ class ComplexQDBackend(ComplexBatchBackend):
 
     def where(self, mask, a, b) -> ComplexQDArray:
         return ComplexQDArray.where(mask, a, b)
+
+    def iadd(self, acc: ComplexQDArray, value) -> ComplexQDArray:
+        return acc.iadd_(value)
+
+    def isub_mul(self, acc: ComplexQDArray, factor, value) -> ComplexQDArray:
+        return acc.isub_mul_(factor, value)
+
+    def iadd_masked(self, acc: ComplexQDArray, value, mask) -> ComplexQDArray:
+        return acc.iadd_where_(value, mask)
 
     def magnitude(self, array: ComplexQDArray) -> np.ndarray:
         return array.abs_double()

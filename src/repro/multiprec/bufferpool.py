@@ -1,0 +1,209 @@
+"""Scratch-plane buffers for the fused batch-arithmetic kernels.
+
+The vectorised double-double / quad-double operations decompose into dozens
+of tiny NumPy ufunc calls per arithmetic op.  On the ``(n, B)`` lane arrays
+the batched tracker works with, those calls are *overhead bound*: the fixed
+per-call dispatch cost dwarfs the arithmetic.  The fused kernels in
+:mod:`repro.multiprec.qdarray` and :mod:`repro.multiprec.ddarray` attack the
+overhead twice:
+
+* they execute *fewer, cheaper* calls (one Dekker split per input plane
+  instead of one per product, masked ``np.copyto`` instead of allocating
+  ``np.where``, renormalisation insertions with precomputed slot masks); and
+* they thread ``out=`` buffers through the whole chain, drawing scratch from
+  the :class:`PlaneStack` bump allocator below -- one ``take`` hands a whole
+  kernel invocation its working set in a single call, and one ``release``
+  rewinds the stack, so scratch arrays are recycled across the millions of
+  ops of a tracking run instead of churning the allocator.
+
+The stack is *thread-local* (each thread gets its own via
+:func:`plane_stack`), and takes nest: a kernel that calls another kernel
+(division calls multiplication) simply takes deeper in the same stack.
+
+:func:`zero_plane` / :func:`one_plane` cache immutable planes for read-only
+operands -- e.g. the zero components a division broadcasts a quotient plane
+against -- so the hot path never materialises a fresh ``np.zeros`` just to
+read it.
+
+A module-wide switch (:func:`use_fused_kernels`) lets tests and benchmarks
+drop back to the original out-of-place operation chains; both paths execute
+bit-for-bit identical floating-point sequences, so the switch only trades
+speed, never results.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .eft import SPLIT_THRESHOLD
+
+__all__ = [
+    "PlaneStack",
+    "fused_kernels_enabled",
+    "needs_reference_split",
+    "one_plane",
+    "op_shape",
+    "plane_stack",
+    "result_planes",
+    "use_fused_kernels",
+    "zero_plane",
+]
+
+#: Cached read-only planes larger than this many elements are not retained.
+_MAX_CACHED_PLANE_ELEMENTS = 1 << 20
+
+
+class PlaneStack:
+    """A bump allocator of scratch ndarrays, keyed by ``(shape, dtype)``.
+
+    ``take(shape, count)`` returns ``(planes, marker)``: a list of ``count``
+    scratch arrays (grown on first use, recycled afterwards) plus an opaque
+    marker; ``release(marker)`` rewinds the per-key cursor so the same
+    planes serve the next op.  Takes nest like stack frames -- an inner
+    kernel's take starts past its caller's -- which is what makes the
+    layered fused kernels (division -> multiplication -> renormalisation)
+    safe with a single shared pool per thread.
+
+    The contents of taken planes are *uninitialised*; callers must fully
+    overwrite them.  Planes that escape a kernel (result components) must
+    not come from the stack -- results are allocated fresh or written into
+    caller-provided ``out=`` planes.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        # key -> [planes, cursor]
+        self._entries: Dict[Tuple[tuple, object], list] = {}
+
+    def take(self, shape, count: int, dtype=np.float64):
+        key = (shape, dtype)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = [[], 0]
+            self._entries[key] = entry
+        planes, cursor = entry
+        end = cursor + count
+        while len(planes) < end:
+            planes.append(np.empty(shape, dtype))
+        entry[1] = end
+        return planes[cursor:end], (entry, cursor)
+
+    @staticmethod
+    def release(marker) -> None:
+        entry, cursor = marker
+        entry[1] = cursor
+
+    def depth(self) -> int:
+        """Total planes currently taken (for tests)."""
+        return sum(entry[1] for entry in self._entries.values())
+
+    def capacity(self) -> int:
+        """Total planes ever grown (for tests and memory accounting)."""
+        return sum(len(entry[0]) for entry in self._entries.values())
+
+    def clear(self) -> None:
+        """Drop every cached plane (for tests and memory pressure)."""
+        self._entries.clear()
+
+
+_LOCAL = threading.local()
+
+
+def plane_stack() -> PlaneStack:
+    """This thread's scratch-plane stack."""
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = PlaneStack()
+        _LOCAL.stack = stack
+    return stack
+
+
+_ZERO_PLANES: Dict[tuple, np.ndarray] = {}
+_ONE_PLANES: Dict[tuple, np.ndarray] = {}
+
+
+def _cached_plane(cache: Dict[tuple, np.ndarray], shape, fill: float) -> np.ndarray:
+    shape = tuple(shape) if not isinstance(shape, tuple) else shape
+    plane = cache.get(shape)
+    if plane is None:
+        plane = np.full(shape, fill)
+        plane.setflags(write=False)
+        if plane.size <= _MAX_CACHED_PLANE_ELEMENTS:
+            cache[shape] = plane
+    return plane
+
+
+def zero_plane(shape) -> np.ndarray:
+    """A cached, *read-only* float64 zero plane of the given shape."""
+    return _cached_plane(_ZERO_PLANES, shape, 0.0)
+
+
+def one_plane(shape) -> np.ndarray:
+    """A cached, *read-only* float64 one plane of the given shape."""
+    return _cached_plane(_ONE_PLANES, shape, 1.0)
+
+
+# ----------------------------------------------------------------------
+# helpers shared by the dd and qd fused kernels
+# ----------------------------------------------------------------------
+def op_shape(x, y) -> tuple:
+    """The broadcast result shape of two plane tuples' leading planes."""
+    shape = x[0].shape
+    if y[0].shape != shape:
+        shape = np.broadcast_shapes(shape, y[0].shape)
+    return shape
+
+
+def result_planes(shape, out, count: int):
+    """``out`` when provided, else ``count`` fresh float64 planes."""
+    if out is not None:
+        return out
+    return tuple(np.empty(shape) for _ in range(count))
+
+
+def needs_reference_split(plane, t, mb) -> bool:
+    """Whether any element forces the reference (scaling) Dekker split.
+
+    True when the plane holds a magnitude above the split threshold or a
+    NaN.  For canonical expansions the trailing components are bounded by
+    the leading one, so the fused product kernels only need to test the
+    leading plane of each operand; a non-finite leading component routes
+    the whole op through the reference path, which handles every case.
+    ``t`` (float64) and ``mb`` (bool) are caller scratch.
+    """
+    np.abs(plane, out=t)
+    np.greater(t, SPLIT_THRESHOLD, out=mb)
+    if mb.any():
+        return True
+    np.isnan(plane, out=mb)
+    return bool(mb.any())
+
+
+_FUSED_ENABLED = True
+
+
+def fused_kernels_enabled() -> bool:
+    """Whether the array classes dispatch to the fused kernels."""
+    return _FUSED_ENABLED
+
+
+@contextmanager
+def use_fused_kernels(enabled: bool):
+    """Temporarily force the fused (or reference) arithmetic path.
+
+    The reference path replays the original out-of-place operation chains;
+    the two are bit-for-bit identical, so this switch exists for the
+    differential tests and the fused-vs-unfused benchmark, not for results.
+    """
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _FUSED_ENABLED = previous

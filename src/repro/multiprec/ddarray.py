@@ -21,11 +21,148 @@ from typing import Iterable, Tuple, Union
 import numpy as np
 
 from ..errors import DivisionByZeroError
+from .bufferpool import (
+    fused_kernels_enabled,
+    needs_reference_split,
+    op_shape,
+    plane_stack,
+    result_planes,
+    zero_plane,
+)
 from .complex_dd import ComplexDD
 from .double_double import DoubleDouble
-from .eft import quick_two_sum, two_diff, two_prod, two_sum
+from .eft import (
+    SPLIT_THRESHOLD,
+    quick_two_sum,
+    quick_two_sum_into,
+    split_into,
+    two_diff,
+    two_diff_into,
+    two_prod,
+    two_sum,
+    two_sum_into,
+)
 
 __all__ = ["DDArray", "ComplexDDArray"]
+
+
+# ----------------------------------------------------------------------
+# fused, allocation-light kernels (bit-for-bit with the reference path)
+# ----------------------------------------------------------------------
+# Same design as the quad-double kernels in repro.multiprec.qdarray: the
+# exact floating-point sequences of the operators below, with scratch
+# planes drawn from the thread's PlaneStack, ``out=`` threaded through
+# every ufunc, and one Dekker split per input plane.  ``out`` may alias
+# the input planes -- the final quick_two_sum runs after every read.
+
+def _dd_add_planes_fused(x, y, out=None):
+    st = plane_stack()
+    shape = op_shape(x, y)
+    fb, mark = st.take(shape, 7)
+    try:
+        t, s1, s2, t1, t2, u, v = fb
+        two_sum_into(x[0], y[0], s1, s2, t)
+        two_sum_into(x[1], y[1], t1, t2, t)
+        np.add(s2, t1, out=s2)
+        quick_two_sum_into(s1, s2, u, v)
+        np.add(v, t2, out=v)
+        hi, lo = out = result_planes(shape, out, 2)
+        quick_two_sum_into(u, v, hi, lo)
+        return out
+    finally:
+        st.release(mark)
+
+
+def _dd_sub_planes_fused(x, y, out=None):
+    st = plane_stack()
+    shape = op_shape(x, y)
+    fb, mark = st.take(shape, 7)
+    try:
+        t, s1, s2, t1, t2, u, v = fb
+        two_diff_into(x[0], y[0], s1, s2, t)
+        two_diff_into(x[1], y[1], t1, t2, t)
+        np.add(s2, t1, out=s2)
+        quick_two_sum_into(s1, s2, u, v)
+        np.add(v, t2, out=v)
+        hi, lo = out = result_planes(shape, out, 2)
+        quick_two_sum_into(u, v, hi, lo)
+        return out
+    finally:
+        st.release(mark)
+
+
+def _dd_mul_planes_ref(x, y):
+    p1, p2 = two_prod(x[0], y[0])
+    p2 = p2 + (x[0] * y[1] + x[1] * y[0])
+    p1, p2 = quick_two_sum(p1, p2)
+    return p1, p2
+
+
+def _dd_mul_planes_fused(x, y, out=None):
+    st = plane_stack()
+    shape = op_shape(x, y)
+    fb, mark = st.take(shape, 8)
+    bb, bmark = st.take(shape, 1, np.bool_)
+    try:
+        t = fb[0]
+        mb = bb[0]
+        if (needs_reference_split(x[0], t, mb)
+                or needs_reference_split(y[0], t, mb)):
+            planes = _dd_mul_planes_ref(x, y)
+            if out is None:
+                return planes
+            np.copyto(out[0], planes[0])
+            np.copyto(out[1], planes[1])
+            return out
+
+        p1, p2, ah, al, bh, bl, v = fb[1:8]
+        np.multiply(x[0], y[0], out=p1)
+        split_into(x[0], ah, al, t)
+        split_into(y[0], bh, bl, t)
+        # two_prod error: ((ah*bh - p) + ah*bl + al*bh) + al*bl
+        np.multiply(ah, bh, out=p2)
+        np.subtract(p2, p1, out=p2)
+        np.multiply(ah, bl, out=t)
+        np.add(p2, t, out=p2)
+        np.multiply(al, bh, out=t)
+        np.add(p2, t, out=p2)
+        np.multiply(al, bl, out=t)
+        np.add(p2, t, out=p2)
+        # p2 += (x.hi * y.lo + x.lo * y.hi)
+        np.multiply(x[0], y[1], out=v)
+        np.multiply(x[1], y[0], out=t)
+        np.add(v, t, out=v)
+        np.add(p2, v, out=p2)
+        hi, lo = out = result_planes(shape, out, 2)
+        quick_two_sum_into(p1, p2, hi, lo)
+        return out
+    finally:
+        st.release(mark)
+        st.release(bmark)
+
+
+def _dd_div_planes_fused(x, y, out=None):
+    st = plane_stack()
+    shape = op_shape(x, y)
+    fb, mark = st.take(shape, 11)
+    try:
+        q1, q2, q3, s, e = fb[0:5]
+        prod = fb[5:7]
+        ra = fb[7:9]
+        rb = fb[9:11]
+        zp = zero_plane(shape)
+
+        np.divide(x[0], y[0], out=q1)
+        _dd_mul_planes_fused(y, (q1, zp), out=prod)
+        _dd_sub_planes_fused(x, prod, out=ra)
+        np.divide(ra[0], y[0], out=q2)
+        _dd_mul_planes_fused(y, (q2, zp), out=prod)
+        _dd_sub_planes_fused(ra, prod, out=rb)
+        np.divide(rb[0], y[0], out=q3)
+        quick_two_sum_into(q1, q2, s, e)
+        return _dd_add_planes_fused((s, e), (q3, zp), out=out)
+    finally:
+        st.release(mark)
 
 
 class DDArray:
@@ -141,6 +278,8 @@ class DDArray:
 
     def __add__(self, other) -> "DDArray":
         o = _coerce(other, like=self.hi)
+        if fused_kernels_enabled():
+            return _raw(*_dd_add_planes_fused((self.hi, self.lo), (o.hi, o.lo)))
         s1, s2 = two_sum(self.hi, o.hi)
         t1, t2 = two_sum(self.lo, o.lo)
         s2 = s2 + t1
@@ -153,6 +292,8 @@ class DDArray:
 
     def __sub__(self, other) -> "DDArray":
         o = _coerce(other, like=self.hi)
+        if fused_kernels_enabled():
+            return _raw(*_dd_sub_planes_fused((self.hi, self.lo), (o.hi, o.lo)))
         s1, s2 = two_diff(self.hi, o.hi)
         t1, t2 = two_diff(self.lo, o.lo)
         s2 = s2 + t1
@@ -167,10 +308,9 @@ class DDArray:
 
     def __mul__(self, other) -> "DDArray":
         o = _coerce(other, like=self.hi)
-        p1, p2 = two_prod(self.hi, o.hi)
-        p2 = p2 + (self.hi * o.lo + self.lo * o.hi)
-        p1, p2 = quick_two_sum(p1, p2)
-        return _raw(p1, p2)
+        if fused_kernels_enabled():
+            return _raw(*_dd_mul_planes_fused((self.hi, self.lo), (o.hi, o.lo)))
+        return _raw(*_dd_mul_planes_ref((self.hi, self.lo), (o.hi, o.lo)))
 
     __rmul__ = __mul__
 
@@ -185,6 +325,8 @@ class DDArray:
                 f"DDArray division by zero in "
                 f"{int(np.count_nonzero(o.hi == 0.0))} element(s)"
             )
+        if fused_kernels_enabled():
+            return _raw(*_dd_div_planes_fused((self.hi, self.lo), (o.hi, o.lo)))
         q1 = self.hi / o.hi
         r = self - o * _raw(q1, np.zeros_like(q1))
         q2 = r.hi / o.hi
@@ -209,6 +351,50 @@ class DDArray:
             base = base * base
             e >>= 1
         return result
+
+    # ------------------------------------------------------------------
+    # in-place updates (see QDArray: bit-for-bit with the operators, with
+    # the fused path writing this array's planes directly)
+    # ------------------------------------------------------------------
+    def _assign_planes(self, planes, mask=None) -> "DDArray":
+        np.copyto(self.hi, planes[0], where=True if mask is None else mask)
+        np.copyto(self.lo, planes[1], where=True if mask is None else mask)
+        return self
+
+    def iadd_(self, other) -> "DDArray":
+        """In-place ``self += other`` (bit-for-bit with ``self + other``)."""
+        o = _coerce(other, like=self.hi)
+        if fused_kernels_enabled():
+            _dd_add_planes_fused((self.hi, self.lo), (o.hi, o.lo),
+                                 out=(self.hi, self.lo))
+            return self
+        result = self + o
+        return self._assign_planes((result.hi, result.lo))
+
+    def isub_(self, other) -> "DDArray":
+        """In-place ``self -= other`` (bit-for-bit with ``self - other``)."""
+        o = _coerce(other, like=self.hi)
+        if fused_kernels_enabled():
+            _dd_sub_planes_fused((self.hi, self.lo), (o.hi, o.lo),
+                                 out=(self.hi, self.lo))
+            return self
+        result = self - o
+        return self._assign_planes((result.hi, result.lo))
+
+    def iadd_where_(self, other, mask) -> "DDArray":
+        """Masked in-place add: ``self = where(mask, self + other, self)``."""
+        o = _coerce(other, like=self.hi)
+        mask = np.asarray(mask, dtype=bool)
+        if fused_kernels_enabled():
+            st = plane_stack()
+            buf, mark = st.take(self.hi.shape, 2)
+            _dd_add_planes_fused((self.hi, self.lo), (o.hi, o.lo),
+                                 out=(buf[0], buf[1]))
+            self._assign_planes(buf, mask=mask)
+            st.release(mark)
+            return self
+        result = self + o
+        return self._assign_planes((result.hi, result.lo), mask=mask)
 
     # ------------------------------------------------------------------
     # masked selection (the primitive behind per-path retirement in the
@@ -453,6 +639,36 @@ class ComplexDDArray:
             base = base * base
             e >>= 1
         return result
+
+    # ------------------------------------------------------------------
+    # in-place updates (see ComplexQDArray; bit-for-bit with the operators)
+    # ------------------------------------------------------------------
+    def iadd_(self, other) -> "ComplexDDArray":
+        """In-place ``self += other``."""
+        o = self._coerce(other)
+        self.real.iadd_(o.real)
+        self.imag.iadd_(o.imag)
+        return self
+
+    def isub_(self, other) -> "ComplexDDArray":
+        """In-place ``self -= other``."""
+        o = self._coerce(other)
+        self.real.isub_(o.real)
+        self.imag.isub_(o.imag)
+        return self
+
+    def isub_mul_(self, factor, value) -> "ComplexDDArray":
+        """In-place ``self -= factor * value`` (elimination inner loop)."""
+        prod = self._coerce(factor) * value
+        return self.isub_(prod)
+
+    def iadd_where_(self, other, mask) -> "ComplexDDArray":
+        """Masked in-place add: ``self = where(mask, self + other, self)``."""
+        o = self._coerce(other)
+        mask = np.asarray(mask, dtype=bool)
+        self.real.iadd_where_(o.real, mask)
+        self.imag.iadd_where_(o.imag, mask)
+        return self
 
     def sum(self, axis=None):
         """Sum of elements; returns :class:`ComplexDD` when ``axis is None``."""

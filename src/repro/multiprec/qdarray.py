@@ -28,7 +28,23 @@ from typing import Iterable, List, Tuple, Union
 import numpy as np
 
 from ..errors import DivisionByZeroError
-from .eft import quick_two_sum, two_prod, two_sum
+from .bufferpool import (
+    fused_kernels_enabled,
+    needs_reference_split,
+    op_shape,
+    plane_stack,
+    result_planes,
+    zero_plane,
+)
+from .eft import (
+    SPLIT_THRESHOLD,
+    quick_two_sum,
+    quick_two_sum_into,
+    split_into,
+    two_prod,
+    two_sum,
+    two_sum_into,
+)
 from .numeric import ComplexQD
 from .quad_double import QuadDouble
 
@@ -74,8 +90,13 @@ def _insert_lowest(s: List[np.ndarray], ptr: np.ndarray, u: np.ndarray
 
 
 def _renorm4(c0, c1, c2, c3) -> Tuple[np.ndarray, ...]:
-    """Element-wise QD ``renorm`` of four doubles (matches the scalar)."""
-    keep = np.isinf(c0)
+    """Element-wise QD ``renorm`` of four doubles (matches the scalar).
+
+    Non-finite leading components (inf *and* NaN, like the scalar renorm's
+    guard) are kept untouched: compacting a poisoned expansion through the
+    insertion logic would only scramble which slots carry the NaNs.
+    """
+    keep = ~np.isfinite(c0)
     s0, t3 = quick_two_sum(c2, c3)
     s0, t2 = quick_two_sum(c1, s0)
     r0, r1 = quick_two_sum(c0, s0)
@@ -89,8 +110,11 @@ def _renorm4(c0, c1, c2, c3) -> Tuple[np.ndarray, ...]:
 
 
 def _renorm5(c0, c1, c2, c3, c4) -> Tuple[np.ndarray, ...]:
-    """Element-wise QD ``renorm`` of five doubles (matches the scalar)."""
-    keep = np.isinf(c0)
+    """Element-wise QD ``renorm`` of five doubles (matches the scalar).
+
+    See :func:`_renorm4` for the non-finite (inf/NaN) guard.
+    """
+    keep = ~np.isfinite(c0)
     s0, t4 = quick_two_sum(c3, c4)
     s0, t3 = quick_two_sum(c2, s0)
     s0, t2 = quick_two_sum(c1, s0)
@@ -103,6 +127,365 @@ def _renorm5(c0, c1, c2, c3, c4) -> Tuple[np.ndarray, ...]:
     _insert_lowest(s, ptr, t4)
     return (np.where(keep, c0, s[0]), np.where(keep, c1, s[1]),
             np.where(keep, c2, s[2]), np.where(keep, c3, s[3]))
+
+
+# ----------------------------------------------------------------------
+# fused, allocation-light kernels (bit-for-bit with the reference path)
+# ----------------------------------------------------------------------
+# Every function below replays *exactly* the floating-point sequence of the
+# reference implementation above (and hence of the scalar QuadDouble), but
+# with the NumPy call stream fused: scratch planes come from the thread's
+# PlaneStack in one take per op, every intermediate is written with out=,
+# the Dekker splits of the product kernel are computed once per input plane
+# instead of once per partial product, and the renormalisation insertions
+# run off precomputed slot masks with masked copies instead of allocating
+# np.where chains.  The op stream shrinks by ~2x and allocates (amortised)
+# nothing, which is what makes qd batch lanes cheap enough to scale past a
+# few hundred (see ROADMAP).  Takes are released in try/finally so an
+# exception escaping mid-kernel (e.g. a promoted FP warning) cannot leak
+# the taken frame.
+
+def _fused_insert(s, ptr, u, top, m0, m1, m2, m3, sel, summed, e):
+    """One fused ``_insert_lowest`` pass with precomputed slot masks.
+
+    ``top`` is the highest pointer value any element can hold *before* this
+    insertion (1 after the renorm prologue, +1 per insertion); slots above
+    it are skipped entirely.  Mutates the planes in ``s`` and ``ptr`` in
+    place; ``m0..m3 / sel / summed / e`` are caller scratch.
+    """
+    np.equal(ptr, 0, out=m0)
+    np.equal(ptr, 1, out=m1)
+    if top >= 2:
+        np.equal(ptr, 2, out=m2)
+    if top >= 3:
+        np.equal(ptr, 3, out=m3)
+
+    # s[ptr], element-wise, via one masked overwrite per live slot.
+    np.copyto(sel, s[min(top, 3)])
+    if top >= 3:
+        np.copyto(sel, s[2], where=m2)
+    if top >= 2:
+        np.copyto(sel, s[1], where=m1)
+    np.copyto(sel, s[0], where=m0)
+
+    quick_two_sum_into(sel, u, summed, e)
+
+    np.copyto(s[0], summed, where=m0)
+    np.copyto(s[1], e, where=m0)
+    np.copyto(s[1], summed, where=m1)
+    np.copyto(s[2], e, where=m1)
+    if top >= 2:
+        np.copyto(s[2], summed, where=m2)
+        np.copyto(s[3], e, where=m2)
+    if top >= 3:
+        np.add(s[3], u, out=sel)            # sel is dead: scratch for += leaf
+        np.copyto(s[3], sel, where=m3)
+
+    adv = m0                                # m0 is dead: reuse for the advance
+    np.not_equal(e, 0.0, out=adv)
+    if top >= 3:
+        np.logical_not(m3, out=m3)
+        np.logical_and(adv, m3, out=adv)
+    np.add(ptr, adv, out=ptr)
+
+
+def _fused_renorm4(c0, c1, c2, c3, st, out=None):
+    """Fused form of :func:`_renorm4`.
+
+    Writes the four result planes into ``out`` when given (which must not
+    alias any ``c`` input), else into fresh arrays; returns them either way.
+    """
+    shape = c0.shape
+    fb, fmark = st.take(shape, 7)
+    bb, bmark = st.take(shape, 4, np.bool_)
+    ib, imark = st.take(shape, 1, np.int8)
+    try:
+        w1, t3, w2, t2, sel, summed, e = fb
+        keep, m0, m1, m2 = bb
+        ptr = ib[0]
+
+        np.isfinite(c0, out=keep)
+        all_finite = bool(keep.all())
+
+        quick_two_sum_into(c2, c3, w1, t3)
+        quick_two_sum_into(c1, w1, w2, t2)
+        s0, s1, s2, s3 = out = result_planes(shape, out, 4)
+        quick_two_sum_into(c0, w2, s0, s1)
+        s2.fill(0.0)
+        s3.fill(0.0)
+        np.not_equal(s1, 0.0, out=m0)
+        np.copyto(ptr, m0)
+
+        s = (s0, s1, s2, s3)
+        _fused_insert(s, ptr, t2, 1, m0, m1, m2, None, sel, summed, e)
+        _fused_insert(s, ptr, t3, 2, m0, m1, m2, None, sel, summed, e)
+
+        if not all_finite:
+            np.logical_not(keep, out=keep)
+            np.copyto(s0, c0, where=keep)
+            np.copyto(s1, c1, where=keep)
+            np.copyto(s2, c2, where=keep)
+            np.copyto(s3, c3, where=keep)
+        return out
+    finally:
+        st.release(fmark)
+        st.release(bmark)
+        st.release(imark)
+
+
+def _fused_renorm5(c0, c1, c2, c3, c4, st, out=None):
+    """Fused form of :func:`_renorm5` (same contract as :func:`_fused_renorm4`)."""
+    shape = c0.shape
+    fb, fmark = st.take(shape, 9)
+    bb, bmark = st.take(shape, 5, np.bool_)
+    ib, imark = st.take(shape, 1, np.int8)
+    try:
+        w1, t4, w2, t3, w3, t2, sel, summed, e = fb
+        keep, m0, m1, m2, m3 = bb
+        ptr = ib[0]
+
+        np.isfinite(c0, out=keep)
+        all_finite = bool(keep.all())
+
+        quick_two_sum_into(c3, c4, w1, t4)
+        quick_two_sum_into(c2, w1, w2, t3)
+        quick_two_sum_into(c1, w2, w3, t2)
+        s0, s1, s2, s3 = out = result_planes(shape, out, 4)
+        quick_two_sum_into(c0, w3, s0, s1)
+        s2.fill(0.0)
+        s3.fill(0.0)
+        np.not_equal(s1, 0.0, out=m0)
+        np.copyto(ptr, m0)
+
+        s = (s0, s1, s2, s3)
+        _fused_insert(s, ptr, t2, 1, m0, m1, m2, m3, sel, summed, e)
+        _fused_insert(s, ptr, t3, 2, m0, m1, m2, m3, sel, summed, e)
+        _fused_insert(s, ptr, t4, 3, m0, m1, m2, m3, sel, summed, e)
+
+        if not all_finite:
+            np.logical_not(keep, out=keep)
+            np.copyto(s0, c0, where=keep)
+            np.copyto(s1, c1, where=keep)
+            np.copyto(s2, c2, where=keep)
+            np.copyto(s3, c3, where=keep)
+        return out
+    finally:
+        st.release(fmark)
+        st.release(bmark)
+        st.release(imark)
+
+
+def _add_planes_ref(x, y) -> Tuple[np.ndarray, ...]:
+    """The reference QD ``sloppy_add`` on component planes."""
+    s0, t0 = two_sum(x[0], y[0])
+    s1, t1 = two_sum(x[1], y[1])
+    s2, t2 = two_sum(x[2], y[2])
+    s3, t3 = two_sum(x[3], y[3])
+
+    s1, t0 = two_sum(s1, t0)
+    s2, t0, t1 = _three_sum(s2, t0, t1)
+    s3, t0 = _three_sum2(s3, t0, t2)
+    t0 = t0 + t1 + t3
+    return _renorm5(s0, s1, s2, s3, t0)
+
+
+def _add_planes_fused(x, y, out=None) -> Tuple[np.ndarray, ...]:
+    """Fused QD ``sloppy_add``: same sequence as :func:`_add_planes_ref`.
+
+    ``out``, when given, receives the result planes; it may alias the
+    *input* planes of ``x``/``y`` (every read of them happens before the
+    final renormalisation writes) -- that is what the in-place array
+    updates rely on.
+    """
+    st = plane_stack()
+    fb, mark = st.take(op_shape(x, y), 21)
+    try:
+        (t, a0, b0, a1, b1, a2, b2, a3, b3,
+         s1, t0, u1, v1, w1, z1, p1, q1, u2, v2, w2, z2) = fb
+        two_sum_into(x[0], y[0], a0, b0, t)
+        two_sum_into(x[1], y[1], a1, b1, t)
+        two_sum_into(x[2], y[2], a2, b2, t)
+        two_sum_into(x[3], y[3], a3, b3, t)
+
+        two_sum_into(a1, b0, s1, t0, t)
+        # _three_sum(s2, t0, t1) on (a2, t0, b1) -> (w1, p1, q1)
+        two_sum_into(a2, t0, u1, v1, t)
+        two_sum_into(b1, u1, w1, z1, t)
+        two_sum_into(v1, z1, p1, q1, t)
+        # _three_sum2(s3, t0, t2) on (a3, p1, b2) -> (w2, v2)
+        two_sum_into(a3, p1, u2, v2, t)
+        two_sum_into(b2, u2, w2, z2, t)
+        np.add(v2, z2, out=v2)
+        # t0 = t0 + t1 + t3
+        np.add(v2, q1, out=v2)
+        np.add(v2, b3, out=v2)
+        return _fused_renorm5(a0, s1, w1, w2, v2, st, out=out)
+    finally:
+        st.release(mark)
+
+
+def _sub_planes_fused(x, y, out=None) -> Tuple[np.ndarray, ...]:
+    """Fused QD subtraction: add of the negated operand, like ``__sub__``."""
+    st = plane_stack()
+    nb, mark = st.take(y[0].shape, 4)
+    try:
+        for src, dst in zip(y, nb):
+            np.negative(src, out=dst)
+        return _add_planes_fused(x, nb, out=out)
+    finally:
+        st.release(mark)
+
+
+def _mul_planes_ref(x, y) -> Tuple[np.ndarray, ...]:
+    """The reference QD ``sloppy_mul`` on component planes."""
+    p0, q0 = two_prod(x[0], y[0])
+    p1, q1 = two_prod(x[0], y[1])
+    p2, q2 = two_prod(x[1], y[0])
+    p3, q3 = two_prod(x[0], y[2])
+    p4, q4 = two_prod(x[1], y[1])
+    p5, q5 = two_prod(x[2], y[0])
+
+    p1, p2, q0 = _three_sum(p1, p2, q0)
+
+    p2, q1, q2 = _three_sum(p2, q1, q2)
+    p3, p4, p5 = _three_sum(p3, p4, p5)
+    s0, t0 = two_sum(p2, p3)
+    s1, t1 = two_sum(q1, p4)
+    s2 = q2 + p5
+    s1, t0 = two_sum(s1, t0)
+    s2 = s2 + (t0 + t1)
+
+    s1 = s1 + (x[0] * y[3] + x[1] * y[2] + x[2] * y[1] + x[3] * y[0]
+               + q0 + q3 + q4 + q5)
+    return _renorm5(p0, p1, s0, s1, s2)
+
+
+def _mul_planes_fused(x, y, out=None) -> Tuple[np.ndarray, ...]:
+    """Fused QD ``sloppy_mul``: one Dekker split per input plane.
+
+    Falls back to :func:`_mul_planes_ref` when either leading plane carries
+    a magnitude above the split threshold or a NaN (see
+    :func:`repro.multiprec.bufferpool.needs_reference_split`).  ``out`` may
+    alias input planes, as in :func:`_add_planes_fused`.
+    """
+    st = plane_stack()
+    shape = op_shape(x, y)
+    fb, mark = st.take(shape, 51)
+    bb, bmark = st.take(shape, 1, np.bool_)
+    try:
+        t = fb[0]
+        mb = bb[0]
+        if needs_reference_split(x[0], t, mb) or needs_reference_split(y[0], t, mb):
+            planes = _mul_planes_ref(x, y)
+            if out is None:
+                return planes
+            for dst, src in zip(out, planes):
+                np.copyto(dst, src)
+            return out
+
+        (x0h, x0l, x1h, x1l, x2h, x2l,
+         y0h, y0l, y1h, y1l, y2h, y2l) = fb[1:13]
+        split_into(x[0], x0h, x0l, t)
+        split_into(x[1], x1h, x1l, t)
+        split_into(x[2], x2h, x2l, t)
+        split_into(y[0], y0h, y0l, t)
+        split_into(y[1], y1h, y1l, t)
+        split_into(y[2], y2h, y2l, t)
+
+        (p0, q0, p1, q1, p2, q2, p3, q3, p4, q4, p5, q5) = fb[13:25]
+
+        def prod(a, ah, al, b, bh, bl, p, e):
+            # two_prod with the splits hoisted; identical error expression.
+            np.multiply(a, b, out=p)
+            np.multiply(ah, bh, out=e)
+            np.subtract(e, p, out=e)
+            np.multiply(ah, bl, out=t)
+            np.add(e, t, out=e)
+            np.multiply(al, bh, out=t)
+            np.add(e, t, out=e)
+            np.multiply(al, bl, out=t)
+            np.add(e, t, out=e)
+
+        prod(x[0], x0h, x0l, y[0], y0h, y0l, p0, q0)
+        prod(x[0], x0h, x0l, y[1], y1h, y1l, p1, q1)
+        prod(x[1], x1h, x1l, y[0], y0h, y0l, p2, q2)
+        prod(x[0], x0h, x0l, y[2], y2h, y2l, p3, q3)
+        prod(x[1], x1h, x1l, y[1], y1h, y1l, p4, q4)
+        prod(x[2], x2h, x2l, y[0], y0h, y0l, p5, q5)
+
+        (u1, v1, w1, z1, a1, c1,
+         u2, v2, w2, z2, a2, c2,
+         u3, v3, w3, z3, a3, c3) = fb[25:43]
+        # p1, p2, q0 = _three_sum(p1, p2, q0) -> (w1, a1, c1)
+        two_sum_into(p1, p2, u1, v1, t)
+        two_sum_into(q0, u1, w1, z1, t)
+        two_sum_into(v1, z1, a1, c1, t)
+        # p2, q1, q2 = _three_sum(p2, q1, q2) on (a1, q1, q2) -> (w2, a2, c2)
+        two_sum_into(a1, q1, u2, v2, t)
+        two_sum_into(q2, u2, w2, z2, t)
+        two_sum_into(v2, z2, a2, c2, t)
+        # p3, p4, p5 = _three_sum(p3, p4, p5) -> (w3, a3, c3)
+        two_sum_into(p3, p4, u3, v3, t)
+        two_sum_into(p5, u3, w3, z3, t)
+        two_sum_into(v3, z3, a3, c3, t)
+
+        (s0, t0, s1, t1, s2, s1b, t0b, acc) = fb[43:51]
+        two_sum_into(w2, w3, s0, t0, t)          # s0, t0 = two_sum(p2, p3)
+        two_sum_into(a2, a3, s1, t1, t)          # s1, t1 = two_sum(q1, p4)
+        np.add(c2, c3, out=s2)                   # s2 = q2 + p5
+        two_sum_into(s1, t0, s1b, t0b, t)        # s1, t0 = two_sum(s1, t0)
+        np.add(t0b, t1, out=t0b)
+        np.add(s2, t0b, out=s2)                  # s2 += (t0 + t1)
+
+        # s1 += (x0*y3 + x1*y2 + x2*y1 + x3*y0 + q0 + q3 + q4 + q5)
+        np.multiply(x[0], y[3], out=acc)
+        np.multiply(x[1], y[2], out=t)
+        np.add(acc, t, out=acc)
+        np.multiply(x[2], y[1], out=t)
+        np.add(acc, t, out=acc)
+        np.multiply(x[3], y[0], out=t)
+        np.add(acc, t, out=acc)
+        np.add(acc, c1, out=acc)                 # + q0 (post-three-sum)
+        np.add(acc, q3, out=acc)
+        np.add(acc, q4, out=acc)
+        np.add(acc, q5, out=acc)
+        np.add(s1b, acc, out=s1b)
+
+        return _fused_renorm5(p0, w1, s0, s1b, s2, st, out=out)
+    finally:
+        st.release(mark)
+        st.release(bmark)
+
+
+def _div_planes_fused(x, y, out=None) -> Tuple[np.ndarray, ...]:
+    """Fused QD iterated-correction division (QD's ``sloppy_div``)."""
+    st = plane_stack()
+    shape = op_shape(x, y)
+    fb, mark = st.take(shape, 17)
+    try:
+        q0, q1, q2, q3, q4 = fb[0:5]
+        prod = fb[5:9]
+        ra = fb[9:13]
+        rb = fb[13:17]
+        zp = zero_plane(shape)
+
+        np.divide(x[0], y[0], out=q0)
+        _mul_planes_fused(y, (q0, zp, zp, zp), out=prod)
+        _sub_planes_fused(x, prod, out=ra)
+        np.divide(ra[0], y[0], out=q1)
+        _mul_planes_fused(y, (q1, zp, zp, zp), out=prod)
+        _sub_planes_fused(ra, prod, out=rb)
+        np.divide(rb[0], y[0], out=q2)
+        _mul_planes_fused(y, (q2, zp, zp, zp), out=prod)
+        _sub_planes_fused(rb, prod, out=ra)
+        np.divide(ra[0], y[0], out=q3)
+        _mul_planes_fused(y, (q3, zp, zp, zp), out=prod)
+        _sub_planes_fused(ra, prod, out=rb)
+        np.divide(rb[0], y[0], out=q4)
+
+        return _fused_renorm5(q0, q1, q2, q3, q4, st, out=out)
+    finally:
+        st.release(mark)
 
 
 # ----------------------------------------------------------------------
@@ -137,7 +520,11 @@ class QDArray:
                 raise ValueError(f"component shape mismatch: {c0.shape} vs {other.shape}")
         # Normalise so the expansion invariant holds element-wise, exactly
         # like the scalar constructor.
-        self.c0, self.c1, self.c2, self.c3 = _renorm4(c0, c1, c2, c3)
+        if fused_kernels_enabled():
+            comps = _fused_renorm4(c0, c1, c2, c3, plane_stack())
+            self.c0, self.c1, self.c2, self.c3 = comps
+        else:
+            self.c0, self.c1, self.c2, self.c3 = _renorm4(c0, c1, c2, c3)
 
     # ------------------------------------------------------------------
     # constructors / conversions
@@ -232,21 +619,16 @@ class QDArray:
     def __add__(self, other) -> "QDArray":
         o = _coerce(other, like=self.c0)
         x, y = self._components(), o._components()
-        s0, t0 = two_sum(x[0], y[0])
-        s1, t1 = two_sum(x[1], y[1])
-        s2, t2 = two_sum(x[2], y[2])
-        s3, t3 = two_sum(x[3], y[3])
-
-        s1, t0 = two_sum(s1, t0)
-        s2, t0, t1 = _three_sum(s2, t0, t1)
-        s3, t0 = _three_sum2(s3, t0, t2)
-        t0 = t0 + t1 + t3
-        return _raw(*_renorm5(s0, s1, s2, s3, t0))
+        if fused_kernels_enabled():
+            return _raw(*_add_planes_fused(x, y))
+        return _raw(*_add_planes_ref(x, y))
 
     __radd__ = __add__
 
     def __sub__(self, other) -> "QDArray":
         o = _coerce(other, like=self.c0)
+        if fused_kernels_enabled():
+            return _raw(*_sub_planes_fused(self._components(), o._components()))
         return self + (-o)
 
     def __rsub__(self, other) -> "QDArray":
@@ -256,26 +638,9 @@ class QDArray:
     def __mul__(self, other) -> "QDArray":
         o = _coerce(other, like=self.c0)
         x, y = self._components(), o._components()
-        p0, q0 = two_prod(x[0], y[0])
-        p1, q1 = two_prod(x[0], y[1])
-        p2, q2 = two_prod(x[1], y[0])
-        p3, q3 = two_prod(x[0], y[2])
-        p4, q4 = two_prod(x[1], y[1])
-        p5, q5 = two_prod(x[2], y[0])
-
-        p1, p2, q0 = _three_sum(p1, p2, q0)
-
-        p2, q1, q2 = _three_sum(p2, q1, q2)
-        p3, p4, p5 = _three_sum(p3, p4, p5)
-        s0, t0 = two_sum(p2, p3)
-        s1, t1 = two_sum(q1, p4)
-        s2 = q2 + p5
-        s1, t0 = two_sum(s1, t0)
-        s2 = s2 + (t0 + t1)
-
-        s1 = s1 + (x[0] * y[3] + x[1] * y[2] + x[2] * y[1] + x[3] * y[0]
-                   + q0 + q3 + q4 + q5)
-        return _raw(*_renorm5(p0, p1, s0, s1, s2))
+        if fused_kernels_enabled():
+            return _raw(*_mul_planes_fused(x, y))
+        return _raw(*_mul_planes_ref(x, y))
 
     __rmul__ = __mul__
 
@@ -289,6 +654,8 @@ class QDArray:
                 f"QDArray division by zero in "
                 f"{int(np.count_nonzero(o.c0 == 0.0))} element(s)"
             )
+        if fused_kernels_enabled():
+            return _raw(*_div_planes_fused(self._components(), o._components()))
         q0 = self.c0 / o.c0
         r = self - o * _from_plane(q0)
         q1 = r.c0 / o.c0
@@ -316,6 +683,54 @@ class QDArray:
             base = base * base
             e >>= 1
         return result
+
+    # ------------------------------------------------------------------
+    # in-place updates (the accumulation loops of the batched engine)
+    # ------------------------------------------------------------------
+    # Each computes exactly the out-of-place operation's floating-point
+    # sequence, then lands the result in this array's planes.  On the fused
+    # path the final renormalisation writes the planes *directly* (every
+    # read of the old values happens before it), so a long accumulation --
+    # an evaluator's value row, a Gaussian elimination row -- allocates
+    # nothing at all.
+
+    def _assign_planes(self, planes, mask=None) -> "QDArray":
+        for dst, src in zip(self._components(), planes):
+            np.copyto(dst, src, where=True if mask is None else mask)
+        return self
+
+    def iadd_(self, other) -> "QDArray":
+        """In-place ``self += other`` (bit-for-bit with ``self + other``)."""
+        o = _coerce(other, like=self.c0)
+        x = self._components()
+        if fused_kernels_enabled():
+            _add_planes_fused(x, o._components(), out=x)
+            return self
+        return self._assign_planes(_add_planes_ref(x, o._components()))
+
+    def isub_(self, other) -> "QDArray":
+        """In-place ``self -= other`` (bit-for-bit with ``self - other``)."""
+        o = _coerce(other, like=self.c0)
+        x = self._components()
+        if fused_kernels_enabled():
+            _sub_planes_fused(x, o._components(), out=x)
+            return self
+        return self._assign_planes((self + (-o))._components())
+
+    def iadd_where_(self, other, mask) -> "QDArray":
+        """Masked in-place add: ``self = where(mask, self + other, self)``."""
+        o = _coerce(other, like=self.c0)
+        x = self._components()
+        mask = np.asarray(mask, dtype=bool)
+        if fused_kernels_enabled():
+            st = plane_stack()
+            buf, mark = st.take(self.c0.shape, 4)
+            _add_planes_fused(x, o._components(), out=buf)
+            self._assign_planes(buf, mask=mask)
+            st.release(mark)
+            return self
+        return self._assign_planes(_add_planes_ref(x, o._components()),
+                                   mask=mask)
 
     # ------------------------------------------------------------------
     # masked selection
@@ -580,6 +995,37 @@ class ComplexQDArray:
             base = base * base
             e >>= 1
         return result
+
+    # ------------------------------------------------------------------
+    # in-place updates (see QDArray; results are bit-for-bit with the
+    # out-of-place operators)
+    # ------------------------------------------------------------------
+    def iadd_(self, other) -> "ComplexQDArray":
+        """In-place ``self += other``."""
+        o = self._coerce(other)
+        self.real.iadd_(o.real)
+        self.imag.iadd_(o.imag)
+        return self
+
+    def isub_(self, other) -> "ComplexQDArray":
+        """In-place ``self -= other``."""
+        o = self._coerce(other)
+        self.real.isub_(o.real)
+        self.imag.isub_(o.imag)
+        return self
+
+    def isub_mul_(self, factor, value) -> "ComplexQDArray":
+        """In-place ``self -= factor * value`` (elimination inner loop)."""
+        prod = self._coerce(factor) * value
+        return self.isub_(prod)
+
+    def iadd_where_(self, other, mask) -> "ComplexQDArray":
+        """Masked in-place add: ``self = where(mask, self + other, self)``."""
+        o = self._coerce(other)
+        mask = np.asarray(mask, dtype=bool)
+        self.real.iadd_where_(o.real, mask)
+        self.imag.iadd_where_(o.imag, mask)
+        return self
 
     def sum(self, axis=None):
         """Sum of elements; returns :class:`ComplexQD` when ``axis is None``."""

@@ -43,8 +43,13 @@ def _three_sum2(a: float, b: float, c: float) -> Tuple[float, float]:
 
 def _renorm5(c0: float, c1: float, c2: float, c3: float, c4: float
              ) -> Tuple[float, float, float, float]:
-    """Renormalise five doubles into a canonical quad-double (QD ``renorm``)."""
-    if math.isinf(c0):
+    """Renormalise five doubles into a canonical quad-double (QD ``renorm``).
+
+    Non-finite leading components (inf *and* NaN) are kept untouched; the
+    vectorised renorm in :mod:`repro.multiprec.qdarray` applies the same
+    guard so batch lanes stay bit-for-bit with the scalar loop.
+    """
+    if not math.isfinite(c0):
         return c0, c1, c2, c3
 
     s0, c4 = quick_two_sum(c3, c4)
@@ -88,8 +93,11 @@ def _renorm5(c0: float, c1: float, c2: float, c3: float, c4: float
 
 def _renorm4(c0: float, c1: float, c2: float, c3: float
              ) -> Tuple[float, float, float, float]:
-    """Renormalise four doubles into a canonical quad-double."""
-    if math.isinf(c0):
+    """Renormalise four doubles into a canonical quad-double.
+
+    Keeps non-finite leading components untouched, like :func:`_renorm5`.
+    """
+    if not math.isfinite(c0):
         return c0, c1, c2, c3
     s0, c3 = quick_two_sum(c2, c3)
     s0, c2 = quick_two_sum(c1, s0)

@@ -33,14 +33,15 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..multiprec.backend import ComplexBatchBackend
+from ..multiprec.backend import ComplexBatchBackend, masked_lane_errstate
 
 __all__ = ["batched_solve"]
 
 
 def batched_solve(matrix: Sequence[Sequence], rhs: Sequence,
                   backend: ComplexBatchBackend,
-                  active: Optional[np.ndarray] = None
+                  active: Optional[np.ndarray] = None,
+                  copy: bool = True
                   ) -> Tuple[List, np.ndarray]:
     """Solve ``A_b x_b = rhs_b`` for every lane ``b``.
 
@@ -48,7 +49,7 @@ def batched_solve(matrix: Sequence[Sequence], rhs: Sequence,
     ----------
     matrix:
         ``n x n`` nested sequence of ``(B,)`` batch arrays (consumed, not
-        modified: the function works on a copy).
+        modified: the function works on a copy unless ``copy=False``).
     rhs:
         Length-``n`` sequence of ``(B,)`` batch arrays.
     backend:
@@ -56,6 +57,12 @@ def batched_solve(matrix: Sequence[Sequence], rhs: Sequence,
     active:
         Optional ``(B,)`` bool mask; inactive lanes are never reported
         singular and their (meaningless) results should be discarded.
+    copy:
+        The elimination updates rows in place through the backend
+        (:meth:`~repro.multiprec.backend.ComplexBatchBackend.isub_mul`), so
+        by default every entry is deep-copied up front.  Callers that pass
+        freshly built, never-reused matrices (the batched corrector and the
+        tangent predictor) set ``copy=False`` and donate their entries.
 
     Returns
     -------
@@ -67,54 +74,62 @@ def batched_solve(matrix: Sequence[Sequence], rhs: Sequence,
     if any(len(row) != n for row in matrix) or len(rhs) != n:
         raise ValueError("batched_solve expects a square matrix and matching rhs")
 
-    a = [[entry for entry in row] for row in matrix]
-    b = list(rhs)
-    lanes = np.shape(backend.magnitude(b[0]))[0] if n else 0
-    singular = np.zeros(lanes, dtype=bool)
-    considered = np.ones(lanes, dtype=bool) if active is None \
-        else np.asarray(active, dtype=bool)
-    ones = backend.ones((lanes,))
+    # Dead lanes legitimately carry inf/NaN through the arithmetic, so the
+    # whole solve runs inside the masked-lane errstate scope instead of
+    # spraying RuntimeWarnings.
+    with masked_lane_errstate():
+        if copy:
+            a = [[backend.copy(entry) for entry in row] for row in matrix]
+            b = [backend.copy(entry) for entry in rhs]
+        else:
+            a = [list(row) for row in matrix]
+            b = list(rhs)
+        lanes = np.shape(backend.magnitude(b[0]))[0] if n else 0
+        singular = np.zeros(lanes, dtype=bool)
+        considered = np.ones(lanes, dtype=bool) if active is None \
+            else np.asarray(active, dtype=bool)
+        ones = backend.ones((lanes,))
 
-    for col in range(n):
-        # Per-lane partial pivoting on double-rounded magnitudes.
-        magnitudes = np.stack([backend.magnitude(a[r][col]) for r in range(col, n)])
-        choice = np.argmax(magnitudes, axis=0)  # (B,) offset of the pivot row
+        for col in range(n):
+            # Per-lane partial pivoting on double-rounded magnitudes.
+            magnitudes = np.stack([backend.magnitude(a[r][col]) for r in range(col, n)])
+            choice = np.argmax(magnitudes, axis=0)  # (B,) offset of the pivot row
 
-        # Realise the per-lane swap of rows `col` and `col + choice` as one
-        # masked select per candidate row: each lane is touched exactly once.
-        for r in range(col + 1, n):
-            swap = choice == (r - col)
-            if not swap.any():
-                continue
-            for j in range(n):
-                upper, lower = a[col][j], a[r][j]
-                a[col][j] = backend.where(swap, lower, upper)
-                a[r][j] = backend.where(swap, upper, lower)
-            upper, lower = b[col], b[r]
-            b[col] = backend.where(swap, lower, upper)
-            b[r] = backend.where(swap, upper, lower)
+            # Realise the per-lane swap of rows `col` and `col + choice` as one
+            # masked select per candidate row: each lane is touched exactly once.
+            for r in range(col + 1, n):
+                swap = choice == (r - col)
+                if not swap.any():
+                    continue
+                for j in range(n):
+                    upper, lower = a[col][j], a[r][j]
+                    a[col][j] = backend.where(swap, lower, upper)
+                    a[r][j] = backend.where(swap, upper, lower)
+                upper, lower = b[col], b[r]
+                b[col] = backend.where(swap, lower, upper)
+                b[r] = backend.where(swap, upper, lower)
 
-        pivot = a[col][col]
-        dead = _undividable(backend.magnitude(pivot))
-        singular |= dead & considered
-        safe_pivot = backend.where(dead, ones, pivot)
+            pivot = a[col][col]
+            dead = _undividable(backend.magnitude(pivot))
+            singular |= dead & considered
+            safe_pivot = backend.where(dead, ones, pivot)
 
-        for row in range(col + 1, n):
-            factor = a[row][col] / safe_pivot
-            for j in range(col + 1, n):
-                a[row][j] = a[row][j] - factor * a[col][j]
-            b[row] = b[row] - factor * b[col]
+            for row in range(col + 1, n):
+                factor = a[row][col] / safe_pivot
+                for j in range(col + 1, n):
+                    a[row][j] = backend.isub_mul(a[row][j], factor, a[col][j])
+                b[row] = backend.isub_mul(b[row], factor, b[col])
 
-    # Back substitution with the (sanitised) upper factor.
-    x: List = [None] * n
-    for i in reversed(range(n)):
-        acc = b[i]
-        for j in range(i + 1, n):
-            acc = acc - a[i][j] * x[j]
-        diagonal = a[i][i]
-        dead = _undividable(backend.magnitude(diagonal))
-        singular |= dead & considered
-        x[i] = acc / backend.where(dead, ones, diagonal)
+        # Back substitution with the (sanitised) upper factor.
+        x: List = [None] * n
+        for i in reversed(range(n)):
+            acc = b[i]
+            for j in range(i + 1, n):
+                acc = backend.isub_mul(acc, a[i][j], x[j])
+            diagonal = a[i][i]
+            dead = _undividable(backend.magnitude(diagonal))
+            singular |= dead & considered
+            x[i] = acc / backend.where(dead, ones, diagonal)
     return x, singular
 
 

@@ -47,6 +47,7 @@ from ..multiprec.backend import (
     ComplexBatchBackend,
     backend_for_context,
     convert_batch,
+    masked_lane_errstate,
     registered_backends,
 )
 from ..multiprec.numeric import DOUBLE, NumericContext
@@ -582,6 +583,17 @@ class BatchTracker:
     def _track_one_batch(self, starts: Optional[Sequence[Sequence]] = None,
                          checkpoints: Optional[Sequence[LaneCheckpoint]] = None
                          ) -> PathBatch:
+        # Lanes that diverge or retire carry inf/NaN through the masked
+        # batch arithmetic (predictor, corrector, endgame); the errstate
+        # scope keeps them from spraying RuntimeWarnings while the status
+        # masks report the failures.
+        with masked_lane_errstate():
+            return self._track_one_batch_inner(starts, checkpoints)
+
+    def _track_one_batch_inner(self,
+                               starts: Optional[Sequence[Sequence]] = None,
+                               checkpoints: Optional[Sequence[LaneCheckpoint]] = None
+                               ) -> PathBatch:
         opts = self.options
         backend = self.backend
         if checkpoints is not None:

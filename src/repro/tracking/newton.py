@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import ConvergenceError
-from ..multiprec.backend import ComplexBatchBackend
+from ..multiprec.backend import ComplexBatchBackend, masked_lane_errstate
 from ..multiprec.numeric import DOUBLE, NumericContext
 from .batch_linsolve import batched_solve
 from .linsolve import solve, vector_norm
@@ -231,51 +231,60 @@ class BatchNewtonCorrector:
         residuals = np.full(lanes, np.inf)
         x = backend.copy(points)
 
-        for _ in range(self.max_iterations):
-            if not working.any():
-                break
-            idx = np.flatnonzero(working)
-            x_live = x[:, idx]
-            if self.evaluation_log is not None:
-                self.evaluation_log.append(len(idx))
-            evaluation = self.evaluator.evaluate(x_live, lanes=idx)
-            norms = self._residuals(evaluation.values)
-            residuals[idx] = norms
-            iterations[idx] += 1
-
-            done = norms <= self.tolerance
-            converged[idx[done]] = True
-            working[idx[done]] = False
-            if done.all():
-                continue
-
-            rhs = [-value for value in evaluation.values]
-            dx, singular = batched_solve(evaluation.jacobian, rhs, backend,
-                                         active=~done)
-            failed = singular & ~done
-            residuals[idx[failed]] = np.inf
-            working[idx[failed]] = False
-
-            advance = ~done & ~singular
-            update_norms = self._residuals(dx)
-            updated = backend.where(advance, x_live + backend.stack(dx), x_live)
-            x[:, idx] = updated
-
-            # The scalar small-update exit, lane-wise and in this iteration:
-            # re-evaluate the freshly updated small-update lanes and settle
-            # them for good (the iteration counter does not advance for this
-            # final check, matching the scalar corrector).
-            small = advance & (update_norms <= self.tolerance)
-            if small.any():
-                small_idx = idx[small]
+        # Diverging lanes carry inf/NaN through the batch arithmetic until
+        # the residual test retires them; run the whole loop in the
+        # masked-lane errstate scope so they stay silent.
+        with masked_lane_errstate():
+            for _ in range(self.max_iterations):
+                if not working.any():
+                    break
+                idx = np.flatnonzero(working)
+                x_live = x[:, idx]
                 if self.evaluation_log is not None:
-                    self.evaluation_log.append(len(small_idx))
-                final = self.evaluator.evaluate(x[:, small_idx], lanes=small_idx)
-                final_norms = self._residuals(final.values)
-                residuals[small_idx] = final_norms
-                converged[small_idx] = residual_accepted_after_update(
-                    final_norms, self.tolerance)
-                working[small_idx] = False
+                    self.evaluation_log.append(len(idx))
+                evaluation = self.evaluator.evaluate(x_live, lanes=idx)
+                norms = self._residuals(evaluation.values)
+                residuals[idx] = norms
+                iterations[idx] += 1
+
+                done = norms <= self.tolerance
+                converged[idx[done]] = True
+                working[idx[done]] = False
+                if done.all():
+                    continue
+
+                rhs = [-value for value in evaluation.values]
+                # The evaluation is rebuilt from scratch next iteration, so
+                # the solver may consume (mutate) its Jacobian and our rhs.
+                dx, singular = batched_solve(evaluation.jacobian, rhs, backend,
+                                             active=~done, copy=False)
+                failed = singular & ~done
+                residuals[idx[failed]] = np.inf
+                working[idx[failed]] = False
+
+                advance = ~done & ~singular
+                update_norms = self._residuals(dx)
+                # x_live is a fresh gather of the live lanes, so the masked
+                # Newton update may fold into it in place.
+                x_live = backend.iadd_masked(x_live, backend.stack(dx), advance)
+                x[:, idx] = x_live
+
+                # The scalar small-update exit, lane-wise and in this
+                # iteration: re-evaluate the freshly updated small-update
+                # lanes and settle them for good (the iteration counter does
+                # not advance for this final check, matching the scalar
+                # corrector).
+                small = advance & (update_norms <= self.tolerance)
+                if small.any():
+                    small_idx = idx[small]
+                    if self.evaluation_log is not None:
+                        self.evaluation_log.append(len(small_idx))
+                    final = self.evaluator.evaluate(x[:, small_idx], lanes=small_idx)
+                    final_norms = self._residuals(final.values)
+                    residuals[small_idx] = final_norms
+                    converged[small_idx] = residual_accepted_after_update(
+                        final_norms, self.tolerance)
+                    working[small_idx] = False
 
         return BatchNewtonResult(solution=x, converged=converged,
                                  iterations=iterations, residual_norm=residuals)

@@ -1,0 +1,79 @@
+"""Acceptance tests for the fused QD arithmetic: the speedup cannot
+silently regress.
+
+The fast tier asserts the fused kernels beat the unfused reference chains
+by >= 1.5x on the product ops of a small batch (the addition chain has less
+to fuse -- no splits to share -- so it gets a softer floor).  The slow tier
+re-runs the end-to-end qd tracker at batch 64 and checks the >= 2x
+wall-clock win over the checked-in ``BENCH_batch_tracking.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.qd_arith import (
+    QDArithRow,
+    QDTrackerRow,
+    baseline_qd_wall_paths_per_second,
+    qd_arith_report,
+    run_qd_arith_bench,
+    run_qd_tracker_bench,
+)
+
+
+class TestFusedSpeedup:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        rows = run_qd_arith_bench(batch_sizes=(64,), repeats=7)
+        return {row.op: row for row in rows}
+
+    def test_fused_product_ops_beat_reference(self, rows):
+        for op in ("qd_mul", "cqd_mul", "qd_div"):
+            speedup = rows[op].speedup
+            assert speedup >= 1.5, f"{op} fused speedup only {speedup:.2f}x"
+
+    def test_fused_addition_does_not_regress(self, rows):
+        # Addition has no splits to share, so its fusion win is smaller;
+        # the floor only guards against the fused path becoming a loss.
+        assert rows["qd_add"].speedup >= 1.15, (
+            f"qd_add fused speedup only {rows['qd_add'].speedup:.2f}x")
+
+    def test_rows_report_consistent_units(self, rows):
+        for row in rows.values():
+            assert row.fused_ns_per_element > 0
+            assert row.unfused_ns_per_element > 0
+
+
+class TestReportShape:
+    def test_report_includes_baseline_comparison(self, tmp_path):
+        baseline = tmp_path / "BENCH_batch_tracking.json"
+        baseline.write_text(
+            '{"qd": {"rows": [{"paths": 8, "wall_s": 10.0}]}}',
+            encoding="utf-8")
+        arith = [QDArithRow(op="qd_mul", batch=64,
+                            fused_ns_per_element=1.0,
+                            unfused_ns_per_element=2.0)]
+        tracker = [QDTrackerRow(batch_size=64, paths_tracked=64,
+                                paths_converged=64, lane_evaluations=1000,
+                                wall_seconds=4.0)]
+        report = qd_arith_report(arith, tracker, baseline_path=str(baseline))
+        assert report["per_op"][0]["speedup"] == 2.0
+        assert report["baseline_qd_paths_per_s_wall"] == 0.8
+        assert report["wall_speedup_vs_baseline_at_batch_64"] == 20.0
+
+    def test_missing_baseline_degrades_gracefully(self, tmp_path):
+        report = qd_arith_report([], [], baseline_path=str(tmp_path / "nope.json"))
+        assert "baseline_qd_paths_per_s_wall" not in report
+        assert report["per_op"] == [] and report["tracker"] == []
+
+
+@pytest.mark.slow
+def test_qd_tracker_wall_speedup_at_batch_64():
+    baseline = baseline_qd_wall_paths_per_second()
+    assert baseline is not None, "BENCH_batch_tracking.json qd rows missing"
+    rows = run_qd_tracker_bench(batch_sizes=(64,))
+    row = rows[0]
+    assert row.paths_converged == row.paths_tracked
+    win = row.paths_per_second / baseline
+    assert win >= 2.0, f"qd wall throughput win only {win:.2f}x at batch 64"

@@ -1,0 +1,462 @@
+"""Differential and property tests for the fused QD/DD batch kernels.
+
+The fused kernels (:mod:`repro.multiprec.qdarray` / ``ddarray`` with the
+scratch stack from :mod:`repro.multiprec.bufferpool`) must be **bit-for-bit**
+identical to
+
+* the reference out-of-place operation chains (toggled via
+  ``use_fused_kernels(False)``), and
+* the scalar :class:`~repro.multiprec.quad_double.QuadDouble` /
+  :class:`~repro.multiprec.double_double.DoubleDouble` loops,
+
+including on adversarial expansions: overlapping components, signed zeros,
+values past the Dekker split threshold, inf and NaN.  The renormalisation's
+non-finite guard and the insertion pointer's NaN behaviour (both audited in
+this PR) are pinned here against the scalar branch nest.
+
+When ``hypothesis`` is installed the invariants additionally run under its
+adversarial generator; the seeded driver below always runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.multiprec import (
+    ComplexDDArray,
+    ComplexQD,
+    ComplexQDArray,
+    DDArray,
+    DoubleDouble,
+    QDArray,
+    QuadDouble,
+)
+from repro.multiprec.backend import (
+    COMPLEX128_BACKEND,
+    COMPLEX_DD_BACKEND,
+    COMPLEX_QD_BACKEND,
+)
+from repro.multiprec.bufferpool import (
+    one_plane,
+    plane_stack,
+    use_fused_kernels,
+    zero_plane,
+)
+from repro.multiprec.eft import SPLIT_THRESHOLD
+from repro.multiprec.qdarray import _insert_lowest, _renorm4, _renorm5
+from repro.multiprec.quad_double import (
+    _renorm4 as scalar_renorm4,
+    _renorm5 as scalar_renorm5,
+)
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def assert_planes_identical(got, expected) -> None:
+    """Bit-for-bit plane equality; NaNs must sit in the same elements."""
+    got_planes = got if isinstance(got, tuple) else got._components()
+    exp_planes = expected if isinstance(expected, tuple) else expected._components()
+    for g, e in zip(got_planes, exp_planes):
+        g = np.asarray(g)
+        e = np.asarray(e)
+        assert np.array_equal(np.isnan(g), np.isnan(e))
+        mask = ~np.isnan(g)
+        assert np.array_equal(g[mask], e[mask])
+
+
+def assert_dd_identical(got: DDArray, expected: DDArray) -> None:
+    assert_planes_identical((got.hi, got.lo), (expected.hi, expected.lo))
+
+
+def random_qd_array(seed: int, size: int = 32) -> QDArray:
+    rng = np.random.default_rng(seed)
+    full = QDArray.from_float64(rng.normal(size=size))
+    for scale in (1e-17, 1e-34, 1e-51):
+        full = full + QDArray.from_float64(rng.normal(size=size) * scale)
+    return full
+
+
+def random_dd_array(seed: int, size: int = 32) -> DDArray:
+    rng = np.random.default_rng(seed)
+    return DDArray(rng.normal(size=size), rng.normal(size=size) * 1e-17)
+
+
+#: One batch mixing every adversarial shape the renorm and split guards
+#: care about: ordinary values, overlapping (non-canonical) expansions,
+#: signed zeros, magnitudes past the split threshold, inf and NaN.
+ADVERSARIAL_COMPONENTS = np.array([
+    [1.0, 1e-17, 1e-34, 1e-51],
+    [1.0, 1.0, 1.0, 1.0],                      # fully overlapping
+    [0.0, -0.0, 0.0, -0.0],
+    [-0.0, 0.0, -0.0, 0.0],
+    [1e300, -1e284, 1e268, -1e252],
+    [SPLIT_THRESHOLD * 2.0, 1.0, 0.0, 0.0],    # forces the scaling split
+    [np.inf, 1.0, 2.0, 3.0],
+    [-np.inf, np.nan, 0.0, 0.0],
+    [np.nan, 1.0, 2.0, 3.0],
+    [1.0, np.inf, 0.0, 0.0],
+    [1.0, np.nan, 0.0, 0.0],
+    [1e-300, 1e-310, 0.0, 0.0],                # denormal tail
+    [-1.0, 1e-17, -1e-34, 1e-51],
+    [2.0**52, 1.0, 0.5, 0.25],
+])
+
+
+def adversarial_qd_pair():
+    with np.errstate(all="ignore"):
+        a = QDArray(*(ADVERSARIAL_COMPONENTS[:, i].copy() for i in range(4)))
+        rolled = np.roll(ADVERSARIAL_COMPONENTS, 3, axis=0)
+        b = QDArray(*(rolled[:, i].copy() for i in range(4)))
+    return a, b
+
+
+# ----------------------------------------------------------------------
+# fused vs reference vs scalar: the three-way differential
+# ----------------------------------------------------------------------
+class TestFusedMatchesReference:
+    @pytest.mark.parametrize("op", ["add", "sub", "mul", "div"])
+    def test_qd_ops_bit_for_bit(self, op):
+        a_f = random_qd_array(1)
+        b_f = random_qd_array(2)
+        apply = {
+            "add": lambda x, y: x + y,
+            "sub": lambda x, y: x - y,
+            "mul": lambda x, y: x * y,
+            "div": lambda x, y: x / y,
+        }[op]
+        with use_fused_kernels(True):
+            fused = apply(a_f, b_f)
+        with use_fused_kernels(False):
+            a_r = QDArray(a_f.c0.copy(), a_f.c1.copy(), a_f.c2.copy(), a_f.c3.copy())
+            b_r = QDArray(b_f.c0.copy(), b_f.c1.copy(), b_f.c2.copy(), b_f.c3.copy())
+            reference = apply(a_r, b_r)
+        assert_planes_identical(fused, reference)
+
+    @pytest.mark.parametrize("op", ["add", "sub", "mul", "div"])
+    def test_dd_ops_bit_for_bit(self, op):
+        a = random_dd_array(3)
+        b = random_dd_array(4)
+        apply = {
+            "add": lambda x, y: x + y,
+            "sub": lambda x, y: x - y,
+            "mul": lambda x, y: x * y,
+            "div": lambda x, y: x / y,
+        }[op]
+        with use_fused_kernels(True):
+            fused = apply(a, b)
+        with use_fused_kernels(False):
+            reference = apply(a, b)
+        assert_dd_identical(fused, reference)
+
+    def test_qd_ops_match_scalar_loop(self):
+        a = random_qd_array(5)
+        b = random_qd_array(6)
+        with use_fused_kernels(True):
+            total = a + b
+            prod = a * b
+            quot = a / b
+        a_s, b_s = a.to_scalars(), b.to_scalars()
+        for got, x, y in zip(total.to_scalars(), a_s, b_s):
+            assert got.c == (x + y).c
+        for got, x, y in zip(prod.to_scalars(), a_s, b_s):
+            assert got.c == (x * y).c
+        for got, x, y in zip(quot.to_scalars(), a_s, b_s):
+            assert got.c == (x / y).c
+
+    def test_adversarial_expansions(self):
+        a, b = adversarial_qd_pair()
+        with np.errstate(all="ignore"):
+            for apply in (lambda x, y: x + y, lambda x, y: x - y,
+                          lambda x, y: x * y):
+                with use_fused_kernels(True):
+                    fused = apply(a, b)
+                with use_fused_kernels(False):
+                    reference = apply(a, b)
+                assert_planes_identical(fused, reference)
+
+    def test_complex_ops_bit_for_bit(self):
+        a = ComplexQDArray(random_qd_array(7), random_qd_array(8))
+        b = ComplexQDArray(random_qd_array(9), random_qd_array(10))
+        with use_fused_kernels(True):
+            fused = a * b
+        with use_fused_kernels(False):
+            reference = a * b
+        assert_planes_identical(fused.real, reference.real)
+        assert_planes_identical(fused.imag, reference.imag)
+
+    def test_split_threshold_fallback_matches_reference(self):
+        big = QDArray.from_float64(np.array([SPLIT_THRESHOLD * 4, 1.0, -3.5]))
+        small = QDArray.from_float64(np.array([2.0, 0.5, 7.0]))
+        with use_fused_kernels(True):
+            fused = big * small
+        with use_fused_kernels(False):
+            reference = big * small
+        assert_planes_identical(fused, reference)
+
+
+# ----------------------------------------------------------------------
+# the renormalisation guard: inf and NaN lanes in the same batch
+# ----------------------------------------------------------------------
+class TestRenormNonFiniteGuard:
+    def test_vector_renorms_match_scalar_on_mixed_batch(self):
+        comps = ADVERSARIAL_COMPONENTS
+        with np.errstate(all="ignore"):
+            vec4 = _renorm4(*(comps[:, i].copy() for i in range(4)))
+            extra = np.linspace(-1e-40, 1e-40, comps.shape[0])
+            vec5 = _renorm5(*(comps[:, i].copy() for i in range(4)), extra)
+        for row in range(comps.shape[0]):
+            scal4 = scalar_renorm4(*(float(comps[row, i]) for i in range(4)))
+            scal5 = scalar_renorm5(*(float(comps[row, i]) for i in range(4)),
+                                   float(extra[row]))
+            got4 = tuple(float(vec4[i][row]) for i in range(4))
+            got5 = tuple(float(vec5[i][row]) for i in range(4))
+            for g, e in zip(got4 + got5, scal4 + scal5):
+                assert g == e or (np.isnan(g) and np.isnan(e)), (row, g, e)
+
+    def test_inf_lane_kept_untouched(self):
+        with np.errstate(invalid="ignore"):
+            out = _renorm4(np.array([np.inf]), np.array([7.0]),
+                           np.array([8.0]), np.array([9.0]))
+        assert [float(c[0]) for c in out] == [np.inf, 7.0, 8.0, 9.0]
+
+    def test_nan_lane_kept_untouched(self):
+        with np.errstate(invalid="ignore"):
+            out = _renorm4(np.array([np.nan]), np.array([7.0]),
+                           np.array([8.0]), np.array([9.0]))
+        assert np.isnan(out[0][0])
+        assert [float(c[0]) for c in out[1:]] == [7.0, 8.0, 9.0]
+        # The scalar guard agrees: NaN leading components pass through.
+        scal = scalar_renorm4(float("nan"), 7.0, 8.0, 9.0)
+        assert np.isnan(scal[0]) and scal[1:] == (7.0, 8.0, 9.0)
+
+    def test_constructor_applies_guard_on_both_paths(self):
+        planes = (np.array([np.nan, np.inf, 1.0]), np.array([1.0, 2.0, 1e-17]),
+                  np.array([2.0, 3.0, 0.0]), np.array([3.0, 4.0, 0.0]))
+        with np.errstate(all="ignore"):
+            with use_fused_kernels(True):
+                fused = QDArray(*(p.copy() for p in planes))
+            with use_fused_kernels(False):
+                reference = QDArray(*(p.copy() for p in planes))
+        assert_planes_identical(fused, reference)
+        assert np.isnan(fused.c0[0]) and fused.c1[0] == 1.0
+        assert fused.c0[1] == np.inf and fused.c1[1] == 2.0
+
+
+# ----------------------------------------------------------------------
+# insertion pointer vs the scalar branch nest (NaN errors)
+# ----------------------------------------------------------------------
+class TestInsertPointerNaN:
+    def test_nan_error_advances_pointer_like_the_scalar_branch(self):
+        # quick_two_sum(1.0, NaN) yields a NaN error; the scalar branch nest
+        # tests `if s2 != 0.0`, and NaN != 0.0 is True in Python, so the
+        # scalar *descends* (the pointer advances).  The vectorised
+        # insertion must do the same: error != 0.0 is True for NaN.
+        s = [np.array([1.0]), np.array([0.0]), np.array([0.0]), np.array([0.0])]
+        ptr = np.array([0], dtype=np.int64)
+        with np.errstate(invalid="ignore"):
+            new_ptr = _insert_lowest(s, ptr, np.array([np.nan]))
+        assert int(new_ptr[0]) == 1
+        assert np.isnan(s[0][0]) and np.isnan(s[1][0])
+
+    def test_zero_error_does_not_advance(self):
+        s = [np.array([1.0]), np.array([0.0]), np.array([0.0]), np.array([0.0])]
+        ptr = np.array([0], dtype=np.int64)
+        new_ptr = _insert_lowest(s, ptr, np.array([0.5]))
+        assert int(new_ptr[0]) == 0          # 1.0 + 0.5 is exact: no error
+        assert float(s[0][0]) == 1.5
+
+    def test_mid_insertion_nan_matches_scalar_renorm(self):
+        # c0 finite, an inner inf: the prologue manufactures NaN errors that
+        # flow through the insertion loop; fused, reference and scalar must
+        # land on identical planes.
+        c = (1.0, 1e-20, np.inf, 1.0)
+        extra = 1.0
+        with np.errstate(all="ignore"):
+            vec = _renorm5(*(np.array([v]) for v in c), np.array([extra]))
+            with use_fused_kernels(True):
+                fused = QDArray(*(np.array([v]) for v in c))
+            with use_fused_kernels(False):
+                reference = QDArray(*(np.array([v]) for v in c))
+        scal = scalar_renorm5(*c, extra)
+        for got, exp in zip((float(p[0]) for p in vec), scal):
+            assert got == exp or (np.isnan(got) and np.isnan(exp))
+        assert_planes_identical(fused, reference)
+
+
+# ----------------------------------------------------------------------
+# in-place variants
+# ----------------------------------------------------------------------
+class TestInPlaceVariants:
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_qdarray_inplace_ops(self, fused):
+        a = random_qd_array(11)
+        b = random_qd_array(12)
+        mask = np.arange(32) % 3 == 0
+        with use_fused_kernels(fused):
+            acc = a.copy()
+            acc.iadd_(b)
+            assert_planes_identical(acc, a + b)
+            acc = a.copy()
+            acc.isub_(b)
+            assert_planes_identical(acc, a - b)
+            acc = a.copy()
+            acc.iadd_where_(b, mask)
+            assert_planes_identical(acc, QDArray.where(mask, a + b, a))
+
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_ddarray_inplace_ops(self, fused):
+        a = random_dd_array(13)
+        b = random_dd_array(14)
+        mask = np.arange(32) % 2 == 0
+        with use_fused_kernels(fused):
+            acc = a.copy()
+            acc.iadd_(b)
+            assert_dd_identical(acc, a + b)
+            acc = a.copy()
+            acc.isub_(b)
+            assert_dd_identical(acc, a - b)
+            acc = a.copy()
+            acc.iadd_where_(b, mask)
+            assert_dd_identical(acc, DDArray.where(mask, a + b, a))
+
+    def test_inplace_add_aliasing_self(self):
+        a = random_qd_array(15)
+        with use_fused_kernels(True):
+            doubled = a + a
+            acc = a.copy()
+            acc.iadd_(acc)
+        assert_planes_identical(acc, doubled)
+
+    @pytest.mark.parametrize("backend", [COMPLEX128_BACKEND, COMPLEX_DD_BACKEND,
+                                         COMPLEX_QD_BACKEND],
+                             ids=lambda b: b.name)
+    def test_backend_inplace_interface(self, backend):
+        rng = np.random.default_rng(20120521)
+        z = rng.normal(size=(3, 8)) + 1j * rng.normal(size=(3, 8))
+        w = rng.normal(size=(3, 8)) + 1j * rng.normal(size=(3, 8))
+        f = rng.normal(size=(3, 8)) + 1j * rng.normal(size=(3, 8))
+        mask = np.array([True, False, True, False, True, True, False, False])
+
+        def fresh(values):
+            return backend.from_points([list(col) for col in values.T])
+
+        expected_add = fresh(z) + fresh(w)
+        got = backend.iadd(fresh(z), fresh(w))
+        np.testing.assert_array_equal(backend.to_complex128(got),
+                                      backend.to_complex128(expected_add))
+
+        expected_sub = fresh(z) - fresh(f) * fresh(w)
+        got = backend.isub_mul(fresh(z), fresh(f), fresh(w))
+        np.testing.assert_array_equal(backend.to_complex128(got),
+                                      backend.to_complex128(expected_sub))
+
+        expected_masked = backend.where(mask, fresh(z) + fresh(w), fresh(z))
+        got = backend.iadd_masked(fresh(z), fresh(w), mask)
+        np.testing.assert_array_equal(backend.to_complex128(got),
+                                      backend.to_complex128(expected_masked))
+
+    def test_complex_isub_mul_bit_for_bit(self):
+        acc = ComplexQDArray(random_qd_array(16), random_qd_array(17))
+        f = ComplexQDArray(random_qd_array(18), random_qd_array(19))
+        v = ComplexQDArray(random_qd_array(20), random_qd_array(21))
+        with use_fused_kernels(True):
+            expected = acc - f * v
+            got = acc.copy().isub_mul_(f, v)
+        assert_planes_identical(got.real, expected.real)
+        assert_planes_identical(got.imag, expected.imag)
+        acc_dd = ComplexDDArray(random_dd_array(22), random_dd_array(23))
+        f_dd = ComplexDDArray(random_dd_array(24), random_dd_array(25))
+        v_dd = ComplexDDArray(random_dd_array(26), random_dd_array(27))
+        with use_fused_kernels(True):
+            expected = acc_dd - f_dd * v_dd
+            got = acc_dd.copy().isub_mul_(f_dd, v_dd)
+        assert_dd_identical(got.real, expected.real)
+        assert_dd_identical(got.imag, expected.imag)
+
+
+# ----------------------------------------------------------------------
+# the scratch stack and cached planes
+# ----------------------------------------------------------------------
+class TestPlaneStack:
+    def test_stack_balances_after_ops(self):
+        stack = plane_stack()
+        a = random_qd_array(28)
+        b = random_qd_array(29)
+        with use_fused_kernels(True):
+            _ = a + b
+            _ = a * b
+            _ = a / b
+        assert stack.depth() == 0
+
+    def test_takes_nest(self):
+        stack = plane_stack()
+        outer, outer_mark = stack.take((4,), 2)
+        inner, inner_mark = stack.take((4,), 2)
+        assert not any(o is i for o in outer for i in inner)
+        stack.release(inner_mark)
+        again, again_mark = stack.take((4,), 2)
+        assert all(x is y for x, y in zip(inner, again))
+        stack.release(again_mark)
+        stack.release(outer_mark)
+
+    def test_cached_planes_are_read_only(self):
+        z = zero_plane((5,))
+        o = one_plane((5,))
+        assert np.all(z == 0.0) and np.all(o == 1.0)
+        with pytest.raises(ValueError):
+            z[0] = 1.0
+        with pytest.raises(ValueError):
+            o[0] = 0.0
+        assert zero_plane((5,)) is z
+
+
+# ----------------------------------------------------------------------
+# hypothesis layer (seeded fallback above always runs)
+# ----------------------------------------------------------------------
+if HAVE_HYPOTHESIS:
+    component = st.floats(min_value=-1e30, max_value=1e30,
+                          allow_nan=False, allow_infinity=False)
+    special = st.sampled_from([0.0, -0.0, np.inf, -np.inf, np.nan,
+                               SPLIT_THRESHOLD * 2, 1e-310])
+    any_component = st.one_of(component, special)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(component, component, component, component),
+                    min_size=1, max_size=8))
+    def test_hypothesis_fused_ops_match_reference(rows):
+        comps = np.array(rows)
+        with np.errstate(all="ignore"):
+            a = QDArray(*(comps[:, i].copy() for i in range(4)))
+            b = QDArray(*(np.roll(comps, 1, axis=0)[:, i].copy() for i in range(4)))
+            for apply in (lambda x, y: x + y, lambda x, y: x * y):
+                with use_fused_kernels(True):
+                    fused = apply(a, b)
+                with use_fused_kernels(False):
+                    reference = apply(a, b)
+                assert_planes_identical(fused, reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(any_component, any_component,
+                              any_component, any_component),
+                    min_size=1, max_size=8))
+    def test_hypothesis_renorm_matches_scalar(rows):
+        comps = np.array(rows)
+        with np.errstate(all="ignore"):
+            vec = _renorm4(*(comps[:, i].copy() for i in range(4)))
+            with use_fused_kernels(True):
+                fused = QDArray(*(comps[:, i].copy() for i in range(4)))
+        for row in range(comps.shape[0]):
+            scal = scalar_renorm4(*(float(comps[row, i]) for i in range(4)))
+            for plane, planef, e in zip(vec, fused._components(), scal):
+                g = float(plane[row])
+                gf = float(planef[row])
+                assert g == e or (np.isnan(g) and np.isnan(e))
+                assert gf == e or (np.isnan(gf) and np.isnan(e))

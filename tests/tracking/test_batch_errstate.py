@@ -1,0 +1,140 @@
+"""Dead/diverged lanes must not spray RuntimeWarnings.
+
+The batched engine keeps retired and diverging lanes inside the arrays and
+masks them out of the control flow, so inf/NaN legitimately flow through
+the masked arithmetic (``inf - inf`` in a two_sum, ``|pivot|^2`` overflow
+in the singularity guard, ...).  Before this audit every such lane emitted
+NumPy RuntimeWarnings; the hot loops now run inside
+:func:`repro.multiprec.backend.masked_lane_errstate`.  These tests promote
+RuntimeWarning to an error (the in-process form of running pytest with
+``-W error::RuntimeWarning``) and drive batches with one diverged lane
+through the solver, the corrector and the full tracker.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.multiprec.backend import (
+    COMPLEX128_BACKEND,
+    COMPLEX_DD_BACKEND,
+    COMPLEX_QD_BACKEND,
+    masked_lane_errstate,
+)
+from repro.multiprec.numeric import DOUBLE, DOUBLE_DOUBLE
+from repro.polynomials.monomial import Monomial
+from repro.polynomials.polynomial import Polynomial
+from repro.polynomials.system import PolynomialSystem
+from repro.tracking.batch_linsolve import batched_solve
+from repro.tracking.batch_tracker import BatchTracker, PathStatus
+from repro.tracking.homotopy import BatchHomotopy
+from repro.tracking.newton import BatchNewtonCorrector
+from repro.tracking.start_systems import start_solutions, total_degree_start_system
+
+
+@contextmanager
+def runtime_warnings_are_errors():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        yield
+
+
+def quadratic_system() -> PolynomialSystem:
+    # x_i^2 - x_{(i+1) mod 2}: well-conditioned away from zero.
+    polys = [
+        Polynomial([(1 + 0j, Monomial((0,), (2,))),
+                    (-1 + 0j, Monomial((1,), (1,)))]),
+        Polynomial([(1 + 0j, Monomial((1,), (2,))),
+                    (-1 + 0j, Monomial((0,), (1,)))]),
+    ]
+    return PolynomialSystem(polys, dimension=2)
+
+
+@pytest.mark.parametrize("backend", [COMPLEX128_BACKEND, COMPLEX_DD_BACKEND,
+                                     COMPLEX_QD_BACKEND],
+                         ids=lambda b: b.name)
+class TestBatchedSolveSilent:
+    def test_inf_lane_stays_silent_and_flagged(self, backend):
+        # Lane 0 is an ordinary system; lane 1 carries inf/NaN entries (a
+        # diverged path whose Jacobian went non-finite).  Packing non-finite
+        # scalars renormalises them, so the *setup* runs under errstate; the
+        # solve itself must stay silent on its own.
+        def entry(good, bad):
+            with np.errstate(all="ignore"):
+                return backend.from_points([[good], [bad]])[0]
+
+        matrix = [[entry(2.0, np.inf), entry(1.0, np.nan)],
+                  [entry(1.0, np.inf), entry(3.0, np.inf)]]
+        rhs = [entry(1.0, np.inf), entry(2.0, np.nan)]
+        with runtime_warnings_are_errors():
+            solution, singular = batched_solve(matrix, rhs, backend)
+        # The healthy lane solves exactly: 2x + y = 1, x + 3y = 2.
+        x = backend.to_complex128(solution[0])[0]
+        y = backend.to_complex128(solution[1])[0]
+        assert abs(2 * x + y - 1) < 1e-10
+        assert abs(x + 3 * y - 2) < 1e-10
+
+    def test_huge_pivot_magnitudes_stay_silent(self, backend):
+        # |pivot|^2 overflows double for ~1e200 entries -- the singularity
+        # guard squares magnitudes and must do so inside the errstate scope.
+        def entry(good, bad):
+            return backend.from_points([[good], [bad]])[0]
+
+        matrix = [[entry(1.0, 1e200), entry(0.0, 0.0)],
+                  [entry(0.0, 0.0), entry(1.0, 1e200)]]
+        rhs = [entry(1.0, 1e200), entry(1.0, 1e200)]
+        with runtime_warnings_are_errors():
+            solution, singular = batched_solve(matrix, rhs, backend)
+        assert not singular[0]
+
+
+class TestCorrectorSilent:
+    @pytest.mark.parametrize("context", [DOUBLE, DOUBLE_DOUBLE],
+                             ids=lambda c: c.name)
+    def test_diverged_lane_stays_silent(self, context):
+        target = quadratic_system()
+        start = total_degree_start_system(target)
+        homotopy = BatchHomotopy(start, target, context=context)
+        backend = homotopy.backend
+        # Lane 0: a genuine start solution.  Lane 1: astronomically far off,
+        # so Newton squares it into overflow (inf) within an iteration.
+        good = list(start_solutions(target))[0]
+        bad = [1e200 + 0j, 1e200 + 0j]
+        points = backend.from_points([good, bad])
+        corrector = BatchNewtonCorrector(homotopy.at(np.zeros(2)), backend,
+                                         tolerance=1e-10, max_iterations=6)
+        with runtime_warnings_are_errors():
+            result = corrector.correct(points, np.array([True, True]))
+        assert result.converged[0]
+        assert not result.converged[1]
+
+
+class TestTrackerSilent:
+    def test_batch_with_one_diverged_lane_tracks_silently(self):
+        target = quadratic_system()
+        start = total_degree_start_system(target)
+        starts = list(start_solutions(target))
+        # Poison one lane with a start point that does not satisfy the start
+        # system and blows up under correction.
+        poisoned = starts + [[1e200 + 0j, 1e200 + 0j]]
+        tracker = BatchTracker(start, target, context=DOUBLE)
+        with runtime_warnings_are_errors():
+            results = tracker.track_many(poisoned)
+        healthy = results[:len(starts)]
+        assert all(r.success for r in healthy)
+        assert not results[-1].success
+
+    def test_masked_lane_errstate_suppresses_fp_warnings(self):
+        with runtime_warnings_are_errors():
+            with masked_lane_errstate():
+                np.array([np.inf]) - np.array([np.inf])
+                np.array([1e200]) * np.array([1e200])
+                np.array([1.0]) / np.array([0.0])
+        # ... and outside the scope the warning machinery still works.
+        with pytest.raises((RuntimeWarning, FloatingPointError)):
+            with runtime_warnings_are_errors():
+                np.array([np.inf]) - np.array([np.inf])
