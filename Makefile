@@ -2,7 +2,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-all docs bench-batch bench-qd bench-tables bench-json
+.PHONY: test test-all docs bench-batch bench-qd bench-eval bench-tables bench-json
 
 # Tier-1: the fast suite (pytest.ini deselects @pytest.mark.slow).
 test:
@@ -28,6 +28,11 @@ bench-batch:
 bench-qd:
 	$(PY) benchmarks/bench_qd_arith.py
 
+# Compiled evaluation plans: plan-vs-walk op counts, evaluate_batch
+# throughput per rung, and end-to-end qd tracker wall with plans on/off.
+bench-eval:
+	$(PY) benchmarks/bench_eval_plan.py
+
 # Machine-readable perf trajectory: batch-tracking, escalation and fused
 # qd-arithmetic sweeps as JSON (paths/sec per context and batch size;
 # per-rung escalation pricing; fused-kernel speedups).
@@ -35,6 +40,7 @@ bench-json:
 	$(PY) benchmarks/bench_batch_tracking.py --json BENCH_batch_tracking.json
 	$(PY) benchmarks/bench_escalation.py --json BENCH_escalation.json
 	$(PY) benchmarks/bench_qd_arith.py --json BENCH_qd_arith.json
+	$(PY) benchmarks/bench_eval_plan.py --json BENCH_eval_plan.json
 
 # Regenerate the paper-table benchmarks (explicit file list: bench_* files
 # are not collected by default).

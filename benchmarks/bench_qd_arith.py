@@ -22,6 +22,7 @@ import json
 
 from repro.bench.qd_arith import (
     qd_arith_report,
+    run_dd_small_batch_bench,
     run_qd_arith_bench,
     run_qd_tracker_bench,
 )
@@ -34,7 +35,8 @@ TRACKER_BATCHES = (8, 64)
 def sweep(arith_batches=ARITH_BATCHES, tracker_batches=TRACKER_BATCHES):
     arith_rows = run_qd_arith_bench(batch_sizes=arith_batches)
     tracker_rows = run_qd_tracker_bench(batch_sizes=tracker_batches)
-    return arith_rows, tracker_rows
+    small_rows = run_dd_small_batch_bench()
+    return arith_rows, tracker_rows, small_rows
 
 
 def test_fused_ops_beat_reference():
@@ -50,12 +52,15 @@ if __name__ == "__main__":
                         help="also write the report as JSON to PATH")
     json_path = parser.parse_args().json
 
-    arith_rows, tracker_rows = sweep()
+    arith_rows, tracker_rows, small_rows = sweep()
     print(format_table([r.as_dict() for r in arith_rows],
                        title="fused vs unfused qd/dd batch arithmetic"))
     print(format_table([r.as_dict() for r in tracker_rows],
                        title="qd BatchTracker wall-clock throughput (dim 3)"))
-    report = qd_arith_report(arith_rows, tracker_rows)
+    print(format_table([r.as_dict() for r in small_rows],
+                       title="dd add/sub fused-vs-reference crossover"))
+    report = qd_arith_report(arith_rows, tracker_rows,
+                             small_batch_rows=small_rows)
     if "baseline_qd_paths_per_s_wall" in report:
         print(f"-> checked-in qd baseline: "
               f"{report['baseline_qd_paths_per_s_wall']:.3f} paths/s wall")

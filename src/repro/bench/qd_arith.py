@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..multiprec.bufferpool import use_fused_kernels
+from ..multiprec.bufferpool import DD_ADDSUB_FUSED_MIN_ELEMENTS, use_fused_kernels
 from ..multiprec.ddarray import DDArray
 from ..multiprec.numeric import QUAD_DOUBLE
 from ..multiprec.qdarray import ComplexQDArray, QDArray
@@ -44,6 +44,7 @@ __all__ = [
     "QDTrackerRow",
     "baseline_qd_wall_paths_per_second",
     "qd_arith_report",
+    "run_dd_small_batch_bench",
     "run_qd_arith_bench",
     "run_qd_tracker_bench",
 ]
@@ -169,6 +170,43 @@ def run_qd_arith_bench(batch_sizes: Sequence[int] = (64, 256),
     return rows
 
 
+def run_dd_small_batch_bench(batch_sizes: Sequence[int] = (8, 64, 256, 1024, 4096, 16384),
+                             repeats: int = 5) -> List[QDArithRow]:
+    """Fused-vs-reference dd add/sub across batch sizes, crossover finder.
+
+    The dd addition chain has no Dekker splits to share, so its fused
+    variant only repackages the same two_sum sequence behind scratch-plane
+    bookkeeping -- a fixed cost that dominates tiny batches.  This sweep
+    *forces* each path (``use_fused_kernels`` bypasses the size gate) to
+    measure where the fused kernels actually start winning; the measured
+    rows and the production threshold
+    (:data:`repro.multiprec.bufferpool.DD_ADDSUB_FUSED_MIN_ELEMENTS`, which
+    routes smaller batches to the reference chains automatically) are
+    recorded in the ``small_batch`` section of ``BENCH_qd_arith.json``.
+    """
+    rows: List[QDArithRow] = []
+    for batch in batch_sizes:
+        batch = int(batch)
+        da = _rand_dd(batch, 21)
+        db = _rand_dd(batch, 22)
+        for name, op in (("dd_add", lambda: da + db),
+                         ("dd_sub", lambda: da - db)):
+            inner = max(3, min(200, 50000 // batch))
+            with use_fused_kernels(True):
+                op()
+                fused = _best_seconds(op, repeats, inner)
+            with use_fused_kernels(False):
+                op()
+                unfused = _best_seconds(op, repeats, inner)
+            rows.append(QDArithRow(
+                op=name,
+                batch=batch,
+                fused_ns_per_element=fused / batch * 1e9,
+                unfused_ns_per_element=unfused / batch * 1e9,
+            ))
+    return rows
+
+
 def run_qd_tracker_bench(batch_sizes: Sequence[int] = (8, 64),
                          dimension: int = 3) -> List[QDTrackerRow]:
     """Wall-clock qd tracking throughput, start set replicated per batch.
@@ -221,7 +259,8 @@ def baseline_qd_wall_paths_per_second(path="BENCH_batch_tracking.json"
 
 def qd_arith_report(arith_rows: Sequence[QDArithRow],
                     tracker_rows: Sequence[QDTrackerRow],
-                    baseline_path: str = "BENCH_batch_tracking.json") -> Dict:
+                    baseline_path: str = "BENCH_batch_tracking.json",
+                    small_batch_rows: Optional[Sequence[QDArithRow]] = None) -> Dict:
     """Assemble the ``BENCH_qd_arith.json`` payload."""
     baseline = baseline_qd_wall_paths_per_second(baseline_path)
     wide = [r for r in tracker_rows if r.batch_size >= 64]
@@ -230,6 +269,11 @@ def qd_arith_report(arith_rows: Sequence[QDArithRow],
         "per_op": [row.as_dict() for row in arith_rows],
         "tracker": [row.as_dict() for row in tracker_rows],
     }
+    if small_batch_rows is not None:
+        report["small_batch"] = {
+            "rows": [row.as_dict() for row in small_batch_rows],
+            "dd_addsub_fused_min_elements": DD_ADDSUB_FUSED_MIN_ELEMENTS,
+        }
     if baseline is not None:
         report["baseline_qd_paths_per_s_wall"] = baseline
         if best_wide is not None:

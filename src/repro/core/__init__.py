@@ -15,6 +15,13 @@
 """
 
 from .batch import BatchEvaluator, BatchResult, BatchStatistics
+from .evalplan import (
+    EvaluationPlan,
+    HomotopyPlan,
+    PlanOpCounts,
+    eval_plans_enabled,
+    use_eval_plans,
+)
 from .common_factor_kernel import CommonFactorFromScratchKernel, CommonFactorKernel
 from .cpu_reference import CPUEvaluation, CPUReferenceEvaluator
 from .evaluator import GPUEvaluation, GPUEvaluator
@@ -39,6 +46,7 @@ from .opcounts import (
     expected_counts,
     kernel1_multiplications_per_thread,
     kernel2_multiplications_per_thread,
+    sharing_report,
     speelpenning_multiplications,
 )
 from .speelpenning_kernel import SpeelpenningKernel
@@ -62,23 +70,29 @@ __all__ = [
     "ComparisonReport",
     "CPUEvaluation",
     "CPUReferenceEvaluator",
+    "EvaluationPlan",
     "GPUEvaluation",
     "GPUEvaluator",
+    "HomotopyPlan",
     "KernelOperationCounts",
     "MonomialRecord",
     "MulticoreEvaluator",
     "PackedCommonFactorKernel",
+    "PlanOpCounts",
     "PackedSpeelpenningKernel",
     "SharedMemoryBudget",
     "SpeelpenningKernel",
     "SummationKernel",
     "SystemLayout",
     "compare_evaluations",
+    "eval_plans_enabled",
     "expected_counts",
     "kernel1_multiplications_per_thread",
     "kernel2_multiplications_per_thread",
     "partition_monomials",
     "shared_memory_budget",
+    "sharing_report",
     "speelpenning_multiplications",
+    "use_eval_plans",
     "validate_evaluator",
 ]

@@ -1,0 +1,728 @@
+"""Compiled evaluation plans: the per-system schedule, built once.
+
+The paper's premise (section 3) is that the polynomial system is *fixed* for
+the whole run -- 100,000 evaluations of one system inside a path tracker --
+so everything that depends only on the system's shape should be decided
+once, not rediscovered on every predictor/corrector call.  The walk-the-terms
+evaluator (:class:`~repro.core.batch.VectorisedBatchEvaluator.evaluate`)
+re-derives three things per call that never change:
+
+1. **powers** -- ``x^(a-1)`` is recomputed per *term*, although every term
+   of every polynomial draws from the same per-variable power ladder;
+2. **Speelpenning sweeps** -- the forward/backward gradient sweep runs per
+   *monomial*, although monomials frequently share their support (the same
+   variables occurring, possibly with different exponents), and a homotopy
+   evaluates *two* systems whose supports overlap heavily (a total-degree
+   start system reuses the target's variables);
+3. **blended temporaries** -- the convex homotopy blend
+   ``gamma (1-t) g + t f`` materialises ``n^2 + 2n`` fresh arrays per call,
+   two weighted products and an addition for every Jacobian entry, including
+   the structurally zero ones.
+
+An :class:`EvaluationPlan` compiles one :class:`~repro.polynomials.system.
+PolynomialSystem` -- and a :class:`HomotopyPlan` compiles a start+target
+*pair* -- into a static schedule executed per batch:
+
+* per-variable **power tables** built once per evaluation with the *same
+  multiply chain* as the walk path (the binary ``**`` ladder), so every
+  term's powers are bit-for-bit identical and computed once per variable
+  and exponent instead of once per term;
+* **deduplicated supports**: each unique Speelpenning sweep runs once and
+  its gradient/product planes are shared by every consuming term across all
+  polynomials and (for :class:`HomotopyPlan`) across both systems; the
+  derived common-factor, monomial-value and scaled-gradient planes are
+  deduplicated the same way, keyed by their exact operands;
+* a precomputed **accumulation schedule** that lands ``coeff*cf*product``
+  and the scaled gradient contributions directly into the value/Jacobian
+  accumulators through the in-place backend kernels
+  (:meth:`~repro.multiprec.backend.ComplexBatchBackend.iadd` /
+  :meth:`~repro.multiprec.backend.ComplexBatchBackend.iadd_mul`), preserving
+  the walk path's per-accumulator operand order exactly;
+* for :class:`HomotopyPlan`, the homotopy blend and ``dh/dt = f - gamma g``
+  fused into the same pass: per-system accumulators are combined entry-wise
+  with ``iadd_mul`` / ``isub_mul``, structurally zero Jacobian entries skip
+  their weighted products entirely, and ``dh/dt`` lands in place in the
+  target accumulators -- no blended temporaries.
+
+Because every shared plane carries bit-identical values and every
+accumulator receives the identical sequence of identical addends, the
+single-system plan reproduces the walk path *bit for bit* (including the
+inf/NaN propagation of masked dead lanes).  The homotopy plan is bit-for-bit
+on the value rows and the t-derivative and on every Jacobian entry where
+both systems contribute; entries touched by only one system skip the walk
+path's multiplication of a zeros row by the other weight (equal under
+``==``, differing at most in the sign of a signed zero).
+
+Both plans expose compile-time operation counts (:class:`PlanOpCounts`, in
+multiprecision-multiplication units: a ``**e`` counts as its dd/qd binary
+multiply chain) next to the matching counts of the walk path, which is how
+``BENCH_eval_plan.json`` and the ``tests/bench`` acceptance tests assert the
+plan never schedules more work than the walk and wins >= 1.5x on workloads
+with shared supports.
+
+The module-wide toggle (:func:`use_eval_plans`, default on) mirrors the
+fused-kernel switch of :mod:`repro.multiprec.bufferpool`: the walk path is
+kept as the differential reference, and flipping the toggle only trades
+execution schedule, never results.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..multiprec.backend import ComplexBatchBackend, backend_for_context
+from ..multiprec.numeric import DOUBLE, NumericContext
+from ..polynomials.speelpenning import speelpenning_gradient
+from ..polynomials.system import PolynomialSystem
+
+__all__ = [
+    "EvaluationPlan",
+    "HomotopyPlan",
+    "PlanOpCounts",
+    "eval_plans_enabled",
+    "homotopy_walk_op_counts",
+    "pow_chain_multiplications",
+    "require_lane_batch",
+    "use_eval_plans",
+    "walk_op_counts",
+]
+
+
+# ----------------------------------------------------------------------
+# the toggle (mirrors bufferpool.use_fused_kernels)
+# ----------------------------------------------------------------------
+_PLANS_ENABLED = True
+
+
+def eval_plans_enabled() -> bool:
+    """Whether batch evaluators dispatch to their compiled plans."""
+    return _PLANS_ENABLED
+
+
+@contextmanager
+def use_eval_plans(enabled: bool):
+    """Temporarily force the compiled-plan (or walk-the-terms) path.
+
+    The walk path replays the original per-term loops; the differential
+    tests run both and compare, so this switch exists for them and for the
+    plan-vs-walk benchmark, not for results.
+    """
+    global _PLANS_ENABLED
+    previous = _PLANS_ENABLED
+    _PLANS_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _PLANS_ENABLED = previous
+
+
+def require_lane_batch(points, dimension: int) -> None:
+    """Reject inputs that are not an ``(n, B)`` lane batch.
+
+    The batched evaluators index ``points[p]`` per variable and read the
+    lane count off ``shape[1]``; a 1-D array (a single point passed where a
+    batch is expected) used to be silently misread as ``B = n`` lanes of a
+    0-d system.  Raise instead, naming the expected layout.
+
+    Raises
+    ------
+    ConfigurationError
+        When ``points`` has no 2-D shape or its leading axis is not the
+        system dimension.
+    """
+    shape = getattr(points, "shape", None)
+    if shape is None or len(shape) != 2:
+        raise ConfigurationError(
+            f"batched evaluation expects an (n, B) lane batch with "
+            f"n = {dimension} (one column per point); got "
+            f"{'no array' if shape is None else f'shape {tuple(shape)}'} -- "
+            f"pack points with backend.from_points(list_of_points)"
+        )
+    if int(shape[0]) != int(dimension):
+        raise ConfigurationError(
+            f"lane batch has {int(shape[0])} rows but the system dimension "
+            f"is {dimension}; expected shape ({dimension}, B)"
+        )
+
+
+# ----------------------------------------------------------------------
+# operation counting (multiprecision-multiplication units)
+# ----------------------------------------------------------------------
+def pow_chain_multiplications(exponent: int) -> int:
+    """Multiplications of the ``**`` binary ladder for ``x ** exponent``.
+
+    This replays the loop of ``DDArray.__pow__`` / ``QDArray.__pow__``:
+    one multiply per set bit (into the running result, which starts at the
+    ones array) and one squaring per loop round -- including the final,
+    unused squaring, which the walk path pays too.  ``x ** 0`` is free.
+    The ``d`` backend evaluates ``**`` as a single ``np.power`` ufunc; the
+    counts here are in the multiprecision-chain units the dd/qd rungs
+    actually execute, the currency of the plan-vs-walk comparisons.
+    """
+    muls = 0
+    e = int(exponent)
+    while e:
+        if e & 1:
+            muls += 1
+        muls += 1  # base = base * base, unconditionally
+        e >>= 1
+    return muls
+
+
+@dataclass(frozen=True)
+class PlanOpCounts:
+    """Batch-array operations of one evaluation (complex mul/add units).
+
+    One unit is one vectorised complex batch-array operation over the ``B``
+    lanes; each costs a fixed number of multiprecision component operations
+    in the dd/qd rungs.  Powers are counted as their binary multiply chains
+    (:func:`pow_chain_multiplications`).
+    """
+
+    multiplications: int = 0
+    additions: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.multiplications + self.additions
+
+    def __add__(self, other: "PlanOpCounts") -> "PlanOpCounts":
+        return PlanOpCounts(self.multiplications + other.multiplications,
+                            self.additions + other.additions)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"multiplications": self.multiplications,
+                "additions": self.additions,
+                "total": self.total}
+
+
+def walk_op_counts(system: PolynomialSystem) -> PlanOpCounts:
+    """Operation count of one walk-the-terms batched evaluation.
+
+    Mirrors :meth:`repro.core.batch.VectorisedBatchEvaluator.evaluate`
+    exactly: powers, common factors, Speelpenning sweeps and coefficient
+    products are re-derived per term, with no sharing.
+    """
+    muls = 0
+    adds = 0
+    for poly in system:
+        value_terms = 0
+        row_contributions: Dict[int, int] = {}
+        for _, mono in poly.terms:
+            k = len(mono.positions)
+            if value_terms:
+                adds += 1  # iadd into the value accumulator
+            value_terms += 1
+            if k == 0:
+                continue
+            n_gt1 = sum(1 for e in mono.exponents if e > 1)
+            muls += sum(pow_chain_multiplications(e - 1)
+                        for e in mono.exponents if e > 1)
+            muls += max(0, n_gt1 - 1)            # common-factor chain
+            muls += max(0, 3 * k - 6)            # Speelpenning sweep
+            if k >= 2:
+                muls += 1                        # product = grad[-1] * last
+            if n_gt1:
+                muls += 1                        # monomial_value = cf * prod
+            muls += 1                            # term_value = coeff * mv
+            for p in mono.positions:
+                if k == 1:
+                    muls += 1 if n_gt1 else 0    # common * scale (or full)
+                else:
+                    muls += (1 if n_gt1 else 0)  # base = common * grad_j
+                    muls += 1                    # scale * base
+                if row_contributions.get(p):
+                    adds += 1                    # iadd into the row entry
+                row_contributions[p] = row_contributions.get(p, 0) + 1
+    return PlanOpCounts(muls, adds)
+
+
+def homotopy_walk_op_counts(start_system: PolynomialSystem,
+                            target_system: PolynomialSystem) -> PlanOpCounts:
+    """Operation count of one walk-path batched homotopy evaluation.
+
+    Two independent system walks plus the dense blend of
+    :meth:`repro.tracking.homotopy.BatchHomotopy.evaluate_batch`: every
+    value row and every Jacobian entry (including structural zeros) pays
+    two weighted products and an addition, and each ``dh/dt`` row one
+    product and one subtraction.
+    """
+    n = target_system.dimension
+    blend = PlanOpCounts(
+        multiplications=2 * (n * n + n) + n,
+        additions=(n * n + n) + n,
+    )
+    return (walk_op_counts(start_system) + walk_op_counts(target_system)
+            + blend)
+
+
+# ----------------------------------------------------------------------
+# the compiler
+# ----------------------------------------------------------------------
+# Operand atoms of schedule entries: ("plane", pid) refers to a shared
+# plane; ("scalar", z) is a Python complex weight; ("full", z) materialises
+# a constant batch row on use (what the walk's ``backend.full`` does).
+
+@dataclass
+class _PolySchedule:
+    """Accumulation schedule of one polynomial: value + sparse Jacobian row."""
+
+    value: List[tuple] = field(default_factory=list)
+    jacobian: Dict[int, List[tuple]] = field(default_factory=dict)
+
+
+class _MulOp:
+    """One pending ``a * b`` accumulation, dedup-keyed on its exact operands."""
+
+    __slots__ = ("key", "a", "b")
+
+    def __init__(self, key: tuple, a: tuple, b: tuple):
+        self.key = key
+        self.a = a
+        self.b = b
+
+
+class _Compiler:
+    """Builds the shared plane list and per-polynomial schedules.
+
+    Plane specs are emitted in dependency order (a spec only references
+    earlier pids), deduplicated by a structural key, so executing the spec
+    list top to bottom computes every shared plane exactly once.  Term-level
+    products (``coeff * monomial_value`` and the scaled gradient
+    contributions) are kept abstract during compilation; :meth:`finalize`
+    materialises the multi-consumer ones as shared planes and inlines the
+    rest into their accumulator's ``seed_mul`` / ``add_mul`` entry.
+    """
+
+    def __init__(self) -> None:
+        self.specs: List[tuple] = []
+        self._index: Dict[tuple, int] = {}
+        self._pending: List[Tuple[List, _PolySchedule]] = []
+        self._consumers: Dict[tuple, int] = {}
+        self.terms = 0
+        self.constant_terms = 0
+        self.supports: set = set()
+        self.monomials: set = set()
+
+    # -- plane emission -------------------------------------------------
+    def _emit(self, key: tuple, spec: tuple) -> int:
+        pid = self._index.get(key)
+        if pid is None:
+            pid = len(self.specs)
+            self.specs.append(spec)
+            self._index[key] = pid
+        return pid
+
+    def _row(self, p: int) -> int:
+        return self._emit(("row", p), ("row", p))
+
+    def _power(self, p: int, e: int) -> int:
+        return self._emit(("power", p, e), ("power", self._row(p), e))
+
+    def _sweep(self, positions: Tuple[int, ...]) -> int:
+        rows = tuple(self._row(p) for p in positions)
+        return self._emit(("sweep", positions), ("sweep", rows))
+
+    def _grad(self, positions: Tuple[int, ...], j: int) -> int:
+        sid = self._sweep(positions)
+        return self._emit(("grad", positions, j), ("grad", sid, j))
+
+    def _product(self, positions: Tuple[int, ...]) -> int:
+        k = len(positions)
+        if k == 1:
+            return self._row(positions[0])
+        last = self._grad(positions, k - 1)
+        return self._emit(("product", positions),
+                          ("mul", ("plane", last),
+                           ("plane", self._row(positions[-1]))))
+
+    def _common(self, positions, exponents) -> Optional[int]:
+        # Keyed by the power planes themselves, not the full monomial:
+        # x0^3*x1 and x0^3*x2 share one common-factor chain.  A single
+        # power *is* the common factor -- no chain plane needed.
+        powers = tuple(self._power(p, e - 1)
+                       for p, e in zip(positions, exponents) if e > 1)
+        if not powers:
+            return None
+        if len(powers) == 1:
+            return powers[0]
+        return self._emit(("common", powers), ("chain", powers))
+
+    def _monomial_value(self, positions, exponents) -> int:
+        common = self._common(positions, exponents)
+        product = self._product(positions)
+        if common is None:
+            return product
+        return self._emit(("mvalue", positions, exponents),
+                          ("mul", ("plane", common), ("plane", product)))
+
+    def _base(self, positions, exponents, j: int) -> int:
+        common = self._common(positions, exponents)
+        grad = self._grad(positions, j)
+        if common is None:
+            return grad
+        return self._emit(("base", positions, exponents, j),
+                          ("mul", ("plane", common), ("plane", grad)))
+
+    # -- term registration ----------------------------------------------
+    def compile_system(self, system: PolynomialSystem) -> List[_PolySchedule]:
+        """Register one system's terms; schedules fill in at finalize()."""
+        schedules: List[_PolySchedule] = []
+        for poly in system:
+            value_ops: List = []
+            jac_ops: Dict[int, List] = {}
+            for coeff, mono in poly.terms:
+                coeff = complex(coeff)
+                positions, exponents = mono.positions, mono.exponents
+                k = len(positions)
+                self.terms += 1
+                if k == 0:
+                    self.constant_terms += 1
+                    value_ops.append(("full", coeff))
+                    continue
+                self.supports.add(positions)
+                self.monomials.add((positions, exponents))
+
+                mv = self._monomial_value(positions, exponents)
+                op = _MulOp(("term", coeff, positions, exponents),
+                            ("scalar", coeff), ("plane", mv))
+                self._consumers[op.key] = self._consumers.get(op.key, 0) + 1
+                value_ops.append(op)
+
+                common = self._common(positions, exponents)
+                for j, (p, exponent) in enumerate(zip(positions, exponents)):
+                    scale = coeff * exponent
+                    if k == 1:
+                        if common is None:
+                            jac_ops.setdefault(p, []).append(("full", scale))
+                            continue
+                        # walk order: common * scale
+                        op = _MulOp(("jterm1", scale, positions, exponents),
+                                    ("plane", common), ("scalar", scale))
+                    else:
+                        base = self._base(positions, exponents, j)
+                        # walk order: scale * base
+                        op = _MulOp(("jterm", scale, positions, exponents, j),
+                                    ("scalar", scale), ("plane", base))
+                    self._consumers[op.key] = self._consumers.get(op.key, 0) + 1
+                    jac_ops.setdefault(p, []).append(op)
+
+            schedule = _PolySchedule()
+            self._pending.append(((value_ops, jac_ops), schedule))
+            schedules.append(schedule)
+        return schedules
+
+    # -- finalization ----------------------------------------------------
+    def finalize(self) -> None:
+        """Materialise multi-consumer term planes and build the schedules."""
+        shared: Dict[tuple, int] = {}
+        for (value_ops, jac_ops), _ in self._pending:
+            for op in value_ops:
+                self._share(op, shared)
+            for ops in jac_ops.values():
+                for op in ops:
+                    self._share(op, shared)
+        self.shared_term_planes = len(shared)
+        for (value_ops, jac_ops), schedule in self._pending:
+            schedule.value = self._entries(value_ops, shared)
+            schedule.jacobian = {p: self._entries(ops, shared)
+                                 for p, ops in jac_ops.items()}
+        self._pending = []
+
+    def _share(self, op, shared: Dict[tuple, int]) -> None:
+        if isinstance(op, _MulOp) and op.key not in shared \
+                and self._consumers[op.key] >= 2:
+            shared[op.key] = self._emit(("shared",) + op.key,
+                                        ("mul", op.a, op.b))
+
+    @staticmethod
+    def _entries(ops: Sequence, shared: Dict[tuple, int]) -> List[tuple]:
+        entries: List[tuple] = []
+        for position, op in enumerate(ops):
+            first = position == 0
+            if not isinstance(op, _MulOp):  # ("full", z)
+                entries.append(("seed" if first else "add", op))
+                continue
+            pid = shared.get(op.key)
+            if pid is not None:
+                entries.append(("seed_copy", pid) if first
+                               else ("add", ("plane", pid)))
+            else:
+                entries.append(("seed_mul" if first else "add_mul",
+                                op.a, op.b))
+        return entries
+
+    # -- compile-time statistics ----------------------------------------
+    def statistics(self) -> Dict[str, int]:
+        kinds: Dict[str, int] = {}
+        for key in self._index:
+            kinds[key[0]] = kinds.get(key[0], 0) + 1
+        return {
+            "terms": self.terms,
+            "constant_terms": self.constant_terms,
+            "unique_supports": len(self.supports),
+            "unique_monomials": len(self.monomials),
+            "power_table_entries": kinds.get("power", 0),
+            "unique_sweeps": kinds.get("sweep", 0),
+            "shared_term_planes": getattr(self, "shared_term_planes", 0),
+            "planes": len(self.specs),
+        }
+
+    def op_counts(self, schedules: Sequence[List[_PolySchedule]]) -> PlanOpCounts:
+        """Array-op tally of the compiled plan (planes + accumulation)."""
+        muls = 0
+        adds = 0
+        for spec in self.specs:
+            kind = spec[0]
+            if kind == "power":
+                muls += pow_chain_multiplications(spec[2])
+            elif kind == "sweep":
+                k = len(spec[1])
+                muls += max(0, 3 * k - 6)
+            elif kind == "chain":
+                muls += len(spec[1]) - 1
+            elif kind == "mul":
+                muls += 1
+        for system_schedules in schedules:
+            for schedule in system_schedules:
+                for entries in [schedule.value] + list(schedule.jacobian.values()):
+                    for entry in entries:
+                        if entry[0] in ("seed_mul", "add_mul"):
+                            muls += 1
+                        if entry[0].startswith("add"):
+                            adds += 1
+        return PlanOpCounts(muls, adds)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+class _PlanExecutor:
+    """Shared execution machinery of the single-system and homotopy plans."""
+
+    backend: ComplexBatchBackend
+    _specs: List[tuple]
+
+    def _atom(self, atom: tuple, planes: List, lanes: int):
+        kind, payload = atom
+        if kind == "plane":
+            return planes[payload]
+        if kind == "scalar":
+            return payload
+        return self.backend.full((lanes,), payload)  # "full"
+
+    def _compute_planes(self, points) -> List:
+        planes: List = [None] * len(self._specs)
+        lanes = points.shape[1]
+        for pid, spec in enumerate(self._specs):
+            kind = spec[0]
+            if kind == "row":
+                planes[pid] = points[spec[1]]
+            elif kind == "power":
+                planes[pid] = planes[spec[1]] ** spec[2]
+            elif kind == "sweep":
+                factors = [planes[rp] for rp in spec[1]]
+                planes[pid] = speelpenning_gradient(factors)[0]
+            elif kind == "grad":
+                planes[pid] = planes[spec[1]][spec[2]]
+            elif kind == "chain":
+                acc = None
+                for power in spec[1]:
+                    acc = planes[power] if acc is None else acc * planes[power]
+                planes[pid] = acc
+            else:  # "mul"
+                planes[pid] = (self._atom(spec[1], planes, lanes)
+                               * self._atom(spec[2], planes, lanes))
+        return planes
+
+    def _run_entries(self, entries: List[tuple], planes: List, lanes: int):
+        backend = self.backend
+        acc = None
+        for entry in entries:
+            kind = entry[0]
+            if kind == "seed":
+                acc = self._atom(entry[1], planes, lanes)
+            elif kind == "seed_copy":
+                # Shared planes are read-only; seeding copies so the
+                # accumulator's in-place adds cannot corrupt co-consumers.
+                acc = backend.copy(planes[entry[1]])
+            elif kind == "seed_mul":
+                acc = (self._atom(entry[1], planes, lanes)
+                       * self._atom(entry[2], planes, lanes))
+            elif kind == "add":
+                acc = backend.iadd(acc, self._atom(entry[1], planes, lanes))
+            else:  # "add_mul"
+                acc = backend.iadd_mul(acc,
+                                       self._atom(entry[1], planes, lanes),
+                                       self._atom(entry[2], planes, lanes))
+        return acc
+
+    def _run_system(self, schedules: List[_PolySchedule], planes: List,
+                    lanes: int) -> Tuple[List, List[Dict[int, object]]]:
+        backend = self.backend
+        values: List = []
+        rows: List[Dict[int, object]] = []
+        for schedule in schedules:
+            if schedule.value:
+                values.append(self._run_entries(schedule.value, planes, lanes))
+            else:
+                values.append(backend.zeros((lanes,)))
+            rows.append({p: self._run_entries(entries, planes, lanes)
+                         for p, entries in schedule.jacobian.items()})
+        return values, rows
+
+
+class EvaluationPlan(_PlanExecutor):
+    """A compiled single-system evaluation schedule.
+
+    Executing the plan is bit-for-bit identical to the walk path of
+    :class:`~repro.core.batch.VectorisedBatchEvaluator` -- same power
+    chains, same sweep, same accumulation order -- while computing every
+    shared plane once.
+
+    Attributes
+    ----------
+    op_counts / walk_counts:
+        :class:`PlanOpCounts` of the compiled schedule and of the reference
+        walk, per batched evaluation.
+    statistics:
+        Compile-time sharing statistics (unique sweeps, power-table
+        entries, shared term planes, ...).
+    """
+
+    def __init__(self, system: PolynomialSystem, *,
+                 backend: Optional[ComplexBatchBackend] = None,
+                 context: NumericContext = DOUBLE):
+        if not system.is_square():
+            raise ConfigurationError("an evaluation plan needs a square system")
+        self.system = system
+        self.backend = backend or backend_for_context(context)
+        self.dimension = system.dimension
+        compiler = _Compiler()
+        self._schedules = compiler.compile_system(system)
+        compiler.finalize()
+        self._specs = compiler.specs
+        self.op_counts = compiler.op_counts([self._schedules])
+        self.walk_counts = walk_op_counts(system)
+        self.statistics = compiler.statistics()
+
+    def execute(self, points) -> Tuple[List, List[List]]:
+        """Evaluate at an ``(n, B)`` lane batch; returns (values, jacobian)."""
+        require_lane_batch(points, self.dimension)
+        backend = self.backend
+        n = self.dimension
+        lanes = points.shape[1]
+        planes = self._compute_planes(points)
+        values, rows = self._run_system(self._schedules, planes, lanes)
+        jacobian = [[row[j] if j in row else backend.zeros((lanes,))
+                     for j in range(n)] for row in rows]
+        return values, jacobian
+
+
+class HomotopyPlan(_PlanExecutor):
+    """A compiled start+target schedule with the fused gamma-trick blend.
+
+    Supports, power tables and term planes are deduplicated across *both*
+    systems (a total-degree start system shares most of its monomials with
+    the target), and the blend runs entry-wise over the sparse union of the
+    two Jacobian structures with in-place weighted accumulates.
+
+    ``op_counts`` / ``walk_counts`` price one batched homotopy evaluation
+    (both system passes plus the blend) for the plan and the walk path.
+    """
+
+    def __init__(self, start_system: PolynomialSystem,
+                 target_system: PolynomialSystem, *,
+                 gamma: Optional[complex] = None,
+                 backend: Optional[ComplexBatchBackend] = None,
+                 context: NumericContext = DOUBLE):
+        if start_system.dimension != target_system.dimension:
+            raise ConfigurationError("start and target systems must share a dimension")
+        self.start_system = start_system
+        self.target_system = target_system
+        self.backend = backend or backend_for_context(context)
+        self.dimension = target_system.dimension
+        self.gamma = None if gamma is None else complex(gamma)
+
+        compiler = _Compiler()
+        self._g_schedules = compiler.compile_system(start_system)
+        self._f_schedules = compiler.compile_system(target_system)
+        compiler.finalize()
+        self._specs = compiler.specs
+        self.statistics = compiler.statistics()
+
+        # Sparse union of the two Jacobian structures, fixed per system pair.
+        n = self.dimension
+        self._jac_union: List[List[Tuple[int, bool, bool]]] = []
+        for i in range(n):
+            g_cols = set(self._g_schedules[i].jacobian)
+            f_cols = set(self._f_schedules[i].jacobian)
+            self._jac_union.append([(j, j in g_cols, j in f_cols)
+                                    for j in sorted(g_cols | f_cols)])
+
+        accumulation = compiler.op_counts([self._g_schedules,
+                                           self._f_schedules])
+        blend_muls = 2 * n + n  # value rows + dh/dt rows
+        blend_adds = n + n
+        for union in self._jac_union:
+            for _, has_g, has_f in union:
+                blend_muls += 2 if (has_g and has_f) else 1
+                blend_adds += 1 if (has_g and has_f) else 0
+        self.op_counts = accumulation + PlanOpCounts(blend_muls, blend_adds)
+        self.walk_counts = homotopy_walk_op_counts(start_system, target_system)
+
+    def execute(self, points, t: np.ndarray) -> Tuple[List, List[List], List]:
+        """Evaluate ``h``, ``dh/dx``, ``dh/dt`` at per-lane parameters ``t``.
+
+        Returns ``(values, jacobian, t_derivative)`` with the same layout
+        as :class:`~repro.tracking.homotopy.BatchHomotopyEvaluation`.
+        """
+        if self.gamma is None:
+            raise ConfigurationError("this HomotopyPlan was compiled without "
+                                     "a gamma; pass one at construction")
+        require_lane_batch(points, self.dimension)
+        backend = self.backend
+        n = self.dimension
+        lanes = points.shape[1]
+
+        planes = self._compute_planes(points)
+        g_values, g_rows = self._run_system(self._g_schedules, planes, lanes)
+        f_values, f_rows = self._run_system(self._f_schedules, planes, lanes)
+
+        t = np.asarray(t, dtype=np.float64)
+        weight_g = self.gamma * (1.0 - t).astype(np.complex128)
+        weight_f = t.astype(np.complex128)
+
+        # h = weight_g * g + weight_f * f, landed with one fresh product per
+        # row and an in-place weighted accumulate (walk operand order).
+        values = []
+        for i in range(n):
+            acc = g_values[i] * weight_g
+            values.append(backend.iadd_mul(acc, f_values[i], weight_f))
+
+        # dh/dt = f - gamma * g, in place in the target accumulators (they
+        # are plan-owned and no longer read after the value blend).
+        t_derivative = [backend.isub_mul(f_values[i], g_values[i], self.gamma)
+                        for i in range(n)]
+
+        jacobian: List[List] = []
+        for i in range(n):
+            g_row, f_row = g_rows[i], f_rows[i]
+            entries = dict()
+            for j, has_g, has_f in self._jac_union[i]:
+                if has_g and has_f:
+                    acc = g_row[j] * weight_g
+                    entries[j] = backend.iadd_mul(acc, f_row[j], weight_f)
+                elif has_g:
+                    entries[j] = g_row[j] * weight_g
+                else:
+                    entries[j] = f_row[j] * weight_f
+            jacobian.append([entries[j] if j in entries
+                             else backend.zeros((lanes,))
+                             for j in range(n)])
+        return values, jacobian, t_derivative

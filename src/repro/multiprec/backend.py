@@ -139,6 +139,17 @@ class ComplexBatchBackend:
         """``acc - factor * value``, overwriting ``acc`` when possible."""
         return acc - factor * value
 
+    def iadd_mul(self, acc: BatchArray, a, b) -> BatchArray:
+        """``acc + a * b``, overwriting ``acc`` when the backend can.
+
+        The weighted accumulate of the compiled evaluation plans
+        (:mod:`repro.core.evalplan`): ``a`` and ``b`` may each be a batch
+        array or a scalar weight, and the product is formed exactly as the
+        expression ``a * b`` would (same operand order), so the in-place
+        landing stays bit-for-bit with ``acc + a * b``.
+        """
+        return self.iadd(acc, a * b)
+
     def iadd_masked(self, acc: BatchArray, value, mask) -> BatchArray:
         """``where(mask, acc + value, acc)``, overwriting ``acc`` if possible."""
         return self.where(np.asarray(mask, dtype=bool), acc + value, acc)
@@ -203,6 +214,10 @@ class Complex128Backend(ComplexBatchBackend):
 
     def isub_mul(self, acc: np.ndarray, factor, value) -> np.ndarray:
         acc -= factor * value
+        return acc
+
+    def iadd_mul(self, acc: np.ndarray, a, b) -> np.ndarray:
+        acc += a * b
         return acc
 
     def iadd_masked(self, acc: np.ndarray, value, mask) -> np.ndarray:
@@ -278,6 +293,9 @@ class ComplexDDBackend(ComplexBatchBackend):
 
     def isub_mul(self, acc: ComplexDDArray, factor, value) -> ComplexDDArray:
         return acc.isub_mul_(factor, value)
+
+    def iadd_mul(self, acc: ComplexDDArray, a, b) -> ComplexDDArray:
+        return acc.iadd_(a * b)
 
     def iadd_masked(self, acc: ComplexDDArray, value, mask) -> ComplexDDArray:
         return acc.iadd_where_(value, mask)
@@ -358,6 +376,9 @@ class ComplexQDBackend(ComplexBatchBackend):
 
     def isub_mul(self, acc: ComplexQDArray, factor, value) -> ComplexQDArray:
         return acc.isub_mul_(factor, value)
+
+    def iadd_mul(self, acc: ComplexQDArray, a, b) -> ComplexQDArray:
+        return acc.iadd_(a * b)
 
     def iadd_masked(self, acc: ComplexQDArray, value, mask) -> ComplexQDArray:
         return acc.iadd_where_(value, mask)

@@ -42,7 +42,10 @@ import numpy as np
 from .eft import SPLIT_THRESHOLD
 
 __all__ = [
+    "DD_ADDSUB_FUSED_MIN_ELEMENTS",
     "PlaneStack",
+    "dd_addsub_fused_threshold",
+    "fused_addsub_enabled",
     "fused_kernels_enabled",
     "needs_reference_split",
     "one_plane",
@@ -185,11 +188,38 @@ def needs_reference_split(plane, t, mb) -> bool:
 
 
 _FUSED_ENABLED = True
+_FUSED_FORCED = False
+
+#: Below this many elements the dd add/sub fused kernels *lose* to the
+#: reference chains: a double-double addition has no Dekker splits to share,
+#: so the fused variant only repackages the same two_sum chain behind extra
+#: scratch-plane bookkeeping whose fixed cost dominates tiny batches.
+#: Measured on the benchmark host (see the ``small_batch`` section of
+#: ``BENCH_qd_arith.json``): the fused path crosses over around 1k elements
+#: and wins ~2x by 16k.  Product/division kernels keep their fusion at every
+#: size -- they share splits and renorm masks, which pays even at batch 1.
+DD_ADDSUB_FUSED_MIN_ELEMENTS = 1024
+
+_ADDSUB_THRESHOLD = DD_ADDSUB_FUSED_MIN_ELEMENTS
 
 
 def fused_kernels_enabled() -> bool:
     """Whether the array classes dispatch to the fused kernels."""
     return _FUSED_ENABLED
+
+
+def fused_addsub_enabled(elements: int) -> bool:
+    """Fused-kernel gate for the dd add/sub family, size-aware.
+
+    Tiny batches take the reference chains automatically (bit-for-bit
+    identical, just cheaper below :data:`DD_ADDSUB_FUSED_MIN_ELEMENTS`);
+    an explicit :func:`use_fused_kernels` scope overrides the threshold so
+    differential tests and the fused-vs-unfused benchmark still pin the
+    exact path they ask for.
+    """
+    if not _FUSED_ENABLED:
+        return False
+    return _FUSED_FORCED or elements >= _ADDSUB_THRESHOLD
 
 
 @contextmanager
@@ -199,11 +229,31 @@ def use_fused_kernels(enabled: bool):
     The reference path replays the original out-of-place operation chains;
     the two are bit-for-bit identical, so this switch exists for the
     differential tests and the fused-vs-unfused benchmark, not for results.
+    Forcing ``True`` also bypasses the small-batch add/sub threshold
+    (:func:`fused_addsub_enabled`), so the fused kernels run at any size.
     """
-    global _FUSED_ENABLED
-    previous = _FUSED_ENABLED
+    global _FUSED_ENABLED, _FUSED_FORCED
+    previous = (_FUSED_ENABLED, _FUSED_FORCED)
     _FUSED_ENABLED = bool(enabled)
+    _FUSED_FORCED = True
     try:
         yield
     finally:
-        _FUSED_ENABLED = previous
+        _FUSED_ENABLED, _FUSED_FORCED = previous
+
+
+@contextmanager
+def dd_addsub_fused_threshold(elements: int):
+    """Temporarily override the dd add/sub small-batch threshold.
+
+    For tests pinning the gate's behaviour and for operators re-tuning the
+    cutoff on different hardware (the crossover *measurement* itself forces
+    each path via :func:`use_fused_kernels` instead -- see
+    ``repro.bench.qd_arith.run_dd_small_batch_bench``)."""
+    global _ADDSUB_THRESHOLD
+    previous = _ADDSUB_THRESHOLD
+    _ADDSUB_THRESHOLD = int(elements)
+    try:
+        yield
+    finally:
+        _ADDSUB_THRESHOLD = previous

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import DivisionByZeroError
 from .bufferpool import (
+    fused_addsub_enabled,
     fused_kernels_enabled,
     needs_reference_split,
     op_shape,
@@ -278,7 +279,8 @@ class DDArray:
 
     def __add__(self, other) -> "DDArray":
         o = _coerce(other, like=self.hi)
-        if fused_kernels_enabled():
+        # Gate on the larger operand: a broadcast result is at least that big.
+        if fused_addsub_enabled(max(self.hi.size, o.hi.size)):
             return _raw(*_dd_add_planes_fused((self.hi, self.lo), (o.hi, o.lo)))
         s1, s2 = two_sum(self.hi, o.hi)
         t1, t2 = two_sum(self.lo, o.lo)
@@ -292,7 +294,7 @@ class DDArray:
 
     def __sub__(self, other) -> "DDArray":
         o = _coerce(other, like=self.hi)
-        if fused_kernels_enabled():
+        if fused_addsub_enabled(max(self.hi.size, o.hi.size)):
             return _raw(*_dd_sub_planes_fused((self.hi, self.lo), (o.hi, o.lo)))
         s1, s2 = two_diff(self.hi, o.hi)
         t1, t2 = two_diff(self.lo, o.lo)
@@ -364,7 +366,7 @@ class DDArray:
     def iadd_(self, other) -> "DDArray":
         """In-place ``self += other`` (bit-for-bit with ``self + other``)."""
         o = _coerce(other, like=self.hi)
-        if fused_kernels_enabled():
+        if fused_addsub_enabled(self.hi.size):
             _dd_add_planes_fused((self.hi, self.lo), (o.hi, o.lo),
                                  out=(self.hi, self.lo))
             return self
@@ -374,7 +376,7 @@ class DDArray:
     def isub_(self, other) -> "DDArray":
         """In-place ``self -= other`` (bit-for-bit with ``self - other``)."""
         o = _coerce(other, like=self.hi)
-        if fused_kernels_enabled():
+        if fused_addsub_enabled(self.hi.size):
             _dd_sub_planes_fused((self.hi, self.lo), (o.hi, o.lo),
                                  out=(self.hi, self.lo))
             return self
@@ -385,7 +387,7 @@ class DDArray:
         """Masked in-place add: ``self = where(mask, self + other, self)``."""
         o = _coerce(other, like=self.hi)
         mask = np.asarray(mask, dtype=bool)
-        if fused_kernels_enabled():
+        if fused_addsub_enabled(self.hi.size):
             st = plane_stack()
             buf, mark = st.take(self.hi.shape, 2)
             _dd_add_planes_fused((self.hi, self.lo), (o.hi, o.lo),

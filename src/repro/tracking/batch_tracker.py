@@ -429,6 +429,10 @@ class BatchTrackResult:
     results: List[PathResult]
     evaluation_log: List[int] = field(default_factory=list)
     rounds: int = 0
+    #: resumed lanes whose checkpointed residual already certified the
+    #: endgame tolerance, so their endgame re-entry round was skipped
+    #: (only nonzero under ``skip_certified_endgame``).
+    endgame_reentries_skipped: int = 0
 
     @property
     def paths_converged(self) -> int:
@@ -480,15 +484,34 @@ class BatchTracker:
         tracks all paths in one batch.
     gamma:
         Accessibility constant, defaulted like the scalar homotopy.
+    skip_certified_endgame:
+        Residual-aware resume policy (off by default, so same-arithmetic
+        resumes stay bit-for-bit with the cold run): when resuming from
+        checkpoints, a lane checkpointed at ``t >= 1`` whose stored
+        residual already satisfies ``end_tolerance`` retires as a success
+        immediately instead of re-entering the endgame corrector -- its
+        residual was *measured* at that point by the capturing run, so the
+        re-entry round would only re-derive a certificate the checkpoint
+        already carries.  Certificates exist for lanes that converged (or
+        are resumed under a looser tolerance than they were captured with);
+        endgame *failures* carry residuals above the tolerance by
+        construction and always re-enter, so the skip is conservative.  The
+        payoff case is resuming a full checkpoint set -- replaying or
+        continuing an interrupted run -- where the converged lanes would
+        otherwise each pay a pointless endgame evaluation round.  Skipped
+        re-entries are counted in
+        :attr:`BatchTrackResult.endgame_reentries_skipped`.
     """
 
     def __init__(self, start_system, target_system, *,
                  context: NumericContext = DOUBLE,
                  options: Optional[TrackerOptions] = None,
                  batch_size: Optional[int] = None,
-                 gamma: Optional[complex] = None):
+                 gamma: Optional[complex] = None,
+                 skip_certified_endgame: bool = False):
         self.context = context
         self.options = options or TrackerOptions()
+        self.skip_certified_endgame = bool(skip_certified_endgame)
         self.backend = backend_for_context(context)
         self.homotopy = BatchHomotopy(start_system, target_system,
                                       gamma=gamma, context=context,
@@ -570,7 +593,10 @@ class BatchTracker:
             batches.append(batch)
         return BatchTrackResult(batches=batches, results=results,
                                 evaluation_log=list(self.evaluation_log),
-                                rounds=rounds)
+                                rounds=rounds,
+                                endgame_reentries_skipped=sum(
+                                    getattr(b, "endgame_skipped", 0)
+                                    for b in batches))
 
     # ------------------------------------------------------------------
     def _corrector(self, t: np.ndarray, tolerance: float,
@@ -619,6 +645,16 @@ class BatchTracker:
                                              batch.points)
                 batch.retire(needs_start & ~started.converged,
                              PathStatus.START_FAILED)
+            if self.skip_certified_endgame:
+                # Residual-aware resume: lanes parked at t >= 1 whose
+                # checkpointed residual already certifies the endgame
+                # tolerance retire as successes without the re-entry round.
+                certified = ((batch.t >= 1.0)
+                             & (batch.status == int(PathStatus.TRACKING))
+                             & (batch.residual <= opts.end_tolerance))
+                if certified.any():
+                    batch.retire(certified, PathStatus.SUCCESS)
+                    batch.endgame_skipped = int(certified.sum())
         else:
             batch = PathBatch.from_start_solutions(backend, starts,
                                                    opts.initial_step)

@@ -145,7 +145,8 @@ class BatchHomotopy:
     def __init__(self, start_system, target_system, *,
                  gamma: Optional[complex] = None,
                  context: NumericContext = DOUBLE,
-                 backend: Optional[ComplexBatchBackend] = None):
+                 backend: Optional[ComplexBatchBackend] = None,
+                 use_plan: Optional[bool] = None):
         # Imported here: repro.core.batch already imports repro.multiprec,
         # and pulling it at module load would cycle through repro.tracking.
         from ..core.batch import VectorisedBatchEvaluator
@@ -153,17 +154,51 @@ class BatchHomotopy:
         self.context = context
         self.backend = backend or backend_for_context(context)
         self.gamma = _checked_gamma(gamma)
-        self.start_evaluator = VectorisedBatchEvaluator(start_system, backend=self.backend)
-        self.target_evaluator = VectorisedBatchEvaluator(target_system, backend=self.backend)
+        # The sub-evaluators drive the walk path only; the plan path runs
+        # the pair through one fused HomotopyPlan instead.  They are built
+        # with use_plan=False so the walk reference stays a pure walk even
+        # while plans are globally enabled.
+        self.start_evaluator = VectorisedBatchEvaluator(start_system, backend=self.backend,
+                                                        use_plan=False)
+        self.target_evaluator = VectorisedBatchEvaluator(target_system, backend=self.backend,
+                                                         use_plan=False)
         if start_system.dimension != target_system.dimension:
             raise ConfigurationError("start and target systems must share a dimension")
         self.dimension = target_system.dimension
+        self.use_plan = use_plan
+        self._plan = None
+        self._systems = (start_system, target_system)
+
+    @property
+    def plan(self):
+        """The fused :class:`~repro.core.evalplan.HomotopyPlan` of the
+        start+target pair (compiled on first use, cached)."""
+        if self._plan is None:
+            from ..core.evalplan import HomotopyPlan  # local import: cycle
+
+            self._plan = HomotopyPlan(self._systems[0], self._systems[1],
+                                      gamma=self.gamma, backend=self.backend)
+        return self._plan
 
     def evaluate_batch(self, points, t: np.ndarray) -> BatchHomotopyEvaluation:
-        """Evaluate ``h``, ``dh/dx`` and ``dh/dt`` at per-lane parameters."""
+        """Evaluate ``h``, ``dh/dx`` and ``dh/dt`` at per-lane parameters.
+
+        With evaluation plans enabled (the default, see
+        :func:`repro.core.evalplan.use_eval_plans`) the whole evaluation --
+        both system passes, the convex blend and ``dh/dt`` -- runs from the
+        compiled :class:`~repro.core.evalplan.HomotopyPlan`: supports and
+        power tables are shared across the two systems and the blend lands
+        in-place over the sparse Jacobian union instead of materialising
+        ``n^2 + 2n`` blended temporaries.
+        """
         t = np.asarray(t, dtype=np.float64)
         if np.any((t < 0.0) | (t > 1.0)):
             raise ConfigurationError("all continuation parameters must lie in [0, 1]")
+        enabled = self.use_plan if self.use_plan is not None else self._plans_enabled()
+        if enabled:
+            values, jacobian, t_derivative = self.plan.execute(points, t)
+            return BatchHomotopyEvaluation(values=values, jacobian=jacobian,
+                                           t_derivative=t_derivative)
         g = self.start_evaluator.evaluate(points)
         f = self.target_evaluator.evaluate(points)
 
@@ -181,6 +216,12 @@ class BatchHomotopy:
         t_derivative = [f.values[i] - g.values[i] * self.gamma for i in range(n)]
         return BatchHomotopyEvaluation(values=values, jacobian=jacobian,
                                        t_derivative=t_derivative)
+
+    @staticmethod
+    def _plans_enabled() -> bool:
+        from ..core.evalplan import eval_plans_enabled  # local import: cycle
+
+        return eval_plans_enabled()
 
     class _Frozen:
         """Adapter exposing a batched evaluator interface for fixed ``t``."""

@@ -176,7 +176,10 @@ class BatchNewtonCorrector:
     evaluator:
         Object with ``evaluate(points)`` accepting an ``(n, B)`` batch array
         and returning per-lane ``values``/``jacobian`` rows (for example
-        :meth:`repro.tracking.homotopy.BatchHomotopy.at`).
+        :meth:`repro.tracking.homotopy.BatchHomotopy.at`, which by default
+        executes the compiled :class:`~repro.core.evalplan.HomotopyPlan`
+        schedule -- the corrector is oblivious to which path produced the
+        rows, since both are value-identical).
     backend:
         The batch array backend.
     tolerance / max_iterations:

@@ -66,6 +66,19 @@ class EscalationPolicy:
     Set ``warm_restart=False`` to restart failed paths from scratch (the
     pre-checkpoint behaviour, kept for comparison benchmarks).
 
+    ``residual_aware`` (default on) makes warm restarts *residual-aware*:
+    a resumed lane checkpointed at ``t >= 1`` whose stored residual already
+    certifies the endgame tolerance skips the endgame re-entry round
+    entirely -- the wider rung would only re-measure a certificate the
+    checkpoint carries.  Skipped re-entries are reported per rung in
+    :attr:`SolveReport.endgame_skips_by_context`.  Note the certificate is
+    conservative: a lane that *failed* the endgame carries a residual above
+    the tolerance by construction, so in the usual failed-residue
+    escalation (one shared tolerance across rungs) the counter stays 0 and
+    the skip acts purely as a guard; it pays off when checkpoint sets that
+    include certified lanes are resumed -- replaying an interrupted run, or
+    a ladder whose resumed rung runs with a looser ``end_tolerance``.
+
     Use :meth:`from_speedup` to let the quality-up analysis pick the starting
     rung: with enough parallel speedup the wider arithmetic is free in
     wall-clock terms, so the ladder starts there and only the residue pays
@@ -79,6 +92,7 @@ class EscalationPolicy:
 
     ladder: Tuple[NumericContext, ...] = DEFAULT_LADDER
     warm_restart: bool = True
+    residual_aware: bool = True
 
     def __post_init__(self):
         ladder = tuple(self.ladder)
@@ -161,7 +175,10 @@ class SolveReport:
     ``resume_t_by_context`` records, per rung, the continuation parameter
     each resumed path continued from -- on typical workloads these cluster
     at ``t = 1.0``, which is exactly why warm restarts win: the wide
-    arithmetic only replays the endgame.
+    arithmetic only replays the endgame.  ``endgame_skips_by_context``
+    counts, per rung, the resumed lanes whose checkpointed residual already
+    certified the endgame tolerance, so even that replay was skipped (the
+    residual-aware policy, see :class:`EscalationPolicy`).
     """
 
     system: PolynomialSystem
@@ -176,6 +193,7 @@ class SolveReport:
     resumed_by_context: Dict[str, int] = field(default_factory=dict)
     restarted_by_context: Dict[str, int] = field(default_factory=dict)
     resume_t_by_context: Dict[str, List[float]] = field(default_factory=dict)
+    endgame_skips_by_context: Dict[str, int] = field(default_factory=dict)
 
     @property
     def success_rate(self) -> float:
@@ -335,8 +353,9 @@ def _track_paths(start_system: PolynomialSystem, system: PolynomialSystem,
                  exposed: Optional[Tuple[PolynomialSystem, PolynomialSystem]],
                  options: Optional[TrackerOptions], gamma: Optional[complex],
                  batch_size: Optional[int],
-                 resume_from: Optional[Sequence] = None
-                 ) -> Tuple[List[PathResult], Optional[List]]:
+                 resume_from: Optional[Sequence] = None,
+                 skip_certified_endgame: bool = False
+                 ) -> Tuple[List[PathResult], Optional[List], int]:
     """Track ``starts`` in one arithmetic, batched when possible.
 
     The batched engine needs the polynomial systems themselves (it builds
@@ -347,25 +366,30 @@ def _track_paths(start_system: PolynomialSystem, system: PolynomialSystem,
     probe-time ``evaluators`` when given, else with fresh CPU reference
     evaluators in this rung's arithmetic.
 
-    Returns ``(results, checkpoints)``: the per-path outcomes plus, on the
-    batched route, one :class:`~repro.tracking.batch_tracker.LaneCheckpoint`
-    per path (the state a wider rung can warm-restart from).  The scalar
-    route returns ``checkpoints=None`` -- its failures can only be restarted
-    cold.  ``resume_from`` (checkpoints aligned with ``starts``) makes the
-    batched route continue each path mid-track instead of from ``t = 0``;
-    it is ignored on the scalar route.
+    Returns ``(results, checkpoints, endgame_skips)``: the per-path
+    outcomes plus, on the batched route, one
+    :class:`~repro.tracking.batch_tracker.LaneCheckpoint` per path (the
+    state a wider rung can warm-restart from) and the number of resumed
+    lanes whose endgame re-entry was skipped by the residual-aware policy.
+    The scalar route returns ``checkpoints=None`` -- its failures can only
+    be restarted cold.  ``resume_from`` (checkpoints aligned with
+    ``starts``) makes the batched route continue each path mid-track
+    instead of from ``t = 0``; it is ignored on the scalar route, as is
+    ``skip_certified_endgame``.
     """
     if exposed is not None and _has_backend(context):
         from .batch_tracker import BatchTracker  # local import: cycle
 
         tracker = BatchTracker(exposed[0], exposed[1], context=context,
                                options=options, batch_size=batch_size,
-                               gamma=gamma)
+                               gamma=gamma,
+                               skip_certified_endgame=skip_certified_endgame)
         if resume_from is not None:
             outcome = tracker.track_batches(resume_from=resume_from)
         else:
             outcome = tracker.track_batches(starts)
-        return outcome.results, outcome.checkpoints()
+        return (outcome.results, outcome.checkpoints(),
+                outcome.endgame_reentries_skipped)
 
     if evaluators is None:
         evaluators = (CPUReferenceEvaluator(start_system, context=context),
@@ -373,7 +397,7 @@ def _track_paths(start_system: PolynomialSystem, system: PolynomialSystem,
     homotopy = Homotopy(evaluators[0], evaluators[1],
                         gamma=gamma, context=context)
     scalar = PathTracker(homotopy, context=context, options=options)
-    return [scalar.track(s) for s in starts], None
+    return [scalar.track(s) for s in starts], None, 0
 
 
 def solve_system(system: PolynomialSystem, *,
@@ -482,6 +506,7 @@ def solve_system(system: PolynomialSystem, *,
     resumed_by_context: Dict[str, int] = {}
     restarted_by_context: Dict[str, int] = {}
     resume_t_by_context: Dict[str, List[float]] = {}
+    endgame_skips_by_context: Dict[str, int] = {}
     recovered = 0
     pending: List[Tuple[int, Sequence]] = list(enumerate(starts))
     #: last checkpoint of every path that has been through the batched
@@ -504,12 +529,15 @@ def solve_system(system: PolynomialSystem, *,
         if warm and level > 0 and \
                 all(index in checkpoints_by_index for index, _ in pending):
             resume = [checkpoints_by_index[index] for index, _ in pending]
-        results, checkpoints = _track_paths(
+        results, checkpoints, endgame_skips = _track_paths(
             start_system, system, [s for _, s in pending], rung,
             fallback_evaluators, exposed, options, gamma, batch_size,
-            resume_from=resume)
+            resume_from=resume,
+            skip_certified_endgame=(resume is not None
+                                    and escalation.residual_aware))
         paths_by_context[rung.name] = len(pending)
         converged_by_context[rung.name] = sum(1 for r in results if r.success)
+        endgame_skips_by_context[rung.name] = endgame_skips
         # Only the batched route can actually resume (it returns checkpoints;
         # the scalar fallback ignores resume_from and re-tracks cold), so the
         # resumed accounting must follow the route taken, not the intent.
@@ -554,4 +582,5 @@ def solve_system(system: PolynomialSystem, *,
         resumed_by_context=resumed_by_context,
         restarted_by_context=restarted_by_context,
         resume_t_by_context=resume_t_by_context,
+        endgame_skips_by_context=endgame_skips_by_context,
     )

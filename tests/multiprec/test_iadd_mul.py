@@ -1,0 +1,79 @@
+"""The ``iadd_mul`` weighted accumulate: bit-for-bit with ``acc + a * b``.
+
+The compiled evaluation plans land every weighted contribution through
+:meth:`~repro.multiprec.backend.ComplexBatchBackend.iadd_mul`; like the
+other in-place kernels it must be indistinguishable from the out-of-place
+expression -- same operand order inside the product, same addition -- on
+every backend, for array and scalar weights alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.multiprec.backend import (
+    COMPLEX128_BACKEND,
+    COMPLEX_DD_BACKEND,
+    COMPLEX_QD_BACKEND,
+    ComplexBatchBackend,
+)
+
+BACKENDS = (COMPLEX128_BACKEND, COMPLEX_DD_BACKEND, COMPLEX_QD_BACKEND)
+
+
+def random_batch(backend, lanes, seed):
+    rng = np.random.default_rng(seed)
+    return backend.from_points([[complex(a, b) for a, b in
+                                 zip(rng.normal(size=1), rng.normal(size=1))]
+                                for _ in range(lanes)])[0]
+
+
+def planes(array, backend):
+    if backend.name == "d":
+        return [array.real, array.imag]
+    if backend.name == "dd":
+        return [array.real.hi, array.real.lo, array.imag.hi, array.imag.lo]
+    return ([getattr(array.real, f"c{c}") for c in range(4)]
+            + [getattr(array.imag, f"c{c}") for c in range(4)])
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+class TestIaddMul:
+    def test_array_times_weight_vector(self, backend):
+        acc = random_batch(backend, 8, 1)
+        a = random_batch(backend, 8, 2)
+        weights = np.exp(1j * np.linspace(0, 3, 8))
+        expected = backend.copy(acc) + a * weights
+        result = backend.iadd_mul(acc, a, weights)
+        for got, want in zip(planes(result, backend), planes(expected, backend)):
+            assert np.array_equal(got, want)
+
+    def test_scalar_times_array(self, backend):
+        acc = random_batch(backend, 6, 3)
+        b = random_batch(backend, 6, 4)
+        scale = 2.5 - 0.75j
+        expected = backend.copy(acc) + scale * b
+        result = backend.iadd_mul(acc, scale, b)
+        for got, want in zip(planes(result, backend), planes(expected, backend)):
+            assert np.array_equal(got, want)
+
+    def test_lands_in_place(self, backend):
+        acc = random_batch(backend, 4, 5)
+        a = random_batch(backend, 4, 6)
+        result = backend.iadd_mul(acc, a, np.ones(4, dtype=np.complex128))
+        assert result is acc
+
+
+def test_base_class_fallback_matches_expression():
+    class Minimal(ComplexBatchBackend):
+        name = "minimal"
+
+        def iadd(self, acc, value):
+            return acc + value
+
+    backend = Minimal()
+    acc = np.array([1 + 1j, 2 + 0j])
+    a = np.array([0.5 + 0j, -1 + 2j])
+    b = np.array([2 + 0j, 1 + 1j])
+    assert np.array_equal(backend.iadd_mul(acc, a, b), acc + a * b)

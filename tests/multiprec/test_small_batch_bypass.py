@@ -1,0 +1,63 @@
+"""The dd add/sub small-batch bypass: tiny batches take the reference path.
+
+Both paths are bit-for-bit identical, so the gate is purely a cost policy:
+below :data:`~repro.multiprec.bufferpool.DD_ADDSUB_FUSED_MIN_ELEMENTS`
+the fused add/sub kernels lose to the plain chains (no Dekker splits to
+share, fixed scratch-stack cost) and the gate routes around them.  An
+explicit :func:`~repro.multiprec.bufferpool.use_fused_kernels` scope
+overrides the threshold, so the differential tests keep pinning exact
+paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multiprec.bufferpool import (
+    DD_ADDSUB_FUSED_MIN_ELEMENTS,
+    dd_addsub_fused_threshold,
+    fused_addsub_enabled,
+    use_fused_kernels,
+)
+from repro.multiprec.ddarray import DDArray
+
+
+class TestGate:
+    def test_small_batches_bypass_fusion(self):
+        assert not fused_addsub_enabled(1)
+        assert not fused_addsub_enabled(DD_ADDSUB_FUSED_MIN_ELEMENTS - 1)
+        assert fused_addsub_enabled(DD_ADDSUB_FUSED_MIN_ELEMENTS)
+        assert fused_addsub_enabled(DD_ADDSUB_FUSED_MIN_ELEMENTS * 4)
+
+    def test_forced_scope_overrides_threshold(self):
+        with use_fused_kernels(True):
+            assert fused_addsub_enabled(1)
+        with use_fused_kernels(False):
+            assert not fused_addsub_enabled(10**9)
+        assert not fused_addsub_enabled(1)  # back to the size gate
+
+    def test_threshold_override_scope(self):
+        with dd_addsub_fused_threshold(4):
+            assert fused_addsub_enabled(4)
+            assert not fused_addsub_enabled(3)
+        assert not fused_addsub_enabled(4)
+
+    def test_both_paths_bit_for_bit_across_the_threshold(self):
+        rng = np.random.default_rng(99)
+        for size in (3, DD_ADDSUB_FUSED_MIN_ELEMENTS,
+                     DD_ADDSUB_FUSED_MIN_ELEMENTS + 5):
+            a = DDArray(rng.normal(size=size), rng.normal(size=size) * 1e-17)
+            b = DDArray(rng.normal(size=size), rng.normal(size=size) * 1e-17)
+            default_sum = a + b  # whichever path the size gate picks
+            with use_fused_kernels(True):
+                fused = a + b
+            with use_fused_kernels(False):
+                reference = a + b
+            for result in (default_sum, fused):
+                assert np.array_equal(result.hi, reference.hi)
+                assert np.array_equal(result.lo, reference.lo)
+            default_diff = a - b
+            with use_fused_kernels(False):
+                ref_diff = a - b
+            assert np.array_equal(default_diff.hi, ref_diff.hi)
+            assert np.array_equal(default_diff.lo, ref_diff.lo)

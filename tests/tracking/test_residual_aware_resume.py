@@ -1,0 +1,141 @@
+"""Residual-aware warm restart: certified checkpoints skip the endgame
+re-entry round.
+
+A lane checkpointed at ``t >= 1`` whose stored residual already satisfies
+the endgame tolerance carries its own convergence certificate -- the
+capturing run *measured* that residual at that point -- so re-entering the
+endgame corrector only spends an evaluation round re-deriving it.  With
+``skip_certified_endgame`` the lane retires as a success immediately; the
+count surfaces in :attr:`BatchTrackResult.endgame_reentries_skipped` and,
+through :func:`solve_system`, in
+:attr:`SolveReport.endgame_skips_by_context`.
+
+The flag defaults off at the tracker level, preserving PR 3's bit-for-bit
+same-arithmetic resume guarantee; :func:`solve_system` switches it on for
+warm escalation unless the policy says ``residual_aware=False``.  The
+certificate is conservative: endgame *failures* checkpoint with residuals
+above the tolerance by construction, so the escalated failed-residue flow
+legitimately records 0 skips -- the payoff case is resuming full
+checkpoint sets (interrupted-run replays), exercised directly below.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bench.batch_tracking import cyclic_quadratic_system
+from repro.multiprec.numeric import DOUBLE, DOUBLE_DOUBLE
+from repro.tracking.batch_tracker import BatchTracker, PathStatus
+from repro.tracking.solver import EscalationPolicy, solve_system
+from repro.tracking.start_systems import start_solutions, total_degree_start_system
+from repro.tracking.tracker import TrackerOptions
+
+
+@pytest.fixture(scope="module")
+def workload():
+    target = cyclic_quadratic_system(3)
+    start = total_degree_start_system(target)
+    starts = list(start_solutions(target))
+    return start, target, starts
+
+
+def tracked_checkpoints(workload, options):
+    start, target, starts = workload
+    tracker = BatchTracker(start, target, context=DOUBLE_DOUBLE,
+                           options=options)
+    outcome = tracker.track_batches(starts)
+    return outcome, outcome.checkpoints()
+
+
+class TestSkipCertifiedEndgame:
+    def test_certified_lanes_skip_the_reentry_round(self, workload):
+        start, target, _ = workload
+        opts = TrackerOptions(end_tolerance=1e-12)
+        _, checkpoints = tracked_checkpoints(workload, opts)
+        assert all(cp.status is PathStatus.SUCCESS for cp in checkpoints)
+        assert all(cp.residual <= opts.end_tolerance for cp in checkpoints)
+
+        resumer = BatchTracker(start, target, context=DOUBLE_DOUBLE,
+                               options=opts, skip_certified_endgame=True)
+        resumed = resumer.track_batches(resume_from=checkpoints)
+        assert resumed.endgame_reentries_skipped == len(checkpoints)
+        assert resumed.batched_evaluations == 0  # no re-entry round at all
+        assert all(r.success for r in resumed.results)
+        # The certified lanes keep their measured residual and counters.
+        for cp, result in zip(checkpoints, resumed.results):
+            assert result.residual == cp.residual
+            assert result.steps_accepted == cp.steps_accepted
+
+    def test_default_resume_still_reenters(self, workload):
+        start, target, _ = workload
+        opts = TrackerOptions(end_tolerance=1e-12)
+        _, checkpoints = tracked_checkpoints(workload, opts)
+        resumer = BatchTracker(start, target, context=DOUBLE_DOUBLE,
+                               options=opts)
+        resumed = resumer.track_batches(resume_from=checkpoints)
+        assert resumed.endgame_reentries_skipped == 0
+        assert resumed.batched_evaluations >= 1  # the endgame round ran
+
+    def test_uncertified_residual_still_reenters(self, workload):
+        start, target, _ = workload
+        opts = TrackerOptions(end_tolerance=1e-12)
+        _, checkpoints = tracked_checkpoints(workload, opts)
+        # Degrade the stored residuals above the tolerance: the certificates
+        # are void, so the endgame must run even with the skip enabled.
+        stale = [dataclasses.replace(cp, residual=1e-6) for cp in checkpoints]
+        resumer = BatchTracker(start, target, context=DOUBLE_DOUBLE,
+                               options=opts, skip_certified_endgame=True)
+        resumed = resumer.track_batches(resume_from=stale)
+        assert resumed.endgame_reentries_skipped == 0
+        assert resumed.batched_evaluations >= 1
+        assert all(r.success for r in resumed.results)
+
+    def test_nan_residual_never_certifies(self, workload):
+        start, target, _ = workload
+        opts = TrackerOptions(end_tolerance=1e-12)
+        _, checkpoints = tracked_checkpoints(workload, opts)
+        poisoned = [dataclasses.replace(cp, residual=float("nan"))
+                    for cp in checkpoints]
+        resumer = BatchTracker(start, target, context=DOUBLE_DOUBLE,
+                               options=opts, skip_certified_endgame=True)
+        resumed = resumer.track_batches(resume_from=poisoned)
+        assert resumed.endgame_reentries_skipped == 0
+
+    def test_mid_path_lanes_unaffected(self, workload):
+        start, target, _ = workload
+        opts = TrackerOptions(end_tolerance=1e-12)
+        _, checkpoints = tracked_checkpoints(workload, opts)
+        # Rewind one lane to mid-path: it must track to t = 1 normally while
+        # the others skip.
+        rewound = list(checkpoints)
+        rewound[0] = dataclasses.replace(rewound[0], t=0.5, prev_t=0.4)
+        resumer = BatchTracker(start, target, context=DOUBLE_DOUBLE,
+                               options=opts, skip_certified_endgame=True)
+        resumed = resumer.track_batches(resume_from=rewound)
+        assert resumed.endgame_reentries_skipped == len(checkpoints) - 1
+        assert all(r.success for r in resumed.results)
+
+
+class TestSolverAccounting:
+    def test_solve_report_records_skips_per_rung(self):
+        # A tolerance at the double roundoff floor: some paths genuinely
+        # fail at d and escalate to dd.
+        target = cyclic_quadratic_system(4)
+        opts = TrackerOptions(end_tolerance=5e-17, end_iterations=12)
+        report = solve_system(target, options=opts,
+                              escalation=EscalationPolicy(
+                                  ladder=(DOUBLE, DOUBLE_DOUBLE)))
+        field_names = {f.name for f in dataclasses.fields(report)}
+        assert "endgame_skips_by_context" in field_names
+        assert report.endgame_skips_by_context.get("d", 0) == 0  # first rung
+        # dd resumed the d failures; the accounting key must exist either way.
+        if "dd" in report.paths_by_context:
+            assert "dd" in report.endgame_skips_by_context
+
+    def test_residual_aware_flag_defaults_on(self):
+        assert EscalationPolicy().residual_aware
+        off = EscalationPolicy(residual_aware=False)
+        assert not off.residual_aware
