@@ -2,7 +2,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-all docs bench-batch bench-qd bench-eval bench-tables bench-json
+.PHONY: test test-all docs bench-batch bench-qd bench-eval bench-shard bench-tables bench-json
 
 # Tier-1: the fast suite (pytest.ini deselects @pytest.mark.slow).
 test:
@@ -33,14 +33,21 @@ bench-qd:
 bench-eval:
 	$(PY) benchmarks/bench_eval_plan.py
 
-# Machine-readable perf trajectory: batch-tracking, escalation and fused
-# qd-arithmetic sweeps as JSON (paths/sec per context and batch size;
-# per-rung escalation pricing; fused-kernel speedups).
+# Sharded solve service: paths/sec vs worker count plus the crash-recovery
+# drill (bit-for-bit identity with the single-process solver).
+bench-shard:
+	$(PY) benchmarks/bench_shard.py
+
+# Machine-readable perf trajectory: batch-tracking, escalation, fused
+# qd-arithmetic and sharded-service sweeps as JSON (paths/sec per context,
+# batch size and worker count; per-rung escalation pricing; fused-kernel
+# speedups; crash-drill accounting).
 bench-json:
 	$(PY) benchmarks/bench_batch_tracking.py --json BENCH_batch_tracking.json
 	$(PY) benchmarks/bench_escalation.py --json BENCH_escalation.json
 	$(PY) benchmarks/bench_qd_arith.py --json BENCH_qd_arith.json
 	$(PY) benchmarks/bench_eval_plan.py --json BENCH_eval_plan.json
+	$(PY) benchmarks/bench_shard.py --json BENCH_shard.json
 
 # Regenerate the paper-table benchmarks (explicit file list: bench_* files
 # are not collected by default).

@@ -1,0 +1,74 @@
+"""Application benchmark E4: the sharded, crash-tolerant solve service.
+
+The 16-path escalation workload (cyclic quadratic system, end tolerance at
+the double roundoff floor, d -> dd ladder) is solved single-process and
+then through ``solve_system_sharded`` at 1, 2 and 4 worker processes, plus
+one run whose shard-0 worker is hard-killed mid-``dd``-rung and recovered
+from persisted checkpoints.  Every row reports end-to-end wall seconds and
+paths per second; every sharded row (the crash run included) must
+reproduce the single-process distinct solutions **bit for bit** -- that
+invariant, not scaling, is what the bench guards (at this size the pool
+startup dwarfs 16 paths of tracking).
+
+Run as a script (``python benchmarks/bench_shard.py [--json PATH]``) or
+through pytest (``pytest benchmarks/bench_shard.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.bench import run_shard_bench
+from repro.bench.reporting import format_table
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def sweep(worker_counts=WORKER_COUNTS):
+    summary = run_shard_bench(worker_counts=worker_counts)
+    table = format_table(
+        [row.as_dict() for row in summary.rows],
+        title=(f"sharded solve service, cyclic quadratic n={summary.dimension}"
+               f" ({summary.paths_total} paths, ladder "
+               f"{'->'.join(summary.ladder)}, end tolerance "
+               f"{summary.end_tolerance:g})"))
+    crash = summary.crash_row
+    table += (
+        f"\n-> every sharded run bit-for-bit identical to single-process: "
+        f"{summary.all_identical}"
+        f"\n-> crash drill: {crash.worker_retries} worker retr"
+        f"{'y' if crash.worker_retries == 1 else 'ies'}, "
+        f"{crash.resumed_after_crash} resumed from persisted checkpoints, "
+        f"solutions still identical: {crash.identical_to_reference}")
+    return summary, table
+
+
+def test_shard_benchmark(write_result):
+    summary, table = sweep()
+    write_result("shard", table)
+
+    assert summary.paths_total == 16
+    # The service's contract: sharding (and crashing) never changes the
+    # answer -- the distinct solutions match single-process bit for bit.
+    assert summary.all_identical
+    # The crash drill must actually have crashed and recovered warm.
+    crash = summary.crash_row
+    assert crash is not None
+    assert crash.worker_retries >= 1
+    assert crash.resumed_after_crash >= 1
+    # Every configuration found the full solution set.
+    assert all(row.solutions == summary.paths_total for row in summary.rows)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the summary as JSON to PATH")
+    args = parser.parse_args()
+    summary, table = sweep()
+    print(table)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary.as_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")

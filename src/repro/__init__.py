@@ -24,7 +24,7 @@ See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 regeneration of the paper's Tables 1 and 2.
 """
 
-from . import bench, core, gpusim, multiprec, polynomials, tracking
+from . import bench, core, gpusim, multiprec, polynomials, service, tracking
 from .core import (
     CPUReferenceEvaluator,
     GPUEvaluation,
@@ -101,6 +101,7 @@ __all__ = [
     "polynomials",
     "random_point",
     "random_regular_system",
+    "service",
     "table1_system",
     "table2_system",
     "tracking",

@@ -17,6 +17,7 @@ from .qd_arith import (
     run_qd_tracker_bench,
 )
 from .reporting import format_breakdown, format_paper_rows, format_table
+from .shard import ShardRow, ShardSummary, run_shard_bench
 from .workloads import (
     EVALUATIONS_PER_RUN,
     PaperRow,
@@ -42,6 +43,9 @@ __all__ = [
     "EscalationSummary",
     "run_escalation_bench",
     "RowResult",
+    "ShardRow",
+    "ShardSummary",
+    "run_shard_bench",
     "TABLE1_ROWS",
     "TABLE1_WORKLOADS",
     "TABLE2_ROWS",

@@ -1,0 +1,186 @@
+"""Benchmark of the sharded solve service (:mod:`repro.service.sharded`).
+
+The workload is the escalation benchmark's: every path of the cyclic
+quadratic system is tracked with an end tolerance at the double-precision
+roundoff floor, so part of the batch escalates from ``d`` to ``dd``.  The
+bench solves it once single-process (:func:`~repro.tracking.solver.
+solve_system`, the reference) and then through
+:func:`~repro.service.sharded.solve_system_sharded` at a sweep of worker
+counts, measuring end-to-end wall-clock (process-pool startup included --
+that *is* the cost of the service) and paths per second, and verifying the
+service's contract on every run: the distinct solutions must be
+**bit-for-bit identical** to the reference.
+
+A final crash run injects a worker kill mid-``dd``-rung
+(:class:`~repro.service.sharded.FaultInjection`) and checks that the
+recovery -- reschedule, resume from the persisted checkpoints -- still
+reproduces the reference exactly, while the report's ``worker_retries`` /
+``resumed_after_crash`` counters show the crash actually happened.
+
+At benchmark sizes the sharded runs are *slower* than single-process --
+forking a pool and pickling systems costs far more than 16 paths of
+tracking.  The point of the sweep is not a speedup curve but the measured
+price of crash tolerance; the bench asserts correctness invariants, not
+scaling ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..multiprec.numeric import DOUBLE, DOUBLE_DOUBLE, NumericContext
+from ..service.sharded import FaultInjection, solve_system_sharded
+from ..tracking.solver import EscalationPolicy, SolveReport, solve_system
+from ..tracking.tracker import TrackerOptions
+from .batch_tracking import cyclic_quadratic_system
+
+__all__ = ["ShardRow", "ShardSummary", "run_shard_bench"]
+
+
+@dataclass
+class ShardRow:
+    """One configuration of the sweep (reference, a worker count, or the
+    crash drill)."""
+
+    configuration: str
+    shards: int
+    workers: int
+    wall_seconds: float
+    paths_per_second: float
+    solutions: int
+    identical_to_reference: bool
+    worker_retries: int = 0
+    resumed_after_crash: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "configuration": self.configuration,
+            "shards": self.shards,
+            "workers": self.workers,
+            "wall_s": self.wall_seconds,
+            "paths_per_s": self.paths_per_second,
+            "solutions": self.solutions,
+            "identical": self.identical_to_reference,
+            "retries": self.worker_retries,
+            "resumed_after_crash": self.resumed_after_crash,
+        }
+
+
+@dataclass
+class ShardSummary:
+    """Outcome of the shard sweep: one row per configuration."""
+
+    rows: List[ShardRow]
+    paths_total: int
+    dimension: int
+    end_tolerance: float
+    ladder: List[str]
+
+    @property
+    def all_identical(self) -> bool:
+        """Whether every sharded run (crash run included) reproduced the
+        single-process solutions bit for bit."""
+        return all(row.identical_to_reference for row in self.rows)
+
+    @property
+    def crash_row(self) -> Optional[ShardRow]:
+        for row in self.rows:
+            if row.configuration == "crash":
+                return row
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rows": [row.as_dict() for row in self.rows],
+            "paths_total": self.paths_total,
+            "dimension": self.dimension,
+            "end_tolerance": self.end_tolerance,
+            "ladder": list(self.ladder),
+            "all_identical": self.all_identical,
+        }
+
+
+def _solution_key(report: SolveReport) -> List[Tuple]:
+    """The bit-for-bit comparison key: every distinct solution's exact
+    coordinates, residual and multiplicity, in discovery order."""
+    return [(tuple(solution.point), solution.residual, solution.multiplicity)
+            for solution in report.solutions]
+
+
+def run_shard_bench(dimension: int = 4,
+                    worker_counts: Sequence[int] = (1, 2, 4),
+                    ladder: Sequence[NumericContext] = (DOUBLE, DOUBLE_DOUBLE),
+                    end_tolerance: float = 5e-17,
+                    crash_kill_after_rounds: int = 0,
+                    options: Optional[TrackerOptions] = None) -> ShardSummary:
+    """Run the shard sweep (see the module docstring).
+
+    Raises
+    ------
+    ConfigurationError
+        When ``worker_counts`` is empty.
+    """
+    if not worker_counts:
+        raise ConfigurationError("the shard bench needs at least one "
+                                 "worker count")
+    system = cyclic_quadratic_system(dimension)
+    opts = options or TrackerOptions(end_tolerance=end_tolerance,
+                                     end_iterations=12)
+    policy = EscalationPolicy(ladder=tuple(ladder))
+
+    begin = time.perf_counter()
+    reference = solve_system(system, options=opts, escalation=policy)
+    reference_wall = time.perf_counter() - begin
+    reference_key = _solution_key(reference)
+    paths = reference.paths_tracked
+
+    rows = [ShardRow(
+        configuration="single-process",
+        shards=1,
+        workers=0,
+        wall_seconds=reference_wall,
+        paths_per_second=(paths / reference_wall if reference_wall
+                          else float("inf")),
+        solutions=len(reference.solutions),
+        identical_to_reference=True,
+    )]
+
+    def timed(configuration: str, workers: int,
+              fault: Optional[FaultInjection] = None) -> ShardRow:
+        begin = time.perf_counter()
+        report = solve_system_sharded(
+            system, shards=workers, max_workers=workers, options=opts,
+            escalation=policy, fault_injection=fault, backoff_seconds=0.0)
+        wall = time.perf_counter() - begin
+        return ShardRow(
+            configuration=configuration,
+            shards=report.shards,
+            workers=workers,
+            wall_seconds=wall,
+            paths_per_second=paths / wall if wall else float("inf"),
+            solutions=len(report.solutions),
+            identical_to_reference=_solution_key(report) == reference_key,
+            worker_retries=report.worker_retries,
+            resumed_after_crash=report.resumed_after_crash,
+        )
+
+    for workers in worker_counts:
+        rows.append(timed(f"sharded x{workers}", workers))
+
+    # The crash drill: kill shard 0's worker on entry to the escalated
+    # rung, forcing a reschedule that resumes from persisted checkpoints.
+    crash_level = 1 if len(policy.ladder) > 1 else 0
+    rows.append(timed("crash", max(2, min(worker_counts)), FaultInjection(
+        shard=0, level=crash_level,
+        kill_after_rounds=crash_kill_after_rounds)))
+
+    return ShardSummary(
+        rows=rows,
+        paths_total=paths,
+        dimension=system.dimension,
+        end_tolerance=opts.end_tolerance,
+        ladder=[ctx.name for ctx in policy.ladder],
+    )

@@ -39,7 +39,13 @@ from .layout import (
     SystemLayout,
     shared_memory_budget,
 )
-from .multicore import MulticoreEvaluator, partition_monomials
+from .multicore import (
+    MulticoreEvaluator,
+    checkpoints_from_portable,
+    partition_lanes,
+    partition_monomials,
+    portable_checkpoints,
+)
 from .packed_kernels import PackedCommonFactorKernel, PackedSpeelpenningKernel
 from .opcounts import (
     KernelOperationCounts,
@@ -89,7 +95,10 @@ __all__ = [
     "expected_counts",
     "kernel1_multiplications_per_thread",
     "kernel2_multiplications_per_thread",
+    "checkpoints_from_portable",
+    "partition_lanes",
     "partition_monomials",
+    "portable_checkpoints",
     "shared_memory_budget",
     "sharing_report",
     "speelpenning_multiplications",

@@ -8,7 +8,12 @@ can be hidden, which they call *quality up*.  This module provides
 * :class:`MulticoreEvaluator` -- a work-partitioned evaluator that splits the
   monomials of the system over a pool of workers and merges the partial sums,
   mirroring how the multithreaded CPU code of [40] parallelises evaluation;
-* :func:`partition_monomials` -- the static work partition it uses.
+* :func:`partition_monomials` -- the static work partition it uses;
+* :func:`partition_lanes` -- the static *lane* partition the sharded solve
+  service uses to split a batch of homotopy paths over worker processes
+  (:mod:`repro.service.sharded`), plus the checkpoint-serialisation helpers
+  :func:`portable_checkpoints` / :func:`checkpoints_from_portable` that move
+  per-lane tracker state across the process boundary.
 
 The evaluator is functionally exact (its results equal the sequential
 reference).  True wall-clock scaling is not the point here -- CPython threads
@@ -23,9 +28,9 @@ from __future__ import annotations
 
 from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, WorkerExecutionError
 from ..multiprec.numeric import DOUBLE, NumericContext
 from ..polynomials.evaluation import evaluate_factored
 from ..polynomials.polynomial import Polynomial
@@ -33,7 +38,8 @@ from ..polynomials.speelpenning import OperationCount
 from ..polynomials.system import PolynomialSystem
 from .cpu_reference import CPUEvaluation
 
-__all__ = ["MulticoreEvaluator", "partition_monomials"]
+__all__ = ["MulticoreEvaluator", "partition_monomials", "partition_lanes",
+           "portable_checkpoints", "checkpoints_from_portable"]
 
 
 def partition_monomials(system: PolynomialSystem, workers: int
@@ -54,6 +60,53 @@ def partition_monomials(system: PolynomialSystem, workers: int
             chunks[index % workers].append((p, coeff, mono))
             index += 1
     return chunks
+
+
+def partition_lanes(count: int, shards: int) -> List[List[int]]:
+    """Split ``count`` lane indices into ``shards`` contiguous balanced runs.
+
+    The sharded solve service partitions a solve's path batch across worker
+    processes with this: contiguous runs (rather than the round-robin used
+    for monomials) keep each shard's lanes a slice of the global index
+    space, so merged results concatenate back into global path order.  The
+    first ``count % shards`` shards receive one extra lane; shards beyond
+    ``count`` come back empty (callers skip them).
+
+    Raises
+    ------
+    ConfigurationError
+        When ``shards`` is not at least 1 or ``count`` is negative.
+    """
+    if shards < 1:
+        raise ConfigurationError("shards must be at least 1")
+    if count < 0:
+        raise ConfigurationError("cannot partition a negative lane count")
+    base, extra = divmod(count, shards)
+    out: List[List[int]] = []
+    begin = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        out.append(list(range(begin, begin + size)))
+        begin += size
+    return out
+
+
+def portable_checkpoints(checkpoints: Sequence) -> List[Dict[str, object]]:
+    """Serialise lane checkpoints to their portable (plain-data) form.
+
+    One :meth:`~repro.tracking.batch_tracker.LaneCheckpoint.to_portable`
+    dict per checkpoint, in lane order -- the form the checkpoint stores
+    persist and the process-pool workers ship across the pickle boundary.
+    """
+    return [cp.to_portable() for cp in checkpoints]
+
+
+def checkpoints_from_portable(states: Sequence[Dict[str, object]]) -> List:
+    """Rebuild :class:`~repro.tracking.batch_tracker.LaneCheckpoint` objects
+    from their portable form (inverse of :func:`portable_checkpoints`,
+    bit-for-bit)."""
+    from ..tracking.batch_tracker import LaneCheckpoint  # local: layering
+    return [LaneCheckpoint.from_portable(state) for state in states]
 
 
 def _evaluate_chunk(chunk, dimension: int, point, context):
@@ -90,6 +143,35 @@ class MulticoreEvaluator:
         self.context = context
         self.workers = int(workers)
         self._executor = executor
+        # The system is fixed at construction, so the static work partition
+        # is too: computing it per evaluation would re-walk every monomial
+        # of every polynomial on the hot path for an identical answer.
+        self._chunks = [chunk for chunk
+                        in partition_monomials(system, self.workers) if chunk]
+
+    def _gather(self, futures) -> List[tuple]:
+        """Collect chunk results, attributing failures to their worker.
+
+        A bare ``future.result()`` error says nothing about *which* chunk
+        died; mirror how the kernel launcher surfaces thread coordinates
+        (:func:`repro.gpusim.launch.launch_kernel`) by wrapping the
+        exception with the worker index and the polynomial indices the
+        chunk was hosting.
+        """
+        partials = []
+        for worker, (chunk, future) in enumerate(zip(self._chunks, futures)):
+            try:
+                partials.append(future.result())
+            except WorkerExecutionError:
+                raise
+            except Exception as exc:
+                hosted = sorted({p for p, _, _ in chunk})
+                raise WorkerExecutionError(
+                    f"multicore evaluation failed in worker {worker} of "
+                    f"{len(self._chunks)} (hosting polynomial(s) {hosted}, "
+                    f"{len(chunk)} monomial(s)): {exc}"
+                ) from exc
+        return partials
 
     def evaluate(self, point: Sequence) -> CPUEvaluation:
         """Evaluate ``f`` and ``J_f``; results equal the sequential reference."""
@@ -98,20 +180,22 @@ class MulticoreEvaluator:
         ctx = self.context
         converted = [ctx.from_complex(complex(x)) if isinstance(x, (int, float, complex)) else x
                      for x in point]
-        chunks = partition_monomials(self.system, self.workers)
+        chunks = self._chunks
         n = self.system.dimension
 
+        # The timer covers the whole partition-and-merge path -- the worker
+        # evaluations AND the host-side merge loop below -- because that
+        # merge is part of what the multicore scheme costs.
         start = time.perf_counter()
         if self._executor is not None:
             futures = [self._executor.submit(_evaluate_chunk, chunk, n, converted, ctx)
-                       for chunk in chunks if chunk]
-            partials = [f.result() for f in futures]
+                       for chunk in chunks]
+            partials = self._gather(futures)
         else:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 futures = [pool.submit(_evaluate_chunk, chunk, n, converted, ctx)
-                           for chunk in chunks if chunk]
-                partials = [f.result() for f in futures]
-        elapsed = time.perf_counter() - start
+                           for chunk in chunks]
+                partials = self._gather(futures)
 
         values = [ctx.zero() for _ in range(n)]
         jacobian = [[ctx.zero() for _ in range(n)] for _ in range(n)]
@@ -122,6 +206,7 @@ class MulticoreEvaluator:
                 values[i] = values[i] + part_values[i]
                 for j in range(n):
                     jacobian[i][j] = jacobian[i][j] + part_jacobian[i][j]
+        elapsed = time.perf_counter() - start
 
         return CPUEvaluation(values=values, jacobian=jacobian,
                              operations=operations, elapsed_seconds=elapsed)

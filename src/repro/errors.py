@@ -50,6 +50,41 @@ class KernelExecutionError(ReproError):
     """A simulated kernel failed while executing a thread program."""
 
 
+class WorkerExecutionError(ReproError):
+    """A parallel evaluation or tracking worker failed.
+
+    The message carries the worker's coordinates (worker index, the work
+    items it was hosting) the way :class:`KernelExecutionError` carries the
+    failing thread's block/thread indices, so a partition-and-merge failure
+    can be attributed to a chunk instead of surfacing as a bare exception
+    from an anonymous future.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for errors of the sharded solve service layer."""
+
+
+class QueueFullError(ServiceError):
+    """The solve service's bounded job queue is full (backpressure).
+
+    Submitting callers are expected to retry later or shed load; the
+    service never buffers unboundedly.
+    """
+
+
+class JobNotFoundError(ServiceError, KeyError):
+    """An unknown job id was polled.
+
+    Subclasses :class:`KeyError` so generic mapping-style callers can guard
+    with the built-in exception.
+    """
+
+
+class ShardFailedError(ServiceError):
+    """A shard exhausted its bounded retries without completing its rung."""
+
+
 class MemoryAccessError(KernelExecutionError):
     """A simulated thread accessed memory out of bounds or uninitialised."""
 

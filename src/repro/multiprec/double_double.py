@@ -70,6 +70,21 @@ class DoubleDouble:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
+    def _raw(cls, hi: float, lo: float) -> "DoubleDouble":
+        """Adopt two components verbatim, skipping renormalisation.
+
+        For rebuilding a value whose components are *already* a valid
+        double-double decomposition (e.g. the portable checkpoint planes):
+        ``two_sum`` renormalisation would poison non-finite values --
+        ``inf + nan`` is ``nan`` -- whereas a stored ``(inf, nan)`` pair
+        must come back exactly as it was captured.
+        """
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "hi", hi)
+        object.__setattr__(obj, "lo", lo)
+        return obj
+
+    @classmethod
     def from_float(cls, x: float) -> "DoubleDouble":
         """Exact embedding of a double into double-double."""
         return cls(float(x), 0.0)

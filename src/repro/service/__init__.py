@@ -1,0 +1,33 @@
+"""Sharded, crash-tolerant solve service with persistent checkpoints.
+
+The service layer sits on top of the blackbox solver
+(:mod:`repro.tracking.solver`) and scales it out without touching it:
+
+* :mod:`repro.service.store` -- pluggable persistence for per-shard
+  checkpoint state (in-memory, or on-disk JSON/npz);
+* :mod:`repro.service.sharded` -- :func:`solve_system_sharded`: partition
+  the path batch into lane shards, run each shard-rung in a process-pool
+  worker, persist checkpoints after every rung, and reschedule crashed or
+  hung workers warm from the store (bounded retries, exponential backoff,
+  optional fault injection for recovery drills);
+* :mod:`repro.service.queue` -- :class:`SolveService`, the bounded async
+  job-queue front end (``submit -> job_id``, ``poll``, ``result``).
+
+The contract throughout: a sharded solve's distinct solutions are
+bit-for-bit identical to a single-process :func:`~repro.tracking.solver.
+solve_system` on the same seed/gamma -- crash or no crash.
+"""
+
+from .queue import JobStatus, SolveService
+from .sharded import FaultInjection, solve_system_sharded
+from .store import CheckpointStore, FileCheckpointStore, InMemoryCheckpointStore
+
+__all__ = [
+    "CheckpointStore",
+    "FaultInjection",
+    "FileCheckpointStore",
+    "InMemoryCheckpointStore",
+    "JobStatus",
+    "SolveService",
+    "solve_system_sharded",
+]

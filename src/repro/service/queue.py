@@ -1,0 +1,212 @@
+"""Async job-queue front end over the sharded solver.
+
+:class:`SolveService` turns :func:`~repro.service.sharded.solve_system_sharded`
+into a submit/poll service: ``submit(system) -> job_id`` enqueues a solve on
+a **bounded** queue (a full queue raises
+:class:`~repro.errors.QueueFullError` immediately -- backpressure, not
+unbounded buffering), background worker threads drain the queue one solve
+at a time, and ``poll(job_id)`` / ``result(job_id)`` observe the job's life
+cycle::
+
+    with SolveService(capacity=4) as service:
+        job = service.submit(system, shards=2)
+        report = service.result(job)          # blocks until done
+
+Each *queue worker thread* runs one solve at a time, and each solve fans
+its shards out over its own process pool -- the thread count bounds how
+many solves run concurrently, the sharding bounds how parallel each one
+is.  Jobs keep their terminal state (``done``/``failed`` with the report
+or the exception) until the service is discarded, so late polls never
+lose a result.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as _queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..errors import JobNotFoundError, QueueFullError, ServiceError
+from ..polynomials.system import PolynomialSystem
+from ..tracking.solver import SolveReport
+from .sharded import solve_system_sharded
+
+__all__ = ["JobStatus", "SolveService"]
+
+#: Job life cycle: queued -> running -> done | failed.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class _Job:
+    job_id: str
+    system: PolynomialSystem
+    kwargs: Dict[str, object]
+    state: str = QUEUED
+    report: Optional[SolveReport] = None
+    error: Optional[BaseException] = None
+    finished: threading.Event = field(default_factory=threading.Event)
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """One poll's view of a job: its state and, when terminal, the outcome."""
+
+    job_id: str
+    state: str
+    report: Optional[SolveReport] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+
+class SolveService:
+    """Bounded-queue solve service (see module docstring).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of *queued* (not yet running) jobs;
+        :meth:`submit` raises :class:`~repro.errors.QueueFullError` beyond
+        it instead of buffering without bound.
+    workers:
+        Queue worker threads, i.e. how many solves may run concurrently.
+    solver:
+        The solve callable, ``solver(system, **kwargs) -> SolveReport``;
+        :func:`~repro.service.sharded.solve_system_sharded` by default
+        (tests substitute stubs).
+    **defaults:
+        Default keyword arguments merged under every submit's overrides --
+        e.g. a shared ``store=`` or ``shards=``.
+    """
+
+    def __init__(self, *, capacity: int = 8, workers: int = 1,
+                 solver: Optional[Callable[..., SolveReport]] = None,
+                 **defaults):
+        if capacity < 1:
+            raise ServiceError("queue capacity must be at least 1")
+        if workers < 1:
+            raise ServiceError("a solve service needs at least one worker")
+        self._solver = solver if solver is not None else solve_system_sharded
+        self._defaults = dict(defaults)
+        self._queue: _queue.Queue = _queue.Queue(maxsize=capacity)
+        self._jobs: Dict[str, _Job] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._stop = object()
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._drain, daemon=True,
+                             name=f"solve-service-{n}")
+            for n in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submit / observe ------------------------------------------------
+    def submit(self, system: PolynomialSystem, **overrides) -> str:
+        """Enqueue a solve; returns its job id immediately.
+
+        Raises
+        ------
+        QueueFullError
+            When the bounded queue is at capacity (backpressure: retry
+            later or drain results first).
+        ServiceError
+            After :meth:`shutdown`.
+        """
+        if self._closed:
+            raise ServiceError("the solve service has been shut down")
+        job_id = f"job-{next(self._ids)}"
+        job = _Job(job_id=job_id, system=system,
+                   kwargs={**self._defaults, **overrides})
+        with self._lock:
+            self._jobs[job_id] = job
+        try:
+            self._queue.put_nowait(job)
+        except _queue.Full:
+            with self._lock:
+                del self._jobs[job_id]
+            raise QueueFullError(
+                f"solve queue is full ({self._queue.maxsize} job(s) "
+                f"queued); drain results or retry later"
+            ) from None
+        return job_id
+
+    def _job(self, job_id: str) -> _Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"unknown job id {job_id!r}")
+        return job
+
+    def poll(self, job_id: str) -> JobStatus:
+        """The job's current state, non-blocking.
+
+        Raises
+        ------
+        JobNotFoundError
+            For an id this service never issued (or one rejected by a full
+            queue).
+        """
+        job = self._job(job_id)
+        return JobStatus(job_id=job.job_id, state=job.state,
+                         report=job.report, error=job.error)
+
+    def result(self, job_id: str, timeout: Optional[float] = None
+               ) -> SolveReport:
+        """Block until the job finishes and return its report.
+
+        Re-raises the solve's exception for failed jobs; raises
+        :class:`TimeoutError` when ``timeout`` seconds pass first.
+        """
+        job = self._job(job_id)
+        if not job.finished.wait(timeout):
+            raise TimeoutError(
+                f"job {job_id!r} did not finish within {timeout} s")
+        if job.state == FAILED:
+            raise job.error
+        return job.report
+
+    # -- life cycle ------------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is self._stop:
+                    return
+                item.state = RUNNING
+                try:
+                    item.report = self._solver(item.system, **item.kwargs)
+                    item.state = DONE
+                except BaseException as exc:  # the job owns its failure
+                    item.error = exc
+                    item.state = FAILED
+                finally:
+                    item.finished.set()
+            finally:
+                self._queue.task_done()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs and (by default) drain what is queued."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(self._stop)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)

@@ -1,0 +1,565 @@
+"""Sharded, crash-tolerant blackbox solving over a process pool.
+
+:func:`solve_system_sharded` is :func:`repro.tracking.solver.solve_system`
+scaled out and hardened: the solve's path batch is partitioned into
+contiguous lane shards (:func:`repro.core.multicore.partition_lanes`), each
+shard-rung of the escalation ladder runs as a task in a
+:class:`~concurrent.futures.ProcessPoolExecutor` worker (driving the
+unchanged :class:`~repro.tracking.batch_tracker.BatchTracker`), and after
+every rung each shard's :class:`~repro.tracking.batch_tracker.LaneCheckpoint`
+state is persisted to a pluggable :class:`~repro.service.store.CheckpointStore`.
+When a worker crashes, hangs past ``timeout``, or is killed by an injected
+fault, the coordinator recreates the pool and reschedules the shard -- with
+``resume_from=`` the checkpoints it *reloads from the store* (bounded
+retries, exponential backoff), so the retry replays only the rung in flight,
+never the whole path.
+
+Determinism is the load-bearing property: lane trajectories of the batched
+tracker are independent of batch composition (elementwise arithmetic,
+per-lane pivoted elimination, masked updates), the lane partition is a
+contiguous slice of the global path order, the portable checkpoint/result
+encoding round-trips every float exactly, and the default gamma is a fixed
+constant.  A sharded solve's distinct solutions are therefore **bit-for-bit
+identical** to the single-process :func:`~repro.tracking.solver.solve_system`
+on the same seed/gamma -- crash or no crash -- which is what the tests
+assert.
+
+Every rung must be able to take the batched tracking route
+(:func:`~repro.tracking.solver.batched_route_available`): the scalar
+fallback produces no checkpoints, so a sharded service built on it could
+not keep its crash-resume promise.  That is checked up front and refused
+with a :class:`~repro.errors.ConfigurationError`, never degraded silently.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.multicore import partition_lanes, portable_checkpoints
+from ..errors import ConfigurationError, ShardFailedError
+from ..multiprec.numeric import DOUBLE, CONTEXTS, NumericContext
+from ..polynomials.system import PolynomialSystem
+from ..tracking.solver import (
+    EscalationPolicy,
+    SolveReport,
+    _deduplicate,
+    batched_route_available,
+)
+from ..tracking.start_systems import (
+    sample_start_solutions,
+    start_solutions,
+    total_degree,
+    total_degree_start_system,
+)
+from ..tracking.tracker import PathResult, TrackerOptions
+from .store import CheckpointStore, InMemoryCheckpointStore
+
+__all__ = ["FaultInjection", "solve_system_sharded"]
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """Kill a worker mid-rung, for crash-recovery tests and drills.
+
+    The coordinator arms the fault on the first ``times`` submissions of
+    shard ``shard`` at ladder level ``level``; the armed worker counts the
+    batch tracker's rounds (lock-step advances and the endgame round both)
+    and dies with ``os._exit(1)`` -- an un-catchable hard crash, exactly
+    what a preempted or OOM-killed worker looks like -- once
+    ``kill_after_rounds`` rounds have run (``0`` kills the worker on entry
+    to its first round).
+    Retries of the shard are *not* re-armed once the budget is spent, so
+    the recovery path is exercised end to end.
+    """
+
+    shard: int
+    level: int = 0
+    kill_after_rounds: int = 2
+    times: int = 1
+
+
+# ----------------------------------------------------------------------
+# portable PathResult: the worker -> coordinator wire format
+# ----------------------------------------------------------------------
+def _portable_result(result: PathResult, context_name: str) -> Dict[str, object]:
+    """Flatten one :class:`PathResult` to plain JSON-friendly data.
+
+    The solution scalars go through the same exact plane encoding as
+    checkpoints (:func:`~repro.tracking.batch_tracker.scalar_to_planes`),
+    so the coordinator-side rebuild is bit-for-bit and the final
+    de-duplication sees exactly the coordinates a single-process solve
+    would.  The per-point ``path`` trace is empty on the batched route and
+    is not carried.
+    """
+    from ..tracking.batch_tracker import scalar_to_planes
+    return {
+        "context": context_name,
+        "success": bool(result.success),
+        "solution": [scalar_to_planes(x, context_name) for x in result.solution],
+        "residual": float(result.residual),
+        "steps_accepted": int(result.steps_accepted),
+        "steps_rejected": int(result.steps_rejected),
+        "newton_iterations": int(result.newton_iterations),
+        "failure_reason": result.failure_reason,
+    }
+
+
+def _result_from_portable(state: Dict[str, object]) -> PathResult:
+    """Inverse of :func:`_portable_result` (``path`` trace excepted)."""
+    from ..tracking.batch_tracker import scalar_from_planes
+    name = str(state["context"])
+    return PathResult(
+        success=bool(state["success"]),
+        solution=[scalar_from_planes(planes, name)
+                  for planes in state["solution"]],
+        residual=float(state["residual"]),
+        steps_accepted=int(state["steps_accepted"]),
+        steps_rejected=int(state["steps_rejected"]),
+        newton_iterations=int(state["newton_iterations"]),
+        failure_reason=state.get("failure_reason"),
+    )
+
+
+# ----------------------------------------------------------------------
+# the worker: one (shard, rung) task in a pool process
+# ----------------------------------------------------------------------
+def _run_shard_rung(payload: Dict[str, object]) -> Dict[str, object]:
+    """Track one shard's pending lanes through one rung of the ladder.
+
+    Runs in a pool worker process.  The payload is plain picklable data --
+    the polynomial systems, the context *name* (resolved locally, so no
+    :class:`NumericContext` callables cross the pickle boundary), tracker
+    options, and either fresh ``starts`` or portable ``resume`` checkpoints
+    -- and the return value is portable again (see :func:`_portable_result`
+    and :meth:`LaneCheckpoint.to_portable`), so the coordinator can persist
+    it as-is.
+
+    An armed ``fault`` wraps the tracker's advance loop with a countdown
+    that hard-kills the process (``os._exit``) after the configured number
+    of lock-step rounds -- see :class:`FaultInjection`.
+    """
+    from ..multiprec.numeric import get_context
+    from ..tracking.batch_tracker import BatchTracker
+    from ..core.multicore import checkpoints_from_portable
+
+    context = get_context(str(payload["context"]))
+    tracker = BatchTracker(
+        payload["start_system"], payload["target_system"],
+        context=context,
+        options=payload["options"],
+        batch_size=payload["batch_size"],
+        gamma=payload["gamma"],
+        skip_certified_endgame=bool(payload["skip_certified_endgame"]),
+    )
+
+    fault = payload.get("fault")
+    if fault is not None:
+        countdown = [int(fault["kill_after_rounds"])]
+
+        def armed(method):
+            def run_or_die(batch):
+                if countdown[0] <= 0:
+                    os._exit(1)
+                countdown[0] -= 1
+                return method(batch)
+            return run_or_die
+
+        # Both the lock-step advance rounds and the endgame round count: a
+        # rung resumed at ``t >= 1`` goes straight to the endgame, and the
+        # drill must be able to kill that worker too.
+        tracker._advance = armed(tracker._advance)
+        tracker._endgame = armed(tracker._endgame)
+
+    resume = payload.get("resume")
+    if resume is not None:
+        outcome = tracker.track_batches(
+            resume_from=checkpoints_from_portable(resume))
+    else:
+        outcome = tracker.track_batches(payload["starts"])
+
+    return {
+        "results": [_portable_result(r, context.name) for r in outcome.results],
+        "checkpoints": portable_checkpoints(outcome.checkpoints()),
+        "endgame_skips": int(outcome.endgame_reentries_skipped),
+    }
+
+
+# ----------------------------------------------------------------------
+# the coordinator
+# ----------------------------------------------------------------------
+class _PoolBox:
+    """A process pool the coordinator can declare broken and rebuild."""
+
+    def __init__(self, max_workers: int, mp_context):
+        self.max_workers = max_workers
+        self.mp_context = mp_context
+        self.pool: Optional[ProcessPoolExecutor] = None
+
+    def get(self) -> ProcessPoolExecutor:
+        if self.pool is None:
+            self.pool = ProcessPoolExecutor(max_workers=self.max_workers,
+                                            mp_context=self.mp_context)
+        return self.pool
+
+    def discard(self) -> None:
+        """Tear the pool down hard (crashed or hung workers included)."""
+        pool = self.pool
+        self.pool = None
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - pre-3.9 signature
+            pool.shutdown(wait=False)
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            if process.is_alive():
+                process.terminate()
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.shutdown(wait=True)
+            self.pool = None
+
+
+def _default_mp_context(name: Optional[str]):
+    import multiprocessing
+    if name is not None and not isinstance(name, str):
+        return name  # an explicit multiprocessing context object
+    if name is None:
+        # fork workers inherit sys.path (and the imported repro package),
+        # which keeps the service runnable without install; fall back to
+        # the platform default where fork does not exist.
+        name = "fork" if "fork" in multiprocessing.get_all_start_methods() \
+            else None
+    return multiprocessing.get_context(name)
+
+
+def solve_system_sharded(system: PolynomialSystem, *,
+                         shards: int = 2,
+                         max_workers: Optional[int] = None,
+                         store: Optional[CheckpointStore] = None,
+                         job_id: Optional[str] = None,
+                         cleanup: bool = True,
+                         context: NumericContext = DOUBLE,
+                         options: Optional[TrackerOptions] = None,
+                         max_paths: Optional[int] = None,
+                         gamma: Optional[complex] = None,
+                         deduplication_tolerance: float = 1e-6,
+                         seed: Optional[int] = 0,
+                         batch_size: Optional[int] = None,
+                         escalation: Optional[EscalationPolicy] = None,
+                         max_retries: int = 2,
+                         backoff_seconds: float = 0.05,
+                         timeout: Optional[float] = None,
+                         fault_injection: Optional[FaultInjection] = None,
+                         mp_context=None) -> SolveReport:
+    """Solve ``system`` like :func:`~repro.tracking.solver.solve_system`,
+    sharded over worker processes with persistent crash recovery.
+
+    The solver-facing parameters (``context`` .. ``escalation``) mean
+    exactly what they mean on :func:`solve_system`; the distinct solutions
+    of the returned report are bit-for-bit identical to a single-process
+    solve with the same ones.  The service parameters:
+
+    Parameters
+    ----------
+    shards:
+        How many contiguous lane shards to partition the path batch into
+        (shards beyond the path count come back empty and are dropped;
+        :attr:`SolveReport.shards` records the populated count).
+    max_workers:
+        Pool size; defaults to the populated shard count.
+    store:
+        Where per-shard rung state is persisted
+        (:class:`~repro.service.store.CheckpointStore`); a fresh
+        :class:`~repro.service.store.InMemoryCheckpointStore` by default.
+    job_id:
+        Key the shard records are stored under; generated when omitted.
+    cleanup:
+        Drop the job's store records once the solve completes (default).
+        Pass ``False`` to keep them -- e.g. to inspect persisted state, or
+        to leave a durable trail in a :class:`FileCheckpointStore`.
+    max_retries:
+        How many times one shard-rung task may be rescheduled after a
+        crash/timeout before the solve gives up with
+        :class:`~repro.errors.ShardFailedError`.
+    backoff_seconds:
+        Base of the exponential back-off slept before each reschedule
+        (``backoff * 2**(attempt-1)``); 0 disables sleeping.
+    timeout:
+        Per-task seconds before a worker counts as hung and its shard is
+        rescheduled (the pool is torn down hard first); ``None`` waits
+        forever.
+    fault_injection:
+        Optional :class:`FaultInjection` that hard-kills a worker mid-rung
+        -- the crash-recovery drill used by the tests and the docs.
+    mp_context:
+        Multiprocessing start method name (or context object) for the pool;
+        defaults to ``"fork"`` where available.
+
+    Raises
+    ------
+    ConfigurationError
+        When a ladder rung cannot take the batched tracking route or is
+        not resolvable by name in a worker process -- the service refuses
+        up front rather than degrade its crash-resume guarantee.
+    ShardFailedError
+        When one shard's retries are exhausted.
+    """
+    start_system = total_degree_start_system(system)
+    bezout = total_degree(system)
+    if max_paths is not None and max_paths < bezout:
+        starts = sample_start_solutions(system, max_paths, seed=seed)
+    else:
+        starts = list(start_solutions(system))
+    starts = [tuple(complex(x) for x in s) for s in starts]
+
+    ladder = list(escalation.ladder) if escalation is not None else [context]
+    exposed = (start_system, system)
+    for rung in ladder:
+        if not batched_route_available(rung, exposed):
+            raise ConfigurationError(
+                f"the sharded service needs the batched tracking route at "
+                f"every rung, but context {rung.name!r} has no registered "
+                f"batch backend -- its checkpoints could be neither "
+                f"produced nor honoured, breaking crash recovery"
+            )
+        if CONTEXTS.get(rung.name) is not rung:
+            raise ConfigurationError(
+                f"context {rung.name!r} is not resolvable by name in a "
+                f"worker process (repro.multiprec.numeric.get_context); "
+                f"the sharded service ships contexts by name across the "
+                f"process boundary"
+            )
+    warm = escalation is None or escalation.warm_restart
+    residual_aware = escalation is not None and escalation.residual_aware
+
+    if store is None:
+        store = InMemoryCheckpointStore()
+    if job_id is None:
+        job_id = uuid.uuid4().hex
+
+    lanes_by_shard = {s: lanes for s, lanes
+                      in enumerate(partition_lanes(len(starts), shards))
+                      if lanes}
+    pending_by_shard: Dict[int, List[int]] = {
+        s: list(lanes) for s, lanes in lanes_by_shard.items()}
+
+    solved: Dict[int, PathResult] = {}
+    still_failing: Dict[int, PathResult] = {}
+    results_portable: Dict[int, Dict[str, object]] = {}
+    checkpoints_by_index: Dict[int, Dict[str, object]] = {}
+    paths_by_context: Dict[str, int] = {}
+    converged_by_context: Dict[str, int] = {}
+    resumed_by_context: Dict[str, int] = {}
+    restarted_by_context: Dict[str, int] = {}
+    resume_t_by_context: Dict[str, List[float]] = {}
+    endgame_skips_by_context: Dict[str, int] = {}
+    recovered = 0
+    worker_retries = 0
+    resumed_after_crash = 0
+    fault_budget = [fault_injection.times if fault_injection is not None else 0]
+
+    def build_payload(shard: int, level: int, rung: NumericContext,
+                      lane_indices: List[int],
+                      resume: Optional[List[Dict[str, object]]]
+                      ) -> Dict[str, object]:
+        payload = {
+            "start_system": start_system,
+            "target_system": system,
+            "context": rung.name,
+            "options": options,
+            "gamma": gamma,
+            "batch_size": batch_size,
+            "starts": None if resume is not None
+            else [starts[i] for i in lane_indices],
+            "resume": resume,
+            "skip_certified_endgame": resume is not None and residual_aware,
+        }
+        if (fault_injection is not None and fault_budget[0] > 0
+                and shard == fault_injection.shard
+                and level == fault_injection.level):
+            fault_budget[0] -= 1
+            payload["fault"] = {
+                "kill_after_rounds": fault_injection.kill_after_rounds}
+        return payload
+
+    pool_box = _PoolBox(
+        max_workers=max_workers or max(1, len(lanes_by_shard)),
+        mp_context=_default_mp_context(mp_context))
+    try:
+        for level, rung in enumerate(ladder):
+            active = {s: p for s, p in pending_by_shard.items() if p}
+            if not active:
+                break
+            payloads: Dict[int, Dict[str, object]] = {}
+            resume_by_shard: Dict[int, Optional[List[Dict[str, object]]]] = {}
+            for s in sorted(active):
+                lane_indices = active[s]
+                resume = ([checkpoints_by_index[i] for i in lane_indices]
+                          if warm and level > 0 else None)
+                resume_by_shard[s] = resume
+                payloads[s] = build_payload(s, level, rung, lane_indices,
+                                            resume)
+
+            # -- run the rung's shard tasks, rescheduling crashed shards --
+            outcomes: Dict[int, Dict[str, object]] = {}
+            todo = dict(payloads)
+            attempts = {s: 0 for s in payloads}
+            barren_rounds = 0  # pool died before anything could be submitted
+            while todo:
+                pool = pool_box.get()
+                futures: Dict[int, object] = {}
+                pool_broken = False
+                # A crashing worker can break the pool *between* submits, so
+                # submission itself may raise; shards left unsubmitted simply
+                # stay in ``todo`` for the next round (no attempt charged --
+                # the crash was not theirs).
+                try:
+                    for s in sorted(todo):
+                        futures[s] = pool.submit(_run_shard_rung, todo[s])
+                except BrokenExecutor:
+                    pool_broken = True
+                if futures:
+                    barren_rounds = 0
+                else:
+                    barren_rounds += 1
+                    if barren_rounds > max_retries + 1:
+                        raise ShardFailedError(
+                            f"the worker pool broke {barren_rounds} time(s) "
+                            f"in a row before any shard task could be "
+                            f"submitted at rung {rung.name!r} (level {level})"
+                        )
+                crashed: List[int] = []
+                for s in sorted(futures):
+                    try:
+                        outcomes[s] = futures[s].result(timeout=timeout)
+                        del todo[s]
+                    except ConfigurationError:
+                        raise
+                    except FutureTimeoutError:
+                        crashed.append(s)
+                        pool_broken = True  # the worker is stuck; replace it
+                    except Exception as exc:
+                        crashed.append(s)
+                        if isinstance(exc, BrokenExecutor):
+                            pool_broken = True
+                if pool_broken:
+                    pool_box.discard()
+                for s in crashed:
+                    attempts[s] += 1
+                    worker_retries += 1
+                    if attempts[s] > max_retries:
+                        raise ShardFailedError(
+                            f"shard {s} failed {attempts[s]} time(s) at "
+                            f"rung {rung.name!r} (level {level}); retries "
+                            f"exhausted (max_retries={max_retries})"
+                        )
+                    if backoff_seconds > 0:
+                        time.sleep(backoff_seconds * (2 ** (attempts[s] - 1)))
+                    # Rebuild the payload with checkpoints RELOADED from the
+                    # store -- the persistence layer, not coordinator memory,
+                    # is what the recovery path must prove out.
+                    payload = dict(payloads[s])
+                    payload.pop("fault", None)
+                    if resume_by_shard[s] is not None:
+                        record = store.get(job_id, s)
+                        stored = (record or {}).get("checkpoints", {})
+                        payload["resume"] = [
+                            stored.get(str(i), resume_by_shard[s][k])
+                            for k, i in enumerate(active[s])]
+                        resumed_after_crash += 1
+                    if (fault_injection is not None and fault_budget[0] > 0
+                            and s == fault_injection.shard
+                            and level == fault_injection.level):
+                        fault_budget[0] -= 1
+                        payload["fault"] = {"kill_after_rounds":
+                                            fault_injection.kill_after_rounds}
+                    todo[s] = payload
+
+            # -- merge the rung: accounting, checkpoints, persistence --
+            paths_by_context[rung.name] = sum(len(p) for p in active.values())
+            converged_by_context[rung.name] = 0
+            endgame_skips_by_context[rung.name] = 0
+            resumed_by_context[rung.name] = 0
+            restarted_by_context[rung.name] = 0
+            resume_t_by_context[rung.name] = []
+            for s in sorted(active):
+                lane_indices = active[s]
+                outcome = outcomes[s]
+                resume = resume_by_shard[s]
+                if resume is not None:
+                    mid_path = [float(st["t"]) for st in resume
+                                if float(st["t"]) > 0.0]
+                    resumed_by_context[rung.name] += len(mid_path)
+                    restarted_by_context[rung.name] += (len(resume)
+                                                        - len(mid_path))
+                    resume_t_by_context[rung.name].extend(mid_path)
+                else:
+                    restarted_by_context[rung.name] += len(lane_indices)
+                endgame_skips_by_context[rung.name] += outcome["endgame_skips"]
+                next_pending: List[int] = []
+                for position, index in enumerate(lane_indices):
+                    portable = outcome["results"][position]
+                    results_portable[index] = portable
+                    checkpoints_by_index[index] = \
+                        outcome["checkpoints"][position]
+                    result = _result_from_portable(portable)
+                    if result.success:
+                        converged_by_context[rung.name] += 1
+                        solved[index] = result
+                        if level > 0:
+                            recovered += 1
+                            still_failing.pop(index, None)
+                    else:
+                        still_failing[index] = result
+                        next_pending.append(index)
+                pending_by_shard[s] = next_pending
+                store.put(job_id, s, {
+                    "job_id": job_id,
+                    "shard": s,
+                    "level": level,
+                    "context": rung.name,
+                    "lanes": list(lanes_by_shard[s]),
+                    "pending": next_pending,
+                    "checkpoints": {str(i): checkpoints_by_index[i]
+                                    for i in lanes_by_shard[s]
+                                    if i in checkpoints_by_index},
+                    "results": {str(i): results_portable[i]
+                                for i in lanes_by_shard[s]
+                                if i in results_portable},
+                })
+    finally:
+        pool_box.close()
+
+    if cleanup:
+        store.delete_job(job_id)
+
+    converged = [solved[i] for i in sorted(solved)]
+    failures = [still_failing[i] for i in sorted(still_failing)]
+    final_context = ladder[-1] if escalation is not None else context
+    solutions = _deduplicate(converged, final_context, deduplication_tolerance)
+    return SolveReport(
+        system=system,
+        bezout_number=bezout,
+        paths_tracked=len(starts),
+        paths_converged=len(converged),
+        solutions=solutions,
+        failures=failures,
+        paths_by_context=paths_by_context,
+        converged_by_context=converged_by_context,
+        recovered_by_escalation=recovered,
+        resumed_by_context=resumed_by_context,
+        restarted_by_context=restarted_by_context,
+        resume_t_by_context=resume_t_by_context,
+        endgame_skips_by_context=endgame_skips_by_context,
+        shards=len(lanes_by_shard),
+        worker_retries=worker_retries,
+        resumed_after_crash=resumed_after_crash,
+    )

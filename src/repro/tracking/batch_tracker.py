@@ -50,14 +50,85 @@ from ..multiprec.backend import (
     masked_lane_errstate,
     registered_backends,
 )
-from ..multiprec.numeric import DOUBLE, NumericContext
+from ..multiprec.complex_dd import ComplexDD
+from ..multiprec.double_double import DoubleDouble
+from ..multiprec.numeric import DOUBLE, ComplexQD, NumericContext
+from ..multiprec.quad_double import QuadDouble
 from .homotopy import BatchHomotopy
 from .newton import BatchNewtonCorrector
 from .predictor import BatchSecantPredictor, BatchTangentPredictor
 from .tracker import PathResult, StepControl, TrackerOptions
 
 __all__ = ["PathStatus", "LaneCheckpoint", "PathBatch", "BatchTrackResult",
-           "BatchTracker"]
+           "BatchTracker", "scalar_to_planes", "scalar_from_planes"]
+
+
+# ----------------------------------------------------------------------
+# portable scalar encoding: context scalars <-> flat float64 components
+# ----------------------------------------------------------------------
+#: Flat float components of one complex scalar per context: ``d`` stores
+#: ``(re, im)``, ``dd`` the four ``(re.hi, re.lo, im.hi, im.lo)`` planes,
+#: ``qd`` all eight quad-double components.  The planes ARE the scalar's
+#: in-memory representation, so the round trip is bit-for-bit (inf, NaN
+#: and signed zeros included).
+_PLANES_PER_SCALAR = {"d": 2, "dd": 4, "qd": 8}
+
+
+def scalar_to_planes(x, context_name: str) -> List[float]:
+    """Flatten one scalar of a ``d``/``dd``/``qd`` context to plain floats.
+
+    The floats are exactly the scalar's component planes -- no rounding --
+    so :func:`scalar_from_planes` reconstructs the scalar bit-for-bit.
+    This is the element step of the portable checkpoint format (see
+    :meth:`LaneCheckpoint.to_portable`).
+
+    Raises
+    ------
+    ConfigurationError
+        For contexts without a known plane decomposition.
+    """
+    if context_name == "d":
+        z = complex(x)
+        return [z.real, z.imag]
+    if context_name == "dd":
+        if not isinstance(x, ComplexDD):
+            x = ComplexDD(DoubleDouble(complex(x).real),
+                          DoubleDouble(complex(x).imag))
+        return [x.real.hi, x.real.lo, x.imag.hi, x.imag.lo]
+    if context_name == "qd":
+        if not isinstance(x, ComplexQD):
+            x = ComplexQD(complex(x))
+        return [*x.real.c, *x.imag.c]
+    raise ConfigurationError(
+        f"no portable plane encoding for numeric context {context_name!r}; "
+        f"supported: {sorted(_PLANES_PER_SCALAR)}"
+    )
+
+
+def scalar_from_planes(planes: Sequence[float], context_name: str):
+    """Rebuild a context scalar from :func:`scalar_to_planes` output."""
+    values = [float(v) for v in planes]
+    expected = _PLANES_PER_SCALAR.get(context_name)
+    if expected is None:
+        raise ConfigurationError(
+            f"no portable plane encoding for numeric context {context_name!r}; "
+            f"supported: {sorted(_PLANES_PER_SCALAR)}"
+        )
+    if len(values) != expected:
+        raise ConfigurationError(
+            f"a {context_name!r} scalar needs {expected} plane components, "
+            f"got {len(values)}"
+        )
+    if context_name == "d":
+        return complex(values[0], values[1])
+    if context_name == "dd":
+        # _raw skips the constructor's two_sum renormalisation: the planes
+        # already are a valid decomposition, and renormalising would poison
+        # non-finite lanes (inf + nan -> nan).
+        return ComplexDD(DoubleDouble._raw(values[0], values[1]),
+                         DoubleDouble._raw(values[2], values[3]))
+    return ComplexQD(QuadDouble._raw(tuple(values[:4])),
+                     QuadDouble._raw(tuple(values[4:])))
 
 
 class PathStatus(IntEnum):
@@ -153,6 +224,68 @@ class LaneCheckpoint:
         """Whether resuming this checkpoint reuses tracked progress
         (``t > 0``) rather than restarting the path from scratch."""
         return self.t > 0.0
+
+    # ------------------------------------------------------------------
+    # portable state: plain floats/ints, exact across d/dd/qd
+    # ------------------------------------------------------------------
+    def to_portable(self) -> Dict[str, object]:
+        """This checkpoint as a dict of plain floats, ints and bools.
+
+        ``point``/``prev_point`` hold context scalars (:class:`~repro.
+        multiprec.complex_dd.ComplexDD`, :class:`~repro.multiprec.numeric.
+        ComplexQD`, ...), which no generic store can persist.  The portable
+        form flattens every scalar to its float64 component planes
+        (:func:`scalar_to_planes`), so the whole state is JSON/npz-friendly
+        while :meth:`from_portable` reconstructs the checkpoint bit-for-bit
+        -- inf/NaN lanes and signed zeros included.  This is the wire and
+        storage format of the sharded solve service
+        (:mod:`repro.service.store`).
+        """
+        name = self.context_name
+        return {
+            "context": name,
+            "point": [scalar_to_planes(x, name) for x in self.point],
+            "t": float(self.t),
+            "prev_point": [scalar_to_planes(x, name) for x in self.prev_point],
+            "prev_t": float(self.prev_t),
+            "has_prev": bool(self.has_prev),
+            "dt": float(self.dt),
+            "residual": float(self.residual),
+            "status": int(self.status),
+            "steps_accepted": int(self.steps_accepted),
+            "steps_rejected": int(self.steps_rejected),
+            "newton_iterations": int(self.newton_iterations),
+            "consecutive_successes": int(self.consecutive_successes),
+        }
+
+    @classmethod
+    def from_portable(cls, state: Dict[str, object]) -> "LaneCheckpoint":
+        """Rebuild a checkpoint from :meth:`to_portable` output.
+
+        Raises
+        ------
+        ConfigurationError
+            When the state names a context without a plane encoding or the
+            plane counts are inconsistent.
+        """
+        name = str(state["context"])
+        return cls(
+            context_name=name,
+            point=tuple(scalar_from_planes(planes, name)
+                        for planes in state["point"]),
+            t=float(state["t"]),
+            prev_point=tuple(scalar_from_planes(planes, name)
+                             for planes in state["prev_point"]),
+            prev_t=float(state["prev_t"]),
+            has_prev=bool(state["has_prev"]),
+            dt=float(state["dt"]),
+            residual=float(state["residual"]),
+            status=PathStatus(int(state["status"])),
+            steps_accepted=int(state["steps_accepted"]),
+            steps_rejected=int(state["steps_rejected"]),
+            newton_iterations=int(state["newton_iterations"]),
+            consecutive_successes=int(state["consecutive_successes"]),
+        )
 
 
 @dataclass

@@ -41,7 +41,8 @@ from .quality_up import affordable_precision
 from .start_systems import sample_start_solutions, start_solutions, total_degree, total_degree_start_system
 from .tracker import PathResult, PathTracker, TrackerOptions
 
-__all__ = ["EscalationPolicy", "Solution", "SolveReport", "solve_system"]
+__all__ = ["EscalationPolicy", "Solution", "SolveReport",
+           "batched_route_available", "solve_system"]
 
 #: The canonical precision ladder: hardware doubles, then the two software
 #: arithmetics of the QD library the paper builds on.
@@ -179,6 +180,20 @@ class SolveReport:
     counts, per rung, the resumed lanes whose checkpointed residual already
     certified the endgame tolerance, so even that replay was skipped (the
     residual-aware policy, see :class:`EscalationPolicy`).
+
+    ``degradations`` lists, human-readably, every place the solve silently
+    did something weaker than asked -- today that is a warm restart that
+    had to fall back to a cold re-track (a rung without the batched route,
+    or missing checkpoints after such a rung).  An empty list means the
+    solve ran exactly as configured.
+
+    The sharded solve service (:func:`repro.service.sharded.
+    solve_system_sharded`) fills the per-shard accounting: ``shards`` is
+    the number of worker-process shards the path batch was partitioned
+    into (1 for a single-process solve), ``worker_retries`` how many
+    shard-rung tasks had to be rescheduled after a worker crash or
+    timeout, and ``resumed_after_crash`` how many of those reschedules
+    continued from persisted checkpoints instead of cold-restarting.
     """
 
     system: PolynomialSystem
@@ -194,6 +209,10 @@ class SolveReport:
     restarted_by_context: Dict[str, int] = field(default_factory=dict)
     resume_t_by_context: Dict[str, List[float]] = field(default_factory=dict)
     endgame_skips_by_context: Dict[str, int] = field(default_factory=dict)
+    degradations: List[str] = field(default_factory=list)
+    shards: int = 1
+    worker_retries: int = 0
+    resumed_after_crash: int = 0
 
     @property
     def success_rate(self) -> float:
@@ -374,8 +393,20 @@ def _track_paths(start_system: PolynomialSystem, system: PolynomialSystem,
     The scalar route returns ``checkpoints=None`` -- its failures can only
     be restarted cold.  ``resume_from`` (checkpoints aligned with
     ``starts``) makes the batched route continue each path mid-track
-    instead of from ``t = 0``; it is ignored on the scalar route, as is
-    ``skip_certified_endgame``.
+    instead of from ``t = 0``.
+
+    Raises
+    ------
+    ConfigurationError
+        When ``resume_from`` (or ``skip_certified_endgame``, which only
+        means anything on a resumed batch) is passed but the scalar
+        fallback route is taken: the scalar tracker cannot honour
+        checkpoints, and silently re-tracking cold would misreport a warm
+        restart as having happened.  Callers that can tolerate the
+        degradation decide it *explicitly* -- :func:`solve_system` probes
+        :func:`batched_route_available` first and records the degradation
+        in :attr:`SolveReport.degradations` instead of passing
+        ``resume_from`` down an unable route.
     """
     if exposed is not None and _has_backend(context):
         from .batch_tracker import BatchTracker  # local import: cycle
@@ -391,6 +422,22 @@ def _track_paths(start_system: PolynomialSystem, system: PolynomialSystem,
         return (outcome.results, outcome.checkpoints(),
                 outcome.endgame_reentries_skipped)
 
+    if resume_from is not None or skip_certified_endgame:
+        reasons = []
+        if exposed is None:
+            reasons.append("the evaluator factory hides its polynomial "
+                           "systems")
+        if not _has_backend(context):
+            reasons.append(f"context {context.name!r} has no registered "
+                           "batch backend")
+        raise ConfigurationError(
+            "resume_from/skip_certified_endgame need the batched tracking "
+            "route, but the scalar fallback would be taken ("
+            + "; ".join(reasons) +
+            "); the scalar tracker cannot honour checkpoints, so a warm "
+            "restart would silently degrade to a cold re-track -- drop "
+            "resume_from or make the batched route available"
+        )
     if evaluators is None:
         evaluators = (CPUReferenceEvaluator(start_system, context=context),
                       CPUReferenceEvaluator(system, context=context))
@@ -398,6 +445,20 @@ def _track_paths(start_system: PolynomialSystem, system: PolynomialSystem,
                         gamma=gamma, context=context)
     scalar = PathTracker(homotopy, context=context, options=options)
     return [scalar.track(s) for s in starts], None, 0
+
+
+def batched_route_available(context: NumericContext,
+                            exposed: Optional[Tuple[PolynomialSystem,
+                                                    PolynomialSystem]]) -> bool:
+    """Whether :func:`_track_paths` would take the batched engine.
+
+    The batched route -- the only one that can produce and honour
+    :class:`~repro.tracking.batch_tracker.LaneCheckpoint` state -- needs
+    the polynomial systems themselves (``exposed``) and a registered batch
+    backend for the context.  The solver and the sharded service probe this
+    before deciding to pass ``resume_from``.
+    """
+    return exposed is not None and _has_backend(context)
 
 
 def solve_system(system: PolynomialSystem, *,
@@ -507,6 +568,7 @@ def solve_system(system: PolynomialSystem, *,
     restarted_by_context: Dict[str, int] = {}
     resume_t_by_context: Dict[str, List[float]] = {}
     endgame_skips_by_context: Dict[str, int] = {}
+    degradations: List[str] = []
     recovered = 0
     pending: List[Tuple[int, Sequence]] = list(enumerate(starts))
     #: last checkpoint of every path that has been through the batched
@@ -522,13 +584,28 @@ def solve_system(system: PolynomialSystem, *,
     for level, rung in enumerate(ladder):
         if not pending:
             break
-        # Warm-restart the residue from its checkpoints when every pending
-        # path has one (the previous rung went through the batched engine);
-        # a scalar-fallback rung leaves no checkpoints, forcing a cold rung.
+        # Warm-restart the residue from its checkpoints when the rung can
+        # take the batched route AND every pending path has a checkpoint
+        # (a scalar-fallback rung leaves none).  When either leg fails the
+        # rung degrades to a cold re-track -- recorded in the report, never
+        # silent, and resume_from is withheld so _track_paths cannot be
+        # asked for something its route would ignore.
         resume = None
-        if warm and level > 0 and \
-                all(index in checkpoints_by_index for index, _ in pending):
-            resume = [checkpoints_by_index[index] for index, _ in pending]
+        if warm and level > 0:
+            have_all = all(index in checkpoints_by_index
+                           for index, _ in pending)
+            if not batched_route_available(rung, exposed):
+                degradations.append(
+                    f"{rung.name}: warm restart degraded to a cold re-track "
+                    f"of {len(pending)} path(s) -- the scalar fallback route "
+                    f"cannot honour checkpoints")
+            elif not have_all:
+                degradations.append(
+                    f"{rung.name}: warm restart degraded to a cold re-track "
+                    f"of {len(pending)} path(s) -- a previous scalar-fallback "
+                    f"rung left no checkpoints to resume from")
+            else:
+                resume = [checkpoints_by_index[index] for index, _ in pending]
         results, checkpoints, endgame_skips = _track_paths(
             start_system, system, [s for _, s in pending], rung,
             fallback_evaluators, exposed, options, gamma, batch_size,
@@ -538,9 +615,9 @@ def solve_system(system: PolynomialSystem, *,
         paths_by_context[rung.name] = len(pending)
         converged_by_context[rung.name] = sum(1 for r in results if r.success)
         endgame_skips_by_context[rung.name] = endgame_skips
-        # Only the batched route can actually resume (it returns checkpoints;
-        # the scalar fallback ignores resume_from and re-tracks cold), so the
-        # resumed accounting must follow the route taken, not the intent.
+        # resume is only ever passed down the batched route (which always
+        # returns checkpoints), so the resumed accounting follows the route
+        # actually taken.
         if resume is not None and checkpoints is not None:
             mid_path = [cp.t for cp in resume if cp.resumes_mid_path]
             resumed_by_context[rung.name] = len(mid_path)
@@ -583,4 +660,5 @@ def solve_system(system: PolynomialSystem, *,
         restarted_by_context=restarted_by_context,
         resume_t_by_context=resume_t_by_context,
         endgame_skips_by_context=endgame_skips_by_context,
+        degradations=degradations,
     )

@@ -6,8 +6,13 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
-from repro.errors import ConfigurationError
-from repro.core import CPUReferenceEvaluator, MulticoreEvaluator, partition_monomials
+from repro.errors import ConfigurationError, WorkerExecutionError
+from repro.core import (
+    CPUReferenceEvaluator,
+    MulticoreEvaluator,
+    partition_lanes,
+    partition_monomials,
+)
 from repro.multiprec import DOUBLE_DOUBLE
 from repro.polynomials import random_point, random_regular_system
 
@@ -37,6 +42,53 @@ class TestPartition:
             partition_monomials(small_system, 0)
         with pytest.raises(ConfigurationError):
             MulticoreEvaluator(small_system, workers=0)
+
+    def test_partition_computed_once_at_construction(self, small_system,
+                                                     small_point, monkeypatch):
+        """The static work partition must not be recomputed per evaluation."""
+        from repro.core import multicore
+
+        calls = []
+        original = multicore.partition_monomials
+
+        def counting(system, workers):
+            calls.append(workers)
+            return original(system, workers)
+
+        monkeypatch.setattr(multicore, "partition_monomials", counting)
+        evaluator = MulticoreEvaluator(small_system, workers=3)
+        assert calls == [3]
+        evaluator.evaluate(small_point)
+        evaluator.evaluate(small_point)
+        assert calls == [3]  # still just the constructor's call
+
+
+class TestLanePartition:
+    """partition_lanes: the sharded service's contiguous path partition."""
+
+    def test_contiguous_balanced_runs(self):
+        assert partition_lanes(10, 3) == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_concatenation_preserves_global_order(self):
+        lanes = partition_lanes(17, 4)
+        flat = [i for shard in lanes for i in shard]
+        assert flat == list(range(17))
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [len(s) for s in partition_lanes(11, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_lanes(self):
+        assert partition_lanes(2, 4) == [[0], [1], [], []]
+
+    def test_empty_batch(self):
+        assert partition_lanes(0, 3) == [[], [], []]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            partition_lanes(4, 0)
+        with pytest.raises(ConfigurationError):
+            partition_lanes(-1, 2)
 
 
 class TestEvaluation:
@@ -80,3 +132,58 @@ class TestEvaluation:
 
     def test_elapsed_time_recorded(self, small_system, small_point):
         assert MulticoreEvaluator(small_system, workers=2).evaluate(small_point).elapsed_seconds > 0
+
+    def test_elapsed_time_includes_merge(self, small_system, small_point,
+                                         monkeypatch):
+        """The timer must span submit through merge, not just the futures."""
+        import time as time_module
+
+        multicore = MulticoreEvaluator(small_system, workers=2)
+        ticks = iter([100.0, 107.5] + [200.0] * 50)
+        monkeypatch.setattr(time_module, "perf_counter", lambda: next(ticks))
+        result = multicore.evaluate(small_point)
+        # First tick before submit, second after the merge loop: any
+        # implementation that stops the clock earlier reads a later tick.
+        assert result.elapsed_seconds == pytest.approx(7.5)
+
+
+class TestWorkerErrorAttribution:
+    """Failures surface with the worker's coordinates, mirroring how the
+    simulated-GPU launcher reports failing thread coordinates."""
+
+    class _ExplodingExecutor:
+        """Executor whose every task raises inside the 'worker'."""
+
+        def submit(self, fn, *args, **kwargs):
+            from concurrent.futures import Future
+
+            future = Future()
+            future.set_exception(ValueError("boom"))
+            return future
+
+    def test_worker_exception_is_wrapped_with_coordinates(self, small_system,
+                                                          small_point):
+        multicore = MulticoreEvaluator(small_system, workers=3,
+                                       executor=self._ExplodingExecutor())
+        with pytest.raises(WorkerExecutionError) as excinfo:
+            multicore.evaluate(small_point)
+        message = str(excinfo.value)
+        assert "worker 0 of" in message
+        assert "hosting polynomial(s)" in message
+        assert "boom" in message
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_existing_worker_errors_pass_through_unwrapped(self, small_system,
+                                                           small_point):
+        class AlreadyWrapped:
+            def submit(self, fn, *args, **kwargs):
+                from concurrent.futures import Future
+
+                future = Future()
+                future.set_exception(WorkerExecutionError("original coords"))
+                return future
+
+        multicore = MulticoreEvaluator(small_system, workers=2,
+                                       executor=AlreadyWrapped())
+        with pytest.raises(WorkerExecutionError, match="original coords"):
+            multicore.evaluate(small_point)

@@ -1,0 +1,175 @@
+"""Tests for the bounded async job-queue front end of the solve service.
+
+The queue's own behaviour (states, backpressure, error propagation) is
+tested against stub solvers -- no process pools -- so these run in
+milliseconds; one tier-1 integration test drives a real sharded solve
+through the queue.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import JobNotFoundError, QueueFullError, ServiceError
+from repro.polynomials import Monomial, Polynomial, PolynomialSystem
+from repro.service import SolveService
+
+
+def tiny_system():
+    return PolynomialSystem([Polynomial([
+        (1 + 0j, Monomial((0,), (2,))),
+        (-1 + 0j, Monomial((), ())),
+    ])])
+
+
+class TestLifecycle:
+    def test_submit_poll_result_round_trip(self):
+        outcome = object()
+        with SolveService(solver=lambda system, **kw: outcome) as service:
+            job = service.submit(tiny_system())
+            assert job == "job-1"
+            report = service.result(job, timeout=10)
+            assert report is outcome
+            status = service.poll(job)
+            assert status.state == "done"
+            assert status.finished
+            assert status.report is outcome
+            assert status.error is None
+
+    def test_jobs_get_distinct_ids_and_keep_results(self):
+        with SolveService(solver=lambda system, **kw: id(system)) as service:
+            first = service.submit(tiny_system())
+            second = service.submit(tiny_system())
+            assert first != second
+            service.result(second, timeout=10)
+            # Late polls of the earlier job still see its terminal state.
+            service.result(first, timeout=10)
+            assert service.poll(first).state == "done"
+
+    def test_defaults_merge_under_overrides(self):
+        seen = {}
+
+        def recorder(system, **kwargs):
+            seen.update(kwargs)
+            return "ok"
+
+        with SolveService(solver=recorder, shards=4,
+                          backoff_seconds=0.5) as service:
+            job = service.submit(tiny_system(), shards=2)
+            service.result(job, timeout=10)
+        assert seen == {"shards": 2, "backoff_seconds": 0.5}
+
+    def test_unknown_job_id(self):
+        with SolveService(solver=lambda system, **kw: None) as service:
+            with pytest.raises(JobNotFoundError):
+                service.poll("job-999")
+            with pytest.raises(JobNotFoundError):
+                service.result("nope")
+
+    def test_submit_after_shutdown_is_refused(self):
+        service = SolveService(solver=lambda system, **kw: None)
+        service.shutdown()
+        with pytest.raises(ServiceError):
+            service.submit(tiny_system())
+        service.shutdown()  # idempotent
+
+
+class TestFailures:
+    def test_failed_solve_reraises_from_result(self):
+        def exploding(system, **kw):
+            raise ValueError("no convergence today")
+
+        with SolveService(solver=exploding) as service:
+            job = service.submit(tiny_system())
+            with pytest.raises(ValueError, match="no convergence"):
+                service.result(job, timeout=10)
+            status = service.poll(job)
+            assert status.state == "failed"
+            assert isinstance(status.error, ValueError)
+            assert status.report is None
+
+    def test_one_failure_does_not_poison_the_worker(self):
+        calls = []
+
+        def flaky(system, **kw):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("first job dies")
+            return "second job fine"
+
+        with SolveService(solver=flaky) as service:
+            bad = service.submit(tiny_system())
+            good = service.submit(tiny_system())
+            assert service.result(good, timeout=10) == "second job fine"
+            assert service.poll(bad).state == "failed"
+
+    def test_result_timeout(self):
+        gate = threading.Event()
+
+        def blocked(system, **kw):
+            gate.wait(10)
+            return "late"
+
+        service = SolveService(solver=blocked)
+        try:
+            job = service.submit(tiny_system())
+            with pytest.raises(TimeoutError):
+                service.result(job, timeout=0.05)
+        finally:
+            gate.set()
+            service.shutdown()
+
+
+class TestBackpressure:
+    def test_full_queue_raises_queue_full(self):
+        started = threading.Event()
+        gate = threading.Event()
+
+        def blocked(system, **kw):
+            started.set()
+            gate.wait(10)
+            return "done"
+
+        service = SolveService(capacity=1, workers=1, solver=blocked)
+        try:
+            running = service.submit(tiny_system())
+            assert started.wait(5)  # worker busy; queue now empty
+            queued = service.submit(tiny_system())  # fills the queue
+            with pytest.raises(QueueFullError):
+                service.submit(tiny_system())
+            # The rejected submission left no ghost job behind.
+            with pytest.raises(JobNotFoundError):
+                service.poll("job-3")
+            gate.set()
+            assert service.result(running, timeout=10) == "done"
+            assert service.result(queued, timeout=10) == "done"
+            # With the backlog drained, submits are accepted again.
+            assert service.result(service.submit(tiny_system()),
+                                  timeout=10) == "done"
+        finally:
+            gate.set()
+            service.shutdown()
+
+    def test_capacity_and_worker_validation(self):
+        with pytest.raises(ServiceError):
+            SolveService(capacity=0)
+        with pytest.raises(ServiceError):
+            SolveService(workers=0)
+
+
+class TestIntegration:
+    def test_real_sharded_solve_through_the_queue(self):
+        """submit -> poll -> result against the actual process-pool solver."""
+        from repro.tracking import solve_system
+
+        system = tiny_system()
+        reference = solve_system(system)
+        with SolveService(capacity=2, shards=2) as service:
+            job = service.submit(system)
+            report = service.result(job, timeout=120)
+        assert [tuple(s.point) for s in report.solutions] == \
+            [tuple(s.point) for s in reference.solutions]
+        assert report.shards == 2
+        assert service.poll(job).state == "done"

@@ -1,0 +1,144 @@
+"""Tests for the pluggable checkpoint stores of the solve service."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import FileCheckpointStore, InMemoryCheckpointStore
+
+
+def sample_state(shard=0):
+    """A shard record shaped like the sharded coordinator's, with the
+    floats that stress codecs: inf, NaN, signed zero, subnormals."""
+    return {
+        "shard": shard,
+        "level": 1,
+        "context": "dd",
+        "pending": [3, 5],
+        "checkpoints": {
+            "3": {"t": 1.0, "residual": 3.5e-17,
+                  "point": [[1 / 3, -0.0, 5e-324, 2.0 ** -1074]]},
+            "5": {"t": 0.875, "residual": float("inf"),
+                  "point": [[float("inf"), float("nan"), -0.0, 0.0]]},
+        },
+    }
+
+
+def assert_state_round_trips(state, back):
+    assert back is not state
+    assert back["pending"] == [3, 5]
+    three = back["checkpoints"]["3"]["point"][0]
+    assert [v.hex() for v in map(float, three)] == \
+        [v.hex() for v in map(float, state["checkpoints"]["3"]["point"][0])]
+    five = back["checkpoints"]["5"]["point"][0]
+    assert five[0] == float("inf")
+    assert math.isnan(five[1])
+    assert math.copysign(1.0, five[2]) == -1.0  # signed zero survives
+    assert back["checkpoints"]["5"]["residual"] == float("inf")
+
+
+class TestInMemoryStore:
+    def test_round_trip(self):
+        store = InMemoryCheckpointStore()
+        state = sample_state()
+        store.put("job", 0, state)
+        assert_state_round_trips(state, store.get("job", 0))
+
+    def test_get_returns_copies(self):
+        store = InMemoryCheckpointStore()
+        store.put("job", 0, sample_state())
+        first = store.get("job", 0)
+        first["pending"].append(99)
+        assert store.get("job", 0)["pending"] == [3, 5]
+
+    def test_missing_record_is_none(self):
+        store = InMemoryCheckpointStore()
+        assert store.get("job", 0) is None
+        assert store.shards("job") == []
+
+    def test_shards_listing_and_job_isolation(self):
+        store = InMemoryCheckpointStore()
+        store.put("a", 2, sample_state(2))
+        store.put("a", 0, sample_state(0))
+        store.put("b", 1, sample_state(1))
+        assert store.shards("a") == [0, 2]
+        assert store.shards("b") == [1]
+
+    def test_delete_job(self):
+        store = InMemoryCheckpointStore()
+        store.put("a", 0, sample_state())
+        store.put("b", 0, sample_state())
+        store.delete_job("a")
+        assert store.shards("a") == []
+        assert store.shards("b") == [0]
+        store.delete_job("missing")  # no-op, no raise
+
+    def test_put_overwrites(self):
+        store = InMemoryCheckpointStore()
+        store.put("job", 0, {"level": 0})
+        store.put("job", 0, {"level": 1})
+        assert store.get("job", 0)["level"] == 1
+
+
+@pytest.mark.parametrize("codec", ["json", "npz"])
+class TestFileStore:
+    def test_round_trip(self, tmp_path, codec):
+        store = FileCheckpointStore(tmp_path, codec=codec)
+        state = sample_state()
+        store.put("job", 1, state)
+        assert_state_round_trips(state, store.get("job", 1))
+
+    def test_record_is_a_file_under_the_job_directory(self, tmp_path, codec):
+        store = FileCheckpointStore(tmp_path, codec=codec)
+        store.put("job", 1, sample_state())
+        path = tmp_path / "job" / f"shard-1.{codec}"
+        assert path.is_file()
+        # No scratch files linger after the rename-into-place write.
+        assert list(path.parent.glob("*.tmp")) == []
+
+    def test_survives_a_fresh_store_instance(self, tmp_path, codec):
+        """The on-disk record outlives the store object -- the coordinator
+        restart scenario."""
+        FileCheckpointStore(tmp_path, codec=codec).put("job", 0,
+                                                       sample_state())
+        reopened = FileCheckpointStore(tmp_path, codec=codec)
+        assert_state_round_trips(sample_state(), reopened.get("job", 0))
+
+    def test_shards_listing(self, tmp_path, codec):
+        store = FileCheckpointStore(tmp_path, codec=codec)
+        for shard in (3, 0, 11):
+            store.put("job", shard, sample_state(shard))
+        assert store.shards("job") == [0, 3, 11]
+        assert store.shards("other") == []
+
+    def test_delete_job_removes_the_directory(self, tmp_path, codec):
+        store = FileCheckpointStore(tmp_path, codec=codec)
+        store.put("job", 0, sample_state())
+        store.delete_job("job")
+        assert not (tmp_path / "job").exists()
+        store.delete_job("job")  # idempotent
+
+    def test_put_overwrites(self, tmp_path, codec):
+        store = FileCheckpointStore(tmp_path, codec=codec)
+        store.put("job", 0, {"level": 0})
+        store.put("job", 0, {"level": 1})
+        assert store.get("job", 0)["level"] == 1
+
+
+class TestFileStoreValidation:
+    def test_unknown_codec_is_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="codec"):
+            FileCheckpointStore(tmp_path, codec="yaml")
+
+    def test_path_traversing_job_id_is_rejected(self, tmp_path):
+        store = FileCheckpointStore(tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.put("../escape", 0, {})
+        with pytest.raises(ConfigurationError):
+            store.get("a/b", 0)
+        with pytest.raises(ConfigurationError):
+            store.put("", 0, {})

@@ -139,3 +139,139 @@ class TestSolverAccounting:
         assert EscalationPolicy().residual_aware
         off = EscalationPolicy(residual_aware=False)
         assert not off.residual_aware
+
+
+class TestPortableCheckpointState:
+    """LaneCheckpoint.to_portable / from_portable: the exact plane encoding
+    the sharded solve service persists and ships across processes."""
+
+    CONTEXTS = ["d", "dd", "qd"]
+
+    @staticmethod
+    def _synthetic_checkpoint(context_name, values, **overrides):
+        import math
+
+        from repro.multiprec.numeric import get_context
+        from repro.tracking.batch_tracker import LaneCheckpoint
+
+        ctx = get_context(context_name)
+        point = tuple(ctx.from_complex(v) for v in values)
+        prev = tuple(ctx.from_complex(v * 0.875) for v in values)
+        fields = dict(
+            context_name=context_name,
+            point=point, t=0.9375,
+            prev_point=prev, prev_t=0.875, has_prev=True,
+            dt=2.0 ** -13, residual=3.5e-17,
+            status=PathStatus.TRACKING,
+            steps_accepted=17, steps_rejected=3, newton_iterations=41,
+            consecutive_successes=5,
+        )
+        fields.update(overrides)
+        return LaneCheckpoint(**fields)
+
+    @pytest.mark.parametrize("context_name", CONTEXTS)
+    def test_round_trip_through_json_is_exact(self, context_name):
+        import json
+
+        from repro.tracking.batch_tracker import (
+            LaneCheckpoint,
+            scalar_to_planes,
+        )
+
+        cp = self._synthetic_checkpoint(
+            context_name,
+            [complex(1 / 3, -2 / 7), complex(-0.0, 1e-300)])
+        wire = json.loads(json.dumps(cp.to_portable()))
+        back = LaneCheckpoint.from_portable(wire)
+        assert back.context_name == cp.context_name
+        for a, b in zip(back.point + back.prev_point,
+                        cp.point + cp.prev_point):
+            planes_a = scalar_to_planes(a, context_name)
+            planes_b = scalar_to_planes(b, context_name)
+            # Bit-for-bit: every component plane, signed zeros included.
+            assert [p.hex() for p in planes_a] == [p.hex() for p in planes_b]
+        assert (back.t, back.prev_t, back.dt) == (cp.t, cp.prev_t, cp.dt)
+        assert back.residual == cp.residual
+        assert back.status is cp.status
+        assert (back.steps_accepted, back.steps_rejected,
+                back.newton_iterations, back.consecutive_successes) == \
+            (cp.steps_accepted, cp.steps_rejected,
+             cp.newton_iterations, cp.consecutive_successes)
+
+    @pytest.mark.parametrize("context_name", CONTEXTS)
+    def test_inf_and_nan_lanes_survive(self, context_name):
+        import json
+        import math
+
+        from repro.tracking.batch_tracker import (
+            LaneCheckpoint,
+            scalar_to_planes,
+        )
+
+        cp = self._synthetic_checkpoint(
+            context_name,
+            [complex(float("inf"), float("-inf")),
+             complex(float("nan"), 1.0)],
+            residual=float("inf"), status=PathStatus.STEP_UNDERFLOW)
+        wire = json.loads(json.dumps(cp.to_portable()))
+        back = LaneCheckpoint.from_portable(wire)
+        first = scalar_to_planes(back.point[0], context_name)
+        second = scalar_to_planes(back.point[1], context_name)
+        assert first[0] == float("inf")
+        assert math.isnan(second[0])
+        assert back.residual == float("inf")
+        assert back.status is PathStatus.STEP_UNDERFLOW
+        # The im(-inf) plane of the first coordinate survives too.
+        stride = len(first) // 2
+        assert first[stride] == float("-inf")
+
+    def test_unknown_context_and_bad_plane_counts_are_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.tracking.batch_tracker import (
+            scalar_from_planes,
+            scalar_to_planes,
+        )
+
+        with pytest.raises(ConfigurationError):
+            scalar_to_planes(1 + 2j, "octuple")
+        with pytest.raises(ConfigurationError):
+            scalar_from_planes([1.0, 2.0, 3.0], "dd")  # dd needs 4 planes
+
+    def test_resumed_tracking_bit_for_bit_vs_in_memory_resume(self, workload):
+        """Resuming from portable (JSON round-tripped) checkpoints must
+        reproduce the in-memory resume exactly -- the property the whole
+        sharded service's crash recovery stands on."""
+        import json
+
+        from repro.core.multicore import (
+            checkpoints_from_portable,
+            portable_checkpoints,
+        )
+        from repro.multiprec.backend import backend_for_context
+        from repro.tracking.batch_tracker import scalar_to_planes
+
+        start, target, starts = workload
+        opts = TrackerOptions(end_tolerance=5e-17, end_iterations=12)
+        first = BatchTracker(start, target, options=opts).track_batches(starts)
+        checkpoints = first.checkpoints()
+
+        wire = json.loads(json.dumps(portable_checkpoints(checkpoints)))
+        restored = checkpoints_from_portable(wire)
+
+        resumed_memory = BatchTracker(
+            start, target, context=DOUBLE_DOUBLE, options=opts,
+        ).track_batches(resume_from=checkpoints)
+        resumed_wire = BatchTracker(
+            start, target, context=DOUBLE_DOUBLE, options=opts,
+        ).track_batches(resume_from=restored)
+
+        for a, b in zip(resumed_memory.results, resumed_wire.results):
+            assert a.success == b.success
+            assert a.residual == b.residual
+            planes_a = [scalar_to_planes(x, "dd") for x in a.solution]
+            planes_b = [scalar_to_planes(x, "dd") for x in b.solution]
+            assert [[p.hex() for p in planes]
+                    for planes in planes_a] == \
+                [[p.hex() for p in planes] for planes in planes_b]
+            assert a.steps_accepted == b.steps_accepted
+            assert a.newton_iterations == b.newton_iterations

@@ -384,3 +384,98 @@ class TestBatchedRoute:
                          evaluator_factory=lambda s: Opaque(
                              CPUReferenceEvaluator(s)),
                          escalation=EscalationPolicy())
+
+
+class TestScalarRouteCannotHonourCheckpoints:
+    """resume_from down a route that cannot honour it must fail loudly at
+    the tracking layer, and degrade *recorded* (never silent) at the solver
+    layer."""
+
+    @staticmethod
+    def _tracked_checkpoints(system):
+        from repro.tracking.batch_tracker import BatchTracker
+        from repro.tracking.start_systems import (
+            start_solutions,
+            total_degree_start_system,
+        )
+
+        start = total_degree_start_system(system)
+        starts = list(start_solutions(system))
+        outcome = BatchTracker(start, system).track_batches(starts)
+        return start, starts, outcome.checkpoints()
+
+    def test_track_paths_raises_when_factory_hides_systems(self):
+        from repro.errors import ConfigurationError
+        from repro.tracking.solver import _track_paths
+
+        system = decoupled_quadratics()
+        start, starts, checkpoints = self._tracked_checkpoints(system)
+        with pytest.raises(ConfigurationError, match="cannot honour"):
+            _track_paths(start, system, starts, DOUBLE, None,
+                         None,  # exposed=None: the scalar route
+                         None, None, None, resume_from=checkpoints)
+
+    def test_track_paths_raises_when_context_has_no_backend(self):
+        import dataclasses
+
+        from repro.errors import ConfigurationError
+        from repro.tracking.solver import _track_paths
+
+        system = decoupled_quadratics()
+        start, starts, checkpoints = self._tracked_checkpoints(system)
+        orphan = dataclasses.replace(DOUBLE_DOUBLE, name="dd-no-backend")
+        with pytest.raises(ConfigurationError, match="no registered"):
+            _track_paths(start, system, starts, orphan, None,
+                         (start, system), None, None, None,
+                         resume_from=checkpoints)
+
+    def test_skip_certified_endgame_alone_also_raises(self):
+        from repro.errors import ConfigurationError
+        from repro.tracking.solver import _track_paths
+
+        system = decoupled_quadratics()
+        start, starts, _ = self._tracked_checkpoints(system)
+        with pytest.raises(ConfigurationError):
+            _track_paths(start, system, starts, DOUBLE, None, None,
+                         None, None, None, skip_certified_endgame=True)
+
+    def test_solver_records_degradation_for_backendless_rung(self):
+        """A warm escalation onto a rung without the batched route must
+        cold re-track AND say so in SolveReport.degradations."""
+        import dataclasses
+
+        from repro.tracking import EscalationPolicy
+
+        # x^2 - 2: the irrational root's double residual sits just above a
+        # tolerance at the roundoff floor, so both paths fail at d; the
+        # second rung is double-double arithmetic under a name with no
+        # registered batch backend, forcing the scalar fallback.
+        system = decoupled_quadratics(values=(2.0,))
+        orphan = dataclasses.replace(DOUBLE_DOUBLE, name="dd-no-backend")
+        report = solve_system(
+            system,
+            options=TrackerOptions(end_tolerance=5e-17, end_iterations=12),
+            escalation=EscalationPolicy(ladder=(DOUBLE, orphan)))
+        assert report.paths_by_context.get("dd-no-backend", 0) > 0
+        assert len(report.degradations) == 1
+        assert "cold re-track" in report.degradations[0]
+        assert "dd-no-backend" in report.degradations[0]
+        # The degraded rung is accounted as restarted, never as resumed.
+        assert report.resumed_by_context["dd-no-backend"] == 0
+        assert report.restarted_by_context["dd-no-backend"] == \
+            report.paths_by_context["dd-no-backend"]
+        # The solve itself still succeeds -- degradation, not failure.
+        assert report.paths_converged == report.paths_tracked
+
+    def test_clean_escalated_solve_reports_no_degradations(self):
+        from repro.bench.batch_tracking import cyclic_quadratic_system
+        from repro.tracking import EscalationPolicy
+
+        report = solve_system(
+            cyclic_quadratic_system(4),
+            options=TrackerOptions(end_tolerance=5e-17, end_iterations=12),
+            escalation=EscalationPolicy(ladder=(DOUBLE, DOUBLE_DOUBLE)))
+        assert report.degradations == []
+        assert report.shards == 1  # single-process defaults
+        assert report.worker_retries == 0
+        assert report.resumed_after_crash == 0
