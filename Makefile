@@ -8,10 +8,12 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 test:
 	$(PY) -m pytest -q
 
-# Everything, including tests marked slow, plus the documentation check.
+# Everything, including tests marked slow, plus the documentation check and
+# the checked-in benchmark-report validation.
 test-all:
 	$(PY) -m pytest -q -m "slow or not slow"
 	$(PY) tools/check_docs.py
+	$(PY) tools/check_bench.py
 
 # Documentation health: execute every code block of README.md and docs/*.md
 # (stale snippets fail the build) and re-run the example smoke tests.

@@ -11,7 +11,11 @@ This benchmark reports
 * wall-clock ``evaluate_batch`` throughput, plan vs walk, at d/dd/qd across
   batch sizes (both paths are bit-for-bit identical, so the ratio is pure
   schedule cost);
-* end-to-end qd ``BatchTracker`` wall seconds with plans on and off.
+* end-to-end qd ``BatchTracker`` wall seconds with plans on and off;
+* the plan-arena A/B: the same tracker workload with plans on both ways and
+  only :func:`repro.core.evalplan.use_plan_arenas` toggled, with arena
+  hit/miss/resize and step-cache counters, plus steady-state numpy
+  allocations per batched evaluation for walk / plans / plans+arenas.
 
 Run as a script (``python benchmarks/bench_eval_plan.py [--json PATH]``) or
 through pytest (``pytest benchmarks/bench_eval_plan.py -s``).
@@ -25,6 +29,8 @@ import json
 from repro.bench.eval_plan import (
     eval_plan_report,
     op_count_report,
+    run_allocation_bench,
+    run_arena_tracker_bench,
     run_eval_plan_bench,
     run_plan_tracker_bench,
 )
@@ -37,7 +43,9 @@ def sweep(eval_batches=EVAL_BATCHES):
     op_counts = op_count_report()
     eval_rows = run_eval_plan_bench(batch_sizes=eval_batches)
     tracker_rows = run_plan_tracker_bench()
-    return op_counts, eval_rows, tracker_rows
+    arena_rows = run_arena_tracker_bench()
+    allocations = run_allocation_bench()
+    return op_counts, eval_rows, tracker_rows, arena_rows, allocations
 
 
 def test_plan_multiplication_reduction():
@@ -52,7 +60,7 @@ if __name__ == "__main__":
                         help="also write the report as JSON to PATH")
     json_path = parser.parse_args().json
 
-    op_counts, eval_rows, tracker_rows = sweep()
+    op_counts, eval_rows, tracker_rows, arena_rows, allocations = sweep()
     print("op counts per batched homotopy evaluation (escalation workload):")
     print(f"  walk: {op_counts['walk']}")
     print(f"  plan: {op_counts['plan']}")
@@ -62,10 +70,22 @@ if __name__ == "__main__":
                        title="plan vs walk evaluate_batch throughput"))
     print(format_table([r.as_dict() for r in tracker_rows],
                        title="qd BatchTracker wall, plans on/off (dim 3)"))
-    report = eval_plan_report(op_counts, eval_rows, tracker_rows)
+    print(format_table([r.as_dict() for r in arena_rows],
+                       title="qd BatchTracker wall, arenas on/off "
+                             "(plans on, tangent predictor)"))
+    print("allocations per batched evaluation: " +
+          ", ".join(f"{mode}={count:.0f}"
+                    for mode, count in allocations.items()))
+    report = eval_plan_report(op_counts, eval_rows, tracker_rows,
+                              arena_rows, allocations)
     if "qd_tracker_wall_speedup" in report:
         print(f"-> qd tracker wall speedup with plans: "
               f"{report['qd_tracker_wall_speedup']:.2f}x")
+    arena_speedup = report.get("arena", {}).get(
+        "qd_tracker_wall_speedup_vs_plans")
+    if arena_speedup is not None:
+        print(f"-> qd tracker wall speedup with arenas (vs plans only): "
+              f"{arena_speedup:.2f}x")
     if json_path:
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)

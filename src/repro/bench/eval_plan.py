@@ -19,6 +19,16 @@ Three measurements back the evaluation-plan work (see
    :class:`~repro.tracking.batch_tracker.BatchTracker` tracks the cyclic
    quadratic workload with plans on and off, reporting wall seconds and
    paths/sec both ways.
+4. **Arena executor A/B** (:func:`run_arena_tracker_bench`): the same
+   tracked workload with plans on both ways, toggling only
+   :func:`~repro.core.evalplan.use_plan_arenas` -- persistent plan-owned
+   buffers plus the step-scoped power-table cache against the PR 5
+   allocating plan path -- with the arena hit/miss/resize and step-cache
+   counters of the winning run.
+5. **Allocations per evaluation** (:func:`run_allocation_bench`): NumPy
+   constructor-family calls (``np.empty`` / ``zeros`` / ``ones`` /
+   ``full`` and their ``_like`` variants) per ``evaluate_batch``, for the
+   walk, the allocating plan path and the arena path.
 
 Timings take the best of several repetitions, so the JSON report
 (``BENCH_eval_plan.json``) is stable enough for the regression assertions
@@ -29,25 +39,28 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.evalplan import use_eval_plans
+from ..core.evalplan import use_eval_plans, use_plan_arenas
 from ..core.opcounts import sharing_report
 from ..multiprec.backend import backend_for_context
 from ..multiprec.numeric import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE, NumericContext
-from ..tracking.batch_tracker import BatchTracker
+from ..tracking.batch_tracker import BatchTracker, TrackerOptions
 from ..tracking.homotopy import BatchHomotopy
 from ..tracking.start_systems import start_solutions, total_degree_start_system
 from .batch_tracking import cyclic_quadratic_system
 from .qd_arith import _best_seconds
 
 __all__ = [
+    "ArenaTrackerRow",
     "EvalPlanRow",
     "PlanTrackerRow",
     "eval_plan_report",
     "op_count_report",
+    "run_allocation_bench",
+    "run_arena_tracker_bench",
     "run_eval_plan_bench",
     "run_plan_tracker_bench",
 ]
@@ -105,6 +118,49 @@ class PlanTrackerRow:
             "converged": self.paths_converged,
             "wall_s": self.wall_seconds,
             "paths_per_s_wall": self.paths_per_second,
+        }
+
+
+@dataclass
+class ArenaTrackerRow:
+    """End-to-end tracker wall, one arena-toggle state (plans on both ways),
+    with the executor counters of the measured run."""
+
+    context: str
+    batch_size: int
+    use_arenas: bool
+    paths_tracked: int
+    paths_converged: int
+    wall_seconds: float
+    arena_hits: int = 0
+    arena_misses: int = 0
+    arena_resizes: int = 0
+    step_cache_hits: int = 0
+    step_cache_misses: int = 0
+    plane_builds: int = 0
+    executions: int = 0
+
+    @property
+    def paths_per_second(self) -> float:
+        return (self.paths_tracked / self.wall_seconds
+                if self.wall_seconds else float("inf"))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "context": self.context,
+            "batch": self.batch_size,
+            "arenas": self.use_arenas,
+            "paths": self.paths_tracked,
+            "converged": self.paths_converged,
+            "wall_s": self.wall_seconds,
+            "paths_per_s_wall": self.paths_per_second,
+            "arena_hits": self.arena_hits,
+            "arena_misses": self.arena_misses,
+            "arena_resizes": self.arena_resizes,
+            "step_cache_hits": self.step_cache_hits,
+            "step_cache_misses": self.step_cache_misses,
+            "plane_builds": self.plane_builds,
+            "executions": self.executions,
         }
 
 
@@ -206,9 +262,127 @@ def run_plan_tracker_bench(context: NumericContext = QUAD_DOUBLE,
     return rows
 
 
+def run_arena_tracker_bench(context: NumericContext = QUAD_DOUBLE,
+                            dimension: int = 3,
+                            batch_size: Optional[int] = None,
+                            repeats: int = 5) -> List[ArenaTrackerRow]:
+    """Track the cyclic quadratic workload with plans on, arenas on vs off.
+
+    Both arms execute the identical compiled schedule under the tangent
+    predictor -- the configuration the step-scoped row cache targets (the
+    predictor re-evaluates at the corrector's accepted points); the toggle
+    trades only where the buffers live (persistent arena slots + per-lane
+    row reuse vs fresh allocations per call).  Wall seconds take the best
+    of ``repeats`` full runs; the arms are interleaved within each repeat
+    so slow machine-load drift hits both equally, and the counters come
+    from the winning run.
+    """
+    target = cyclic_quadratic_system(dimension)
+    start = total_degree_start_system(target)
+    starts = list(start_solutions(target))
+    arms = (True, False)
+    best_wall: Dict[bool, float] = {}
+    best: Dict[bool, Tuple[BatchTracker, object]] = {}
+    for _ in range(max(1, repeats)):
+        for use_arenas in arms:
+            with use_eval_plans(True), use_plan_arenas(use_arenas):
+                tracker = BatchTracker(
+                    start, target, context=context, batch_size=batch_size,
+                    options=TrackerOptions(predictor="tangent"))
+                tracker.homotopy.plan  # compile outside the timed region
+                began = time.perf_counter()
+                outcome = tracker.track_batches(starts)
+                wall = time.perf_counter() - began
+            if use_arenas not in best_wall or wall < best_wall[use_arenas]:
+                best_wall[use_arenas] = wall
+                best[use_arenas] = (tracker, outcome)
+    rows: List[ArenaTrackerRow] = []
+    for use_arenas in arms:
+        tracker, outcome = best[use_arenas]
+        plan = tracker.homotopy.plan
+        stats = plan.exec_stats
+        rows.append(ArenaTrackerRow(
+            context=context.name,
+            batch_size=batch_size or len(starts),
+            use_arenas=use_arenas,
+            paths_tracked=len(starts),
+            paths_converged=outcome.paths_converged,
+            wall_seconds=best_wall[use_arenas],
+            arena_hits=plan.arena.hits,
+            arena_misses=plan.arena.misses,
+            arena_resizes=plan.arena.resizes,
+            step_cache_hits=stats.step_cache_hits,
+            step_cache_misses=stats.step_cache_misses,
+            plane_builds=stats.plane_builds,
+            executions=stats.executions,
+        ))
+    return rows
+
+
+#: The NumPy constructor family the allocation bench intercepts.  Ufunc
+#: output buffers are invisible to this count, so the numbers are a
+#: *relative* allocation pressure measure, not a byte census.
+_ALLOCATOR_NAMES = ("empty", "zeros", "ones", "full",
+                    "empty_like", "zeros_like", "ones_like", "full_like")
+
+
+def _count_numpy_allocations(fn: Callable[[], object]) -> int:
+    """Run ``fn`` counting NumPy constructor-family calls."""
+    count = 0
+    originals = {name: getattr(np, name) for name in _ALLOCATOR_NAMES}
+
+    def counting(original):
+        def wrapper(*args, **kwargs):
+            nonlocal count
+            count += 1
+            return original(*args, **kwargs)
+        return wrapper
+
+    for name, original in originals.items():
+        setattr(np, name, counting(original))
+    try:
+        fn()
+    finally:
+        for name, original in originals.items():
+            setattr(np, name, original)
+    return count
+
+
+def run_allocation_bench(context: NumericContext = QUAD_DOUBLE,
+                         dimension: int = 3, lanes: int = 16,
+                         evaluations: int = 10) -> Dict[str, float]:
+    """Constructor-family allocations per batched homotopy evaluation.
+
+    Three modes: the walk path, the allocating plan path, and the arena
+    plan path.  Each mode is warmed first (plan compilation, arena sizing
+    and scratch-stack growth happen once, outside the counted region), so
+    the counts reflect steady-state per-evaluation allocation pressure.
+    """
+    start, target = _escalation_pair(dimension)
+    backend = backend_for_context(context)
+    points = _lane_points(backend, dimension, lanes)
+    t = np.random.default_rng(5).uniform(0.1, 0.9, size=lanes)
+    modes = (("walk", False, False),
+             ("plans", True, False),
+             ("plans_arenas", True, True))
+    results: Dict[str, float] = {}
+    for mode, plans, arenas in modes:
+        homotopy = BatchHomotopy(start, target, context=context,
+                                 backend=backend)
+        with use_eval_plans(plans), use_plan_arenas(arenas):
+            homotopy.evaluate_batch(points, t)  # warm outside the count
+            total = _count_numpy_allocations(
+                lambda: [homotopy.evaluate_batch(points, t)
+                         for _ in range(evaluations)])
+        results[mode] = total / float(evaluations)
+    return results
+
+
 def eval_plan_report(op_counts: Dict[str, object],
                      eval_rows: Sequence[EvalPlanRow],
-                     tracker_rows: Sequence[PlanTrackerRow]) -> Dict:
+                     tracker_rows: Sequence[PlanTrackerRow],
+                     arena_rows: Optional[Sequence[ArenaTrackerRow]] = None,
+                     allocations: Optional[Dict[str, float]] = None) -> Dict:
     """Assemble the ``BENCH_eval_plan.json`` payload."""
     report: Dict = {
         "op_counts": op_counts,
@@ -219,4 +393,14 @@ def eval_plan_report(op_counts: Dict[str, object],
     walk_wall = next((r.wall_seconds for r in tracker_rows if not r.use_plans), None)
     if plan_wall and walk_wall:
         report["qd_tracker_wall_speedup"] = walk_wall / plan_wall
+    if arena_rows:
+        arena: Dict = {"tracker": [row.as_dict() for row in arena_rows]}
+        on = next((r for r in arena_rows if r.use_arenas), None)
+        off = next((r for r in arena_rows if not r.use_arenas), None)
+        if on is not None and off is not None and on.wall_seconds:
+            arena["qd_tracker_wall_speedup_vs_plans"] = \
+                off.wall_seconds / on.wall_seconds
+        if allocations:
+            arena["allocations_per_evaluation"] = dict(allocations)
+        report["arena"] = arena
     return report

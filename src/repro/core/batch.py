@@ -220,6 +220,17 @@ class VectorisedBatchEvaluator:
         walk-the-terms reference; ``None`` (default) follows the module
         toggle :func:`~repro.core.evalplan.use_eval_plans`.  Both paths
         are bit-for-bit identical.
+
+    Buffer ownership
+    ----------------
+    The walk path builds fresh accumulator arrays per call, so its rows
+    belong to the caller outright.  The plan path with arenas enabled (the
+    default, :func:`~repro.core.evalplan.use_plan_arenas`) returns rows
+    owned by the plan's persistent :class:`~repro.multiprec.bufferpool.
+    PlanArena`: they are valid -- and freely mutable, the batched linear
+    solver writes into them with ``copy=False`` -- until the *next*
+    ``evaluate`` call on the same evaluator, which overwrites them.
+    Callers that need the rows to outlive the next evaluation must copy.
     """
 
     def __init__(self, system: PolynomialSystem, *,
@@ -247,6 +258,13 @@ class VectorisedBatchEvaluator:
         if self._plan is None:
             self._plan = EvaluationPlan(self.system, backend=self.backend)
         return self._plan
+
+    @property
+    def plan_execution_stats(self):
+        """Arena-executor counters of the compiled plan: executions, plane
+        builds, power-table entries executed, step-cache hits/misses.
+        Compiles the plan on first access."""
+        return self.plan.exec_stats
 
     def evaluate(self, points) -> BatchSystemEvaluation:
         """Evaluate at an ``(n, B)`` batch array of points.

@@ -73,6 +73,15 @@ class QueueFullError(ServiceError):
     """
 
 
+class RateLimitedError(ServiceError):
+    """A client exceeded its per-client submission rate limit.
+
+    Distinct from :class:`QueueFullError`: the queue may have room, but
+    *this* client is submitting faster than its token bucket refills.
+    Other clients are unaffected; the offending client should back off.
+    """
+
+
 class JobNotFoundError(ServiceError, KeyError):
     """An unknown job id was polled.
 

@@ -30,11 +30,24 @@ from typing import Dict, List, Sequence, Union
 import numpy as np
 
 from ..errors import ConfigurationError
+from .bufferpool import plane_stack
 from .complex_dd import ComplexDD
-from .ddarray import ComplexDDArray, DDArray
+from .ddarray import (
+    ComplexDDArray,
+    DDArray,
+    complex_dd_from_planes,
+    complex_dd_mul_into,
+    dd_mul_operand,
+)
 from .double_double import DoubleDouble
 from .numeric import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE, ComplexQD, NumericContext
-from .qdarray import ComplexQDArray, QDArray
+from .qdarray import (
+    ComplexQDArray,
+    QDArray,
+    complex_qd_from_planes,
+    complex_qd_mul_into,
+    qd_mul_operand,
+)
 from .quad_double import QuadDouble
 
 __all__ = [
@@ -154,6 +167,54 @@ class ComplexBatchBackend:
         """``where(mask, acc + value, acc)``, overwriting ``acc`` if possible."""
         return self.where(np.asarray(mask, dtype=bool), acc + value, acc)
 
+    # -- into-operations (plan-arena executor) --------------------------
+    # The arena executor of :mod:`repro.core.evalplan` lands results in
+    # persistent caller-owned arrays instead of fresh allocations.  Every
+    # ``*_into`` computes exactly the floating-point sequence of the
+    # corresponding out-of-place expression, then writes ``out``'s storage;
+    # callers always use the *returned* array, so these generic defaults --
+    # which ignore ``out`` and allocate -- stay correct for third-party
+    # backends that never override them.
+
+    def mul_into(self, out: BatchArray, a, b) -> BatchArray:
+        """``a * b`` landed in ``out`` (same operand order as ``a * b``).
+
+        ``out`` may alias either operand; at most one of ``a``/``b`` may be
+        a scalar weight.
+        """
+        return a * b
+
+    def copy_into(self, out: BatchArray, src: BatchArray) -> BatchArray:
+        """``src`` copied into ``out`` (bit-for-bit with :meth:`copy`)."""
+        return self.copy(src)
+
+    def full_into(self, out: BatchArray, value: complex) -> BatchArray:
+        """``out`` filled with ``value`` (bit-for-bit with :meth:`full`)."""
+        return self.full(out.shape, value)
+
+    def zero_into(self, out: BatchArray) -> BatchArray:
+        """``out`` zeroed (bit-for-bit with :meth:`zeros`)."""
+        return self.zeros(out.shape)
+
+    def component_planes(self, array: BatchArray):
+        """The float planes of a batch array, for exact fingerprinting.
+
+        Returns a tuple of ndarrays whose concatenated bytes identify the
+        array's values bit-for-bit, or ``None`` when the backend has no
+        lossless plane decomposition (callers must then skip fingerprint
+        caching).
+        """
+        return None
+
+    def embed_complex128(self, values: np.ndarray):
+        """A ``complex128`` weight vector embedded in this arithmetic.
+
+        Bit-for-bit with what the backend's arrays coerce such an operand
+        to; the default passthrough is correct wherever the arithmetic
+        multiplies ndarray weights directly.
+        """
+        return values
+
     # -- rounding / inspection ------------------------------------------
     def magnitude(self, array: BatchArray) -> np.ndarray:
         """Element-wise ``|z|`` rounded to hardware doubles.
@@ -224,6 +285,25 @@ class Complex128Backend(ComplexBatchBackend):
         np.copyto(acc, acc + value, where=np.asarray(mask, dtype=bool))
         return acc
 
+    def mul_into(self, out: np.ndarray, a, b) -> np.ndarray:
+        np.multiply(a, b, out=out)
+        return out
+
+    def copy_into(self, out: np.ndarray, src: np.ndarray) -> np.ndarray:
+        np.copyto(out, src)
+        return out
+
+    def full_into(self, out: np.ndarray, value: complex) -> np.ndarray:
+        out[...] = complex(value)
+        return out
+
+    def zero_into(self, out: np.ndarray) -> np.ndarray:
+        out[...] = 0.0
+        return out
+
+    def component_planes(self, array: np.ndarray):
+        return (array,)
+
     def magnitude(self, array: np.ndarray) -> np.ndarray:
         return np.abs(array)
 
@@ -292,13 +372,82 @@ class ComplexDDBackend(ComplexBatchBackend):
         return acc.iadd_(value)
 
     def isub_mul(self, acc: ComplexDDArray, factor, value) -> ComplexDDArray:
-        return acc.isub_mul_(factor, value)
+        # ``acc -= factor * value`` with the product formed in stack scratch
+        # instead of fresh wrapper allocations; the product's bits are
+        # exactly ``acc._coerce(factor) * value``'s (the walk expression).
+        if isinstance(factor, ComplexDDArray):
+            x, y = factor, dd_mul_operand(factor, value)
+        elif isinstance(value, ComplexDDArray):
+            x, y = dd_mul_operand(acc, factor), value
+        else:
+            return acc.isub_mul_(factor, value)
+        st = plane_stack()
+        shape = np.broadcast_shapes(x.shape, y.shape)
+        fb, mark = st.take(shape, 4)
+        try:
+            prod = complex_dd_from_planes(fb)
+            complex_dd_mul_into(prod, x, y)
+            return acc.isub_(prod)
+        finally:
+            st.release(mark)
 
     def iadd_mul(self, acc: ComplexDDArray, a, b) -> ComplexDDArray:
-        return acc.iadd_(a * b)
+        if isinstance(a, ComplexDDArray):
+            x, y = a, dd_mul_operand(a, b)
+        elif isinstance(b, ComplexDDArray):
+            x, y = b, dd_mul_operand(b, a)
+        else:
+            return acc.iadd_(a * b)
+        st = plane_stack()
+        shape = np.broadcast_shapes(x.shape, y.shape)
+        fb, mark = st.take(shape, 4)
+        try:
+            prod = complex_dd_from_planes(fb)
+            complex_dd_mul_into(prod, x, y)
+            return acc.iadd_(prod)
+        finally:
+            st.release(mark)
 
     def iadd_masked(self, acc: ComplexDDArray, value, mask) -> ComplexDDArray:
         return acc.iadd_where_(value, mask)
+
+    def mul_into(self, out: ComplexDDArray, a, b) -> ComplexDDArray:
+        if isinstance(a, ComplexDDArray):
+            return complex_dd_mul_into(out, a, dd_mul_operand(a, b))
+        return complex_dd_mul_into(out, b, dd_mul_operand(b, a))
+
+    def copy_into(self, out: ComplexDDArray, src: ComplexDDArray
+                  ) -> ComplexDDArray:
+        np.copyto(out.real.hi, src.real.hi)
+        np.copyto(out.real.lo, src.real.lo)
+        np.copyto(out.imag.hi, src.imag.hi)
+        np.copyto(out.imag.lo, src.imag.lo)
+        return out
+
+    def full_into(self, out: ComplexDDArray, value: complex) -> ComplexDDArray:
+        # Replay full()'s constructor renormalisation on one element, then
+        # broadcast the resulting components (renorm is element-wise).
+        value = complex(value)
+        re = DDArray(np.full((1,), value.real))
+        im = DDArray(np.full((1,), value.imag))
+        out.real.hi[...] = re.hi[0]
+        out.real.lo[...] = re.lo[0]
+        out.imag.hi[...] = im.hi[0]
+        out.imag.lo[...] = im.lo[0]
+        return out
+
+    def zero_into(self, out: ComplexDDArray) -> ComplexDDArray:
+        for plane in (out.real.hi, out.real.lo, out.imag.hi, out.imag.lo):
+            plane[...] = 0.0
+        return out
+
+    def component_planes(self, array: ComplexDDArray):
+        return (array.real.hi, array.real.lo, array.imag.hi, array.imag.lo)
+
+    def embed_complex128(self, values: np.ndarray) -> ComplexDDArray:
+        # What ComplexDDArray._coerce does with an ndarray operand.
+        return ComplexDDArray.from_complex128(
+            np.asarray(values, dtype=np.complex128))
 
     def magnitude(self, array: ComplexDDArray) -> np.ndarray:
         return array.abs_double()
@@ -375,13 +524,79 @@ class ComplexQDBackend(ComplexBatchBackend):
         return acc.iadd_(value)
 
     def isub_mul(self, acc: ComplexQDArray, factor, value) -> ComplexQDArray:
-        return acc.isub_mul_(factor, value)
+        if isinstance(factor, ComplexQDArray):
+            x, y = factor, qd_mul_operand(factor, value)
+        elif isinstance(value, ComplexQDArray):
+            x, y = qd_mul_operand(acc, factor), value
+        else:
+            return acc.isub_mul_(factor, value)
+        st = plane_stack()
+        shape = np.broadcast_shapes(x.shape, y.shape)
+        fb, mark = st.take(shape, 8)
+        try:
+            prod = complex_qd_from_planes(fb)
+            complex_qd_mul_into(prod, x, y)
+            return acc.isub_(prod)
+        finally:
+            st.release(mark)
 
     def iadd_mul(self, acc: ComplexQDArray, a, b) -> ComplexQDArray:
-        return acc.iadd_(a * b)
+        if isinstance(a, ComplexQDArray):
+            x, y = a, qd_mul_operand(a, b)
+        elif isinstance(b, ComplexQDArray):
+            x, y = b, qd_mul_operand(b, a)
+        else:
+            return acc.iadd_(a * b)
+        st = plane_stack()
+        shape = np.broadcast_shapes(x.shape, y.shape)
+        fb, mark = st.take(shape, 8)
+        try:
+            prod = complex_qd_from_planes(fb)
+            complex_qd_mul_into(prod, x, y)
+            return acc.iadd_(prod)
+        finally:
+            st.release(mark)
 
     def iadd_masked(self, acc: ComplexQDArray, value, mask) -> ComplexQDArray:
         return acc.iadd_where_(value, mask)
+
+    def mul_into(self, out: ComplexQDArray, a, b) -> ComplexQDArray:
+        if isinstance(a, ComplexQDArray):
+            return complex_qd_mul_into(out, a, qd_mul_operand(a, b))
+        return complex_qd_mul_into(out, b, qd_mul_operand(b, a))
+
+    def copy_into(self, out: ComplexQDArray, src: ComplexQDArray
+                  ) -> ComplexQDArray:
+        for dst, plane in zip(out.real._components(), src.real._components()):
+            np.copyto(dst, plane)
+        for dst, plane in zip(out.imag._components(), src.imag._components()):
+            np.copyto(dst, plane)
+        return out
+
+    def full_into(self, out: ComplexQDArray, value: complex) -> ComplexQDArray:
+        # Replay full()'s constructor renormalisation on one element, then
+        # broadcast the resulting components (renorm is element-wise).
+        value = complex(value)
+        re = QDArray(np.full((1,), value.real))
+        im = QDArray(np.full((1,), value.imag))
+        for dst, plane in zip(out.real._components(), re._components()):
+            dst[...] = plane[0]
+        for dst, plane in zip(out.imag._components(), im._components()):
+            dst[...] = plane[0]
+        return out
+
+    def zero_into(self, out: ComplexQDArray) -> ComplexQDArray:
+        for plane in out.real._components() + out.imag._components():
+            plane[...] = 0.0
+        return out
+
+    def component_planes(self, array: ComplexQDArray):
+        return array.real._components() + array.imag._components()
+
+    def embed_complex128(self, values: np.ndarray) -> ComplexQDArray:
+        # What ComplexQDArray._coerce does with an ndarray operand.
+        return ComplexQDArray.from_complex128(
+            np.asarray(values, dtype=np.complex128))
 
     def magnitude(self, array: ComplexQDArray) -> np.ndarray:
         return array.abs_double()

@@ -43,6 +43,7 @@ from .eft import SPLIT_THRESHOLD
 
 __all__ = [
     "DD_ADDSUB_FUSED_MIN_ELEMENTS",
+    "PlanArena",
     "PlaneStack",
     "dd_addsub_fused_threshold",
     "fused_addsub_enabled",
@@ -110,8 +111,103 @@ class PlaneStack:
         return sum(len(entry[0]) for entry in self._entries.values())
 
     def clear(self) -> None:
-        """Drop every cached plane (for tests and memory pressure)."""
+        """Drop every cached plane, including the module-level read-only
+        zero/one plane caches (for tests and memory pressure).
+
+        A long-lived worker that calls ``clear()`` expects its scratch
+        memory back; the cached :func:`zero_plane` / :func:`one_plane`
+        constants are part of that footprint, so they are dropped too and
+        re-materialised lazily on next use."""
         self._entries.clear()
+        _ZERO_PLANES.clear()
+        _ONE_PLANES.clear()
+
+    def shrink(self) -> None:
+        """Release capacity above the *current* take depth.
+
+        A one-off large batch grows every ``(shape, dtype)`` bucket to its
+        peak working set and :meth:`release` only rewinds cursors, so a
+        long-lived service worker would otherwise pin peak-batch memory
+        forever.  ``shrink()`` frees the planes past each bucket's cursor
+        (all of them, for the common call-at-idle case where nothing is
+        taken) without disturbing planes still on loan."""
+        for key in list(self._entries):
+            planes, cursor = self._entries[key]
+            if cursor == 0:
+                del self._entries[key]
+            else:
+                del planes[cursor:]
+
+
+class PlanArena:
+    """Plan-owned persistent buffers for compiled-schedule execution.
+
+    A compiled :class:`~repro.core.evalplan.EvaluationPlan` executes the
+    same op graph every call, so the buffers it needs -- result rows, term
+    planes, blend scratch -- have statically known lifetimes: they are live
+    from the start of one execution to the start of the next.  The arena
+    holds exactly those buffers, keyed by a name the schedule derives from
+    the op graph, sized once at first execution for a given lane count and
+    reused across every corrector iteration and predictor call thereafter.
+
+    ``ensure(lanes)`` re-sizes (drops every slot) only when the lane count
+    changes, e.g. after lane compression; the drop is counted in
+    :attr:`resizes` so tests can pin "exactly one re-size per lane-count
+    change".  ``slot(name, factory)`` returns the named buffer, building it
+    via ``factory()`` on first use (a *miss*) and handing back the cached
+    object afterwards (a *hit*).
+
+    Unlike :class:`PlaneStack` takes, arena slots are not scoped: there is
+    nothing to release, so an exception mid-execution cannot leak depth --
+    the next execution simply overwrites the same slots.  The flip side is
+    the ownership rule: buffers handed out of an execution (result rows)
+    remain arena-owned and are only valid until the next execution of the
+    same plan.
+    """
+
+    __slots__ = ("_slots", "lanes", "hits", "misses", "resizes")
+
+    def __init__(self) -> None:
+        self._slots: Dict[object, object] = {}
+        self.lanes = None
+        #: slot reuses / creations / lane-count invalidations (for benches)
+        self.hits = 0
+        self.misses = 0
+        self.resizes = 0
+
+    def ensure(self, lanes: int) -> bool:
+        """Invalidate every slot when the lane count changes.
+
+        Returns True when the arena was (re)sized -- i.e. every previously
+        handed-out buffer is now stale -- so owners can drop caches built on
+        top of the old slots.
+        """
+        if self.lanes != lanes:
+            if self.lanes is not None:
+                self.resizes += 1
+            self.lanes = lanes
+            self._slots.clear()
+            return True
+        return False
+
+    def slot(self, name, factory):
+        """The named buffer, built by ``factory()`` on first use."""
+        buffer = self._slots.get(name)
+        if buffer is None:
+            buffer = factory()
+            self._slots[name] = buffer
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buffer
+
+    def clear(self) -> None:
+        """Drop every slot and forget the lane count (memory pressure)."""
+        self._slots.clear()
+        self.lanes = None
+
+    def __len__(self) -> int:
+        return len(self._slots)
 
 
 _LOCAL = threading.local()

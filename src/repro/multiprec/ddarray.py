@@ -166,6 +166,159 @@ def _dd_div_planes_fused(x, y, out=None):
         st.release(mark)
 
 
+# ----------------------------------------------------------------------
+# into-variants: the operator dispatch (gates included), landed in caller
+# planes.  These exist for the plan-arena executor of
+# :mod:`repro.core.evalplan`: results go into persistent arena planes
+# instead of fresh allocations, with the exact same floating-point
+# sequences the ``+ - *`` operators would execute.
+# ----------------------------------------------------------------------
+def _dd_add_into(x, y, out) -> None:
+    """``out := x + y`` on (hi, lo) plane pairs, replaying ``__add__``."""
+    if fused_addsub_enabled(max(x[0].size, y[0].size)):
+        _dd_add_planes_fused(x, y, out=out)
+        return
+    s1, s2 = two_sum(x[0], y[0])
+    t1, t2 = two_sum(x[1], y[1])
+    s2 = s2 + t1
+    s1, s2 = quick_two_sum(s1, s2)
+    s2 = s2 + t2
+    s1, s2 = quick_two_sum(s1, s2)
+    np.copyto(out[0], s1)
+    np.copyto(out[1], s2)
+
+
+def _dd_sub_into(x, y, out) -> None:
+    """``out := x - y`` on (hi, lo) plane pairs, replaying ``__sub__``."""
+    if fused_addsub_enabled(max(x[0].size, y[0].size)):
+        _dd_sub_planes_fused(x, y, out=out)
+        return
+    s1, s2 = two_diff(x[0], y[0])
+    t1, t2 = two_diff(x[1], y[1])
+    s2 = s2 + t1
+    s1, s2 = quick_two_sum(s1, s2)
+    s2 = s2 + t2
+    s1, s2 = quick_two_sum(s1, s2)
+    np.copyto(out[0], s1)
+    np.copyto(out[1], s2)
+
+
+def _dd_mul_into(x, y, out) -> None:
+    """``out := x * y`` on (hi, lo) plane pairs, replaying ``__mul__``."""
+    if fused_kernels_enabled():
+        _dd_mul_planes_fused(x, y, out=out)
+        return
+    p1, p2 = _dd_mul_planes_ref(x, y)
+    np.copyto(out[0], p1)
+    np.copyto(out[1], p2)
+
+
+def complex_dd_raw(real: "DDArray", imag: "DDArray") -> "ComplexDDArray":
+    """Wrap two DDArrays without the constructor's shape validation."""
+    out = object.__new__(ComplexDDArray)
+    out.real = real
+    out.imag = imag
+    return out
+
+
+def complex_dd_from_planes(planes) -> "ComplexDDArray":
+    """View four planes ``(re_hi, re_lo, im_hi, im_lo)`` as a ComplexDDArray."""
+    return complex_dd_raw(_raw(planes[0], planes[1]),
+                          _raw(planes[2], planes[3]))
+
+
+def dd_mul_operand(x: "ComplexDDArray", other) -> "ComplexDDArray":
+    """The coerced right operand of ``x * other``, allocation-free for
+    Python scalars.
+
+    Bit-for-bit with :meth:`ComplexDDArray._coerce`: a Python scalar there
+    becomes ``np.full`` planes renormalised through ``two_sum(v, 0)`` by
+    ``DDArray.__init__``; here the same two_sum runs once on 0-d values and
+    the results broadcast as read-only views -- every element carries the
+    identical bits, and the multiply kernels only read operand planes.
+    """
+    if isinstance(other, ComplexDDArray):
+        return other
+    if isinstance(other, (int, float, complex)) and not isinstance(other, bool):
+        z = complex(other)
+        shape = x.shape
+        re_hi, re_lo = two_sum(np.float64(z.real), np.float64(0.0))
+        im_hi, im_lo = two_sum(np.float64(z.imag), np.float64(0.0))
+        return complex_dd_raw(
+            _raw(np.broadcast_to(re_hi, shape), np.broadcast_to(re_lo, shape)),
+            _raw(np.broadcast_to(im_hi, shape), np.broadcast_to(im_lo, shape)))
+    return x._coerce(other)
+
+
+def _complex_dd_div_fused(a: "DDArray", b: "DDArray", c: "DDArray",
+                          d: "DDArray") -> "ComplexDDArray":
+    """``(a + ib) / (c + id)`` with every intermediate in pooled scratch.
+
+    Replays the allocating expression ``((a*c + b*d) / denom,
+    (b*c - a*d) / denom)`` kernel for kernel -- same products, same
+    additions, same iterated-correction divisions, so the landed bits are
+    identical -- without materialising the six intermediate ``DDArray``
+    wrappers and their planes.
+    """
+    st = plane_stack()
+    shape = a.hi.shape
+    fb, mark = st.take(shape, 8)
+    try:
+        t1, t2 = fb[0:2], fb[2:4]
+        denom, num = fb[4:6], fb[6:8]
+        _dd_mul_planes_fused((c.hi, c.lo), (c.hi, c.lo), out=t1)
+        _dd_mul_planes_fused((d.hi, d.lo), (d.hi, d.lo), out=t2)
+        _dd_add_planes_fused(t1, t2, out=denom)
+        # Mirror the scalar ComplexDD check: |z|^2 == 0 means the divisor
+        # is an exact zero (or underflowed to one).
+        if np.any(denom[0] == 0.0):
+            raise DivisionByZeroError(
+                f"ComplexDDArray division by zero in "
+                f"{int(np.count_nonzero(denom[0] == 0.0))} element(s)"
+            )
+        _dd_mul_planes_fused((a.hi, a.lo), (c.hi, c.lo), out=t1)
+        _dd_mul_planes_fused((b.hi, b.lo), (d.hi, d.lo), out=t2)
+        _dd_add_planes_fused(t1, t2, out=num)
+        real = _raw(*_dd_div_planes_fused(num, denom))
+        _dd_mul_planes_fused((b.hi, b.lo), (c.hi, c.lo), out=t1)
+        _dd_mul_planes_fused((a.hi, a.lo), (d.hi, d.lo), out=t2)
+        _dd_sub_planes_fused(t1, t2, out=num)
+        imag = _raw(*_dd_div_planes_fused(num, denom))
+        return ComplexDDArray(real, imag)
+    finally:
+        st.release(mark)
+
+
+def complex_dd_mul_into(out: "ComplexDDArray", x: "ComplexDDArray",
+                        y: "ComplexDDArray") -> "ComplexDDArray":
+    """``out := x * y``, bit-for-bit with ``ComplexDDArray.__mul__``.
+
+    All four real products land in scratch *before* the first write to
+    ``out``'s planes, so ``out`` may alias either operand.
+    """
+    a = (x.real.hi, x.real.lo)
+    b = (x.imag.hi, x.imag.lo)
+    c = (y.real.hi, y.real.lo)
+    d = (y.imag.hi, y.imag.lo)
+    st = plane_stack()
+    shape = op_shape(a, c)
+    fb, mark = st.take(shape, 8)
+    try:
+        ac = fb[0:2]
+        bd = fb[2:4]
+        ad = fb[4:6]
+        bc = fb[6:8]
+        _dd_mul_into(a, c, ac)
+        _dd_mul_into(b, d, bd)
+        _dd_mul_into(a, d, ad)
+        _dd_mul_into(b, c, bc)
+        _dd_sub_into(ac, bd, (out.real.hi, out.real.lo))
+        _dd_add_into(ad, bc, (out.imag.hi, out.imag.lo))
+        return out
+    finally:
+        st.release(mark)
+
+
 class DDArray:
     """An n-dimensional array of double-double reals stored as (hi, lo).
 
@@ -614,6 +767,8 @@ class ComplexDDArray:
     def __truediv__(self, other) -> "ComplexDDArray":
         o = self._coerce(other)
         a, b, c, d = self.real, self.imag, o.real, o.imag
+        if fused_kernels_enabled() and a.hi.shape == c.hi.shape:
+            return _complex_dd_div_fused(a, b, c, d)
         denom = c * c + d * d
         # Mirror the scalar ComplexDD check: |z|^2 == 0 means the divisor is
         # an exact zero (or underflowed to one), which would otherwise fill

@@ -971,6 +971,8 @@ class ComplexQDArray:
     def __truediv__(self, other) -> "ComplexQDArray":
         o = self._coerce(other)
         a, b, c, d = self.real, self.imag, o.real, o.imag
+        if fused_kernels_enabled() and a.c0.shape == c.c0.shape:
+            return _complex_qd_div_fused(a, b, c, d)
         denom = c * c + d * d
         # Mirror the scalar ComplexQD check; see ComplexDDArray.__truediv__.
         if np.any(denom.c0 == 0.0):
@@ -1081,3 +1083,141 @@ def _complex_parts(value):
         return value, 0.0
     arr = np.asarray(value, dtype=np.complex128)
     return arr.real, arr.imag
+
+# ----------------------------------------------------------------------
+# into-variants for the plan-arena executor (see the double-double
+# counterparts in ddarray.py): the exact operator dispatch, landed in
+# caller-owned planes instead of fresh allocations.
+# ----------------------------------------------------------------------
+def _qd_add_into(x, y, out) -> None:
+    """``out := x + y`` on component-plane quadruples, replaying ``__add__``."""
+    if fused_kernels_enabled():
+        _add_planes_fused(x, y, out=out)
+        return
+    for dst, src in zip(out, _add_planes_ref(x, y)):
+        np.copyto(dst, src)
+
+
+def _qd_sub_into(x, y, out) -> None:
+    """``out := x - y`` on component-plane quadruples, replaying ``__sub__``."""
+    if fused_kernels_enabled():
+        _sub_planes_fused(x, y, out=out)
+        return
+    # Reference __sub__ is ``self + (-o)``.
+    neg = tuple(-c for c in y)
+    for dst, src in zip(out, _add_planes_ref(x, neg)):
+        np.copyto(dst, src)
+
+
+def _qd_mul_into(x, y, out) -> None:
+    """``out := x * y`` on component-plane quadruples, replaying ``__mul__``."""
+    if fused_kernels_enabled():
+        _mul_planes_fused(x, y, out=out)
+        return
+    for dst, src in zip(out, _mul_planes_ref(x, y)):
+        np.copyto(dst, src)
+
+
+def complex_qd_raw(real: QDArray, imag: QDArray) -> ComplexQDArray:
+    """Wrap two QDArrays without the constructor's shape validation."""
+    out = object.__new__(ComplexQDArray)
+    out.real = real
+    out.imag = imag
+    return out
+
+
+def complex_qd_from_planes(planes) -> ComplexQDArray:
+    """View eight planes (real c0..c3, imag c0..c3) as a ComplexQDArray."""
+    return complex_qd_raw(_raw(planes[0], planes[1], planes[2], planes[3]),
+                          _raw(planes[4], planes[5], planes[6], planes[7]))
+
+
+def qd_mul_operand(x: ComplexQDArray, other) -> ComplexQDArray:
+    """The coerced right operand of ``x * other``, allocation-free for
+    Python scalars.
+
+    Bit-for-bit with :meth:`ComplexQDArray._coerce`: a Python scalar there
+    goes through ``from_complex128`` whose planes are the raw double value
+    plus zero trailing components -- no renormalisation -- so read-only
+    broadcast views of the same scalars carry identical bits everywhere.
+    """
+    if isinstance(other, ComplexQDArray):
+        return other
+    if isinstance(other, (int, float, complex)) and not isinstance(other, bool):
+        z = complex(other)
+        shape = x.shape
+        zero = np.broadcast_to(np.float64(0.0), shape)
+        real = _raw(np.broadcast_to(np.float64(z.real), shape),
+                    zero, zero, zero)
+        imag = _raw(np.broadcast_to(np.float64(z.imag), shape),
+                    zero, zero, zero)
+        return complex_qd_raw(real, imag)
+    return x._coerce(other)
+
+
+def _complex_qd_div_fused(a: QDArray, b: QDArray, c: QDArray,
+                          d: QDArray) -> ComplexQDArray:
+    """``(a + ib) / (c + id)`` with every intermediate in pooled scratch.
+
+    Replays the allocating expression ``((a*c + b*d) / denom,
+    (b*c - a*d) / denom)`` kernel for kernel -- same products, same
+    additions, same iterated-correction divisions, so the landed bits are
+    identical -- without materialising the six intermediate ``QDArray``
+    wrappers and their planes.
+    """
+    st = plane_stack()
+    shape = a.c0.shape
+    fb, mark = st.take(shape, 16)
+    try:
+        t1, t2 = fb[0:4], fb[4:8]
+        denom, num = fb[8:12], fb[12:16]
+        _mul_planes_fused(c._components(), c._components(), out=t1)
+        _mul_planes_fused(d._components(), d._components(), out=t2)
+        _add_planes_fused(t1, t2, out=denom)
+        # Mirror the scalar ComplexQD check; see ComplexDDArray.__truediv__.
+        if np.any(denom[0] == 0.0):
+            raise DivisionByZeroError(
+                f"ComplexQDArray division by zero in "
+                f"{int(np.count_nonzero(denom[0] == 0.0))} element(s)"
+            )
+        _mul_planes_fused(a._components(), c._components(), out=t1)
+        _mul_planes_fused(b._components(), d._components(), out=t2)
+        _add_planes_fused(t1, t2, out=num)
+        real = _raw(*_div_planes_fused(num, denom))
+        _mul_planes_fused(b._components(), c._components(), out=t1)
+        _mul_planes_fused(a._components(), d._components(), out=t2)
+        _sub_planes_fused(t1, t2, out=num)
+        imag = _raw(*_div_planes_fused(num, denom))
+        return ComplexQDArray(real, imag)
+    finally:
+        st.release(mark)
+
+
+def complex_qd_mul_into(out: ComplexQDArray, x: ComplexQDArray,
+                        y: ComplexQDArray) -> ComplexQDArray:
+    """``out := x * y``, bit-for-bit with ``ComplexQDArray.__mul__``.
+
+    All four real products land in scratch *before* the first write to
+    ``out``'s planes, so ``out`` may alias either operand.
+    """
+    a = x.real._components()
+    b = x.imag._components()
+    c = y.real._components()
+    d = y.imag._components()
+    st = plane_stack()
+    shape = op_shape(a, c)
+    fb, mark = st.take(shape, 16)
+    try:
+        ac = fb[0:4]
+        bd = fb[4:8]
+        ad = fb[8:12]
+        bc = fb[12:16]
+        _qd_mul_into(a, c, ac)
+        _qd_mul_into(b, d, bd)
+        _qd_mul_into(a, d, ad)
+        _qd_mul_into(b, c, bc)
+        _qd_sub_into(ac, bd, out.real._components())
+        _qd_add_into(ad, bc, out.imag._components())
+        return out
+    finally:
+        st.release(mark)

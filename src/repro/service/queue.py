@@ -25,10 +25,12 @@ from __future__ import annotations
 import itertools
 import queue as _queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from ..errors import JobNotFoundError, QueueFullError, ServiceError
+from ..errors import (JobNotFoundError, QueueFullError, RateLimitedError,
+                      ServiceError)
 from ..polynomials.system import PolynomialSystem
 from ..tracking.solver import SolveReport
 from .sharded import solve_system_sharded
@@ -51,6 +53,24 @@ class _Job:
     report: Optional[SolveReport] = None
     error: Optional[BaseException] = None
     finished: threading.Event = field(default_factory=threading.Event)
+
+
+@dataclass
+class _TokenBucket:
+    """Per-client token bucket: ``rate`` tokens/s refill, ``burst`` cap."""
+
+    tokens: float
+    stamp: float
+
+    def take(self, now: float, rate: float, burst: float) -> Optional[float]:
+        """Consume one token; returns ``None`` on success or the seconds
+        until the next token becomes available."""
+        self.tokens = min(burst, self.tokens + (now - self.stamp) * rate)
+        self.stamp = now
+        if self.tokens < 1.0:
+            return (1.0 - self.tokens) / rate
+        self.tokens -= 1.0
+        return None
 
 
 @dataclass(frozen=True)
@@ -82,6 +102,19 @@ class SolveService:
         The solve callable, ``solver(system, **kwargs) -> SolveReport``;
         :func:`~repro.service.sharded.solve_system_sharded` by default
         (tests substitute stubs).
+    rate_limit:
+        Sustained per-client submission rate in jobs/second; ``None``
+        (default) disables rate limiting.  Each client named in
+        :meth:`submit` gets its own token bucket, so one chatty client
+        is throttled (:class:`~repro.errors.RateLimitedError`) without
+        starving the rest -- distinct from the *global* backpressure of
+        :class:`~repro.errors.QueueFullError`.
+    burst:
+        Token-bucket capacity: how many submits a client may burst after
+        idling.  Defaults to ``max(1, ceil(rate_limit))``.
+    clock:
+        Monotonic time source for the buckets (seconds); defaults to
+        :func:`time.monotonic`.  Injectable so tests drive time by hand.
     **defaults:
         Default keyword arguments merged under every submit's overrides --
         e.g. a shared ``store=`` or ``shards=``.
@@ -89,11 +122,27 @@ class SolveService:
 
     def __init__(self, *, capacity: int = 8, workers: int = 1,
                  solver: Optional[Callable[..., SolveReport]] = None,
+                 rate_limit: Optional[float] = None,
+                 burst: Optional[int] = None,
+                 clock: Optional[Callable[[], float]] = None,
                  **defaults):
         if capacity < 1:
             raise ServiceError("queue capacity must be at least 1")
         if workers < 1:
             raise ServiceError("a solve service needs at least one worker")
+        if rate_limit is not None and rate_limit <= 0:
+            raise ServiceError("rate_limit must be positive (or None)")
+        if burst is not None:
+            if rate_limit is None:
+                raise ServiceError("burst needs a rate_limit")
+            if burst < 1:
+                raise ServiceError("burst must allow at least one job")
+        self._rate = None if rate_limit is None else float(rate_limit)
+        self._burst = (float(burst) if burst is not None
+                       else None if self._rate is None
+                       else max(1.0, float(-(-self._rate // 1))))
+        self._clock = clock if clock is not None else time.monotonic
+        self._buckets: Dict[str, _TokenBucket] = {}
         self._solver = solver if solver is not None else solve_system_sharded
         self._defaults = dict(defaults)
         self._queue: _queue.Queue = _queue.Queue(maxsize=capacity)
@@ -111,11 +160,23 @@ class SolveService:
             thread.start()
 
     # -- submit / observe ------------------------------------------------
-    def submit(self, system: PolynomialSystem, **overrides) -> str:
+    def submit(self, system: PolynomialSystem, *, client: str = "default",
+               **overrides) -> str:
         """Enqueue a solve; returns its job id immediately.
+
+        Parameters
+        ----------
+        client:
+            Rate-limiting identity of the submitter.  Only meaningful when
+            the service was built with a ``rate_limit``; throttling is per
+            client, so distinct clients do not contend for tokens.
 
         Raises
         ------
+        RateLimitedError
+            When this client's token bucket is empty (the queue may still
+            have room; other clients are unaffected).  A throttled submit
+            consumes neither a queue slot nor a job id.
         QueueFullError
             When the bounded queue is at capacity (backpressure: retry
             later or drain results first).
@@ -124,6 +185,19 @@ class SolveService:
         """
         if self._closed:
             raise ServiceError("the solve service has been shut down")
+        if self._rate is not None:
+            with self._lock:
+                now = float(self._clock())
+                bucket = self._buckets.get(client)
+                if bucket is None:
+                    bucket = self._buckets[client] = _TokenBucket(
+                        tokens=self._burst, stamp=now)
+                retry_after = bucket.take(now, self._rate, self._burst)
+            if retry_after is not None:
+                raise RateLimitedError(
+                    f"client {client!r} exceeded {self._rate} submits/s "
+                    f"(burst {self._burst:g}); retry in {retry_after:.3f} s"
+                )
         job_id = f"job-{next(self._ids)}"
         job = _Job(job_id=job_id, system=system,
                    kwargs={**self._defaults, **overrides})

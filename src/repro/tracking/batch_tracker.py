@@ -732,6 +732,15 @@ class BatchTracker:
                                     for b in batches))
 
     # ------------------------------------------------------------------
+    @property
+    def plan_execution_stats(self):
+        """Arena-executor counters of the homotopy's compiled plan
+        (executions, plane builds, power entries, step-cache hits/misses).
+        Compiles the plan on first access; counters accumulate across
+        runs."""
+        return self.homotopy.plan.exec_stats
+
+    # ------------------------------------------------------------------
     def _corrector(self, t: np.ndarray, tolerance: float,
                    iterations: int) -> BatchNewtonCorrector:
         return BatchNewtonCorrector(self.homotopy.at(t), self.backend,
@@ -745,8 +754,10 @@ class BatchTracker:
         # Lanes that diverge or retire carry inf/NaN through the masked
         # batch arithmetic (predictor, corrector, endgame); the errstate
         # scope keeps them from spraying RuntimeWarnings while the status
-        # masks report the failures.
-        with masked_lane_errstate():
+        # masks report the failures.  The plan step scope lets the tangent
+        # predictor reuse the corrector's power ladders at the accepted
+        # point (a no-op when plans or arenas are off).
+        with masked_lane_errstate(), self.homotopy.plan_step_scope():
             return self._track_one_batch_inner(starts, checkpoints)
 
     def _track_one_batch_inner(self,

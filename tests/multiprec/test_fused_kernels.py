@@ -417,6 +417,44 @@ class TestPlaneStack:
             o[0] = 0.0
         assert zero_plane((5,)) is z
 
+    def test_clear_also_drops_cached_constant_planes(self):
+        stack = plane_stack()
+        _, mark = stack.take((7,), 3)
+        stack.release(mark)
+        z = zero_plane((7,))
+        o = one_plane((7,))
+        stack.clear()
+        assert stack.capacity() == 0
+        # The constant caches are part of the footprint clear() reclaims:
+        # next use re-materialises fresh planes instead of the old ones.
+        assert zero_plane((7,)) is not z
+        assert one_plane((7,)) is not o
+
+    def test_shrink_releases_capacity_above_the_take_depth(self):
+        stack = plane_stack()
+        stack.clear()
+        _, mark = stack.take((9,), 8)
+        stack.release(mark)
+        assert stack.capacity() == 8 and stack.depth() == 0
+        stack.shrink()  # nothing on loan: every bucket goes entirely
+        assert stack.capacity() == 0
+
+    def test_shrink_keeps_planes_still_on_loan(self):
+        stack = plane_stack()
+        stack.clear()
+        taken, mark = stack.take((11,), 2)
+        deeper, deeper_mark = stack.take((11,), 4)
+        stack.release(deeper_mark)
+        stack.shrink()
+        assert stack.capacity() == 2 and stack.depth() == 2
+        # The loaned planes survive and are returned by the next take.
+        taken[0][...] = 3.0
+        assert np.all(taken[0] == 3.0)
+        stack.release(mark)
+        again, again_mark = stack.take((11,), 2)
+        assert all(x is y for x, y in zip(taken, again))
+        stack.release(again_mark)
+
 
 # ----------------------------------------------------------------------
 # hypothesis layer (seeded fallback above always runs)

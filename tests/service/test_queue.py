@@ -12,7 +12,8 @@ import threading
 
 import pytest
 
-from repro.errors import JobNotFoundError, QueueFullError, ServiceError
+from repro.errors import (JobNotFoundError, QueueFullError, RateLimitedError,
+                          ServiceError)
 from repro.polynomials import Monomial, Polynomial, PolynomialSystem
 from repro.service import SolveService
 
@@ -157,6 +158,111 @@ class TestBackpressure:
             SolveService(capacity=0)
         with pytest.raises(ServiceError):
             SolveService(workers=0)
+
+
+class FakeClock:
+    """Hand-driven monotonic clock for deterministic bucket tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRateLimiting:
+    def make_service(self, *, rate_limit, burst=None, capacity=64):
+        clock = FakeClock()
+        service = SolveService(capacity=capacity, rate_limit=rate_limit,
+                               burst=burst, clock=clock,
+                               solver=lambda system, **kw: "ok")
+        return service, clock
+
+    def test_burst_then_throttled(self):
+        service, clock = self.make_service(rate_limit=1.0, burst=3)
+        with service:
+            for _ in range(3):
+                service.submit(tiny_system(), client="alice")
+            with pytest.raises(RateLimitedError, match="'alice'"):
+                service.submit(tiny_system(), client="alice")
+
+    def test_rate_limited_is_not_queue_full(self):
+        service, clock = self.make_service(rate_limit=1.0, burst=1)
+        with service:
+            service.submit(tiny_system(), client="alice")
+            with pytest.raises(RateLimitedError) as excinfo:
+                service.submit(tiny_system(), client="alice")
+            assert not isinstance(excinfo.value, QueueFullError)
+            assert isinstance(excinfo.value, ServiceError)
+
+    def test_throttled_submit_leaves_no_ghost_job_and_burns_no_id(self):
+        service, clock = self.make_service(rate_limit=1.0, burst=1)
+        with service:
+            service.submit(tiny_system(), client="alice")
+            with pytest.raises(RateLimitedError):
+                service.submit(tiny_system(), client="alice")
+            with pytest.raises(JobNotFoundError):
+                service.poll("job-2")
+            clock.advance(1.0)
+            # Job ids continue densely: the throttled attempt burned none.
+            assert service.submit(tiny_system(), client="alice") == "job-2"
+
+    def test_bucket_refills_at_the_configured_rate(self):
+        service, clock = self.make_service(rate_limit=2.0, burst=2)
+        with service:
+            service.submit(tiny_system(), client="alice")
+            service.submit(tiny_system(), client="alice")
+            with pytest.raises(RateLimitedError):
+                service.submit(tiny_system(), client="alice")
+            clock.advance(0.5)  # 2 tokens/s -> one token back
+            service.submit(tiny_system(), client="alice")
+            with pytest.raises(RateLimitedError):
+                service.submit(tiny_system(), client="alice")
+
+    def test_clients_do_not_share_buckets(self):
+        service, clock = self.make_service(rate_limit=1.0, burst=1)
+        with service:
+            service.submit(tiny_system(), client="alice")
+            with pytest.raises(RateLimitedError):
+                service.submit(tiny_system(), client="alice")
+            # Bob's bucket is untouched by Alice's throttling.
+            service.submit(tiny_system(), client="bob")
+
+    def test_refill_caps_at_burst(self):
+        service, clock = self.make_service(rate_limit=1.0, burst=2)
+        with service:
+            clock.advance(100.0)  # a long idle must not bank 100 tokens
+            service.submit(tiny_system(), client="alice")
+            service.submit(tiny_system(), client="alice")
+            with pytest.raises(RateLimitedError):
+                service.submit(tiny_system(), client="alice")
+
+    def test_no_rate_limit_by_default(self):
+        with SolveService(capacity=64,
+                          solver=lambda system, **kw: "ok") as service:
+            for _ in range(20):
+                service.submit(tiny_system(), client="alice")
+
+    def test_rate_limit_validation(self):
+        with pytest.raises(ServiceError):
+            SolveService(rate_limit=0.0)
+        with pytest.raises(ServiceError):
+            SolveService(rate_limit=-1.0)
+        with pytest.raises(ServiceError):
+            SolveService(rate_limit=1.0, burst=0)
+        with pytest.raises(ServiceError):
+            SolveService(burst=4)  # burst without a rate makes no sense
+
+    def test_burst_defaults_to_rate_ceiling(self):
+        service, clock = self.make_service(rate_limit=2.5)  # burst -> 3
+        with service:
+            for _ in range(3):
+                service.submit(tiny_system(), client="alice")
+            with pytest.raises(RateLimitedError):
+                service.submit(tiny_system(), client="alice")
 
 
 class TestIntegration:

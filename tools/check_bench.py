@@ -1,0 +1,167 @@
+"""Validate the checked-in ``BENCH_*.json`` benchmark reports.
+
+``make test-all`` runs this checker over every ``BENCH_*.json`` at the
+repository root.  Three layers of checks keep the perf trajectory honest:
+
+1. **hygiene** -- the file parses, is non-empty, and contains no ``NaN`` /
+   ``Infinity`` / ``null`` measurement anywhere (an absent or non-finite
+   number means the benchmark silently failed mid-run);
+2. **shape** -- the per-file required top-level sections are present, so a
+   regenerated report cannot quietly drop the section an acceptance test
+   reads;
+3. **floors** -- the numeric floors the test suite asserts against these
+   files (e.g. the eval-plan multiplication saving or the arena tracker
+   speedup) hold in the checked-in numbers too, so a regeneration that
+   regressed below an alarm floor fails here instead of at the next slow
+   test run.
+
+Exit status 0 means every report passed; failures are printed per file and
+the exit status is 1, which is what lets the Makefile (and CI) gate on
+benchmark health.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Required top-level sections per report (shape layer).
+REQUIRED_KEYS = {
+    "BENCH_batch_tracking.json": ("d", "dd", "qd"),
+    "BENCH_escalation.json": ("rows", "saving_factor", "paths_total",
+                              "paths_converged", "recovered_by_escalation"),
+    "BENCH_eval_plan.json": ("evaluation", "op_counts", "tracker",
+                             "qd_tracker_wall_speedup", "arena"),
+    "BENCH_qd_arith.json": ("per_op", "small_batch", "tracker",
+                            "baseline_qd_paths_per_s_wall",
+                            "wall_speedup_vs_baseline_at_batch_64"),
+    "BENCH_shard.json": ("rows", "ladder", "all_identical", "paths_total"),
+}
+
+#: Numeric floors the acceptance tests assert (floor layer): dotted path
+#: into the report -> minimum value the checked-in number must reach.
+FLOORS = {
+    "BENCH_eval_plan.json": {
+        "op_counts.multiplication_saving_factor": 1.5,
+        "qd_tracker_wall_speedup": 1.15,
+        "arena.qd_tracker_wall_speedup_vs_plans": 1.15,
+    },
+    "BENCH_qd_arith.json": {
+        "wall_speedup_vs_baseline_at_batch_64": 1.15,
+    },
+    "BENCH_escalation.json": {
+        "arithmetic_saving_factor": 1.1,
+        "warm_vs_cold.warm_restart_saving_factor": 1.0,
+    },
+}
+
+#: Exact-value requirements (e.g. the shard crash drill must reproduce the
+#: single-process solver bit for bit).
+EXACT = {
+    "BENCH_shard.json": {"all_identical": True},
+}
+
+
+def _walk(value, path=""):
+    """Yield ``(path, leaf)`` for every leaf of a parsed JSON value."""
+    if isinstance(value, dict):
+        for key, item in value.items():
+            yield from _walk(item, f"{path}.{key}" if path else str(key))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            yield from _walk(item, f"{path}[{index}]")
+    else:
+        yield path, value
+
+
+def _lookup(report, dotted: str):
+    """Resolve a dotted path; returns ``(found, value)``."""
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return False, None
+        node = node[part]
+    return True, node
+
+
+def check_report(path: Path) -> list:
+    """Run all three layers over one report; return error strings."""
+    name = path.name
+    errors = []
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"{name}: unreadable or invalid JSON ({exc})"]
+    if not report:
+        return [f"{name}: empty report"]
+
+    for leaf_path, leaf in _walk(report):
+        if leaf is None:
+            errors.append(f"{name}: {leaf_path} is null (absent measurement)")
+        elif isinstance(leaf, float) and not math.isfinite(leaf):
+            errors.append(f"{name}: {leaf_path} is {leaf!r} "
+                          "(non-finite measurement)")
+
+    for key in REQUIRED_KEYS.get(name, ()):
+        if key not in report:
+            errors.append(f"{name}: required section {key!r} missing")
+
+    for dotted, floor in FLOORS.get(name, {}).items():
+        found, value = _lookup(report, dotted)
+        if not found:
+            errors.append(f"{name}: asserted floor key {dotted!r} missing")
+        elif not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value):
+            errors.append(f"{name}: {dotted} is {value!r}, not a finite "
+                          "number")
+        elif value < floor:
+            errors.append(f"{name}: {dotted} = {value:.4g} below the "
+                          f"asserted floor {floor}")
+
+    for dotted, expected in EXACT.get(name, {}).items():
+        found, value = _lookup(report, dotted)
+        if not found:
+            errors.append(f"{name}: required key {dotted!r} missing")
+        elif value != expected:
+            errors.append(f"{name}: {dotted} = {value!r}, expected "
+                          f"{expected!r}")
+    return errors
+
+
+def default_reports() -> list:
+    return sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="benchmark reports to check "
+                             "(default: BENCH_*.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    reports = [p.resolve() for p in args.paths] or default_reports()
+    if not reports:
+        print("bench check FAILED: no BENCH_*.json reports found",
+              file=sys.stderr)
+        return 1
+    failures = []
+    for path in reports:
+        print(f"checking {path.name}")
+        failures.extend(check_report(path))
+
+    if failures:
+        print("\n" + "\n".join(failures), file=sys.stderr)
+        print(f"bench check FAILED: {len(failures)} problem(s)",
+              file=sys.stderr)
+        return 1
+    print(f"bench check passed: {len(reports)} report(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
