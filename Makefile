@@ -2,11 +2,16 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-all docs bench-batch bench-qd bench-eval bench-shard bench-tables bench-json
+.PHONY: test test-all test-scenarios docs bench-batch bench-qd bench-eval bench-shard bench-tables bench-json
 
 # Tier-1: the fast suite (pytest.ini deselects @pytest.mark.slow).
 test:
 	$(PY) -m pytest -q
+
+# The slow full scenario matrix: every registry scenario (matrix extras
+# included) through the differential suite.
+test-scenarios:
+	$(PY) -m pytest -q -m scenario_matrix
 
 # Everything, including tests marked slow, plus the documentation check and
 # the checked-in benchmark-report validation.
@@ -43,7 +48,9 @@ bench-shard:
 # Machine-readable perf trajectory: batch-tracking, escalation, fused
 # qd-arithmetic and sharded-service sweeps as JSON (paths/sec per context,
 # batch size and worker count; per-rung escalation pricing; fused-kernel
-# speedups; crash-drill accounting).
+# speedups; crash-drill accounting).  Every solve-level report also sweeps
+# the scenario registry (repro.bench.scenarios) into a per-scenario
+# matrix, validated by tools/check_bench.py.
 bench-json:
 	$(PY) benchmarks/bench_batch_tracking.py --json BENCH_batch_tracking.json
 	$(PY) benchmarks/bench_escalation.py --json BENCH_escalation.json

@@ -25,7 +25,10 @@ import json
 
 import pytest
 
-from repro.bench import run_batch_tracking_bench
+from repro.bench import (
+    run_batch_tracking_bench,
+    run_scenario_batch_tracking_bench,
+)
 from repro.bench.reporting import format_table
 from repro.multiprec import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE
 
@@ -76,6 +79,15 @@ if __name__ == "__main__":
             "rows": [r.as_dict() for r in rows],
             "paths_per_second_win": win,
         }
+    # The registry matrix: every tier-1 scenario swept through the same
+    # bench so the amortisation claim is recorded per system shape.
+    report["scenarios"] = run_scenario_batch_tracking_bench()
+    print(format_table(
+        [{"scenario": name, "paths": e["paths_total"],
+          "converged": e["converged"],
+          "win": e["paths_per_second_win"]}
+         for name, e in report["scenarios"].items()],
+        title="scenario matrix (d, batch 1 -> 8 amortisation win)"))
     if json_path:
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)

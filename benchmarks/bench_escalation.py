@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.bench import run_escalation_bench
+from repro.bench import run_escalation_bench, run_scenario_escalation_bench
 from repro.bench.reporting import format_table
 from repro.multiprec import DOUBLE, DOUBLE_DOUBLE
 
@@ -80,7 +80,18 @@ if __name__ == "__main__":
     args = parser.parse_args()
     summary, table = sweep()
     print(table)
+    report = summary.as_dict()
+    # The registry matrix: the same escalation pipeline on every tier-1
+    # scenario, divergent-path families included.
+    report["scenarios"] = run_scenario_escalation_bench()
+    print(format_table(
+        [{"scenario": name, "paths": e["paths_total"],
+          "converged": e["paths_converged"],
+          "recovered": e["recovered_by_escalation"],
+          "arith_save": e.get("arithmetic_saving_factor", "-")}
+         for name, e in report["scenarios"].items()],
+        title="scenario matrix (d -> dd escalation)"))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(summary.as_dict(), handle, indent=2, sort_keys=True)
+            json.dump(report, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")

@@ -33,6 +33,7 @@ from repro.bench.eval_plan import (
     run_arena_tracker_bench,
     run_eval_plan_bench,
     run_plan_tracker_bench,
+    run_scenario_eval_plan_bench,
 )
 from repro.bench.reporting import format_table
 
@@ -78,6 +79,16 @@ if __name__ == "__main__":
                     for mode, count in allocations.items()))
     report = eval_plan_report(op_counts, eval_rows, tracker_rows,
                               arena_rows, allocations)
+    # The registry matrix: per-scenario plan savings plus bit-for-bit
+    # identity of plan-vs-walk and arenas-on-vs-off on every shape.
+    report["scenarios"] = run_scenario_eval_plan_bench()
+    print(format_table(
+        [{"scenario": name,
+          "mul_save": e["multiplication_saving_factor"],
+          "plan=walk": e["plan_walk_identical"],
+          "arena=plan": e["arena_identical"]}
+         for name, e in report["scenarios"].items()],
+        title="scenario matrix (dd, plan differential)"))
     if "qd_tracker_wall_speedup" in report:
         print(f"-> qd tracker wall speedup with plans: "
               f"{report['qd_tracker_wall_speedup']:.2f}x")

@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.bench import run_shard_bench
+from repro.bench import run_scenario_shard_bench, run_shard_bench
 from repro.bench.reporting import format_table
 
 WORKER_COUNTS = (1, 2, 4)
@@ -68,7 +68,16 @@ if __name__ == "__main__":
     args = parser.parse_args()
     summary, table = sweep()
     print(table)
+    report = summary.as_dict()
+    # The registry matrix: single-process vs sharded on every tier-1
+    # scenario, the bit-for-bit contract verified per shape.
+    report["scenarios"] = run_scenario_shard_bench()
+    print(format_table(
+        [{"scenario": name, "solutions": e["solutions"],
+          "identical": e["identical"]}
+         for name, e in report["scenarios"].items()],
+        title="scenario matrix (sharded vs single-process)"))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(summary.as_dict(), handle, indent=2, sort_keys=True)
+            json.dump(report, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")

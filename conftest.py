@@ -23,3 +23,8 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running tests excluded from the default (tier-1) run"
     )
+    config.addinivalue_line(
+        "markers",
+        "scenario_matrix: full cross-scenario differential matrix "
+        "(slow; select with -m scenario_matrix)"
+    )

@@ -45,9 +45,9 @@ def scaled_down_workloads():
             variables_per_monomial=9,
             max_variable_degree=2,
             paper=paper,
-            builder=lambda t, m=monomials_per_poly: random_regular_system(
+            builder=lambda t, seed, m=monomials_per_poly: random_regular_system(
                 dimension=16, monomials_per_polynomial=m,
-                variables_per_monomial=9, max_variable_degree=2, seed=20120102),
+                variables_per_monomial=9, max_variable_degree=2, seed=seed),
         ))
     return workloads
 

@@ -6,8 +6,15 @@ from .batch_tracking import (
     BatchTrackingRow,
     cyclic_quadratic_system,
     run_batch_tracking_bench,
+    run_scenario_batch_tracking_bench,
 )
-from .escalation import EscalationRow, EscalationSummary, run_escalation_bench
+from .escalation import (
+    EscalationRow,
+    EscalationSummary,
+    run_escalation_bench,
+    run_scenario_escalation_bench,
+)
+from .eval_plan import run_scenario_eval_plan_bench
 from .harness import RowResult, run_table, run_workload, speedup_curve
 from .qd_arith import (
     QDArithRow,
@@ -17,7 +24,19 @@ from .qd_arith import (
     run_qd_tracker_bench,
 )
 from .reporting import format_breakdown, format_paper_rows, format_table
-from .shard import ShardRow, ShardSummary, run_shard_bench
+from .scenarios import (
+    FAMILIES,
+    SCENARIOS,
+    Scenario,
+    ScenarioFamily,
+    bench_scenarios,
+    get_scenario,
+    iter_scenarios,
+    matrix_scenarios,
+    scenario_names,
+    tier1_scenarios,
+)
+from .shard import ShardRow, ShardSummary, run_scenario_shard_bench, run_shard_bench
 from .workloads import (
     EVALUATIONS_PER_RUN,
     PaperRow,
@@ -31,14 +50,28 @@ from .workloads import (
 __all__ = [
     "BatchTrackingRow",
     "EVALUATIONS_PER_RUN",
+    "FAMILIES",
     "PaperRow",
     "QDArithRow",
     "QDTrackerRow",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioFamily",
+    "bench_scenarios",
     "cyclic_quadratic_system",
+    "get_scenario",
+    "iter_scenarios",
+    "matrix_scenarios",
     "qd_arith_report",
     "run_batch_tracking_bench",
     "run_qd_arith_bench",
     "run_qd_tracker_bench",
+    "run_scenario_batch_tracking_bench",
+    "run_scenario_escalation_bench",
+    "run_scenario_eval_plan_bench",
+    "run_scenario_shard_bench",
+    "scenario_names",
+    "tier1_scenarios",
     "EscalationRow",
     "EscalationSummary",
     "run_escalation_bench",

@@ -29,10 +29,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.evaluator import GPUEvaluator
 from ..gpusim.costmodel import GPUCostModel
-from ..multiprec.numeric import DOUBLE_DOUBLE, NumericContext
-from ..polynomials.generators import random_point
-from ..polynomials.monomial import Monomial
-from ..polynomials.polynomial import Polynomial
+from ..multiprec.numeric import DOUBLE, DOUBLE_DOUBLE, NumericContext
+from ..polynomials.generators import cyclic_quadratic_system, random_point
 from ..polynomials.system import PolynomialSystem
 from ..tracking.batch_tracker import BatchTracker
 from ..tracking.start_systems import start_solutions, total_degree_start_system
@@ -43,6 +41,7 @@ __all__ = [
     "cyclic_quadratic_system",
     "measured_homotopy_stats",
     "run_batch_tracking_bench",
+    "run_scenario_batch_tracking_bench",
 ]
 
 #: systems evaluated by one homotopy evaluation: start + target, three
@@ -80,24 +79,6 @@ class BatchTrackingRow:
         }
 
 
-def cyclic_quadratic_system(dimension: int) -> PolynomialSystem:
-    """The benchmark target ``x_i^2 = x_{i+1 mod n}``.
-
-    Regular in the paper's sense (m = 2 monomials per polynomial, k = 1
-    variable per monomial), so the simulated device accepts it, with
-    ``2^n`` well-separated solution paths from the total-degree start
-    system -- a clean tracking workload whose path count scales with the
-    dimension.
-    """
-    polys = []
-    for i in range(dimension):
-        polys.append(Polynomial([
-            (1 + 0j, Monomial((i,), (2,))),
-            (-1 + 0j, Monomial(((i + 1) % dimension,), (1,))),
-        ]))
-    return PolynomialSystem(polys, dimension=dimension)
-
-
 def batch_state_bytes(batch_size: int, dimension: int,
                       context: NumericContext) -> int:
     """Device-resident bytes of one in-flight batch.
@@ -120,15 +101,18 @@ def measured_homotopy_stats(target: PolynomialSystem, start: PolynomialSystem,
                             context: NumericContext) -> list:
     """Measured launch statistics of one homotopy evaluation in ``context``.
 
-    One simulated evaluation of the regular target system plus one of the
-    (usually irregular) start system through the padded layout --
-    phantom-variable padding keeps every thread's work uniform, so the start
-    system gets its own measured statistics instead of borrowing the
-    target's template.  Counts depend on the context (wider operands move
-    more memory transactions), so callers must measure per arithmetic.
+    One simulated evaluation of the target system plus one of the (usually
+    irregular) start system through the padded layout -- phantom-variable
+    padding keeps every thread's work uniform, so the start system gets its
+    own measured statistics instead of borrowing the target's template.
+    Irregular *targets* (e.g. the registry's irregular-degree scenarios)
+    take the padded layout too, the same unpacked fallback the evaluator
+    uses for them.  Counts depend on the context (wider operands move more
+    memory transactions), so callers must measure per arithmetic.
     """
     point = random_point(target.dimension, seed=7)
     target_template = GPUEvaluator(target, context=context,
+                                   padded=target.regularity() is None,
                                    collect_memory_trace=False)
     start_template = GPUEvaluator(start, context=context, padded=True,
                                   collect_memory_trace=False)
@@ -182,3 +166,42 @@ def run_batch_tracking_bench(batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32),
             tracker_wall_seconds=wall,
         ))
     return rows
+
+
+def run_scenario_batch_tracking_bench(scenarios=None,
+                                      batch_sizes: Sequence[int] = (1, 8),
+                                      context: NumericContext = DOUBLE,
+                                      options: Optional[TrackerOptions] = None,
+                                      cost_model: Optional[GPUCostModel] = None,
+                                      ) -> Dict[str, Dict[str, object]]:
+    """Sweep the scenario registry through the throughput bench.
+
+    One entry per scenario (defaults to
+    :func:`repro.bench.scenarios.bench_scenarios`): the scenario's declared
+    knobs, the per-batch-size rows, the amortisation win between the
+    smallest and largest batch size, and the converged-path count (equal to
+    the classically known root count on every registry member -- divergent
+    noon paths are *supposed* to fail).  Irregular scenarios run their
+    launch-stat measurement through the padded/unpacked layout, the same
+    fallback the evaluator uses for them.  The sweep defaults to hardware
+    doubles: the amortisation win is priced by the cost model from measured
+    evaluation *logs*, which the host arithmetic width does not change, and
+    the multiprecision rungs keep their own dedicated sweeps.
+    """
+    from .scenarios import bench_scenarios
+
+    matrix: Dict[str, Dict[str, object]] = {}
+    for scenario in (scenarios if scenarios is not None
+                     else bench_scenarios()):
+        rows = run_batch_tracking_bench(
+            batch_sizes=batch_sizes, context=context, options=options,
+            cost_model=cost_model, system=scenario.build_system())
+        entry = scenario.as_dict()
+        entry["rows"] = [row.as_dict() for row in rows]
+        entry["paths_total"] = rows[-1].paths_tracked
+        entry["converged"] = rows[-1].paths_converged
+        entry["paths_per_second_win"] = (
+            rows[-1].paths_per_second / rows[0].paths_per_second
+            if rows[0].paths_per_second else float("inf"))
+        matrix[scenario.name] = entry
+    return matrix

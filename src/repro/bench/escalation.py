@@ -35,6 +35,7 @@ the calibrated GPU cost model:
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -48,7 +49,8 @@ from ..tracking.start_systems import start_solutions, total_degree_start_system
 from ..tracking.tracker import TrackerOptions
 from .batch_tracking import cyclic_quadratic_system, measured_homotopy_stats
 
-__all__ = ["EscalationRow", "EscalationSummary", "run_escalation_bench"]
+__all__ = ["EscalationRow", "EscalationSummary", "run_escalation_bench",
+           "run_scenario_escalation_bench"]
 
 
 @dataclass
@@ -425,3 +427,51 @@ def run_escalation_bench(dimension: int = 4,
         widest_only_lane_evaluations=baseline.outcome.lane_evaluations,
         widest_only_converged=baseline.outcome.paths_converged,
     )
+
+
+def run_scenario_escalation_bench(scenarios=None,
+                                  ladder: Sequence[NumericContext] = (
+                                      DOUBLE, DOUBLE_DOUBLE),
+                                  end_tolerance: float = 5e-17,
+                                  batch_size: Optional[int] = None,
+                                  options: Optional[TrackerOptions] = None,
+                                  cost_model: Optional[GPUCostModel] = None,
+                                  ) -> Dict[str, Dict[str, object]]:
+    """Sweep the scenario registry through the escalation pipeline.
+
+    One entry per scenario (defaults to
+    :func:`repro.bench.scenarios.bench_scenarios`): paths, converged count,
+    how many paths the wider rungs recovered, and both saving factors.  On
+    scenarios with divergent paths (the noon family) the converged count
+    must equal the classically known root count, not the Bezout number --
+    the divergent residue re-fails at every rung, which is exactly the
+    failure-accounting shape the single cyclic workload never exercised.
+    """
+    from .scenarios import bench_scenarios
+
+    matrix: Dict[str, Dict[str, object]] = {}
+    for scenario in (scenarios if scenarios is not None
+                     else bench_scenarios()):
+        summary = run_escalation_bench(
+            ladder=ladder, end_tolerance=end_tolerance,
+            batch_size=batch_size, options=options, cost_model=cost_model,
+            system=scenario.build_system())
+        entry = scenario.as_dict()
+        entry.update({
+            "paths_total": summary.paths_total,
+            "paths_converged": summary.paths_converged,
+            "recovered_by_escalation": summary.recovered_by_escalation,
+        })
+        # The factors are infinite when nothing escalated (zero escalated
+        # seconds); the bench checker rejects non-finite measurements, so
+        # only the meaningful values are recorded.
+        for key, value in (
+                ("saving_factor", summary.saving_factor),
+                ("arithmetic_saving_factor",
+                 summary.arithmetic_saving_factor),
+                ("warm_restart_saving_factor",
+                 summary.warm_restart_saving_factor)):
+            if math.isfinite(value):
+                entry[key] = value
+        matrix[scenario.name] = entry
+    return matrix

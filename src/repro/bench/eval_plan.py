@@ -63,6 +63,7 @@ __all__ = [
     "run_arena_tracker_bench",
     "run_eval_plan_bench",
     "run_plan_tracker_bench",
+    "run_scenario_eval_plan_bench",
 ]
 
 DEFAULT_CONTEXTS = (DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE)
@@ -317,6 +318,93 @@ def run_arena_tracker_bench(context: NumericContext = QUAD_DOUBLE,
             executions=stats.executions,
         ))
     return rows
+
+
+def _component_planes(array, context: NumericContext):
+    """The raw float64 planes of one backend array (d/dd/qd)."""
+    if context.name == "d":
+        return [array.real, array.imag]
+    if context.name == "dd":
+        return [array.real.hi, array.real.lo, array.imag.hi, array.imag.lo]
+    return ([getattr(array.real, f"c{c}") for c in range(4)]
+            + [getattr(array.imag, f"c{c}") for c in range(4)])
+
+
+def _bit_identical(a, b, context: NumericContext) -> bool:
+    """Exact plane equality, NaNs matching positionally."""
+    return all(
+        np.array_equal(pa, pb, equal_nan=True)
+        for pa, pb in zip(_component_planes(a, context),
+                          _component_planes(b, context)))
+
+
+def _evaluations_identical(a, b, dimension: int,
+                           context: NumericContext) -> bool:
+    """Whether two ``BatchHomotopyEvaluation``s agree bit for bit."""
+    for i in range(dimension):
+        if not _bit_identical(a.values[i], b.values[i], context):
+            return False
+        if not _bit_identical(a.t_derivative[i], b.t_derivative[i], context):
+            return False
+        for j in range(dimension):
+            if not _bit_identical(a.jacobian[i][j], b.jacobian[i][j],
+                                  context):
+                return False
+    return True
+
+
+def run_scenario_eval_plan_bench(scenarios=None,
+                                 context: NumericContext = DOUBLE_DOUBLE,
+                                 lanes: int = 8,
+                                 seed: int = 13,
+                                 ) -> Dict[str, Dict[str, object]]:
+    """Sweep the scenario registry through the plan differential.
+
+    Per scenario (defaults to
+    :func:`repro.bench.scenarios.bench_scenarios`): the compiled homotopy
+    plan's multiplication/addition saving over the walk path, plus two
+    bit-for-bit identity verdicts on a random lane batch -- plan vs walk,
+    and arenas on vs off (plans on both ways).  Identity must hold on
+    *every* registry shape, including irregular-degree systems the plan
+    compiler had never been pointed at before the registry existed.
+    """
+    from ..core.opcounts import sharing_report
+    from .scenarios import bench_scenarios
+
+    matrix: Dict[str, Dict[str, object]] = {}
+    rng = np.random.default_rng(seed)
+    for scenario in (scenarios if scenarios is not None
+                     else bench_scenarios()):
+        target = scenario.build_system()
+        start = total_degree_start_system(target)
+        op = sharing_report(target, start)
+
+        backend = backend_for_context(context)
+        homotopy = BatchHomotopy(start, target, context=context,
+                                 backend=backend)
+        points = _lane_points(backend, target.dimension, lanes,
+                              seed=int(rng.integers(1, 2**31)))
+        t = rng.uniform(0.1, 0.9, size=lanes)
+        with use_eval_plans(False):
+            walk = homotopy.evaluate_batch(points, t)
+        with use_eval_plans(True), use_plan_arenas(False):
+            plan = homotopy.evaluate_batch(points, t)
+        with use_eval_plans(True), use_plan_arenas(True):
+            arena = homotopy.evaluate_batch(points, t)
+
+        entry = scenario.as_dict()
+        entry.update({
+            "context": context.name,
+            "lanes": int(lanes),
+            "multiplication_saving_factor":
+                op["multiplication_saving_factor"],
+            "plan_walk_identical": _evaluations_identical(
+                walk, plan, target.dimension, context),
+            "arena_identical": _evaluations_identical(
+                plan, arena, target.dimension, context),
+        })
+        matrix[scenario.name] = entry
+    return matrix
 
 
 #: The NumPy constructor family the allocation bench intercepts.  Ufunc

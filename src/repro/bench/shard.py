@@ -37,7 +37,8 @@ from ..tracking.solver import EscalationPolicy, SolveReport, solve_system
 from ..tracking.tracker import TrackerOptions
 from .batch_tracking import cyclic_quadratic_system
 
-__all__ = ["ShardRow", "ShardSummary", "run_shard_bench"]
+__all__ = ["ShardRow", "ShardSummary", "run_shard_bench",
+           "run_scenario_shard_bench"]
 
 
 @dataclass
@@ -184,3 +185,50 @@ def run_shard_bench(dimension: int = 4,
         end_tolerance=opts.end_tolerance,
         ladder=[ctx.name for ctx in policy.ladder],
     )
+
+
+def run_scenario_shard_bench(scenarios=None, workers: int = 2,
+                             ladder: Sequence[NumericContext] = (
+                                 DOUBLE, DOUBLE_DOUBLE),
+                             end_tolerance: float = 5e-17,
+                             options: Optional[TrackerOptions] = None,
+                             ) -> Dict[str, Dict[str, object]]:
+    """Sweep the scenario registry through the sharded service.
+
+    Per scenario (defaults to
+    :func:`repro.bench.scenarios.bench_scenarios`): the single-process
+    reference solve and one sharded solve at ``workers`` workers, with the
+    service's contract verified on every shape -- the distinct solutions
+    must be **bit-for-bit identical** to the reference, and their count
+    must equal the classically known root count.
+    """
+    from .scenarios import bench_scenarios
+
+    opts = options or TrackerOptions(end_tolerance=end_tolerance,
+                                     end_iterations=12)
+    policy = EscalationPolicy(ladder=tuple(ladder))
+    matrix: Dict[str, Dict[str, object]] = {}
+    for scenario in (scenarios if scenarios is not None
+                     else bench_scenarios()):
+        system = scenario.build_system()
+        begin = time.perf_counter()
+        reference = solve_system(system, options=opts, escalation=policy)
+        reference_wall = time.perf_counter() - begin
+        begin = time.perf_counter()
+        sharded = solve_system_sharded(
+            system, shards=workers, max_workers=workers, options=opts,
+            escalation=policy, backoff_seconds=0.0)
+        sharded_wall = time.perf_counter() - begin
+        entry = scenario.as_dict()
+        entry.update({
+            "workers": int(workers),
+            "paths_total": reference.paths_tracked,
+            "paths_converged": reference.paths_converged,
+            "solutions": len(reference.solutions),
+            "sharded_solutions": len(sharded.solutions),
+            "identical": _solution_key(sharded) == _solution_key(reference),
+            "single_wall_s": reference_wall,
+            "sharded_wall_s": sharded_wall,
+        })
+        matrix[scenario.name] = entry
+    return matrix

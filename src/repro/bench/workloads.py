@@ -52,11 +52,14 @@ class Workload:
     variables_per_monomial: int
     max_variable_degree: int
     paper: PaperRow
-    builder: Callable[[int], PolynomialSystem]
+    builder: Callable[[int, Optional[int]], PolynomialSystem]
     seed: int = 20120102
 
     def build_system(self) -> PolynomialSystem:
-        return self.builder(self.total_monomials)
+        # The seed *must* reach the builder: a workload regenerated with a
+        # different seed field used to silently build the default-seed
+        # system, making A/B comparisons across seeds meaningless.
+        return self.builder(self.total_monomials, self.seed)
 
     @property
     def monomials_per_polynomial(self) -> int:

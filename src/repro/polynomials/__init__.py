@@ -20,9 +20,17 @@ from .generators import (
     TABLE1_MONOMIAL_COUNTS,
     TABLE2_MONOMIAL_COUNTS,
     TABLE_DIMENSION,
+    cyclic_quadratic_system,
+    irregular_degree_system,
+    katsura_root_count,
+    katsura_system,
+    noon_root_count,
+    noon_system,
     random_monomial,
     random_point,
     random_regular_system,
+    random_sparse_system,
+    speelpenning_product_system,
     speelpenning_system,
     table1_system,
     table2_system,
@@ -51,16 +59,24 @@ __all__ = [
     "TABLE2_MONOMIAL_COUNTS",
     "TABLE_DIMENSION",
     "constant_memory_footprint",
+    "cyclic_quadratic_system",
     "evaluate_factored",
     "evaluate_naive",
     "expected_gradient_multiplications",
+    "irregular_degree_system",
+    "katsura_root_count",
+    "katsura_system",
     "max_total_monomials_for_constant_memory",
     "naive_gradient",
+    "noon_root_count",
+    "noon_system",
     "power_table",
     "random_monomial",
     "random_point",
     "random_regular_system",
+    "random_sparse_system",
     "speelpenning_gradient",
+    "speelpenning_product_system",
     "speelpenning_system",
     "speelpenning_value",
     "table1_system",

@@ -11,6 +11,16 @@ total), with monomial shapes ``k = 9, d <= 2`` (Table 1) and
 :func:`random_regular_system` generates such systems reproducibly;
 :func:`table1_system` and :func:`table2_system` wrap the exact configurations
 of the paper's two tables.
+
+Beyond the paper's random regular benchmarks, this module generates the
+classical solve families the scenario registry
+(:mod:`repro.bench.scenarios`) sweeps: the cyclic quadratic chain, the
+Katsura and Noonburg (noon) systems with their classically known root
+counts, a solvable Speelpenning-product family, seeded random sparse
+systems with diagonal leading terms (so every Bezout path converges), and
+an irregular-degree family whose polynomials differ in degree, monomial
+count and support size -- the shape that forces the padded/unpacked device
+layout instead of the packed 16-bit encoding.
 """
 
 from __future__ import annotations
@@ -27,9 +37,17 @@ from .polynomial import Polynomial
 from .system import PolynomialSystem, SystemShape
 
 __all__ = [
+    "cyclic_quadratic_system",
+    "irregular_degree_system",
+    "katsura_root_count",
+    "katsura_system",
+    "noon_root_count",
+    "noon_system",
     "random_regular_system",
     "random_point",
     "random_monomial",
+    "random_sparse_system",
+    "speelpenning_product_system",
     "speelpenning_system",
     "table1_system",
     "table2_system",
@@ -137,6 +155,239 @@ def speelpenning_system(dimension: int) -> PolynomialSystem:
     polys = []
     for i in range(dimension):
         polys.append(Polynomial([(1 + 0j, product), (-(i + 1) + 0j, constant)]))
+    return PolynomialSystem(polys, dimension=dimension)
+
+
+def cyclic_quadratic_system(dimension: int) -> PolynomialSystem:
+    """The cyclic quadratic chain ``x_i^2 - x_{(i+1) mod n}``.
+
+    Every polynomial is quadratic, so the Bezout number is ``2^n`` and every
+    total-degree path converges to a finite root.  This is the original
+    16-path drill (``n = 4``) all solve-level benches were first measured
+    on; the scenario registry keeps it as the regular baseline shape.
+    """
+    if dimension < 1:
+        raise ConfigurationError("dimension must be at least 1")
+    polys = []
+    for i in range(dimension):
+        square = Monomial((i,), (2,))
+        successor = Monomial(((i + 1) % dimension,), (1,))
+        polys.append(Polynomial([(1 + 0j, square), (-1 + 0j, successor)]))
+    return PolynomialSystem(polys, dimension=dimension)
+
+
+def katsura_root_count(n: int) -> int:
+    """Exact root count of katsura-``n``: ``2^n`` (all Bezout paths of the
+    magnetism problem converge; the classical count is well documented in
+    the PHCpack/Bertini demo collections)."""
+    if n < 1:
+        raise ConfigurationError("katsura index must be at least 1")
+    return 2 ** n
+
+
+def katsura_system(n: int) -> PolynomialSystem:
+    """The katsura-``n`` magnetism system in dimension ``n + 1``.
+
+    Variables ``u_0 .. u_n``.  One linear normalisation
+    ``u_0 + 2 sum_{l=1..n} u_l - 1`` plus, for ``m = 0 .. n-1``, the
+    convolution equation ``sum_{l=-n..n} u_|l| u_|m-l| - u_m`` (indices with
+    ``|m - l| > n`` drop out).  The Bezout number ``2^n`` equals the exact
+    root count -- the registry's "every path converges, roots known in
+    closed form" regular scenario.
+    """
+    if n < 1:
+        raise ConfigurationError("katsura index must be at least 1")
+    dimension = n + 1
+    polys: List[Polynomial] = []
+    for m in range(n):
+        coeffs: dict = {}
+        for l in range(-n, n + 1):
+            other = m - l
+            if abs(other) > n:
+                continue
+            i, j = sorted((abs(l), abs(other)))
+            coeffs[(i, j)] = coeffs.get((i, j), 0.0) + 1.0
+        terms = []
+        for (i, j), c in sorted(coeffs.items()):
+            if i == j:
+                mono = Monomial((i,), (2,))
+            else:
+                mono = Monomial((i, j), (1, 1))
+            terms.append((complex(c), mono))
+        terms.append((-1 + 0j, Monomial((m,), (1,))))
+        polys.append(Polynomial(terms))
+    linear = [(1 + 0j, Monomial((0,), (1,)))]
+    for l in range(1, n + 1):
+        linear.append((2 + 0j, Monomial((l,), (1,))))
+    linear.append((-1 + 0j, Monomial((), ())))
+    polys.append(Polynomial(linear))
+    return PolynomialSystem(polys, dimension=dimension)
+
+
+def noon_root_count(n: int) -> int:
+    """Exact root count of noon-``n``: ``3^n - 2n``.
+
+    The Bezout number is ``3^n`` but ``2n`` total-degree paths diverge to
+    infinity (Noonburg's neural-network system has that many solutions at
+    infinity), making this the registry's canonical divergent-path
+    scenario.
+    """
+    if n < 2:
+        raise ConfigurationError("noon index must be at least 2")
+    return 3 ** n - 2 * n
+
+
+def noon_system(n: int, a: float = 1.1) -> PolynomialSystem:
+    """The Noonburg neural-network system noon-``n``.
+
+    ``x_i * sum_{j != i} x_j^2 - a * x_i + 1`` for each ``i``; every
+    polynomial is a cubic, so the Bezout number is ``3^n`` while the exact
+    root count is ``3^n - 2n`` -- some start paths genuinely diverge, which
+    exercises failure accounting in the tracker and benches.
+    """
+    if n < 2:
+        raise ConfigurationError("noon index must be at least 2")
+    polys = []
+    for i in range(n):
+        terms = []
+        for j in range(n):
+            if j == i:
+                continue
+            if i < j:
+                mono = Monomial((i, j), (1, 2))
+            else:
+                mono = Monomial((j, i), (2, 1))
+            terms.append((1 + 0j, mono))
+        terms.append((complex(-a), Monomial((i,), (1,))))
+        terms.append((1 + 0j, Monomial((), ())))
+        polys.append(Polynomial(terms))
+    return PolynomialSystem(polys, dimension=n)
+
+
+def speelpenning_product_system(n: int,
+                                seed: Optional[int] = 11) -> PolynomialSystem:
+    """A solvable Speelpenning-flavoured family.
+
+    Each polynomial couples the full Speelpenning product
+    ``x_0 x_1 ... x_{n-1}`` (the classic worst case for differentiation)
+    with a diagonal leading term ``x_i^n`` and a constant, all with random
+    unit-modulus coefficients.  The diagonal term is the unique monomial of
+    top total degree in row ``i``, so no solutions escape to infinity: the
+    exact root count equals the Bezout number ``n^n``.
+
+    Unlike :func:`speelpenning_system` (whose ``n >= 2`` instances are
+    inconsistent and only useful as evaluation benchmarks), every instance
+    here is a meaningful solve workload.  The system is irregular for
+    ``n >= 2`` -- the product monomial touches ``n`` variables while the
+    diagonal touches one -- so it exercises the padded/unpacked layout.
+    """
+    if n < 1:
+        raise ConfigurationError("dimension must be at least 1")
+    rng = np.random.default_rng(seed)
+    product = Monomial(tuple(range(n)), (1,) * n)
+    constant = Monomial((), ())
+    polys = []
+    for i in range(n):
+        terms = [
+            (_unit_coefficient(rng), product),
+            (_unit_coefficient(rng), Monomial((i,), (n,))),
+            (_unit_coefficient(rng), constant),
+        ]
+        polys.append(Polynomial(terms))
+    return PolynomialSystem(polys, dimension=n)
+
+
+def _lower_degree_monomial(rng: np.random.Generator, dimension: int,
+                           total_degree: int) -> Monomial:
+    """A random monomial of exactly ``total_degree`` over ``dimension`` vars."""
+    k = int(rng.integers(1, min(dimension, total_degree) + 1))
+    positions = np.sort(rng.choice(dimension, size=k, replace=False))
+    # Split total_degree into k positive parts via sorted cut points.
+    if k == 1:
+        parts = [total_degree]
+    else:
+        cuts = np.sort(rng.choice(total_degree - 1, size=k - 1,
+                                  replace=False)) + 1
+        bounds = [0] + cuts.tolist() + [total_degree]
+        parts = [bounds[i + 1] - bounds[i] for i in range(k)]
+    return Monomial(tuple(int(p) for p in positions),
+                    tuple(int(e) for e in parts))
+
+
+def random_sparse_system(dimension: int, max_degree: int = 3,
+                         extra_terms: int = 2,
+                         seed: Optional[int] = 5) -> PolynomialSystem:
+    """A seeded random sparse system with guaranteed-finite solution set.
+
+    Polynomial ``i`` gets a random degree ``d_i`` in ``[1, max_degree]``, a
+    diagonal leading term ``x_i^{d_i}`` (the *unique* monomial of top total
+    degree in its row), a constant term, and -- when ``d_i > 1`` -- up to
+    ``extra_terms`` random distinct monomials of strictly lower total
+    degree.  The diagonal construction means the top-degree part only
+    vanishes at the origin, so there are no solutions at infinity and the
+    exact root count equals the Bezout number ``prod(d_i)``: every
+    total-degree path converges, which makes the family usable for exact
+    acceptance checks despite being random.  Degrees generally differ per
+    row, so instances are irregular.
+    """
+    if dimension < 1:
+        raise ConfigurationError("dimension must be at least 1")
+    if max_degree < 1:
+        raise ConfigurationError("max_degree must be at least 1")
+    rng = np.random.default_rng(seed)
+    degrees = [int(d) for d in rng.integers(1, max_degree + 1,
+                                            size=dimension)]
+    polys = []
+    for i, d in enumerate(degrees):
+        terms = [(_unit_coefficient(rng), Monomial((i,), (d,))),
+                 (_unit_coefficient(rng), Monomial((), ()))]
+        if d > 1:
+            seen = set()
+            attempts = 0
+            while len(seen) < extra_terms and attempts < 50:
+                attempts += 1
+                total = int(rng.integers(1, d))
+                mono = _lower_degree_monomial(rng, dimension, total)
+                key = (mono.positions, mono.exponents)
+                if key in seen:
+                    continue
+                seen.add(key)
+                terms.append((_unit_coefficient(rng), mono))
+        polys.append(Polynomial(terms))
+    return PolynomialSystem(polys, dimension=dimension)
+
+
+def irregular_degree_system(dimension: int,
+                            seed: Optional[int] = 7) -> PolynomialSystem:
+    """A deterministic family with per-row degrees cycling 1, 2, 3.
+
+    Row ``i`` has degree ``d = (i mod 3) + 1`` with a diagonal leading term
+    ``x_i^d``, a cyclic coupling ``x_{(i+1) mod n}^{d-1}`` when ``d > 1``, a
+    mixed bilinear monomial when ``d >= 3``, and a constant (coefficients
+    random unit-modulus from ``seed``).  Rows differ in degree, monomial
+    count, and support size, so ``regularity()`` is ``None`` and the GPU
+    evaluator must take the padded/unpacked layout.  The diagonal leading
+    terms keep all solutions finite: the exact root count is the Bezout
+    product ``prod(d_i)``.
+    """
+    if dimension < 2:
+        raise ConfigurationError("dimension must be at least 2")
+    rng = np.random.default_rng(seed)
+    polys = []
+    for i in range(dimension):
+        d = (i % 3) + 1
+        terms = [(_unit_coefficient(rng), Monomial((i,), (d,)))]
+        if d > 1:
+            terms.append((_unit_coefficient(rng),
+                          Monomial(((i + 1) % dimension,), (d - 1,))))
+        if d >= 3:
+            j = (i + 2) % dimension
+            if j != i:
+                lo, hi = sorted((i, j))
+                terms.append((_unit_coefficient(rng),
+                              Monomial((lo, hi), (1, 1))))
+        terms.append((_unit_coefficient(rng), Monomial((), ())))
+        polys.append(Polynomial(terms))
     return PolynomialSystem(polys, dimension=dimension)
 
 

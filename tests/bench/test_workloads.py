@@ -70,6 +70,17 @@ class TestWorkloads:
         assert shape.variables_per_monomial == w.variables_per_monomial
         assert shape.max_variable_degree <= w.max_variable_degree
 
+    def test_build_system_threads_the_seed(self):
+        """Regression: ``build_system`` used to drop the dataclass seed and
+        always build the default-seed system."""
+        from dataclasses import replace
+
+        base = TABLE1_WORKLOADS[0]
+        reseeded = replace(base, seed=base.seed + 1)
+        assert base.build_system().polynomials != reseeded.build_system().polynomials
+        # Same seed still regenerates the identical system.
+        assert base.build_system().polynomials == base.build_system().polynomials
+
 
 def small_workload():
     """A scaled-down workload so the harness test stays fast."""
@@ -77,9 +88,10 @@ def small_workload():
     return Workload(
         name="toy", table="toy", dimension=8, total_monomials=64,
         variables_per_monomial=4, max_variable_degree=3, paper=paper,
-        builder=lambda total: random_regular_system(
+        builder=lambda total, seed: random_regular_system(
             dimension=8, monomials_per_polynomial=total // 8,
-            variables_per_monomial=4, max_variable_degree=3, seed=1),
+            variables_per_monomial=4, max_variable_degree=3, seed=seed),
+        seed=1,
     )
 
 

@@ -1,0 +1,245 @@
+"""Property tests for the scenario-family generators.
+
+The registry's classical families carry *theory*, not just shapes:
+katsura-n has exactly ``2**n`` isolated roots, noon-n exactly
+``3**n - 2n``, and the *constructed* families (cyclic chain, random
+sparse, irregular degree) keep the diagonal-leading-term invariant --
+each polynomial ``i`` owns the unique top-total-degree monomial
+``x_i^{d_i}`` -- which is what makes their Bezout number a product of
+diagonal degrees and rules out solutions at infinity (the registry's
+``all_paths_converge`` declarations).  Katsura, noon and the
+Speelpenning product spread their top degree over several monomials, so
+they are checked against their classical formulas instead.
+
+When ``hypothesis`` is installed the invariants also run under its
+adversarial generator; the seeded driver below always runs, so the suite
+is deterministic without it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.polynomials import (
+    cyclic_quadratic_system,
+    evaluate_naive,
+    irregular_degree_system,
+    katsura_root_count,
+    katsura_system,
+    noon_root_count,
+    noon_system,
+    random_sparse_system,
+    speelpenning_product_system,
+)
+from repro.tracking.start_systems import total_degree
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+_RNG = np.random.default_rng(20120521)  # the paper's conference year
+
+#: (builder, dimension range) for the shared structural invariants.
+FAMILY_BUILDERS = [
+    ("cyclic", lambda n, seed: cyclic_quadratic_system(n), (2, 6)),
+    ("katsura", lambda n, seed: katsura_system(n), (1, 5)),
+    ("noon", lambda n, seed: noon_system(n), (2, 5)),
+    ("speelpenning", lambda n, seed: speelpenning_product_system(n, seed=seed),
+     (2, 5)),
+    ("random-sparse", lambda n, seed: random_sparse_system(n, seed=seed),
+     (2, 6)),
+    ("irregular", lambda n, seed: irregular_degree_system(n, seed=seed),
+     (2, 7)),
+]
+
+#: The subset constructed around a unique diagonal leading term.
+DIAGONAL_BUILDERS = [f for f in FAMILY_BUILDERS
+                     if f[0] in ("cyclic", "random-sparse", "irregular")]
+
+
+def diagonal_degrees(system):
+    """Per-row diagonal degree: the exponent of ``x_i`` in row ``i``'s
+    unique top-degree monomial.  Asserts the invariant on the way."""
+    degrees = []
+    for i, poly in enumerate(system):
+        top = poly.total_degree
+        leaders = [m for _, m in poly.terms if m.total_degree == top]
+        assert len(leaders) == 1, \
+            f"row {i}: {len(leaders)} top-degree monomials, expected 1"
+        leader = leaders[0]
+        assert leader.positions == (i,), \
+            f"row {i}: leading monomial touches {leader.positions}"
+        degrees.append(leader.exponents[0])
+    return degrees
+
+
+class TestDiagonalLeadingTerm:
+    """The invariant the constructed families use for exact Bezout
+    accounting (and for the no-solutions-at-infinity promise)."""
+
+    @pytest.mark.parametrize("family,builder,dims", DIAGONAL_BUILDERS,
+                             ids=[f[0] for f in DIAGONAL_BUILDERS])
+    def test_unique_diagonal_leader_and_bezout_product(self, family,
+                                                       builder, dims):
+        lo, hi = dims
+        for n in range(lo, hi + 1):
+            seed = int(_RNG.integers(1, 10_000))
+            system = builder(n, seed)
+            degrees = diagonal_degrees(system)
+            product = 1
+            for d in degrees:
+                product *= d
+            assert total_degree(system) == product
+
+    @pytest.mark.parametrize("family,builder,dims", FAMILY_BUILDERS,
+                             ids=[f[0] for f in FAMILY_BUILDERS])
+    def test_square_and_nonempty(self, family, builder, dims):
+        lo, _ = dims
+        system = builder(lo, 3)
+        assert len(system.polynomials) == system.dimension
+        assert all(poly.terms for poly in system)
+
+    @pytest.mark.parametrize("family,builder,dims", FAMILY_BUILDERS,
+                             ids=[f[0] for f in FAMILY_BUILDERS])
+    def test_bezout_is_product_of_row_degrees(self, family, builder, dims):
+        lo, hi = dims
+        for n in range(lo, hi + 1):
+            system = builder(n, 5)
+            product = 1
+            for poly in system:
+                product *= poly.total_degree
+            assert total_degree(system) == product
+
+
+class TestKatsura:
+    def test_root_count_formula(self):
+        for n in range(1, 8):
+            assert katsura_root_count(n) == 2 ** n
+
+    def test_dimension_and_bezout(self):
+        for n in range(1, 5):
+            system = katsura_system(n)
+            assert system.dimension == n + 1
+            # One linear row, n quadratic rows: Bezout 2^n = the root count
+            # (Katsura systems have no solutions at infinity).
+            assert total_degree(system) == katsura_root_count(n)
+
+    def test_magnetisation_normalisation_row_present(self):
+        # The linear row u_0 + 2 sum u_l = 1 pins the normalisation; at
+        # the all-zero point it evaluates to the constant -1.
+        system = katsura_system(3)
+        zero = [0j] * system.dimension
+        values = evaluate_naive(system, zero).values
+        assert any(abs(v + 1) < 1e-15 for v in values)
+
+
+class TestNoon:
+    def test_root_count_formula(self):
+        for n in range(2, 7):
+            assert noon_root_count(n) == 3 ** n - 2 * n
+
+    def test_divergent_path_budget(self):
+        # Bezout 3^n minus the known count leaves exactly 2n divergent
+        # paths -- the registry's all_paths_converge=False accounting.
+        for n in range(2, 5):
+            system = noon_system(n)
+            assert system.dimension == n
+            assert total_degree(system) - noon_root_count(n) == 2 * n
+
+    def test_full_symmetry(self):
+        # Noon's neural-network system is symmetric under any coordinate
+        # permutation: row i is x_i * sum_{j != i} x_j^2 - a x_i + 1.
+        system = noon_system(3)
+        rng = np.random.default_rng(17)
+        point = [complex(a, b) for a, b in zip(rng.normal(size=3),
+                                               rng.normal(size=3))]
+        values = evaluate_naive(system, point).values
+        swapped = [point[1], point[0], point[2]]
+        swapped_values = evaluate_naive(system, swapped).values
+        assert swapped_values[0] == pytest.approx(values[1])
+        assert swapped_values[1] == pytest.approx(values[0])
+        assert swapped_values[2] == pytest.approx(values[2])
+
+
+class TestCyclicChain:
+    def test_shift_symmetry(self):
+        # x_i^2 - x_{i+1 mod n} is invariant under the cyclic coordinate
+        # shift: evaluating at the rotated point rotates the values.
+        n = 5
+        system = cyclic_quadratic_system(n)
+        rng = np.random.default_rng(23)
+        point = [complex(a, b) for a, b in zip(rng.normal(size=n),
+                                               rng.normal(size=n))]
+        values = evaluate_naive(system, point).values
+        rotated = point[1:] + point[:1]
+        rotated_values = evaluate_naive(system, rotated).values
+        for i in range(n):
+            assert rotated_values[i] == pytest.approx(values[(i + 1) % n])
+
+    def test_all_ones_is_a_root(self):
+        system = cyclic_quadratic_system(4)
+        values = evaluate_naive(system, [1 + 0j] * 4).values
+        assert all(v == 0 for v in values)
+
+
+class TestSeededFamilies:
+    def test_speelpenning_bezout_is_n_to_the_n(self):
+        for n in range(2, 5):
+            assert total_degree(speelpenning_product_system(n)) == n ** n
+
+    def test_irregular_is_actually_irregular(self):
+        for n in range(3, 7):
+            assert irregular_degree_system(n).regularity() is None
+
+    def test_same_seed_same_system(self):
+        a = random_sparse_system(4, seed=99)
+        b = random_sparse_system(4, seed=99)
+        assert a.polynomials == b.polynomials
+
+    def test_different_seeds_differ(self):
+        a = random_sparse_system(4, seed=1)
+        b = random_sparse_system(4, seed=2)
+        assert a.polynomials != b.polynomials
+
+    def test_sparse_extra_terms_stay_below_diagonal_degree(self):
+        system = random_sparse_system(5, max_degree=4, extra_terms=3, seed=8)
+        for poly in system:
+            top = poly.total_degree
+            leaders = [m for _, m in poly.terms if m.total_degree == top]
+            assert len(leaders) == 1
+            for _, monomial in poly.terms:
+                if monomial is not leaders[0]:
+                    assert monomial.total_degree < top
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=6),
+           seed=st.integers(min_value=1, max_value=2 ** 20))
+    def test_hypothesis_random_sparse_diagonal_invariant(n, seed):
+        system = random_sparse_system(n, seed=seed)
+        degrees = diagonal_degrees(system)
+        product = 1
+        for d in degrees:
+            product *= d
+        assert total_degree(system) == product
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=7),
+           seed=st.integers(min_value=1, max_value=2 ** 20))
+    def test_hypothesis_irregular_diagonal_invariant(n, seed):
+        system = irregular_degree_system(n, seed=seed)
+        diagonal_degrees(system)
+        expected = 1
+        for i in range(n):
+            expected *= (i % 3) + 1
+        assert total_degree(system) == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=6))
+    def test_hypothesis_katsura_bezout_matches_root_count(n):
+        assert total_degree(katsura_system(n)) == katsura_root_count(n)

@@ -1,0 +1,124 @@
+"""Integrity of the scenario registry (:mod:`repro.bench.scenarios`).
+
+The registry's declared knobs are *promises* the differential matrix and the
+bench sweeps lean on: the built system must match its declared dimension,
+Bezout number and regularity; the classically known root counts must be
+consistent with the family's theory; and the tier-1 subset must keep
+covering every family (a registry edit that drops a family from tier-1
+silently un-tests it everywhere).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scenarios import (
+    FAMILIES,
+    SCENARIOS,
+    bench_scenarios,
+    get_scenario,
+    iter_scenarios,
+    matrix_scenarios,
+    scenario_names,
+    tier1_scenarios,
+)
+from repro.errors import ConfigurationError
+from repro.polynomials import (
+    katsura_root_count,
+    noon_root_count,
+)
+from repro.tracking.start_systems import total_degree
+
+
+class TestRegistryShape:
+    def test_names_are_unique_and_ordered_tier1_first(self):
+        names = [s.name for s in SCENARIOS]
+        assert len(names) == len(set(names))
+        tier_flags = [s.tier1 for s in SCENARIOS]
+        # Tier-1 members come first: once the flag drops it stays dropped.
+        assert tier_flags == sorted(tier_flags, reverse=True)
+
+    def test_tier1_covers_every_family(self):
+        tier1_families = {s.family for s in tier1_scenarios()}
+        assert tier1_families == set(FAMILIES)
+
+    def test_matrix_extras_also_cover_every_family(self):
+        assert {s.family for s in matrix_scenarios()} == set(FAMILIES)
+
+    def test_bench_sweep_has_at_least_four_scenarios(self):
+        swept = bench_scenarios()
+        assert len(swept) >= 4
+        assert len({s.family for s in swept}) >= 4
+
+    def test_diversity_promises(self):
+        """Tier-1 must keep a regular shape, irregular shapes, and a
+        divergent-path family -- the coverage the differential matrix is
+        built on."""
+        tier1 = tier1_scenarios()
+        assert any(s.regular for s in tier1)
+        assert any(not s.regular for s in tier1)
+        assert any(not s.all_paths_converge for s in tier1)
+
+    def test_every_scenario_has_a_registered_family(self):
+        for scenario in SCENARIOS:
+            assert scenario.family in FAMILIES
+            assert FAMILIES[scenario.family].description
+
+
+class TestDeclaredKnobs:
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+    def test_built_system_matches_declaration(self, scenario):
+        system = scenario.build_system()
+        assert system.dimension == scenario.dimension
+        assert total_degree(system) == scenario.bezout_number
+        assert (system.regularity() is not None) == scenario.regular
+
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+    def test_root_count_is_consistent(self, scenario):
+        assert scenario.known_root_count is not None
+        assert scenario.known_root_count <= scenario.bezout_number
+        if scenario.all_paths_converge:
+            assert scenario.known_root_count == scenario.bezout_number
+        else:
+            assert scenario.known_root_count < scenario.bezout_number
+
+    def test_classical_counts_match_the_family_formulas(self):
+        assert get_scenario("katsura-3").known_root_count == \
+            katsura_root_count(3)
+        assert get_scenario("noon-2").known_root_count == noon_root_count(2)
+        assert get_scenario("cyclic-4").known_root_count == 2 ** 4
+
+    def test_builds_are_fresh_and_reproducible(self):
+        scenario = get_scenario("random-sparse-3")
+        first = scenario.build_system()
+        second = scenario.build_system()
+        assert first is not second
+        assert first.polynomials == second.polynomials
+
+    def test_as_dict_is_json_safe(self):
+        for scenario in SCENARIOS:
+            payload = scenario.as_dict()
+            assert payload["name"] == scenario.name
+            assert None not in payload.values()
+
+
+class TestLookup:
+    def test_get_scenario_round_trips(self):
+        for name in scenario_names():
+            assert get_scenario(name).name == name
+
+    def test_unknown_scenario_raises_with_known_names(self):
+        with pytest.raises(ConfigurationError, match="cyclic-4"):
+            get_scenario("cyclic-99")
+
+    def test_iter_scenarios_family_filter(self):
+        noon = list(iter_scenarios(family="noon"))
+        assert noon
+        assert all(s.family == "noon" for s in noon)
+
+    def test_iter_scenarios_tier1_filter(self):
+        assert all(s.tier1 for s in iter_scenarios(tier1_only=True))
+
+    def test_iter_scenarios_unknown_family_raises(self):
+        with pytest.raises(ConfigurationError, match="noon"):
+            list(iter_scenarios(family="does-not-exist"))

@@ -1,7 +1,7 @@
 """Validate the checked-in ``BENCH_*.json`` benchmark reports.
 
 ``make test-all`` runs this checker over every ``BENCH_*.json`` at the
-repository root.  Three layers of checks keep the perf trajectory honest:
+repository root.  Four layers of checks keep the perf trajectory honest:
 
 1. **hygiene** -- the file parses, is non-empty, and contains no ``NaN`` /
    ``Infinity`` / ``null`` measurement anywhere (an absent or non-finite
@@ -13,7 +13,12 @@ repository root.  Three layers of checks keep the perf trajectory honest:
    files (e.g. the eval-plan multiplication saving or the arena tracker
    speedup) hold in the checked-in numbers too, so a regeneration that
    regressed below an alarm floor fails here instead of at the next slow
-   test run.
+   test run;
+4. **scenarios** -- every solve-level report must carry the registry's
+   per-scenario matrix (>= 4 named scenarios), each entry with the
+   declared workload knobs, every identity verdict ``true`` (bit-for-bit
+   contracts hold on every shape), and -- where the entry records both --
+   the converged/solution count equal to the classically known root count.
 
 Exit status 0 means every report passed; failures are printed per file and
 the exit status is 1, which is what lets the Makefile (and CI) gate on
@@ -32,15 +37,18 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Required top-level sections per report (shape layer).
 REQUIRED_KEYS = {
-    "BENCH_batch_tracking.json": ("d", "dd", "qd"),
+    "BENCH_batch_tracking.json": ("d", "dd", "qd", "scenarios"),
     "BENCH_escalation.json": ("rows", "saving_factor", "paths_total",
-                              "paths_converged", "recovered_by_escalation"),
+                              "paths_converged", "recovered_by_escalation",
+                              "scenarios"),
     "BENCH_eval_plan.json": ("evaluation", "op_counts", "tracker",
-                             "qd_tracker_wall_speedup", "arena"),
+                             "qd_tracker_wall_speedup", "arena",
+                             "scenarios"),
     "BENCH_qd_arith.json": ("per_op", "small_batch", "tracker",
                             "baseline_qd_paths_per_s_wall",
                             "wall_speedup_vs_baseline_at_batch_64"),
-    "BENCH_shard.json": ("rows", "ladder", "all_identical", "paths_total"),
+    "BENCH_shard.json": ("rows", "ladder", "all_identical", "paths_total",
+                         "scenarios"),
 }
 
 #: Numeric floors the acceptance tests assert (floor layer): dotted path
@@ -66,6 +74,44 @@ EXACT = {
     "BENCH_shard.json": {"all_identical": True},
 }
 
+#: Scenario layer: minimum number of named scenarios each solve-level
+#: report must record.
+MIN_SCENARIOS = 4
+
+#: Knobs every scenario entry must declare, whatever the bench.
+SCENARIO_COMMON_KEYS = ("family", "dimension", "bezout_number",
+                        "known_root_count")
+
+#: Per-file measurement keys each scenario entry must additionally carry.
+SCENARIO_REQUIRED_KEYS = {
+    "BENCH_batch_tracking.json": ("rows", "paths_total", "converged",
+                                  "paths_per_second_win"),
+    "BENCH_escalation.json": ("paths_total", "paths_converged",
+                              "recovered_by_escalation"),
+    "BENCH_eval_plan.json": ("multiplication_saving_factor",
+                             "plan_walk_identical", "arena_identical"),
+    "BENCH_shard.json": ("solutions", "sharded_solutions", "identical"),
+}
+
+#: Identity verdicts: wherever a scenario entry records one of these keys
+#: it must be ``true`` -- the bit-for-bit contracts hold on every shape.
+SCENARIO_TRUE_KEYS = ("identical", "plan_walk_identical", "arena_identical")
+
+#: Per-scenario numeric floors.
+SCENARIO_FLOORS = {
+    "BENCH_eval_plan.json": {"multiplication_saving_factor": 1.0},
+    "BENCH_batch_tracking.json": {"paths_per_second_win": 1.5},
+}
+
+#: The key that must equal the scenario's classically known root count
+#: (divergent-path families like noon make this a real check: the Bezout
+#: number would be wrong).
+SCENARIO_ROOT_COUNT_KEYS = {
+    "BENCH_batch_tracking.json": "converged",
+    "BENCH_escalation.json": "paths_converged",
+    "BENCH_shard.json": "solutions",
+}
+
 
 def _walk(value, path=""):
     """Yield ``(path, leaf)`` for every leaf of a parsed JSON value."""
@@ -87,6 +133,45 @@ def _lookup(report, dotted: str):
             return False, None
         node = node[part]
     return True, node
+
+
+def check_scenarios(name: str, report) -> list:
+    """Run the scenario layer over one solve-level report."""
+    errors = []
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict):
+        return [f"{name}: 'scenarios' is not an object"]
+    if len(scenarios) < MIN_SCENARIOS:
+        errors.append(f"{name}: only {len(scenarios)} scenario(s) recorded, "
+                      f"need >= {MIN_SCENARIOS}")
+    required = SCENARIO_COMMON_KEYS + SCENARIO_REQUIRED_KEYS.get(name, ())
+    floors = SCENARIO_FLOORS.get(name, {})
+    root_key = SCENARIO_ROOT_COUNT_KEYS.get(name)
+    for scenario_name, entry in scenarios.items():
+        where = f"{name}: scenarios.{scenario_name}"
+        if not isinstance(entry, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for key in required:
+            if key not in entry:
+                errors.append(f"{where}.{key} missing")
+        for key in SCENARIO_TRUE_KEYS:
+            if key in entry and entry[key] is not True:
+                errors.append(f"{where}.{key} = {entry[key]!r}, the "
+                              "bit-for-bit contract is broken")
+        for key, floor in floors.items():
+            value = entry.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if value < floor:
+                    errors.append(f"{where}.{key} = {value:.4g} below the "
+                                  f"asserted floor {floor}")
+        if root_key is not None and root_key in entry \
+                and "known_root_count" in entry:
+            if entry[root_key] != entry["known_root_count"]:
+                errors.append(
+                    f"{where}.{root_key} = {entry[root_key]!r}, expected "
+                    f"the known root count {entry['known_root_count']!r}")
+    return errors
 
 
 def check_report(path: Path) -> list:
@@ -130,6 +215,9 @@ def check_report(path: Path) -> list:
         elif value != expected:
             errors.append(f"{name}: {dotted} = {value!r}, expected "
                           f"{expected!r}")
+
+    if name in SCENARIO_REQUIRED_KEYS and "scenarios" in report:
+        errors.extend(check_scenarios(name, report))
     return errors
 
 
