@@ -2,7 +2,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-all test-scenarios docs bench-batch bench-qd bench-eval bench-shard bench-tables bench-json
+.PHONY: test test-all test-scenarios docs bench-batch bench-qd bench-eval bench-shard bench-start bench-tables bench-json
 
 # Tier-1: the fast suite (pytest.ini deselects @pytest.mark.slow).
 test:
@@ -45,6 +45,11 @@ bench-eval:
 bench-shard:
 	$(PY) benchmarks/bench_shard.py
 
+# Start strategies: total-degree vs diagonal paths/wall per scenario, and
+# warm parameter-homotopy family serving vs cold solves.
+bench-start:
+	$(PY) benchmarks/bench_start.py
+
 # Machine-readable perf trajectory: batch-tracking, escalation, fused
 # qd-arithmetic and sharded-service sweeps as JSON (paths/sec per context,
 # batch size and worker count; per-rung escalation pricing; fused-kernel
@@ -57,6 +62,7 @@ bench-json:
 	$(PY) benchmarks/bench_qd_arith.py --json BENCH_qd_arith.json
 	$(PY) benchmarks/bench_eval_plan.py --json BENCH_eval_plan.json
 	$(PY) benchmarks/bench_shard.py --json BENCH_shard.json
+	$(PY) benchmarks/bench_start.py --json BENCH_start.json
 
 # Regenerate the paper-table benchmarks (explicit file list: bench_* files
 # are not collected by default).

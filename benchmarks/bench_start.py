@@ -1,0 +1,101 @@
+"""Application benchmark E5: start strategies and family serving.
+
+Every diagonal-recommended registry scenario is solved from the classical
+total-degree start and from the diagonal binomial start, recording paths
+tracked and wall-clock per strategy; both runs must land on the same
+deduplicated solution set.  On the triangular family the diagonal start
+tracks ``prod(e_i)`` paths against the Bezout bound -- the strict path
+saving -- while the diagonal-dominated families tie on path count and
+only save the start-solution construction.
+
+The family-serving leg adopts one generic katsura member cold, serves a
+batch of coefficient-perturbed targets warm from the member's solutions,
+and compares per-query wall-clock against solving the same batch cold;
+the warm path must beat the cold floor by at least 2x
+(``tools/check_bench.py`` gates the checked-in ``BENCH_start.json``).
+
+Run as a script (``python benchmarks/bench_start.py [--json PATH]``) or
+through pytest (``pytest benchmarks/bench_start.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.bench import run_family_serving_bench, run_start_strategy_bench
+from repro.bench.reporting import format_table
+
+#: The warm-serving floor the checked-in report is gated on.
+WARM_SPEEDUP_FLOOR = 2.0
+
+
+def sweep():
+    scenarios = run_start_strategy_bench()
+    table = format_table(
+        [{"scenario": name,
+          "bezout": entry["bezout_number"],
+          "td_paths": entry["total_degree_paths"],
+          "diag_paths": entry["diagonal_paths"],
+          "saving": entry["path_saving_factor"],
+          "td_wall_s": entry["total_degree_wall_s"],
+          "diag_wall_s": entry["diagonal_wall_s"],
+          "identical": entry["identical"]}
+         for name, entry in scenarios.items()],
+        title="start strategies: total-degree vs diagonal per scenario")
+    return scenarios, table
+
+
+def serving():
+    family = run_family_serving_bench()
+    table = format_table(
+        [{"family": family["family"],
+          "queries": family["queries"],
+          "cold_q_s": family["cold_wall_per_query_s"],
+          "warm_q_s": family["warm_wall_per_query_s"],
+          "speedup": family["warm_vs_cold_speedup"],
+          "identical": family["identical"]}],
+        title=(f"family serving: warm member-seeded vs cold total-degree "
+               f"({family['warm_paths_per_query']} vs "
+               f"{family['cold_paths_per_query']} paths per query)"))
+    return family, table
+
+
+def test_start_strategy_benchmark(write_result):
+    scenarios, table = sweep()
+    family, family_table = serving()
+    write_result("start", table + "\n\n" + family_table)
+
+    # Answer preservation: every strategy lands on the same variety.
+    assert all(entry["identical"] for entry in scenarios.values())
+    assert family["identical"]
+    # The diagonal start never tracks more than Bezout, and the triangular
+    # scenarios realise a strict saving.
+    assert all(entry["diagonal_paths"] <= entry["bezout_number"]
+               for entry in scenarios.values())
+    assert any(entry["diagonal_paths"] < entry["bezout_number"]
+               for entry in scenarios.values())
+    # Warm family serving beats the cold floor.
+    assert family["warm_vs_cold_speedup"] >= WARM_SPEEDUP_FLOOR
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the summary as JSON to PATH")
+    args = parser.parse_args()
+    scenarios, table = sweep()
+    family, family_table = serving()
+    print(table)
+    print(family_table)
+    saving = max(entry["path_saving_factor"] for entry in scenarios.values())
+    print(f"-> best path saving factor: {saving:.2f}x"
+          f"\n-> warm family serving speedup: "
+          f"{family['warm_vs_cold_speedup']:.2f}x"
+          f" ({family['warm_serves']} warm serve(s) after "
+          f"{family['cold_solves']} cold member solve)")
+    if args.json:
+        report = {"scenarios": scenarios, "family_serving": family}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")

@@ -37,6 +37,7 @@ from .scenarios import (
     tier1_scenarios,
 )
 from .shard import ShardRow, ShardSummary, run_scenario_shard_bench, run_shard_bench
+from .start_strategies import run_family_serving_bench, run_start_strategy_bench
 from .workloads import (
     EVALUATIONS_PER_RUN,
     PaperRow,
@@ -69,6 +70,7 @@ __all__ = [
     "run_scenario_batch_tracking_bench",
     "run_scenario_escalation_bench",
     "run_scenario_eval_plan_bench",
+    "run_family_serving_bench",
     "run_scenario_shard_bench",
     "scenario_names",
     "tier1_scenarios",
@@ -79,6 +81,7 @@ __all__ = [
     "ShardRow",
     "ShardSummary",
     "run_shard_bench",
+    "run_start_strategy_bench",
     "TABLE1_ROWS",
     "TABLE1_WORKLOADS",
     "TABLE2_ROWS",

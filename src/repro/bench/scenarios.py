@@ -4,9 +4,11 @@ Every solve-level perf claim in this repo used to be measured on a single
 16-path cyclic-quadratic workload.  This module is the registry that fixes
 that: a fixed set of *named* solve scenarios spanning the classical
 families -- cyclic-n, katsura-n, noon-n, a Speelpenning-product family,
-seeded random sparse systems, and an irregular-degree family -- each
-carrying its dimension/seed knobs, expected Bezout number, and (where
-classically known) exact root count.
+seeded random sparse systems, an irregular-degree family, and a
+triangular chain whose root count sits far below its Bezout bound -- each
+carrying its dimension/seed knobs, expected Bezout number, (where
+classically known) exact root count, and the recommended start strategy
+with its path count.
 
 The four solve-level benches (``bench/batch_tracking.py``,
 ``bench/escalation.py``, ``bench/eval_plan.py``, ``bench/shard.py``) sweep
@@ -43,6 +45,8 @@ from ..polynomials.generators import (
     noon_system,
     random_sparse_system,
     speelpenning_product_system,
+    triangular_root_count,
+    triangular_sparse_system,
 )
 from ..polynomials.system import PolynomialSystem
 
@@ -86,6 +90,14 @@ class Scenario:
     ``all_paths_converge`` is true the two coincide and every total-degree
     path must end at a finite root -- the property the differential matrix
     leans on for exact acceptance.
+
+    ``start_strategy`` names the recommended
+    :class:`~repro.tracking.start_systems.StartStrategy` for the family
+    (``"diagonal"`` where the rows are diagonal-dominated or triangular,
+    ``"total-degree"`` otherwise), and ``start_paths`` the number of paths
+    that strategy tracks -- equal to ``bezout_number`` for total-degree
+    scenarios, and strictly below it exactly where the diagonal start
+    saves work (the triangular family).
     """
 
     name: str
@@ -98,6 +110,12 @@ class Scenario:
     all_paths_converge: bool
     regular: bool
     tier1: bool
+    start_strategy: str = "total-degree"
+    start_paths: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start_paths == 0:
+            object.__setattr__(self, "start_paths", self.bezout_number)
 
     def build_system(self) -> PolynomialSystem:
         """Build this scenario's target system (fresh on every call)."""
@@ -117,6 +135,8 @@ class Scenario:
             "all_paths_converge": self.all_paths_converge,
             "regular": self.regular,
             "tier1": self.tier1,
+            "start_strategy": self.start_strategy,
+            "start_paths": self.start_paths,
         }
         return {key: value for key, value in payload.items()
                 if value is not None}
@@ -163,17 +183,28 @@ FAMILIES: Dict[str, ScenarioFamily] = {
             builder=lambda size, seed: irregular_degree_system(
                 size, seed=seed),
         ),
+        ScenarioFamily(
+            name="triangular",
+            description="triangular chain: row i couples x_i^{e_i} to "
+                        "x_{i-1}^{e_i+1}; prod(e_i) finite roots, far "
+                        "below Bezout -- the diagonal start's showcase",
+            builder=lambda size, seed: triangular_sparse_system(
+                size, seed=seed),
+        ),
     )
 }
 
 
 def _scenario(name: str, family: str, size: int, seed: Optional[int],
               dimension: int, bezout: int, roots: Optional[int],
-              converge: bool, regular: bool, tier1: bool) -> Scenario:
+              converge: bool, regular: bool, tier1: bool,
+              strategy: str = "total-degree",
+              start_paths: int = 0) -> Scenario:
     return Scenario(name=name, family=family, size=size, seed=seed,
                     dimension=dimension, bezout_number=bezout,
                     known_root_count=roots, all_paths_converge=converge,
-                    regular=regular, tier1=tier1)
+                    regular=regular, tier1=tier1, start_strategy=strategy,
+                    start_paths=start_paths)
 
 
 #: The registry, ordered: tier-1 members first, then the matrix extras.
@@ -188,9 +219,15 @@ SCENARIOS: Tuple[Scenario, ...] = (
     _scenario("speelpenning-2", "speelpenning", 2, 11, 2, 4, 4,
               converge=True, regular=False, tier1=True),
     _scenario("random-sparse-3", "random-sparse", 3, 5, 3, 9, 9,
-              converge=True, regular=False, tier1=True),
+              converge=True, regular=False, tier1=True,
+              strategy="diagonal"),
     _scenario("irregular-3", "irregular", 3, 7, 3, 6, 6,
-              converge=True, regular=False, tier1=True),
+              converge=True, regular=False, tier1=True,
+              strategy="diagonal"),
+    _scenario("triangular-3", "triangular", 3, 13, 3, 12,
+              triangular_root_count(3),
+              converge=False, regular=False, tier1=True,
+              strategy="diagonal", start_paths=triangular_root_count(3)),
     # -- matrix extras: wider members for the slow full-matrix tier -------
     _scenario("cyclic-5", "cyclic", 5, None, 5, 32, 32,
               converge=True, regular=True, tier1=False),
@@ -201,9 +238,15 @@ SCENARIOS: Tuple[Scenario, ...] = (
     _scenario("speelpenning-3", "speelpenning", 3, 11, 3, 27, 27,
               converge=True, regular=False, tier1=False),
     _scenario("random-sparse-4", "random-sparse", 4, 5, 4, 27, 27,
-              converge=True, regular=False, tier1=False),
+              converge=True, regular=False, tier1=False,
+              strategy="diagonal"),
     _scenario("irregular-5", "irregular", 5, 7, 5, 12, 12,
-              converge=True, regular=False, tier1=False),
+              converge=True, regular=False, tier1=False,
+              strategy="diagonal"),
+    _scenario("triangular-4", "triangular", 4, 13, 4, 24,
+              triangular_root_count(4),
+              converge=False, regular=False, tier1=False,
+              strategy="diagonal", start_paths=triangular_root_count(4)),
 )
 
 _BY_NAME: Dict[str, Scenario] = {s.name: s for s in SCENARIOS}

@@ -1,0 +1,135 @@
+"""Benchmark of the start-strategy layer and parameter-homotopy serving.
+
+Two measurements, both answer-preserving by construction and verified as
+such on every run:
+
+* **start sweep** -- every registry scenario whose recommended strategy is
+  the diagonal binomial start is solved twice, from the classical
+  total-degree start and from :class:`~repro.tracking.start_systems.
+  DiagonalStart`, recording paths tracked and wall-clock for each and the
+  verdict that both runs' deduplicated solution sets agree.  On the
+  diagonal-dominated families the path counts tie (the diagonal degrees
+  *are* the total degrees -- the binomial start only buys cheaper start
+  solutions); on the triangular family the diagonal start tracks
+  ``prod(e_i)`` paths against Bezout's ``e_0 * prod(e_i + 1)``, the
+  strict saving the paper's parameter-homotopy chapter is after;
+* **family serving** -- one :class:`~repro.tracking.parameter.
+  ParameterFamily` adopts a generic katsura member cold, then serves a
+  batch of coefficient-perturbed targets warm from the member's
+  solutions, against the same batch solved cold.  The warm serves skip
+  the roots-of-unity deformation (short paths from adjacent start
+  points) and reuse the member's compiled homotopy artifacts, so
+  per-query wall-clock must beat the cold floor by at least 2x
+  (``tools/check_bench.py`` gates the checked-in number).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..polynomials.generators import katsura_system, perturb_coefficients
+from ..tracking.parameter import ParameterFamily
+from ..tracking.solver import SolveReport, solve_system
+from ..tracking.start_systems import DiagonalStart
+from ..tracking.tracker import TrackerOptions
+from .scenarios import Scenario, iter_scenarios
+
+__all__ = ["run_family_serving_bench", "run_start_strategy_bench"]
+
+#: Tolerance digits for matching two solves' deduplicated roots (the runs
+#: approach each root along different homotopy paths).
+_MATCH_DIGITS = 6
+
+
+def _root_set(report: SolveReport) -> List[Tuple]:
+    return sorted(
+        tuple((round(z.real, _MATCH_DIGITS), round(z.imag, _MATCH_DIGITS))
+              for z in solution.as_complex())
+        for solution in report.solutions)
+
+
+def _diagonal_scenarios() -> List[Scenario]:
+    return [s for s in iter_scenarios() if s.start_strategy == "diagonal"]
+
+
+def run_start_strategy_bench(scenarios=None,
+                             options: Optional[TrackerOptions] = None,
+                             ) -> Dict[str, Dict[str, object]]:
+    """Total-degree vs diagonal start on every diagonal-recommended
+    scenario (see the module docstring); one entry per scenario."""
+    opts = options or TrackerOptions(end_tolerance=1e-10, end_iterations=12)
+    matrix: Dict[str, Dict[str, object]] = {}
+    for scenario in (scenarios if scenarios is not None
+                     else _diagonal_scenarios()):
+        system = scenario.build_system()
+        begin = time.perf_counter()
+        total = solve_system(system, options=opts)
+        total_wall = time.perf_counter() - begin
+        begin = time.perf_counter()
+        diagonal = solve_system(system, options=opts, start=DiagonalStart())
+        diagonal_wall = time.perf_counter() - begin
+        entry = scenario.as_dict()
+        entry.update({
+            "total_degree_paths": total.paths_tracked,
+            "total_degree_wall_s": total_wall,
+            "diagonal_paths": diagonal.paths_tracked,
+            "diagonal_wall_s": diagonal_wall,
+            "solutions": len(diagonal.solutions),
+            "path_saving_factor": (total.paths_tracked
+                                   / diagonal.paths_tracked),
+            "identical": _root_set(total) == _root_set(diagonal),
+        })
+        matrix[scenario.name] = entry
+    return matrix
+
+
+def run_family_serving_bench(size: int = 3, queries: int = 3,
+                             scale: float = 1e-2, seed: int = 101,
+                             options: Optional[TrackerOptions] = None,
+                             ) -> Dict[str, object]:
+    """Warm family serving vs cold solves on perturbed katsura members.
+
+    ``queries`` coefficient-perturbed copies of ``katsura_system(size)``
+    are each solved cold (total-degree) and then served warm through a
+    :class:`~repro.tracking.parameter.ParameterFamily` whose member was
+    adopted from the unperturbed base.  The member adoption runs before
+    the timed region -- that one cold solve is the family's fixed setup
+    cost, amortised over every later query -- and the verdict requires
+    each warm serve to reproduce its cold twin's deduplicated roots.
+    """
+    opts = options or TrackerOptions(end_tolerance=1e-10, end_iterations=12)
+    base = katsura_system(size)
+    targets = [perturb_coefficients(base, scale=scale, seed=seed + k)
+               for k in range(queries)]
+
+    begin = time.perf_counter()
+    cold_reports = [solve_system(target, options=opts) for target in targets]
+    cold_wall = time.perf_counter() - begin
+
+    family = ParameterFamily(name=f"katsura-{size}", options=opts)
+    member = family.solve(base)
+    begin = time.perf_counter()
+    warm_reports = [family.solve(target) for target in targets]
+    warm_wall = time.perf_counter() - begin
+
+    identical = all(_root_set(cold) == _root_set(warm)
+                    for cold, warm in zip(cold_reports, warm_reports))
+    stats = family.stats()
+    return {
+        "family": f"katsura-{size}",
+        "dimension": base.dimension,
+        "queries": queries,
+        "member_paths": member.paths_tracked,
+        "member_solutions": len(member.solutions),
+        "warm_paths_per_query": warm_reports[0].paths_tracked,
+        "cold_paths_per_query": cold_reports[0].paths_tracked,
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "cold_wall_per_query_s": cold_wall / queries,
+        "warm_wall_per_query_s": warm_wall / queries,
+        "warm_vs_cold_speedup": cold_wall / warm_wall,
+        "cold_solves": stats["cold_solves"],
+        "warm_serves": stats["warm_serves"],
+        "identical": identical,
+    }

@@ -26,6 +26,7 @@ from .generators import (
     katsura_system,
     noon_root_count,
     noon_system,
+    perturb_coefficients,
     random_monomial,
     random_point,
     random_regular_system,
@@ -34,6 +35,8 @@ from .generators import (
     speelpenning_system,
     table1_system,
     table2_system,
+    triangular_root_count,
+    triangular_sparse_system,
 )
 from .monomial import Monomial
 from .polynomial import Polynomial
@@ -70,6 +73,7 @@ __all__ = [
     "naive_gradient",
     "noon_root_count",
     "noon_system",
+    "perturb_coefficients",
     "power_table",
     "random_monomial",
     "random_point",
@@ -81,4 +85,6 @@ __all__ = [
     "speelpenning_value",
     "table1_system",
     "table2_system",
+    "triangular_root_count",
+    "triangular_sparse_system",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "katsura_system",
     "noon_root_count",
     "noon_system",
+    "perturb_coefficients",
     "random_regular_system",
     "random_point",
     "random_monomial",
@@ -51,6 +52,8 @@ __all__ = [
     "speelpenning_system",
     "table1_system",
     "table2_system",
+    "triangular_root_count",
+    "triangular_sparse_system",
     "TABLE1_MONOMIAL_COUNTS",
     "TABLE2_MONOMIAL_COUNTS",
     "TABLE_DIMENSION",
@@ -389,6 +392,86 @@ def irregular_degree_system(dimension: int,
         terms.append((_unit_coefficient(rng), Monomial((), ())))
         polys.append(Polynomial(terms))
     return PolynomialSystem(polys, dimension=dimension)
+
+
+def _triangular_diagonal_degrees(dimension: int) -> List[int]:
+    """The diagonal degree pattern of :func:`triangular_sparse_system`."""
+    return [2 - (i % 2) for i in range(dimension)]
+
+
+def triangular_root_count(dimension: int) -> int:
+    """Exact root count of triangular-``n``: the diagonal product.
+
+    The system is triangular (row ``i`` only involves ``x_0 .. x_i``), so
+    back-substitution solves it one univariate at a time: row ``i``
+    contributes exactly ``e_i`` choices, for ``prod(e_i)`` finite roots in
+    total -- strictly fewer than the Bezout product of the row *total*
+    degrees, which the dominating cross terms inflate.
+    """
+    if dimension < 2:
+        raise ConfigurationError("dimension must be at least 2")
+    count = 1
+    for e in _triangular_diagonal_degrees(dimension):
+        count *= e
+    return count
+
+
+def triangular_sparse_system(dimension: int,
+                             seed: Optional[int] = 13) -> PolynomialSystem:
+    """A triangular family whose Bezout bound overshoots the root count.
+
+    Row ``0`` is ``a x_0^{e_0} + c``; row ``i >= 1`` couples a diagonal
+    term ``a_i x_i^{e_i}`` with a *higher-degree* cross term
+    ``b_i x_{i-1}^{e_i + 1}`` in the previous variable plus a constant
+    (coefficients random unit-modulus from ``seed``), with diagonal degrees
+    ``e_i`` cycling 2, 1.  Because row ``i`` only involves ``x_0 .. x_i``
+    and every non-diagonal monomial has degree 0 in ``x_i``, the system is
+    solvable by back-substitution and has exactly ``prod(e_i)`` finite
+    roots, while the cross terms push the row total degrees -- and hence
+    the Bezout number -- to ``e_0 * prod_{i>=1}(e_i + 1)``.  A total-degree
+    start therefore wastes paths on solutions at infinity, whereas the
+    binomial diagonal start tracks exactly the ``prod(e_i)`` finite ones:
+    this is the registry's canonical "diagonal start beats Bezout" shape.
+    Rows differ in degree and monomial count, so instances are irregular.
+    """
+    if dimension < 2:
+        raise ConfigurationError("dimension must be at least 2")
+    rng = np.random.default_rng(seed)
+    degrees = _triangular_diagonal_degrees(dimension)
+    polys = []
+    for i, e in enumerate(degrees):
+        terms = [(_unit_coefficient(rng), Monomial((i,), (e,)))]
+        if i >= 1:
+            terms.append((_unit_coefficient(rng),
+                          Monomial((i - 1,), (e + 1,))))
+        terms.append((_unit_coefficient(rng), Monomial((), ())))
+        polys.append(Polynomial(terms))
+    return PolynomialSystem(polys, dimension=dimension)
+
+
+def perturb_coefficients(system: PolynomialSystem, scale: float = 1e-2,
+                         seed: Optional[int] = 0) -> PolynomialSystem:
+    """A nearby member of ``system``'s coefficient family.
+
+    Every coefficient ``c`` is replaced by ``c * (1 + scale * u)`` with
+    ``u`` a random complex number of modulus at most 1, keeping the
+    monomial support -- the *schema* -- identical.  This is how the tests
+    and benches manufacture parameter-homotopy families: same structure,
+    different generic coefficients, so a solved member's solutions are
+    valid start points for every other member.
+    """
+    if scale < 0:
+        raise ConfigurationError("perturbation scale must be non-negative")
+    rng = np.random.default_rng(seed)
+    polys = []
+    for poly in system.polynomials:
+        terms = []
+        for coefficient, monomial in poly.terms:
+            radius = float(rng.uniform(0.0, 1.0))
+            wobble = radius * _unit_coefficient(rng)
+            terms.append((coefficient * (1 + scale * wobble), monomial))
+        polys.append(Polynomial(terms))
+    return PolynomialSystem(polys, dimension=system.dimension)
 
 
 def _monomials_per_polynomial(total_monomials: int, dimension: int) -> int:

@@ -32,6 +32,7 @@ from typing import Callable, Dict, Optional
 from ..errors import (JobNotFoundError, QueueFullError, RateLimitedError,
                       ServiceError)
 from ..polynomials.system import PolynomialSystem
+from ..tracking.parameter import ParameterFamily
 from ..tracking.solver import SolveReport
 from .sharded import solve_system_sharded
 
@@ -49,6 +50,7 @@ class _Job:
     job_id: str
     system: PolynomialSystem
     kwargs: Dict[str, object]
+    family: Optional[ParameterFamily] = None
     state: str = QUEUED
     report: Optional[SolveReport] = None
     error: Optional[BaseException] = None
@@ -145,6 +147,7 @@ class SolveService:
         self._buckets: Dict[str, _TokenBucket] = {}
         self._solver = solver if solver is not None else solve_system_sharded
         self._defaults = dict(defaults)
+        self._families: Dict[str, ParameterFamily] = {}
         self._queue: _queue.Queue = _queue.Queue(maxsize=capacity)
         self._jobs: Dict[str, _Job] = {}
         self._lock = threading.Lock()
@@ -161,7 +164,7 @@ class SolveService:
 
     # -- submit / observe ------------------------------------------------
     def submit(self, system: PolynomialSystem, *, client: str = "default",
-               **overrides) -> str:
+               family: Optional[str] = None, **overrides) -> str:
         """Enqueue a solve; returns its job id immediately.
 
         Parameters
@@ -170,6 +173,14 @@ class SolveService:
             Rate-limiting identity of the submitter.  Only meaningful when
             the service was built with a ``rate_limit``; throttling is per
             client, so distinct clients do not contend for tokens.
+        family:
+            Route the solve through the named coefficient family's
+            :class:`~repro.tracking.parameter.ParameterFamily` (created on
+            first use, shared by every job naming it): the family's first
+            job solves cold and becomes its generic member, later jobs are
+            served warm from the member's solutions.  Family state
+            (member, cold/warm counters) outlives the job -- inspect it
+            with :meth:`family_stats`.
 
         Raises
         ------
@@ -200,7 +211,8 @@ class SolveService:
                 )
         job_id = f"job-{next(self._ids)}"
         job = _Job(job_id=job_id, system=system,
-                   kwargs={**self._defaults, **overrides})
+                   kwargs={**self._defaults, **overrides},
+                   family=None if family is None else self._family(family))
         with self._lock:
             self._jobs[job_id] = job
         try:
@@ -213,6 +225,28 @@ class SolveService:
                 f"queued); drain results or retry later"
             ) from None
         return job_id
+
+    def _family(self, name: str) -> ParameterFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = ParameterFamily(
+                    name=name, solver=self._solver)
+            return family
+
+    def family_stats(self, name: str) -> Dict[str, int]:
+        """Cold/warm serving counters of a family created by :meth:`submit`.
+
+        Raises
+        ------
+        JobNotFoundError
+            For a family name no submit has used.
+        """
+        with self._lock:
+            family = self._families.get(name)
+        if family is None:
+            raise JobNotFoundError(f"unknown family {name!r}")
+        return family.stats()
 
     def _job(self, job_id: str) -> _Job:
         with self._lock:
@@ -258,7 +292,9 @@ class SolveService:
                     return
                 item.state = RUNNING
                 try:
-                    item.report = self._solver(item.system, **item.kwargs)
+                    solve = (self._solver if item.family is None
+                             else item.family.solve)
+                    item.report = solve(item.system, **item.kwargs)
                     item.state = DONE
                 except BaseException as exc:  # the job owns its failure
                     item.error = exc

@@ -45,6 +45,7 @@ from ..core.multicore import partition_lanes, portable_checkpoints
 from ..errors import ConfigurationError, ShardFailedError
 from ..multiprec.numeric import DOUBLE, CONTEXTS, NumericContext
 from ..polynomials.system import PolynomialSystem
+from ..tracking.escalation import RungOutcome, run_escalation_ladder
 from ..tracking.solver import (
     EscalationPolicy,
     SolveReport,
@@ -52,10 +53,9 @@ from ..tracking.solver import (
     batched_route_available,
 )
 from ..tracking.start_systems import (
-    sample_start_solutions,
-    start_solutions,
+    StartStrategy,
+    TotalDegreeStart,
     total_degree,
-    total_degree_start_system,
 )
 from ..tracking.tracker import PathResult, TrackerOptions
 from .store import CheckpointStore, InMemoryCheckpointStore
@@ -254,6 +254,7 @@ def solve_system_sharded(system: PolynomialSystem, *,
                          seed: Optional[int] = 0,
                          batch_size: Optional[int] = None,
                          escalation: Optional[EscalationPolicy] = None,
+                         start: Optional[StartStrategy] = None,
                          max_retries: int = 2,
                          backoff_seconds: float = 0.05,
                          timeout: Optional[float] = None,
@@ -262,10 +263,12 @@ def solve_system_sharded(system: PolynomialSystem, *,
     """Solve ``system`` like :func:`~repro.tracking.solver.solve_system`,
     sharded over worker processes with persistent crash recovery.
 
-    The solver-facing parameters (``context`` .. ``escalation``) mean
-    exactly what they mean on :func:`solve_system`; the distinct solutions
-    of the returned report are bit-for-bit identical to a single-process
-    solve with the same ones.  The service parameters:
+    The solver-facing parameters (``context`` .. ``start``) mean
+    exactly what they mean on :func:`solve_system` -- including the
+    pluggable :class:`~repro.tracking.start_systems.StartStrategy` -- and
+    the distinct solutions of the returned report are bit-for-bit
+    identical to a single-process solve with the same ones.  The service
+    parameters:
 
     Parameters
     ----------
@@ -312,12 +315,14 @@ def solve_system_sharded(system: PolynomialSystem, *,
     ShardFailedError
         When one shard's retries are exhausted.
     """
-    start_system = total_degree_start_system(system)
+    strategy = start if start is not None else TotalDegreeStart()
+    plan = strategy.prepare(system)
+    start_system = plan.start_system
     bezout = total_degree(system)
-    if max_paths is not None and max_paths < bezout:
-        starts = sample_start_solutions(system, max_paths, seed=seed)
+    if max_paths is not None and max_paths < plan.path_count:
+        starts = plan.sample_solutions(max_paths, seed=seed)
     else:
-        starts = list(start_solutions(system))
+        starts = list(plan.solutions())
     starts = [tuple(complex(x) for x in s) for s in starts]
 
     ladder = list(escalation.ladder) if escalation is not None else [context]
@@ -348,22 +353,9 @@ def solve_system_sharded(system: PolynomialSystem, *,
     lanes_by_shard = {s: lanes for s, lanes
                       in enumerate(partition_lanes(len(starts), shards))
                       if lanes}
-    pending_by_shard: Dict[int, List[int]] = {
-        s: list(lanes) for s, lanes in lanes_by_shard.items()}
 
-    solved: Dict[int, PathResult] = {}
-    still_failing: Dict[int, PathResult] = {}
     results_portable: Dict[int, Dict[str, object]] = {}
-    checkpoints_by_index: Dict[int, Dict[str, object]] = {}
-    paths_by_context: Dict[str, int] = {}
-    converged_by_context: Dict[str, int] = {}
-    resumed_by_context: Dict[str, int] = {}
-    restarted_by_context: Dict[str, int] = {}
-    resume_t_by_context: Dict[str, List[float]] = {}
-    endgame_skips_by_context: Dict[str, int] = {}
-    recovered = 0
-    worker_retries = 0
-    resumed_after_crash = 0
+    retry_stats = {"worker_retries": 0, "resumed_after_crash": 0}
     fault_budget = [fault_injection.times if fault_injection is not None else 0]
 
     def build_payload(shard: int, level: int, rung: NumericContext,
@@ -390,159 +382,166 @@ def solve_system_sharded(system: PolynomialSystem, *,
                 "kill_after_rounds": fault_injection.kill_after_rounds}
         return payload
 
+    def run_rung(level: int, rung: NumericContext,
+                 pending: List[Tuple[int, Sequence]],
+                 checkpoints_by_index: Dict[int, object]) -> RungOutcome:
+        """Fan one rung's pending lanes out over the shard pool.
+
+        The shared ladder loop owns the accounting; this callback owns the
+        sharded mechanics -- payload construction, crash retries with
+        store-reloaded checkpoints, and per-shard persistence -- and hands
+        back results/checkpoints re-aligned with the global pending order.
+        """
+        pending_indices = {index for index, _ in pending}
+        active = {}
+        for s in sorted(lanes_by_shard):
+            lanes = [i for i in lanes_by_shard[s] if i in pending_indices]
+            if lanes:
+                active[s] = lanes
+        payloads: Dict[int, Dict[str, object]] = {}
+        resume_by_shard: Dict[int, Optional[List[Dict[str, object]]]] = {}
+        for s in sorted(active):
+            lane_indices = active[s]
+            resume = ([checkpoints_by_index[i] for i in lane_indices]
+                      if warm and level > 0 else None)
+            resume_by_shard[s] = resume
+            payloads[s] = build_payload(s, level, rung, lane_indices,
+                                        resume)
+
+        # -- run the rung's shard tasks, rescheduling crashed shards --
+        outcomes: Dict[int, Dict[str, object]] = {}
+        todo = dict(payloads)
+        attempts = {s: 0 for s in payloads}
+        barren_rounds = 0  # pool died before anything could be submitted
+        while todo:
+            pool = pool_box.get()
+            futures: Dict[int, object] = {}
+            pool_broken = False
+            # A crashing worker can break the pool *between* submits, so
+            # submission itself may raise; shards left unsubmitted simply
+            # stay in ``todo`` for the next round (no attempt charged --
+            # the crash was not theirs).
+            try:
+                for s in sorted(todo):
+                    futures[s] = pool.submit(_run_shard_rung, todo[s])
+            except BrokenExecutor:
+                pool_broken = True
+            if futures:
+                barren_rounds = 0
+            else:
+                barren_rounds += 1
+                if barren_rounds > max_retries + 1:
+                    raise ShardFailedError(
+                        f"the worker pool broke {barren_rounds} time(s) "
+                        f"in a row before any shard task could be "
+                        f"submitted at rung {rung.name!r} (level {level})"
+                    )
+            crashed: List[int] = []
+            for s in sorted(futures):
+                try:
+                    outcomes[s] = futures[s].result(timeout=timeout)
+                    del todo[s]
+                except ConfigurationError:
+                    raise
+                except FutureTimeoutError:
+                    crashed.append(s)
+                    pool_broken = True  # the worker is stuck; replace it
+                except Exception as exc:
+                    crashed.append(s)
+                    if isinstance(exc, BrokenExecutor):
+                        pool_broken = True
+            if pool_broken:
+                pool_box.discard()
+            for s in crashed:
+                attempts[s] += 1
+                retry_stats["worker_retries"] += 1
+                if attempts[s] > max_retries:
+                    raise ShardFailedError(
+                        f"shard {s} failed {attempts[s]} time(s) at "
+                        f"rung {rung.name!r} (level {level}); retries "
+                        f"exhausted (max_retries={max_retries})"
+                    )
+                if backoff_seconds > 0:
+                    time.sleep(backoff_seconds * (2 ** (attempts[s] - 1)))
+                # Rebuild the payload with checkpoints RELOADED from the
+                # store -- the persistence layer, not coordinator memory,
+                # is what the recovery path must prove out.
+                payload = dict(payloads[s])
+                payload.pop("fault", None)
+                if resume_by_shard[s] is not None:
+                    record = store.get(job_id, s)
+                    stored = (record or {}).get("checkpoints", {})
+                    payload["resume"] = [
+                        stored.get(str(i), resume_by_shard[s][k])
+                        for k, i in enumerate(active[s])]
+                    retry_stats["resumed_after_crash"] += 1
+                if (fault_injection is not None and fault_budget[0] > 0
+                        and s == fault_injection.shard
+                        and level == fault_injection.level):
+                    fault_budget[0] -= 1
+                    payload["fault"] = {"kill_after_rounds":
+                                        fault_injection.kill_after_rounds}
+                todo[s] = payload
+
+        # -- merge shard outcomes back into global pending order, persist --
+        results_by_index: Dict[int, PathResult] = {}
+        checkpoints_this_rung: Dict[int, Dict[str, object]] = {}
+        endgame_skips = 0
+        resume_ts: List[float] = []
+        for s in sorted(active):
+            lane_indices = active[s]
+            outcome = outcomes[s]
+            resume = resume_by_shard[s]
+            if resume is not None:
+                resume_ts.extend(float(st["t"]) for st in resume
+                                 if float(st["t"]) > 0.0)
+            endgame_skips += outcome["endgame_skips"]
+            shard_pending: List[int] = []
+            for position, index in enumerate(lane_indices):
+                portable = outcome["results"][position]
+                results_portable[index] = portable
+                checkpoints_this_rung[index] = \
+                    outcome["checkpoints"][position]
+                results_by_index[index] = _result_from_portable(portable)
+                if not results_by_index[index].success:
+                    shard_pending.append(index)
+            store.put(job_id, s, {
+                "job_id": job_id,
+                "shard": s,
+                "level": level,
+                "context": rung.name,
+                "lanes": list(lanes_by_shard[s]),
+                "pending": shard_pending,
+                "checkpoints": {
+                    str(i): checkpoints_this_rung.get(
+                        i, checkpoints_by_index.get(i))
+                    for i in lanes_by_shard[s]
+                    if i in checkpoints_this_rung
+                    or i in checkpoints_by_index},
+                "results": {str(i): results_portable[i]
+                            for i in lanes_by_shard[s]
+                            if i in results_portable},
+            })
+        return RungOutcome(
+            results=[results_by_index[index] for index, _ in pending],
+            checkpoints=[checkpoints_this_rung[index]
+                         for index, _ in pending],
+            endgame_skips=endgame_skips,
+            resumed_mid_ts=resume_ts if warm and level > 0 else None)
+
     pool_box = _PoolBox(
         max_workers=max_workers or max(1, len(lanes_by_shard)),
         mp_context=_default_mp_context(mp_context))
     try:
-        for level, rung in enumerate(ladder):
-            active = {s: p for s, p in pending_by_shard.items() if p}
-            if not active:
-                break
-            payloads: Dict[int, Dict[str, object]] = {}
-            resume_by_shard: Dict[int, Optional[List[Dict[str, object]]]] = {}
-            for s in sorted(active):
-                lane_indices = active[s]
-                resume = ([checkpoints_by_index[i] for i in lane_indices]
-                          if warm and level > 0 else None)
-                resume_by_shard[s] = resume
-                payloads[s] = build_payload(s, level, rung, lane_indices,
-                                            resume)
-
-            # -- run the rung's shard tasks, rescheduling crashed shards --
-            outcomes: Dict[int, Dict[str, object]] = {}
-            todo = dict(payloads)
-            attempts = {s: 0 for s in payloads}
-            barren_rounds = 0  # pool died before anything could be submitted
-            while todo:
-                pool = pool_box.get()
-                futures: Dict[int, object] = {}
-                pool_broken = False
-                # A crashing worker can break the pool *between* submits, so
-                # submission itself may raise; shards left unsubmitted simply
-                # stay in ``todo`` for the next round (no attempt charged --
-                # the crash was not theirs).
-                try:
-                    for s in sorted(todo):
-                        futures[s] = pool.submit(_run_shard_rung, todo[s])
-                except BrokenExecutor:
-                    pool_broken = True
-                if futures:
-                    barren_rounds = 0
-                else:
-                    barren_rounds += 1
-                    if barren_rounds > max_retries + 1:
-                        raise ShardFailedError(
-                            f"the worker pool broke {barren_rounds} time(s) "
-                            f"in a row before any shard task could be "
-                            f"submitted at rung {rung.name!r} (level {level})"
-                        )
-                crashed: List[int] = []
-                for s in sorted(futures):
-                    try:
-                        outcomes[s] = futures[s].result(timeout=timeout)
-                        del todo[s]
-                    except ConfigurationError:
-                        raise
-                    except FutureTimeoutError:
-                        crashed.append(s)
-                        pool_broken = True  # the worker is stuck; replace it
-                    except Exception as exc:
-                        crashed.append(s)
-                        if isinstance(exc, BrokenExecutor):
-                            pool_broken = True
-                if pool_broken:
-                    pool_box.discard()
-                for s in crashed:
-                    attempts[s] += 1
-                    worker_retries += 1
-                    if attempts[s] > max_retries:
-                        raise ShardFailedError(
-                            f"shard {s} failed {attempts[s]} time(s) at "
-                            f"rung {rung.name!r} (level {level}); retries "
-                            f"exhausted (max_retries={max_retries})"
-                        )
-                    if backoff_seconds > 0:
-                        time.sleep(backoff_seconds * (2 ** (attempts[s] - 1)))
-                    # Rebuild the payload with checkpoints RELOADED from the
-                    # store -- the persistence layer, not coordinator memory,
-                    # is what the recovery path must prove out.
-                    payload = dict(payloads[s])
-                    payload.pop("fault", None)
-                    if resume_by_shard[s] is not None:
-                        record = store.get(job_id, s)
-                        stored = (record or {}).get("checkpoints", {})
-                        payload["resume"] = [
-                            stored.get(str(i), resume_by_shard[s][k])
-                            for k, i in enumerate(active[s])]
-                        resumed_after_crash += 1
-                    if (fault_injection is not None and fault_budget[0] > 0
-                            and s == fault_injection.shard
-                            and level == fault_injection.level):
-                        fault_budget[0] -= 1
-                        payload["fault"] = {"kill_after_rounds":
-                                            fault_injection.kill_after_rounds}
-                    todo[s] = payload
-
-            # -- merge the rung: accounting, checkpoints, persistence --
-            paths_by_context[rung.name] = sum(len(p) for p in active.values())
-            converged_by_context[rung.name] = 0
-            endgame_skips_by_context[rung.name] = 0
-            resumed_by_context[rung.name] = 0
-            restarted_by_context[rung.name] = 0
-            resume_t_by_context[rung.name] = []
-            for s in sorted(active):
-                lane_indices = active[s]
-                outcome = outcomes[s]
-                resume = resume_by_shard[s]
-                if resume is not None:
-                    mid_path = [float(st["t"]) for st in resume
-                                if float(st["t"]) > 0.0]
-                    resumed_by_context[rung.name] += len(mid_path)
-                    restarted_by_context[rung.name] += (len(resume)
-                                                        - len(mid_path))
-                    resume_t_by_context[rung.name].extend(mid_path)
-                else:
-                    restarted_by_context[rung.name] += len(lane_indices)
-                endgame_skips_by_context[rung.name] += outcome["endgame_skips"]
-                next_pending: List[int] = []
-                for position, index in enumerate(lane_indices):
-                    portable = outcome["results"][position]
-                    results_portable[index] = portable
-                    checkpoints_by_index[index] = \
-                        outcome["checkpoints"][position]
-                    result = _result_from_portable(portable)
-                    if result.success:
-                        converged_by_context[rung.name] += 1
-                        solved[index] = result
-                        if level > 0:
-                            recovered += 1
-                            still_failing.pop(index, None)
-                    else:
-                        still_failing[index] = result
-                        next_pending.append(index)
-                pending_by_shard[s] = next_pending
-                store.put(job_id, s, {
-                    "job_id": job_id,
-                    "shard": s,
-                    "level": level,
-                    "context": rung.name,
-                    "lanes": list(lanes_by_shard[s]),
-                    "pending": next_pending,
-                    "checkpoints": {str(i): checkpoints_by_index[i]
-                                    for i in lanes_by_shard[s]
-                                    if i in checkpoints_by_index},
-                    "results": {str(i): results_portable[i]
-                                for i in lanes_by_shard[s]
-                                if i in results_portable},
-                })
+        state = run_escalation_ladder(ladder, starts, run_rung)
     finally:
         pool_box.close()
 
     if cleanup:
         store.delete_job(job_id)
 
-    converged = [solved[i] for i in sorted(solved)]
-    failures = [still_failing[i] for i in sorted(still_failing)]
+    converged = state.converged_results()
+    failures = state.failed_results()
     final_context = ladder[-1] if escalation is not None else context
     solutions = _deduplicate(converged, final_context, deduplication_tolerance)
     return SolveReport(
@@ -552,14 +551,15 @@ def solve_system_sharded(system: PolynomialSystem, *,
         paths_converged=len(converged),
         solutions=solutions,
         failures=failures,
-        paths_by_context=paths_by_context,
-        converged_by_context=converged_by_context,
-        recovered_by_escalation=recovered,
-        resumed_by_context=resumed_by_context,
-        restarted_by_context=restarted_by_context,
-        resume_t_by_context=resume_t_by_context,
-        endgame_skips_by_context=endgame_skips_by_context,
+        paths_by_context=state.paths_by_context,
+        converged_by_context=state.converged_by_context,
+        recovered_by_escalation=state.recovered,
+        resumed_by_context=state.resumed_by_context,
+        restarted_by_context=state.restarted_by_context,
+        resume_t_by_context=state.resume_t_by_context,
+        endgame_skips_by_context=state.endgame_skips_by_context,
         shards=len(lanes_by_shard),
-        worker_retries=worker_retries,
-        resumed_after_crash=resumed_after_crash,
+        worker_retries=retry_stats["worker_retries"],
+        resumed_after_crash=retry_stats["resumed_after_crash"],
+        start_strategy=plan.strategy,
     )

@@ -6,7 +6,10 @@ the evaluators can be exercised end to end:
 
 * :mod:`~repro.tracking.linsolve` -- generic dense LU over any scalar type;
 * :mod:`~repro.tracking.newton` -- the corrector;
-* :mod:`~repro.tracking.start_systems` -- total-degree start systems;
+* :mod:`~repro.tracking.start_systems` -- start strategies: total-degree,
+  diagonal binomial, generic-member seeding;
+* :mod:`~repro.tracking.parameter` -- parameter homotopy families served
+  from one solved generic member;
 * :mod:`~repro.tracking.homotopy` -- the gamma-trick convex homotopy;
 * :mod:`~repro.tracking.predictor` / :mod:`~repro.tracking.tracker` -- the
   adaptive predictor-corrector loop;
@@ -44,8 +47,14 @@ from .quality_up import (
     offset_factor,
     quality_up_table,
 )
+from .parameter import ParameterFamily
 from .solver import EscalationPolicy, Solution, SolveReport, solve_system
 from .start_systems import (
+    DiagonalStart,
+    GenericMemberStart,
+    StartPlan,
+    StartStrategy,
+    TotalDegreeStart,
     sample_start_solutions,
     start_solutions,
     total_degree,
@@ -69,7 +78,13 @@ __all__ = [
     "PathStatus",
     "StepControl",
     "batched_solve",
+    "DiagonalStart",
     "EscalationPolicy",
+    "GenericMemberStart",
+    "ParameterFamily",
+    "StartPlan",
+    "StartStrategy",
+    "TotalDegreeStart",
     "NewtonCorrector",
     "NewtonResult",
     "NewtonStep",

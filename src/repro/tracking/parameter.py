@@ -1,0 +1,134 @@
+"""Parameter homotopy over a coefficient family: solve once, serve many.
+
+Systems that differ only in coefficients -- one calibration run per sensor,
+one tuning of a model per data set -- share their monomial support and
+(generically) their finite root count.  Solving each one from a fresh
+total-degree start re-tracks the full Bezout bound every time; the
+parameter homotopy of the source paper instead solves **one generic
+member** of the family cold, then deforms that member's coefficients into
+each subsequent target, tracking only ``#roots(member)`` short paths.
+
+:class:`ParameterFamily` packages that protocol around
+:func:`~repro.tracking.solver.solve_system`:
+
+* the first :meth:`solve` call runs cold (default start strategy) and
+  adopts the target as the family's generic member;
+* every later call is served warm through a
+  :class:`~repro.tracking.start_systems.GenericMemberStart` seeded from
+  the member's solutions;
+* the member's compiled homotopy artifacts are reused across queries by
+  the structural compile cache in :mod:`repro.core.evalplan` (the member
+  system is the start half of every warm plan's cache key).
+
+The family is safe to share between the solve-service worker threads:
+adoption is serialised under a lock, warm serves run concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional
+
+from ..errors import ConfigurationError
+from ..polynomials.system import PolynomialSystem
+from .solver import SolveReport, solve_system
+from .start_systems import GenericMemberStart
+
+__all__ = ["ParameterFamily"]
+
+
+def _support_rows(system: PolynomialSystem):
+    """Per-row monomial support, coefficient-blind: the family signature."""
+    return [frozenset((m.positions, m.exponents) for _, m in poly.terms)
+            for poly in system]
+
+
+class ParameterFamily:
+    """Serve a coefficient family of systems from one generic member.
+
+    Parameters
+    ----------
+    name:
+        Label for logs and service routing.
+    solver:
+        The solve callable, ``solver(system, **kwargs) -> SolveReport``;
+        :func:`~repro.tracking.solver.solve_system` by default.  Warm
+        serves pass ``start=`` to it, so any solver taking the solver's
+        keyword surface works (the sharded service's does).
+    **defaults:
+        Keyword arguments merged under every solve's overrides -- e.g. a
+        shared ``escalation=`` or ``deduplication_tolerance=``.
+    """
+
+    def __init__(self, name: str = "family",
+                 solver: Optional[Callable[..., SolveReport]] = None,
+                 **defaults):
+        self.name = name
+        self._solver = solver if solver is not None else solve_system
+        self._defaults = dict(defaults)
+        self._lock = threading.Lock()
+        self._member_report: Optional[SolveReport] = None
+        self._member_start: Optional[GenericMemberStart] = None
+        self._member_support = None
+        self._cold_solves = 0
+        self._warm_serves = 0
+
+    # -- observability ---------------------------------------------------
+    @property
+    def member(self) -> Optional[SolveReport]:
+        """The adopted generic member's report; ``None`` before first solve."""
+        with self._lock:
+            return self._member_report
+
+    def stats(self) -> Dict[str, int]:
+        """``{"cold_solves": ..., "warm_serves": ...}`` so far."""
+        with self._lock:
+            return {"cold_solves": self._cold_solves,
+                    "warm_serves": self._warm_serves}
+
+    # -- the serving protocol --------------------------------------------
+    def _check_member_covers(self, target: PolynomialSystem) -> None:
+        """A warm serve is only sound when the member is generic for the
+        target: same dimension, and every target monomial already present
+        in the member (a member blind to a target term is not a generic
+        family point -- its root count may undercount the target's)."""
+        member = self._member_report.system
+        if target.dimension != member.dimension:
+            raise ConfigurationError(
+                f"family {self.name!r} has dimension {member.dimension}, "
+                f"target has {target.dimension}")
+        for row, (member_row, target_row) in enumerate(
+                zip(self._member_support, _support_rows(target))):
+            extra = target_row - member_row
+            if extra:
+                raise ConfigurationError(
+                    f"target row {row} carries {len(extra)} monomial(s) "
+                    f"absent from family {self.name!r}'s generic member; "
+                    "solve it cold (it is outside this coefficient family)")
+
+    def solve(self, target: PolynomialSystem, **overrides) -> SolveReport:
+        """Solve ``target``: cold on first call, member-seeded after.
+
+        The first call runs the injected solver with its default start
+        strategy and adopts the target as the generic member (only if it
+        produced at least one solution -- a rootless cold solve is not a
+        usable seed, and the next call retries cold).  Later calls check
+        the target against the member's support and serve it through a
+        :class:`~repro.tracking.start_systems.GenericMemberStart`.
+        """
+        kwargs = {**self._defaults, **overrides}
+        with self._lock:
+            if self._member_report is None:
+                report = self._solver(target, **kwargs)
+                self._cold_solves += 1
+                if report.solutions:
+                    self._member_report = report
+                    self._member_start = GenericMemberStart.from_report(report)
+                    self._member_support = _support_rows(report.system)
+                return report
+            start = self._member_start
+        self._check_member_covers(target)
+        report = self._solver(target, start=start, **kwargs)
+        with self._lock:
+            self._warm_serves += 1
+        return report

@@ -6,7 +6,11 @@ polynomial systems" and the evaluation/differentiation kernels are the
 computational engine inside them.  :func:`solve_system` wires the pieces of
 :mod:`repro.tracking` together the way PHCpack-style blackbox solvers do:
 
-1. build the total-degree start system and its known solutions;
+1. prepare a start system with known solutions through a pluggable
+   :class:`~repro.tracking.start_systems.StartStrategy` (the classical
+   total-degree construction by default; diagonal binomial and
+   generic-member parameter-homotopy starts track fewer paths on the
+   targets that support them);
 2. construct the gamma-trick homotopy from the start system to the target;
 3. track every path (optionally only a sample of them) -- through the
    structure-of-arrays :class:`~repro.tracking.batch_tracker.BatchTracker`
@@ -36,9 +40,10 @@ from ..errors import ConfigurationError
 from ..multiprec.backend import backend_for_context
 from ..multiprec.numeric import DOUBLE, DOUBLE_DOUBLE, QUAD_DOUBLE, NumericContext
 from ..polynomials.system import PolynomialSystem
+from .escalation import RungOutcome, run_escalation_ladder
 from .homotopy import Homotopy
 from .quality_up import affordable_precision
-from .start_systems import sample_start_solutions, start_solutions, total_degree, total_degree_start_system
+from .start_systems import (StartStrategy, TotalDegreeStart, total_degree)
 from .tracker import PathResult, PathTracker, TrackerOptions
 
 __all__ = ["EscalationPolicy", "Solution", "SolveReport",
@@ -194,6 +199,11 @@ class SolveReport:
     shard-rung tasks had to be rescheduled after a worker crash or
     timeout, and ``resumed_after_crash`` how many of those reschedules
     continued from persisted checkpoints instead of cold-restarting.
+
+    ``start_strategy`` names the :class:`~repro.tracking.start_systems.
+    StartStrategy` that produced the start system -- ``"total-degree"``
+    unless a ``start=`` was passed -- so serving logs show which start a
+    result (and its ``paths_tracked``) came from.
     """
 
     system: PolynomialSystem
@@ -213,6 +223,7 @@ class SolveReport:
     shards: int = 1
     worker_retries: int = 0
     resumed_after_crash: int = 0
+    start_strategy: str = "total-degree"
 
     @property
     def success_rate(self) -> float:
@@ -470,13 +481,26 @@ def solve_system(system: PolynomialSystem, *,
                  deduplication_tolerance: float = 1e-6,
                  seed: Optional[int] = 0,
                  batch_size: Optional[int] = None,
-                 escalation: Optional[EscalationPolicy] = None) -> SolveReport:
-    """Find isolated solutions of ``system`` by total-degree homotopy continuation.
+                 escalation: Optional[EscalationPolicy] = None,
+                 start: Optional[StartStrategy] = None) -> SolveReport:
+    """Find isolated solutions of ``system`` by homotopy continuation.
 
     Parameters
     ----------
     system:
         The square target system ``f(x) = 0``.
+    start:
+        The :class:`~repro.tracking.start_systems.StartStrategy` that
+        builds the start system and its solutions.  Default
+        :class:`~repro.tracking.start_systems.TotalDegreeStart` -- the
+        classical Bezout construction, bit-for-bit the historical
+        behaviour.  :class:`~repro.tracking.start_systems.DiagonalStart`
+        tracks only the diagonal-degree product on targets with dominant
+        diagonal terms;
+        :class:`~repro.tracking.start_systems.GenericMemberStart` seeds
+        from a solved family member (see
+        :class:`~repro.tracking.parameter.ParameterFamily`).  The chosen
+        strategy is recorded in :attr:`SolveReport.start_strategy`.
     context:
         Working arithmetic for evaluation, linear algebra and tracking.
         Ignored when ``escalation`` is given (the ladder's first rung is the
@@ -525,13 +549,15 @@ def solve_system(system: PolynomialSystem, *,
         Distinct solutions with residuals and multiplicities, plus failures
         and the per-arithmetic path accounting.
     """
-    start_system = total_degree_start_system(system)
+    strategy = start if start is not None else TotalDegreeStart()
+    plan = strategy.prepare(system)
+    start_system = plan.start_system
     bezout = total_degree(system)
 
-    if max_paths is not None and max_paths < bezout:
-        starts = sample_start_solutions(system, max_paths, seed=seed)
+    if max_paths is not None and max_paths < plan.path_count:
+        starts = plan.sample_solutions(max_paths, seed=seed)
     else:
-        starts = list(start_solutions(system))
+        starts = list(plan.solutions())
 
     ladder = list(escalation.ladder) if escalation is not None else [context]
 
@@ -560,20 +586,7 @@ def solve_system(system: PolynomialSystem, *,
     else:
         exposed = (start_system, system)
 
-    solved: Dict[int, PathResult] = {}
-    still_failing: Dict[int, PathResult] = {}
-    paths_by_context: Dict[str, int] = {}
-    converged_by_context: Dict[str, int] = {}
-    resumed_by_context: Dict[str, int] = {}
-    restarted_by_context: Dict[str, int] = {}
-    resume_t_by_context: Dict[str, List[float]] = {}
-    endgame_skips_by_context: Dict[str, int] = {}
     degradations: List[str] = []
-    recovered = 0
-    pending: List[Tuple[int, Sequence]] = list(enumerate(starts))
-    #: last checkpoint of every path that has been through the batched
-    #: engine, keyed by path index -- the state a wider rung resumes from.
-    checkpoints_by_index: Dict[int, object] = {}
     warm = escalation is not None and escalation.warm_restart
 
     # The factory's evaluators are built in one fixed arithmetic, so the
@@ -581,9 +594,9 @@ def solve_system(system: PolynomialSystem, *,
     # multi-rung fallback rebuilds CPU reference evaluators per rung.
     fallback_evaluators = probe_evaluators if len(ladder) == 1 else None
 
-    for level, rung in enumerate(ladder):
-        if not pending:
-            break
+    def run_rung(level: int, rung: NumericContext,
+                 pending: List[Tuple[int, Sequence]],
+                 checkpoints_by_index: Dict[int, object]) -> RungOutcome:
         # Warm-restart the residue from its checkpoints when the rung can
         # take the batched route AND every pending path has a checkpoint
         # (a scalar-fallback rung leaves none).  When either leg fails the
@@ -612,37 +625,20 @@ def solve_system(system: PolynomialSystem, *,
             resume_from=resume,
             skip_certified_endgame=(resume is not None
                                     and escalation.residual_aware))
-        paths_by_context[rung.name] = len(pending)
-        converged_by_context[rung.name] = sum(1 for r in results if r.success)
-        endgame_skips_by_context[rung.name] = endgame_skips
         # resume is only ever passed down the batched route (which always
         # returns checkpoints), so the resumed accounting follows the route
         # actually taken.
+        resumed_mid_ts = None
         if resume is not None and checkpoints is not None:
-            mid_path = [cp.t for cp in resume if cp.resumes_mid_path]
-            resumed_by_context[rung.name] = len(mid_path)
-            restarted_by_context[rung.name] = len(resume) - len(mid_path)
-            resume_t_by_context[rung.name] = mid_path
-        else:
-            resumed_by_context[rung.name] = 0
-            restarted_by_context[rung.name] = len(pending)
-            resume_t_by_context[rung.name] = []
-        next_pending: List[Tuple[int, Sequence]] = []
-        for position, ((index, start), result) in enumerate(zip(pending, results)):
-            if checkpoints is not None:
-                checkpoints_by_index[index] = checkpoints[position]
-            if result.success:
-                solved[index] = result
-                if level > 0:
-                    recovered += 1
-                    still_failing.pop(index, None)
-            else:
-                still_failing[index] = result
-                next_pending.append((index, start))
-        pending = next_pending
+            resumed_mid_ts = [cp.t for cp in resume if cp.resumes_mid_path]
+        return RungOutcome(results=results, checkpoints=checkpoints,
+                           endgame_skips=endgame_skips,
+                           resumed_mid_ts=resumed_mid_ts)
 
-    converged = [solved[i] for i in sorted(solved)]
-    failures = [still_failing[i] for i in sorted(still_failing)]
+    state = run_escalation_ladder(ladder, starts, run_rung)
+
+    converged = state.converged_results()
+    failures = state.failed_results()
 
     final_context = ladder[-1] if escalation is not None else context
     solutions = _deduplicate(converged, final_context, deduplication_tolerance)
@@ -653,12 +649,13 @@ def solve_system(system: PolynomialSystem, *,
         paths_converged=len(converged),
         solutions=solutions,
         failures=failures,
-        paths_by_context=paths_by_context,
-        converged_by_context=converged_by_context,
-        recovered_by_escalation=recovered,
-        resumed_by_context=resumed_by_context,
-        restarted_by_context=restarted_by_context,
-        resume_t_by_context=resume_t_by_context,
-        endgame_skips_by_context=endgame_skips_by_context,
+        paths_by_context=state.paths_by_context,
+        converged_by_context=state.converged_by_context,
+        recovered_by_escalation=state.recovered,
+        resumed_by_context=state.resumed_by_context,
+        restarted_by_context=state.restarted_by_context,
+        resume_t_by_context=state.resume_t_by_context,
+        endgame_skips_by_context=state.endgame_skips_by_context,
         degradations=degradations,
+        start_strategy=plan.strategy,
     )

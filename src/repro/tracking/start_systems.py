@@ -1,4 +1,4 @@
-"""Total-degree start systems for polynomial homotopies.
+"""Start-system strategies for polynomial homotopies.
 
 Homotopy continuation deforms an easy *start system* ``g(x) = 0`` whose
 solutions are known into the *target system* ``f(x) = 0``.  The classical
@@ -6,17 +6,33 @@ choice is the total-degree start system
 
 .. math::  g_i(x) = x_i^{d_i} - 1, \\qquad d_i = \\deg f_i,
 
-whose solutions are all combinations of the ``d_i``-th roots of unity.  This
-module builds that system in the sparse representation used everywhere else
-and enumerates (or samples) its solutions, which seed the path tracker in the
-examples and the Newton/tracking benchmarks.
+whose solutions are all combinations of the ``d_i``-th roots of unity.
+Since the paper's cost model is "work = paths tracked x cost per path",
+the start system *is* the path-count knob, so the solve pipeline accepts a
+pluggable :class:`StartStrategy`:
+
+* :class:`TotalDegreeStart` -- the Bezout bound, bit-for-bit the classical
+  construction this module has always built (and the default everywhere);
+* :class:`DiagonalStart` -- random binomial rows ``c_i x_i^{e_i} - b_i``
+  matched to the target's diagonal structure; on triangular-dominated
+  targets the path count ``prod e_i`` undershoots the Bezout product;
+* :class:`GenericMemberStart` -- seed from a previously solved member of
+  the same coefficient family (the parameter-homotopy serving mode of
+  :mod:`repro.tracking.parameter`).
+
+A strategy's :meth:`~StartStrategy.prepare` returns a :class:`StartPlan`
+carrying the start system, the declared path count, and the solution
+enumerator/sampler the solver draws from.  The original module-level
+functions remain for the total-degree case and the benchmarks built on it.
 """
 
 from __future__ import annotations
 
 import cmath
 import itertools
-from typing import Iterator, List, Optional, Sequence
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,11 +42,22 @@ from ..polynomials.polynomial import Polynomial
 from ..polynomials.system import PolynomialSystem
 
 __all__ = [
+    "DiagonalStart",
+    "GenericMemberStart",
+    "StartPlan",
+    "StartStrategy",
+    "TotalDegreeStart",
     "total_degree_start_system",
     "start_solutions",
     "sample_start_solutions",
     "total_degree",
 ]
+
+#: Bezout numbers up to this bound are drawn without replacement via
+#: mixed-radix index decoding; beyond it the sampler falls back to
+#: rejection (whose expected re-roll count is harmless when the requested
+#: ``count`` is a vanishing fraction of the index space).
+_ENUMERABLE_LIMIT = 1 << 20
 
 
 def total_degree(system: PolynomialSystem) -> int:
@@ -67,6 +94,40 @@ def start_solutions(system: PolynomialSystem) -> Iterator[List[complex]]:
         yield list(combination)
 
 
+def _mixed_radix(index: int, degrees: Sequence[int]) -> tuple:
+    """Decode a flat index into per-variable digits (last digit fastest)."""
+    digits = []
+    for d in reversed(degrees):
+        digits.append(index % d)
+        index //= d
+    return tuple(reversed(digits))
+
+
+def _sample_indices(degrees: Sequence[int], bezout: int, count: int,
+                    rng: np.random.Generator) -> List[tuple]:
+    """``count`` distinct mixed-radix index tuples over ``degrees``.
+
+    Small index spaces are drawn without replacement in one shot -- the
+    rejection loop degenerates as ``count`` approaches the Bezout number
+    (a near-full draw re-rolls already-chosen tuples almost every try, and
+    ``count == bezout`` needs a coupon-collector ``O(B log B)`` rolls).
+    Only the huge case, where enumeration is off the table and collisions
+    are vanishingly rare, keeps rejection sampling.
+    """
+    if bezout <= _ENUMERABLE_LIMIT:
+        picks = rng.choice(bezout, size=count, replace=False)
+        return [_mixed_radix(int(p), degrees) for p in picks]
+    chosen = set()
+    indices: List[tuple] = []
+    while len(indices) < count:
+        candidate = tuple(int(rng.integers(0, d)) for d in degrees)
+        if candidate in chosen:
+            continue
+        chosen.add(candidate)
+        indices.append(candidate)
+    return indices
+
+
 def sample_start_solutions(system: PolynomialSystem, count: int,
                            seed: Optional[int] = None) -> List[List[complex]]:
     """Draw ``count`` distinct start solutions without enumerating all of them."""
@@ -78,15 +139,257 @@ def sample_start_solutions(system: PolynomialSystem, count: int,
         bezout *= d
     count = min(count, bezout)
     rng = np.random.default_rng(seed)
+    return [
+        [cmath.exp(2j * cmath.pi * j / d) for j, d in zip(indices, degrees)]
+        for indices in _sample_indices(degrees, bezout, count, rng)
+    ]
 
-    chosen = set()
-    solutions: List[List[complex]] = []
-    while len(solutions) < count:
-        indices = tuple(int(rng.integers(0, d)) for d in degrees)
-        if indices in chosen:
-            continue
-        chosen.add(indices)
-        solutions.append([
-            cmath.exp(2j * cmath.pi * j / d) for j, d in zip(indices, degrees)
-        ])
-    return solutions
+
+@dataclass(frozen=True)
+class StartPlan:
+    """A prepared start configuration for one target system.
+
+    What a :class:`StartStrategy` hands the solver: the start system ``g``,
+    the number of paths the homotopy will track, and callables producing
+    the start solutions (all of them, or a seeded distinct sample).
+    """
+
+    strategy: str
+    start_system: PolynomialSystem
+    path_count: int
+    enumerator: Callable[[], Iterator[List[complex]]] = field(repr=False)
+    sampler: Callable[[int, Optional[int]], List[List[complex]]] = \
+        field(repr=False)
+
+    def solutions(self) -> Iterator[List[complex]]:
+        """Iterate over every start solution (``path_count`` of them)."""
+        return self.enumerator()
+
+    def sample_solutions(self, count: int,
+                         seed: Optional[int] = None) -> List[List[complex]]:
+        """``min(count, path_count)`` distinct start solutions."""
+        if count < 1:
+            raise ConfigurationError("count must be at least 1")
+        return self.sampler(count, seed)
+
+
+class StartStrategy:
+    """Protocol for pluggable start systems.
+
+    A strategy inspects the target and returns a :class:`StartPlan`; it
+    must raise :class:`~repro.errors.ConfigurationError` when the target's
+    structure does not support it (the solver does not second-guess a
+    prepared plan).  ``name`` is recorded in the
+    :class:`~repro.tracking.solver.SolveReport` so serving logs show which
+    start produced a result.
+    """
+
+    name: str = "abstract"
+
+    def prepare(self, target: PolynomialSystem) -> StartPlan:
+        raise NotImplementedError
+
+
+class TotalDegreeStart(StartStrategy):
+    """The classical Bezout start ``x_i^{d_i} - 1`` (the default).
+
+    Reproduces :func:`total_degree_start_system` / :func:`start_solutions`
+    exactly -- same construction, same enumeration order -- so a solve
+    without ``start=`` is bit-for-bit the historical pipeline.
+    """
+
+    name = "total-degree"
+
+    def prepare(self, target: PolynomialSystem) -> StartPlan:
+        return StartPlan(
+            strategy=self.name,
+            start_system=total_degree_start_system(target),
+            path_count=total_degree(target),
+            enumerator=lambda: start_solutions(target),
+            sampler=lambda count, seed=None:
+                sample_start_solutions(target, count, seed),
+        )
+
+
+def _roots_of(value: complex, degree: int) -> List[complex]:
+    """All ``degree``-th roots of ``value`` (principal root times unity)."""
+    base = value ** (1.0 / degree) if degree > 1 else value
+    return [base * cmath.exp(2j * cmath.pi * k / degree)
+            for k in range(degree)]
+
+
+def _binomial_start_plan(name: str, degrees: Sequence[int],
+                         lead_coefficients: Sequence[complex],
+                         constants: Sequence[complex],
+                         dimension: int) -> StartPlan:
+    """A :class:`StartPlan` for the binomial rows ``c_i x_i^{e_i} - b_i``."""
+    polys = []
+    for i, (e, c, b) in enumerate(zip(degrees, lead_coefficients, constants)):
+        polys.append(Polynomial([(c, Monomial((i,), (e,))),
+                                 (-b, Monomial((), ()))]))
+    start_system = PolynomialSystem(polys, dimension=dimension)
+    roots_per_variable = [
+        _roots_of(b / c, e)
+        for e, c, b in zip(degrees, lead_coefficients, constants)
+    ]
+    path_count = 1
+    for e in degrees:
+        path_count *= e
+
+    def enumerate_solutions() -> Iterator[List[complex]]:
+        for combination in itertools.product(*roots_per_variable):
+            yield list(combination)
+
+    def sample(count: int, seed: Optional[int] = None) -> List[List[complex]]:
+        count = min(count, path_count)
+        rng = np.random.default_rng(seed)
+        return [
+            [roots[j] for j, roots in zip(indices, roots_per_variable)]
+            for indices in _sample_indices(degrees, path_count, count, rng)
+        ]
+
+    return StartPlan(strategy=name, start_system=start_system,
+                     path_count=path_count, enumerator=enumerate_solutions,
+                     sampler=sample)
+
+
+def _diagonal_degrees(target: PolynomialSystem) -> List[int]:
+    """The per-row diagonal degrees ``e_i``, or raise when unsound.
+
+    Row ``i`` must contain the pure monomial ``x_i^{e_i}`` with ``e_i``
+    the row's maximal ``x_i``-degree (so the binomial homotopy keeps a
+    non-vanishing ``x_i^{e_i}`` leading coefficient for every ``t``), and
+    the rows must *jointly* guarantee that no finite root escapes the
+    ``prod e_i`` count.  Two shapes do:
+
+    * **dense-dominated** -- in every row the diagonal term is the unique
+      monomial of top total degree (then ``e_i = deg f_i``, the top-degree
+      part of the homotopy only vanishes at the origin, and the count is
+      exactly the Bezout product); or
+    * **triangular-dominated** -- every row ``i`` only involves variables
+      ``x_0 .. x_i`` (then back-substitution makes each row a univariate
+      of degree exactly ``e_i`` at every ``t``, for ``prod e_i`` finite
+      solutions along the whole homotopy, *below* the Bezout product when
+      cross terms in earlier variables carry higher degree).
+
+    Mixing the two row shapes is rejected: a dense row referencing later
+    variables breaks the back-substitution argument, and then paths can
+    enter from infinity at ``t > 0`` and finite roots may be missed.
+    """
+    degrees: List[int] = []
+    dense = True
+    triangular = True
+    for i, poly in enumerate(target):
+        pure_exponent = 0
+        others_x_i = 0
+        others_top = 0
+        for _, mono in poly.terms:
+            if mono.positions == (i,):
+                pure_exponent = max(pure_exponent, mono.exponents[0])
+                continue
+            for position, exponent in zip(mono.positions, mono.exponents):
+                if position == i:
+                    others_x_i = max(others_x_i, exponent)
+                if position > i:
+                    triangular = False
+            others_top = max(others_top, mono.total_degree)
+        if pure_exponent < 1 or pure_exponent <= others_x_i:
+            raise ConfigurationError(
+                f"diagonal start needs row {i} to carry a pure monomial "
+                f"x_{i}^e strictly dominating the row's x_{i}-degree; got "
+                f"pure degree {pure_exponent} against x_{i}-degree "
+                f"{others_x_i} elsewhere in the row")
+        if pure_exponent <= others_top:
+            dense = False
+        degrees.append(pure_exponent)
+    if not (dense or triangular):
+        raise ConfigurationError(
+            "diagonal start is only sound when every row's diagonal term is "
+            "its unique top-total-degree monomial, or the system is "
+            "triangular (row i only involves x_0 .. x_i); this target is "
+            "neither, and a binomial homotopy could miss finite roots")
+    return degrees
+
+
+class DiagonalStart(StartStrategy):
+    """Binomial start ``c_i x_i^{e_i} - b_i`` from diagonal leading terms.
+
+    ``e_i`` is the target's diagonal degree (see the soundness contract on
+    the structure check) and ``c_i, b_i`` are seeded random unit-modulus
+    coefficients, so the start solutions -- scaled roots of unity -- are
+    generic.  The path count ``prod e_i`` equals the Bezout product on
+    dense-dominated targets (the random-sparse/irregular generators) and
+    genuinely undershoots it on triangular-dominated ones (the
+    ``triangular_sparse_system`` family), which is the whole point: fewer
+    paths, same deduplicated solution set.
+    """
+
+    name = "diagonal"
+
+    def __init__(self, seed: int = 17):
+        self.seed = seed
+
+    def prepare(self, target: PolynomialSystem) -> StartPlan:
+        degrees = _diagonal_degrees(target)
+        rng = np.random.default_rng(self.seed)
+        angles = rng.uniform(0.0, 2.0 * math.pi, size=2 * target.dimension)
+        lead = [cmath.exp(1j * a) for a in angles[:target.dimension]]
+        constants = [cmath.exp(1j * a) for a in angles[target.dimension:]]
+        return _binomial_start_plan(self.name, degrees, lead, constants,
+                                    target.dimension)
+
+
+class GenericMemberStart(StartStrategy):
+    """Seed from the solved generic member of a coefficient family.
+
+    Parameter homotopy: when ``target`` shares its monomial support with a
+    previously solved ``member``, the member's solutions are valid start
+    points and the path count is the member's *root* count -- usually far
+    below the Bezout bound, with short paths on top (the deformation only
+    has to move the coefficients, not collapse roots of unity onto the
+    variety).  Built either directly from a solution list or from a
+    finished report via :meth:`from_report`.
+    """
+
+    name = "generic-member"
+
+    def __init__(self, member: PolynomialSystem,
+                 solutions: Sequence[Sequence[complex]]):
+        if not solutions:
+            raise ConfigurationError(
+                "a generic-member start needs at least one member solution")
+        points = [list(complex(x) for x in point) for point in solutions]
+        for point in points:
+            if len(point) != member.dimension:
+                raise ConfigurationError(
+                    f"member solution of length {len(point)} does not match "
+                    f"the member system dimension {member.dimension}")
+        self.member = member
+        self.member_solutions = points
+
+    @classmethod
+    def from_report(cls, report) -> "GenericMemberStart":
+        """Build from a :class:`~repro.tracking.solver.SolveReport`."""
+        return cls(report.system,
+                   [list(s.point) for s in report.solutions])
+
+    def prepare(self, target: PolynomialSystem) -> StartPlan:
+        if target.dimension != self.member.dimension:
+            raise ConfigurationError(
+                f"family member has dimension {self.member.dimension}, "
+                f"target has {target.dimension}")
+        points = self.member_solutions
+
+        def enumerate_solutions() -> Iterator[List[complex]]:
+            for point in points:
+                yield list(point)
+
+        def sample(count: int, seed: Optional[int] = None) -> List[List[complex]]:
+            count = min(count, len(points))
+            rng = np.random.default_rng(seed)
+            picks = rng.choice(len(points), size=count, replace=False)
+            return [list(points[int(p)]) for p in picks]
+
+        return StartPlan(strategy=self.name, start_system=self.member,
+                         path_count=len(points),
+                         enumerator=enumerate_solutions, sampler=sample)

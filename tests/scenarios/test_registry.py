@@ -27,7 +27,11 @@ from repro.polynomials import (
     katsura_root_count,
     noon_root_count,
 )
-from repro.tracking.start_systems import total_degree
+from repro.tracking.start_systems import (
+    DiagonalStart,
+    TotalDegreeStart,
+    total_degree,
+)
 
 
 class TestRegistryShape:
@@ -100,6 +104,66 @@ class TestDeclaredKnobs:
             payload = scenario.as_dict()
             assert payload["name"] == scenario.name
             assert None not in payload.values()
+
+    def test_as_dict_declares_the_start_strategy(self):
+        for scenario in SCENARIOS:
+            payload = scenario.as_dict()
+            assert payload["start_strategy"] == scenario.start_strategy
+            assert payload["start_paths"] == scenario.start_paths
+
+
+class TestStartStrategyDeclarations:
+    """The registry's recommended starts are promises the bench sweep and
+    the serving layer act on: the declared strategy must actually accept
+    the built system and track exactly the declared number of paths."""
+
+    def test_every_strategy_name_is_known(self):
+        assert {s.start_strategy for s in SCENARIOS} <= \
+            {"total-degree", "diagonal"}
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [s for s in SCENARIOS if s.start_strategy == "diagonal"],
+        ids=lambda s: s.name)
+    def test_diagonal_scenarios_track_declared_path_count(self, scenario):
+        plan = DiagonalStart().prepare(scenario.build_system())
+        assert plan.strategy == "diagonal"
+        assert plan.path_count == scenario.start_paths
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [s for s in SCENARIOS
+         if s.family in ("random-sparse", "irregular")],
+        ids=lambda s: s.name)
+    def test_diagonal_dominated_families_match_bezout(self, scenario):
+        """Dense diagonal-dominated rows: the diagonal degrees ARE the
+        total degrees, so the binomial start saves nothing on path count
+        (it still buys cheap start solutions)."""
+        plan = DiagonalStart().prepare(scenario.build_system())
+        assert plan.path_count == scenario.bezout_number == \
+            scenario.start_paths
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [s for s in SCENARIOS if s.family == "triangular"],
+        ids=lambda s: s.name)
+    def test_triangular_family_beats_bezout(self, scenario):
+        """The triangular chain is where the diagonal start pays: its
+        declared path count is the product of the diagonal degrees,
+        strictly below the Bezout bound."""
+        plan = DiagonalStart().prepare(scenario.build_system())
+        assert plan.path_count == scenario.start_paths
+        assert plan.path_count < scenario.bezout_number
+        assert plan.path_count == scenario.known_root_count
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [s for s in SCENARIOS if s.start_strategy == "total-degree"],
+        ids=lambda s: s.name)
+    def test_total_degree_scenarios_declare_bezout_paths(self, scenario):
+        plan = TotalDegreeStart().prepare(scenario.build_system())
+        assert scenario.start_paths == scenario.bezout_number
+        assert plan.path_count == scenario.bezout_number
 
 
 class TestLookup:

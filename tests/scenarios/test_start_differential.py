@@ -1,0 +1,101 @@
+"""Start-strategy differential: every start finds the same variety.
+
+A start system is an *accelerator*, never an answer-changer: whatever
+strategy seeds the homotopy, the deduplicated solution set must be the
+one total-degree continuation finds.  Tier-1 pins that on one sparse
+scenario and the triangular showcase (where the diagonal start tracks
+3x fewer paths); the full registry sweep runs under ``-m
+scenario_matrix``.  The generic-member leg closes the parameter-homotopy
+loop: a warm serve from a solved family member reproduces a cold solve
+of the perturbed target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scenarios import SCENARIOS, get_scenario
+from repro.polynomials import katsura_system, perturb_coefficients
+from repro.tracking import (
+    DiagonalStart,
+    ParameterFamily,
+    TotalDegreeStart,
+    TrackerOptions,
+    solve_system,
+)
+
+#: Tolerance for matching two solves' deduplicated roots; the two runs
+#: approach each root along different paths, so demand agreement well
+#: above the endgame tolerance but far below root separation.
+MATCH_TOLERANCE = 1e-6
+
+OPTIONS = TrackerOptions(end_tolerance=1e-10, end_iterations=12)
+
+DIAGONAL = [s for s in SCENARIOS if s.start_strategy == "diagonal"]
+
+
+def solution_set(report, digits=8):
+    roots = []
+    for solution in report.solutions:
+        point = solution.as_complex()
+        roots.append(tuple((round(z.real, digits), round(z.imag, digits))
+                           for z in point))
+    return sorted(roots)
+
+
+def assert_same_roots(left_report, right_report):
+    left = solution_set(left_report)
+    right = solution_set(right_report)
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        for (ar, ai), (br, bi) in zip(a, b):
+            assert abs(ar - br) <= MATCH_TOLERANCE
+            assert abs(ai - bi) <= MATCH_TOLERANCE
+
+
+def assert_diagonal_matches_total_degree(scenario):
+    system = scenario.build_system()
+    total = solve_system(system, options=OPTIONS)
+    diagonal = solve_system(system, options=OPTIONS, start=DiagonalStart())
+    assert total.start_strategy == "total-degree"
+    assert diagonal.start_strategy == "diagonal"
+    assert diagonal.paths_tracked == scenario.start_paths
+    assert len(diagonal.solutions) == scenario.known_root_count
+    assert_same_roots(total, diagonal)
+
+
+class TestDiagonalDifferentialTier1:
+    def test_sparse_scenario_same_roots(self):
+        assert_diagonal_matches_total_degree(get_scenario("random-sparse-3"))
+
+    def test_triangular_scenario_same_roots_with_fewer_paths(self):
+        scenario = get_scenario("triangular-3")
+        assert scenario.start_paths < scenario.bezout_number
+        assert_diagonal_matches_total_degree(scenario)
+
+
+@pytest.mark.scenario_matrix
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", DIAGONAL, ids=lambda s: s.name)
+class TestDiagonalDifferentialMatrix:
+    """Every diagonal-recommended registry member, matrix extras included."""
+
+    def test_same_roots(self, scenario):
+        assert_diagonal_matches_total_degree(scenario)
+
+
+class TestGenericMemberDifferential:
+    def test_warm_family_serve_reproduces_a_cold_solve(self):
+        base = katsura_system(3)
+        target = perturb_coefficients(base, scale=1e-2, seed=23)
+        family = ParameterFamily(name="katsura-3", options=OPTIONS)
+        family.solve(base)
+        warm = family.solve(target)
+        cold = solve_system(target, options=OPTIONS)
+        assert warm.start_strategy == "generic-member"
+        assert cold.start_strategy == "total-degree"
+        assert family.stats() == {"cold_solves": 1, "warm_serves": 1}
+        # The member has 8 finite roots == its Bezout number, so the warm
+        # serve tracks the same path count but from adjacent start points.
+        assert len(warm.solutions) == len(cold.solutions)
+        assert_same_roots(cold, warm)

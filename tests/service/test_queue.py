@@ -265,6 +265,79 @@ class TestRateLimiting:
                 service.submit(tiny_system(), client="alice")
 
 
+class TestFamilyRouting:
+    """The family-scoped submit path: jobs naming a family share one
+    :class:`~repro.tracking.parameter.ParameterFamily` around the
+    service's solver -- first job cold, later jobs member-seeded."""
+
+    @staticmethod
+    def family_stub(calls):
+        from repro.tracking import Solution, SolveReport
+
+        def stub(system, **kwargs):
+            calls.append(kwargs)
+            return SolveReport(
+                system=system, bezout_number=2, paths_tracked=2,
+                paths_converged=2,
+                solutions=[Solution(point=(1 + 0j,), residual=0.0),
+                           Solution(point=(-1 + 0j,), residual=0.0)],
+                start_strategy=(kwargs["start"].name if "start" in kwargs
+                                else "total-degree"))
+        return stub
+
+    def test_family_jobs_share_a_member(self):
+        calls = []
+        with SolveService(solver=self.family_stub(calls)) as service:
+            first = service.result(
+                service.submit(tiny_system(), family="quad"), timeout=10)
+            second = service.result(
+                service.submit(tiny_system(), family="quad"), timeout=10)
+        assert first.start_strategy == "total-degree"
+        assert second.start_strategy == "generic-member"
+        assert "start" not in calls[0]
+        assert calls[1]["start"].member is first.system
+
+    def test_distinct_families_do_not_share_members(self):
+        calls = []
+        with SolveService(solver=self.family_stub(calls)) as service:
+            service.result(service.submit(tiny_system(), family="a"),
+                           timeout=10)
+            other = service.result(service.submit(tiny_system(), family="b"),
+                                   timeout=10)
+        assert other.start_strategy == "total-degree"
+        assert service.family_stats("a") == \
+            {"cold_solves": 1, "warm_serves": 0}
+
+    def test_unnamed_jobs_bypass_families(self):
+        calls = []
+        with SolveService(solver=self.family_stub(calls)) as service:
+            service.result(service.submit(tiny_system()), timeout=10)
+            service.result(service.submit(tiny_system()), timeout=10)
+        assert all("start" not in call for call in calls)
+
+    def test_family_stats_survive_the_jobs(self):
+        calls = []
+        with SolveService(solver=self.family_stub(calls)) as service:
+            for _ in range(3):
+                service.result(service.submit(tiny_system(), family="quad"),
+                               timeout=10)
+            assert service.family_stats("quad") == \
+                {"cold_solves": 1, "warm_serves": 2}
+            with pytest.raises(JobNotFoundError):
+                service.family_stats("never-submitted")
+
+    def test_family_solves_merge_service_defaults(self):
+        calls = []
+        with SolveService(solver=self.family_stub(calls),
+                          shards=3) as service:
+            service.result(service.submit(tiny_system(), family="quad"),
+                           timeout=10)
+            service.result(service.submit(tiny_system(), family="quad",
+                                          shards=1), timeout=10)
+        assert calls[0]["shards"] == 3
+        assert calls[1]["shards"] == 1
+
+
 class TestIntegration:
     def test_real_sharded_solve_through_the_queue(self):
         """submit -> poll -> result against the actual process-pool solver."""

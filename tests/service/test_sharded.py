@@ -89,6 +89,21 @@ class TestShardedSmoke:
         assert report.shards == 2  # empty shards are dropped
         assert solution_key(report) == solution_key(solve_system(system))
 
+    def test_sharded_diagonal_start_matches_single_process(self):
+        """``start=`` flows through the shard fan-out: a diagonal start
+        tracks the reduced path count and lands on the same roots."""
+        from repro.polynomials import triangular_sparse_system
+        from repro.tracking import DiagonalStart
+
+        system = triangular_sparse_system(3)
+        reference = solve_system(system, start=DiagonalStart())
+        report = solve_system_sharded(system, shards=2,
+                                      start=DiagonalStart())
+        assert report.start_strategy == "diagonal"
+        assert report.paths_tracked == reference.paths_tracked == 4
+        assert report.bezout_number == 12
+        assert solution_key(report) == solution_key(reference)
+
 
 class TestValidation:
     def test_backendless_rung_is_refused(self):

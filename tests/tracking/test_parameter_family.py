@@ -1,0 +1,139 @@
+"""Tests for parameter-homotopy families (:mod:`repro.tracking.parameter`).
+
+The serving protocol against stub solvers (no real tracking, so these run
+in milliseconds): cold adoption, warm member-seeded serving, the support
+guard, rootless-member retry, and thread-safe adoption.  The real-solve
+differential -- a warm serve reproducing a cold solve's solution set --
+lives in ``tests/scenarios/test_start_differential.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.polynomials import (
+    Polynomial,
+    PolynomialSystem,
+    katsura_system,
+    random_sparse_system,
+)
+from repro.polynomials.generators import perturb_coefficients
+from repro.tracking import ParameterFamily, Solution, SolveReport
+
+
+def make_report(system, roots=1):
+    point = tuple(0j for _ in range(system.dimension))
+    return SolveReport(system=system, bezout_number=8, paths_tracked=8,
+                       paths_converged=roots,
+                       solutions=[Solution(point=point, residual=0.0)
+                                  for _ in range(roots)])
+
+
+class RecordingSolver:
+    def __init__(self, roots=1):
+        self.calls = []
+        self.roots = roots
+
+    def __call__(self, system, **kwargs):
+        self.calls.append(kwargs)
+        return make_report(system, roots=self.roots)
+
+
+class TestServingProtocol:
+    def test_first_solve_is_cold_and_adopts_the_member(self):
+        solver = RecordingSolver()
+        family = ParameterFamily(name="kat", solver=solver)
+        assert family.member is None
+        base = katsura_system(3)
+        report = family.solve(base)
+        assert family.member is report
+        assert "start" not in solver.calls[0]
+        assert family.stats() == {"cold_solves": 1, "warm_serves": 0}
+
+    def test_later_solves_are_member_seeded(self):
+        solver = RecordingSolver()
+        family = ParameterFamily(name="kat", solver=solver)
+        base = katsura_system(3)
+        member = family.solve(base)
+        family.solve(perturb_coefficients(base, seed=2))
+        family.solve(perturb_coefficients(base, seed=3))
+        assert family.stats() == {"cold_solves": 1, "warm_serves": 2}
+        for call in solver.calls[1:]:
+            start = call["start"]
+            assert start.name == "generic-member"
+            assert start.member is member.system
+
+    def test_defaults_merge_under_overrides(self):
+        solver = RecordingSolver()
+        family = ParameterFamily(solver=solver, seed=7, max_paths=4)
+        base = katsura_system(3)
+        family.solve(base)
+        family.solve(base, max_paths=2)
+        assert solver.calls[0] == {"seed": 7, "max_paths": 4}
+        assert solver.calls[1]["seed"] == 7
+        assert solver.calls[1]["max_paths"] == 2
+
+    def test_rootless_cold_solve_is_not_adopted(self):
+        solver = RecordingSolver(roots=0)
+        family = ParameterFamily(solver=solver)
+        base = katsura_system(3)
+        family.solve(base)
+        assert family.member is None
+        solver.roots = 2
+        family.solve(base)  # retries cold, now adoptable
+        assert family.member is not None
+        assert family.stats() == {"cold_solves": 2, "warm_serves": 0}
+        assert all("start" not in call for call in solver.calls)
+
+    def test_dimension_mismatch_is_refused(self):
+        family = ParameterFamily(solver=RecordingSolver())
+        family.solve(katsura_system(3))
+        with pytest.raises(ConfigurationError):
+            family.solve(katsura_system(2))
+
+    def test_foreign_support_is_refused(self):
+        """A target with monomials the member never had is outside the
+        coefficient family -- serving it from the member could silently
+        drop roots."""
+        family = ParameterFamily(name="sparse", solver=RecordingSolver())
+        family.solve(katsura_system(3))
+        with pytest.raises(ConfigurationError, match="sparse"):
+            family.solve(random_sparse_system(4, seed=1))
+
+    def test_dropped_terms_stay_in_family(self):
+        """Coefficients may vanish relative to the member (support subset),
+        that is still the same family."""
+        solver = RecordingSolver()
+        family = ParameterFamily(solver=solver)
+        base = random_sparse_system(3, seed=5)
+        family.solve(base)
+        first = Polynomial(list(base[0].terms)[:-1])
+        assert len(first.terms) < len(base[0].terms)
+        smaller = PolynomialSystem([first] + [base[i] for i in (1, 2)])
+        family.solve(smaller)
+        assert family.stats()["warm_serves"] == 1
+
+    def test_concurrent_first_solves_adopt_exactly_once(self):
+        lock = threading.Lock()
+        calls = []
+
+        def solver(system, **kwargs):
+            with lock:
+                calls.append(kwargs)
+            return make_report(system)
+
+        family = ParameterFamily(solver=solver)
+        base = katsura_system(3)
+        threads = [threading.Thread(target=family.solve, args=(base,))
+                   for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = family.stats()
+        assert stats["cold_solves"] == 1
+        assert stats["warm_serves"] == 5
+        assert sum("start" not in call for call in calls) == 1

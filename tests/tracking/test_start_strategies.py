@@ -1,0 +1,262 @@
+"""Tests for the start-strategy layer (:mod:`repro.tracking.start_systems`).
+
+Three families of promises:
+
+* :class:`TotalDegreeStart` is a *protocol wrapper* around the historical
+  module functions -- same start system, same enumeration order, same
+  samples for the same seed (the default-path bit-for-bit guarantee);
+* :class:`DiagonalStart` only accepts systems where the binomial start is
+  sound (all rows diagonal-dominated, or all rows triangular) and its
+  start solutions actually solve the start system;
+* :class:`GenericMemberStart` validates its member/solution bundle and
+  replays the member's solutions as start points.
+
+Plus the full-draw sampling regression: ``sample_start_solutions`` at
+``count == bezout`` must return every solution without the old rejection
+loop's near-certain-collision degeneration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.polynomials import (
+    Monomial,
+    Polynomial,
+    PolynomialSystem,
+    katsura_system,
+    noon_system,
+    random_sparse_system,
+    speelpenning_product_system,
+    triangular_root_count,
+    triangular_sparse_system,
+)
+from repro.tracking import (
+    DiagonalStart,
+    GenericMemberStart,
+    TotalDegreeStart,
+    sample_start_solutions,
+    solve_system,
+    start_solutions,
+    total_degree,
+    total_degree_start_system,
+)
+
+
+def target_system():
+    """Degrees 2 and 3: Bezout number 6."""
+    p1 = Polynomial([
+        (1 + 0j, Monomial((0,), (2,))),
+        (1 + 0j, Monomial((1,), (1,))),
+        (-3 + 0j, Monomial((), ())),
+    ])
+    p2 = Polynomial([
+        (1 + 0j, Monomial((0, 1), (1, 2))),
+        (-1 + 0j, Monomial((), ())),
+    ])
+    return PolynomialSystem([p1, p2])
+
+
+def residual(system, point):
+    return max(abs(v) for v in system.evaluate(point))
+
+
+def point_set(points):
+    """Order-insensitive, hashable view of a solution list."""
+    return sorted(tuple((z.real, z.imag) for z in point) for point in points)
+
+
+class TestTotalDegreeStart:
+    def test_plan_mirrors_the_module_functions(self):
+        system = target_system()
+        plan = TotalDegreeStart().prepare(system)
+        assert plan.strategy == "total-degree"
+        assert plan.path_count == total_degree(system) == 6
+        assert plan.start_system.polynomials == \
+            total_degree_start_system(system).polynomials
+        assert list(plan.solutions()) == list(start_solutions(system))
+
+    def test_sampling_matches_the_module_sampler(self):
+        system = target_system()
+        plan = TotalDegreeStart().prepare(system)
+        assert plan.sample_solutions(4, seed=9) == \
+            sample_start_solutions(system, 4, seed=9)
+
+    def test_sample_count_validation(self):
+        plan = TotalDegreeStart().prepare(target_system())
+        with pytest.raises(ConfigurationError):
+            plan.sample_solutions(0)
+
+
+class TestFullDrawSampling:
+    """Regression: the rejection sampler degenerated as ``count`` approached
+    the Bezout number (every re-roll almost surely collided).  The
+    mixed-radix sampler draws indices without replacement, so a full draw
+    is exact and instant."""
+
+    def test_full_draw_returns_every_start_solution(self):
+        system = target_system()
+        bezout = total_degree(system)
+        samples = sample_start_solutions(system, bezout, seed=0)
+        assert len(samples) == bezout
+        assert point_set(samples) == point_set(start_solutions(system))
+
+    def test_full_draw_on_a_larger_system(self):
+        system = speelpenning_product_system(3, seed=11)
+        bezout = total_degree(system)
+        samples = sample_start_solutions(system, bezout, seed=1)
+        assert len(samples) == bezout == 27
+        assert len(set(map(tuple, samples))) == bezout
+
+    def test_near_full_draws_stay_distinct(self):
+        system = target_system()
+        bezout = total_degree(system)
+        samples = sample_start_solutions(system, bezout - 1, seed=4)
+        assert len(set(map(tuple, samples))) == bezout - 1
+
+    def test_full_draw_is_still_seed_shuffled(self):
+        system = target_system()
+        a = sample_start_solutions(system, 6, seed=1)
+        b = sample_start_solutions(system, 6, seed=2)
+        assert point_set(a) == point_set(b)
+        assert a != b  # different permutations of the same set
+
+
+class TestDiagonalStart:
+    def test_dense_dominated_rows_match_bezout(self):
+        system = random_sparse_system(3, seed=5)
+        plan = DiagonalStart().prepare(system)
+        assert plan.strategy == "diagonal"
+        assert plan.path_count == total_degree(system)
+
+    def test_triangular_rows_beat_bezout(self):
+        system = triangular_sparse_system(3)
+        plan = DiagonalStart().prepare(system)
+        assert plan.path_count == triangular_root_count(3) == 4
+        assert plan.path_count < total_degree(system) == 12
+
+    def test_start_solutions_solve_the_binomial_start(self):
+        for system in (random_sparse_system(3, seed=5),
+                       triangular_sparse_system(4)):
+            plan = DiagonalStart().prepare(system)
+            points = list(plan.solutions())
+            assert len(points) == plan.path_count
+            for point in points:
+                assert residual(plan.start_system, point) < 1e-12
+
+    def test_samples_are_distinct_start_solutions(self):
+        plan = DiagonalStart().prepare(random_sparse_system(3, seed=5))
+        samples = plan.sample_solutions(5, seed=3)
+        assert len(set(map(tuple, samples))) == 5
+        for point in samples:
+            assert residual(plan.start_system, point) < 1e-12
+
+    def test_deterministic_per_seed(self):
+        system = random_sparse_system(3, seed=5)
+        a = DiagonalStart(seed=17).prepare(system)
+        b = DiagonalStart(seed=17).prepare(system)
+        c = DiagonalStart(seed=18).prepare(system)
+        assert a.start_system.polynomials == b.start_system.polynomials
+        assert a.start_system.polynomials != c.start_system.polynomials
+
+    @pytest.mark.parametrize("system", [katsura_system(3), noon_system(2)],
+                             ids=["katsura-3", "noon-2"])
+    def test_rejects_rows_without_a_dominant_diagonal(self, system):
+        with pytest.raises(ConfigurationError):
+            DiagonalStart().prepare(system)
+
+    def test_rejects_mixed_dense_and_triangular_rows(self):
+        """f0 = x0^2 + x1 is diagonal-dominated, f1 = x1 + x0^3 is only
+        triangular -- mixing the two shapes under-counts the homotopy's
+        solution set (3 finite roots, 2 start paths), so it must be
+        refused, not silently accepted."""
+        mixed = PolynomialSystem([
+            Polynomial([(1 + 0j, Monomial((0,), (2,))),
+                        (1 + 0j, Monomial((1,), (1,)))]),
+            Polynomial([(1 + 0j, Monomial((1,), (1,))),
+                        (1 + 0j, Monomial((0,), (3,)))]),
+        ])
+        with pytest.raises(ConfigurationError):
+            DiagonalStart().prepare(mixed)
+
+    def test_rejects_equal_crossing_degree(self):
+        """A foreign monomial matching the diagonal's x_i-degree would put
+        earlier variables into the univariate leading coefficient -- the
+        dominance must be strict."""
+        system = PolynomialSystem([
+            Polynomial([(1 + 0j, Monomial((0,), (2,))),
+                        (-1 + 0j, Monomial((), ()))]),
+            Polynomial([(1 + 0j, Monomial((1,), (2,))),
+                        (1 + 0j, Monomial((0, 1), (1, 2,))),
+                        (-1 + 0j, Monomial((), ()))]),
+        ])
+        with pytest.raises(ConfigurationError):
+            DiagonalStart().prepare(system)
+
+
+class TestGenericMemberStart:
+    def test_replays_the_member_solutions(self):
+        member = target_system()
+        points = [[1 + 0j, 2 + 0j], [3 + 0j, 4 + 0j]]
+        plan = GenericMemberStart(member, points).prepare(target_system())
+        assert plan.strategy == "generic-member"
+        assert plan.path_count == 2
+        assert list(plan.solutions()) == points
+
+    def test_from_report_round_trips(self):
+        system = katsura_system(2)
+        report = solve_system(system)
+        start = GenericMemberStart.from_report(report)
+        plan = start.prepare(system)
+        assert plan.start_system is report.system
+        assert plan.path_count == len(report.solutions)
+        assert list(plan.solutions()) == \
+            [list(s.point) for s in report.solutions]
+
+    def test_samples_draw_without_replacement(self):
+        points = [[complex(k), complex(-k)] for k in range(6)]
+        plan = GenericMemberStart(target_system(), points).prepare(
+            target_system())
+        samples = plan.sample_solutions(6, seed=0)
+        assert point_set(samples) == point_set(points)
+
+    def test_rejects_empty_solution_lists(self):
+        with pytest.raises(ConfigurationError):
+            GenericMemberStart(target_system(), [])
+
+    def test_rejects_mismatched_solution_length(self):
+        with pytest.raises(ConfigurationError):
+            GenericMemberStart(target_system(), [[1 + 0j]])
+
+    def test_rejects_mismatched_target_dimension(self):
+        start = GenericMemberStart(target_system(), [[1 + 0j, 2 + 0j]])
+        with pytest.raises(ConfigurationError):
+            start.prepare(katsura_system(3))
+
+
+class TestDefaultPathPreservation:
+    """``solve_system`` without ``start=`` must be indistinguishable from
+    an explicit ``TotalDegreeStart`` -- the refactor's bit-for-bit
+    promise on the historical default."""
+
+    def test_explicit_total_degree_is_bit_for_bit_the_default(self):
+        system = katsura_system(2)
+        default = solve_system(system, seed=3)
+        explicit = solve_system(system, start=TotalDegreeStart(), seed=3)
+        assert default.start_strategy == explicit.start_strategy == \
+            "total-degree"
+        assert default.solutions == explicit.solutions
+        assert default.paths_tracked == explicit.paths_tracked
+        assert default.paths_by_context == explicit.paths_by_context
+        assert default.converged_by_context == explicit.converged_by_context
+        assert default.resume_t_by_context == explicit.resume_t_by_context
+        assert [f.status for f in default.failures] == \
+            [f.status for f in explicit.failures]
+
+    def test_diagonal_report_records_its_strategy(self):
+        report = solve_system(triangular_sparse_system(3),
+                              start=DiagonalStart())
+        assert report.start_strategy == "diagonal"
+        assert report.paths_tracked == triangular_root_count(3)
+        assert report.bezout_number == 12

@@ -1,7 +1,7 @@
 """Validate the checked-in ``BENCH_*.json`` benchmark reports.
 
 ``make test-all`` runs this checker over every ``BENCH_*.json`` at the
-repository root.  Four layers of checks keep the perf trajectory honest:
+repository root.  Five layers of checks keep the perf trajectory honest:
 
 1. **hygiene** -- the file parses, is non-empty, and contains no ``NaN`` /
    ``Infinity`` / ``null`` measurement anywhere (an absent or non-finite
@@ -18,7 +18,11 @@ repository root.  Four layers of checks keep the perf trajectory honest:
    per-scenario matrix (>= 4 named scenarios), each entry with the
    declared workload knobs, every identity verdict ``true`` (bit-for-bit
    contracts hold on every shape), and -- where the entry records both --
-   the converged/solution count equal to the classically known root count.
+   the converged/solution count equal to the classically known root count;
+5. **start savings** -- the start-strategy report must show the diagonal
+   start never exceeding the Bezout bound, realising a *strict* path
+   saving on at least one scenario (the triangular family), and the warm
+   family serving beating the cold per-query floor by at least 2x.
 
 Exit status 0 means every report passed; failures are printed per file and
 the exit status is 1, which is what lets the Makefile (and CI) gate on
@@ -49,6 +53,7 @@ REQUIRED_KEYS = {
                             "wall_speedup_vs_baseline_at_batch_64"),
     "BENCH_shard.json": ("rows", "ladder", "all_identical", "paths_total",
                          "scenarios"),
+    "BENCH_start.json": ("scenarios", "family_serving"),
 }
 
 #: Numeric floors the acceptance tests assert (floor layer): dotted path
@@ -66,12 +71,16 @@ FLOORS = {
         "arithmetic_saving_factor": 1.1,
         "warm_vs_cold.warm_restart_saving_factor": 1.0,
     },
+    "BENCH_start.json": {
+        "family_serving.warm_vs_cold_speedup": 2.0,
+    },
 }
 
 #: Exact-value requirements (e.g. the shard crash drill must reproduce the
 #: single-process solver bit for bit).
 EXACT = {
     "BENCH_shard.json": {"all_identical": True},
+    "BENCH_start.json": {"family_serving.identical": True},
 }
 
 #: Scenario layer: minimum number of named scenarios each solve-level
@@ -91,6 +100,9 @@ SCENARIO_REQUIRED_KEYS = {
     "BENCH_eval_plan.json": ("multiplication_saving_factor",
                              "plan_walk_identical", "arena_identical"),
     "BENCH_shard.json": ("solutions", "sharded_solutions", "identical"),
+    "BENCH_start.json": ("total_degree_paths", "total_degree_wall_s",
+                         "diagonal_paths", "diagonal_wall_s", "solutions",
+                         "path_saving_factor", "identical"),
 }
 
 #: Identity verdicts: wherever a scenario entry records one of these keys
@@ -101,6 +113,7 @@ SCENARIO_TRUE_KEYS = ("identical", "plan_walk_identical", "arena_identical")
 SCENARIO_FLOORS = {
     "BENCH_eval_plan.json": {"multiplication_saving_factor": 1.0},
     "BENCH_batch_tracking.json": {"paths_per_second_win": 1.5},
+    "BENCH_start.json": {"path_saving_factor": 1.0},
 }
 
 #: The key that must equal the scenario's classically known root count
@@ -110,6 +123,7 @@ SCENARIO_ROOT_COUNT_KEYS = {
     "BENCH_batch_tracking.json": "converged",
     "BENCH_escalation.json": "paths_converged",
     "BENCH_shard.json": "solutions",
+    "BENCH_start.json": "solutions",
 }
 
 
@@ -174,8 +188,37 @@ def check_scenarios(name: str, report) -> list:
     return errors
 
 
+def check_start_savings(name: str, report) -> list:
+    """The start-savings layer over the start-strategy report: the
+    diagonal start must never exceed the Bezout bound and must realise a
+    strict saving somewhere (otherwise the strategy layer buys nothing)."""
+    errors = []
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict):
+        return []  # the scenario layer already reported this
+    strict = False
+    for scenario_name, entry in scenarios.items():
+        if not isinstance(entry, dict):
+            continue
+        paths = entry.get("diagonal_paths")
+        bezout = entry.get("bezout_number")
+        if not isinstance(paths, int) or not isinstance(bezout, int):
+            continue  # missing keys are the scenario layer's finding
+        if paths > bezout:
+            errors.append(
+                f"{name}: scenarios.{scenario_name}.diagonal_paths = "
+                f"{paths} exceeds the Bezout bound {bezout}")
+        if paths < bezout:
+            strict = True
+    if scenarios and not strict:
+        errors.append(
+            f"{name}: no scenario shows diagonal_paths < bezout_number -- "
+            "the diagonal start realises no strict path saving")
+    return errors
+
+
 def check_report(path: Path) -> list:
-    """Run all three layers over one report; return error strings."""
+    """Run all five layers over one report; return error strings."""
     name = path.name
     errors = []
     try:
@@ -218,6 +261,8 @@ def check_report(path: Path) -> list:
 
     if name in SCENARIO_REQUIRED_KEYS and "scenarios" in report:
         errors.extend(check_scenarios(name, report))
+    if name == "BENCH_start.json":
+        errors.extend(check_start_savings(name, report))
     return errors
 
 
