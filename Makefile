@@ -2,7 +2,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-all test-scenarios docs bench-batch bench-qd bench-eval bench-shard bench-start bench-tables bench-json
+.PHONY: test test-all test-scenarios chaos docs bench-batch bench-qd bench-eval bench-shard bench-start bench-tables bench-json
 
 # Tier-1: the fast suite (pytest.ini deselects @pytest.mark.slow).
 test:
@@ -12,6 +12,14 @@ test:
 # included) through the differential suite.
 test-scenarios:
 	$(PY) -m pytest -q -m scenario_matrix
+
+# Chaos drills: the full fault-injection matrix -- every FaultInjection
+# mode (kill, hang, slow, corrupt-checkpoint, store-io-error) crossed
+# with every checkpoint store backend (memory, file-json, file-npz); each
+# cell must end bit-for-bit identical to the single-process solver or
+# with an explicitly recorded degradation.
+chaos:
+	$(PY) -m pytest -q -m chaos tests/service/test_chaos_matrix.py
 
 # Everything, including tests marked slow, plus the documentation check and
 # the checked-in benchmark-report validation.

@@ -19,7 +19,8 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.bench import run_scenario_shard_bench, run_shard_bench
+from repro.bench import (run_robustness_bench, run_scenario_shard_bench,
+                         run_shard_bench)
 from repro.bench.reporting import format_table
 
 WORKER_COUNTS = (1, 2, 4)
@@ -77,6 +78,32 @@ if __name__ == "__main__":
           "identical": e["identical"]}
          for name, e in report["scenarios"].items()],
         title="scenario matrix (sharded vs single-process)"))
+    # The robustness section: the supervised runtime's fault matrix
+    # (per-mode recovery overhead), the persistent-vs-fresh-pool dispatch
+    # tax, and the best persistent-workers-vs-single-process row.
+    report["robustness"] = robustness = run_robustness_bench()
+    print(format_table(
+        [{"mode": mode, **{k: entry[k] for k in
+          ("wall_s", "overhead_vs_clean", "identical", "degradations",
+           "retries", "recovered")}}
+         for mode, entry in robustness["modes"].items()],
+        title=(f"fault-mode recovery overhead (clean sharded baseline "
+               f"{robustness['clean_wall_s']:.3f} s, "
+               f"{robustness['workers']} persistent workers)")))
+    dispatch = robustness["dispatch"]
+    persistent = robustness["persistent"]
+    print(
+        f"-> dispatch tax ({dispatch['scenario']}): fresh pool "
+        f"{dispatch['fresh_wall_s']:.3f} s vs persistent "
+        f"{dispatch['persistent_wall_s']:.3f} s "
+        f"(x{dispatch['persistent_speedup_vs_fresh']:.2f})\n"
+        f"-> persistent row ({persistent['scenario']}, "
+        f"{persistent['workers']} workers, batch_size "
+        f"{persistent['batch_size']}): single "
+        f"{persistent['single_wall_s']:.3f} s vs persistent "
+        f"{persistent['persistent_wall_s']:.3f} s "
+        f"(x{persistent['speedup_vs_single']:.2f}, beats_single="
+        f"{persistent['beats_single']}, {robustness['cpus']} cpu(s))")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)

@@ -28,3 +28,8 @@ def pytest_configure(config):
         "scenario_matrix: full cross-scenario differential matrix "
         "(slow; select with -m scenario_matrix)"
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: full fault-injection matrix, every mode x store backend "
+        "(slow; select with -m chaos / make chaos)"
+    )

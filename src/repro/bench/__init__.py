@@ -36,7 +36,8 @@ from .scenarios import (
     scenario_names,
     tier1_scenarios,
 )
-from .shard import ShardRow, ShardSummary, run_scenario_shard_bench, run_shard_bench
+from .shard import (ShardRow, ShardSummary, run_robustness_bench,
+                    run_scenario_shard_bench, run_shard_bench)
 from .start_strategies import run_family_serving_bench, run_start_strategy_bench
 from .workloads import (
     EVALUATIONS_PER_RUN,
@@ -71,6 +72,7 @@ __all__ = [
     "run_scenario_escalation_bench",
     "run_scenario_eval_plan_bench",
     "run_family_serving_bench",
+    "run_robustness_bench",
     "run_scenario_shard_bench",
     "scenario_names",
     "tier1_scenarios",

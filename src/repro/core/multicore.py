@@ -104,9 +104,27 @@ def portable_checkpoints(checkpoints: Sequence) -> List[Dict[str, object]]:
 def checkpoints_from_portable(states: Sequence[Dict[str, object]]) -> List:
     """Rebuild :class:`~repro.tracking.batch_tracker.LaneCheckpoint` objects
     from their portable form (inverse of :func:`portable_checkpoints`,
-    bit-for-bit)."""
+    bit-for-bit).
+
+    A state that fails to revive -- missing keys, truncated planes, wrong
+    types -- raises :class:`~repro.errors.CheckpointCorruptError` (a
+    :class:`~repro.errors.ConfigurationError`, e.g. an unknown context
+    name, passes through unchanged): the caller must treat the whole
+    record as poison and restart cold rather than resume from it.
+    """
+    from ..errors import CheckpointCorruptError
     from ..tracking.batch_tracker import LaneCheckpoint  # local: layering
-    return [LaneCheckpoint.from_portable(state) for state in states]
+    revived = []
+    for lane, state in enumerate(states):
+        try:
+            revived.append(LaneCheckpoint.from_portable(state))
+        except ConfigurationError:
+            raise
+        except Exception as exc:
+            raise CheckpointCorruptError(
+                f"portable checkpoint for lane {lane} does not revive "
+                f"({type(exc).__name__}: {exc})") from exc
+    return revived
 
 
 def _evaluate_chunk(chunk, dimension: int, point, context):

@@ -94,6 +94,37 @@ class ShardFailedError(ServiceError):
     """A shard exhausted its bounded retries without completing its rung."""
 
 
+class CheckpointCorruptError(ServiceError):
+    """A persisted checkpoint record could not be decoded.
+
+    Raised by the checkpoint stores (and by the portable-checkpoint
+    revival helpers) when a record is truncated, bit-flipped, or otherwise
+    fails to decode -- the situations a crash between write and
+    ``os.replace`` or shared-storage bit rot produce.  The sharded
+    coordinator catches it on the resume path and falls back to a cold
+    restart of only the affected shard, recording the event in
+    :attr:`SolveReport.degradations` instead of resuming from poison.
+    """
+
+
+class JobCancelledError(ServiceError):
+    """The polled job was cancelled before it started running."""
+
+
+class SolveTimeoutError(ServiceError, TimeoutError):
+    """``result(timeout=...)`` expired before the job finished.
+
+    Carries the job's current state so a late poller can tell "still
+    running" from "lost".  Subclasses :class:`TimeoutError` so generic
+    callers can guard with the built-in exception.
+    """
+
+    def __init__(self, message: str, *, job_id=None, state=None):
+        super().__init__(message)
+        self.job_id = job_id
+        self.state = state
+
+
 class MemoryAccessError(KernelExecutionError):
     """A simulated thread accessed memory out of bounds or uninitialised."""
 

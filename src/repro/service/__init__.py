@@ -5,29 +5,53 @@ The service layer sits on top of the blackbox solver
 
 * :mod:`repro.service.store` -- pluggable persistence for per-shard
   checkpoint state (in-memory, or on-disk JSON/npz);
+* :mod:`repro.service.workerpool` -- :class:`WorkerPool`: persistent,
+  supervised worker processes that cache shipped systems and compiled
+  tracker plans across rungs and solves, beat heartbeats over a pipe, and
+  are respawned (with capped jittered backoff) when they die;
+* :mod:`repro.service.supervisor` -- :class:`Supervisor`: the policy loop
+  over the pool -- heartbeat verdicts (crashed vs hung vs merely slow),
+  per-job deadlines with cooperative cancellation, bounded retries,
+  poison-shard quarantine, work-stealing dispatch, and the in-process
+  fallback when no worker can be spawned;
+* :mod:`repro.service.backoff` -- :class:`BackoffPolicy`, the capped
+  jittered exponential backoff shared by retries and respawns (realised
+  as ``not_before`` timestamps, never a coordinator sleep);
 * :mod:`repro.service.sharded` -- :func:`solve_system_sharded`: partition
-  the path batch into lane shards, run each shard-rung in a process-pool
-  worker, persist checkpoints after every rung, and reschedule crashed or
-  hung workers warm from the store (bounded retries, exponential backoff,
-  optional fault injection for recovery drills);
+  the path batch into lane shards, run each shard-rung on the supervised
+  pool, persist checkpoints after every rung, and reschedule failed
+  shard tasks warm from the store (cold restart when the record is
+  corrupt, with a recorded degradation);
 * :mod:`repro.service.queue` -- :class:`SolveService`, the bounded async
-  job-queue front end (``submit -> job_id``, ``poll``, ``result``).
+  job-queue front end (``submit -> job_id``, ``poll``, ``cancel``,
+  ``result``).
 
 The contract throughout: a sharded solve's distinct solutions are
 bit-for-bit identical to a single-process :func:`~repro.tracking.solver.
-solve_system` on the same seed/gamma -- crash or no crash.
+solve_system` on the same seed/gamma -- crash, hang, or no fault at all
+-- or the report carries an explicit entry in ``degradations`` saying
+exactly what was lost.
 """
 
+from .backoff import BackoffPolicy
 from .queue import JobStatus, SolveService
 from .sharded import FaultInjection, solve_system_sharded
 from .store import CheckpointStore, FileCheckpointStore, InMemoryCheckpointStore
+from .supervisor import RunReport, Supervisor, TaskFailure, TaskOutcome
+from .workerpool import WorkerPool
 
 __all__ = [
+    "BackoffPolicy",
     "CheckpointStore",
     "FaultInjection",
     "FileCheckpointStore",
     "InMemoryCheckpointStore",
     "JobStatus",
+    "RunReport",
     "SolveService",
+    "Supervisor",
+    "TaskFailure",
+    "TaskOutcome",
+    "WorkerPool",
     "solve_system_sharded",
 ]

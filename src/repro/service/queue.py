@@ -29,8 +29,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from ..errors import (JobNotFoundError, QueueFullError, RateLimitedError,
-                      ServiceError)
+from ..errors import (JobCancelledError, JobNotFoundError, QueueFullError,
+                      RateLimitedError, ServiceError, SolveTimeoutError)
 from ..polynomials.system import PolynomialSystem
 from ..tracking.parameter import ParameterFamily
 from ..tracking.solver import SolveReport
@@ -38,11 +38,13 @@ from .sharded import solve_system_sharded
 
 __all__ = ["JobStatus", "SolveService"]
 
-#: Job life cycle: queued -> running -> done | failed.
+#: Job life cycle: queued -> running -> done | failed, or
+#: queued -> cancelled (only not-yet-running jobs can be cancelled).
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+CANCELLED = "cancelled"
 
 
 @dataclass
@@ -86,7 +88,7 @@ class JobStatus:
 
     @property
     def finished(self) -> bool:
-        return self.state in (DONE, FAILED)
+        return self.state in (DONE, FAILED, CANCELLED)
 
 
 class SolveService:
@@ -268,17 +270,52 @@ class SolveService:
         return JobStatus(job_id=job.job_id, state=job.state,
                          report=job.report, error=job.error)
 
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that is still queued (not yet running).
+
+        Returns ``True`` when the job was cancelled, ``False`` when it was
+        already running or terminal -- an in-flight solve is never torn
+        down from here (the sharded runtime owns worker lifecycles); the
+        caller can only decline work that has not started.  A cancelled
+        job keeps its terminal ``cancelled`` state: :meth:`poll` shows it,
+        :meth:`result` raises :class:`~repro.errors.JobCancelledError`.
+
+        Raises
+        ------
+        JobNotFoundError
+            For an id this service never issued.
+        """
+        job = self._job(job_id)
+        with self._lock:
+            if job.state != QUEUED:
+                return False
+            job.state = CANCELLED
+        # The queue still holds the item; the drain thread skips it when
+        # it surfaces (the state flip above is what it checks, under the
+        # same lock, so cancel cannot race a starting solve).
+        job.finished.set()
+        return True
+
     def result(self, job_id: str, timeout: Optional[float] = None
                ) -> SolveReport:
         """Block until the job finishes and return its report.
 
         Re-raises the solve's exception for failed jobs; raises
-        :class:`TimeoutError` when ``timeout`` seconds pass first.
+        :class:`~repro.errors.JobCancelledError` for cancelled jobs; when
+        ``timeout`` seconds pass first, raises
+        :class:`~repro.errors.SolveTimeoutError` (a :class:`TimeoutError`)
+        carrying the job's current state, so a late poller can tell
+        "still running" from "lost".
         """
         job = self._job(job_id)
         if not job.finished.wait(timeout):
-            raise TimeoutError(
-                f"job {job_id!r} did not finish within {timeout} s")
+            raise SolveTimeoutError(
+                f"job {job_id!r} did not finish within {timeout} s "
+                f"(current state: {job.state})",
+                job_id=job_id, state=job.state)
+        if job.state == CANCELLED:
+            raise JobCancelledError(
+                f"job {job_id!r} was cancelled before it ran")
         if job.state == FAILED:
             raise job.error
         return job.report
@@ -290,7 +327,10 @@ class SolveService:
             try:
                 if item is self._stop:
                     return
-                item.state = RUNNING
+                with self._lock:
+                    if item.state == CANCELLED:
+                        continue
+                    item.state = RUNNING
                 try:
                     solve = (self._solver if item.family is None
                              else item.family.solve)

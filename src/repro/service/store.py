@@ -35,7 +35,7 @@ import threading
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from ..errors import ConfigurationError
+from ..errors import CheckpointCorruptError, ConfigurationError
 
 __all__ = ["CheckpointStore", "InMemoryCheckpointStore", "FileCheckpointStore"]
 
@@ -145,6 +145,11 @@ class FileCheckpointStore(CheckpointStore):
     def _path(self, job_id: str, shard: int) -> Path:
         return self._job_dir(job_id) / f"shard-{int(shard)}.{self.codec}"
 
+    def record_path(self, job_id: str, shard: int) -> Path:
+        """The on-disk path of one shard record (for ops tooling and the
+        corruption drills; the file may not exist yet)."""
+        return self._path(job_id, shard)
+
     # -- codec ----------------------------------------------------------
     def _encode(self, state: Dict[str, object]) -> bytes:
         text = json.dumps(state, sort_keys=True)
@@ -177,7 +182,18 @@ class FileCheckpointStore(CheckpointStore):
         path = self._path(job_id, shard)
         if not path.is_file():
             return None
-        return self._decode(path.read_bytes())
+        blob = path.read_bytes()  # an unreadable file surfaces as OSError
+        # A record that *reads* but does not *decode* is corrupt: a crash
+        # between write and ``os.replace`` cannot produce it (writes are
+        # atomic), but shared-storage truncation or bit rot can.  Fail
+        # loud with the typed error so the coordinator cold-restarts the
+        # shard instead of resuming from poison.
+        try:
+            return self._decode(blob)
+        except Exception as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint record {path} is corrupt or truncated "
+                f"({type(exc).__name__}: {exc})") from exc
 
     def shards(self, job_id: str) -> List[int]:
         directory = self._job_dir(job_id)

@@ -199,6 +199,16 @@ class SolveReport:
     shard-rung tasks had to be rescheduled after a worker crash or
     timeout, and ``resumed_after_crash`` how many of those reschedules
     continued from persisted checkpoints instead of cold-restarting.
+    The supervised runtime adds its verdicts: ``quarantined_shards``
+    (shard tasks isolated after repeated worker kills -- their lanes are
+    reported failed, the rest of the solve completes), ``hangs_detected``
+    (workers killed for missed heartbeats), ``deadline_cancels``
+    (cooperative per-job deadline cancellations sent),
+    ``cold_restarts_after_corruption`` (resumes abandoned because the
+    persisted checkpoints failed to decode or read), and
+    ``inprocess_fallbacks`` (shard tasks run inline on the coordinator
+    because no worker could be spawned).  Every one of those verdicts is
+    also described in ``degradations``.
 
     ``start_strategy`` names the :class:`~repro.tracking.start_systems.
     StartStrategy` that produced the start system -- ``"total-degree"``
@@ -223,6 +233,11 @@ class SolveReport:
     shards: int = 1
     worker_retries: int = 0
     resumed_after_crash: int = 0
+    quarantined_shards: List[int] = field(default_factory=list)
+    hangs_detected: int = 0
+    deadline_cancels: int = 0
+    cold_restarts_after_corruption: int = 0
+    inprocess_fallbacks: int = 0
     start_strategy: str = "total-degree"
 
     @property

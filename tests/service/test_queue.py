@@ -12,8 +12,8 @@ import threading
 
 import pytest
 
-from repro.errors import (JobNotFoundError, QueueFullError, RateLimitedError,
-                          ServiceError)
+from repro.errors import (JobCancelledError, JobNotFoundError, QueueFullError,
+                          RateLimitedError, ServiceError, SolveTimeoutError)
 from repro.polynomials import Monomial, Polynomial, PolynomialSystem
 from repro.service import SolveService
 
@@ -121,6 +121,97 @@ class TestFailures:
         finally:
             gate.set()
             service.shutdown()
+
+    def test_result_timeout_carries_the_job_state(self):
+        """SolveTimeoutError is a TimeoutError that tells the caller what
+        the job was doing when patience ran out -- 'still running' is
+        distinguishable from 'lost'."""
+        started = threading.Event()
+        gate = threading.Event()
+
+        def blocked(system, **kw):
+            started.set()
+            gate.wait(10)
+            return "late"
+
+        service = SolveService(solver=blocked)
+        try:
+            job = service.submit(tiny_system())
+            assert started.wait(5)
+            with pytest.raises(SolveTimeoutError) as excinfo:
+                service.result(job, timeout=0.05)
+            assert excinfo.value.job_id == job
+            assert excinfo.value.state == "running"
+            assert isinstance(excinfo.value, TimeoutError)
+        finally:
+            gate.set()
+            service.shutdown()
+
+
+class TestCancellation:
+    def test_cancel_queued_job_before_it_runs(self):
+        """A queued job can be declined: cancel() flips it to a terminal
+        ``cancelled`` state, the drain thread skips it, and result()
+        raises JobCancelledError immediately (no waiting)."""
+        started = threading.Event()
+        gate = threading.Event()
+
+        def blocked(system, **kw):
+            started.set()
+            gate.wait(10)
+            return "done"
+
+        service = SolveService(capacity=4, workers=1, solver=blocked)
+        try:
+            running = service.submit(tiny_system())
+            assert started.wait(5)  # the single worker is now occupied
+            queued = service.submit(tiny_system())
+            assert service.cancel(queued) is True
+            status = service.poll(queued)
+            assert status.state == "cancelled"
+            assert status.finished
+            with pytest.raises(JobCancelledError, match="cancelled"):
+                service.result(queued, timeout=5)
+            gate.set()
+            assert service.result(running, timeout=10) == "done"
+            # The cancelled job never reached the solver.
+            assert service.poll(queued).state == "cancelled"
+        finally:
+            gate.set()
+            service.shutdown()
+
+    def test_cancel_running_job_is_refused(self):
+        started = threading.Event()
+        gate = threading.Event()
+
+        def blocked(system, **kw):
+            started.set()
+            gate.wait(10)
+            return "done"
+
+        service = SolveService(solver=blocked)
+        try:
+            job = service.submit(tiny_system())
+            assert started.wait(5)
+            assert service.cancel(job) is False  # already running
+            gate.set()
+            assert service.result(job, timeout=10) == "done"
+        finally:
+            gate.set()
+            service.shutdown()
+
+    def test_cancel_terminal_job_is_refused_and_idempotent(self):
+        with SolveService(solver=lambda system, **kw: "ok") as service:
+            job = service.submit(tiny_system())
+            service.result(job, timeout=10)
+            assert service.cancel(job) is False
+            assert service.cancel(job) is False  # still False, no raise
+            assert service.poll(job).state == "done"
+
+    def test_cancel_unknown_job_raises(self):
+        with SolveService(solver=lambda system, **kw: "ok") as service:
+            with pytest.raises(JobNotFoundError):
+                service.cancel("job-999")
 
 
 class TestBackpressure:

@@ -129,6 +129,38 @@ class TestFileStore:
         assert store.get("job", 0)["level"] == 1
 
 
+@pytest.mark.parametrize("codec", ["json", "npz"])
+class TestFileStoreCorruption:
+    """Undecodable records surface as CheckpointCorruptError -- the typed
+    signal the sharded coordinator turns into a cold restart of exactly
+    one shard -- never a codec-specific exception or a silent None."""
+
+    def test_truncated_record_raises_corrupt(self, tmp_path, codec):
+        from repro.errors import CheckpointCorruptError
+        store = FileCheckpointStore(tmp_path, codec=codec)
+        store.put("job", 0, sample_state())
+        path = store.record_path("job", 0)
+        data = path.read_bytes()
+        path.write_bytes(data[: max(1, len(data) // 3)])
+        with pytest.raises(CheckpointCorruptError, match="corrupt"):
+            store.get("job", 0)
+
+    def test_garbage_record_raises_corrupt(self, tmp_path, codec):
+        from repro.errors import CheckpointCorruptError
+        store = FileCheckpointStore(tmp_path, codec=codec)
+        store.put("job", 3, sample_state(3))
+        store.record_path("job", 3).write_bytes(b"\x00not a record\xff")
+        with pytest.raises(CheckpointCorruptError):
+            store.get("job", 3)
+
+    def test_record_path_names_the_shard_file(self, tmp_path, codec):
+        store = FileCheckpointStore(tmp_path, codec=codec)
+        store.put("job", 7, sample_state(7))
+        path = store.record_path("job", 7)
+        assert path == tmp_path / "job" / f"shard-7.{codec}"
+        assert path.is_file()
+
+
 class TestFileStoreValidation:
     def test_unknown_codec_is_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError, match="codec"):

@@ -1,7 +1,7 @@
 """Validate the checked-in ``BENCH_*.json`` benchmark reports.
 
 ``make test-all`` runs this checker over every ``BENCH_*.json`` at the
-repository root.  Five layers of checks keep the perf trajectory honest:
+repository root.  Six layers of checks keep the perf trajectory honest:
 
 1. **hygiene** -- the file parses, is non-empty, and contains no ``NaN`` /
    ``Infinity`` / ``null`` measurement anywhere (an absent or non-finite
@@ -22,7 +22,14 @@ repository root.  Five layers of checks keep the perf trajectory honest:
 5. **start savings** -- the start-strategy report must show the diagonal
    start never exceeding the Bezout bound, realising a *strict* path
    saving on at least one scenario (the triangular family), and the warm
-   family serving beating the cold per-query floor by at least 2x.
+   family serving beating the cold per-query floor by at least 2x;
+6. **robustness** -- the shard report must carry the supervised runtime's
+   fault matrix: every fault mode recovered (bit-for-bit identity or an
+   explicitly recorded degradation), persistent workers beating the
+   fresh-pool dispatch tax, and the persistent row beating single-process
+   wall-clock wherever the recording hardware has parallel capacity
+   (``cpus >= 2``; on a single schedulable CPU the dispatch win is the
+   gate, since no pool can beat one process without a second core).
 
 Exit status 0 means every report passed; failures are printed per file and
 the exit status is 1, which is what lets the Makefile (and CI) gate on
@@ -52,7 +59,7 @@ REQUIRED_KEYS = {
                             "baseline_qd_paths_per_s_wall",
                             "wall_speedup_vs_baseline_at_batch_64"),
     "BENCH_shard.json": ("rows", "ladder", "all_identical", "paths_total",
-                         "scenarios"),
+                         "scenarios", "robustness"),
     "BENCH_start.json": ("scenarios", "family_serving"),
 }
 
@@ -217,6 +224,88 @@ def check_start_savings(name: str, report) -> list:
     return errors
 
 
+#: The fault modes the robustness section must drill (kept in sync with
+#: ``repro.service.sharded.FAULT_MODES`` -- the checker is deliberately
+#: standalone, so the list is spelled out).
+ROBUSTNESS_MODES = ("kill", "hang", "slow", "corrupt-checkpoint",
+                    "store-io-error")
+
+#: Floor on the persistent-vs-fresh-pool dispatch speedup: persistent
+#: workers must at least recoup the fork + system-pickle + tracker
+#: construction tax they exist to amortise.
+ROBUSTNESS_DISPATCH_FLOOR = 1.1
+
+
+def check_robustness(name: str, report) -> list:
+    """The robustness layer over the shard report's fault matrix."""
+    errors = []
+    section = report.get("robustness")
+    if not isinstance(section, dict):
+        return [f"{name}: 'robustness' is not an object"]
+
+    modes = section.get("modes")
+    if not isinstance(modes, dict):
+        errors.append(f"{name}: robustness.modes is not an object")
+    else:
+        for mode in ROBUSTNESS_MODES:
+            entry = modes.get(mode)
+            where = f"{name}: robustness.modes.{mode}"
+            if not isinstance(entry, dict):
+                errors.append(f"{where} missing")
+                continue
+            if entry.get("recovered") is not True:
+                errors.append(f"{where}.recovered = "
+                              f"{entry.get('recovered')!r}; the drill did "
+                              "not end in recovery")
+            if entry.get("identical") is not True \
+                    and not entry.get("degradations"):
+                errors.append(
+                    f"{where}: neither bit-for-bit identical nor an "
+                    "explicitly recorded degradation -- a silent wrong "
+                    "answer")
+
+    dispatch = section.get("dispatch")
+    if not isinstance(dispatch, dict):
+        errors.append(f"{name}: robustness.dispatch missing")
+    else:
+        speedup = dispatch.get("persistent_speedup_vs_fresh")
+        if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+            errors.append(f"{name}: robustness.dispatch."
+                          "persistent_speedup_vs_fresh is not a number")
+        elif speedup < ROBUSTNESS_DISPATCH_FLOOR:
+            errors.append(
+                f"{name}: robustness.dispatch.persistent_speedup_vs_fresh "
+                f"= {speedup:.4g} below the floor "
+                f"{ROBUSTNESS_DISPATCH_FLOOR} -- persistent workers do "
+                "not recoup the fresh-pool dispatch tax")
+
+    row = section.get("persistent")
+    if not isinstance(row, dict):
+        errors.append(f"{name}: robustness.persistent row missing")
+    else:
+        for key in ("scenario", "workers", "single_wall_s",
+                    "persistent_wall_s", "speedup_vs_single",
+                    "beats_single", "identical"):
+            if key not in row:
+                errors.append(f"{name}: robustness.persistent.{key} missing")
+        if isinstance(row.get("workers"), int) and row["workers"] < 2:
+            errors.append(f"{name}: robustness.persistent.workers = "
+                          f"{row['workers']}, need >= 2")
+        if row.get("identical") is not True:
+            errors.append(f"{name}: robustness.persistent.identical = "
+                          f"{row.get('identical')!r}, the bit-for-bit "
+                          "contract is broken")
+        cpus = section.get("cpus")
+        if row.get("beats_single") is not True and \
+                not (isinstance(cpus, int) and cpus <= 1):
+            errors.append(
+                f"{name}: robustness.persistent.beats_single = "
+                f"{row.get('beats_single')!r} with cpus = {cpus!r} -- on "
+                "parallel hardware the persistent pool must beat "
+                "single-process wall-clock")
+    return errors
+
+
 def check_report(path: Path) -> list:
     """Run all five layers over one report; return error strings."""
     name = path.name
@@ -263,6 +352,8 @@ def check_report(path: Path) -> list:
         errors.extend(check_scenarios(name, report))
     if name == "BENCH_start.json":
         errors.extend(check_start_savings(name, report))
+    if name == "BENCH_shard.json" and "robustness" in report:
+        errors.extend(check_robustness(name, report))
     return errors
 
 
